@@ -1,0 +1,213 @@
+//! Lazo-style coupled estimation of Jaccard similarity, containment and
+//! overlap.
+//!
+//! Lazo (Fernandez et al., ICDE 2019 — reference \[25\] of the paper)
+//! observed that when the *exact cardinalities* of both sets are known, a
+//! single MinHash-style sketch can be redeemed for a consistent joint
+//! estimate of the Jaccard similarity, the containment in both directions and
+//! the intersection size, instead of estimating each quantity with a separate
+//! index.  The cardinalities are free in this repository — every
+//! [`spatial::CellSet`] knows its length — so a [`LazoSketch`] is just a
+//! MinHash signature plus the cardinality, and [`LazoSketch::estimate`]
+//! solves the one-unknown system
+//!
+//! ```text
+//!   J   = |A ∩ B| / |A ∪ B|
+//!   |A ∪ B| = |A| + |B| − |A ∩ B|
+//! ```
+//!
+//! for the intersection, clamping the result into its feasible interval
+//! `[max(0, |A|+|B|−|U|), min(|A|, |B|)]`.
+
+use crate::minhash::{MinHasher, Signature};
+use serde::{Deserialize, Serialize};
+use spatial::{CellSet, DatasetId};
+
+/// A sketch of one dataset suitable for Lazo-style estimation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LazoSketch {
+    /// Identifier of the sketched dataset.
+    pub dataset: DatasetId,
+    /// MinHash signature of the dataset's cell set.
+    pub signature: Signature,
+}
+
+/// A joint estimate of all similarity quantities between two sets.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LazoEstimate {
+    /// Estimated Jaccard similarity `|A ∩ B| / |A ∪ B|`.
+    pub jaccard: f64,
+    /// Estimated intersection size `|A ∩ B|`.
+    pub overlap: f64,
+    /// Estimated union size `|A ∪ B|`.
+    pub union: f64,
+    /// Estimated containment of the left set in the right, `|A ∩ B| / |A|`.
+    pub containment_left: f64,
+    /// Estimated containment of the right set in the left, `|A ∩ B| / |B|`.
+    pub containment_right: f64,
+}
+
+impl LazoSketch {
+    /// Sketches a dataset's cell set.
+    pub fn build(hasher: &MinHasher, dataset: DatasetId, cells: &CellSet) -> Self {
+        Self {
+            dataset,
+            signature: hasher.sketch(cells),
+        }
+    }
+
+    /// Cardinality of the sketched set.
+    pub fn cardinality(&self) -> usize {
+        self.signature.cardinality()
+    }
+
+    /// Produces the coupled estimate between this sketch and another.
+    ///
+    /// Both sketches must come from the same [`MinHasher`] (same length and
+    /// seed); mismatched lengths panic, mirroring
+    /// [`Signature::matching_positions`].
+    pub fn estimate(&self, other: &LazoSketch) -> LazoEstimate {
+        let a = self.cardinality() as f64;
+        let b = other.cardinality() as f64;
+        if a == 0.0 || b == 0.0 {
+            return LazoEstimate {
+                jaccard: 0.0,
+                overlap: 0.0,
+                union: a + b,
+                containment_left: 0.0,
+                containment_right: 0.0,
+            };
+        }
+        let j = self.signature.estimate_jaccard(&other.signature);
+        // Solve J = I / (a + b − I)  ⇒  I = J (a + b) / (1 + J).
+        let raw_overlap = if j > 0.0 { j * (a + b) / (1.0 + j) } else { 0.0 };
+        // The intersection can never exceed the smaller set and never be
+        // negative; clamping also repairs the estimate when the raw MinHash
+        // agreement was noisy.
+        let overlap = raw_overlap.clamp(0.0, a.min(b));
+        let union = a + b - overlap;
+        LazoEstimate {
+            jaccard: if union > 0.0 { overlap / union } else { 0.0 },
+            overlap,
+            union,
+            containment_left: overlap / a,
+            containment_right: overlap / b,
+        }
+    }
+}
+
+/// Builds Lazo sketches for a whole collection of `(dataset, cells)` pairs.
+pub fn sketch_collection<'a, I>(hasher: &MinHasher, entries: I) -> Vec<LazoSketch>
+where
+    I: IntoIterator<Item = (DatasetId, &'a CellSet)>,
+{
+    entries
+        .into_iter()
+        .map(|(id, cells)| LazoSketch::build(hasher, id, cells))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn set(ids: impl IntoIterator<Item = u64>) -> CellSet {
+        CellSet::from_cells(ids)
+    }
+
+    #[test]
+    fn estimate_of_identical_sets() {
+        let hasher = MinHasher::new(128, 1);
+        let cells = set(0..200u64);
+        let a = LazoSketch::build(&hasher, 1, &cells);
+        let b = LazoSketch::build(&hasher, 2, &cells);
+        let est = a.estimate(&b);
+        assert_eq!(est.jaccard, 1.0);
+        assert_eq!(est.overlap, 200.0);
+        assert_eq!(est.union, 200.0);
+        assert_eq!(est.containment_left, 1.0);
+        assert_eq!(est.containment_right, 1.0);
+    }
+
+    #[test]
+    fn estimate_of_disjoint_sets() {
+        let hasher = MinHasher::new(128, 2);
+        let a = LazoSketch::build(&hasher, 1, &set(0..100u64));
+        let b = LazoSketch::build(&hasher, 2, &set(10_000..10_100u64));
+        let est = a.estimate(&b);
+        assert!(est.jaccard < 0.05);
+        assert!(est.overlap < 10.0);
+        assert!(est.union > 180.0);
+    }
+
+    #[test]
+    fn estimate_with_empty_set_is_zeroed() {
+        let hasher = MinHasher::new(64, 3);
+        let a = LazoSketch::build(&hasher, 1, &CellSet::new());
+        let b = LazoSketch::build(&hasher, 2, &set(0..50u64));
+        let est = a.estimate(&b);
+        assert_eq!(est.overlap, 0.0);
+        assert_eq!(est.jaccard, 0.0);
+        assert_eq!(est.containment_left, 0.0);
+        assert_eq!(est.containment_right, 0.0);
+        assert_eq!(est.union, 50.0);
+    }
+
+    #[test]
+    fn asymmetric_containment_of_a_subset() {
+        let hasher = MinHasher::new(256, 4);
+        let small = LazoSketch::build(&hasher, 1, &set(0..40u64));
+        let large = LazoSketch::build(&hasher, 2, &set(0..400u64));
+        let est = small.estimate(&large);
+        assert!(
+            est.containment_left > 0.7,
+            "subset containment {} too low",
+            est.containment_left
+        );
+        assert!(
+            est.containment_right < 0.3,
+            "superset containment {} too high",
+            est.containment_right
+        );
+        // Exact overlap is 40; the estimate must land in the right ballpark.
+        assert!((est.overlap - 40.0).abs() < 20.0, "overlap {}", est.overlap);
+    }
+
+    #[test]
+    fn sketch_collection_builds_one_sketch_per_entry() {
+        let hasher = MinHasher::new(32, 5);
+        let a = set(0..10u64);
+        let b = set(5..25u64);
+        let sketches = sketch_collection(&hasher, [(7u32, &a), (9u32, &b)]);
+        assert_eq!(sketches.len(), 2);
+        assert_eq!(sketches[0].dataset, 7);
+        assert_eq!(sketches[0].cardinality(), 10);
+        assert_eq!(sketches[1].dataset, 9);
+        assert_eq!(sketches[1].cardinality(), 20);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+        #[test]
+        fn prop_estimates_are_feasible(
+            a in proptest::collection::hash_set(0u64..3000, 1..200),
+            b in proptest::collection::hash_set(0u64..3000, 1..200),
+        ) {
+            let hasher = MinHasher::new(96, 6);
+            let sa = LazoSketch::build(&hasher, 0, &set(a.iter().copied()));
+            let sb = LazoSketch::build(&hasher, 1, &set(b.iter().copied()));
+            let est = sa.estimate(&sb);
+            // Every estimated quantity must be inside its feasible interval.
+            prop_assert!(est.overlap >= 0.0);
+            prop_assert!(est.overlap <= a.len().min(b.len()) as f64 + 1e-9);
+            prop_assert!(est.union >= a.len().max(b.len()) as f64 - 1e-9);
+            prop_assert!(est.union <= (a.len() + b.len()) as f64 + 1e-9);
+            prop_assert!((0.0..=1.0).contains(&est.jaccard));
+            prop_assert!((0.0..=1.0).contains(&est.containment_left));
+            prop_assert!((0.0..=1.0).contains(&est.containment_right));
+            // Internal consistency: overlap = containment_left * |A|.
+            prop_assert!((est.overlap - est.containment_left * a.len() as f64).abs() < 1e-6);
+        }
+    }
+}

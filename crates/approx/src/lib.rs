@@ -1,0 +1,39 @@
+//! Approximate joinable search over cell-based spatial datasets.
+//!
+//! The paper's OverlapSearch (and the Josie / STS3 baselines) compute *exact*
+//! set overlaps.  Its related-work section surveys a family of approximate
+//! techniques — MinHash-based sketches, LSH Ensemble \[74\] and the Lazo
+//! cardinality-based estimator \[25\] — that trade a small amount of accuracy
+//! for sub-linear candidate generation.  This crate implements that family on
+//! top of the same [`spatial::CellSet`] vocabulary so the exact and the
+//! approximate paths can be compared head to head:
+//!
+//! * [`MinHasher`] / [`Signature`] — fixed-length MinHash sketches of cell
+//!   sets with unbiased Jaccard estimation.
+//! * [`lazo`] — Lazo-style coupled estimation of Jaccard similarity,
+//!   containment and overlap from a signature pair plus the (exactly known)
+//!   set cardinalities.
+//! * [`LshEnsemble`] — a containment-oriented banding index partitioned by
+//!   set size, used to generate candidates for a query without touching
+//!   every indexed dataset.
+//! * [`ApproxOverlapIndex`] — the end-to-end approximate OJSP pipeline:
+//!   LSH candidate generation, sketch-based ranking, and optional exact
+//!   re-ranking of the shortlist, together with recall evaluation helpers
+//!   against the exact top-k.
+//!
+//! Everything is deterministic given the hasher seed, so experiments comparing
+//! exact and approximate search are reproducible.
+
+#![warn(missing_docs)]
+
+pub mod hashing;
+pub mod lazo;
+pub mod lshensemble;
+pub mod minhash;
+pub mod search;
+
+pub use hashing::HashFamily;
+pub use lazo::{LazoEstimate, LazoSketch};
+pub use lshensemble::{LshConfig, LshEnsemble};
+pub use minhash::{MinHasher, Signature};
+pub use search::{recall_at_k, ApproxConfig, ApproxOverlapIndex, ApproxResult};

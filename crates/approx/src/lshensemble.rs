@@ -1,0 +1,442 @@
+//! LSH Ensemble: a containment-oriented candidate index over MinHash
+//! signatures.
+//!
+//! LSH Ensemble (Zhu et al., VLDB 2016 — reference \[74\] of the paper)
+//! adapts banded MinHash LSH to *containment* search, where the relevant
+//! similarity is `|Q ∩ X| / |Q|` rather than the Jaccard similarity.  Because
+//! a fixed Jaccard threshold discriminates poorly when indexed sets vary
+//! wildly in size, the ensemble partitions the indexed sets by cardinality
+//! and converts the query's containment threshold into a per-partition
+//! Jaccard threshold using the partition's upper size bound:
+//!
+//! ```text
+//!   J ≥ t·|Q| / (|Q| + u − t·|Q|)      (u = partition upper size bound)
+//! ```
+//!
+//! Each partition stores a classic `b × r` banding of the signatures; a
+//! candidate is emitted when it collides with the query in at least one band
+//! of a partition whose converted threshold the banding is tuned for.
+//!
+//! The implementation favours clarity over the last drop of recall tuning:
+//! bands are re-derived per query from the converted threshold, so the same
+//! index answers any containment threshold without rebuilding.
+
+use crate::hashing::mix64;
+use crate::minhash::{MinHasher, Signature};
+use serde::{Deserialize, Serialize};
+use spatial::{CellSet, DatasetId};
+use std::collections::HashMap;
+
+/// Configuration of the ensemble.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LshConfig {
+    /// Signature length (number of MinHash functions).
+    pub signature_len: usize,
+    /// Number of cardinality partitions.
+    pub partitions: usize,
+    /// Number of rows per band used when probing (the number of bands is
+    /// `signature_len / rows_per_band`).
+    pub rows_per_band: usize,
+    /// Seed of the underlying hash family.
+    pub seed: u64,
+}
+
+impl Default for LshConfig {
+    fn default() -> Self {
+        Self {
+            signature_len: 128,
+            partitions: 8,
+            rows_per_band: 4,
+            seed: 0x15AE_57D1,
+        }
+    }
+}
+
+/// One indexed entry: the dataset id, its signature and cardinality.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct Entry {
+    dataset: DatasetId,
+    signature: Signature,
+}
+
+/// One cardinality partition: entries whose set size lies in
+/// `[lower, upper]`, plus band buckets for fast collision probing.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct Partition {
+    lower: usize,
+    upper: usize,
+    entries: Vec<Entry>,
+    /// `buckets[band] : band-hash -> entry indices`.
+    buckets: Vec<HashMap<u64, Vec<usize>>>,
+}
+
+/// The LSH Ensemble index.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LshEnsemble {
+    config: LshConfig,
+    hasher: MinHasher,
+    partitions: Vec<Partition>,
+    dataset_count: usize,
+}
+
+impl LshEnsemble {
+    /// Builds the ensemble over a collection of `(dataset, cells)` pairs.
+    ///
+    /// Partition boundaries are chosen so each partition holds roughly the
+    /// same number of datasets (equi-depth partitioning over cardinality),
+    /// which is the strategy the LSH Ensemble paper found most robust to
+    /// skewed size distributions.
+    pub fn build<'a, I>(entries: I, config: LshConfig) -> Self
+    where
+        I: IntoIterator<Item = (DatasetId, &'a CellSet)>,
+    {
+        let config = LshConfig {
+            signature_len: config.signature_len.max(1),
+            partitions: config.partitions.max(1),
+            rows_per_band: config.rows_per_band.clamp(1, config.signature_len.max(1)),
+            seed: config.seed,
+        };
+        let hasher = MinHasher::new(config.signature_len, config.seed);
+        let mut sketched: Vec<Entry> = entries
+            .into_iter()
+            .map(|(dataset, cells)| Entry {
+                dataset,
+                signature: hasher.sketch(cells),
+            })
+            .collect();
+        let dataset_count = sketched.len();
+        // Equi-depth partition by cardinality.
+        sketched.sort_by_key(|e| e.signature.cardinality());
+        let per_partition = sketched.len().div_ceil(config.partitions).max(1);
+        let mut partitions = Vec::new();
+        for chunk in sketched.chunks(per_partition) {
+            let lower = chunk.first().map(|e| e.signature.cardinality()).unwrap_or(0);
+            let upper = chunk.last().map(|e| e.signature.cardinality()).unwrap_or(0);
+            let mut partition = Partition {
+                lower,
+                upper,
+                entries: chunk.to_vec(),
+                buckets: Vec::new(),
+            };
+            partition.rebuild_buckets(config.rows_per_band);
+            partitions.push(partition);
+        }
+        Self {
+            config,
+            hasher,
+            partitions,
+            dataset_count,
+        }
+    }
+
+    /// The configuration the index was built with.
+    pub fn config(&self) -> LshConfig {
+        self.config
+    }
+
+    /// The sketcher used by the index (share it to sketch queries).
+    pub fn hasher(&self) -> &MinHasher {
+        &self.hasher
+    }
+
+    /// Number of indexed datasets.
+    pub fn dataset_count(&self) -> usize {
+        self.dataset_count
+    }
+
+    /// Number of cardinality partitions actually materialised.
+    pub fn partition_count(&self) -> usize {
+        self.partitions.len()
+    }
+
+    /// Estimated heap memory of the index in bytes.
+    pub fn memory_bytes(&self) -> usize {
+        let mut bytes = 0usize;
+        for p in &self.partitions {
+            bytes += p
+                .entries
+                .iter()
+                .map(|e| e.signature.memory_bytes() + std::mem::size_of::<Entry>())
+                .sum::<usize>();
+            for band in &p.buckets {
+                bytes += band
+                    .values()
+                    .map(|v| v.capacity() * std::mem::size_of::<usize>() + 16)
+                    .sum::<usize>();
+            }
+        }
+        bytes
+    }
+
+    /// Returns candidate datasets whose estimated containment of the query
+    /// (`|Q ∩ X| / |Q|`) may reach `threshold ∈ [0, 1]`.
+    ///
+    /// Candidates are generated per partition by probing the bands whose
+    /// collision probability is meaningful for the partition's converted
+    /// Jaccard threshold; partitions whose upper size bound cannot possibly
+    /// reach the containment threshold are skipped entirely.
+    pub fn query_candidates(&self, query: &CellSet, threshold: f64) -> Vec<DatasetId> {
+        let threshold = threshold.clamp(0.0, 1.0);
+        if query.is_empty() {
+            return Vec::new();
+        }
+        let query_sig = self.hasher.sketch(query);
+        let q = query.len() as f64;
+        let mut out: Vec<DatasetId> = Vec::new();
+        for partition in &self.partitions {
+            if partition.entries.is_empty() {
+                continue;
+            }
+            // A set of size u can contain at most u cells of the query, so a
+            // containment of `threshold` needs u ≥ threshold·|Q|.
+            if (partition.upper as f64) < threshold * q {
+                continue;
+            }
+            // Convert the containment threshold to the partition's Jaccard
+            // threshold using the upper size bound (the most permissive
+            // conversion, so recall is preserved).
+            let u = partition.upper as f64;
+            let jaccard_threshold = if threshold <= 0.0 {
+                0.0
+            } else {
+                (threshold * q) / (q + u - threshold * q)
+            };
+            partition.probe(&query_sig, jaccard_threshold, self.config.rows_per_band, &mut out);
+        }
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// Ranks the candidate datasets by estimated overlap with the query and
+    /// returns the top `k` `(dataset, estimated overlap)` pairs.
+    pub fn query_top_k(
+        &self,
+        query: &CellSet,
+        k: usize,
+        threshold: f64,
+    ) -> Vec<(DatasetId, f64)> {
+        let candidates = self.query_candidates(query, threshold);
+        if candidates.is_empty() || k == 0 {
+            return Vec::new();
+        }
+        let query_sig = self.hasher.sketch(query);
+        let mut scored: Vec<(DatasetId, f64)> = Vec::with_capacity(candidates.len());
+        for partition in &self.partitions {
+            for entry in &partition.entries {
+                if candidates.binary_search(&entry.dataset).is_ok() {
+                    let overlap = query_sig.estimate_overlap(&entry.signature);
+                    if overlap > 0.0 {
+                        scored.push((entry.dataset, overlap));
+                    }
+                }
+            }
+        }
+        scored.sort_unstable_by(|a, b| {
+            b.1.partial_cmp(&a.1)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.0.cmp(&b.0))
+        });
+        scored.truncate(k);
+        scored
+    }
+}
+
+impl Partition {
+    /// Rebuilds the per-band hash buckets from the stored entries.
+    fn rebuild_buckets(&mut self, rows_per_band: usize) {
+        let sig_len = self
+            .entries
+            .first()
+            .map(|e| e.signature.len())
+            .unwrap_or(0);
+        let bands = if rows_per_band == 0 { 0 } else { sig_len / rows_per_band };
+        self.buckets = vec![HashMap::new(); bands];
+        for (i, entry) in self.entries.iter().enumerate() {
+            for band in 0..bands {
+                let h = band_hash(&entry.signature, band, rows_per_band);
+                self.buckets[band].entry(h).or_default().push(i);
+            }
+        }
+    }
+
+    /// Probes the partition's bands for entries colliding with the query in
+    /// enough bands to plausibly reach `jaccard_threshold`.
+    fn probe(
+        &self,
+        query_sig: &Signature,
+        jaccard_threshold: f64,
+        rows_per_band: usize,
+        out: &mut Vec<DatasetId>,
+    ) {
+        let bands = self.buckets.len();
+        // Banding with `b` bands of `r` rows is only sensitive around the
+        // threshold `(1/b)^(1/r)`; a requested threshold far below that would
+        // be missed by collisions almost surely, so fall back to a scan of
+        // the partition with the sketch-estimated Jaccard as the filter
+        // (still signature-only — no cell sets are touched).
+        let banding_floor = if bands == 0 {
+            f64::INFINITY
+        } else {
+            0.5 * (1.0 / bands as f64).powf(1.0 / rows_per_band.max(1) as f64)
+        };
+        if bands == 0 || jaccard_threshold < banding_floor {
+            for entry in &self.entries {
+                if query_sig.estimate_jaccard(&entry.signature) + 1e-9 >= jaccard_threshold {
+                    out.push(entry.dataset);
+                }
+            }
+            return;
+        }
+        // Collision counting: an entry colliding with the query in at least
+        // one band is a candidate; the estimated Jaccard filter below removes
+        // flagrant false positives while keeping the shortlist cheap.
+        let mut collision_counts: HashMap<usize, usize> = HashMap::new();
+        for band in 0..bands {
+            let h = band_hash(query_sig, band, rows_per_band);
+            if let Some(bucket) = self.buckets[band].get(&h) {
+                for &idx in bucket {
+                    *collision_counts.entry(idx).or_insert(0) += 1;
+                }
+            }
+        }
+        for (idx, _count) in collision_counts {
+            let entry = &self.entries[idx];
+            if query_sig.estimate_jaccard(&entry.signature) + 1e-9 >= jaccard_threshold {
+                out.push(entry.dataset);
+            }
+        }
+    }
+}
+
+/// Hash of one band (a contiguous run of `rows_per_band` signature values).
+fn band_hash(signature: &Signature, band: usize, rows_per_band: usize) -> u64 {
+    let start = band * rows_per_band;
+    let end = (start + rows_per_band).min(signature.len());
+    let mut acc = 0xcbf2_9ce4_8422_2325u64 ^ (band as u64);
+    for &v in &signature.values()[start..end] {
+        acc = mix64(acc ^ v, 0x100_0000_01b3);
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::prelude::*;
+    use rand::rngs::StdRng;
+
+    fn set(ids: impl IntoIterator<Item = u64>) -> CellSet {
+        CellSet::from_cells(ids)
+    }
+
+    fn config() -> LshConfig {
+        LshConfig {
+            signature_len: 128,
+            partitions: 4,
+            rows_per_band: 4,
+            seed: 7,
+        }
+    }
+
+    #[test]
+    fn finds_a_near_duplicate_of_the_query() {
+        let near: CellSet = set(0..100u64);
+        let far: CellSet = set(5_000..5_100u64);
+        let partial: CellSet = set(50..150u64);
+        let index = LshEnsemble::build(
+            [(1u32, &near), (2u32, &far), (3u32, &partial)],
+            config(),
+        );
+        let query = set(0..100u64);
+        let candidates = index.query_candidates(&query, 0.5);
+        assert!(candidates.contains(&1), "near-duplicate not retrieved");
+        assert!(!candidates.contains(&2), "disjoint set retrieved");
+        let top = index.query_top_k(&query, 2, 0.2);
+        assert_eq!(top[0].0, 1);
+        assert!(top[0].1 > top.get(1).map(|t| t.1).unwrap_or(0.0));
+    }
+
+    #[test]
+    fn empty_query_and_empty_index() {
+        let index = LshEnsemble::build(std::iter::empty(), config());
+        assert_eq!(index.dataset_count(), 0);
+        assert!(index.query_candidates(&set(0..10u64), 0.5).is_empty());
+        let a = set(0..10u64);
+        let index = LshEnsemble::build([(1u32, &a)], config());
+        assert!(index.query_candidates(&CellSet::new(), 0.5).is_empty());
+        assert!(index.query_top_k(&CellSet::new(), 3, 0.5).is_empty());
+        assert!(index.query_top_k(&a, 0, 0.5).is_empty());
+    }
+
+    #[test]
+    fn partitions_skip_sets_too_small_for_the_threshold() {
+        // Query of 100 cells; a dataset of 10 cells can contain at most 10%
+        // of it, so with threshold 0.5 it must be skipped by the size filter.
+        let tiny = set(0..10u64);
+        let big = set(0..90u64);
+        let index = LshEnsemble::build([(1u32, &tiny), (2u32, &big)], config());
+        let query = set(0..100u64);
+        let candidates = index.query_candidates(&query, 0.5);
+        assert!(!candidates.contains(&1));
+        assert!(candidates.contains(&2));
+        // At threshold 0 every overlapping set is fair game.
+        let all = index.query_candidates(&query, 0.0);
+        assert!(all.contains(&1));
+    }
+
+    #[test]
+    fn recall_is_high_for_strongly_overlapping_sets() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let query_cells: Vec<u64> = (0..300u64).collect();
+        let query = set(query_cells.iter().copied());
+        // 30 datasets overlapping the query by 80%, 200 random background sets.
+        let mut owned: Vec<(DatasetId, CellSet)> = Vec::new();
+        for i in 0..30u32 {
+            let mut cells: Vec<u64> = query_cells.iter().copied().take(240).collect();
+            cells.extend((0..60).map(|_| 10_000 + rng.random_range(0..5_000u64)));
+            owned.push((i, set(cells)));
+        }
+        for i in 30..230u32 {
+            let cells: Vec<u64> = (0..200).map(|_| 20_000 + rng.random_range(0..50_000u64)).collect();
+            owned.push((i, set(cells)));
+        }
+        let index = LshEnsemble::build(owned.iter().map(|(i, c)| (*i, c)), config());
+        let candidates = index.query_candidates(&query, 0.5);
+        let hits = (0..30u32).filter(|i| candidates.contains(i)).count();
+        assert!(hits >= 27, "only {hits}/30 strongly-overlapping sets retrieved");
+        // And the candidate list must be much smaller than the full corpus.
+        assert!(
+            candidates.len() < 120,
+            "candidate list of {} is not selective",
+            candidates.len()
+        );
+    }
+
+    #[test]
+    fn index_statistics_are_reported() {
+        let sets: Vec<CellSet> = (0..40u64).map(|i| set(i * 10..i * 10 + 20)).collect();
+        let index = LshEnsemble::build(
+            sets.iter().enumerate().map(|(i, s)| (i as u32, s)),
+            config(),
+        );
+        assert_eq!(index.dataset_count(), 40);
+        assert!(index.partition_count() >= 1 && index.partition_count() <= 4);
+        assert!(index.memory_bytes() > 0);
+        assert_eq!(index.config().signature_len, 128);
+        assert_eq!(index.hasher().len(), 128);
+    }
+
+    #[test]
+    fn degenerate_config_is_repaired() {
+        let a = set(0..5u64);
+        let index = LshEnsemble::build(
+            [(1u32, &a)],
+            LshConfig { signature_len: 0, partitions: 0, rows_per_band: 0, seed: 1 },
+        );
+        assert_eq!(index.dataset_count(), 1);
+        // The repaired index must still answer queries without panicking.
+        let candidates = index.query_candidates(&a, 0.1);
+        assert_eq!(candidates, vec![1]);
+    }
+}

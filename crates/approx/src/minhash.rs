@@ -1,0 +1,302 @@
+//! MinHash signatures of cell-based datasets.
+//!
+//! A MinHash [`Signature`] summarises a [`CellSet`] by the minimum hash value
+//! of its cells under each member of a [`HashFamily`].  For two sets the
+//! probability that one signature position agrees equals their Jaccard
+//! similarity, so the fraction of agreeing positions is an unbiased Jaccard
+//! estimator with standard error `O(1/√len)`.
+//!
+//! Signatures are tiny (a few hundred `u64`s) compared to the cell sets of
+//! the large portal datasets, which is what makes them attractive for
+//! approximate candidate generation and for cheap cross-source exchanges in
+//! the multi-source setting.
+
+use crate::hashing::HashFamily;
+use serde::{Deserialize, Serialize};
+use spatial::CellSet;
+
+/// A MinHash sketcher: a hash family plus the signature length.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MinHasher {
+    family: HashFamily,
+}
+
+/// A fixed-length MinHash signature of one cell set.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Signature {
+    values: Vec<u64>,
+    /// Exact cardinality of the sketched set (cheap to carry along and needed
+    /// by the Lazo-style estimators).
+    cardinality: usize,
+}
+
+impl MinHasher {
+    /// Creates a sketcher producing signatures of `len` values, seeded
+    /// deterministically.
+    pub fn new(len: usize, seed: u64) -> Self {
+        Self {
+            family: HashFamily::new(len, seed),
+        }
+    }
+
+    /// Signature length.
+    pub fn len(&self) -> usize {
+        self.family.len()
+    }
+
+    /// Returns `true` when the sketcher has zero hash functions.
+    pub fn is_empty(&self) -> bool {
+        self.family.is_empty()
+    }
+
+    /// The underlying hash family (exposed so LSH banding can reuse it).
+    pub fn family(&self) -> &HashFamily {
+        &self.family
+    }
+
+    /// Sketches a cell set.
+    ///
+    /// An empty set produces the all-`u64::MAX` signature, which never agrees
+    /// with any non-empty signature — matching the convention that the
+    /// Jaccard similarity with an empty set is zero.
+    pub fn sketch(&self, cells: &CellSet) -> Signature {
+        let mut values = vec![u64::MAX; self.family.len()];
+        for cell in cells.iter() {
+            for (slot, h) in values.iter_mut().zip(self.family.hash_all(cell)) {
+                if h < *slot {
+                    *slot = h;
+                }
+            }
+        }
+        Signature {
+            values,
+            cardinality: cells.len(),
+        }
+    }
+}
+
+impl Signature {
+    /// The raw signature values.
+    pub fn values(&self) -> &[u64] {
+        &self.values
+    }
+
+    /// Signature length.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Returns `true` when the signature has zero positions.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Exact cardinality of the sketched set.
+    pub fn cardinality(&self) -> usize {
+        self.cardinality
+    }
+
+    /// Number of positions at which the two signatures agree.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the signatures have different lengths (they were produced
+    /// by different sketchers and are not comparable).
+    pub fn matching_positions(&self, other: &Signature) -> usize {
+        assert_eq!(
+            self.values.len(),
+            other.values.len(),
+            "signatures of different lengths are not comparable"
+        );
+        self.values
+            .iter()
+            .zip(other.values.iter())
+            .filter(|(a, b)| a == b)
+            .count()
+    }
+
+    /// Unbiased estimate of the Jaccard similarity `|A ∩ B| / |A ∪ B|`.
+    pub fn estimate_jaccard(&self, other: &Signature) -> f64 {
+        if self.cardinality == 0 && other.cardinality == 0 {
+            // Both sets empty: Jaccard is conventionally 1 but an overlap of
+            // zero; report 0 so downstream overlap estimates stay at zero.
+            return 0.0;
+        }
+        if self.values.is_empty() {
+            return 0.0;
+        }
+        self.matching_positions(other) as f64 / self.values.len() as f64
+    }
+
+    /// Estimate of the overlap `|A ∩ B|` derived from the Jaccard estimate
+    /// and the exact cardinalities:
+    /// `|A ∩ B| = J · |A ∪ B| = J · (|A| + |B|) / (1 + J)`.
+    pub fn estimate_overlap(&self, other: &Signature) -> f64 {
+        let j = self.estimate_jaccard(other);
+        if j <= 0.0 {
+            return 0.0;
+        }
+        let total = (self.cardinality + other.cardinality) as f64;
+        (j * total / (1.0 + j)).min(self.cardinality.min(other.cardinality) as f64)
+    }
+
+    /// Estimate of the containment of `self` in `other`,
+    /// `|A ∩ B| / |A|` (zero for an empty `self`).
+    pub fn estimate_containment_in(&self, other: &Signature) -> f64 {
+        if self.cardinality == 0 {
+            return 0.0;
+        }
+        (self.estimate_overlap(other) / self.cardinality as f64).clamp(0.0, 1.0)
+    }
+
+    /// Estimated heap memory of the signature in bytes.
+    pub fn memory_bytes(&self) -> usize {
+        self.values.capacity() * std::mem::size_of::<u64>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::prelude::*;
+    use rand::rngs::StdRng;
+
+    fn set(ids: impl IntoIterator<Item = u64>) -> CellSet {
+        CellSet::from_cells(ids)
+    }
+
+    fn exact_jaccard(a: &CellSet, b: &CellSet) -> f64 {
+        let inter = a.intersection_size(b);
+        let union = a.union_size(b);
+        if union == 0 {
+            0.0
+        } else {
+            inter as f64 / union as f64
+        }
+    }
+
+    #[test]
+    fn identical_sets_have_jaccard_one() {
+        let hasher = MinHasher::new(64, 1);
+        let a = set(0..100u64);
+        let sa = hasher.sketch(&a);
+        let sb = hasher.sketch(&a.clone());
+        assert_eq!(sa.estimate_jaccard(&sb), 1.0);
+        assert_eq!(sa.matching_positions(&sb), 64);
+        assert_eq!(sa.cardinality(), 100);
+    }
+
+    #[test]
+    fn disjoint_sets_have_near_zero_jaccard() {
+        let hasher = MinHasher::new(128, 2);
+        let a = set(0..200u64);
+        let b = set(10_000..10_200u64);
+        let j = hasher.sketch(&a).estimate_jaccard(&hasher.sketch(&b));
+        // A few accidental matches are possible but must stay tiny.
+        assert!(j < 0.05, "jaccard estimate {j} too high for disjoint sets");
+    }
+
+    #[test]
+    fn empty_set_behaviour() {
+        let hasher = MinHasher::new(32, 3);
+        let empty = hasher.sketch(&CellSet::new());
+        let full = hasher.sketch(&set(0..10u64));
+        assert_eq!(empty.cardinality(), 0);
+        assert_eq!(empty.estimate_jaccard(&full), 0.0);
+        assert_eq!(empty.estimate_overlap(&full), 0.0);
+        assert_eq!(empty.estimate_containment_in(&full), 0.0);
+        assert_eq!(empty.estimate_jaccard(&empty), 0.0);
+    }
+
+    #[test]
+    fn jaccard_estimate_close_to_exact_on_random_sets() {
+        let hasher = MinHasher::new(256, 42);
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..20 {
+            let base: Vec<u64> = (0..400).map(|_| rng.random_range(0..5000u64)).collect();
+            let shift: Vec<u64> = (0..200).map(|_| rng.random_range(0..5000u64)).collect();
+            let a = set(base.clone());
+            let b = set(base.iter().copied().take(200).chain(shift));
+            let est = hasher.sketch(&a).estimate_jaccard(&hasher.sketch(&b));
+            let exact = exact_jaccard(&a, &b);
+            assert!(
+                (est - exact).abs() < 0.15,
+                "estimate {est} far from exact {exact}"
+            );
+        }
+    }
+
+    #[test]
+    fn overlap_estimate_close_to_exact() {
+        let hasher = MinHasher::new(256, 11);
+        // |A| = 300, |B| = 300, overlap 150.
+        let a = set(0..300u64);
+        let b = set(150..450u64);
+        let est = hasher.sketch(&a).estimate_overlap(&hasher.sketch(&b));
+        assert!(
+            (est - 150.0).abs() < 40.0,
+            "overlap estimate {est} far from exact 150"
+        );
+    }
+
+    #[test]
+    fn containment_estimate_detects_subset() {
+        let hasher = MinHasher::new(256, 12);
+        let small = set(0..50u64);
+        let large = set(0..500u64);
+        let c = hasher
+            .sketch(&small)
+            .estimate_containment_in(&hasher.sketch(&large));
+        assert!(c > 0.7, "containment estimate {c} too low for a true subset");
+        let reverse = hasher
+            .sketch(&large)
+            .estimate_containment_in(&hasher.sketch(&small));
+        assert!(reverse < 0.3, "reverse containment {reverse} too high");
+    }
+
+    #[test]
+    #[should_panic(expected = "different lengths")]
+    fn mismatched_signature_lengths_panic() {
+        let a = MinHasher::new(16, 1).sketch(&set(0..10u64));
+        let b = MinHasher::new(32, 1).sketch(&set(0..10u64));
+        let _ = a.matching_positions(&b);
+    }
+
+    #[test]
+    fn signatures_are_deterministic_across_sketchers_with_same_seed() {
+        let a = MinHasher::new(64, 9).sketch(&set(0..64u64));
+        let b = MinHasher::new(64, 9).sketch(&set(0..64u64));
+        assert_eq!(a, b);
+        assert!(a.memory_bytes() >= 64 * 8);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+        #[test]
+        fn prop_jaccard_estimate_is_bounded_and_symmetric(
+            a in proptest::collection::hash_set(0u64..2000, 1..150),
+            b in proptest::collection::hash_set(0u64..2000, 1..150),
+        ) {
+            let hasher = MinHasher::new(96, 5);
+            let sa = hasher.sketch(&set(a.iter().copied()));
+            let sb = hasher.sketch(&set(b.iter().copied()));
+            let jab = sa.estimate_jaccard(&sb);
+            let jba = sb.estimate_jaccard(&sa);
+            prop_assert!((0.0..=1.0).contains(&jab));
+            prop_assert_eq!(jab, jba);
+            // Overlap estimate can never exceed the smaller cardinality.
+            prop_assert!(sa.estimate_overlap(&sb) <= a.len().min(b.len()) as f64 + 1e-9);
+        }
+
+        #[test]
+        fn prop_identical_inputs_estimate_one(
+            a in proptest::collection::hash_set(0u64..5000, 1..200),
+        ) {
+            let hasher = MinHasher::new(64, 8);
+            let s1 = hasher.sketch(&set(a.iter().copied()));
+            let s2 = hasher.sketch(&set(a.iter().copied()));
+            prop_assert_eq!(s1.estimate_jaccard(&s2), 1.0);
+        }
+    }
+}

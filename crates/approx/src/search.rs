@@ -1,0 +1,312 @@
+//! End-to-end approximate overlap joinable search.
+//!
+//! [`ApproxOverlapIndex`] wires the pieces of this crate into the same
+//! "top-k datasets by overlap with the query" contract as the exact
+//! [`dits::overlap_search`]:
+//!
+//! 1. the LSH Ensemble produces a candidate shortlist without touching every
+//!    indexed dataset,
+//! 2. the candidates are ranked by their sketch-estimated overlap, and
+//! 3. (optionally) the top of the shortlist is re-ranked with *exact*
+//!    intersection counts, which restores exact scores while still skipping
+//!    the vast majority of the corpus.
+//!
+//! [`recall_at_k`] measures how much of the exact top-k an approximate result
+//! recovers, which is the metric the approximate-vs-exact benchmark reports.
+
+use crate::lshensemble::{LshConfig, LshEnsemble};
+use dits::OverlapResult;
+use serde::{Deserialize, Serialize};
+use spatial::{CellSet, DatasetId};
+use std::collections::HashMap;
+
+/// Configuration of the approximate overlap index.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ApproxConfig {
+    /// LSH Ensemble configuration (signature length, partitions, banding).
+    pub lsh: LshConfig,
+    /// Containment threshold used for candidate generation; lower values
+    /// retrieve more candidates (higher recall, more work).
+    pub candidate_threshold: f64,
+    /// When `true`, the shortlist is re-ranked with exact intersection
+    /// counts before the final top-k is returned.
+    pub exact_rerank: bool,
+    /// How many shortlist entries to re-rank exactly, as a multiple of `k`
+    /// (e.g. `4` re-ranks the `4·k` best-estimated candidates).
+    pub rerank_factor: usize,
+}
+
+impl Default for ApproxConfig {
+    fn default() -> Self {
+        Self {
+            lsh: LshConfig::default(),
+            candidate_threshold: 0.05,
+            exact_rerank: true,
+            rerank_factor: 4,
+        }
+    }
+}
+
+/// One approximate search result.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ApproxResult {
+    /// The dataset's identifier.
+    pub dataset: DatasetId,
+    /// Estimated (or, after exact re-ranking, exact) overlap with the query.
+    pub overlap: f64,
+    /// Whether the reported overlap is an exact count.
+    pub exact: bool,
+}
+
+/// An approximate overlap-search index over the datasets of one source.
+#[derive(Debug, Clone)]
+pub struct ApproxOverlapIndex {
+    config: ApproxConfig,
+    lsh: LshEnsemble,
+    /// Cell sets kept for exact re-ranking (and recall evaluation).  They are
+    /// stored once, not per leaf, so the memory overhead versus the pure
+    /// sketch index is the corpus itself.
+    cells: HashMap<DatasetId, CellSet>,
+}
+
+impl ApproxOverlapIndex {
+    /// Builds the index over `(dataset, cells)` pairs.
+    pub fn build<'a, I>(entries: I, config: ApproxConfig) -> Self
+    where
+        I: IntoIterator<Item = (DatasetId, &'a CellSet)>,
+    {
+        let owned: Vec<(DatasetId, CellSet)> = entries
+            .into_iter()
+            .map(|(id, cells)| (id, cells.clone()))
+            .collect();
+        let lsh = LshEnsemble::build(owned.iter().map(|(id, c)| (*id, c)), config.lsh);
+        Self {
+            config,
+            lsh,
+            cells: owned.into_iter().collect(),
+        }
+    }
+
+    /// The configuration used to build the index.
+    pub fn config(&self) -> ApproxConfig {
+        self.config
+    }
+
+    /// Number of indexed datasets.
+    pub fn dataset_count(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Estimated heap memory of the sketch structures in bytes (excluding the
+    /// retained cell sets, which every exact index also stores).
+    pub fn sketch_memory_bytes(&self) -> usize {
+        self.lsh.memory_bytes()
+    }
+
+    /// Approximate top-`k` overlap search.
+    pub fn search(&self, query: &CellSet, k: usize) -> Vec<ApproxResult> {
+        if k == 0 || query.is_empty() || self.cells.is_empty() {
+            return Vec::new();
+        }
+        let shortlist_len = if self.config.exact_rerank {
+            k.saturating_mul(self.config.rerank_factor.max(1))
+        } else {
+            k
+        };
+        let estimated =
+            self.lsh
+                .query_top_k(query, shortlist_len.max(k), self.config.candidate_threshold);
+        let mut results: Vec<ApproxResult> = if self.config.exact_rerank {
+            estimated
+                .into_iter()
+                .filter_map(|(dataset, _est)| {
+                    let cells = self.cells.get(&dataset)?;
+                    let overlap = cells.intersection_size(query);
+                    (overlap > 0).then_some(ApproxResult {
+                        dataset,
+                        overlap: overlap as f64,
+                        exact: true,
+                    })
+                })
+                .collect()
+        } else {
+            estimated
+                .into_iter()
+                .map(|(dataset, overlap)| ApproxResult {
+                    dataset,
+                    overlap,
+                    exact: false,
+                })
+                .collect()
+        };
+        results.sort_unstable_by(|a, b| {
+            b.overlap
+                .partial_cmp(&a.overlap)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.dataset.cmp(&b.dataset))
+        });
+        results.truncate(k);
+        results
+    }
+
+    /// Exact brute-force top-`k`, used as the ground truth for recall
+    /// measurements (it scans the retained cell sets directly).
+    pub fn exact_top_k(&self, query: &CellSet, k: usize) -> Vec<OverlapResult> {
+        let mut all: Vec<OverlapResult> = self
+            .cells
+            .iter()
+            .map(|(&dataset, cells)| OverlapResult {
+                dataset,
+                overlap: cells.intersection_size(query),
+            })
+            .filter(|r| r.overlap > 0)
+            .collect();
+        all.sort_unstable_by(|a, b| b.overlap.cmp(&a.overlap).then(a.dataset.cmp(&b.dataset)));
+        all.truncate(k);
+        all
+    }
+}
+
+/// Recall@k of an approximate result list against the exact top-k: the
+/// fraction of exact results whose *overlap value* is matched or exceeded by
+/// a returned dataset with the same rank budget.
+///
+/// Datasets are compared by id; ties in the exact ranking mean several
+/// result lists are equally correct, so recall is computed on ids that appear
+/// in *some* optimal top-k: a returned dataset counts as a hit when its exact
+/// overlap is at least the k-th best exact overlap.
+pub fn recall_at_k(
+    approx: &[ApproxResult],
+    exact: &[OverlapResult],
+    corpus: &HashMap<DatasetId, CellSet>,
+    query: &CellSet,
+) -> f64 {
+    if exact.is_empty() {
+        return 1.0;
+    }
+    let kth_best = exact.last().map(|r| r.overlap).unwrap_or(0);
+    let hits = approx
+        .iter()
+        .filter(|r| {
+            corpus
+                .get(&r.dataset)
+                .map(|cells| cells.intersection_size(query) >= kth_best)
+                .unwrap_or(false)
+        })
+        .count();
+    (hits.min(exact.len())) as f64 / exact.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::prelude::*;
+    use rand::rngs::StdRng;
+
+    fn set(ids: impl IntoIterator<Item = u64>) -> CellSet {
+        CellSet::from_cells(ids)
+    }
+
+    /// A corpus of 200 datasets where datasets 0..10 heavily overlap the
+    /// query and the rest are background noise.
+    fn corpus(seed: u64) -> (Vec<(DatasetId, CellSet)>, CellSet) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let query_cells: Vec<u64> = (0..200u64).collect();
+        let mut owned = Vec::new();
+        for i in 0..10u32 {
+            let take = 150 - (i as usize * 10);
+            let mut cells: Vec<u64> = query_cells.iter().copied().take(take).collect();
+            cells.extend((0..50).map(|_| 10_000 + rng.random_range(0..5_000u64)));
+            owned.push((i, set(cells)));
+        }
+        for i in 10..200u32 {
+            let cells: Vec<u64> = (0..100).map(|_| 20_000 + rng.random_range(0..40_000u64)).collect();
+            owned.push((i, set(cells)));
+        }
+        (owned, set(query_cells))
+    }
+
+    #[test]
+    fn exact_rerank_recovers_the_true_ranking() {
+        let (owned, query) = corpus(1);
+        let index = ApproxOverlapIndex::build(
+            owned.iter().map(|(i, c)| (*i, c)),
+            ApproxConfig::default(),
+        );
+        let results = index.search(&query, 5);
+        assert_eq!(results.len(), 5);
+        assert!(results.iter().all(|r| r.exact));
+        // With exact re-ranking, the best dataset must be dataset 0 (150
+        // overlapping cells) and scores must be non-increasing.
+        assert_eq!(results[0].dataset, 0);
+        assert_eq!(results[0].overlap, 150.0);
+        for w in results.windows(2) {
+            assert!(w[0].overlap >= w[1].overlap);
+        }
+    }
+
+    #[test]
+    fn estimated_mode_reports_non_exact_scores() {
+        let (owned, query) = corpus(2);
+        let index = ApproxOverlapIndex::build(
+            owned.iter().map(|(i, c)| (*i, c)),
+            ApproxConfig { exact_rerank: false, ..ApproxConfig::default() },
+        );
+        let results = index.search(&query, 5);
+        assert!(!results.is_empty());
+        assert!(results.iter().all(|r| !r.exact));
+        // The strongest overlapper should still surface near the top.
+        assert!(results.iter().take(3).any(|r| r.dataset < 3));
+    }
+
+    #[test]
+    fn recall_against_exact_top_k_is_high() {
+        let (owned, query) = corpus(3);
+        let index = ApproxOverlapIndex::build(
+            owned.iter().map(|(i, c)| (*i, c)),
+            ApproxConfig::default(),
+        );
+        let approx = index.search(&query, 8);
+        let exact = index.exact_top_k(&query, 8);
+        let corpus_map: HashMap<DatasetId, CellSet> = owned.into_iter().collect();
+        let recall = recall_at_k(&approx, &exact, &corpus_map, &query);
+        assert!(recall >= 0.75, "recall {recall} too low");
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        let (owned, query) = corpus(4);
+        let index = ApproxOverlapIndex::build(
+            owned.iter().map(|(i, c)| (*i, c)),
+            ApproxConfig::default(),
+        );
+        assert!(index.search(&query, 0).is_empty());
+        assert!(index.search(&CellSet::new(), 5).is_empty());
+        let empty = ApproxOverlapIndex::build(std::iter::empty(), ApproxConfig::default());
+        assert_eq!(empty.dataset_count(), 0);
+        assert!(empty.search(&query, 5).is_empty());
+        assert!(empty.exact_top_k(&query, 5).is_empty());
+    }
+
+    #[test]
+    fn recall_of_empty_exact_list_is_one() {
+        let corpus_map: HashMap<DatasetId, CellSet> = HashMap::new();
+        assert_eq!(recall_at_k(&[], &[], &corpus_map, &CellSet::new()), 1.0);
+    }
+
+    #[test]
+    fn sketch_memory_is_smaller_than_corpus_memory() {
+        let (owned, _query) = corpus(5);
+        let index = ApproxOverlapIndex::build(
+            owned.iter().map(|(i, c)| (*i, c)),
+            ApproxConfig::default(),
+        );
+        let corpus_bytes: usize = owned.iter().map(|(_, c)| c.memory_bytes()).sum();
+        assert!(index.sketch_memory_bytes() > 0);
+        assert_eq!(index.dataset_count(), 200);
+        assert!(index.config().exact_rerank);
+        // The sketches must cost less than an order of magnitude more than
+        // the raw corpus (they are summaries, not copies).
+        assert!(index.sketch_memory_bytes() < corpus_bytes * 10);
+    }
+}

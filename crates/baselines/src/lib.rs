@@ -1,0 +1,32 @@
+//! Baseline indexes and search algorithms used in the paper's evaluation
+//! (Section VII): everything DITS is compared against, implemented from
+//! scratch so every experiment can be regenerated.
+//!
+//! * [`QuadTreeIndex`] — a region quadtree over the cell IDs of all datasets
+//!   (Gargantini-style, leaf capacity 4), reference \[26\].
+//! * [`RTreeIndex`] — a Guttman R-tree over dataset MBRs with quadratic
+//!   split insertion and an STR bulk-load, reference \[27\].
+//! * [`Sts3Index`] — the STS3 cell inverted index of Peng et al. \[39\].
+//! * [`JosieIndex`] — Zhu et al.'s sorted inverted index with prefix-filter
+//!   early termination \[73\], applied to cell-ID sets.
+//! * [`greedy`] — the standard greedy algorithm (SG) for the coverage
+//!   joinable search and the SG+DITS hybrid.
+//! * [`OverlapIndex`] — the common trait all overlap-search indexes
+//!   implement so the benchmark harness can sweep them uniformly; it is also
+//!   implemented for [`dits::DitsLocal`].
+
+#![warn(missing_docs)]
+
+pub mod greedy;
+pub mod josie;
+pub mod quadtree;
+pub mod rtree;
+pub mod sts3;
+pub mod traits;
+
+pub use greedy::{sg_coverage_search, sg_dits_coverage_search};
+pub use josie::JosieIndex;
+pub use quadtree::QuadTreeIndex;
+pub use rtree::RTreeIndex;
+pub use sts3::Sts3Index;
+pub use traits::OverlapIndex;

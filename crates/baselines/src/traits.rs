@@ -1,0 +1,96 @@
+//! The common interface implemented by every overlap-search index so the
+//! experiment harness can run the same parameter sweeps over all of them
+//! (Figs. 8–12, 21–22).
+
+use dits::{DatasetNode, DitsLocal, OverlapResult};
+use spatial::{CellSet, DatasetId};
+
+/// An index over the datasets of one data source that can answer the
+/// Overlap Joinable Search Problem and be maintained incrementally.
+pub trait OverlapIndex {
+    /// Short name used in experiment output ("DITS-L", "Rtree", …).
+    fn name(&self) -> &'static str;
+
+    /// Number of datasets currently indexed.
+    fn dataset_count(&self) -> usize;
+
+    /// Estimated heap memory of the index in bytes (Fig. 8 right).
+    fn memory_bytes(&self) -> usize;
+
+    /// Exact top-`k` overlap search: up to `k` datasets with the largest
+    /// positive `|S_Q ∩ S_D|`, sorted by decreasing overlap.
+    fn overlap_search(&self, query: &CellSet, k: usize) -> Vec<OverlapResult>;
+
+    /// Inserts a new dataset. Returns `false` when the id already exists.
+    fn insert(&mut self, node: DatasetNode) -> bool;
+
+    /// Replaces the dataset with `node.id`. Returns `false` when unknown.
+    fn update(&mut self, node: DatasetNode) -> bool;
+
+    /// Deletes a dataset by id. Returns `false` when unknown.
+    fn delete(&mut self, id: DatasetId) -> bool;
+}
+
+impl OverlapIndex for DitsLocal {
+    fn name(&self) -> &'static str {
+        "DITS-L"
+    }
+
+    fn dataset_count(&self) -> usize {
+        DitsLocal::dataset_count(self)
+    }
+
+    fn memory_bytes(&self) -> usize {
+        DitsLocal::memory_bytes(self)
+    }
+
+    fn overlap_search(&self, query: &CellSet, k: usize) -> Vec<OverlapResult> {
+        dits::overlap_search(self, query, k).0
+    }
+
+    fn insert(&mut self, node: DatasetNode) -> bool {
+        DitsLocal::insert(self, node)
+    }
+
+    fn update(&mut self, node: DatasetNode) -> bool {
+        DitsLocal::update(self, node)
+    }
+
+    fn delete(&mut self, id: DatasetId) -> bool {
+        DitsLocal::delete(self, id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dits::DitsLocalConfig;
+    use spatial::zorder::cell_id;
+
+    fn node(id: DatasetId, coords: &[(u32, u32)]) -> DatasetNode {
+        DatasetNode::from_cell_set(
+            id,
+            CellSet::from_cells(coords.iter().map(|&(x, y)| cell_id(x, y))),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn dits_local_implements_the_trait() {
+        let mut idx: Box<dyn OverlapIndex> = Box::new(DitsLocal::build(
+            vec![node(0, &[(0, 0), (1, 0)]), node(1, &[(5, 5)])],
+            DitsLocalConfig::default(),
+        ));
+        assert_eq!(idx.name(), "DITS-L");
+        assert_eq!(idx.dataset_count(), 2);
+        assert!(idx.memory_bytes() > 0);
+        let query = CellSet::from_cells([cell_id(0, 0)]);
+        let results = idx.overlap_search(&query, 5);
+        assert_eq!(results.len(), 1);
+        assert_eq!(results[0].dataset, 0);
+        assert!(idx.insert(node(2, &[(9, 9)])));
+        assert!(idx.update(node(2, &[(8, 8)])));
+        assert!(idx.delete(2));
+        assert_eq!(idx.dataset_count(), 2);
+    }
+}

@@ -1,0 +1,113 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//!
+//! 1. OverlapSearch with and without the leaf-bound pruning of Lemmas 2–3.
+//! 2. CoverageSearch with and without the spatial-merge strategy.
+//! 3. Query clipping on and off in the multi-source exchange.
+//! 4. Top-down median-split construction vs the bottom-up agglomerative
+//!    construction the paper argues against (small corpus only — the
+//!    bottom-up pairing is cubic).
+
+use bench::ExperimentEnv;
+use criterion::{criterion_group, criterion_main, Criterion};
+use dits::{
+    build_bottom_up, coverage_search, overlap_search_with_options, CoverageConfig, DitsLocal,
+    DitsLocalConfig,
+};
+use multisource::{DistributionStrategy, FrameworkConfig};
+use std::hint::black_box;
+
+fn bench_ablation(c: &mut Criterion) {
+    let env = ExperimentEnv::small();
+    let theta = 12;
+    let nodes = env.dataset_nodes(3, theta);
+    let index = DitsLocal::build(nodes, DitsLocalConfig { leaf_capacity: 10 });
+    let queries = env.query_cells(10, theta);
+
+    let mut group = c.benchmark_group("ablation_overlap_bounds");
+    group.sample_size(10);
+    group.bench_function("with_bounds", |b| {
+        b.iter(|| {
+            for q in &queries {
+                black_box(overlap_search_with_options(&index, q, 10, true));
+            }
+        });
+    });
+    group.bench_function("without_bounds", |b| {
+        b.iter(|| {
+            for q in &queries {
+                black_box(overlap_search_with_options(&index, q, 10, false));
+            }
+        });
+    });
+    group.finish();
+
+    let mut group = c.benchmark_group("ablation_spatial_merge");
+    group.sample_size(10);
+    group.bench_function("merge_on", |b| {
+        b.iter(|| {
+            for q in &queries {
+                black_box(coverage_search(
+                    &index,
+                    q,
+                    CoverageConfig { k: 10, delta: 10.0, merge_results: true },
+                ));
+            }
+        });
+    });
+    group.bench_function("merge_off", |b| {
+        b.iter(|| {
+            for q in &queries {
+                black_box(coverage_search(
+                    &index,
+                    q,
+                    CoverageConfig { k: 10, delta: 10.0, merge_results: false },
+                ));
+            }
+        });
+    });
+    group.finish();
+
+    let mut group = c.benchmark_group("ablation_query_clipping");
+    group.sample_size(10);
+    let raw_queries = env.query_datasets(5);
+    for (name, strategy) in [
+        ("clipped", DistributionStrategy::PrunedClipped),
+        ("unclipped", DistributionStrategy::Pruned),
+    ] {
+        let framework = env.framework(FrameworkConfig {
+            resolution: 11,
+            strategy,
+            ..FrameworkConfig::default()
+        });
+        group.bench_function(name, |b| {
+            b.iter(|| black_box(framework.run_ojsp(&raw_queries, 10)));
+        });
+    }
+    group.finish();
+
+    // Construction strategy: the bottom-up pairing is cubic, so the ablation
+    // uses a small slice of the source.
+    let small_nodes: Vec<_> = env.dataset_nodes(3, theta).into_iter().take(300).collect();
+    let mut group = c.benchmark_group("ablation_construction_strategy");
+    group.sample_size(10);
+    group.bench_function("top_down_median_split", |b| {
+        b.iter(|| {
+            black_box(DitsLocal::build(
+                small_nodes.clone(),
+                DitsLocalConfig { leaf_capacity: 10 },
+            ))
+        });
+    });
+    group.bench_function("bottom_up_agglomerative", |b| {
+        b.iter(|| {
+            black_box(build_bottom_up(
+                small_nodes.clone(),
+                DitsLocalConfig { leaf_capacity: 10 },
+            ))
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablation);
+criterion_main!(benches);

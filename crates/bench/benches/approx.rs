@@ -1,0 +1,60 @@
+//! Exact vs approximate overlap joinable search.
+//!
+//! Not a figure of the paper — an extension study: how much faster is the
+//! MinHash / LSH-Ensemble pipeline than the exact OverlapSearch, with and
+//! without exact re-ranking of the shortlist, on the same synthetic source.
+
+use approx_join::{ApproxConfig, ApproxOverlapIndex, LshConfig};
+use bench::ExperimentEnv;
+use criterion::{criterion_group, criterion_main, Criterion};
+use dits::{overlap_search, DitsLocal, DitsLocalConfig};
+use std::hint::black_box;
+
+fn bench_approx(c: &mut Criterion) {
+    let env = ExperimentEnv::small();
+    let theta = 12;
+    let nodes = env.dataset_nodes(3, theta);
+    let queries = env.query_cells(10, theta);
+
+    let exact_index = DitsLocal::build(nodes.clone(), DitsLocalConfig::default());
+    let rerank_index = ApproxOverlapIndex::build(
+        nodes.iter().map(|n| (n.id, &n.cells)),
+        ApproxConfig::default(),
+    );
+    let sketch_only_index = ApproxOverlapIndex::build(
+        nodes.iter().map(|n| (n.id, &n.cells)),
+        ApproxConfig {
+            exact_rerank: false,
+            lsh: LshConfig::default(),
+            ..ApproxConfig::default()
+        },
+    );
+
+    let mut group = c.benchmark_group("approx_vs_exact_ojsp");
+    group.sample_size(10);
+    group.bench_function("exact_overlap_search", |b| {
+        b.iter(|| {
+            for q in &queries {
+                black_box(overlap_search(&exact_index, q, 10));
+            }
+        });
+    });
+    group.bench_function("approx_with_exact_rerank", |b| {
+        b.iter(|| {
+            for q in &queries {
+                black_box(rerank_index.search(q, 10));
+            }
+        });
+    });
+    group.bench_function("approx_sketch_only", |b| {
+        b.iter(|| {
+            for q in &queries {
+                black_box(sketch_only_index.search(q, 10));
+            }
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_approx);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! Figs. 15–18 as criterion benches: CJSP search time of CoverageSearch,
+//! SG+DITS and SG, swept over k and δ.
+
+use baselines::{sg_coverage_search, sg_dits_coverage_search};
+use bench::ExperimentEnv;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dits::{coverage_search, CoverageConfig, DitsLocal, DitsLocalConfig};
+use std::hint::black_box;
+
+fn bench_cjsp(c: &mut Criterion) {
+    let env = ExperimentEnv::small();
+    let theta = 12;
+    let nodes = env.dataset_nodes(3, theta);
+    let index = DitsLocal::build(nodes.clone(), DitsLocalConfig { leaf_capacity: 10 });
+    let queries = env.query_cells(5, theta);
+    let delta = 10.0;
+
+    // Fig. 15 columns: the three algorithms at the default parameters.
+    let mut group = c.benchmark_group("cjsp_by_algorithm");
+    group.sample_size(10);
+    group.bench_function("CoverageSearch", |b| {
+        b.iter(|| {
+            for q in &queries {
+                black_box(coverage_search(&index, q, CoverageConfig::new(10, delta)));
+            }
+        });
+    });
+    group.bench_function("SG+DITS", |b| {
+        b.iter(|| {
+            for q in &queries {
+                black_box(sg_dits_coverage_search(&index, q, 10, delta));
+            }
+        });
+    });
+    group.bench_function("SG", |b| {
+        b.iter(|| {
+            for q in &queries {
+                black_box(sg_coverage_search(&nodes, q, 10, delta));
+            }
+        });
+    });
+    group.finish();
+
+    // Fig. 18 x-axis: CoverageSearch as δ grows.
+    let mut group = c.benchmark_group("cjsp_coveragesearch_vs_delta");
+    group.sample_size(10);
+    for d in [0.0f64, 10.0, 20.0] {
+        group.bench_with_input(BenchmarkId::from_parameter(d as u32), &d, |b, &d| {
+            b.iter(|| {
+                for q in &queries {
+                    black_box(coverage_search(&index, q, CoverageConfig::new(10, d)));
+                }
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_cjsp);
+criterion_main!(benches);

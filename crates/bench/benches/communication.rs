@@ -1,0 +1,50 @@
+//! Figs. 13–14 and 19–20 as criterion benches: wall-clock cost of the whole
+//! multi-source exchange under the three query-distribution strategies
+//! (bytes are reported by the `experiments` binary; here the end-to-end
+//! request/serialise/search/reply loop is what is timed).
+
+use bench::ExperimentEnv;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use multisource::{DistributionStrategy, FrameworkConfig};
+use std::hint::black_box;
+
+fn bench_communication(c: &mut Criterion) {
+    let env = ExperimentEnv::small();
+    let queries = env.query_datasets(5);
+    let strategies = [
+        ("broadcast", DistributionStrategy::Broadcast),
+        ("pruned", DistributionStrategy::Pruned),
+        ("pruned_clipped", DistributionStrategy::PrunedClipped),
+    ];
+
+    let mut group = c.benchmark_group("multisource_ojsp");
+    group.sample_size(10);
+    for (name, strategy) in strategies {
+        let framework = env.framework(FrameworkConfig {
+            resolution: 11,
+            strategy,
+            ..FrameworkConfig::default()
+        });
+        group.bench_with_input(BenchmarkId::from_parameter(name), &framework, |b, fw| {
+            b.iter(|| black_box(fw.run_ojsp(&queries, 10)));
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("multisource_cjsp");
+    group.sample_size(10);
+    for (name, strategy) in strategies {
+        let framework = env.framework(FrameworkConfig {
+            resolution: 11,
+            strategy,
+            ..FrameworkConfig::default()
+        });
+        group.bench_with_input(BenchmarkId::from_parameter(name), &framework, |b, fw| {
+            b.iter(|| black_box(fw.run_cjsp(&queries, 10)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_communication);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Fig. 8 (left) as a criterion bench: construction time of the five indexes
+//! over the Transit source at the default resolution, plus a resolution
+//! sweep for DITS-L.
+
+use bench::{ExperimentEnv, IndexKind};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_index_construction(c: &mut Criterion) {
+    let env = ExperimentEnv::small();
+    let mut group = c.benchmark_group("index_construction");
+    group.sample_size(10);
+
+    // All five indexes on the Transit source at θ = 12 (Fig. 8 columns).
+    let nodes = env.dataset_nodes(3, 12);
+    for kind in IndexKind::all() {
+        group.bench_with_input(BenchmarkId::new("transit_theta12", kind.name()), &kind, |b, kind| {
+            b.iter(|| black_box(kind.build(nodes.clone(), 10)));
+        });
+    }
+
+    // DITS-L across the θ sweep (Fig. 8 x-axis).
+    for theta in [10u32, 12, 14] {
+        let nodes = env.dataset_nodes(3, theta);
+        group.bench_with_input(BenchmarkId::new("dits_theta", theta), &nodes, |b, nodes| {
+            b.iter(|| black_box(IndexKind::Dits.build(nodes.clone(), 10)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_index_construction);
+criterion_main!(benches);

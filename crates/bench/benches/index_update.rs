@@ -1,0 +1,71 @@
+//! Figs. 21–22 as criterion benches: batch insert / update time of the five
+//! indexes.
+
+use bench::{ExperimentEnv, IndexKind};
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+use dits::DatasetNode;
+use std::hint::black_box;
+
+fn bench_index_update(c: &mut Criterion) {
+    let env = ExperimentEnv::small();
+    let theta = 12;
+    let base = env.dataset_nodes(3, theta);
+    let pool = env.dataset_nodes(2, theta);
+    let beta = 100usize;
+
+    let inserts: Vec<DatasetNode> = pool
+        .iter()
+        .cycle()
+        .take(beta)
+        .enumerate()
+        .map(|(i, n)| {
+            let mut node = n.clone();
+            node.id = 1_000_000 + i as u32;
+            node
+        })
+        .collect();
+    let updates: Vec<DatasetNode> = base
+        .iter()
+        .cycle()
+        .take(beta)
+        .zip(pool.iter().cycle())
+        .map(|(original, donor)| {
+            let mut node = donor.clone();
+            node.id = original.id;
+            node
+        })
+        .collect();
+
+    let mut group = c.benchmark_group("index_update");
+    group.sample_size(10);
+    for kind in IndexKind::all() {
+        group.bench_with_input(BenchmarkId::new("insert_100", kind.name()), &kind, |b, kind| {
+            b.iter_batched(
+                || kind.build(base.clone(), 10),
+                |mut index| {
+                    for node in &inserts {
+                        black_box(index.insert(node.clone()));
+                    }
+                    index
+                },
+                BatchSize::LargeInput,
+            );
+        });
+        group.bench_with_input(BenchmarkId::new("update_100", kind.name()), &kind, |b, kind| {
+            b.iter_batched(
+                || kind.build(base.clone(), 10),
+                |mut index| {
+                    for node in &updates {
+                        black_box(index.update(node.clone()));
+                    }
+                    index
+                },
+                BatchSize::LargeInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_index_update);
+criterion_main!(benches);

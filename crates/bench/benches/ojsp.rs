@@ -1,0 +1,69 @@
+//! Figs. 9–12 as criterion benches: OJSP search time of OverlapSearch and
+//! the four baselines, swept over k and leaf capacity f.
+
+use bench::{ExperimentEnv, IndexKind};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_ojsp(c: &mut Criterion) {
+    let env = ExperimentEnv::small();
+    let theta = 12;
+    let nodes = env.dataset_nodes(3, theta);
+    let queries = env.query_cells(10, theta);
+
+    // Fig. 9: search time per algorithm at the default parameters.
+    let mut group = c.benchmark_group("ojsp_by_algorithm");
+    group.sample_size(10);
+    for kind in IndexKind::all() {
+        let index = kind.build(nodes.clone(), 10);
+        group.bench_with_input(BenchmarkId::new("k10", kind.name()), &index, |b, index| {
+            b.iter(|| {
+                for q in &queries {
+                    black_box(index.overlap_search(q, 10));
+                }
+            });
+        });
+    }
+    group.finish();
+
+    // Fig. 9 x-axis: OverlapSearch as k grows.
+    let mut group = c.benchmark_group("ojsp_overlapsearch_vs_k");
+    group.sample_size(10);
+    let dits = IndexKind::Dits.build(nodes.clone(), 10);
+    for k in [10usize, 30, 50] {
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
+            b.iter(|| {
+                for q in &queries {
+                    black_box(dits.overlap_search(q, k));
+                }
+            });
+        });
+    }
+    group.finish();
+
+    // Fig. 12: OverlapSearch vs Rtree as the leaf capacity f grows.
+    let mut group = c.benchmark_group("ojsp_vs_leaf_capacity");
+    group.sample_size(10);
+    for f in [10usize, 30, 50] {
+        let dits = IndexKind::Dits.build(nodes.clone(), f);
+        let rtree = IndexKind::RTree.build(nodes.clone(), f);
+        group.bench_with_input(BenchmarkId::new("OverlapSearch", f), &dits, |b, index| {
+            b.iter(|| {
+                for q in &queries {
+                    black_box(index.overlap_search(q, 10));
+                }
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("Rtree", f), &rtree, |b, index| {
+            b.iter(|| {
+                for q in &queries {
+                    black_box(index.overlap_search(q, 10));
+                }
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ojsp);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Index persistence benchmarks: encode / decode throughput of the DITS-L
+//! binary image against rebuilding the index from dataset nodes.
+//!
+//! Not a figure of the paper — an extension study justifying the persistence
+//! layer: reloading an image should be comparable to (or cheaper than) a full
+//! rebuild while also skipping the re-gridding of the raw data.
+
+use bench::ExperimentEnv;
+use criterion::{criterion_group, criterion_main, Criterion};
+use dits::{decode_local, encode_local, DitsLocal, DitsLocalConfig};
+use std::hint::black_box;
+
+fn bench_persistence(c: &mut Criterion) {
+    let env = ExperimentEnv::small();
+    let theta = 12;
+    let nodes = env.dataset_nodes(3, theta);
+    let index = DitsLocal::build(nodes.clone(), DitsLocalConfig::default());
+    let image = encode_local(&index);
+
+    let mut group = c.benchmark_group("index_persistence");
+    group.sample_size(10);
+    group.bench_function("rebuild_from_nodes", |b| {
+        b.iter(|| black_box(DitsLocal::build(nodes.clone(), DitsLocalConfig::default())));
+    });
+    group.bench_function("encode_image", |b| {
+        b.iter(|| black_box(encode_local(&index)));
+    });
+    group.bench_function("decode_image", |b| {
+        b.iter(|| black_box(decode_local(&image).expect("valid image")));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_persistence);
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! Price-aware coverage search benchmarks.
+//!
+//! Not a figure of the paper — an extension study for the future-work
+//! direction: the budgeted coverage search against the unbudgeted
+//! CoverageSearch it generalises, and the weighted variant against the
+//! unweighted one, all on the same synthetic source.
+
+use bench::ExperimentEnv;
+use criterion::{criterion_group, criterion_main, Criterion};
+use dits::{coverage_search, CoverageConfig, DitsLocal, DitsLocalConfig};
+use pricing::{
+    budgeted_coverage_search, weighted_coverage_search, BudgetedConfig, CellWeights, PriceBook,
+    PricingModel, WeightedConfig,
+};
+use std::hint::black_box;
+
+fn bench_pricing(c: &mut Criterion) {
+    let env = ExperimentEnv::small();
+    let theta = 12;
+    let nodes = env.dataset_nodes(3, theta);
+    let queries = env.query_cells(10, theta);
+    let index = DitsLocal::build(nodes.clone(), DitsLocalConfig::default());
+    let model = PricingModel::PerCell { rate: 0.5, minimum: 1.0 };
+    let prices = PriceBook::from_model(&model, nodes.iter());
+    let weights = CellWeights::uniform(1.0);
+
+    let mut group = c.benchmark_group("pricing_coverage_variants");
+    group.sample_size(10);
+    group.bench_function("coverage_search_k10", |b| {
+        b.iter(|| {
+            for q in &queries {
+                black_box(coverage_search(&index, q, CoverageConfig::new(10, 10.0)));
+            }
+        });
+    });
+    group.bench_function("budgeted_coverage_search", |b| {
+        b.iter(|| {
+            for q in &queries {
+                black_box(budgeted_coverage_search(
+                    &index,
+                    q,
+                    &prices,
+                    BudgetedConfig::new(200.0, 10.0),
+                ));
+            }
+        });
+    });
+    group.bench_function("weighted_coverage_search_k10", |b| {
+        b.iter(|| {
+            for q in &queries {
+                black_box(weighted_coverage_search(
+                    &index,
+                    q,
+                    &weights,
+                    WeightedConfig::new(10, 10.0),
+                ));
+            }
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_pricing);
+criterion_main!(benches);

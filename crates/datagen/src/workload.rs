@@ -1,0 +1,142 @@
+//! Query workloads and the Table II parameter grid.
+//!
+//! The paper evaluates with 50 query datasets selected at random from the
+//! downloaded datasets and sweeps five parameters, one at a time, keeping
+//! the others at their defaults (the underlined values of Table II):
+//! `k ∈ {10..50}` (default 10), `q ∈ {10..50}` (10), `θ ∈ {10..14}` (12),
+//! `δ ∈ {0..20}` (10) and `f ∈ {10..50}` (10).
+
+use rand::prelude::*;
+use rand::rngs::StdRng;
+use serde::{Deserialize, Serialize};
+use spatial::SpatialDataset;
+
+/// The Table II parameter grid with the paper's default values.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ParameterGrid {
+    /// Number of results `k`.
+    pub k_values: Vec<usize>,
+    /// Number of queries `q`.
+    pub q_values: Vec<usize>,
+    /// Grid resolutions θ.
+    pub theta_values: Vec<u32>,
+    /// Connectivity thresholds δ (in cells).
+    pub delta_values: Vec<f64>,
+    /// Leaf capacities `f`.
+    pub f_values: Vec<usize>,
+    /// Default `k`.
+    pub default_k: usize,
+    /// Default `q`.
+    pub default_q: usize,
+    /// Default θ.
+    pub default_theta: u32,
+    /// Default δ.
+    pub default_delta: f64,
+    /// Default `f`.
+    pub default_f: usize,
+}
+
+impl Default for ParameterGrid {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+impl ParameterGrid {
+    /// The exact grid of Table II.
+    pub fn paper() -> Self {
+        Self {
+            k_values: vec![10, 20, 30, 40, 50],
+            q_values: vec![10, 20, 30, 40, 50],
+            theta_values: vec![10, 11, 12, 13, 14],
+            delta_values: vec![0.0, 5.0, 10.0, 15.0, 20.0],
+            f_values: vec![10, 20, 30, 40, 50],
+            default_k: 10,
+            default_q: 10,
+            default_theta: 12,
+            default_delta: 10.0,
+            default_f: 10,
+        }
+    }
+
+    /// A reduced grid for quick smoke runs of the experiment harness.
+    pub fn quick() -> Self {
+        Self {
+            k_values: vec![10, 30, 50],
+            q_values: vec![10, 30, 50],
+            theta_values: vec![10, 12, 14],
+            delta_values: vec![0.0, 10.0, 20.0],
+            f_values: vec![10, 30, 50],
+            ..Self::paper()
+        }
+    }
+}
+
+/// Selects `q` query datasets uniformly at random (without replacement when
+/// possible) from a pool of datasets, reproducing the paper's
+/// "randomly select 50 datasets as the query datasets" setup.
+pub fn select_queries(pool: &[SpatialDataset], q: usize, seed: u64) -> Vec<SpatialDataset> {
+    if pool.is_empty() || q == 0 {
+        return Vec::new();
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut indices: Vec<usize> = (0..pool.len()).collect();
+    indices.shuffle(&mut rng);
+    indices
+        .into_iter()
+        .cycle()
+        .take(q)
+        .map(|i| pool[i].clone())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spatial::Point;
+
+    fn pool(n: usize) -> Vec<SpatialDataset> {
+        (0..n)
+            .map(|i| SpatialDataset::new(i as u32, vec![Point::new(i as f64, i as f64)]))
+            .collect()
+    }
+
+    #[test]
+    fn paper_grid_matches_table2() {
+        let grid = ParameterGrid::paper();
+        assert_eq!(grid.k_values, vec![10, 20, 30, 40, 50]);
+        assert_eq!(grid.theta_values, vec![10, 11, 12, 13, 14]);
+        assert_eq!(grid.delta_values, vec![0.0, 5.0, 10.0, 15.0, 20.0]);
+        assert_eq!(grid.f_values, vec![10, 20, 30, 40, 50]);
+        assert_eq!(grid.default_k, 10);
+        assert_eq!(grid.default_theta, 12);
+        assert_eq!(grid.default_delta, 10.0);
+        assert_eq!(grid.default_f, 10);
+        assert_eq!(ParameterGrid::default(), ParameterGrid::paper());
+        assert!(ParameterGrid::quick().k_values.len() < grid.k_values.len());
+    }
+
+    #[test]
+    fn query_selection_is_deterministic_and_without_replacement() {
+        let pool = pool(100);
+        let a = select_queries(&pool, 50, 1);
+        let b = select_queries(&pool, 50, 1);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 50);
+        let mut ids: Vec<u32> = a.iter().map(|d| d.id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 50, "queries drawn without replacement");
+        let c = select_queries(&pool, 50, 2);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn small_pools_cycle_instead_of_failing() {
+        let pool = pool(3);
+        let q = select_queries(&pool, 10, 0);
+        assert_eq!(q.len(), 10);
+        assert!(select_queries(&[], 10, 0).is_empty());
+        assert!(select_queries(&pool, 0, 0).is_empty());
+    }
+}

@@ -1,0 +1,379 @@
+//! DITS-G: the global index maintained by the data center (Section V-B).
+//!
+//! After each data source builds its DITS-L, it uploads only its *root node*
+//! — an MBR, pivot and radius, converted back into longitude/latitude so
+//! sources indexed at different resolutions are comparable.  The data center
+//! organises these root summaries in a small binary tree built with the same
+//! top-down procedure as the local index (but leaves carry no inverted
+//! index), and uses it to route a query to the *candidate sources*: those
+//! whose region intersects the query MBR or lies within the connectivity
+//! threshold of it.  Pruning a source at the global level removes one whole
+//! round of communication (the paper's first query-distribution strategy).
+
+use crate::node::NodeGeometry;
+use serde::{Deserialize, Serialize};
+use spatial::{Grid, Mbr, Point, SourceId};
+
+/// What a data source uploads to the data center: its identifier and the
+/// geometry of its local index root, expressed in longitude/latitude.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SourceSummary {
+    /// The data source's identifier.
+    pub source: SourceId,
+    /// Root geometry in longitude/latitude space.
+    pub geometry: NodeGeometry,
+    /// Resolution θ the source used for its local grid (informational; the
+    /// data center does not require sources to share a resolution).
+    pub resolution: u32,
+}
+
+impl SourceSummary {
+    /// Builds a summary from a local root geometry expressed in cell
+    /// coordinates of `grid`, converting the MBR corners back to
+    /// longitude/latitude.
+    pub fn from_local_root(source: SourceId, grid: &Grid, root: NodeGeometry) -> Self {
+        let min = cell_coord_to_lonlat(grid, root.rect.min);
+        let max = cell_coord_to_lonlat(grid, root.rect.max);
+        Self {
+            source,
+            geometry: NodeGeometry::from_mbr(Mbr::new(min, max)),
+            resolution: grid.resolution(),
+        }
+    }
+}
+
+/// Converts a point in cell-coordinate space back to longitude/latitude by
+/// taking the centre of the corresponding cell.
+fn cell_coord_to_lonlat(grid: &Grid, p: Point) -> Point {
+    let origin = grid.config().origin;
+    Point::new(
+        origin.x + (p.x + 0.5) * grid.cell_width(),
+        origin.y + (p.y + 0.5) * grid.cell_height(),
+    )
+}
+
+/// One node of the global index tree.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+enum GlobalNode {
+    Internal {
+        geometry: NodeGeometry,
+        left: usize,
+        right: usize,
+    },
+    Leaf {
+        geometry: NodeGeometry,
+        sources: Vec<SourceSummary>,
+    },
+}
+
+impl GlobalNode {
+    fn geometry(&self) -> &NodeGeometry {
+        match self {
+            GlobalNode::Internal { geometry, .. } => geometry,
+            GlobalNode::Leaf { geometry, .. } => geometry,
+        }
+    }
+}
+
+/// The data center's global index over data-source summaries.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DitsGlobal {
+    nodes: Vec<GlobalNode>,
+    root: usize,
+    leaf_capacity: usize,
+    source_count: usize,
+}
+
+impl DitsGlobal {
+    /// Builds the global index from the uploaded source summaries.
+    pub fn build(summaries: Vec<SourceSummary>, leaf_capacity: usize) -> Self {
+        let leaf_capacity = leaf_capacity.max(1);
+        let source_count = summaries.len();
+        let mut index = Self {
+            nodes: Vec::new(),
+            root: 0,
+            leaf_capacity,
+            source_count,
+        };
+        index.root = index.build_subtree(summaries);
+        index
+    }
+
+    fn build_subtree(&mut self, mut summaries: Vec<SourceSummary>) -> usize {
+        let geometry = geometry_of(&summaries);
+        if summaries.len() <= self.leaf_capacity {
+            self.nodes.push(GlobalNode::Leaf { geometry, sources: summaries });
+            return self.nodes.len() - 1;
+        }
+        let dsplit = if geometry.rect.width() >= geometry.rect.height() { 0 } else { 1 };
+        let mid = summaries.len() / 2;
+        summaries.select_nth_unstable_by(mid, |a, b| {
+            coord(a, dsplit)
+                .partial_cmp(&coord(b, dsplit))
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        let right = summaries.split_off(mid);
+        let left = summaries;
+        let left_idx = self.build_subtree(left);
+        let right_idx = self.build_subtree(right);
+        self.nodes.push(GlobalNode::Internal {
+            geometry,
+            left: left_idx,
+            right: right_idx,
+        });
+        self.nodes.len() - 1
+    }
+
+    /// Number of registered sources.
+    pub fn source_count(&self) -> usize {
+        self.source_count
+    }
+
+    /// Registers one more source without rebuilding the rest of the tree:
+    /// the summary is added to the closest leaf (mirroring the local-index
+    /// insertion strategy of Appendix IX-C).
+    pub fn insert_source(&mut self, summary: SourceSummary) {
+        self.source_count += 1;
+        if self.nodes.is_empty() {
+            self.nodes.push(GlobalNode::Leaf {
+                geometry: summary.geometry,
+                sources: vec![summary],
+            });
+            self.root = 0;
+            return;
+        }
+        // Walk down towards the leaf whose pivot is closest.
+        let mut idx = self.root;
+        loop {
+            match &self.nodes[idx] {
+                GlobalNode::Leaf { .. } => break,
+                GlobalNode::Internal { left, right, .. } => {
+                    let dl = self.nodes[*left]
+                        .geometry()
+                        .pivot
+                        .distance(&summary.geometry.pivot);
+                    let dr = self.nodes[*right]
+                        .geometry()
+                        .pivot
+                        .distance(&summary.geometry.pivot);
+                    idx = if dl <= dr { *left } else { *right };
+                }
+            }
+        }
+        if let GlobalNode::Leaf { geometry, sources } = &mut self.nodes[idx] {
+            sources.push(summary);
+            *geometry = geometry_of(sources);
+        }
+        // Note: ancestors' geometry is refreshed lazily by candidate_sources
+        // being conservative; a full rebuild can be triggered by the caller
+        // when many sources churn.
+        self.refresh_geometry(self.root);
+    }
+
+    fn refresh_geometry(&mut self, idx: usize) -> NodeGeometry {
+        match self.nodes[idx].clone() {
+            GlobalNode::Leaf { sources, .. } => {
+                let g = geometry_of(&sources);
+                if let GlobalNode::Leaf { geometry, .. } = &mut self.nodes[idx] {
+                    *geometry = g;
+                }
+                g
+            }
+            GlobalNode::Internal { left, right, .. } => {
+                let gl = self.refresh_geometry(left);
+                let gr = self.refresh_geometry(right);
+                let g = gl.union(&gr);
+                if let GlobalNode::Internal { geometry, .. } = &mut self.nodes[idx] {
+                    *geometry = g;
+                }
+                g
+            }
+        }
+    }
+
+    /// Finds the candidate data sources for a query with MBR `query_rect`
+    /// (in longitude/latitude) under a connectivity slack of `delta_lonlat`
+    /// degrees: sources whose region intersects the query MBR or whose
+    /// distance lower bound to the query node is below the slack.
+    ///
+    /// With `delta_lonlat = 0` only MBR-intersecting sources are returned
+    /// (the OJSP case); CJSP passes the δ threshold converted to degrees.
+    pub fn candidate_sources(&self, query_rect: &Mbr, delta_lonlat: f64) -> Vec<SourceSummary> {
+        let mut out = Vec::new();
+        if self.nodes.is_empty() || self.source_count == 0 {
+            return out;
+        }
+        let query_geometry = NodeGeometry::from_mbr(*query_rect);
+        let mut stack = vec![self.root];
+        while let Some(idx) = stack.pop() {
+            let node = &self.nodes[idx];
+            let g = node.geometry();
+            let intersects = g.rect.intersects(query_rect);
+            let within_delta = crate::bounds::node_distance_lower_bound(g, &query_geometry)
+                <= delta_lonlat;
+            if !intersects && !within_delta {
+                continue;
+            }
+            match node {
+                GlobalNode::Leaf { sources, .. } => {
+                    for s in sources {
+                        let s_intersects = s.geometry.rect.intersects(query_rect);
+                        let s_within = crate::bounds::node_distance_lower_bound(
+                            &s.geometry,
+                            &query_geometry,
+                        ) <= delta_lonlat;
+                        if s_intersects || s_within {
+                            out.push(*s);
+                        }
+                    }
+                }
+                GlobalNode::Internal { left, right, .. } => {
+                    stack.push(*left);
+                    stack.push(*right);
+                }
+            }
+        }
+        out.sort_by_key(|s| s.source);
+        out
+    }
+
+    /// Estimated memory footprint of the global index in bytes.
+    pub fn memory_bytes(&self) -> usize {
+        self.nodes.capacity() * std::mem::size_of::<GlobalNode>()
+            + self
+                .nodes
+                .iter()
+                .map(|n| match n {
+                    GlobalNode::Leaf { sources, .. } => {
+                        sources.capacity() * std::mem::size_of::<SourceSummary>()
+                    }
+                    GlobalNode::Internal { .. } => 0,
+                })
+                .sum::<usize>()
+    }
+}
+
+fn geometry_of(summaries: &[SourceSummary]) -> NodeGeometry {
+    let mut rect: Option<Mbr> = None;
+    for s in summaries {
+        rect = Some(match rect {
+            Some(r) => r.union(&s.geometry.rect),
+            None => s.geometry.rect,
+        });
+    }
+    NodeGeometry::from_mbr(rect.unwrap_or_else(|| Mbr::new(Point::new(0.0, 0.0), Point::new(0.0, 0.0))))
+}
+
+fn coord(s: &SourceSummary, d: usize) -> f64 {
+    match d {
+        0 => s.geometry.pivot.x,
+        _ => s.geometry.pivot.y,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn summary(source: SourceId, x0: f64, y0: f64, x1: f64, y1: f64) -> SourceSummary {
+        SourceSummary {
+            source,
+            geometry: NodeGeometry::from_mbr(Mbr::new(Point::new(x0, y0), Point::new(x1, y1))),
+            resolution: 12,
+        }
+    }
+
+    #[test]
+    fn routes_query_to_intersecting_sources_only() {
+        let g = DitsGlobal::build(
+            vec![
+                summary(0, -77.5, 38.0, -76.5, 39.5), // Washington D.C. area
+                summary(1, -77.2, 38.5, -75.0, 39.8), // Maryland
+                summary(2, 115.0, 39.0, 117.5, 41.0), // Beijing
+            ],
+            2,
+        );
+        assert_eq!(g.source_count(), 3);
+        let query = Mbr::new(Point::new(-77.1, 38.8), Point::new(-76.9, 39.0));
+        let candidates = g.candidate_sources(&query, 0.0);
+        let ids: Vec<SourceId> = candidates.iter().map(|s| s.source).collect();
+        assert_eq!(ids, vec![0, 1]);
+    }
+
+    #[test]
+    fn delta_slack_reaches_nearby_sources() {
+        let g = DitsGlobal::build(
+            vec![summary(0, 0.0, 0.0, 1.0, 1.0), summary(1, 5.0, 0.0, 6.0, 1.0)],
+            2,
+        );
+        let query = Mbr::new(Point::new(0.2, 0.2), Point::new(0.8, 0.8));
+        assert_eq!(g.candidate_sources(&query, 0.0).len(), 1);
+        // A slack of 5 degrees reaches the second source.
+        assert_eq!(g.candidate_sources(&query, 5.0).len(), 2);
+    }
+
+    #[test]
+    fn empty_global_index_returns_no_candidates() {
+        let g = DitsGlobal::build(Vec::new(), 4);
+        let query = Mbr::new(Point::new(0.0, 0.0), Point::new(1.0, 1.0));
+        assert!(g.candidate_sources(&query, 10.0).is_empty());
+        assert_eq!(g.source_count(), 0);
+    }
+
+    #[test]
+    fn many_sources_split_into_tree() {
+        let summaries: Vec<SourceSummary> = (0..20)
+            .map(|i| summary(i as SourceId, i as f64 * 10.0, 0.0, i as f64 * 10.0 + 5.0, 5.0))
+            .collect();
+        let g = DitsGlobal::build(summaries, 3);
+        assert_eq!(g.source_count(), 20);
+        assert!(g.memory_bytes() > 0);
+        // Query hits exactly source 4's region.
+        let query = Mbr::new(Point::new(41.0, 1.0), Point::new(44.0, 2.0));
+        let candidates = g.candidate_sources(&query, 0.0);
+        assert_eq!(candidates.len(), 1);
+        assert_eq!(candidates[0].source, 4);
+    }
+
+    #[test]
+    fn insert_source_is_found_afterwards() {
+        let mut g = DitsGlobal::build(
+            (0..8)
+                .map(|i| summary(i as SourceId, i as f64 * 10.0, 0.0, i as f64 * 10.0 + 5.0, 5.0))
+                .collect(),
+            2,
+        );
+        g.insert_source(summary(99, 200.0, 0.0, 205.0, 5.0));
+        assert_eq!(g.source_count(), 9);
+        let query = Mbr::new(Point::new(201.0, 1.0), Point::new(202.0, 2.0));
+        let candidates = g.candidate_sources(&query, 0.0);
+        assert_eq!(candidates.len(), 1);
+        assert_eq!(candidates[0].source, 99);
+    }
+
+    #[test]
+    fn insert_into_empty_index() {
+        let mut g = DitsGlobal::build(Vec::new(), 2);
+        g.insert_source(summary(1, 0.0, 0.0, 1.0, 1.0));
+        let query = Mbr::new(Point::new(0.1, 0.1), Point::new(0.2, 0.2));
+        assert_eq!(g.candidate_sources(&query, 0.0).len(), 1);
+    }
+
+    #[test]
+    fn source_summary_converts_cell_space_to_lonlat() {
+        let grid = Grid::global(10).unwrap();
+        // A root covering cells (0,0)..(1023,1023) maps back to roughly the
+        // whole globe.
+        let root = NodeGeometry::from_mbr(Mbr::new(
+            Point::new(0.0, 0.0),
+            Point::new(1023.0, 1023.0),
+        ));
+        let s = SourceSummary::from_local_root(3, &grid, root);
+        assert_eq!(s.source, 3);
+        assert_eq!(s.resolution, 10);
+        assert!(s.geometry.rect.min.x < -179.0);
+        assert!(s.geometry.rect.max.x > 179.0);
+        assert!(s.geometry.rect.min.y < -89.0);
+        assert!(s.geometry.rect.max.y > 89.0);
+    }
+}

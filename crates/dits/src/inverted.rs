@@ -1,0 +1,181 @@
+//! Per-leaf inverted index (Definition 14).
+//!
+//! Every leaf of DITS-L stores a mapping from cell ID to the list of dataset
+//! IDs (within that leaf) containing the cell.  The inverted index serves two
+//! purposes:
+//!
+//! 1. the overlap bounds of Lemmas 2–3 are computed from its key set and
+//!    posting-list sizes, and
+//! 2. the exact verification step of OverlapSearch scans the posting lists of
+//!    a candidate leaf once to obtain exact intersection counts for *all*
+//!    datasets in the leaf simultaneously.
+
+use serde::{Deserialize, Serialize};
+use spatial::{CellId, CellSet, DatasetId};
+use std::collections::HashMap;
+
+/// An inverted index from cell ID to the dataset IDs containing the cell.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct InvertedIndex {
+    postings: HashMap<CellId, Vec<DatasetId>>,
+}
+
+impl InvertedIndex {
+    /// Creates an empty index.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds the index of a collection of `(dataset id, cell set)` pairs.
+    pub fn build<'a, I>(entries: I) -> Self
+    where
+        I: IntoIterator<Item = (DatasetId, &'a CellSet)>,
+    {
+        let mut idx = Self::new();
+        for (id, cells) in entries {
+            idx.add_dataset(id, cells);
+        }
+        idx
+    }
+
+    /// Adds one dataset's cells to the index.
+    pub fn add_dataset(&mut self, id: DatasetId, cells: &CellSet) {
+        for cell in cells.iter() {
+            let list = self.postings.entry(cell).or_default();
+            if !list.contains(&id) {
+                list.push(id);
+            }
+        }
+    }
+
+    /// Removes one dataset's cells from the index.
+    pub fn remove_dataset(&mut self, id: DatasetId, cells: &CellSet) {
+        for cell in cells.iter() {
+            if let Some(list) = self.postings.get_mut(&cell) {
+                list.retain(|d| *d != id);
+                if list.is_empty() {
+                    self.postings.remove(&cell);
+                }
+            }
+        }
+    }
+
+    /// Number of distinct cells indexed.
+    pub fn key_count(&self) -> usize {
+        self.postings.len()
+    }
+
+    /// Returns `true` when no cell is indexed.
+    pub fn is_empty(&self) -> bool {
+        self.postings.is_empty()
+    }
+
+    /// The posting list of a cell, if the cell is indexed.
+    pub fn posting_list(&self, cell: CellId) -> Option<&[DatasetId]> {
+        self.postings.get(&cell).map(|v| v.as_slice())
+    }
+
+    /// Returns `true` when the cell appears in at least one indexed dataset.
+    pub fn contains_cell(&self, cell: CellId) -> bool {
+        self.postings.contains_key(&cell)
+    }
+
+    /// Exact intersection counts between a query cell set and every dataset
+    /// indexed here: one pass over the query, summing posting lists.
+    ///
+    /// Returns `(dataset id, |S_Q ∩ S_D|)` pairs for datasets with a
+    /// non-zero intersection.
+    pub fn intersection_counts(&self, query: &CellSet) -> Vec<(DatasetId, usize)> {
+        let mut counts: HashMap<DatasetId, usize> = HashMap::new();
+        for cell in query.iter() {
+            if let Some(list) = self.postings.get(&cell) {
+                for &id in list {
+                    *counts.entry(id).or_insert(0) += 1;
+                }
+            }
+        }
+        let mut counts: Vec<(DatasetId, usize)> = counts.into_iter().collect();
+        counts.sort_unstable_by_key(|(id, _)| *id);
+        counts
+    }
+
+    /// Estimated heap memory of the index in bytes (Fig. 8 right).
+    pub fn memory_bytes(&self) -> usize {
+        let mut bytes = 0usize;
+        for (_, list) in self.postings.iter() {
+            bytes += std::mem::size_of::<CellId>()
+                + std::mem::size_of::<Vec<DatasetId>>()
+                + list.capacity() * std::mem::size_of::<DatasetId>();
+        }
+        bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cs(ids: &[u64]) -> CellSet {
+        CellSet::from_cells(ids.iter().copied())
+    }
+
+    #[test]
+    fn build_and_query_postings() {
+        let d9 = cs(&[22, 23]);
+        let d10 = cs(&[20, 22]);
+        let idx = InvertedIndex::build([(9u32, &d9), (10u32, &d10)]);
+        // Fig. 4(c): posting lists 20 -> {D10}, 22 -> {D9, D10}, 23 -> {D9}.
+        assert_eq!(idx.posting_list(20), Some(&[10u32][..]));
+        assert_eq!(idx.posting_list(22), Some(&[9u32, 10][..]));
+        assert_eq!(idx.posting_list(23), Some(&[9u32][..]));
+        assert_eq!(idx.posting_list(99), None);
+        assert_eq!(idx.key_count(), 3);
+        assert!(idx.contains_cell(22));
+        assert!(!idx.contains_cell(21));
+    }
+
+    #[test]
+    fn intersection_counts_are_exact() {
+        let a = cs(&[1, 2, 3]);
+        let b = cs(&[3, 4]);
+        let c = cs(&[10, 11]);
+        let idx = InvertedIndex::build([(1u32, &a), (2u32, &b), (3u32, &c)]);
+        let query = cs(&[2, 3, 4, 5]);
+        let counts = idx.intersection_counts(&query);
+        assert_eq!(counts, vec![(1, 2), (2, 2)]);
+        // Cross-check against CellSet's own intersection.
+        assert_eq!(a.intersection_size(&query), 2);
+        assert_eq!(b.intersection_size(&query), 2);
+        assert_eq!(c.intersection_size(&query), 0);
+    }
+
+    #[test]
+    fn add_is_idempotent_per_cell() {
+        let a = cs(&[5]);
+        let mut idx = InvertedIndex::new();
+        idx.add_dataset(1, &a);
+        idx.add_dataset(1, &a);
+        assert_eq!(idx.posting_list(5), Some(&[1u32][..]));
+    }
+
+    #[test]
+    fn remove_dataset_cleans_postings() {
+        let a = cs(&[1, 2]);
+        let b = cs(&[2, 3]);
+        let mut idx = InvertedIndex::build([(1u32, &a), (2u32, &b)]);
+        idx.remove_dataset(1, &a);
+        assert_eq!(idx.posting_list(1), None);
+        assert_eq!(idx.posting_list(2), Some(&[2u32][..]));
+        assert_eq!(idx.key_count(), 2);
+        idx.remove_dataset(2, &b);
+        assert!(idx.is_empty());
+        assert_eq!(idx.memory_bytes(), 0);
+    }
+
+    #[test]
+    fn memory_estimate_grows_with_content() {
+        let a = cs(&(0..50u64).collect::<Vec<_>>());
+        let idx = InvertedIndex::build([(1u32, &a)]);
+        assert!(idx.memory_bytes() >= 50 * std::mem::size_of::<CellId>());
+    }
+}

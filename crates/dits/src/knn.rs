@@ -1,0 +1,426 @@
+//! Nearest-dataset and range queries over DITS-L.
+//!
+//! The paper's two search problems (OJSP / CJSP) are the headline API, but a
+//! dataset-search service built on the same index naturally also answers
+//! "which datasets are *closest* to my query region?" (k-nearest datasets by
+//! the cell-based dataset distance of Definition 6) and "which datasets lie
+//! within δ of it?" (the range query that `FindConnectSet` performs
+//! internally).  Both reuse the Lemma 4 distance bounds for pruning:
+//!
+//! * [`nearest_datasets`] — best-first (branch-and-bound) k-NN over the tree,
+//!   expanding nodes in order of their lower distance bound and stopping once
+//!   the bound exceeds the current k-th best exact distance.
+//! * [`range_datasets`] — all datasets within a distance threshold, i.e. the
+//!   public form of the connectivity candidate search.
+
+use crate::bounds::node_distance_bounds;
+use crate::local::{DitsLocal, NodeIdx, NodeKind};
+use crate::node::NodeGeometry;
+use crate::stats::SearchStats;
+use serde::{Deserialize, Serialize};
+use spatial::distance::{dataset_distance, NeighborProbe};
+use spatial::{CellSet, DatasetId};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// One neighbour: a dataset and its exact cell-based distance to the query.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Neighbor {
+    /// The dataset's identifier.
+    pub dataset: DatasetId,
+    /// Exact dataset distance `dist(S_Q, S_D)` in cell units.
+    pub distance: f64,
+}
+
+/// Heap entry for the best-first traversal, ordered by ascending lower bound.
+struct Frontier {
+    lower_bound: f64,
+    node: NodeIdx,
+}
+
+impl PartialEq for Frontier {
+    fn eq(&self, other: &Self) -> bool {
+        self.lower_bound == other.lower_bound
+    }
+}
+impl Eq for Frontier {}
+impl PartialOrd for Frontier {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Frontier {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the smallest bound pops first.
+        other
+            .lower_bound
+            .partial_cmp(&self.lower_bound)
+            .unwrap_or(Ordering::Equal)
+    }
+}
+
+/// Finds the `k` datasets with the smallest cell-based distance to the query,
+/// sorted by ascending distance (ties broken by dataset id).
+///
+/// Datasets overlapping the query have distance 0 and therefore rank first —
+/// k-NN is a strict generalisation of "is anything joinable nearby?".
+pub fn nearest_datasets(
+    index: &DitsLocal,
+    query: &CellSet,
+    k: usize,
+) -> (Vec<Neighbor>, SearchStats) {
+    let mut stats = SearchStats::new();
+    if k == 0 || query.is_empty() || index.dataset_count() == 0 {
+        return (Vec::new(), stats);
+    }
+    let Some(rect) = query.mbr_cell_space() else {
+        return (Vec::new(), stats);
+    };
+    let query_geometry = NodeGeometry::from_mbr(rect);
+
+    // Results kept as a max-heap on distance so the worst of the current
+    // top-k is peekable in O(1).
+    let mut results: BinaryHeap<ResultEntry> = BinaryHeap::new();
+    let mut frontier: BinaryHeap<Frontier> = BinaryHeap::new();
+    frontier.push(Frontier {
+        lower_bound: 0.0,
+        node: index.root(),
+    });
+
+    while let Some(Frontier { lower_bound, node }) = frontier.pop() {
+        // Everything still on the frontier is at least `lower_bound` away; if
+        // the current k-th best is closer, the search is complete.
+        if results.len() >= k {
+            let worst = results.peek().map(|r| r.distance).unwrap_or(f64::INFINITY);
+            if lower_bound > worst {
+                stats.nodes_pruned += 1;
+                break;
+            }
+        }
+        stats.nodes_visited += 1;
+        match &index.node(node).kind {
+            NodeKind::Internal { left, right } => {
+                for child in [*left, *right] {
+                    let (lb, _) =
+                        node_distance_bounds(&index.node(child).geometry, &query_geometry);
+                    frontier.push(Frontier {
+                        lower_bound: lb,
+                        node: child,
+                    });
+                }
+            }
+            NodeKind::Leaf { entries, .. } => {
+                for entry in entries {
+                    let (lb, _) = node_distance_bounds(&entry.geometry, &query_geometry);
+                    if results.len() >= k {
+                        let worst = results.peek().map(|r| r.distance).unwrap_or(f64::INFINITY);
+                        if lb > worst {
+                            continue;
+                        }
+                    }
+                    stats.exact_computations += 1;
+                    let distance = dataset_distance(query, &entry.cells);
+                    let entry = ResultEntry {
+                        distance,
+                        dataset: entry.id,
+                    };
+                    if results.len() < k {
+                        results.push(entry);
+                    } else if let Some(worst) = results.peek() {
+                        if entry.distance < worst.distance
+                            || (entry.distance == worst.distance && entry.dataset < worst.dataset)
+                        {
+                            results.pop();
+                            results.push(entry);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    let mut out: Vec<Neighbor> = results
+        .into_iter()
+        .map(|r| Neighbor {
+            dataset: r.dataset,
+            distance: r.distance,
+        })
+        .collect();
+    out.sort_unstable_by(|a, b| {
+        a.distance
+            .partial_cmp(&b.distance)
+            .unwrap_or(Ordering::Equal)
+            .then(a.dataset.cmp(&b.dataset))
+    });
+    (out, stats)
+}
+
+/// Max-heap entry for the running top-k (largest distance on top).
+struct ResultEntry {
+    distance: f64,
+    dataset: DatasetId,
+}
+
+impl PartialEq for ResultEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.distance == other.distance && self.dataset == other.dataset
+    }
+}
+impl Eq for ResultEntry {}
+impl PartialOrd for ResultEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for ResultEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.distance
+            .partial_cmp(&other.distance)
+            .unwrap_or(Ordering::Equal)
+            .then(self.dataset.cmp(&other.dataset))
+    }
+}
+
+/// Returns every dataset within `delta` (cell units) of the query, sorted by
+/// ascending exact distance.
+///
+/// This is the public form of the connectivity candidate search used by
+/// CoverageSearch; the same Lemma 4 pruning applies.
+pub fn range_datasets(
+    index: &DitsLocal,
+    query: &CellSet,
+    delta: f64,
+) -> (Vec<Neighbor>, SearchStats) {
+    let mut stats = SearchStats::new();
+    if query.is_empty() || index.dataset_count() == 0 || delta < 0.0 {
+        return (Vec::new(), stats);
+    }
+    let Some(rect) = query.mbr_cell_space() else {
+        return (Vec::new(), stats);
+    };
+    let query_geometry = NodeGeometry::from_mbr(rect);
+    let probe = NeighborProbe::new(query);
+    let mut out = Vec::new();
+    range_recurse(
+        index,
+        index.root(),
+        query,
+        &query_geometry,
+        &probe,
+        delta,
+        &mut out,
+        &mut stats,
+    );
+    out.sort_unstable_by(|a: &Neighbor, b: &Neighbor| {
+        a.distance
+            .partial_cmp(&b.distance)
+            .unwrap_or(Ordering::Equal)
+            .then(a.dataset.cmp(&b.dataset))
+    });
+    (out, stats)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn range_recurse(
+    index: &DitsLocal,
+    node_idx: NodeIdx,
+    query: &CellSet,
+    query_geometry: &NodeGeometry,
+    probe: &NeighborProbe,
+    delta: f64,
+    out: &mut Vec<Neighbor>,
+    stats: &mut SearchStats,
+) {
+    let node = index.node(node_idx);
+    stats.nodes_visited += 1;
+    let (lb, _) = node_distance_bounds(&node.geometry, query_geometry);
+    if lb > delta {
+        stats.nodes_pruned += 1;
+        return;
+    }
+    match &node.kind {
+        NodeKind::Leaf { entries, .. } => {
+            for entry in entries {
+                let (elb, _) = node_distance_bounds(&entry.geometry, query_geometry);
+                if elb > delta {
+                    continue;
+                }
+                stats.exact_computations += 1;
+                if probe.within(&entry.cells, delta) {
+                    let distance = dataset_distance(query, &entry.cells);
+                    out.push(Neighbor {
+                        dataset: entry.id,
+                        distance,
+                    });
+                    stats.candidates += 1;
+                }
+            }
+        }
+        NodeKind::Internal { left, right } => {
+            range_recurse(index, *left, query, query_geometry, probe, delta, out, stats);
+            range_recurse(index, *right, query, query_geometry, probe, delta, out, stats);
+        }
+    }
+}
+
+/// Brute-force k-NN over dataset nodes: the correctness oracle for tests.
+pub fn nearest_datasets_bruteforce(
+    datasets: &[crate::node::DatasetNode],
+    query: &CellSet,
+    k: usize,
+) -> Vec<Neighbor> {
+    let mut all: Vec<Neighbor> = datasets
+        .iter()
+        .map(|d| Neighbor {
+            dataset: d.id,
+            distance: dataset_distance(query, &d.cells),
+        })
+        .collect();
+    all.sort_unstable_by(|a, b| {
+        a.distance
+            .partial_cmp(&b.distance)
+            .unwrap_or(Ordering::Equal)
+            .then(a.dataset.cmp(&b.dataset))
+    });
+    all.truncate(k);
+    all
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::local::DitsLocalConfig;
+    use crate::node::DatasetNode;
+    use proptest::prelude::*;
+    use spatial::zorder::cell_id;
+
+    fn node(id: DatasetId, coords: &[(u32, u32)]) -> DatasetNode {
+        DatasetNode::from_cell_set(
+            id,
+            CellSet::from_cells(coords.iter().map(|&(x, y)| cell_id(x, y))),
+        )
+        .unwrap()
+    }
+
+    fn cs(coords: &[(u32, u32)]) -> CellSet {
+        CellSet::from_cells(coords.iter().map(|&(x, y)| cell_id(x, y)))
+    }
+
+    #[test]
+    fn nearest_finds_the_closest_datasets_in_order() {
+        let nodes = vec![
+            node(0, &[(1, 0)]),   // distance 1 from (0,0)
+            node(1, &[(3, 0)]),   // distance 3
+            node(2, &[(0, 0)]),   // distance 0 (overlaps)
+            node(3, &[(10, 10)]), // far
+        ];
+        let idx = DitsLocal::build(nodes, DitsLocalConfig { leaf_capacity: 2 });
+        let query = cs(&[(0, 0)]);
+        let (neighbors, stats) = nearest_datasets(&idx, &query, 3);
+        assert_eq!(neighbors.len(), 3);
+        assert_eq!(neighbors[0].dataset, 2);
+        assert_eq!(neighbors[0].distance, 0.0);
+        assert_eq!(neighbors[1].dataset, 0);
+        assert_eq!(neighbors[1].distance, 1.0);
+        assert_eq!(neighbors[2].dataset, 1);
+        assert!(stats.nodes_visited > 0);
+    }
+
+    #[test]
+    fn nearest_handles_degenerate_inputs() {
+        let idx = DitsLocal::build(Vec::new(), DitsLocalConfig::default());
+        assert!(nearest_datasets(&idx, &cs(&[(0, 0)]), 3).0.is_empty());
+        let idx = DitsLocal::build(vec![node(0, &[(0, 0)])], DitsLocalConfig::default());
+        assert!(nearest_datasets(&idx, &CellSet::new(), 3).0.is_empty());
+        assert!(nearest_datasets(&idx, &cs(&[(0, 0)]), 0).0.is_empty());
+    }
+
+    #[test]
+    fn range_returns_exactly_the_datasets_within_delta() {
+        let nodes = vec![
+            node(0, &[(1, 0)]),
+            node(1, &[(3, 0)]),
+            node(2, &[(6, 0)]),
+        ];
+        let idx = DitsLocal::build(nodes, DitsLocalConfig::default());
+        let query = cs(&[(0, 0)]);
+        let (within, _) = range_datasets(&idx, &query, 3.0);
+        let ids: Vec<DatasetId> = within.iter().map(|n| n.dataset).collect();
+        assert_eq!(ids, vec![0, 1]);
+        assert!(within[0].distance <= within[1].distance);
+        let (all, _) = range_datasets(&idx, &query, 10.0);
+        assert_eq!(all.len(), 3);
+        let (none, _) = range_datasets(&idx, &query, 0.5);
+        assert!(none.is_empty());
+        let (negative, _) = range_datasets(&idx, &query, -1.0);
+        assert!(negative.is_empty());
+    }
+
+    #[test]
+    fn k_larger_than_corpus_returns_everything() {
+        let nodes: Vec<DatasetNode> = (0..5).map(|i| node(i, &[(i * 2, 0)])).collect();
+        let idx = DitsLocal::build(nodes, DitsLocalConfig::default());
+        let (neighbors, _) = nearest_datasets(&idx, &cs(&[(0, 0)]), 50);
+        assert_eq!(neighbors.len(), 5);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+        #[test]
+        fn prop_knn_matches_bruteforce(
+            datasets in proptest::collection::vec(
+                proptest::collection::vec((0u32..48, 0u32..48), 1..8), 1..40),
+            query in proptest::collection::vec((0u32..48, 0u32..48), 1..8),
+            k in 1usize..8,
+            capacity in 1usize..6,
+        ) {
+            let nodes: Vec<DatasetNode> = datasets
+                .iter()
+                .enumerate()
+                .map(|(i, c)| node(i as DatasetId, c))
+                .collect();
+            let idx = DitsLocal::build(nodes.clone(), DitsLocalConfig { leaf_capacity: capacity });
+            let q = cs(&query);
+            let (fast, _) = nearest_datasets(&idx, &q, k);
+            let brute = nearest_datasets_bruteforce(&nodes, &q, k);
+            // Distances must match position by position (ids may differ on
+            // exact ties at the cut-off).
+            let fast_d: Vec<f64> = fast.iter().map(|n| n.distance).collect();
+            let brute_d: Vec<f64> = brute.iter().map(|n| n.distance).collect();
+            prop_assert_eq!(fast_d.len(), brute_d.len());
+            for (f, b) in fast_d.iter().zip(brute_d.iter()) {
+                prop_assert!((f - b).abs() < 1e-9, "fast {f} != brute {b}");
+            }
+        }
+
+        #[test]
+        fn prop_range_matches_filtered_bruteforce(
+            datasets in proptest::collection::vec(
+                proptest::collection::vec((0u32..32, 0u32..32), 1..6), 1..30),
+            query in proptest::collection::vec((0u32..32, 0u32..32), 1..6),
+            delta in 0.0f64..15.0,
+        ) {
+            let nodes: Vec<DatasetNode> = datasets
+                .iter()
+                .enumerate()
+                .map(|(i, c)| node(i as DatasetId, c))
+                .collect();
+            let idx = DitsLocal::build(nodes.clone(), DitsLocalConfig { leaf_capacity: 4 });
+            let q = cs(&query);
+            let (within, _) = range_datasets(&idx, &q, delta);
+            let mut expected: Vec<DatasetId> = nodes
+                .iter()
+                .filter(|n| dataset_distance(&q, &n.cells) <= delta)
+                .map(|n| n.id)
+                .collect();
+            expected.sort_unstable();
+            let mut got: Vec<DatasetId> = within.iter().map(|n| n.dataset).collect();
+            got.sort_unstable();
+            prop_assert_eq!(got, expected);
+            // Every reported distance respects the threshold.
+            for n in &within {
+                prop_assert!(n.distance <= delta + 1e-9);
+            }
+        }
+    }
+}

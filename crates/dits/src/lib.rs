@@ -1,0 +1,48 @@
+//! **DITS** — the DIstributed Tree-based Spatial index structure and the two
+//! joinable-search algorithms built on it.
+//!
+//! This crate is the paper's primary contribution:
+//!
+//! * [`DatasetNode`] (Definition 12): a dataset wrapped with its MBR, pivot,
+//!   radius and cell-based representation.
+//! * [`DitsLocal`] (Section V-A, Algorithm 1): the per-data-source local
+//!   index — a ball-tree-like binary tree over dataset nodes, built top-down
+//!   by splitting on the widest dimension, whose leaves carry an inverted
+//!   index from cell ID to the dataset nodes containing that cell.
+//! * [`DitsGlobal`] (Section V-B): the data-center index over the root nodes
+//!   of all local indexes, used to route queries to candidate sources.
+//! * [`OverlapSearch`](overlap::overlap_search) (Section VI-B, Algorithm 2):
+//!   an exact branch-and-bound algorithm for the Overlap Joinable Search
+//!   Problem, driven by the per-leaf upper/lower bounds of Lemmas 2–3.
+//! * [`CoverageSearch`](coverage::coverage_search) (Section VI-C,
+//!   Algorithm 3): a greedy `(1−1/e)`-style approximation for the NP-hard
+//!   Coverage Joinable Search Problem, driven by the node-distance bounds of
+//!   Lemma 4 and a spatial-merge strategy.
+//! * [Index maintenance](update) (Appendix IX-C): insert / update / delete
+//!   without rebuilding.
+
+#![warn(missing_docs)]
+
+pub mod bounds;
+pub mod bulkload;
+pub mod coverage;
+pub mod global;
+pub mod inverted;
+pub mod knn;
+pub mod local;
+pub mod node;
+pub mod overlap;
+pub mod persist;
+pub mod stats;
+pub mod update;
+
+pub use bulkload::build_bottom_up;
+pub use coverage::{coverage_search, CoverageConfig, CoverageResult};
+pub use global::{DitsGlobal, SourceSummary};
+pub use inverted::InvertedIndex;
+pub use knn::{nearest_datasets, range_datasets, Neighbor};
+pub use local::{DitsLocal, DitsLocalConfig};
+pub use node::{DatasetNode, NodeGeometry};
+pub use overlap::{overlap_search, overlap_search_with_options, OverlapResult};
+pub use persist::{decode_local, encode_local, load_local, save_local, PersistError};
+pub use stats::SearchStats;

@@ -1,0 +1,524 @@
+//! DITS-L: the per-data-source local index (Section V-A, Algorithm 1).
+//!
+//! The local index is a binary ball-tree-like structure over *dataset nodes*
+//! built top-down: the widest dimension of the current node's MBR is chosen
+//! as the split dimension, dataset nodes are partitioned by the median of
+//! their pivots on that dimension, and the recursion stops when a node holds
+//! at most `f` (the leaf capacity) dataset nodes, at which point an inverted
+//! index over the contained datasets' cells is materialised.
+//!
+//! The tree is stored as an arena of [`TreeNode`]s with parent indices, the
+//! "bidirectional pointer structure" the paper relies on for efficient
+//! updates (Appendix IX-C, implemented in [`crate::update`]).
+
+use crate::inverted::InvertedIndex;
+use crate::node::{DatasetNode, NodeGeometry};
+use serde::{Deserialize, Serialize};
+use spatial::{DatasetId, Grid, Mbr, SpatialDataset};
+
+/// Index of a node inside the arena.
+pub type NodeIdx = usize;
+
+/// Configuration of a local index.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DitsLocalConfig {
+    /// Leaf-node capacity `f` (Definition 14). Paper default: 10.
+    pub leaf_capacity: usize,
+}
+
+impl Default for DitsLocalConfig {
+    fn default() -> Self {
+        Self { leaf_capacity: 10 }
+    }
+}
+
+/// Content of a tree node: either an internal node with two children or a
+/// leaf holding dataset nodes plus their inverted index.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum NodeKind {
+    /// Internal node (Definition 13).
+    Internal {
+        /// Left child index.
+        left: NodeIdx,
+        /// Right child index.
+        right: NodeIdx,
+    },
+    /// Leaf node (Definition 14).
+    Leaf {
+        /// The dataset nodes stored in this leaf (`ch`).
+        entries: Vec<DatasetNode>,
+        /// Inverted index over the entries' cells (`inv`).
+        inverted: InvertedIndex,
+    },
+}
+
+/// One node of the local index arena.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TreeNode {
+    /// Geometry (MBR, pivot, radius) of everything below this node.
+    pub geometry: NodeGeometry,
+    /// Parent node, `None` for the root.
+    pub parent: Option<NodeIdx>,
+    /// Node content.
+    pub kind: NodeKind,
+}
+
+impl TreeNode {
+    /// Returns `true` when this is a leaf node.
+    pub fn is_leaf(&self) -> bool {
+        matches!(self.kind, NodeKind::Leaf { .. })
+    }
+}
+
+/// The DITS-L local index of one data source.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DitsLocal {
+    nodes: Vec<TreeNode>,
+    root: NodeIdx,
+    config: DitsLocalConfig,
+    dataset_count: usize,
+}
+
+impl DitsLocal {
+    /// Builds the local index over a list of dataset nodes (Algorithm 1).
+    ///
+    /// An empty input produces a valid index with an empty root leaf.
+    pub fn build(dataset_nodes: Vec<DatasetNode>, config: DitsLocalConfig) -> Self {
+        let capacity = config.leaf_capacity.max(1);
+        let config = DitsLocalConfig { leaf_capacity: capacity };
+        let dataset_count = dataset_nodes.len();
+        let mut index = Self {
+            nodes: Vec::new(),
+            root: 0,
+            config,
+            dataset_count,
+        };
+        index.root = index.build_subtree(dataset_nodes, None);
+        index
+    }
+
+    /// Builds the index directly from raw datasets on a grid, skipping
+    /// datasets that have no points inside the grid.
+    pub fn build_from_datasets(
+        grid: &Grid,
+        datasets: &[SpatialDataset],
+        config: DitsLocalConfig,
+    ) -> Self {
+        let nodes: Vec<DatasetNode> = datasets
+            .iter()
+            .filter_map(|d| DatasetNode::from_dataset(grid, d).ok())
+            .collect();
+        Self::build(nodes, config)
+    }
+
+    /// Recursively builds the subtree for `entries` and returns its arena
+    /// index. `parent` is patched into the created node.
+    pub(crate) fn build_subtree(
+        &mut self,
+        mut entries: Vec<DatasetNode>,
+        parent: Option<NodeIdx>,
+    ) -> NodeIdx {
+        let geometry = geometry_of(&entries);
+        if entries.len() <= self.config.leaf_capacity {
+            let inverted = InvertedIndex::build(entries.iter().map(|n| (n.id, &n.cells)));
+            return self.push_node(TreeNode {
+                geometry,
+                parent,
+                kind: NodeKind::Leaf { entries, inverted },
+            });
+        }
+
+        // Choose the split dimension: the axis with the maximum MBR width.
+        let dsplit = if geometry.rect.width() >= geometry.rect.height() { 0 } else { 1 };
+
+        // Partition by the median pivot on that dimension. Using the median
+        // (select_nth_unstable) rather than the node pivot guarantees both
+        // sides are non-empty, so construction is O(n log n) and always
+        // terminates even for heavily skewed data.
+        let mid = entries.len() / 2;
+        entries.select_nth_unstable_by(mid, |a, b| {
+            coord(a, dsplit)
+                .partial_cmp(&coord(b, dsplit))
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        let right_entries = entries.split_off(mid);
+        let left_entries = entries;
+
+        let idx = self.push_node(TreeNode {
+            geometry,
+            parent,
+            kind: NodeKind::Internal { left: 0, right: 0 },
+        });
+        let left = self.build_subtree(left_entries, Some(idx));
+        let right = self.build_subtree(right_entries, Some(idx));
+        if let NodeKind::Internal { left: l, right: r } = &mut self.nodes[idx].kind {
+            *l = left;
+            *r = right;
+        }
+        idx
+    }
+
+    pub(crate) fn push_node(&mut self, node: TreeNode) -> NodeIdx {
+        self.nodes.push(node);
+        self.nodes.len() - 1
+    }
+
+    /// Decomposes the index into its raw parts (arena, root, config, count);
+    /// used by the persistence codec.
+    pub(crate) fn parts(&self) -> (&[TreeNode], NodeIdx, DitsLocalConfig, usize) {
+        (&self.nodes, self.root, self.config, self.dataset_count)
+    }
+
+    /// Reassembles an index from raw parts produced by [`Self::parts`] (or by
+    /// the persistence codec).  The caller is responsible for structural
+    /// consistency; [`Self::check_invariants`] can verify it afterwards.
+    pub(crate) fn from_parts(
+        nodes: Vec<TreeNode>,
+        root: NodeIdx,
+        config: DitsLocalConfig,
+        dataset_count: usize,
+    ) -> Self {
+        Self {
+            nodes,
+            root,
+            config,
+            dataset_count,
+        }
+    }
+
+    /// The root node's arena index.
+    pub fn root(&self) -> NodeIdx {
+        self.root
+    }
+
+    /// Access a node by arena index.
+    pub fn node(&self, idx: NodeIdx) -> &TreeNode {
+        &self.nodes[idx]
+    }
+
+    pub(crate) fn node_mut(&mut self, idx: NodeIdx) -> &mut TreeNode {
+        &mut self.nodes[idx]
+    }
+
+    /// Number of nodes in the arena (including nodes orphaned by updates).
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of datasets currently indexed.
+    pub fn dataset_count(&self) -> usize {
+        self.dataset_count
+    }
+
+    pub(crate) fn set_dataset_count(&mut self, count: usize) {
+        self.dataset_count = count;
+    }
+
+    /// The configuration used to build the index.
+    pub fn config(&self) -> DitsLocalConfig {
+        self.config
+    }
+
+    /// Geometry of the root node (sent to the data center to build DITS-G).
+    pub fn root_geometry(&self) -> NodeGeometry {
+        self.nodes[self.root].geometry
+    }
+
+    /// Iterates over all leaf arena indices reachable from the root.
+    pub fn leaves(&self) -> Vec<NodeIdx> {
+        let mut out = Vec::new();
+        let mut stack = vec![self.root];
+        while let Some(idx) = stack.pop() {
+            match &self.nodes[idx].kind {
+                NodeKind::Leaf { .. } => out.push(idx),
+                NodeKind::Internal { left, right } => {
+                    stack.push(*left);
+                    stack.push(*right);
+                }
+            }
+        }
+        out
+    }
+
+    /// Iterates over every dataset node reachable from the root.
+    pub fn dataset_nodes(&self) -> Vec<&DatasetNode> {
+        let mut out = Vec::new();
+        for leaf in self.leaves() {
+            if let NodeKind::Leaf { entries, .. } = &self.nodes[leaf].kind {
+                out.extend(entries.iter());
+            }
+        }
+        out
+    }
+
+    /// Finds the dataset node with the given id, returning the leaf holding
+    /// it plus a reference.
+    pub fn find_dataset(&self, id: DatasetId) -> Option<(NodeIdx, &DatasetNode)> {
+        for leaf in self.leaves() {
+            if let NodeKind::Leaf { entries, .. } = &self.nodes[leaf].kind {
+                if let Some(node) = entries.iter().find(|n| n.id == id) {
+                    return Some((leaf, node));
+                }
+            }
+        }
+        None
+    }
+
+    /// Height of the tree (a single leaf has height 1).
+    pub fn height(&self) -> usize {
+        fn depth(nodes: &[TreeNode], idx: NodeIdx) -> usize {
+            match &nodes[idx].kind {
+                NodeKind::Leaf { .. } => 1,
+                NodeKind::Internal { left, right } => {
+                    1 + depth(nodes, *left).max(depth(nodes, *right))
+                }
+            }
+        }
+        depth(&self.nodes, self.root)
+    }
+
+    /// Estimated memory footprint of the index in bytes: tree nodes, dataset
+    /// nodes (cell sets) and leaf inverted indexes.  Used for the Fig. 8
+    /// memory comparison.
+    pub fn memory_bytes(&self) -> usize {
+        let mut bytes = self.nodes.capacity() * std::mem::size_of::<TreeNode>();
+        for node in &self.nodes {
+            if let NodeKind::Leaf { entries, inverted } = &node.kind {
+                bytes += entries.iter().map(|e| e.memory_bytes()).sum::<usize>();
+                bytes += inverted.memory_bytes();
+            }
+        }
+        bytes
+    }
+
+    /// Checks the structural invariants of the tree; used by tests and by
+    /// the update module after mutations. Returns a description of the first
+    /// violation found.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        let mut seen: Vec<DatasetId> = Vec::new();
+        self.check_node(self.root, None, &mut seen)?;
+        if seen.len() != self.dataset_count {
+            return Err(format!(
+                "dataset_count {} does not match reachable datasets {}",
+                self.dataset_count,
+                seen.len()
+            ));
+        }
+        seen.sort_unstable();
+        seen.dedup();
+        if seen.len() != self.dataset_count {
+            return Err("duplicate dataset ids in the tree".to_string());
+        }
+        Ok(())
+    }
+
+    fn check_node(
+        &self,
+        idx: NodeIdx,
+        parent: Option<NodeIdx>,
+        seen: &mut Vec<DatasetId>,
+    ) -> Result<(), String> {
+        let node = &self.nodes[idx];
+        if node.parent != parent {
+            return Err(format!("node {idx} has wrong parent pointer"));
+        }
+        match &node.kind {
+            NodeKind::Leaf { entries, inverted } => {
+                for e in entries {
+                    if !node.geometry.rect.contains(e.rect()) && !entries.is_empty() {
+                        return Err(format!("leaf {idx} MBR does not contain dataset {}", e.id));
+                    }
+                    seen.push(e.id);
+                    for cell in e.cells.iter() {
+                        match inverted.posting_list(cell) {
+                            Some(list) if list.contains(&e.id) => {}
+                            _ => {
+                                return Err(format!(
+                                    "leaf {idx} inverted index misses cell {cell} of dataset {}",
+                                    e.id
+                                ))
+                            }
+                        }
+                    }
+                }
+                Ok(())
+            }
+            NodeKind::Internal { left, right } => {
+                for child in [*left, *right] {
+                    let crect = self.nodes[child].geometry.rect;
+                    if !node.geometry.rect.contains(&crect) {
+                        return Err(format!("internal {idx} MBR does not contain child {child}"));
+                    }
+                    self.check_node(child, Some(idx), seen)?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+/// Geometry of a set of dataset nodes (an empty set gets a degenerate MBR at
+/// the origin).
+pub(crate) fn geometry_of(entries: &[DatasetNode]) -> NodeGeometry {
+    let mut rect: Option<Mbr> = None;
+    for e in entries {
+        rect = Some(match rect {
+            Some(r) => r.union(e.rect()),
+            None => *e.rect(),
+        });
+    }
+    NodeGeometry::from_mbr(rect.unwrap_or_else(|| {
+        Mbr::new(spatial::Point::new(0.0, 0.0), spatial::Point::new(0.0, 0.0))
+    }))
+}
+
+/// Coordinate of a dataset node's pivot along dimension `d`.
+fn coord(node: &DatasetNode, d: usize) -> f64 {
+    match d {
+        0 => node.pivot().x,
+        _ => node.pivot().y,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use spatial::zorder::cell_id;
+    use spatial::CellSet;
+
+    pub(crate) fn make_node(id: DatasetId, coords: &[(u32, u32)]) -> DatasetNode {
+        DatasetNode::from_cell_set(
+            id,
+            CellSet::from_cells(coords.iter().map(|&(x, y)| cell_id(x, y))),
+        )
+        .unwrap()
+    }
+
+    fn grid_nodes(n: u32) -> Vec<DatasetNode> {
+        // n datasets, dataset i occupies a 2x2 block around (4i mod 64, 4i/64).
+        (0..n)
+            .map(|i| {
+                let bx = (i * 4) % 64;
+                let by = ((i * 4) / 64) * 4;
+                make_node(i, &[(bx, by), (bx + 1, by), (bx, by + 1), (bx + 1, by + 1)])
+            })
+            .collect()
+    }
+
+    #[test]
+    fn empty_index_is_valid() {
+        let idx = DitsLocal::build(Vec::new(), DitsLocalConfig::default());
+        assert_eq!(idx.dataset_count(), 0);
+        assert_eq!(idx.leaves().len(), 1);
+        assert!(idx.node(idx.root()).is_leaf());
+        assert!(idx.check_invariants().is_ok());
+    }
+
+    #[test]
+    fn small_input_becomes_single_leaf() {
+        let nodes = grid_nodes(5);
+        let idx = DitsLocal::build(nodes, DitsLocalConfig { leaf_capacity: 10 });
+        assert_eq!(idx.leaves().len(), 1);
+        assert_eq!(idx.height(), 1);
+        assert_eq!(idx.dataset_count(), 5);
+        assert!(idx.check_invariants().is_ok());
+    }
+
+    #[test]
+    fn large_input_splits_until_capacity() {
+        let nodes = grid_nodes(100);
+        let idx = DitsLocal::build(nodes, DitsLocalConfig { leaf_capacity: 8 });
+        assert_eq!(idx.dataset_count(), 100);
+        assert!(idx.check_invariants().is_ok());
+        for leaf in idx.leaves() {
+            if let NodeKind::Leaf { entries, .. } = &idx.node(leaf).kind {
+                assert!(entries.len() <= 8);
+                assert!(!entries.is_empty());
+            }
+        }
+        // Balanced median splits: height is O(log n).
+        assert!(idx.height() <= 6, "height {} too large", idx.height());
+    }
+
+    #[test]
+    fn all_datasets_reachable() {
+        let nodes = grid_nodes(37);
+        let idx = DitsLocal::build(nodes, DitsLocalConfig { leaf_capacity: 4 });
+        let mut ids: Vec<DatasetId> = idx.dataset_nodes().iter().map(|n| n.id).collect();
+        ids.sort_unstable();
+        assert_eq!(ids, (0..37).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn find_dataset_locates_leaf() {
+        let nodes = grid_nodes(30);
+        let idx = DitsLocal::build(nodes, DitsLocalConfig { leaf_capacity: 4 });
+        let (leaf, node) = idx.find_dataset(17).unwrap();
+        assert_eq!(node.id, 17);
+        assert!(idx.node(leaf).is_leaf());
+        assert!(idx.find_dataset(1000).is_none());
+    }
+
+    #[test]
+    fn identical_pivots_still_terminate() {
+        // All datasets identical: median split cannot separate by value but
+        // select_nth still produces two non-empty halves.
+        let nodes: Vec<DatasetNode> = (0..20).map(|i| make_node(i, &[(5, 5), (6, 6)])).collect();
+        let idx = DitsLocal::build(nodes, DitsLocalConfig { leaf_capacity: 3 });
+        assert_eq!(idx.dataset_count(), 20);
+        assert!(idx.check_invariants().is_ok());
+    }
+
+    #[test]
+    fn root_geometry_covers_everything() {
+        let nodes = grid_nodes(64);
+        let idx = DitsLocal::build(nodes.clone(), DitsLocalConfig::default());
+        let root = idx.root_geometry();
+        for n in &nodes {
+            assert!(root.rect.contains(n.rect()));
+        }
+    }
+
+    #[test]
+    fn memory_estimate_is_positive_and_grows() {
+        let small = DitsLocal::build(grid_nodes(10), DitsLocalConfig::default());
+        let large = DitsLocal::build(grid_nodes(200), DitsLocalConfig::default());
+        assert!(small.memory_bytes() > 0);
+        assert!(large.memory_bytes() > small.memory_bytes());
+    }
+
+    #[test]
+    fn build_from_datasets_skips_empty() {
+        let grid = spatial::Grid::global(10).unwrap();
+        let datasets = vec![
+            SpatialDataset::new(0, vec![spatial::Point::new(10.0, 10.0)]),
+            SpatialDataset::new(1, vec![]),
+            SpatialDataset::new(2, vec![spatial::Point::new(-10.0, -10.0)]),
+        ];
+        let idx = DitsLocal::build_from_datasets(&grid, &datasets, DitsLocalConfig::default());
+        assert_eq!(idx.dataset_count(), 2);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_construction_invariants_hold(
+            datasets in proptest::collection::vec(
+                proptest::collection::vec((0u32..256, 0u32..256), 1..12), 1..80),
+            capacity in 1usize..12,
+        ) {
+            let nodes: Vec<DatasetNode> = datasets
+                .iter()
+                .enumerate()
+                .map(|(i, coords)| make_node(i as DatasetId, coords))
+                .collect();
+            let idx = DitsLocal::build(nodes, DitsLocalConfig { leaf_capacity: capacity });
+            prop_assert!(idx.check_invariants().is_ok());
+            for leaf in idx.leaves() {
+                if let NodeKind::Leaf { entries, .. } = &idx.node(leaf).kind {
+                    prop_assert!(entries.len() <= capacity.max(1));
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,335 @@
+//! OverlapSearch: the exact branch-and-bound algorithm for OJSP
+//! (Section VI-B, Algorithm 2).
+//!
+//! Given a query cell set, the algorithm descends DITS-L pruning every
+//! subtree whose MBR does not intersect the query MBR.  Each surviving leaf
+//! gets an upper and a lower bound on the intersection between the query and
+//! *any* dataset it stores (Lemmas 2–3).  Leaves are then verified in
+//! descending upper-bound order; once `k` results are known and the next
+//! leaf's upper bound cannot beat the current `k`-th best intersection, the
+//! remaining leaves are pruned in batch.  Verification of a leaf scans its
+//! inverted index once, producing exact intersection counts for every
+//! dataset in the leaf simultaneously.
+
+use crate::bounds::leaf_overlap_bounds;
+use crate::local::{DitsLocal, NodeIdx, NodeKind};
+use crate::node::DatasetNode;
+use crate::stats::SearchStats;
+use serde::{Deserialize, Serialize};
+use spatial::{CellSet, DatasetId, Mbr};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// One OJSP result: a dataset and its exact overlap with the query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OverlapResult {
+    /// The dataset's identifier.
+    pub dataset: DatasetId,
+    /// `|S_Q ∩ S_D|`: the number of shared cells.
+    pub overlap: usize,
+}
+
+/// Runs OverlapSearch over a local index.
+///
+/// Returns up to `k` datasets with the largest positive overlap with
+/// `query`, sorted by decreasing overlap (ties broken by dataset id for
+/// determinism), together with the search statistics.
+pub fn overlap_search(index: &DitsLocal, query: &CellSet, k: usize) -> (Vec<OverlapResult>, SearchStats) {
+    overlap_search_with_options(index, query, k, true)
+}
+
+/// OverlapSearch with the leaf-bound pruning optionally disabled; the
+/// ablation benchmark uses `use_bounds = false` to quantify the benefit of
+/// Lemmas 2–3.
+pub fn overlap_search_with_options(
+    index: &DitsLocal,
+    query: &CellSet,
+    k: usize,
+    use_bounds: bool,
+) -> (Vec<OverlapResult>, SearchStats) {
+    let mut stats = SearchStats::new();
+    if k == 0 || query.is_empty() {
+        return (Vec::new(), stats);
+    }
+    let query_rect = match query.mbr_cell_space() {
+        Some(m) => m,
+        None => return (Vec::new(), stats),
+    };
+
+    // Phase 1 (BranchAndBound): collect candidate leaves with their bounds.
+    let mut candidates: Vec<(usize, usize, NodeIdx)> = Vec::new(); // (ub, lb, leaf)
+    collect_candidate_leaves(
+        index,
+        index.root(),
+        &query_rect,
+        query,
+        use_bounds,
+        &mut candidates,
+        &mut stats,
+    );
+
+    // Order leaves by decreasing upper bound so verification can stop early.
+    candidates.sort_unstable_by_key(|&(ub, _, _)| Reverse(ub));
+
+    // Phase 2: exact verification with a min-heap of the current top-k.
+    let mut heap: BinaryHeap<Reverse<(usize, Reverse<DatasetId>)>> = BinaryHeap::new();
+    for (ub, _lb, leaf) in candidates {
+        let kth_best = if heap.len() >= k {
+            heap.peek().map(|Reverse((o, _))| *o).unwrap_or(0)
+        } else {
+            0
+        };
+        if use_bounds && heap.len() >= k && ub <= kth_best {
+            // No dataset in this or any later leaf can improve the result.
+            stats.leaves_pruned_by_bounds += 1;
+            continue;
+        }
+        stats.leaves_verified += 1;
+        if let NodeKind::Leaf { inverted, entries } = &index.node(leaf).kind {
+            // Exact verification: one pass over the query against the leaf's
+            // posting lists yields the intersection count of every dataset in
+            // the leaf.  The per-leaf accumulator is a small vector (at most
+            // `f` entries), which avoids a hash map allocation per leaf.
+            let mut counts: Vec<(DatasetId, usize)> =
+                entries.iter().map(|e| (e.id, 0usize)).collect();
+            for cell in query.iter() {
+                if let Some(list) = inverted.posting_list(cell) {
+                    for id in list {
+                        if let Some(slot) = counts.iter_mut().find(|(d, _)| d == id) {
+                            slot.1 += 1;
+                        }
+                    }
+                }
+            }
+            stats.exact_computations += entries.len();
+            for (dataset, overlap) in counts {
+                if overlap == 0 {
+                    continue;
+                }
+                stats.candidates += 1;
+                let entry = Reverse((overlap, Reverse(dataset)));
+                if heap.len() < k {
+                    heap.push(entry);
+                } else if let Some(&Reverse((worst, Reverse(worst_id)))) = heap.peek() {
+                    if overlap > worst || (overlap == worst && dataset < worst_id) {
+                        heap.pop();
+                        heap.push(entry);
+                    }
+                }
+            }
+        }
+    }
+
+    let mut results: Vec<OverlapResult> = heap
+        .into_iter()
+        .map(|Reverse((overlap, Reverse(dataset)))| OverlapResult { dataset, overlap })
+        .collect();
+    results.sort_unstable_by(|a, b| b.overlap.cmp(&a.overlap).then(a.dataset.cmp(&b.dataset)));
+    (results, stats)
+}
+
+/// Recursive descent of Algorithm 2's `BranchAndBound`: prunes subtrees not
+/// intersecting the query MBR and computes leaf bounds.
+fn collect_candidate_leaves(
+    index: &DitsLocal,
+    node_idx: NodeIdx,
+    query_rect: &Mbr,
+    query: &CellSet,
+    use_bounds: bool,
+    out: &mut Vec<(usize, usize, NodeIdx)>,
+    stats: &mut SearchStats,
+) {
+    let node = index.node(node_idx);
+    stats.nodes_visited += 1;
+    if !node.geometry.rect.intersects(query_rect) {
+        stats.nodes_pruned += 1;
+        return;
+    }
+    match &node.kind {
+        NodeKind::Leaf { entries, inverted } => {
+            if entries.is_empty() {
+                return;
+            }
+            let (lb, ub) = if use_bounds {
+                leaf_overlap_bounds(inverted, query, entries.len())
+            } else {
+                (0, usize::MAX)
+            };
+            if use_bounds && ub == 0 {
+                // The leaf shares no cell with the query at all.
+                stats.leaves_pruned_by_bounds += 1;
+                return;
+            }
+            out.push((ub, lb, node_idx));
+        }
+        NodeKind::Internal { left, right } => {
+            collect_candidate_leaves(index, *left, query_rect, query, use_bounds, out, stats);
+            collect_candidate_leaves(index, *right, query_rect, query, use_bounds, out, stats);
+        }
+    }
+}
+
+/// Brute-force OJSP over a list of dataset nodes: exact top-k by scanning
+/// every dataset.  Used as the correctness oracle in tests and as the
+/// no-index baseline in benchmarks.
+pub fn overlap_search_bruteforce(
+    datasets: &[DatasetNode],
+    query: &CellSet,
+    k: usize,
+) -> Vec<OverlapResult> {
+    let mut all: Vec<OverlapResult> = datasets
+        .iter()
+        .map(|d| OverlapResult {
+            dataset: d.id,
+            overlap: d.cells.intersection_size(query),
+        })
+        .filter(|r| r.overlap > 0)
+        .collect();
+    all.sort_unstable_by(|a, b| b.overlap.cmp(&a.overlap).then(a.dataset.cmp(&b.dataset)));
+    all.truncate(k);
+    all
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::local::DitsLocalConfig;
+    use proptest::prelude::*;
+    use rand::prelude::*;
+    use rand::rngs::StdRng;
+    use spatial::zorder::cell_id;
+
+    fn node(id: DatasetId, coords: &[(u32, u32)]) -> DatasetNode {
+        DatasetNode::from_cell_set(
+            id,
+            CellSet::from_cells(coords.iter().map(|&(x, y)| cell_id(x, y))),
+        )
+        .unwrap()
+    }
+
+    fn cs(coords: &[(u32, u32)]) -> CellSet {
+        CellSet::from_cells(coords.iter().map(|&(x, y)| cell_id(x, y)))
+    }
+
+    fn random_nodes(n: usize, seed: u64) -> Vec<DatasetNode> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|i| {
+                let cx = rng.random_range(0..200u32);
+                let cy = rng.random_range(0..200u32);
+                let len = rng.random_range(1..20usize);
+                let coords: Vec<(u32, u32)> = (0..len)
+                    .map(|_| {
+                        (
+                            (cx + rng.random_range(0..8)).min(255),
+                            (cy + rng.random_range(0..8)).min(255),
+                        )
+                    })
+                    .collect();
+                node(i as DatasetId, &coords)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn finds_the_obvious_best_match() {
+        let nodes = vec![
+            node(0, &[(0, 0), (1, 0), (2, 0)]),
+            node(1, &[(0, 0), (1, 0)]),
+            node(2, &[(50, 50)]),
+        ];
+        let idx = DitsLocal::build(nodes, DitsLocalConfig { leaf_capacity: 2 });
+        let query = cs(&[(0, 0), (1, 0), (2, 0), (3, 0)]);
+        let (results, stats) = overlap_search(&idx, &query, 2);
+        assert_eq!(results.len(), 2);
+        assert_eq!(results[0], OverlapResult { dataset: 0, overlap: 3 });
+        assert_eq!(results[1], OverlapResult { dataset: 1, overlap: 2 });
+        assert!(stats.nodes_visited > 0);
+    }
+
+    #[test]
+    fn zero_overlap_datasets_are_not_returned() {
+        let nodes = vec![node(0, &[(0, 0)]), node(1, &[(10, 10)])];
+        let idx = DitsLocal::build(nodes, DitsLocalConfig::default());
+        let query = cs(&[(5, 5)]);
+        let (results, _) = overlap_search(&idx, &query, 5);
+        assert!(results.is_empty());
+    }
+
+    #[test]
+    fn k_zero_or_empty_query_returns_nothing() {
+        let nodes = vec![node(0, &[(0, 0)])];
+        let idx = DitsLocal::build(nodes, DitsLocalConfig::default());
+        assert!(overlap_search(&idx, &cs(&[(0, 0)]), 0).0.is_empty());
+        assert!(overlap_search(&idx, &CellSet::new(), 3).0.is_empty());
+    }
+
+    #[test]
+    fn empty_index_returns_nothing() {
+        let idx = DitsLocal::build(Vec::new(), DitsLocalConfig::default());
+        let (results, _) = overlap_search(&idx, &cs(&[(0, 0)]), 3);
+        assert!(results.is_empty());
+    }
+
+    #[test]
+    fn matches_bruteforce_on_random_data() {
+        let nodes = random_nodes(300, 42);
+        let idx = DitsLocal::build(nodes.clone(), DitsLocalConfig { leaf_capacity: 10 });
+        let query = cs(&[(100, 100), (101, 100), (102, 101), (103, 103), (104, 104)]);
+        for k in [1usize, 5, 20, 100] {
+            let (fast, _) = overlap_search(&idx, &query, k);
+            let brute = overlap_search_bruteforce(&nodes, &query, k);
+            assert_eq!(fast, brute, "mismatch at k={k}");
+        }
+    }
+
+    #[test]
+    fn bounds_off_gives_same_results_with_more_work() {
+        let nodes = random_nodes(200, 7);
+        let idx = DitsLocal::build(nodes, DitsLocalConfig { leaf_capacity: 5 });
+        let query = cs(&[(50, 50), (51, 51), (52, 52), (60, 60)]);
+        let (with_bounds, stats_with) = overlap_search_with_options(&idx, &query, 10, true);
+        let (without_bounds, stats_without) = overlap_search_with_options(&idx, &query, 10, false);
+        assert_eq!(with_bounds, without_bounds);
+        assert!(stats_with.leaves_verified <= stats_without.leaves_verified);
+    }
+
+    #[test]
+    fn results_are_sorted_and_bounded_by_k() {
+        let nodes = random_nodes(150, 3);
+        let idx = DitsLocal::build(nodes, DitsLocalConfig::default());
+        let query = cs(&[(10, 10), (20, 20), (30, 30), (40, 40), (50, 50), (60, 60)]);
+        let (results, _) = overlap_search(&idx, &query, 7);
+        assert!(results.len() <= 7);
+        for w in results.windows(2) {
+            assert!(w[0].overlap >= w[1].overlap);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+        #[test]
+        fn prop_matches_bruteforce(
+            datasets in proptest::collection::vec(
+                proptest::collection::vec((0u32..64, 0u32..64), 1..10), 1..60),
+            query in proptest::collection::vec((0u32..64, 0u32..64), 1..15),
+            k in 1usize..12,
+            capacity in 1usize..8,
+        ) {
+            let nodes: Vec<DatasetNode> = datasets
+                .iter()
+                .enumerate()
+                .map(|(i, c)| node(i as DatasetId, c))
+                .collect();
+            let idx = DitsLocal::build(nodes.clone(), DitsLocalConfig { leaf_capacity: capacity });
+            let q = cs(&query);
+            let (fast, _) = overlap_search(&idx, &q, k);
+            let brute = overlap_search_bruteforce(&nodes, &q, k);
+            // Overlap values must match exactly; ids may differ only on ties.
+            prop_assert_eq!(
+                fast.iter().map(|r| r.overlap).collect::<Vec<_>>(),
+                brute.iter().map(|r| r.overlap).collect::<Vec<_>>()
+            );
+        }
+    }
+}

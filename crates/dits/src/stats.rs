@@ -1,0 +1,72 @@
+//! Search statistics: counters reported by the search algorithms so the
+//! benchmark harness (and the ablation benches) can explain *why* a strategy
+//! is faster, not only that it is.
+
+use serde::{Deserialize, Serialize};
+
+/// Counters accumulated during one search invocation.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SearchStats {
+    /// Tree nodes visited (internal + leaf).
+    pub nodes_visited: usize,
+    /// Subtrees pruned by MBR disjointness or distance bounds.
+    pub nodes_pruned: usize,
+    /// Leaves whose datasets were all skipped thanks to the overlap bounds.
+    pub leaves_pruned_by_bounds: usize,
+    /// Leaves whose posting lists were scanned for exact verification.
+    pub leaves_verified: usize,
+    /// Individual datasets for which an exact intersection / gain / distance
+    /// was computed.
+    pub exact_computations: usize,
+    /// Candidate datasets that survived filtering.
+    pub candidates: usize,
+}
+
+impl SearchStats {
+    /// A zeroed statistics block.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Merges counters from another statistics block (used when aggregating
+    /// per-source statistics at the data center).
+    pub fn merge(&mut self, other: &SearchStats) {
+        self.nodes_visited += other.nodes_visited;
+        self.nodes_pruned += other.nodes_pruned;
+        self.leaves_pruned_by_bounds += other.leaves_pruned_by_bounds;
+        self.leaves_verified += other.leaves_verified;
+        self.exact_computations += other.exact_computations;
+        self.candidates += other.candidates;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_adds_counters() {
+        let mut a = SearchStats {
+            nodes_visited: 1,
+            nodes_pruned: 2,
+            leaves_pruned_by_bounds: 3,
+            leaves_verified: 4,
+            exact_computations: 5,
+            candidates: 6,
+        };
+        let b = a;
+        a.merge(&b);
+        assert_eq!(a.nodes_visited, 2);
+        assert_eq!(a.nodes_pruned, 4);
+        assert_eq!(a.leaves_pruned_by_bounds, 6);
+        assert_eq!(a.leaves_verified, 8);
+        assert_eq!(a.exact_computations, 10);
+        assert_eq!(a.candidates, 12);
+    }
+
+    #[test]
+    fn default_is_zeroed() {
+        assert_eq!(SearchStats::new(), SearchStats::default());
+        assert_eq!(SearchStats::new().nodes_visited, 0);
+    }
+}

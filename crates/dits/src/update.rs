@@ -1,0 +1,306 @@
+//! Index maintenance for DITS-L (Appendix IX-C): dataset inserts, updates
+//! and deletes without rebuilding the whole index.
+//!
+//! * **Insert**: walk down from the root, at every internal node following
+//!   the child whose pivot is closest to the new dataset node's pivot; add
+//!   the dataset to the reached leaf (splitting it with Algorithm 1 when the
+//!   capacity `f` is exceeded) and refresh the geometry of every ancestor.
+//! * **Update**: locate the dataset by id, replace it in place, refresh the
+//!   leaf's inverted index and the ancestors' geometry.
+//! * **Delete**: a special case of update — remove the dataset from its leaf
+//!   and refresh upwards.
+
+use crate::inverted::InvertedIndex;
+use crate::local::{geometry_of, DitsLocal, NodeIdx, NodeKind};
+use crate::node::DatasetNode;
+use spatial::DatasetId;
+
+impl DitsLocal {
+    /// Inserts a new dataset node into the index.
+    ///
+    /// Returns `false` (and leaves the index untouched) when a dataset with
+    /// the same id is already present.
+    pub fn insert(&mut self, dataset: DatasetNode) -> bool {
+        if self.find_dataset(dataset.id).is_some() {
+            return false;
+        }
+        let leaf = self.descend_to_closest_leaf(dataset.pivot());
+        let capacity = self.config().leaf_capacity;
+        let needs_split;
+        {
+            let node = self.node_mut(leaf);
+            if let NodeKind::Leaf { entries, inverted } = &mut node.kind {
+                inverted.add_dataset(dataset.id, &dataset.cells);
+                entries.push(dataset);
+                node.geometry = geometry_of(entries);
+                needs_split = entries.len() > capacity;
+            } else {
+                unreachable!("descend_to_closest_leaf returned a non-leaf");
+            }
+        }
+        if needs_split {
+            self.split_leaf(leaf);
+        }
+        self.refresh_ancestors(leaf);
+        self.set_dataset_count(self.dataset_count() + 1);
+        true
+    }
+
+    /// Replaces the dataset with id `dataset.id` by the new content.
+    ///
+    /// Returns `false` when no dataset with that id exists.
+    pub fn update(&mut self, dataset: DatasetNode) -> bool {
+        let Some((leaf, _)) = self.find_dataset(dataset.id) else {
+            return false;
+        };
+        {
+            let node = self.node_mut(leaf);
+            if let NodeKind::Leaf { entries, inverted } = &mut node.kind {
+                if let Some(pos) = entries.iter().position(|e| e.id == dataset.id) {
+                    let old = &entries[pos];
+                    inverted.remove_dataset(old.id, &old.cells);
+                    inverted.add_dataset(dataset.id, &dataset.cells);
+                    entries[pos] = dataset;
+                    node.geometry = geometry_of(entries);
+                }
+            }
+        }
+        self.refresh_ancestors(leaf);
+        true
+    }
+
+    /// Removes the dataset with the given id.
+    ///
+    /// Returns `false` when no dataset with that id exists.
+    pub fn delete(&mut self, id: DatasetId) -> bool {
+        let Some((leaf, _)) = self.find_dataset(id) else {
+            return false;
+        };
+        {
+            let node = self.node_mut(leaf);
+            if let NodeKind::Leaf { entries, inverted } = &mut node.kind {
+                if let Some(pos) = entries.iter().position(|e| e.id == id) {
+                    let old = entries.remove(pos);
+                    inverted.remove_dataset(old.id, &old.cells);
+                    node.geometry = geometry_of(entries);
+                }
+            }
+        }
+        self.refresh_ancestors(leaf);
+        self.set_dataset_count(self.dataset_count() - 1);
+        true
+    }
+
+    /// Walks from the root to the leaf whose pivot is closest to `pivot`
+    /// (the insertion strategy of Appendix IX-C).
+    fn descend_to_closest_leaf(&self, pivot: spatial::Point) -> NodeIdx {
+        let mut idx = self.root();
+        loop {
+            match &self.node(idx).kind {
+                NodeKind::Leaf { .. } => return idx,
+                NodeKind::Internal { left, right } => {
+                    let dl = self.node(*left).geometry.pivot.distance(&pivot);
+                    let dr = self.node(*right).geometry.pivot.distance(&pivot);
+                    idx = if dl <= dr { *left } else { *right };
+                }
+            }
+        }
+    }
+
+    /// Splits an over-full leaf into a small subtree built with Algorithm 1,
+    /// replacing the leaf in place so the parent pointers stay valid.
+    fn split_leaf(&mut self, leaf: NodeIdx) {
+        let entries = {
+            let node = self.node_mut(leaf);
+            match &mut node.kind {
+                NodeKind::Leaf { entries, inverted } => {
+                    *inverted = InvertedIndex::new();
+                    std::mem::take(entries)
+                }
+                NodeKind::Internal { .. } => return,
+            }
+        };
+        // Rebuild the subtree for these entries; its root replaces the leaf.
+        let geometry = geometry_of(&entries);
+        let dsplit = if geometry.rect.width() >= geometry.rect.height() { 0 } else { 1 };
+        let mut entries = entries;
+        let mid = entries.len() / 2;
+        entries.select_nth_unstable_by(mid, |a, b| {
+            let ca = if dsplit == 0 { a.pivot().x } else { a.pivot().y };
+            let cb = if dsplit == 0 { b.pivot().x } else { b.pivot().y };
+            ca.partial_cmp(&cb).unwrap_or(std::cmp::Ordering::Equal)
+        });
+        let right_entries = entries.split_off(mid);
+        let left_entries = entries;
+        let left = self.build_subtree(left_entries, Some(leaf));
+        let right = self.build_subtree(right_entries, Some(leaf));
+        let node = self.node_mut(leaf);
+        node.geometry = geometry;
+        node.kind = NodeKind::Internal { left, right };
+    }
+
+    /// Recomputes the geometry of every ancestor of `idx` from its children,
+    /// walking the parent pointers upwards.
+    fn refresh_ancestors(&mut self, idx: NodeIdx) {
+        let mut current = self.node(idx).parent;
+        while let Some(parent) = current {
+            let geometry = match &self.node(parent).kind {
+                NodeKind::Internal { left, right } => self
+                    .node(*left)
+                    .geometry
+                    .union(&self.node(*right).geometry),
+                NodeKind::Leaf { .. } => self.node(parent).geometry,
+            };
+            self.node_mut(parent).geometry = geometry;
+            current = self.node(parent).parent;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::local::DitsLocalConfig;
+    use crate::overlap::{overlap_search, overlap_search_bruteforce};
+    use proptest::prelude::*;
+    use spatial::zorder::cell_id;
+    use spatial::CellSet;
+
+    fn node(id: DatasetId, coords: &[(u32, u32)]) -> DatasetNode {
+        DatasetNode::from_cell_set(
+            id,
+            CellSet::from_cells(coords.iter().map(|&(x, y)| cell_id(x, y))),
+        )
+        .unwrap()
+    }
+
+    fn block(id: u32) -> DatasetNode {
+        let x = (id * 3) % 90;
+        let y = (id * 7) % 90;
+        node(id, &[(x, y), (x + 1, y), (x, y + 1)])
+    }
+
+    #[test]
+    fn insert_into_empty_index() {
+        let mut idx = DitsLocal::build(Vec::new(), DitsLocalConfig { leaf_capacity: 2 });
+        assert!(idx.insert(block(0)));
+        assert!(idx.insert(block(1)));
+        assert!(idx.insert(block(2))); // forces a split
+        assert_eq!(idx.dataset_count(), 3);
+        assert!(idx.check_invariants().is_ok());
+        assert!(idx.find_dataset(2).is_some());
+    }
+
+    #[test]
+    fn duplicate_insert_is_rejected() {
+        let mut idx = DitsLocal::build(vec![block(5)], DitsLocalConfig::default());
+        assert!(!idx.insert(block(5)));
+        assert_eq!(idx.dataset_count(), 1);
+    }
+
+    #[test]
+    fn inserted_datasets_are_searchable() {
+        let mut idx = DitsLocal::build(
+            (0..20).map(block).collect(),
+            DitsLocalConfig { leaf_capacity: 4 },
+        );
+        let new = node(100, &[(40, 40), (41, 40), (42, 40)]);
+        assert!(idx.insert(new.clone()));
+        let query = CellSet::from_cells([cell_id(40, 40), cell_id(41, 40), cell_id(42, 40)]);
+        let (results, _) = overlap_search(&idx, &query, 1);
+        assert_eq!(results[0].dataset, 100);
+        assert_eq!(results[0].overlap, 3);
+        assert!(idx.check_invariants().is_ok());
+    }
+
+    #[test]
+    fn update_changes_search_results() {
+        let mut idx = DitsLocal::build(
+            (0..10).map(block).collect(),
+            DitsLocalConfig { leaf_capacity: 3 },
+        );
+        // Move dataset 4 to a far-away location.
+        let moved = node(4, &[(200, 200), (201, 200)]);
+        assert!(idx.update(moved));
+        assert!(idx.check_invariants().is_ok());
+        let query = CellSet::from_cells([cell_id(200, 200)]);
+        let (results, _) = overlap_search(&idx, &query, 1);
+        assert_eq!(results[0].dataset, 4);
+        // Updating an unknown id fails.
+        assert!(!idx.update(node(999, &[(1, 1)])));
+    }
+
+    #[test]
+    fn delete_removes_from_results() {
+        let mut idx = DitsLocal::build(
+            (0..10).map(block).collect(),
+            DitsLocalConfig { leaf_capacity: 3 },
+        );
+        assert!(idx.delete(3));
+        assert!(!idx.delete(3));
+        assert_eq!(idx.dataset_count(), 9);
+        assert!(idx.check_invariants().is_ok());
+        assert!(idx.find_dataset(3).is_none());
+        let d3 = block(3);
+        let (results, _) = overlap_search(&idx, &d3.cells, 10);
+        assert!(results.iter().all(|r| r.dataset != 3));
+    }
+
+    #[test]
+    fn batch_inserts_keep_search_exact() {
+        let mut idx = DitsLocal::build(
+            (0..30).map(block).collect(),
+            DitsLocalConfig { leaf_capacity: 5 },
+        );
+        for i in 30..130u32 {
+            assert!(idx.insert(block(i)));
+        }
+        assert_eq!(idx.dataset_count(), 130);
+        assert!(idx.check_invariants().is_ok());
+        let all: Vec<DatasetNode> = (0..130).map(block).collect();
+        let query = CellSet::from_cells([cell_id(30, 70), cell_id(31, 70), cell_id(30, 71)]);
+        let (fast, _) = overlap_search(&idx, &query, 10);
+        let brute = overlap_search_bruteforce(&all, &query, 10);
+        assert_eq!(
+            fast.iter().map(|r| r.overlap).collect::<Vec<_>>(),
+            brute.iter().map(|r| r.overlap).collect::<Vec<_>>()
+        );
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+        #[test]
+        fn prop_mixed_updates_preserve_invariants(
+            initial in 0usize..30,
+            ops in proptest::collection::vec((0u8..3, 0u32..60), 1..60),
+            capacity in 1usize..6,
+        ) {
+            let mut idx = DitsLocal::build(
+                (0..initial as u32).map(block).collect(),
+                DitsLocalConfig { leaf_capacity: capacity },
+            );
+            let mut live: std::collections::HashSet<u32> =
+                (0..initial as u32).collect();
+            for (op, id) in ops {
+                match op {
+                    0 => {
+                        let inserted = idx.insert(block(id));
+                        prop_assert_eq!(inserted, !live.contains(&id));
+                        live.insert(id);
+                    }
+                    1 => {
+                        let updated = idx.update(block(id));
+                        prop_assert_eq!(updated, live.contains(&id));
+                    }
+                    _ => {
+                        let deleted = idx.delete(id);
+                        prop_assert_eq!(deleted, live.contains(&id));
+                        live.remove(&id);
+                    }
+                }
+            }
+            prop_assert_eq!(idx.dataset_count(), live.len());
+            prop_assert!(idx.check_invariants().is_ok(), "{:?}", idx.check_invariants());
+        }
+    }
+}

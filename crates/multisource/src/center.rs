@@ -1,0 +1,362 @@
+//! The data center: global routing, query distribution and result
+//! aggregation (Sections IV and VI-A).
+
+use dits::{DitsGlobal, OverlapResult};
+use spatial::distance::NeighborProbe;
+use spatial::{CellSet, DatasetId, Mbr, Point, SourceId, SpatialDataset};
+
+use crate::comm::CommStats;
+use crate::message::{CoverageCandidate, Message};
+use crate::source::DataSource;
+
+/// How the data center distributes a query to the data sources.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DistributionStrategy {
+    /// Send the whole query to every source (what the index-less baselines
+    /// do: no global index, no clipping).
+    Broadcast,
+    /// Use DITS-G to contact only candidate sources, but still send the
+    /// whole query to each of them (first strategy only).
+    Pruned,
+    /// Use DITS-G to select candidate sources *and* clip the query to the
+    /// region that can intersect each source (both strategies — the paper's
+    /// full query-distribution scheme).
+    PrunedClipped,
+}
+
+/// Aggregated OJSP answer: the global top-k across all sources.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AggregatedOverlap {
+    /// `(source, dataset, overlap)` triples sorted by decreasing overlap.
+    pub results: Vec<(SourceId, OverlapResult)>,
+}
+
+/// Aggregated CJSP answer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AggregatedCoverage {
+    /// Selected `(source, dataset)` pairs in greedy order.
+    pub selected: Vec<(SourceId, DatasetId)>,
+    /// Total coverage `|S_Q ∪ (∪ selected)|` in cells.
+    pub coverage: usize,
+    /// Coverage of the query alone.
+    pub query_coverage: usize,
+}
+
+/// The data center of the multi-source framework.
+#[derive(Debug, Clone)]
+pub struct DataCenter {
+    global: DitsGlobal,
+    /// Connectivity slack used when routing CJSP queries, in degrees of
+    /// longitude/latitude (δ converted from cells by the framework).
+    delta_lonlat: f64,
+}
+
+impl DataCenter {
+    /// Builds the data center's global index from the sources' uploaded root
+    /// summaries.
+    pub fn build(sources: &[DataSource], leaf_capacity: usize, delta_lonlat: f64) -> Self {
+        let summaries = sources.iter().map(|s| s.summary()).collect();
+        Self {
+            global: DitsGlobal::build(summaries, leaf_capacity),
+            delta_lonlat,
+        }
+    }
+
+    /// The global index (exposed for inspection / experiments).
+    pub fn global(&self) -> &DitsGlobal {
+        &self.global
+    }
+
+    /// Runs the multi-source overlap joinable search.
+    ///
+    /// Returns the aggregated global top-`k` together with the communication
+    /// statistics of the exchange.
+    pub fn ojsp(
+        &self,
+        sources: &[DataSource],
+        query: &SpatialDataset,
+        k: usize,
+        strategy: DistributionStrategy,
+    ) -> (AggregatedOverlap, CommStats) {
+        let mut comm = CommStats::new();
+        let mut all: Vec<(SourceId, OverlapResult)> = Vec::new();
+        let targets = self.route(sources, query, 0.0, strategy);
+        comm.sources_contacted = targets.len();
+
+        for source in targets {
+            let Some(query_cells) = self.prepare_query(source, query, 0.0, strategy) else {
+                continue;
+            };
+            if query_cells.is_empty() {
+                continue;
+            }
+            let request = Message::OverlapQuery { query: query_cells, k };
+            comm.record_request(request.wire_size());
+            let Some(reply) = source.handle(&request) else { continue };
+            comm.record_reply(reply.wire_size());
+            if let Message::OverlapReply { source: sid, results } = reply {
+                all.extend(results.into_iter().map(|r| (sid, r)));
+            }
+        }
+
+        all.sort_unstable_by(|a, b| {
+            b.1.overlap
+                .cmp(&a.1.overlap)
+                .then(a.0.cmp(&b.0))
+                .then(a.1.dataset.cmp(&b.1.dataset))
+        });
+        all.truncate(k);
+        (AggregatedOverlap { results: all }, comm)
+    }
+
+    /// Runs the multi-source coverage joinable search.
+    ///
+    /// Each candidate source returns its local greedy candidates (with their
+    /// cells); the data center then runs the final greedy selection across
+    /// sources, enforcing spatial connectivity with the query.  All sources
+    /// are assumed to share the query's grid resolution for the cell-level
+    /// aggregation (the per-run setting used throughout the paper's
+    /// experiments).
+    pub fn cjsp(
+        &self,
+        sources: &[DataSource],
+        query: &SpatialDataset,
+        k: usize,
+        delta_cells: f64,
+        strategy: DistributionStrategy,
+    ) -> (AggregatedCoverage, CommStats) {
+        let mut comm = CommStats::new();
+        let targets = self.route(sources, query, self.delta_lonlat, strategy);
+        comm.sources_contacted = targets.len();
+
+        let mut candidates: Vec<CoverageCandidate> = Vec::new();
+        let mut query_cells_any: Option<CellSet> = None;
+        for source in targets {
+            let Some(query_cells) = self.prepare_query(source, query, delta_cells, strategy)
+            else {
+                continue;
+            };
+            if query_cells.is_empty() {
+                continue;
+            }
+            if query_cells_any.is_none() {
+                // The un-clipped query in the shared grid, used for the final
+                // aggregation at the center.
+                query_cells_any = Some(source.grid_query(query));
+            }
+            let request = Message::CoverageQuery { query: query_cells, k, delta: delta_cells };
+            comm.record_request(request.wire_size());
+            let Some(reply) = source.handle(&request) else { continue };
+            comm.record_reply(reply.wire_size());
+            if let Message::CoverageReply { candidates: mut c, .. } = reply {
+                candidates.append(&mut c);
+            }
+        }
+
+        let query_cells = query_cells_any.unwrap_or_default();
+        let query_coverage = query_cells.len();
+        let mut merged = query_cells;
+        let mut selected: Vec<(SourceId, DatasetId)> = Vec::new();
+        let mut remaining: Vec<CoverageCandidate> = candidates;
+        while selected.len() < k && !remaining.is_empty() {
+            let probe = NeighborProbe::new(&merged);
+            let mut best: Option<(usize, usize)> = None; // (index, gain)
+            for (i, cand) in remaining.iter().enumerate() {
+                if !probe.within(&cand.cells, delta_cells) {
+                    continue;
+                }
+                let gain = cand.cells.marginal_gain(&merged);
+                let wins = match best {
+                    None => true,
+                    Some((bi, bg)) => {
+                        gain > bg
+                            || (gain == bg
+                                && (remaining[i].source, remaining[i].dataset)
+                                    < (remaining[bi].source, remaining[bi].dataset))
+                    }
+                };
+                if wins {
+                    best = Some((i, gain));
+                }
+            }
+            let Some((idx, gain)) = best else { break };
+            if gain == 0 {
+                break;
+            }
+            let chosen = remaining.swap_remove(idx);
+            merged.union_in_place(&chosen.cells);
+            selected.push((chosen.source, chosen.dataset));
+        }
+
+        (
+            AggregatedCoverage {
+                selected,
+                coverage: merged.len(),
+                query_coverage,
+            },
+            comm,
+        )
+    }
+
+    /// Chooses which sources to contact for a query.
+    fn route<'a>(
+        &self,
+        sources: &'a [DataSource],
+        query: &SpatialDataset,
+        delta_lonlat: f64,
+        strategy: DistributionStrategy,
+    ) -> Vec<&'a DataSource> {
+        match strategy {
+            DistributionStrategy::Broadcast => sources.iter().collect(),
+            DistributionStrategy::Pruned | DistributionStrategy::PrunedClipped => {
+                let Some(query_rect) = query.mbr() else { return Vec::new() };
+                let candidates = self.global.candidate_sources(&query_rect, delta_lonlat);
+                sources
+                    .iter()
+                    .filter(|s| candidates.iter().any(|c| c.source == s.id))
+                    .collect()
+            }
+        }
+    }
+
+    /// Grids the query with the target source's resolution and, under the
+    /// clipped strategy, keeps only the cells that can interact with the
+    /// source (its root MBR inflated by δ).
+    fn prepare_query(
+        &self,
+        source: &DataSource,
+        query: &SpatialDataset,
+        delta_cells: f64,
+        strategy: DistributionStrategy,
+    ) -> Option<CellSet> {
+        let cells = source.grid_query(query);
+        match strategy {
+            DistributionStrategy::Broadcast | DistributionStrategy::Pruned => Some(cells),
+            DistributionStrategy::PrunedClipped => {
+                let root = source.index().root_geometry().rect;
+                let slack = delta_cells.max(0.0);
+                let window = Mbr::new(
+                    Point::new(root.min.x - slack, root.min.y - slack),
+                    Point::new(root.max.x + slack, root.max.y + slack),
+                );
+                Some(cells.clip_to_window(&window))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dits::DitsLocalConfig;
+    use spatial::Grid;
+
+    /// Two regional sources far apart plus a query overlapping only one.
+    fn two_sources() -> Vec<DataSource> {
+        let grid = Grid::global(10).unwrap();
+        let east: Vec<SpatialDataset> = (0..15)
+            .map(|i| {
+                let pts = (0..8)
+                    .map(|j| Point::new(10.0 + i as f64 * 0.2 + j as f64 * 0.02, 50.0 + j as f64 * 0.02))
+                    .collect();
+                SpatialDataset::new(i, pts)
+            })
+            .collect();
+        let west: Vec<SpatialDataset> = (0..15)
+            .map(|i| {
+                let pts = (0..8)
+                    .map(|j| Point::new(-120.0 + i as f64 * 0.2 + j as f64 * 0.02, 40.0 + j as f64 * 0.02))
+                    .collect();
+                SpatialDataset::new(i, pts)
+            })
+            .collect();
+        vec![
+            DataSource::build(0, "east", grid, &east, DitsLocalConfig::default()),
+            DataSource::build(1, "west", grid, &west, DitsLocalConfig::default()),
+        ]
+    }
+
+    fn query_in_east() -> SpatialDataset {
+        SpatialDataset::new(
+            999,
+            (0..6).map(|j| Point::new(10.0 + j as f64 * 0.05, 50.0 + j as f64 * 0.02)).collect(),
+        )
+    }
+
+    #[test]
+    fn pruned_strategy_contacts_fewer_sources() {
+        let sources = two_sources();
+        let center = DataCenter::build(&sources, 4, 1.0);
+        let query = query_in_east();
+        let (_, broadcast) = center.ojsp(&sources, &query, 5, DistributionStrategy::Broadcast);
+        let (_, pruned) = center.ojsp(&sources, &query, 5, DistributionStrategy::Pruned);
+        assert_eq!(broadcast.sources_contacted, 2);
+        assert_eq!(pruned.sources_contacted, 1);
+        assert!(pruned.total_bytes() < broadcast.total_bytes());
+    }
+
+    #[test]
+    fn clipping_reduces_bytes_without_changing_results() {
+        let sources = two_sources();
+        let center = DataCenter::build(&sources, 4, 1.0);
+        let query = query_in_east();
+        let (res_pruned, comm_pruned) =
+            center.ojsp(&sources, &query, 5, DistributionStrategy::Pruned);
+        let (res_clipped, comm_clipped) =
+            center.ojsp(&sources, &query, 5, DistributionStrategy::PrunedClipped);
+        assert_eq!(
+            res_pruned.results.iter().map(|(_, r)| r.overlap).collect::<Vec<_>>(),
+            res_clipped.results.iter().map(|(_, r)| r.overlap).collect::<Vec<_>>()
+        );
+        assert!(comm_clipped.total_bytes() <= comm_pruned.total_bytes());
+    }
+
+    #[test]
+    fn ojsp_aggregates_across_sources() {
+        let sources = two_sources();
+        let center = DataCenter::build(&sources, 4, 1.0);
+        // A query spanning both regions (two clusters of points).
+        let mut pts: Vec<Point> =
+            (0..4).map(|j| Point::new(10.0 + j as f64 * 0.05, 50.0)).collect();
+        pts.extend((0..4).map(|j| Point::new(-120.0 + j as f64 * 0.05, 40.0)));
+        let query = SpatialDataset::new(999, pts);
+        let (res, comm) = center.ojsp(&sources, &query, 10, DistributionStrategy::PrunedClipped);
+        assert_eq!(comm.sources_contacted, 2);
+        let sources_seen: std::collections::HashSet<SourceId> =
+            res.results.iter().map(|(s, _)| *s).collect();
+        assert_eq!(sources_seen.len(), 2, "results should come from both sources");
+        // Sorted by decreasing overlap.
+        for w in res.results.windows(2) {
+            assert!(w[0].1.overlap >= w[1].1.overlap);
+        }
+    }
+
+    #[test]
+    fn cjsp_selects_connected_datasets() {
+        let sources = two_sources();
+        let center = DataCenter::build(&sources, 4, 2.0);
+        let query = query_in_east();
+        let (res, comm) =
+            center.cjsp(&sources, &query, 4, 10.0, DistributionStrategy::PrunedClipped);
+        assert!(res.coverage >= res.query_coverage);
+        assert!(res.selected.len() <= 4);
+        assert!(!res.selected.is_empty());
+        assert!(comm.total_bytes() > 0);
+        // All selected datasets come from the east source: the west one is
+        // thousands of cells away.
+        assert!(res.selected.iter().all(|(s, _)| *s == 0));
+    }
+
+    #[test]
+    fn empty_query_produces_empty_answer() {
+        let sources = two_sources();
+        let center = DataCenter::build(&sources, 4, 1.0);
+        let query = SpatialDataset::new(1, vec![]);
+        let (res, comm) = center.ojsp(&sources, &query, 5, DistributionStrategy::PrunedClipped);
+        assert!(res.results.is_empty());
+        assert_eq!(comm.total_bytes(), 0);
+        let (res, _) = center.cjsp(&sources, &query, 5, 10.0, DistributionStrategy::PrunedClipped);
+        assert!(res.selected.is_empty());
+        assert_eq!(res.coverage, 0);
+    }
+}

@@ -1,0 +1,143 @@
+//! Communication accounting: bytes transferred and transmission time.
+//!
+//! The paper's communication experiments (Figs. 13–14 and 19–20) report the
+//! number of bytes moved between the data center and the data sources and
+//! the corresponding transmission time, which is proportional to the bytes
+//! under a fixed network bandwidth.  [`CommStats`] is threaded through every
+//! simulated exchange and performs exactly that accounting.
+
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the simulated network.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CommConfig {
+    /// Network bandwidth in bytes per second used to convert transferred
+    /// bytes into transmission time. Default: 1 MiB/s, a deliberately modest
+    /// WAN-like figure so transmission time is visible next to search time.
+    pub bandwidth_bytes_per_sec: f64,
+    /// Fixed per-message latency in milliseconds (one way).
+    pub latency_ms: f64,
+}
+
+impl Default for CommConfig {
+    fn default() -> Self {
+        Self { bandwidth_bytes_per_sec: 1024.0 * 1024.0, latency_ms: 0.5 }
+    }
+}
+
+/// Accumulated communication statistics for one query (or one experiment).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct CommStats {
+    /// Bytes sent from the data center to data sources.
+    pub bytes_to_sources: usize,
+    /// Bytes sent from data sources back to the data center.
+    pub bytes_to_center: usize,
+    /// Number of request messages sent to sources.
+    pub requests: usize,
+    /// Number of reply messages received from sources.
+    pub replies: usize,
+    /// Number of sources contacted at least once.
+    pub sources_contacted: usize,
+}
+
+impl CommStats {
+    /// A zeroed statistics block.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Total bytes moved in both directions.
+    pub fn total_bytes(&self) -> usize {
+        self.bytes_to_sources + self.bytes_to_center
+    }
+
+    /// Total messages in both directions.
+    pub fn total_messages(&self) -> usize {
+        self.requests + self.replies
+    }
+
+    /// Records a request of `bytes` bytes sent to a source.
+    pub fn record_request(&mut self, bytes: usize) {
+        self.bytes_to_sources += bytes;
+        self.requests += 1;
+    }
+
+    /// Records a reply of `bytes` bytes received from a source.
+    pub fn record_reply(&mut self, bytes: usize) {
+        self.bytes_to_center += bytes;
+        self.replies += 1;
+    }
+
+    /// Transmission time implied by the byte volume and message count under
+    /// the given network configuration, in milliseconds.
+    pub fn transmission_time_ms(&self, config: &CommConfig) -> f64 {
+        let bandwidth = config.bandwidth_bytes_per_sec.max(1.0);
+        self.total_bytes() as f64 / bandwidth * 1000.0
+            + self.total_messages() as f64 * config.latency_ms
+    }
+
+    /// Merges another statistics block into this one.
+    pub fn merge(&mut self, other: &CommStats) {
+        self.bytes_to_sources += other.bytes_to_sources;
+        self.bytes_to_center += other.bytes_to_center;
+        self.requests += other.requests;
+        self.replies += other.replies;
+        self.sources_contacted += other.sources_contacted;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accounting_accumulates() {
+        let mut s = CommStats::new();
+        s.record_request(100);
+        s.record_request(50);
+        s.record_reply(10);
+        assert_eq!(s.bytes_to_sources, 150);
+        assert_eq!(s.bytes_to_center, 10);
+        assert_eq!(s.total_bytes(), 160);
+        assert_eq!(s.requests, 2);
+        assert_eq!(s.replies, 1);
+        assert_eq!(s.total_messages(), 3);
+    }
+
+    #[test]
+    fn transmission_time_scales_with_bytes_and_latency() {
+        let config = CommConfig { bandwidth_bytes_per_sec: 1000.0, latency_ms: 2.0 };
+        let mut s = CommStats::new();
+        s.record_request(500);
+        s.record_reply(500);
+        // 1000 bytes at 1000 B/s = 1 s = 1000 ms, plus 2 messages * 2 ms.
+        assert!((s.transmission_time_ms(&config) - 1004.0).abs() < 1e-9);
+        // More bytes, more time.
+        let mut bigger = s;
+        bigger.record_reply(1000);
+        assert!(bigger.transmission_time_ms(&config) > s.transmission_time_ms(&config));
+    }
+
+    #[test]
+    fn merge_combines_everything() {
+        let mut a = CommStats::new();
+        a.record_request(10);
+        a.sources_contacted = 1;
+        let mut b = CommStats::new();
+        b.record_reply(20);
+        b.sources_contacted = 2;
+        a.merge(&b);
+        assert_eq!(a.total_bytes(), 30);
+        assert_eq!(a.sources_contacted, 3);
+        assert_eq!(a.total_messages(), 2);
+    }
+
+    #[test]
+    fn default_config_is_sane() {
+        let c = CommConfig::default();
+        assert!(c.bandwidth_bytes_per_sec > 0.0);
+        assert!(c.latency_ms >= 0.0);
+        let s = CommStats::new();
+        assert_eq!(s.transmission_time_ms(&c), 0.0);
+    }
+}

@@ -1,0 +1,319 @@
+//! End-to-end assembly of the multi-source search framework.
+//!
+//! [`MultiSourceFramework`] owns the data sources and the data center,
+//! mirrors the deployment of Fig. 3 and exposes the two batch entry points
+//! the experiments need: `run_ojsp` and `run_cjsp` over a set of query
+//! datasets, returning the aggregated answers, the accumulated communication
+//! statistics and the wall-clock search time.
+
+use std::time::{Duration, Instant};
+
+use dits::DitsLocalConfig;
+use spatial::{Grid, SourceId, SpatialDataset};
+
+use crate::center::{
+    AggregatedCoverage, AggregatedOverlap, DataCenter, DistributionStrategy,
+};
+use crate::comm::{CommConfig, CommStats};
+use crate::source::DataSource;
+
+/// Configuration of the whole framework.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FrameworkConfig {
+    /// Grid resolution θ shared by the sources in one experiment run.
+    pub resolution: u32,
+    /// Leaf capacity `f` of every local index (and of the global index).
+    pub leaf_capacity: usize,
+    /// Connectivity threshold δ in cell units (CJSP only).
+    pub delta_cells: f64,
+    /// Query-distribution strategy.
+    pub strategy: DistributionStrategy,
+    /// Simulated network parameters.
+    pub comm: CommConfig,
+}
+
+impl Default for FrameworkConfig {
+    fn default() -> Self {
+        Self {
+            resolution: 12,
+            leaf_capacity: 10,
+            delta_cells: 10.0,
+            strategy: DistributionStrategy::PrunedClipped,
+            comm: CommConfig::default(),
+        }
+    }
+}
+
+/// Result of a batch run: per-query answers plus accumulated costs.
+#[derive(Debug, Clone)]
+pub struct BatchOutcome<T> {
+    /// One aggregated answer per query, in query order.
+    pub answers: Vec<T>,
+    /// Communication statistics accumulated over the whole batch.
+    pub comm: CommStats,
+    /// Wall-clock time spent in search and aggregation.
+    pub elapsed: Duration,
+}
+
+impl<T> BatchOutcome<T> {
+    /// Transmission time implied by the accumulated bytes, in milliseconds.
+    pub fn transmission_time_ms(&self, config: &CommConfig) -> f64 {
+        self.comm.transmission_time_ms(config)
+    }
+}
+
+/// The assembled multi-source search framework.
+#[derive(Debug, Clone)]
+pub struct MultiSourceFramework {
+    config: FrameworkConfig,
+    grid: Grid,
+    sources: Vec<DataSource>,
+    center: DataCenter,
+}
+
+impl MultiSourceFramework {
+    /// Builds the framework: one [`DataSource`] (with its DITS-L) per input
+    /// collection, then the data center's DITS-G from the uploaded root
+    /// summaries.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the resolution is outside `1..=31` (programming error in
+    /// experiment configuration).
+    pub fn build(
+        source_data: &[(String, Vec<SpatialDataset>)],
+        config: FrameworkConfig,
+    ) -> Self {
+        let grid = Grid::global(config.resolution).expect("valid resolution");
+        let local_config = DitsLocalConfig { leaf_capacity: config.leaf_capacity };
+        let sources: Vec<DataSource> = source_data
+            .iter()
+            .enumerate()
+            .map(|(i, (name, datasets))| {
+                DataSource::build(i as SourceId, name.clone(), grid, datasets, local_config)
+            })
+            .collect();
+        let delta_lonlat =
+            config.delta_cells * grid.cell_width().max(grid.cell_height());
+        let center = DataCenter::build(&sources, config.leaf_capacity, delta_lonlat);
+        Self { config, grid, sources, center }
+    }
+
+    /// The framework's configuration.
+    pub fn config(&self) -> &FrameworkConfig {
+        &self.config
+    }
+
+    /// The shared grid of this run.
+    pub fn grid(&self) -> &Grid {
+        &self.grid
+    }
+
+    /// The data sources.
+    pub fn sources(&self) -> &[DataSource] {
+        &self.sources
+    }
+
+    /// Mutable access to the data sources (index-maintenance experiments).
+    pub fn sources_mut(&mut self) -> &mut [DataSource] {
+        &mut self.sources
+    }
+
+    /// The data center.
+    pub fn center(&self) -> &DataCenter {
+        &self.center
+    }
+
+    /// Total number of datasets across all sources.
+    pub fn dataset_count(&self) -> usize {
+        self.sources.iter().map(|s| s.dataset_count()).sum()
+    }
+
+    /// Runs the overlap joinable search for one query.
+    pub fn ojsp(&self, query: &SpatialDataset, k: usize) -> (AggregatedOverlap, CommStats) {
+        self.center.ojsp(&self.sources, query, k, self.config.strategy)
+    }
+
+    /// Runs the coverage joinable search for one query.
+    pub fn cjsp(&self, query: &SpatialDataset, k: usize) -> (AggregatedCoverage, CommStats) {
+        self.center.cjsp(
+            &self.sources,
+            query,
+            k,
+            self.config.delta_cells,
+            self.config.strategy,
+        )
+    }
+
+    /// Runs OJSP over a batch of queries, accumulating costs.
+    pub fn run_ojsp(&self, queries: &[SpatialDataset], k: usize) -> BatchOutcome<AggregatedOverlap> {
+        let start = Instant::now();
+        let mut comm = CommStats::new();
+        let mut answers = Vec::with_capacity(queries.len());
+        for q in queries {
+            let (answer, c) = self.ojsp(q, k);
+            comm.merge(&c);
+            answers.push(answer);
+        }
+        BatchOutcome { answers, comm, elapsed: start.elapsed() }
+    }
+
+    /// Runs CJSP over a batch of queries, accumulating costs.
+    pub fn run_cjsp(&self, queries: &[SpatialDataset], k: usize) -> BatchOutcome<AggregatedCoverage> {
+        let start = Instant::now();
+        let mut comm = CommStats::new();
+        let mut answers = Vec::with_capacity(queries.len());
+        for q in queries {
+            let (answer, c) = self.cjsp(q, k);
+            comm.merge(&c);
+            answers.push(answer);
+        }
+        BatchOutcome { answers, comm, elapsed: start.elapsed() }
+    }
+
+    /// Runs OJSP over a batch of queries using one worker thread per CPU,
+    /// returning the same outcome as [`run_ojsp`](Self::run_ojsp).  The
+    /// multi-source search parallelises naturally because each query's
+    /// routing and aggregation are independent.
+    pub fn run_ojsp_parallel(
+        &self,
+        queries: &[SpatialDataset],
+        k: usize,
+    ) -> BatchOutcome<AggregatedOverlap> {
+        let start = Instant::now();
+        let workers = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4)
+            .min(queries.len().max(1));
+        let results = parking_lot::Mutex::new(vec![None; queries.len()]);
+        let next = std::sync::atomic::AtomicUsize::new(0);
+        crossbeam::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|_| loop {
+                    let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    if i >= queries.len() {
+                        break;
+                    }
+                    let outcome = self.ojsp(&queries[i], k);
+                    results.lock()[i] = Some(outcome);
+                });
+            }
+        })
+        .expect("worker thread panicked");
+        let mut comm = CommStats::new();
+        let mut answers = Vec::with_capacity(queries.len());
+        for slot in results.into_inner() {
+            let (answer, c) = slot.expect("every query processed");
+            comm.merge(&c);
+            answers.push(answer);
+        }
+        BatchOutcome { answers, comm, elapsed: start.elapsed() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datagen::{generate_source, paper_sources, GeneratorConfig, SourceScale};
+    use spatial::Point;
+
+    fn tiny_framework(strategy: DistributionStrategy) -> (MultiSourceFramework, Vec<SpatialDataset>) {
+        let config = GeneratorConfig {
+            scale: SourceScale::Custom(400),
+            seed: 11,
+            max_points_per_dataset: Some(120),
+        };
+        let source_data: Vec<(String, Vec<SpatialDataset>)> = paper_sources()
+            .iter()
+            .map(|p| (p.name.to_string(), generate_source(p, &config)))
+            .collect();
+        let queries: Vec<SpatialDataset> = source_data
+            .iter()
+            .flat_map(|(_, d)| d.iter().take(1).cloned())
+            .collect();
+        let fw = MultiSourceFramework::build(
+            &source_data,
+            FrameworkConfig {
+                resolution: 11,
+                strategy,
+                ..FrameworkConfig::default()
+            },
+        );
+        (fw, queries)
+    }
+
+    #[test]
+    fn builds_five_sources_from_the_generator() {
+        let (fw, _) = tiny_framework(DistributionStrategy::PrunedClipped);
+        assert_eq!(fw.sources().len(), 5);
+        assert!(fw.dataset_count() > 0);
+        assert_eq!(fw.center().global().source_count(), 5);
+        assert_eq!(fw.grid().resolution(), 11);
+    }
+
+    #[test]
+    fn queries_drawn_from_a_source_find_themselves() {
+        let (fw, queries) = tiny_framework(DistributionStrategy::PrunedClipped);
+        let outcome = fw.run_ojsp(&queries, 5);
+        assert_eq!(outcome.answers.len(), queries.len());
+        // A query that *is* one of the indexed datasets must be found with
+        // full overlap (it is its own best match).
+        let found_self = outcome.answers.iter().filter(|a| !a.results.is_empty()).count();
+        assert_eq!(found_self, queries.len());
+        assert!(outcome.comm.total_bytes() > 0);
+        assert!(outcome.transmission_time_ms(&CommConfig::default()) > 0.0);
+    }
+
+    #[test]
+    fn strategies_agree_on_results_but_not_on_cost() {
+        let (fw_b, queries) = tiny_framework(DistributionStrategy::Broadcast);
+        let (fw_c, _) = tiny_framework(DistributionStrategy::PrunedClipped);
+        let out_b = fw_b.run_ojsp(&queries, 5);
+        let out_c = fw_c.run_ojsp(&queries, 5);
+        for (a, b) in out_b.answers.iter().zip(out_c.answers.iter()) {
+            assert_eq!(
+                a.results.iter().map(|(_, r)| r.overlap).collect::<Vec<_>>(),
+                b.results.iter().map(|(_, r)| r.overlap).collect::<Vec<_>>()
+            );
+        }
+        assert!(out_c.comm.total_bytes() <= out_b.comm.total_bytes());
+        assert!(out_c.comm.requests <= out_b.comm.requests);
+    }
+
+    #[test]
+    fn cjsp_batch_improves_coverage() {
+        let (fw, queries) = tiny_framework(DistributionStrategy::PrunedClipped);
+        let outcome = fw.run_cjsp(&queries, 3);
+        assert_eq!(outcome.answers.len(), queries.len());
+        for a in &outcome.answers {
+            assert!(a.coverage >= a.query_coverage);
+            assert!(a.selected.len() <= 3);
+        }
+    }
+
+    #[test]
+    fn parallel_and_sequential_ojsp_agree() {
+        let (fw, queries) = tiny_framework(DistributionStrategy::PrunedClipped);
+        let seq = fw.run_ojsp(&queries, 4);
+        let par = fw.run_ojsp_parallel(&queries, 4);
+        assert_eq!(seq.answers.len(), par.answers.len());
+        for (a, b) in seq.answers.iter().zip(par.answers.iter()) {
+            assert_eq!(a, b);
+        }
+        assert_eq!(seq.comm.total_bytes(), par.comm.total_bytes());
+    }
+
+    #[test]
+    fn index_maintenance_through_the_framework() {
+        let (mut fw, _) = tiny_framework(DistributionStrategy::PrunedClipped);
+        let before = fw.dataset_count();
+        let grid = *fw.grid();
+        let new_dataset = SpatialDataset::new(
+            90_000,
+            (0..10).map(|j| Point::new(-77.0 + j as f64 * 0.01, 38.9)).collect(),
+        );
+        let node = dits::DatasetNode::from_dataset(&grid, &new_dataset).unwrap();
+        assert!(fw.sources_mut()[3].index_mut().insert(node));
+        assert_eq!(fw.dataset_count(), before + 1);
+    }
+}

@@ -1,0 +1,202 @@
+//! A data source: an autonomous holder of spatial datasets with its own
+//! local index, answering the data center's query messages.
+
+use dits::{
+    coverage_search, overlap_search, CoverageConfig, DatasetNode, DitsLocal, DitsLocalConfig,
+    SourceSummary,
+};
+use spatial::{CellSet, Grid, SourceId, SpatialDataset};
+
+use crate::message::{CoverageCandidate, Message};
+
+/// One autonomous data source of the multi-source framework.
+#[derive(Debug, Clone)]
+pub struct DataSource {
+    /// The source's identifier.
+    pub id: SourceId,
+    /// Human-readable name (portal name).
+    pub name: String,
+    grid: Grid,
+    index: DitsLocal,
+    dataset_nodes: Vec<DatasetNode>,
+}
+
+impl DataSource {
+    /// Builds a data source from raw datasets: grids them at the source's own
+    /// resolution and constructs the local DITS-L index.
+    pub fn build(
+        id: SourceId,
+        name: impl Into<String>,
+        grid: Grid,
+        datasets: &[SpatialDataset],
+        config: DitsLocalConfig,
+    ) -> Self {
+        let dataset_nodes: Vec<DatasetNode> = datasets
+            .iter()
+            .filter_map(|d| DatasetNode::from_dataset(&grid, d).ok())
+            .collect();
+        let index = DitsLocal::build(dataset_nodes.clone(), config);
+        Self {
+            id,
+            name: name.into(),
+            grid,
+            index,
+            dataset_nodes,
+        }
+    }
+
+    /// The source's grid (each source may pick its own resolution).
+    pub fn grid(&self) -> &Grid {
+        &self.grid
+    }
+
+    /// The source's local index.
+    pub fn index(&self) -> &DitsLocal {
+        &self.index
+    }
+
+    /// Mutable access to the local index (used by maintenance experiments).
+    pub fn index_mut(&mut self) -> &mut DitsLocal {
+        &mut self.index
+    }
+
+    /// The dataset nodes held by the source (used by the SG baseline, which
+    /// scans the raw collection instead of an index).
+    pub fn dataset_nodes(&self) -> &[DatasetNode] {
+        &self.dataset_nodes
+    }
+
+    /// Number of indexed datasets.
+    pub fn dataset_count(&self) -> usize {
+        self.index.dataset_count()
+    }
+
+    /// The root summary uploaded to the data center after index construction.
+    pub fn summary(&self) -> SourceSummary {
+        SourceSummary::from_local_root(self.id, &self.grid, self.index.root_geometry())
+    }
+
+    /// Grids a query dataset with this source's own resolution.
+    pub fn grid_query(&self, query: &SpatialDataset) -> CellSet {
+        CellSet::from_points(&self.grid, &query.points)
+    }
+
+    /// Handles one request message, producing the reply the source would put
+    /// on the wire.  Unknown request types yield `None`.
+    pub fn handle(&self, request: &Message) -> Option<Message> {
+        match request {
+            Message::OverlapQuery { query, k } => {
+                let (results, _) = overlap_search(&self.index, query, *k);
+                Some(Message::OverlapReply { source: self.id, results })
+            }
+            Message::CoverageQuery { query, k, delta } => {
+                let (result, _) =
+                    coverage_search(&self.index, query, CoverageConfig::new(*k, *delta));
+                let candidates = result
+                    .datasets
+                    .iter()
+                    .filter_map(|id| {
+                        self.index.find_dataset(*id).map(|(_, node)| CoverageCandidate {
+                            source: self.id,
+                            dataset: *id,
+                            cells: node.cells.clone(),
+                        })
+                    })
+                    .collect();
+                Some(Message::CoverageReply { source: self.id, candidates })
+            }
+            Message::OverlapReply { .. } | Message::CoverageReply { .. } => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spatial::Point;
+
+    fn source_with_routes() -> DataSource {
+        let grid = Grid::global(10).unwrap();
+        let datasets: Vec<SpatialDataset> = (0..20)
+            .map(|i| {
+                let base_lon = -77.0 + (i as f64) * 0.3;
+                let points: Vec<Point> = (0..10)
+                    .map(|j| Point::new(base_lon + j as f64 * 0.02, 38.9 + j as f64 * 0.01))
+                    .collect();
+                SpatialDataset::new(i, points)
+            })
+            .collect();
+        DataSource::build(1, "test-source", grid, &datasets, DitsLocalConfig::default())
+    }
+
+    #[test]
+    fn build_indexes_all_nonempty_datasets() {
+        let s = source_with_routes();
+        assert_eq!(s.dataset_count(), 20);
+        assert_eq!(s.dataset_nodes().len(), 20);
+        assert_eq!(s.id, 1);
+        assert_eq!(s.name, "test-source");
+        let summary = s.summary();
+        assert_eq!(summary.source, 1);
+        assert_eq!(summary.resolution, 10);
+    }
+
+    #[test]
+    fn handles_overlap_query() {
+        let s = source_with_routes();
+        let query = SpatialDataset::new(99, vec![Point::new(-77.0, 38.9), Point::new(-76.9, 38.95)]);
+        let cells = s.grid_query(&query);
+        assert!(!cells.is_empty());
+        let reply = s.handle(&Message::OverlapQuery { query: cells, k: 5 }).unwrap();
+        match reply {
+            Message::OverlapReply { source, results } => {
+                assert_eq!(source, 1);
+                assert!(!results.is_empty());
+                assert!(results.len() <= 5);
+            }
+            other => panic!("unexpected reply {other:?}"),
+        }
+    }
+
+    #[test]
+    fn handles_coverage_query() {
+        let s = source_with_routes();
+        let query = SpatialDataset::new(99, vec![Point::new(-77.0, 38.9)]);
+        let cells = s.grid_query(&query);
+        let reply = s
+            .handle(&Message::CoverageQuery { query: cells, k: 3, delta: 10.0 })
+            .unwrap();
+        match reply {
+            Message::CoverageReply { source, candidates } => {
+                assert_eq!(source, 1);
+                assert!(candidates.len() <= 3);
+                for c in &candidates {
+                    assert_eq!(c.source, 1);
+                    assert!(!c.cells.is_empty());
+                }
+            }
+            other => panic!("unexpected reply {other:?}"),
+        }
+    }
+
+    #[test]
+    fn replies_are_not_handled_as_requests() {
+        let s = source_with_routes();
+        assert!(s
+            .handle(&Message::OverlapReply { source: 0, results: vec![] })
+            .is_none());
+        assert!(s
+            .handle(&Message::CoverageReply { source: 0, candidates: vec![] })
+            .is_none());
+    }
+
+    #[test]
+    fn index_mut_allows_maintenance() {
+        let mut s = source_with_routes();
+        let node = s.dataset_nodes()[0].clone();
+        assert!(s.index_mut().delete(node.id));
+        assert_eq!(s.dataset_count(), 19);
+        assert!(s.index_mut().insert(node));
+        assert_eq!(s.dataset_count(), 20);
+    }
+}

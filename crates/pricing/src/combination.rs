@@ -1,0 +1,290 @@
+//! Optimal dataset combinations and value-for-money ranking.
+//!
+//! The marketplace question the paper's conclusion poses — *"return the
+//! optimal dataset combination"* — is NP-hard even without prices (it
+//! contains CJSP).  This module provides:
+//!
+//! * [`optimal_combination`] — an exhaustive solver for small candidate pools
+//!   (≤ 20 datasets) that enumerates every affordable, connected subset and
+//!   returns the one with the maximum coverage, used to validate the greedy
+//!   heuristics and to answer small curated marketplaces exactly;
+//! * [`rank_by_value`] — a value-for-money ranking of individual datasets
+//!   with respect to a query (overlap gained per currency unit), the simple
+//!   scoreboard a marketplace UI would show before any combinatorial search.
+
+use crate::model::PriceBook;
+use dits::DatasetNode;
+use serde::{Deserialize, Serialize};
+use spatial::{satisfies_spatial_connectivity, CellSet, DatasetId};
+
+/// The best combination found by the exhaustive solver.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CombinationResult {
+    /// The selected datasets (sorted by id).
+    pub datasets: Vec<DatasetId>,
+    /// Coverage `|S_Q ∪ (∪ S_Di)|` of the combination.
+    pub coverage: usize,
+    /// Total price of the combination.
+    pub price: f64,
+}
+
+/// Exhaustively finds the affordable, connected subset of at most
+/// `max_datasets` datasets with the maximum coverage.
+///
+/// Ties on coverage are broken by the lower price, then by the
+/// lexicographically smaller id set, so the result is deterministic.
+///
+/// # Panics
+///
+/// Panics when more than 20 candidate datasets are supplied — the enumeration
+/// is exponential and larger pools should use the greedy solvers instead.
+pub fn optimal_combination(
+    candidates: &[DatasetNode],
+    query: &CellSet,
+    prices: &PriceBook,
+    budget: f64,
+    delta: f64,
+    max_datasets: usize,
+) -> CombinationResult {
+    assert!(
+        candidates.len() <= 20,
+        "optimal_combination enumerates subsets and supports at most 20 candidates"
+    );
+    let mut best = CombinationResult {
+        datasets: Vec::new(),
+        coverage: query.len(),
+        price: 0.0,
+    };
+    let n = candidates.len();
+    for mask in 0u32..(1u32 << n) {
+        if (mask.count_ones() as usize) > max_datasets {
+            continue;
+        }
+        let chosen: Vec<&DatasetNode> = (0..n)
+            .filter(|i| mask & (1 << i) != 0)
+            .map(|i| &candidates[i])
+            .collect();
+        // Affordability first (cheap test), then connectivity.
+        let ids: Vec<DatasetId> = chosen.iter().map(|d| d.id).collect();
+        let Some(price) = prices.total(&ids) else { continue };
+        if price > budget {
+            continue;
+        }
+        let mut sets: Vec<&CellSet> = chosen.iter().map(|d| &d.cells).collect();
+        sets.push(query);
+        if !satisfies_spatial_connectivity(&sets, delta) {
+            continue;
+        }
+        let mut union = query.clone();
+        for d in &chosen {
+            union.union_in_place(&d.cells);
+        }
+        let coverage = union.len();
+        let better = coverage > best.coverage
+            || (coverage == best.coverage && price < best.price)
+            || (coverage == best.coverage && price == best.price && ids < best.datasets);
+        if better {
+            best = CombinationResult {
+                datasets: ids,
+                coverage,
+                price,
+            };
+        }
+    }
+    best
+}
+
+/// One row of the value-for-money scoreboard.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ValueRanking {
+    /// The ranked dataset.
+    pub dataset: DatasetId,
+    /// Its overlap with the query (cells shared).
+    pub overlap: usize,
+    /// Its marginal gain over the query (new cells it would add).
+    pub gain: usize,
+    /// Its price.
+    pub price: f64,
+    /// Gain per currency unit (`f64::INFINITY` for free datasets with
+    /// positive gain).
+    pub value: f64,
+}
+
+/// Ranks datasets by coverage gained per currency unit with respect to a
+/// query.  Unpriced datasets are skipped; datasets with zero gain are ranked
+/// last regardless of price.
+pub fn rank_by_value(
+    candidates: &[DatasetNode],
+    query: &CellSet,
+    prices: &PriceBook,
+) -> Vec<ValueRanking> {
+    let mut rows: Vec<ValueRanking> = candidates
+        .iter()
+        .filter_map(|node| {
+            let price = prices.price(node.id)?;
+            let overlap = node.cells.intersection_size(query);
+            let gain = node.cells.marginal_gain(query);
+            let value = if gain == 0 {
+                0.0
+            } else if price > 0.0 {
+                gain as f64 / price
+            } else {
+                f64::INFINITY
+            };
+            Some(ValueRanking {
+                dataset: node.id,
+                overlap,
+                gain,
+                price,
+                value,
+            })
+        })
+        .collect();
+    rows.sort_unstable_by(|a, b| {
+        b.value
+            .partial_cmp(&a.value)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(b.gain.cmp(&a.gain))
+            .then(a.dataset.cmp(&b.dataset))
+    });
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::budgeted::{budgeted_coverage_search, BudgetedConfig};
+    use dits::{DitsLocal, DitsLocalConfig};
+    use proptest::prelude::*;
+    use spatial::zorder::cell_id;
+
+    fn node(id: DatasetId, coords: &[(u32, u32)]) -> DatasetNode {
+        DatasetNode::from_cell_set(
+            id,
+            CellSet::from_cells(coords.iter().map(|&(x, y)| cell_id(x, y))),
+        )
+        .unwrap()
+    }
+
+    fn cs(coords: &[(u32, u32)]) -> CellSet {
+        CellSet::from_cells(coords.iter().map(|&(x, y)| cell_id(x, y)))
+    }
+
+    fn prices_by_coverage(nodes: &[DatasetNode]) -> PriceBook {
+        let mut book = PriceBook::new();
+        for n in nodes {
+            book.set(n.id, n.coverage() as f64);
+        }
+        book
+    }
+
+    #[test]
+    fn optimal_combination_respects_all_constraints() {
+        let nodes = vec![
+            node(0, &[(2, 0), (3, 0)]),
+            node(1, &[(4, 0), (5, 0)]),
+            node(2, &[(50, 50)]),
+        ];
+        let prices = prices_by_coverage(&nodes);
+        let query = cs(&[(0, 0), (1, 0)]);
+        // Budget 4 affords both connected datasets (2 + 2); the far dataset 2
+        // is excluded by connectivity regardless of budget.
+        let best = optimal_combination(&nodes, &query, &prices, 4.0, 2.0, 3);
+        assert_eq!(best.datasets, vec![0, 1]);
+        assert_eq!(best.coverage, 6);
+        assert_eq!(best.price, 4.0);
+        // Budget 2 affords only one of them.
+        let tight = optimal_combination(&nodes, &query, &prices, 2.0, 2.0, 3);
+        assert_eq!(tight.datasets.len(), 1);
+        assert_eq!(tight.coverage, 4);
+    }
+
+    #[test]
+    fn optimal_combination_of_empty_pool_is_the_query() {
+        let prices = PriceBook::new();
+        let query = cs(&[(0, 0)]);
+        let best = optimal_combination(&[], &query, &prices, 10.0, 1.0, 3);
+        assert!(best.datasets.is_empty());
+        assert_eq!(best.coverage, 1);
+        assert_eq!(best.price, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at most 20 candidates")]
+    fn optimal_combination_rejects_large_pools() {
+        let nodes: Vec<DatasetNode> = (0..21).map(|i| node(i, &[(i, 0)])).collect();
+        let _ = optimal_combination(&nodes, &cs(&[(0, 0)]), &PriceBook::new(), 1.0, 1.0, 1);
+    }
+
+    #[test]
+    fn rank_by_value_orders_by_gain_per_price() {
+        let nodes = vec![
+            node(0, &[(0, 0), (2, 0)]),          // overlap 1, gain 1
+            node(1, &[(3, 0), (4, 0), (5, 0)]),  // overlap 0, gain 3
+            node(2, &[(0, 0), (1, 0)]),          // fully covered by the query
+        ];
+        let mut prices = PriceBook::new();
+        prices.set(0, 1.0); // value 1.0
+        prices.set(1, 6.0); // value 0.5
+        prices.set(2, 0.5); // gain 0 -> value 0
+        let query = cs(&[(0, 0), (1, 0)]);
+        let ranking = rank_by_value(&nodes, &query, &prices);
+        assert_eq!(ranking.len(), 3);
+        assert_eq!(ranking[0].dataset, 0);
+        assert_eq!(ranking[0].value, 1.0);
+        assert_eq!(ranking[1].dataset, 1);
+        assert_eq!(ranking[2].dataset, 2);
+        assert_eq!(ranking[2].value, 0.0);
+        assert_eq!(ranking[0].overlap, 1);
+        assert_eq!(ranking[1].gain, 3);
+    }
+
+    #[test]
+    fn rank_by_value_skips_unpriced_and_handles_free_datasets() {
+        let nodes = vec![node(0, &[(2, 0)]), node(1, &[(3, 0)])];
+        let mut prices = PriceBook::new();
+        prices.set(0, 0.0); // free with positive gain -> infinite value, first
+        let query = cs(&[(0, 0)]);
+        let ranking = rank_by_value(&nodes, &query, &prices);
+        assert_eq!(ranking.len(), 1);
+        assert_eq!(ranking[0].dataset, 0);
+        assert!(ranking[0].value.is_infinite());
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+        #[test]
+        fn prop_budgeted_greedy_never_beats_the_optimum(
+            datasets in proptest::collection::vec(
+                proptest::collection::vec((0u32..12, 0u32..12), 1..5), 1..9),
+            budget in 1.0f64..20.0,
+        ) {
+            let nodes: Vec<DatasetNode> = datasets
+                .iter()
+                .enumerate()
+                .map(|(i, c)| node(i as DatasetId, c))
+                .collect();
+            let prices = prices_by_coverage(&nodes);
+            let query = cs(&[(0, 0), (1, 1)]);
+            let delta = 4.0;
+            let index = DitsLocal::build(nodes.clone(), DitsLocalConfig { leaf_capacity: 3 });
+            let (greedy, _) = budgeted_coverage_search(
+                &index, &query, &prices, BudgetedConfig::new(budget, delta));
+            let optimum = optimal_combination(&nodes, &query, &prices, budget, delta, nodes.len());
+            // The greedy solution is feasible, so the exhaustive optimum is an
+            // upper bound on its coverage, and both are bounded below by the
+            // query's own coverage.
+            prop_assert!(greedy.coverage <= optimum.coverage,
+                "greedy {} beats optimum {}", greedy.coverage, optimum.coverage);
+            prop_assert!(greedy.coverage >= query.len());
+            prop_assert!(optimum.price <= budget + 1e-9);
+            // When something affordable is directly connected to the query,
+            // the greedy must make progress too (it can always fall back to
+            // the best single purchase).
+            if optimum.coverage > query.len() && optimum.datasets.len() == 1 {
+                prop_assert!(greedy.coverage > query.len(),
+                    "greedy made no progress although a single affordable connected dataset exists");
+            }
+        }
+    }
+}

@@ -1,0 +1,33 @@
+//! Price-aware spatial dataset combination search.
+//!
+//! The paper closes with: *"An interesting future research direction is to
+//! explore the spatial dataset search based on the data pricing to return the
+//! optimal dataset combination."*  This crate implements that direction on
+//! top of the same cell-set vocabulary and DITS index used by the exact
+//! algorithms:
+//!
+//! * [`model`] — pricing models for datasets sold by a data marketplace:
+//!   flat per-dataset prices, per-cell (per-coverage) rates, tiered volume
+//!   pricing, and per-source price books.
+//! * [`budgeted`] — the *budgeted* coverage joinable search: maximise the
+//!   covered area subject to a monetary budget instead of a cardinality
+//!   budget `k` (the budgeted maximum coverage problem of Khuller, Moss &
+//!   Naor \[33\], extended with the paper's spatial-connectivity constraint).
+//! * [`weighted`] — the *weighted* coverage joinable search: cells carry
+//!   non-uniform value (e.g. commuter demand per cell), and the search
+//!   maximises the total value covered (the weighted MCP of \[48\]).
+//! * [`combination`] — exhaustive optimal combination search for small
+//!   instances plus value-for-money ranking helpers, used both by tests (to
+//!   validate the greedy heuristics) and by the marketplace example.
+
+#![warn(missing_docs)]
+
+pub mod budgeted;
+pub mod combination;
+pub mod model;
+pub mod weighted;
+
+pub use budgeted::{budgeted_coverage_search, BudgetedConfig, BudgetedResult};
+pub use combination::{optimal_combination, rank_by_value, CombinationResult};
+pub use model::{DatasetPrice, PriceBook, PricingModel};
+pub use weighted::{weighted_coverage_search, CellWeights, WeightedConfig, WeightedResult};

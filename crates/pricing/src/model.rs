@@ -1,0 +1,226 @@
+//! Pricing models for spatial datasets offered by a data marketplace.
+//!
+//! Open-data portals are free, but the multi-source setting the paper
+//! motivates — independent companies exposing their own data sources —
+//! naturally leads to priced datasets.  A [`PricingModel`] maps a dataset
+//! (through its cell-based coverage and point count) to a price, and a
+//! [`PriceBook`] records the concrete offer of one data source.
+
+use dits::DatasetNode;
+use serde::{Deserialize, Serialize};
+use spatial::DatasetId;
+use std::collections::HashMap;
+
+/// How a data source prices its datasets.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum PricingModel {
+    /// Every dataset costs the same flat amount.
+    Flat {
+        /// Price per dataset.
+        price: f64,
+    },
+    /// Price proportional to the dataset's spatial coverage (its number of
+    /// cells) — larger datasets cost more.
+    PerCell {
+        /// Price per covered cell.
+        rate: f64,
+        /// Minimum charge per dataset.
+        minimum: f64,
+    },
+    /// Tiered volume pricing: the per-cell rate drops once the coverage
+    /// exceeds each tier boundary (marginal pricing, like cloud egress).
+    Tiered {
+        /// `(coverage boundary, per-cell rate)` pairs, evaluated in order;
+        /// cells beyond the last boundary use the last rate.
+        tiers: Vec<(usize, f64)>,
+        /// Minimum charge per dataset.
+        minimum: f64,
+    },
+}
+
+impl PricingModel {
+    /// Price of a dataset with the given coverage (number of cells).
+    pub fn price_for_coverage(&self, coverage: usize) -> f64 {
+        match self {
+            PricingModel::Flat { price } => *price,
+            PricingModel::PerCell { rate, minimum } => (coverage as f64 * rate).max(*minimum),
+            PricingModel::Tiered { tiers, minimum } => {
+                if tiers.is_empty() {
+                    return *minimum;
+                }
+                let mut remaining = coverage;
+                let mut total = 0.0;
+                let mut previous_boundary = 0usize;
+                for &(boundary, rate) in tiers {
+                    let span = boundary.saturating_sub(previous_boundary);
+                    let in_tier = remaining.min(span);
+                    total += in_tier as f64 * rate;
+                    remaining -= in_tier;
+                    previous_boundary = boundary;
+                    if remaining == 0 {
+                        break;
+                    }
+                }
+                if remaining > 0 {
+                    // Beyond the last boundary: the last tier's rate applies.
+                    total += remaining as f64 * tiers.last().map(|t| t.1).unwrap_or(0.0);
+                }
+                total.max(*minimum)
+            }
+        }
+    }
+
+    /// Price of a dataset node.
+    pub fn price_of(&self, node: &DatasetNode) -> f64 {
+        self.price_for_coverage(node.coverage())
+    }
+}
+
+/// The price of one concrete dataset.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DatasetPrice {
+    /// The priced dataset.
+    pub dataset: DatasetId,
+    /// Its price in marketplace currency units.
+    pub price: f64,
+}
+
+/// The price book of one data source: per-dataset prices, either set
+/// explicitly or derived from a [`PricingModel`].
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct PriceBook {
+    prices: HashMap<DatasetId, f64>,
+}
+
+impl PriceBook {
+    /// Creates an empty price book.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Derives a price book from a pricing model applied to every dataset
+    /// node of a source.
+    pub fn from_model<'a, I>(model: &PricingModel, nodes: I) -> Self
+    where
+        I: IntoIterator<Item = &'a DatasetNode>,
+    {
+        let prices = nodes
+            .into_iter()
+            .map(|n| (n.id, model.price_of(n)))
+            .collect();
+        Self { prices }
+    }
+
+    /// Sets (or overrides) the price of one dataset.
+    pub fn set(&mut self, dataset: DatasetId, price: f64) {
+        self.prices.insert(dataset, price.max(0.0));
+    }
+
+    /// The price of a dataset; unpriced datasets are treated as not for sale
+    /// and return `None`.
+    pub fn price(&self, dataset: DatasetId) -> Option<f64> {
+        self.prices.get(&dataset).copied()
+    }
+
+    /// Number of priced datasets.
+    pub fn len(&self) -> usize {
+        self.prices.len()
+    }
+
+    /// Returns `true` when the book prices no dataset.
+    pub fn is_empty(&self) -> bool {
+        self.prices.is_empty()
+    }
+
+    /// Total price of a combination of datasets; `None` when any of them is
+    /// not for sale.
+    pub fn total(&self, datasets: &[DatasetId]) -> Option<f64> {
+        datasets.iter().map(|d| self.price(*d)).sum()
+    }
+
+    /// Iterates over all `(dataset, price)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (DatasetId, f64)> + '_ {
+        self.prices.iter().map(|(&d, &p)| (d, p))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spatial::zorder::cell_id;
+    use spatial::CellSet;
+
+    fn node(id: DatasetId, n_cells: u32) -> DatasetNode {
+        DatasetNode::from_cell_set(
+            id,
+            CellSet::from_cells((0..n_cells).map(|i| cell_id(i % 64, i / 64))),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn flat_pricing_ignores_coverage() {
+        let model = PricingModel::Flat { price: 12.5 };
+        assert_eq!(model.price_for_coverage(1), 12.5);
+        assert_eq!(model.price_for_coverage(10_000), 12.5);
+        assert_eq!(model.price_of(&node(0, 50)), 12.5);
+    }
+
+    #[test]
+    fn per_cell_pricing_scales_with_coverage() {
+        let model = PricingModel::PerCell { rate: 0.5, minimum: 2.0 };
+        assert_eq!(model.price_for_coverage(100), 50.0);
+        // The minimum kicks in for tiny datasets.
+        assert_eq!(model.price_for_coverage(1), 2.0);
+        assert_eq!(model.price_of(&node(0, 10)), 5.0);
+    }
+
+    #[test]
+    fn tiered_pricing_applies_marginal_rates() {
+        // First 10 cells at 1.0, next 90 at 0.5, beyond 100 at 0.1.
+        let model = PricingModel::Tiered {
+            tiers: vec![(10, 1.0), (100, 0.5), (usize::MAX, 0.1)],
+            minimum: 0.0,
+        };
+        assert_eq!(model.price_for_coverage(10), 10.0);
+        assert_eq!(model.price_for_coverage(100), 10.0 + 45.0);
+        assert_eq!(model.price_for_coverage(200), 10.0 + 45.0 + 10.0);
+        // Degenerate tier list falls back to the minimum.
+        let empty = PricingModel::Tiered { tiers: vec![], minimum: 3.0 };
+        assert_eq!(empty.price_for_coverage(1000), 3.0);
+    }
+
+    #[test]
+    fn tiered_pricing_beyond_last_boundary_uses_last_rate() {
+        let model = PricingModel::Tiered {
+            tiers: vec![(10, 2.0)],
+            minimum: 0.0,
+        };
+        // 10 cells at 2.0 each, 5 more at the last rate (2.0).
+        assert_eq!(model.price_for_coverage(15), 30.0);
+    }
+
+    #[test]
+    fn price_book_from_model_prices_every_node() {
+        let nodes: Vec<DatasetNode> = (0..5).map(|i| node(i, (i + 1) * 10)).collect();
+        let model = PricingModel::PerCell { rate: 1.0, minimum: 0.0 };
+        let book = PriceBook::from_model(&model, nodes.iter());
+        assert_eq!(book.len(), 5);
+        assert!(!book.is_empty());
+        assert_eq!(book.price(0), Some(10.0));
+        assert_eq!(book.price(4), Some(50.0));
+        assert_eq!(book.price(99), None);
+        assert_eq!(book.total(&[0, 4]), Some(60.0));
+        assert_eq!(book.total(&[0, 99]), None);
+    }
+
+    #[test]
+    fn explicit_prices_override_and_clamp() {
+        let mut book = PriceBook::new();
+        assert!(book.is_empty());
+        book.set(3, 7.0);
+        book.set(3, -5.0); // negative prices are clamped to zero
+        assert_eq!(book.price(3), Some(0.0));
+        assert_eq!(book.iter().count(), 1);
+    }
+}

@@ -1,0 +1,393 @@
+//! Cell-based datasets (Definition 5).
+//!
+//! A [`CellSet`] is the grid representation of a spatial dataset: the sorted,
+//! deduplicated set of z-order cell IDs that contain at least one of the
+//! dataset's points.  Both joinable-search problems are defined purely on
+//! cell sets — OJSP maximises `|S_Q ∩ S_D|` and CJSP maximises
+//! `|S_Q ∪ (∪ S_Di)|` — so the intersection-size and union-size primitives
+//! here are the hot path of every search algorithm in the repository.
+
+use crate::grid::Grid;
+use crate::mbr::Mbr;
+use crate::point::Point;
+use crate::zorder::{cell_coords, CellId};
+use serde::{Deserialize, Serialize};
+
+/// A sorted, deduplicated set of grid cell IDs representing a spatial
+/// dataset on a fixed grid.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CellSet {
+    cells: Vec<CellId>,
+}
+
+impl CellSet {
+    /// Creates an empty cell set.
+    pub fn new() -> Self {
+        Self { cells: Vec::new() }
+    }
+
+    /// Builds a cell set from an arbitrary iterator of cell IDs (sorting and
+    /// deduplicating).
+    pub fn from_cells<I: IntoIterator<Item = CellId>>(cells: I) -> Self {
+        let mut cells: Vec<CellId> = cells.into_iter().collect();
+        cells.sort_unstable();
+        cells.dedup();
+        Self { cells }
+    }
+
+    /// Builds the cell-based representation `S_{D,Cθ}` of a point dataset on
+    /// a grid, skipping points that fall outside the grid's bounded space
+    /// (real portals contain a handful of out-of-range records; the paper
+    /// simply grids what falls inside the declared space).
+    pub fn from_points(grid: &Grid, points: &[Point]) -> Self {
+        let mut cells: Vec<CellId> = points
+            .iter()
+            .filter_map(|p| grid.cell_of(p).ok())
+            .collect();
+        cells.sort_unstable();
+        cells.dedup();
+        Self { cells }
+    }
+
+    /// Number of cells in the set — the *spatial coverage* of the dataset.
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Returns `true` when the set contains no cells.
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// The sorted cell IDs.
+    pub fn cells(&self) -> &[CellId] {
+        &self.cells
+    }
+
+    /// Returns `true` when the set contains `cell`.
+    pub fn contains(&self, cell: CellId) -> bool {
+        self.cells.binary_search(&cell).is_ok()
+    }
+
+    /// Iterates over the cell IDs in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = CellId> + '_ {
+        self.cells.iter().copied()
+    }
+
+    /// Size of the intersection `|self ∩ other|` using a linear merge of the
+    /// two sorted lists.
+    pub fn intersection_size(&self, other: &CellSet) -> usize {
+        // Merge the smaller into the larger with galloping when the sizes are
+        // very skewed; otherwise a plain two-pointer merge.
+        let (small, large) = if self.len() <= other.len() {
+            (self, other)
+        } else {
+            (other, self)
+        };
+        if small.is_empty() || large.is_empty() {
+            return 0;
+        }
+        if small.len() * 16 < large.len() {
+            // Galloping: binary-search each element of the small set.
+            return small
+                .cells
+                .iter()
+                .filter(|c| large.contains(**c))
+                .count();
+        }
+        let mut i = 0;
+        let mut j = 0;
+        let mut count = 0;
+        while i < small.cells.len() && j < large.cells.len() {
+            match small.cells[i].cmp(&large.cells[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    count += 1;
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        count
+    }
+
+    /// Size of the union `|self ∪ other|`.
+    pub fn union_size(&self, other: &CellSet) -> usize {
+        self.len() + other.len() - self.intersection_size(other)
+    }
+
+    /// The union of two cell sets as a new set.
+    pub fn union(&self, other: &CellSet) -> CellSet {
+        let mut out = Vec::with_capacity(self.len() + other.len());
+        let mut i = 0;
+        let mut j = 0;
+        while i < self.cells.len() && j < other.cells.len() {
+            match self.cells[i].cmp(&other.cells[j]) {
+                std::cmp::Ordering::Less => {
+                    out.push(self.cells[i]);
+                    i += 1;
+                }
+                std::cmp::Ordering::Greater => {
+                    out.push(other.cells[j]);
+                    j += 1;
+                }
+                std::cmp::Ordering::Equal => {
+                    out.push(self.cells[i]);
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        out.extend_from_slice(&self.cells[i..]);
+        out.extend_from_slice(&other.cells[j..]);
+        CellSet { cells: out }
+    }
+
+    /// In-place union (used by CoverageSearch's merge strategy).
+    pub fn union_in_place(&mut self, other: &CellSet) {
+        *self = self.union(other);
+    }
+
+    /// The intersection of two cell sets as a new set.
+    pub fn intersection(&self, other: &CellSet) -> CellSet {
+        let mut out = Vec::new();
+        let mut i = 0;
+        let mut j = 0;
+        while i < self.cells.len() && j < other.cells.len() {
+            match self.cells[i].cmp(&other.cells[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    out.push(self.cells[i]);
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        CellSet { cells: out }
+    }
+
+    /// Marginal gain `g(S_D, R) = |S_D ∪ R| − |R|` of adding this set to an
+    /// accumulated union `R` (Equation 3): the number of cells of `self` not
+    /// already covered by `accumulated`.
+    pub fn marginal_gain(&self, accumulated: &CellSet) -> usize {
+        self.len() - self.intersection_size(accumulated)
+    }
+
+    /// Inserts a single cell, keeping the set sorted. Returns `true` when the
+    /// cell was not present before.
+    pub fn insert(&mut self, cell: CellId) -> bool {
+        match self.cells.binary_search(&cell) {
+            Ok(_) => false,
+            Err(pos) => {
+                self.cells.insert(pos, cell);
+                true
+            }
+        }
+    }
+
+    /// Removes a single cell. Returns `true` when the cell was present.
+    pub fn remove(&mut self, cell: CellId) -> bool {
+        match self.cells.binary_search(&cell) {
+            Ok(pos) => {
+                self.cells.remove(pos);
+                true
+            }
+            Err(_) => false,
+        }
+    }
+
+    /// The MBR of the set in *cell coordinate* space, or `None` for an empty
+    /// set.  Index nodes over cell-based datasets operate in this space.
+    pub fn mbr_cell_space(&self) -> Option<Mbr> {
+        Mbr::from_points(self.cells.iter().map(|&c| {
+            let (x, y) = cell_coords(c);
+            Point::new(x as f64, y as f64)
+        }))
+    }
+
+    /// Restricts the set to the cells whose coordinates fall inside `window`
+    /// (a rectangle in cell-coordinate space).  The multi-source framework
+    /// uses this to transmit only the part of a query that can intersect a
+    /// candidate source (the paper's second query-distribution strategy).
+    pub fn clip_to_window(&self, window: &Mbr) -> CellSet {
+        CellSet {
+            cells: self
+                .cells
+                .iter()
+                .copied()
+                .filter(|&c| {
+                    let (x, y) = cell_coords(c);
+                    window.contains_point(&Point::new(x as f64, y as f64))
+                })
+                .collect(),
+        }
+    }
+
+    /// An estimate of the heap memory used by this set, in bytes.
+    pub fn memory_bytes(&self) -> usize {
+        self.cells.capacity() * std::mem::size_of::<CellId>()
+    }
+}
+
+impl FromIterator<CellId> for CellSet {
+    fn from_iter<I: IntoIterator<Item = CellId>>(iter: I) -> Self {
+        CellSet::from_cells(iter)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grid::GridConfig;
+    use proptest::prelude::*;
+    use std::collections::BTreeSet;
+
+    fn set(ids: &[CellId]) -> CellSet {
+        CellSet::from_cells(ids.iter().copied())
+    }
+
+    #[test]
+    fn from_cells_sorts_and_dedups() {
+        let s = set(&[9, 3, 3, 11, 9]);
+        assert_eq!(s.cells(), &[3, 9, 11]);
+        assert_eq!(s.len(), 3);
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn paper_example2_cell_sets() {
+        // Example 2: S_D1 = {9, 11}, S_D2 = {1, 3}, S_D3 = {12, 13}.
+        let d1 = set(&[9, 11]);
+        let d2 = set(&[1, 3]);
+        let d3 = set(&[12, 13]);
+        assert_eq!(d1.intersection_size(&d2), 0);
+        assert_eq!(d1.union_size(&d2), 4);
+        assert_eq!(d1.union(&d3).cells(), &[9, 11, 12, 13]);
+    }
+
+    #[test]
+    fn intersection_and_union_sizes() {
+        let a = set(&[1, 2, 3, 4, 5]);
+        let b = set(&[4, 5, 6, 7]);
+        assert_eq!(a.intersection_size(&b), 2);
+        assert_eq!(b.intersection_size(&a), 2);
+        assert_eq!(a.union_size(&b), 7);
+        assert_eq!(a.intersection(&b).cells(), &[4, 5]);
+    }
+
+    #[test]
+    fn galloping_path_matches_merge_path() {
+        let small = set(&[10, 500, 999]);
+        let large: CellSet = (0..1000u64).collect();
+        assert_eq!(small.intersection_size(&large), 3);
+        assert_eq!(large.intersection_size(&small), 3);
+    }
+
+    #[test]
+    fn marginal_gain_matches_definition() {
+        let r = set(&[1, 2, 3]);
+        let d = set(&[3, 4, 5]);
+        // |D ∪ R| - |R| = 5 - 3 = 2
+        assert_eq!(d.marginal_gain(&r), 2);
+        assert_eq!(d.marginal_gain(&CellSet::new()), 3);
+        assert_eq!(CellSet::new().marginal_gain(&r), 0);
+    }
+
+    #[test]
+    fn insert_and_remove_keep_invariants() {
+        let mut s = set(&[5, 10]);
+        assert!(s.insert(7));
+        assert!(!s.insert(7));
+        assert_eq!(s.cells(), &[5, 7, 10]);
+        assert!(s.remove(5));
+        assert!(!s.remove(5));
+        assert_eq!(s.cells(), &[7, 10]);
+    }
+
+    #[test]
+    fn from_points_grids_a_dataset() {
+        let grid = Grid::new(GridConfig {
+            origin: Point::new(0.0, 0.0),
+            width: 1.0,
+            height: 1.0,
+            resolution: 2,
+        })
+        .unwrap();
+        let pts = vec![
+            Point::new(0.05, 0.05), // cell 0
+            Point::new(0.06, 0.07), // cell 0 again
+            Point::new(0.30, 0.30), // cell 3
+            Point::new(2.0, 2.0),   // out of bounds -> skipped
+        ];
+        let s = CellSet::from_points(&grid, &pts);
+        assert_eq!(s.cells(), &[0, 3]);
+    }
+
+    #[test]
+    fn clip_to_window_keeps_only_cells_inside() {
+        // 4x4 grid, keep only cells with coordinates in [0,1]x[0,1].
+        let s = set(&[0, 1, 3, 12, 15]);
+        let window = Mbr::new(Point::new(0.0, 0.0), Point::new(1.0, 1.0));
+        let clipped = s.clip_to_window(&window);
+        assert_eq!(clipped.cells(), &[0, 1, 3]);
+    }
+
+    #[test]
+    fn mbr_cell_space_bounds_all_cells() {
+        let s = set(&[0, 3, 12]); // coords (0,0), (1,1), (2,2)
+        let m = s.mbr_cell_space().unwrap();
+        assert_eq!(m.min, Point::new(0.0, 0.0));
+        assert_eq!(m.max, Point::new(2.0, 2.0));
+        assert!(CellSet::new().mbr_cell_space().is_none());
+    }
+
+    #[test]
+    fn memory_estimate_scales_with_len() {
+        let s: CellSet = (0..100u64).collect();
+        assert!(s.memory_bytes() >= 100 * 8);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_set_semantics_match_btreeset(
+            a in proptest::collection::vec(0u64..2000, 0..300),
+            b in proptest::collection::vec(0u64..2000, 0..300),
+        ) {
+            let sa: BTreeSet<u64> = a.iter().copied().collect();
+            let sb: BTreeSet<u64> = b.iter().copied().collect();
+            let ca = CellSet::from_cells(a.clone());
+            let cb = CellSet::from_cells(b.clone());
+            prop_assert_eq!(ca.intersection_size(&cb), sa.intersection(&sb).count());
+            prop_assert_eq!(ca.union_size(&cb), sa.union(&sb).count());
+            let u: Vec<u64> = sa.union(&sb).copied().collect();
+            let cu = ca.union(&cb);
+            prop_assert_eq!(cu.cells(), &u[..]);
+        }
+
+        #[test]
+        fn prop_inclusion_exclusion(
+            a in proptest::collection::vec(0u64..500, 0..200),
+            b in proptest::collection::vec(0u64..500, 0..200),
+        ) {
+            let ca = CellSet::from_cells(a);
+            let cb = CellSet::from_cells(b);
+            prop_assert_eq!(
+                ca.union_size(&cb) + ca.intersection_size(&cb),
+                ca.len() + cb.len()
+            );
+        }
+
+        #[test]
+        fn prop_marginal_gain_bounded_by_len(
+            a in proptest::collection::vec(0u64..500, 0..200),
+            b in proptest::collection::vec(0u64..500, 0..200),
+        ) {
+            let ca = CellSet::from_cells(a);
+            let cb = CellSet::from_cells(b);
+            prop_assert!(ca.marginal_gain(&cb) <= ca.len());
+            prop_assert_eq!(ca.marginal_gain(&cb), ca.union_size(&cb) - cb.len());
+        }
+    }
+}

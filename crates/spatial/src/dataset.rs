@@ -1,0 +1,191 @@
+//! Spatial datasets and data-source identifiers (Definitions 2–3).
+
+use crate::cellset::CellSet;
+use crate::error::SpatialError;
+use crate::grid::Grid;
+use crate::mbr::Mbr;
+use crate::point::Point;
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a dataset inside its data source.
+pub type DatasetId = u32;
+
+/// Identifier of a data source in the multi-source framework.
+pub type SourceId = u16;
+
+/// A spatial dataset: an identified set of 2-D points (Definition 2).
+///
+/// A [`SpatialDataset`] is the *raw* representation downloaded from a data
+/// portal; every index and every search algorithm works on its grid
+/// representation obtained through [`SpatialDataset::to_cell_set`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SpatialDataset {
+    /// Identifier of the dataset within its source.
+    pub id: DatasetId,
+    /// Human-readable name (portal file name, route name, …).
+    pub name: String,
+    /// The dataset's points.
+    pub points: Vec<Point>,
+}
+
+impl SpatialDataset {
+    /// Creates a dataset from an id and points, with a generated name.
+    pub fn new(id: DatasetId, points: Vec<Point>) -> Self {
+        Self {
+            id,
+            name: format!("dataset-{id}"),
+            points,
+        }
+    }
+
+    /// Creates a dataset with an explicit name.
+    pub fn named(id: DatasetId, name: impl Into<String>, points: Vec<Point>) -> Self {
+        Self {
+            id,
+            name: name.into(),
+            points,
+        }
+    }
+
+    /// Number of points `|D|`.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Returns `true` when the dataset has no points.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// The MBR of the dataset's points, or `None` for an empty dataset.
+    pub fn mbr(&self) -> Option<Mbr> {
+        Mbr::from_points(self.points.iter().copied())
+    }
+
+    /// Converts the dataset to its cell-based representation on a grid
+    /// (Definition 5).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpatialError::EmptyDataset`] when the dataset has no points
+    /// inside the grid's bounded space.
+    pub fn to_cell_set(&self, grid: &Grid) -> Result<CellSet, SpatialError> {
+        let set = CellSet::from_points(grid, &self.points);
+        if set.is_empty() {
+            return Err(SpatialError::EmptyDataset);
+        }
+        Ok(set)
+    }
+}
+
+/// Summary statistics of a data source, mirroring Table I of the paper.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SourceStats {
+    /// Name of the source (e.g. "Transit-dataset").
+    pub name: String,
+    /// Number of datasets in the source.
+    pub dataset_count: usize,
+    /// Total number of points across all datasets.
+    pub point_count: usize,
+    /// Bounding box of all points.
+    pub extent: Option<Mbr>,
+}
+
+impl SourceStats {
+    /// Computes the statistics of a collection of datasets.
+    pub fn compute(name: impl Into<String>, datasets: &[SpatialDataset]) -> Self {
+        let mut extent: Option<Mbr> = None;
+        let mut point_count = 0usize;
+        for d in datasets {
+            point_count += d.len();
+            if let Some(m) = d.mbr() {
+                extent = Some(match extent {
+                    Some(e) => e.union(&m),
+                    None => m,
+                });
+            }
+        }
+        Self {
+            name: name.into(),
+            dataset_count: datasets.len(),
+            point_count,
+            extent,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grid::GridConfig;
+
+    fn grid() -> Grid {
+        Grid::new(GridConfig {
+            origin: Point::new(0.0, 0.0),
+            width: 1.0,
+            height: 1.0,
+            resolution: 3,
+        })
+        .unwrap()
+    }
+
+    #[test]
+    fn dataset_basics() {
+        let d = SpatialDataset::new(7, vec![Point::new(0.1, 0.2), Point::new(0.3, 0.4)]);
+        assert_eq!(d.id, 7);
+        assert_eq!(d.len(), 2);
+        assert!(!d.is_empty());
+        assert_eq!(d.name, "dataset-7");
+        let named = SpatialDataset::named(1, "bus-route-42", vec![]);
+        assert_eq!(named.name, "bus-route-42");
+        assert!(named.is_empty());
+        assert!(named.mbr().is_none());
+    }
+
+    #[test]
+    fn mbr_encloses_all_points() {
+        let d = SpatialDataset::new(
+            0,
+            vec![
+                Point::new(0.1, 0.9),
+                Point::new(0.5, 0.2),
+                Point::new(0.7, 0.4),
+            ],
+        );
+        let m = d.mbr().unwrap();
+        for p in &d.points {
+            assert!(m.contains_point(p));
+        }
+    }
+
+    #[test]
+    fn to_cell_set_grids_points() {
+        let d = SpatialDataset::new(0, vec![Point::new(0.05, 0.05), Point::new(0.06, 0.06)]);
+        let s = d.to_cell_set(&grid()).unwrap();
+        assert_eq!(s.len(), 1);
+        let empty = SpatialDataset::new(1, vec![Point::new(5.0, 5.0)]);
+        assert_eq!(empty.to_cell_set(&grid()), Err(SpatialError::EmptyDataset));
+    }
+
+    #[test]
+    fn source_stats_aggregate() {
+        let datasets = vec![
+            SpatialDataset::new(0, vec![Point::new(0.0, 0.0), Point::new(1.0, 1.0)]),
+            SpatialDataset::new(1, vec![Point::new(2.0, -1.0)]),
+        ];
+        let stats = SourceStats::compute("test", &datasets);
+        assert_eq!(stats.dataset_count, 2);
+        assert_eq!(stats.point_count, 3);
+        let extent = stats.extent.unwrap();
+        assert_eq!(extent.min, Point::new(0.0, -1.0));
+        assert_eq!(extent.max, Point::new(2.0, 1.0));
+    }
+
+    #[test]
+    fn source_stats_of_empty_source() {
+        let stats = SourceStats::compute("empty", &[]);
+        assert_eq!(stats.dataset_count, 0);
+        assert_eq!(stats.point_count, 0);
+        assert!(stats.extent.is_none());
+    }
+}

@@ -1,0 +1,279 @@
+//! Cell-based dataset distance (Definition 6).
+//!
+//! `dist(S_D, S_D') = min_{c_i ∈ S_D, c_j ∈ S_D'} ||c_i, c_j||₂` — the
+//! Euclidean distance between the two closest cells of the two sets, with
+//! cell IDs decomposed back into grid coordinates.  The naive computation is
+//! quadratic; [`dataset_distance`] uses a plane-sweep over the cells sorted
+//! by x coordinate which is near-linear for the route-like datasets the
+//! paper targets, and [`dataset_distance_within`] allows early termination
+//! as soon as a pair within a threshold is found (all the connectivity
+//! checks only need `dist ≤ δ`).
+
+use crate::cellset::CellSet;
+use crate::zorder::cell_coords;
+
+/// Exact cell-based dataset distance between two non-empty cell sets.
+///
+/// Returns `f64::INFINITY` when either set is empty (no pair exists).
+pub fn dataset_distance(a: &CellSet, b: &CellSet) -> f64 {
+    // A good-enough threshold of 0 only allows early exit once a distance of
+    // exactly zero is found, which cannot be improved upon.
+    best_distance(a, b, 0.0)
+}
+
+/// Returns `true` when `dist(a, b) ≤ delta`, terminating as early as
+/// possible.  This is the predicate behind the *directly connected* relation
+/// (Definition 7).
+pub fn dataset_distance_within(a: &CellSet, b: &CellSet, delta: f64) -> bool {
+    if a.is_empty() || b.is_empty() {
+        return false;
+    }
+    // Pairs further apart than δ along the x axis can never qualify, so the
+    // sweep may discard them immediately — this keeps the predicate cheap
+    // even for far-apart datasets, which dominate the connectivity checks.
+    best_distance_bounded(a, b, delta, delta) <= delta
+}
+
+/// Shared kernel: finds the minimum pairwise cell distance, abandoning the
+/// search as soon as a pair at distance ≤ `good_enough` is found.
+fn best_distance(a: &CellSet, b: &CellSet, good_enough: f64) -> f64 {
+    best_distance_bounded(a, b, good_enough, f64::INFINITY)
+}
+
+/// Sweep kernel with an additional `cutoff`: pairs whose x gap exceeds the
+/// cutoff are skipped (sound when the caller only needs distances ≤ cutoff).
+fn best_distance_bounded(a: &CellSet, b: &CellSet, good_enough: f64, cutoff: f64) -> f64 {
+    if a.is_empty() || b.is_empty() {
+        return f64::INFINITY;
+    }
+    // Decompose once, sort by x; then for each cell of the smaller set only
+    // cells of the other set within the current best dx window need checking.
+    let (small, large) = if a.len() <= b.len() { (a, b) } else { (b, a) };
+    let mut pa: Vec<(f64, f64)> = small
+        .iter()
+        .map(|c| {
+            let (x, y) = cell_coords(c);
+            (x as f64, y as f64)
+        })
+        .collect();
+    let mut pb: Vec<(f64, f64)> = large
+        .iter()
+        .map(|c| {
+            let (x, y) = cell_coords(c);
+            (x as f64, y as f64)
+        })
+        .collect();
+    pa.sort_unstable_by(|l, r| l.0.partial_cmp(&r.0).unwrap());
+    pb.sort_unstable_by(|l, r| l.0.partial_cmp(&r.0).unwrap());
+
+    let mut best = f64::INFINITY;
+    let mut lo = 0usize;
+    for &(ax, ay) in &pa {
+        let window = best.min(cutoff);
+        // Advance the window start: cells whose x is more than the window to
+        // the left of ax can never improve the result (or cannot matter to
+        // the caller when beyond the cutoff).
+        while lo < pb.len() && ax - pb[lo].0 > window {
+            lo += 1;
+        }
+        for &(bx, by) in &pb[lo..] {
+            let dx = bx - ax;
+            if dx > window {
+                break;
+            }
+            let dy = by - ay;
+            let d = (dx * dx + dy * dy).sqrt();
+            if d < best {
+                best = d;
+                if best <= good_enough {
+                    return best;
+                }
+            }
+        }
+    }
+    best
+}
+
+/// A reusable "is anything within δ of this set?" probe.
+///
+/// The greedy coverage algorithms test hundreds of candidate datasets against
+/// the *same* (and steadily growing) result set every iteration; re-sorting
+/// that set for each candidate would dominate the run time.  A
+/// [`NeighborProbe`] decomposes and sorts the probe side once and then
+/// answers `within(candidate, δ)` by binary-searching the candidate's cells
+/// into the sorted x-order, with early acceptance on the first close pair.
+#[derive(Debug, Clone)]
+pub struct NeighborProbe {
+    /// Cell coordinates sorted by x.
+    xs: Vec<(f64, f64)>,
+}
+
+impl NeighborProbe {
+    /// Builds a probe over a cell set.
+    pub fn new(cells: &CellSet) -> Self {
+        let mut xs: Vec<(f64, f64)> = cells
+            .iter()
+            .map(|c| {
+                let (x, y) = cell_coords(c);
+                (x as f64, y as f64)
+            })
+            .collect();
+        xs.sort_unstable_by(|l, r| l.0.partial_cmp(&r.0).unwrap());
+        Self { xs }
+    }
+
+    /// Returns `true` when the probe set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.xs.is_empty()
+    }
+
+    /// Returns `true` when `dist(probe, other) ≤ delta`.
+    pub fn within(&self, other: &CellSet, delta: f64) -> bool {
+        if self.xs.is_empty() || other.is_empty() {
+            return false;
+        }
+        for cell in other.iter() {
+            let (cx, cy) = cell_coords(cell);
+            let (cx, cy) = (cx as f64, cy as f64);
+            // All probe cells with x in [cx - delta, cx + delta] are the only
+            // ones that can be within delta of this cell.
+            let start = self.xs.partition_point(|&(x, _)| x < cx - delta);
+            for &(x, y) in &self.xs[start..] {
+                if x > cx + delta {
+                    break;
+                }
+                let dx = x - cx;
+                let dy = y - cy;
+                if dx * dx + dy * dy <= delta * delta {
+                    return true;
+                }
+            }
+        }
+        false
+    }
+}
+
+/// Brute-force O(|a|·|b|) distance, kept for testing and for the baselines
+/// that the paper describes as scanning all pairs.
+pub fn dataset_distance_bruteforce(a: &CellSet, b: &CellSet) -> f64 {
+    let mut best = f64::INFINITY;
+    for ca in a.iter() {
+        let (ax, ay) = cell_coords(ca);
+        for cb in b.iter() {
+            let (bx, by) = cell_coords(cb);
+            let dx = ax as f64 - bx as f64;
+            let dy = ay as f64 - by as f64;
+            best = best.min((dx * dx + dy * dy).sqrt());
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::zorder::cell_id;
+    use proptest::prelude::*;
+
+    fn set_from_coords(coords: &[(u32, u32)]) -> CellSet {
+        CellSet::from_cells(coords.iter().map(|&(x, y)| cell_id(x, y)))
+    }
+
+    #[test]
+    fn paper_example3_distances() {
+        // Example 2/3: S_D1 = {9, 11}, S_D2 = {1, 3}, S_D3 = {12, 13} on the
+        // 4x4 grid of Fig. 2; dist(D1,D2) = 1, dist(D1,D3) = 1,
+        // dist(D2,D3) = sqrt(2).
+        let d1 = CellSet::from_cells([9u64, 11]);
+        let d2 = CellSet::from_cells([1u64, 3]);
+        let d3 = CellSet::from_cells([12u64, 13]);
+        assert_eq!(dataset_distance(&d1, &d2), 1.0);
+        assert_eq!(dataset_distance(&d1, &d3), 1.0);
+        assert!((dataset_distance(&d2, &d3) - 2f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn overlapping_sets_have_zero_distance() {
+        let a = set_from_coords(&[(1, 1), (2, 2)]);
+        let b = set_from_coords(&[(2, 2), (5, 5)]);
+        assert_eq!(dataset_distance(&a, &b), 0.0);
+        assert!(dataset_distance_within(&a, &b, 0.0));
+    }
+
+    #[test]
+    fn empty_sets_are_infinitely_far() {
+        let a = CellSet::new();
+        let b = set_from_coords(&[(1, 1)]);
+        assert_eq!(dataset_distance(&a, &b), f64::INFINITY);
+        assert!(!dataset_distance_within(&a, &b, 100.0));
+    }
+
+    #[test]
+    fn within_threshold_matches_exact() {
+        let a = set_from_coords(&[(0, 0), (10, 0)]);
+        let b = set_from_coords(&[(0, 5), (20, 20)]);
+        assert_eq!(dataset_distance(&a, &b), 5.0);
+        assert!(dataset_distance_within(&a, &b, 5.0));
+        assert!(!dataset_distance_within(&a, &b, 4.999));
+    }
+
+    #[test]
+    fn neighbor_probe_matches_within_check() {
+        let a = set_from_coords(&[(0, 0), (10, 0), (20, 5)]);
+        let b = set_from_coords(&[(0, 4), (30, 30)]);
+        let probe = NeighborProbe::new(&a);
+        assert!(probe.within(&b, 4.0));
+        assert!(!probe.within(&b, 3.9));
+        assert!(!NeighborProbe::new(&CellSet::new()).within(&b, 100.0));
+        assert!(!probe.within(&CellSet::new(), 100.0));
+        assert!(NeighborProbe::new(&CellSet::new()).is_empty());
+    }
+
+    proptest! {
+        #[test]
+        fn prop_probe_agrees_with_distance_within(
+            a in proptest::collection::vec((0u32..40, 0u32..40), 1..25),
+            b in proptest::collection::vec((0u32..40, 0u32..40), 1..25),
+            delta in 0.0f64..30.0,
+        ) {
+            let sa = set_from_coords(&a);
+            let sb = set_from_coords(&b);
+            let probe = NeighborProbe::new(&sa);
+            prop_assert_eq!(probe.within(&sb, delta), dataset_distance_within(&sa, &sb, delta));
+        }
+
+        #[test]
+        fn prop_sweep_matches_bruteforce(
+            a in proptest::collection::vec((0u32..64, 0u32..64), 1..40),
+            b in proptest::collection::vec((0u32..64, 0u32..64), 1..40),
+        ) {
+            let sa = set_from_coords(&a);
+            let sb = set_from_coords(&b);
+            let fast = dataset_distance(&sa, &sb);
+            let brute = dataset_distance_bruteforce(&sa, &sb);
+            prop_assert!((fast - brute).abs() < 1e-9, "fast={fast} brute={brute}");
+        }
+
+        #[test]
+        fn prop_distance_is_symmetric(
+            a in proptest::collection::vec((0u32..64, 0u32..64), 1..30),
+            b in proptest::collection::vec((0u32..64, 0u32..64), 1..30),
+        ) {
+            let sa = set_from_coords(&a);
+            let sb = set_from_coords(&b);
+            prop_assert_eq!(dataset_distance(&sa, &sb), dataset_distance(&sb, &sa));
+        }
+
+        #[test]
+        fn prop_within_agrees_with_exact(
+            a in proptest::collection::vec((0u32..32, 0u32..32), 1..25),
+            b in proptest::collection::vec((0u32..32, 0u32..32), 1..25),
+            delta in 0.0f64..50.0,
+        ) {
+            let sa = set_from_coords(&a);
+            let sb = set_from_coords(&b);
+            let exact = dataset_distance(&sa, &sb);
+            prop_assert_eq!(dataset_distance_within(&sa, &sb, delta), exact <= delta);
+        }
+    }
+}

@@ -1,0 +1,73 @@
+//! Error type shared by the spatial substrate.
+
+use std::fmt;
+
+/// Errors produced while building grids or cell-based datasets.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SpatialError {
+    /// The requested grid resolution is outside the supported range.
+    ///
+    /// Cell IDs are produced by interleaving two `θ`-bit coordinates into a
+    /// `u64`, so `θ` must satisfy `1 ≤ θ ≤ 31`.
+    InvalidResolution(u32),
+    /// The space bounds are degenerate (zero or negative width / height).
+    DegenerateSpace {
+        /// Width of the requested space.
+        width: f64,
+        /// Height of the requested space.
+        height: f64,
+    },
+    /// A point lies outside the grid's bounded space.
+    PointOutOfBounds {
+        /// The offending point's longitude.
+        x: f64,
+        /// The offending point's latitude.
+        y: f64,
+    },
+    /// A dataset was empty where a non-empty one is required.
+    EmptyDataset,
+}
+
+impl fmt::Display for SpatialError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpatialError::InvalidResolution(theta) => {
+                write!(f, "grid resolution θ={theta} outside supported range 1..=31")
+            }
+            SpatialError::DegenerateSpace { width, height } => {
+                write!(f, "degenerate space: width={width}, height={height}")
+            }
+            SpatialError::PointOutOfBounds { x, y } => {
+                write!(f, "point ({x}, {y}) outside the grid's bounded space")
+            }
+            SpatialError::EmptyDataset => write!(f, "dataset contains no points"),
+        }
+    }
+}
+
+impl std::error::Error for SpatialError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = SpatialError::InvalidResolution(40);
+        assert!(e.to_string().contains("40"));
+        let e = SpatialError::DegenerateSpace { width: 0.0, height: 1.0 };
+        assert!(e.to_string().contains("degenerate"));
+        let e = SpatialError::PointOutOfBounds { x: 1.0, y: 2.0 };
+        assert!(e.to_string().contains("outside"));
+        assert!(SpatialError::EmptyDataset.to_string().contains("no points"));
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        assert_eq!(SpatialError::EmptyDataset, SpatialError::EmptyDataset);
+        assert_ne!(
+            SpatialError::InvalidResolution(3),
+            SpatialError::InvalidResolution(4)
+        );
+    }
+}

@@ -1,0 +1,116 @@
+//! Spatial points (Definition 1).
+
+use serde::{Deserialize, Serialize};
+
+/// A 2-dimensional spatial point with a longitude `x` and a latitude `y`.
+///
+/// The paper models every record of a spatial dataset as such a pair, e.g.
+/// `p = (116.36422°, 39.88781°)`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Point {
+    /// Longitude (or generic x coordinate).
+    pub x: f64,
+    /// Latitude (or generic y coordinate).
+    pub y: f64,
+}
+
+impl Point {
+    /// Creates a new point from a longitude and a latitude.
+    pub const fn new(x: f64, y: f64) -> Self {
+        Self { x, y }
+    }
+
+    /// Euclidean distance to another point.
+    pub fn distance(&self, other: &Point) -> f64 {
+        self.distance_squared(other).sqrt()
+    }
+
+    /// Squared Euclidean distance (avoids the square root when only
+    /// comparisons are needed).
+    pub fn distance_squared(&self, other: &Point) -> f64 {
+        let dx = self.x - other.x;
+        let dy = self.y - other.y;
+        dx * dx + dy * dy
+    }
+
+    /// Component-wise minimum of two points.
+    pub fn min(&self, other: &Point) -> Point {
+        Point::new(self.x.min(other.x), self.y.min(other.y))
+    }
+
+    /// Component-wise maximum of two points.
+    pub fn max(&self, other: &Point) -> Point {
+        Point::new(self.x.max(other.x), self.y.max(other.y))
+    }
+
+    /// Midpoint between two points.
+    pub fn midpoint(&self, other: &Point) -> Point {
+        Point::new((self.x + other.x) / 2.0, (self.y + other.y) / 2.0)
+    }
+
+    /// Returns `true` when both coordinates are finite numbers.
+    pub fn is_finite(&self) -> bool {
+        self.x.is_finite() && self.y.is_finite()
+    }
+}
+
+impl From<(f64, f64)> for Point {
+    fn from((x, y): (f64, f64)) -> Self {
+        Point::new(x, y)
+    }
+}
+
+impl From<Point> for (f64, f64) {
+    fn from(p: Point) -> Self {
+        (p.x, p.y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distance_is_euclidean() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(3.0, 4.0);
+        assert_eq!(a.distance(&b), 5.0);
+        assert_eq!(a.distance_squared(&b), 25.0);
+    }
+
+    #[test]
+    fn distance_is_symmetric() {
+        let a = Point::new(-2.5, 7.0);
+        let b = Point::new(3.0, 4.0);
+        assert_eq!(a.distance(&b), b.distance(&a));
+    }
+
+    #[test]
+    fn distance_to_self_is_zero() {
+        let a = Point::new(12.3, -4.5);
+        assert_eq!(a.distance(&a), 0.0);
+    }
+
+    #[test]
+    fn min_max_midpoint() {
+        let a = Point::new(1.0, 8.0);
+        let b = Point::new(3.0, 4.0);
+        assert_eq!(a.min(&b), Point::new(1.0, 4.0));
+        assert_eq!(a.max(&b), Point::new(3.0, 8.0));
+        assert_eq!(a.midpoint(&b), Point::new(2.0, 6.0));
+    }
+
+    #[test]
+    fn tuple_conversions_roundtrip() {
+        let p: Point = (116.36422, 39.88781).into();
+        let t: (f64, f64) = p.into();
+        assert_eq!(t, (116.36422, 39.88781));
+    }
+
+    #[test]
+    fn finiteness_check() {
+        assert!(Point::new(1.0, 2.0).is_finite());
+        assert!(!Point::new(f64::NAN, 2.0).is_finite());
+        assert!(!Point::new(1.0, f64::INFINITY).is_finite());
+    }
+}

@@ -1,0 +1,29 @@
+//! Transit-planning applications of joinable spatial dataset search.
+//!
+//! The paper motivates both search problems with municipal transit planning
+//! (Example 1): overlap joinable search feeds trajectory near-duplicate
+//! detection and congestion analysis, coverage joinable search helps build
+//! transfer routes that "cover larger regions" while staying connected to the
+//! planner's query.  This crate turns that motivation into a small, concrete
+//! application layer on top of the core library:
+//!
+//! * [`route`] — transit routes as polylines, resampling them into the point
+//!   datasets the core library consumes, plus a deterministic synthetic
+//!   network generator (grid streets + radial express lines) used by the
+//!   examples and benches.
+//! * [`neardup`] — near-duplicate route detection: find route pairs whose
+//!   cell-based overlap fraction exceeds a threshold, driven by the exact
+//!   OverlapSearch over DITS-L.
+//! * [`transfer`] — transfer-network planning: pick `k` routes connected to a
+//!   query corridor that maximise the covered area, and derive the transfer
+//!   points (shared or adjacent cells) between consecutive selections.
+
+#![warn(missing_docs)]
+
+pub mod neardup;
+pub mod route;
+pub mod transfer;
+
+pub use neardup::{find_near_duplicates, DuplicatePair, NearDuplicateConfig};
+pub use route::{generate_network, NetworkConfig, RouteMode, TransitRoute};
+pub use transfer::{plan_transfers, TransferPlan, TransferPlanConfig, TransferPoint};

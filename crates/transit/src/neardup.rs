@@ -1,0 +1,219 @@
+//! Near-duplicate route detection driven by the overlap joinable search.
+//!
+//! Open transit portals accumulate near-identical copies of the same route
+//! (re-uploads, rebrandings, minor timetable revisions with the same shape).
+//! The paper cites trajectory near-duplicate detection \[56\] as the first
+//! downstream use of overlap joinable search; this module implements it:
+//!
+//! 1. grid every route,
+//! 2. index the cell sets in DITS-L,
+//! 3. for each route, run OverlapSearch and flag the pairs whose overlap
+//!    fraction (relative to the smaller route) exceeds a threshold.
+//!
+//! Using the index keeps the detection near-linear in practice instead of the
+//! quadratic all-pairs comparison.
+
+use crate::route::TransitRoute;
+use dits::{overlap_search, DatasetNode, DitsLocal, DitsLocalConfig};
+use serde::{Deserialize, Serialize};
+use spatial::{DatasetId, Grid};
+use std::collections::HashMap;
+
+/// Configuration of the near-duplicate detector.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NearDuplicateConfig {
+    /// Grid resolution θ used to rasterise the routes.
+    pub resolution: u32,
+    /// Resampling spacing along route polylines, in degrees.
+    pub spacing: f64,
+    /// Minimum overlap fraction `|A ∩ B| / min(|A|, |B|)` for a pair to be
+    /// reported as near-duplicates.
+    pub overlap_threshold: f64,
+    /// How many overlap candidates to examine per route (the `k` of the
+    /// underlying OJSP); only the strongest `k` overlaps can be reported.
+    pub candidates_per_route: usize,
+    /// Leaf capacity of the temporary index.
+    pub leaf_capacity: usize,
+}
+
+impl Default for NearDuplicateConfig {
+    fn default() -> Self {
+        Self {
+            resolution: 13,
+            spacing: 0.005,
+            overlap_threshold: 0.8,
+            candidates_per_route: 10,
+            leaf_capacity: 10,
+        }
+    }
+}
+
+/// One detected near-duplicate pair.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DuplicatePair {
+    /// The route with the smaller id.
+    pub first: DatasetId,
+    /// The route with the larger id.
+    pub second: DatasetId,
+    /// Number of shared cells.
+    pub shared_cells: usize,
+    /// Overlap fraction relative to the smaller route.
+    pub overlap_fraction: f64,
+}
+
+/// Detects near-duplicate route pairs in a network.
+///
+/// Returns pairs sorted by decreasing overlap fraction (ties by ids); each
+/// unordered pair is reported once.  Degenerate routes that rasterise to no
+/// cell are skipped.
+pub fn find_near_duplicates(
+    routes: &[TransitRoute],
+    config: &NearDuplicateConfig,
+) -> Vec<DuplicatePair> {
+    let Ok(grid) = Grid::global(config.resolution) else {
+        return Vec::new();
+    };
+    // Rasterise every route once.
+    let nodes: Vec<DatasetNode> = routes
+        .iter()
+        .filter_map(|r| DatasetNode::from_dataset(&grid, &r.to_dataset(config.spacing)).ok())
+        .collect();
+    if nodes.len() < 2 {
+        return Vec::new();
+    }
+    let sizes: HashMap<DatasetId, usize> = nodes.iter().map(|n| (n.id, n.coverage())).collect();
+    let index = DitsLocal::build(
+        nodes.clone(),
+        DitsLocalConfig { leaf_capacity: config.leaf_capacity.max(1) },
+    );
+
+    let mut pairs: Vec<DuplicatePair> = Vec::new();
+    for node in &nodes {
+        // `k + 1` because the route always finds itself with full overlap.
+        let (results, _) = overlap_search(&index, &node.cells, config.candidates_per_route + 1);
+        for result in results {
+            if result.dataset == node.id {
+                continue;
+            }
+            // Report each unordered pair once, from the smaller-id side.
+            if result.dataset < node.id {
+                continue;
+            }
+            let smaller = sizes[&node.id].min(sizes[&result.dataset]);
+            if smaller == 0 {
+                continue;
+            }
+            let fraction = result.overlap as f64 / smaller as f64;
+            if fraction + 1e-12 >= config.overlap_threshold {
+                pairs.push(DuplicatePair {
+                    first: node.id,
+                    second: result.dataset,
+                    shared_cells: result.overlap,
+                    overlap_fraction: fraction,
+                });
+            }
+        }
+    }
+    pairs.sort_unstable_by(|a, b| {
+        b.overlap_fraction
+            .partial_cmp(&a.overlap_fraction)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.first.cmp(&b.first))
+            .then(a.second.cmp(&b.second))
+    });
+    pairs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::route::{generate_network, NetworkConfig, RouteMode};
+    use spatial::Point;
+
+    fn straight_route(id: DatasetId, y: f64) -> TransitRoute {
+        TransitRoute::new(
+            id,
+            format!("route-{id}"),
+            RouteMode::Bus,
+            vec![Point::new(-77.1, y), Point::new(-76.9, y)],
+        )
+    }
+
+    #[test]
+    fn identical_routes_are_detected() {
+        let a = straight_route(0, 38.90);
+        let mut b = straight_route(1, 38.90);
+        b.name = "same shape, new brand".to_string();
+        let c = straight_route(2, 38.95); // parallel but far: not a duplicate
+        let pairs = find_near_duplicates(&[a, b, c], &NearDuplicateConfig::default());
+        assert_eq!(pairs.len(), 1);
+        assert_eq!((pairs[0].first, pairs[0].second), (0, 1));
+        assert!(pairs[0].overlap_fraction >= 0.99);
+        assert!(pairs[0].shared_cells > 0);
+    }
+
+    #[test]
+    fn threshold_controls_sensitivity() {
+        // Two routes sharing roughly half their extent.
+        let a = TransitRoute::new(0, "a", RouteMode::Bus, vec![
+            Point::new(-77.2, 38.9),
+            Point::new(-77.0, 38.9),
+        ]);
+        let b = TransitRoute::new(1, "b", RouteMode::Bus, vec![
+            Point::new(-77.1, 38.9),
+            Point::new(-76.9, 38.9),
+        ]);
+        let strict = find_near_duplicates(
+            &[a.clone(), b.clone()],
+            &NearDuplicateConfig { overlap_threshold: 0.9, ..NearDuplicateConfig::default() },
+        );
+        assert!(strict.is_empty());
+        let lenient = find_near_duplicates(
+            &[a, b],
+            &NearDuplicateConfig { overlap_threshold: 0.3, ..NearDuplicateConfig::default() },
+        );
+        assert_eq!(lenient.len(), 1);
+        assert!(lenient[0].overlap_fraction >= 0.3 && lenient[0].overlap_fraction <= 0.7);
+    }
+
+    #[test]
+    fn generated_duplicates_are_found() {
+        let config = NetworkConfig { duplicates: 4, ..NetworkConfig::default() };
+        let routes = generate_network(&config);
+        let pairs = find_near_duplicates(&routes, &NearDuplicateConfig::default());
+        // Every injected rebranded route must be matched with its original.
+        assert!(
+            pairs.len() >= config.duplicates,
+            "found only {} pairs for {} injected duplicates",
+            pairs.len(),
+            config.duplicates
+        );
+        // Pairs are sorted by decreasing overlap fraction.
+        for w in pairs.windows(2) {
+            assert!(w[0].overlap_fraction >= w[1].overlap_fraction);
+        }
+        // And each reported pair is unordered-unique.
+        let mut keys: Vec<(DatasetId, DatasetId)> =
+            pairs.iter().map(|p| (p.first, p.second)).collect();
+        keys.sort_unstable();
+        keys.dedup();
+        assert_eq!(keys.len(), pairs.len());
+        for p in &pairs {
+            assert!(p.first < p.second);
+        }
+    }
+
+    #[test]
+    fn degenerate_inputs_produce_no_pairs() {
+        assert!(find_near_duplicates(&[], &NearDuplicateConfig::default()).is_empty());
+        let single = straight_route(0, 38.9);
+        assert!(find_near_duplicates(&[single], &NearDuplicateConfig::default()).is_empty());
+        // A resolution of zero is invalid; the detector degrades to no pairs
+        // instead of panicking.
+        let pairs = find_near_duplicates(
+            &[straight_route(0, 38.9), straight_route(1, 38.9)],
+            &NearDuplicateConfig { resolution: 0, ..NearDuplicateConfig::default() },
+        );
+        assert!(pairs.is_empty());
+    }
+}

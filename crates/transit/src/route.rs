@@ -1,0 +1,362 @@
+//! Transit routes and a synthetic network generator.
+//!
+//! A [`TransitRoute`] is a polyline (an ordered list of stops / shape points)
+//! with a transport mode.  The core library works on point datasets, so a
+//! route is *resampled* along its segments at a configurable spacing before
+//! being handed to the grid partitioner — exactly how the Transit portal
+//! datasets of Table I (bus, metro and waterway shapes) become point sets.
+//!
+//! [`generate_network`] produces a deterministic synthetic city: a grid of
+//! local street routes plus radial express lines through the centre, with a
+//! configurable amount of duplicated ("rebranded") routes so the
+//! near-duplicate detector has something to find.
+
+use rand::prelude::*;
+use rand::rngs::StdRng;
+use serde::{Deserialize, Serialize};
+use spatial::{DatasetId, Point, SpatialDataset};
+
+/// The transport mode of a route.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RouteMode {
+    /// Local bus.
+    Bus,
+    /// Metro / subway.
+    Metro,
+    /// Commuter rail.
+    Rail,
+    /// Ferry / waterway.
+    Ferry,
+}
+
+impl RouteMode {
+    /// Short display label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            RouteMode::Bus => "bus",
+            RouteMode::Metro => "metro",
+            RouteMode::Rail => "rail",
+            RouteMode::Ferry => "ferry",
+        }
+    }
+}
+
+/// One transit route: an identified polyline with a mode.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TransitRoute {
+    /// Identifier of the route (doubles as the dataset id when indexed).
+    pub id: DatasetId,
+    /// Human-readable route name (e.g. "Bus 42 — Union Station").
+    pub name: String,
+    /// Transport mode.
+    pub mode: RouteMode,
+    /// Ordered shape points of the route (longitude / latitude).
+    pub shape: Vec<Point>,
+}
+
+impl TransitRoute {
+    /// Creates a route.
+    pub fn new(id: DatasetId, name: impl Into<String>, mode: RouteMode, shape: Vec<Point>) -> Self {
+        Self {
+            id,
+            name: name.into(),
+            mode,
+            shape,
+        }
+    }
+
+    /// Total polyline length in coordinate units.
+    pub fn length(&self) -> f64 {
+        self.shape
+            .windows(2)
+            .map(|w| w[0].distance(&w[1]))
+            .sum()
+    }
+
+    /// Returns `true` when the route has fewer than two shape points.
+    pub fn is_degenerate(&self) -> bool {
+        self.shape.len() < 2
+    }
+
+    /// Resamples the route into points spaced at most `spacing` apart along
+    /// every segment (segment endpoints are always included), producing the
+    /// point dataset the grid partitioner consumes.
+    ///
+    /// A degenerate route (0 or 1 shape points) yields its shape unchanged.
+    pub fn resample(&self, spacing: f64) -> Vec<Point> {
+        if self.shape.len() < 2 || spacing <= 0.0 {
+            return self.shape.clone();
+        }
+        let mut out = Vec::new();
+        for w in self.shape.windows(2) {
+            let (a, b) = (w[0], w[1]);
+            let segment = a.distance(&b);
+            let steps = (segment / spacing).ceil().max(1.0) as usize;
+            for s in 0..steps {
+                let t = s as f64 / steps as f64;
+                out.push(Point::new(a.x + (b.x - a.x) * t, a.y + (b.y - a.y) * t));
+            }
+        }
+        out.push(*self.shape.last().expect("at least two shape points"));
+        out
+    }
+
+    /// Converts the route into a [`SpatialDataset`] by resampling.
+    pub fn to_dataset(&self, spacing: f64) -> SpatialDataset {
+        SpatialDataset::named(self.id, self.name.clone(), self.resample(spacing))
+    }
+}
+
+/// Configuration of the synthetic transit network generator.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NetworkConfig {
+    /// Centre of the city (longitude / latitude).
+    pub center: Point,
+    /// Half-extent of the city in degrees (routes stay within
+    /// `center ± extent`).
+    pub extent: f64,
+    /// Number of horizontal + vertical grid (local bus) routes.
+    pub grid_routes: usize,
+    /// Number of radial express (metro) lines through the centre.
+    pub radial_routes: usize,
+    /// Number of near-duplicate copies to add (same geometry as an existing
+    /// route with small jitter — "rebranded" routes).
+    pub duplicates: usize,
+    /// RNG seed: the generator is fully deterministic given the config.
+    pub seed: u64,
+}
+
+impl Default for NetworkConfig {
+    fn default() -> Self {
+        Self {
+            // Washington, D.C. — the city of the paper's running example.
+            center: Point::new(-77.03, 38.90),
+            extent: 0.25,
+            grid_routes: 20,
+            radial_routes: 8,
+            duplicates: 5,
+            seed: 42,
+        }
+    }
+}
+
+/// Generates a deterministic synthetic transit network.
+pub fn generate_network(config: &NetworkConfig) -> Vec<TransitRoute> {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut routes = Vec::new();
+    let mut next_id: DatasetId = 0;
+    let c = config.center;
+    let e = config.extent;
+
+    // Grid routes: alternately horizontal and vertical lines with a little
+    // jitter so they are not perfectly axis-aligned.
+    for i in 0..config.grid_routes {
+        let frac = if config.grid_routes > 1 {
+            i as f64 / (config.grid_routes - 1) as f64
+        } else {
+            0.5
+        };
+        let offset = -e + 2.0 * e * frac;
+        let jitter = rng.random_range(-0.02..0.02);
+        let shape = if i % 2 == 0 {
+            // Horizontal route at latitude c.y + offset.
+            vec![
+                Point::new(c.x - e, c.y + offset + jitter),
+                Point::new(c.x - e / 3.0, c.y + offset),
+                Point::new(c.x + e / 3.0, c.y + offset - jitter),
+                Point::new(c.x + e, c.y + offset),
+            ]
+        } else {
+            // Vertical route at longitude c.x + offset.
+            vec![
+                Point::new(c.x + offset + jitter, c.y - e),
+                Point::new(c.x + offset, c.y - e / 3.0),
+                Point::new(c.x + offset - jitter, c.y + e / 3.0),
+                Point::new(c.x + offset, c.y + e),
+            ]
+        };
+        routes.push(TransitRoute::new(
+            next_id,
+            format!("bus-{next_id}"),
+            RouteMode::Bus,
+            shape,
+        ));
+        next_id += 1;
+    }
+
+    // Radial express lines through the centre.
+    for i in 0..config.radial_routes {
+        let angle = std::f64::consts::TAU * i as f64 / config.radial_routes.max(1) as f64;
+        let (dx, dy) = (angle.cos(), angle.sin());
+        let shape = vec![
+            Point::new(c.x - dx * e, c.y - dy * e),
+            Point::new(c.x - dx * e / 2.0, c.y - dy * e / 2.0),
+            c,
+            Point::new(c.x + dx * e / 2.0, c.y + dy * e / 2.0),
+            Point::new(c.x + dx * e, c.y + dy * e),
+        ];
+        routes.push(TransitRoute::new(
+            next_id,
+            format!("metro-{next_id}"),
+            RouteMode::Metro,
+            shape,
+        ));
+        next_id += 1;
+    }
+
+    // Near-duplicates: copy an existing route and jitter every shape point by
+    // a tiny amount (well within one grid cell at the paper's resolutions).
+    for _ in 0..config.duplicates {
+        if routes.is_empty() {
+            break;
+        }
+        let original = routes[rng.random_range(0..routes.len())].clone();
+        let shape = original
+            .shape
+            .iter()
+            .map(|p| {
+                Point::new(
+                    p.x + rng.random_range(-0.001..0.001),
+                    p.y + rng.random_range(-0.001..0.001),
+                )
+            })
+            .collect();
+        routes.push(TransitRoute::new(
+            next_id,
+            format!("{}-rebranded", original.name),
+            original.mode,
+            shape,
+        ));
+        next_id += 1;
+    }
+
+    routes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use spatial::Grid;
+
+    #[test]
+    fn route_length_and_resampling() {
+        let route = TransitRoute::new(
+            0,
+            "test",
+            RouteMode::Bus,
+            vec![Point::new(0.0, 0.0), Point::new(0.3, 0.0), Point::new(0.3, 0.4)],
+        );
+        assert!((route.length() - 0.7).abs() < 1e-12);
+        assert!(!route.is_degenerate());
+        let sampled = route.resample(0.05);
+        // Spacing 0.05 over a 0.7-long polyline: at least 14 points plus ends.
+        assert!(sampled.len() >= 15);
+        assert_eq!(sampled.first(), Some(&Point::new(0.0, 0.0)));
+        assert_eq!(sampled.last(), Some(&Point::new(0.3, 0.4)));
+        // Consecutive samples are never farther apart than the spacing (plus
+        // a small tolerance for the per-segment rounding).
+        for w in sampled.windows(2) {
+            assert!(w[0].distance(&w[1]) <= 0.05 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn degenerate_routes_are_passed_through() {
+        let single = TransitRoute::new(1, "dot", RouteMode::Ferry, vec![Point::new(1.0, 2.0)]);
+        assert!(single.is_degenerate());
+        assert_eq!(single.length(), 0.0);
+        assert_eq!(single.resample(0.1), vec![Point::new(1.0, 2.0)]);
+        let route = TransitRoute::new(2, "line", RouteMode::Bus, vec![
+            Point::new(0.0, 0.0),
+            Point::new(1.0, 0.0),
+        ]);
+        // Non-positive spacing falls back to the raw shape.
+        assert_eq!(route.resample(0.0).len(), 2);
+    }
+
+    #[test]
+    fn to_dataset_preserves_identity() {
+        let route = TransitRoute::new(7, "Bus 42", RouteMode::Bus, vec![
+            Point::new(-77.0, 38.9),
+            Point::new(-76.95, 38.92),
+        ]);
+        let dataset = route.to_dataset(0.005);
+        assert_eq!(dataset.id, 7);
+        assert_eq!(dataset.name, "Bus 42");
+        assert!(dataset.len() >= 2);
+        assert_eq!(RouteMode::Bus.label(), "bus");
+    }
+
+    #[test]
+    fn generator_is_deterministic_and_well_formed() {
+        let config = NetworkConfig::default();
+        let a = generate_network(&config);
+        let b = generate_network(&config);
+        assert_eq!(a, b);
+        assert_eq!(
+            a.len(),
+            config.grid_routes + config.radial_routes + config.duplicates
+        );
+        // Ids are unique and dense.
+        let mut ids: Vec<DatasetId> = a.iter().map(|r| r.id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), a.len());
+        // Every route grids to a non-empty cell set at the paper's default
+        // resolution.
+        let grid = Grid::global(12).unwrap();
+        for route in &a {
+            let dataset = route.to_dataset(0.01);
+            assert!(dataset.to_cell_set(&grid).is_ok(), "route {} has no cells", route.name);
+        }
+        // Different seeds give different jitter.
+        let other = generate_network(&NetworkConfig { seed: 43, ..config });
+        assert_ne!(a, other);
+    }
+
+    #[test]
+    fn duplicates_stay_close_to_their_original() {
+        let config = NetworkConfig {
+            grid_routes: 4,
+            radial_routes: 2,
+            duplicates: 3,
+            ..NetworkConfig::default()
+        };
+        let routes = generate_network(&config);
+        let originals = config.grid_routes + config.radial_routes;
+        for dup in &routes[originals..] {
+            assert!(dup.name.ends_with("-rebranded"));
+            // A rebranded route deviates from *some* original by < 0.01 deg on
+            // every shape point.
+            let close_to_original = routes[..originals].iter().any(|orig| {
+                orig.shape.len() == dup.shape.len()
+                    && orig
+                        .shape
+                        .iter()
+                        .zip(dup.shape.iter())
+                        .all(|(a, b)| a.distance(b) < 0.01)
+            });
+            assert!(close_to_original, "{} is not close to any original", dup.name);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn prop_resampling_respects_spacing(
+            xs in proptest::collection::vec((-1.0f64..1.0, -1.0f64..1.0), 2..8),
+            spacing in 0.01f64..0.5,
+        ) {
+            let shape: Vec<Point> = xs.iter().map(|&(x, y)| Point::new(x, y)).collect();
+            let route = TransitRoute::new(0, "r", RouteMode::Bus, shape.clone());
+            let sampled = route.resample(spacing);
+            // Endpoints preserved.
+            prop_assert_eq!(sampled.first(), shape.first());
+            prop_assert_eq!(sampled.last(), shape.last());
+            // No gap larger than the spacing.
+            for w in sampled.windows(2) {
+                prop_assert!(w[0].distance(&w[1]) <= spacing + 1e-9);
+            }
+        }
+    }
+}

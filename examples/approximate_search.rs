@@ -1,0 +1,86 @@
+//! Approximate vs exact overlap joinable search.
+//!
+//! Builds a corpus of route-like datasets, runs the exact OJSP through
+//! DITS-L and the approximate pipeline (MinHash sketches + LSH Ensemble
+//! candidates + exact re-ranking), and reports the recall and the amount of
+//! work each path performed.
+//!
+//! ```text
+//! cargo run --release --example approximate_search
+//! ```
+
+use joinable_spatial_search::approx_join::{recall_at_k, ApproxConfig, ApproxOverlapIndex};
+use joinable_spatial_search::dits::{overlap_search, DatasetNode, DitsLocal, DitsLocalConfig};
+use joinable_spatial_search::spatial::{CellSet, DatasetId, Grid, Point, SpatialDataset};
+use std::collections::HashMap;
+use std::time::Instant;
+
+fn main() {
+    let grid = Grid::global(12).expect("valid resolution");
+
+    // A corpus of 400 synthetic routes around Washington, D.C. — a handful of
+    // them deliberately retrace the query corridor so there is something
+    // worth finding.
+    let datasets: Vec<SpatialDataset> = (0..400u32)
+        .map(|i| {
+            let lon = -77.3 + f64::from(i % 40) * 0.015;
+            let lat = 38.7 + f64::from(i / 40) * 0.03;
+            route(i, lon, lat, 0.004, 60)
+        })
+        .collect();
+    let query_points: Vec<Point> = (0..80)
+        .map(|i| Point::new(-77.3 + i as f64 * 0.004, 38.7 + i as f64 * 0.0024))
+        .collect();
+    let query = CellSet::from_points(&grid, &query_points);
+
+    // Cell sets once, shared by both paths.
+    let cells: Vec<(DatasetId, CellSet)> = datasets
+        .iter()
+        .filter_map(|d| d.to_cell_set(&grid).ok().map(|c| (d.id, c)))
+        .collect();
+
+    // Exact path: DITS-L + OverlapSearch.
+    let nodes: Vec<DatasetNode> = cells
+        .iter()
+        .filter_map(|(id, c)| DatasetNode::from_cell_set(*id, c.clone()))
+        .collect();
+    let index = DitsLocal::build(nodes, DitsLocalConfig::default());
+    let started = Instant::now();
+    let (exact, stats) = overlap_search(&index, &query, 10);
+    let exact_time = started.elapsed();
+
+    // Approximate path: sketches + LSH candidates + exact re-ranking.
+    let approx_index = ApproxOverlapIndex::build(
+        cells.iter().map(|(id, c)| (*id, c)),
+        ApproxConfig::default(),
+    );
+    let started = Instant::now();
+    let approx = approx_index.search(&query, 10);
+    let approx_time = started.elapsed();
+
+    println!("corpus: {} datasets, query covers {} cells\n", cells.len(), query.len());
+    println!("exact OJSP       : {:?} ({} leaves verified)", exact_time, stats.leaves_verified);
+    println!("approximate OJSP : {:?} (sketches: {} KiB)\n", approx_time, approx_index.sketch_memory_bytes() / 1024);
+
+    println!("{:<10} {:>14} {:>16}", "rank", "exact overlap", "approx overlap");
+    for i in 0..10 {
+        let e = exact.get(i).map(|r| format!("{} ({})", r.overlap, r.dataset)).unwrap_or_default();
+        let a = approx.get(i).map(|r| format!("{} ({})", r.overlap, r.dataset)).unwrap_or_default();
+        println!("{:<10} {:>14} {:>16}", i + 1, e, a);
+    }
+
+    let corpus: HashMap<DatasetId, CellSet> = cells.into_iter().collect();
+    let recall = recall_at_k(&approx, &exact, &corpus, &query);
+    println!("\nrecall@10 of the approximate result: {recall:.2}");
+}
+
+/// A route of `n` points drifting north-east from a start position.
+fn route(id: u32, lon: f64, lat: f64, step: f64, n: usize) -> SpatialDataset {
+    SpatialDataset::named(
+        id,
+        format!("route-{id}"),
+        (0..n)
+            .map(|i| Point::new(lon + i as f64 * step, lat + i as f64 * step * 0.6))
+            .collect(),
+    )
+}

@@ -1,0 +1,104 @@
+//! Price-aware dataset combination search — the paper's future-work
+//! direction turned into a runnable marketplace scenario.
+//!
+//! A city planner holds a query corridor and a budget.  The marketplace
+//! prices every dataset by its spatial coverage; the example ranks datasets
+//! by value for money, runs the budgeted coverage search, compares it with
+//! the exhaustive optimum on a small curated pool, and shows how
+//! demand-weighted cells change the selection.
+//!
+//! ```text
+//! cargo run --release --example data_marketplace
+//! ```
+
+use joinable_spatial_search::dits::{DatasetNode, DitsLocal, DitsLocalConfig};
+use joinable_spatial_search::pricing::{
+    budgeted_coverage_search, optimal_combination, rank_by_value, weighted_coverage_search,
+    BudgetedConfig, CellWeights, PriceBook, PricingModel, WeightedConfig,
+};
+use joinable_spatial_search::spatial::{CellSet, Grid, Point, SpatialDataset};
+
+fn main() {
+    let grid = Grid::global(12).expect("valid resolution");
+
+    // Twelve datasets for sale around the query corridor: local routes,
+    // larger regional extracts, and one far-away dataset nobody should buy.
+    let datasets: Vec<SpatialDataset> = (0..12u32)
+        .map(|i| {
+            let lon = -77.20 + f64::from(i % 6) * 0.06;
+            let lat = 38.82 + f64::from(i / 6) * 0.08;
+            let n = 30 + (i as usize % 4) * 25;
+            route(i, lon, lat, 0.005, n)
+        })
+        .collect();
+    let nodes: Vec<DatasetNode> = datasets
+        .iter()
+        .filter_map(|d| DatasetNode::from_dataset(&grid, d).ok())
+        .collect();
+    let index = DitsLocal::build(nodes.clone(), DitsLocalConfig::default());
+
+    // The query corridor the planner starts from.
+    let query_points: Vec<Point> = (0..50)
+        .map(|i| Point::new(-77.20 + i as f64 * 0.006, 38.84 + i as f64 * 0.002))
+        .collect();
+    let query = CellSet::from_points(&grid, &query_points);
+
+    // Coverage-based pricing: one currency unit per 2 covered cells, minimum 3.
+    let model = PricingModel::PerCell { rate: 0.5, minimum: 3.0 };
+    let prices = PriceBook::from_model(&model, nodes.iter());
+
+    println!("value-for-money ranking (gain per currency unit):");
+    for row in rank_by_value(&nodes, &query, &prices).iter().take(5) {
+        println!(
+            "  dataset {:>2}: overlap {:>3}, gain {:>3}, price {:>6.1}, value {:>5.2}",
+            row.dataset, row.overlap, row.gain, row.price, row.value
+        );
+    }
+
+    // Budgeted coverage search at three budget levels.
+    for budget in [10.0, 25.0, 60.0] {
+        let (result, _) = budgeted_coverage_search(
+            &index,
+            &query,
+            &prices,
+            BudgetedConfig::new(budget, 10.0),
+        );
+        println!(
+            "\nbudget {budget:>5.1}: bought {:?} for {:.1}, coverage {} cells (query alone {})",
+            result.datasets, result.spent, result.coverage, result.query_coverage
+        );
+    }
+
+    // On a small curated pool the exhaustive optimum is affordable to compute.
+    let pool: Vec<DatasetNode> = nodes.iter().take(10).cloned().collect();
+    let optimum = optimal_combination(&pool, &query, &prices, 25.0, 10.0, 4);
+    println!(
+        "\nexhaustive optimum at budget 25 over a 10-dataset pool: {:?} (coverage {}, price {:.1})",
+        optimum.datasets, optimum.coverage, optimum.price
+    );
+
+    // Demand-weighted planning: cells along the downtown segment are worth
+    // five times as much as the periphery.
+    let mut weights = CellWeights::uniform(1.0);
+    for p in query_points.iter().take(20) {
+        if let Ok(cell) = grid.cell_of(p) {
+            weights.set(cell, 5.0);
+        }
+    }
+    let (weighted, _) = weighted_coverage_search(&index, &query, &weights, WeightedConfig::new(3, 10.0));
+    println!(
+        "\ndemand-weighted selection (k = 3): {:?}, covered weight {:.1}, {} cells",
+        weighted.datasets, weighted.covered_weight, weighted.coverage
+    );
+}
+
+/// A route of `n` points drifting north-east from a start position.
+fn route(id: u32, lon: f64, lat: f64, step: f64, n: usize) -> SpatialDataset {
+    SpatialDataset::named(
+        id,
+        format!("offer-{id}"),
+        (0..n)
+            .map(|i| Point::new(lon + i as f64 * step, lat + i as f64 * step * 0.5))
+            .collect(),
+    )
+}

@@ -1,0 +1,81 @@
+//! Quickstart: index a handful of spatial datasets, then run both joinable
+//! searches — overlap (OJSP) and coverage (CJSP) — against a query dataset.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use joinable_spatial_search::dits::{
+    coverage_search, overlap_search, CoverageConfig, DatasetNode, DitsLocal, DitsLocalConfig,
+};
+use joinable_spatial_search::spatial::{CellSet, Grid, Point, SpatialDataset};
+
+fn main() {
+    // 1. A grid over the whole globe at resolution θ = 12 (the paper's
+    //    default: cells of roughly 10 km x 5 km).
+    let grid = Grid::global(12).expect("valid resolution");
+
+    // 2. A small "data source": five bus-route-like datasets around
+    //    Washington, D.C., one of them far away in Beijing.
+    let datasets = [
+        route(0, -77.04, 38.90, 0.010, 40),
+        route(1, -77.02, 38.91, 0.012, 35),
+        route(2, -76.99, 38.93, 0.015, 30),
+        route(3, -76.95, 38.96, 0.012, 30),
+        route(4, 116.36, 39.88, 0.010, 40), // Beijing — never joinable here
+    ];
+
+    // 3. Build the DITS-L local index.
+    let nodes: Vec<DatasetNode> = datasets
+        .iter()
+        .filter_map(|d| DatasetNode::from_dataset(&grid, d).ok())
+        .collect();
+    let index = DitsLocal::build(nodes, DitsLocalConfig::default());
+    println!(
+        "indexed {} datasets ({} tree nodes, ~{} KiB)",
+        index.dataset_count(),
+        index.node_count(),
+        index.memory_bytes() / 1024
+    );
+
+    // 4. The query: a short trip through downtown D.C.
+    let query_points: Vec<Point> = (0..25)
+        .map(|i| Point::new(-77.04 + i as f64 * 0.002, 38.90 + i as f64 * 0.001))
+        .collect();
+    let query = CellSet::from_points(&grid, &query_points);
+    println!("query covers {} grid cells", query.len());
+
+    // 5. Overlap joinable search: which datasets share the most cells?
+    let (overlaps, stats) = overlap_search(&index, &query, 3);
+    println!("\nOJSP top-{}:", overlaps.len());
+    for r in &overlaps {
+        println!("  dataset {} overlaps the query in {} cells", r.dataset, r.overlap);
+    }
+    println!(
+        "  (visited {} tree nodes, pruned {}, verified {} leaves)",
+        stats.nodes_visited, stats.nodes_pruned, stats.leaves_verified
+    );
+
+    // 6. Coverage joinable search: which connected datasets extend the query
+    //    the furthest?
+    let (coverage, _) = coverage_search(&index, &query, CoverageConfig::new(3, 10.0));
+    println!("\nCJSP selection (δ = 10 cells):");
+    for (id, gain) in coverage.datasets.iter().zip(coverage.gains.iter()) {
+        println!("  dataset {id} adds {gain} new cells");
+    }
+    println!(
+        "  total coverage {} cells (query alone: {})",
+        coverage.coverage, coverage.query_coverage
+    );
+}
+
+/// A simple synthetic route: `n` points drifting north-east from a start.
+fn route(id: u32, lon: f64, lat: f64, step: f64, n: usize) -> SpatialDataset {
+    SpatialDataset::named(
+        id,
+        format!("route-{id}"),
+        (0..n)
+            .map(|i| Point::new(lon + i as f64 * step, lat + i as f64 * step * 0.6))
+            .collect(),
+    )
+}

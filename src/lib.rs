@@ -1,0 +1,42 @@
+//! # Joinable search over multi-source spatial datasets
+//!
+//! A Rust implementation of the ICDE 2025 paper *"Joinable Search over
+//! Multi-source Spatial Datasets: Overlap, Coverage, and Efficiency"*: the
+//! DITS index, the OverlapSearch (OJSP) and CoverageSearch (CJSP)
+//! algorithms, every baseline the paper compares against, a synthetic
+//! five-source data generator, and a simulated multi-source deployment with
+//! communication accounting.
+//!
+//! This crate is a façade: it re-exports the workspace crates so examples
+//! and downstream users have a single dependency.
+//!
+//! ```
+//! use joinable_spatial_search::dits::{overlap_search, DitsLocal, DitsLocalConfig, DatasetNode};
+//! use joinable_spatial_search::spatial::{CellSet, Grid, Point, SpatialDataset};
+//!
+//! // Grid the space, index two tiny datasets and search for the best join.
+//! let grid = Grid::global(12).unwrap();
+//! let datasets = vec![
+//!     SpatialDataset::new(0, vec![Point::new(-77.03, 38.90), Point::new(-77.02, 38.91)]),
+//!     SpatialDataset::new(1, vec![Point::new(116.36, 39.88)]),
+//! ];
+//! let nodes: Vec<DatasetNode> = datasets
+//!     .iter()
+//!     .map(|d| DatasetNode::from_dataset(&grid, d).unwrap())
+//!     .collect();
+//! let index = DitsLocal::build(nodes, DitsLocalConfig::default());
+//! let query = CellSet::from_points(&grid, &[Point::new(-77.03, 38.90)]);
+//! let (results, _stats) = overlap_search(&index, &query, 1);
+//! assert_eq!(results[0].dataset, 0);
+//! ```
+
+#![warn(missing_docs)]
+
+pub use approx_join;
+pub use baselines;
+pub use datagen;
+pub use dits;
+pub use multisource;
+pub use pricing;
+pub use spatial;
+pub use transit;

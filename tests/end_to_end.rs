@@ -1,0 +1,190 @@
+//! Cross-crate integration tests: synthetic data generation → local indexes
+//! → multi-source framework, checked against index-free brute force.
+
+use joinable_spatial_search::baselines::OverlapIndex;
+use joinable_spatial_search::datagen::{
+    generate_source, paper_sources, select_queries, GeneratorConfig, SourceScale,
+};
+use joinable_spatial_search::dits::overlap::overlap_search_bruteforce;
+use joinable_spatial_search::dits::DatasetNode;
+use joinable_spatial_search::multisource::{
+    DistributionStrategy, FrameworkConfig, MultiSourceFramework,
+};
+use joinable_spatial_search::spatial::{CellSet, Grid, SpatialDataset};
+
+fn generated_sources(divisor: u32) -> Vec<(String, Vec<SpatialDataset>)> {
+    let config = GeneratorConfig {
+        scale: SourceScale::Custom(divisor),
+        seed: 77,
+        max_points_per_dataset: Some(200),
+    };
+    paper_sources()
+        .iter()
+        .map(|p| (p.name.to_string(), generate_source(p, &config)))
+        .collect()
+}
+
+#[test]
+fn multi_source_ojsp_matches_global_bruteforce() {
+    let source_data = generated_sources(300);
+    let framework = MultiSourceFramework::build(
+        &source_data,
+        FrameworkConfig {
+            resolution: 11,
+            strategy: DistributionStrategy::PrunedClipped,
+            ..FrameworkConfig::default()
+        },
+    );
+    let grid = Grid::global(11).unwrap();
+
+    // Brute force over the union of all sources' datasets.
+    let all_nodes: Vec<DatasetNode> = source_data
+        .iter()
+        .flat_map(|(_, datasets)| {
+            datasets
+                .iter()
+                .filter_map(|d| DatasetNode::from_dataset(&grid, d).ok())
+        })
+        .collect();
+
+    let pool: Vec<SpatialDataset> = source_data
+        .iter()
+        .flat_map(|(_, d)| d.iter().cloned())
+        .collect();
+    let queries = select_queries(&pool, 8, 5);
+
+    for query in &queries {
+        let (answer, _) = framework.ojsp(query, 10);
+        let query_cells = CellSet::from_points(&grid, &query.points);
+        let expected = overlap_search_bruteforce(&all_nodes, &query_cells, usize::MAX);
+
+        // The federated top-k overlap values must match the global ranking.
+        // (Dataset ids repeat across sources, so compare the overlap values.)
+        let got: Vec<usize> = answer.results.iter().map(|(_, r)| r.overlap).collect();
+        let want: Vec<usize> = expected.iter().take(got.len()).map(|r| r.overlap).collect();
+        assert_eq!(got, want, "query {} disagrees with brute force", query.id);
+        assert!(!got.is_empty(), "a portal dataset used as query must match itself");
+        // The best match is the query dataset itself: full overlap.
+        assert_eq!(got[0], query_cells.len());
+    }
+}
+
+#[test]
+fn all_distribution_strategies_return_identical_answers() {
+    let source_data = generated_sources(300);
+    let pool: Vec<SpatialDataset> = source_data
+        .iter()
+        .flat_map(|(_, d)| d.iter().cloned())
+        .collect();
+    let queries = select_queries(&pool, 6, 9);
+
+    let mut reference: Option<Vec<Vec<usize>>> = None;
+    let mut reference_bytes: Option<usize> = None;
+    for strategy in [
+        DistributionStrategy::Broadcast,
+        DistributionStrategy::Pruned,
+        DistributionStrategy::PrunedClipped,
+    ] {
+        let framework = MultiSourceFramework::build(
+            &source_data,
+            FrameworkConfig {
+                resolution: 11,
+                strategy,
+                ..FrameworkConfig::default()
+            },
+        );
+        let outcome = framework.run_ojsp(&queries, 5);
+        let overlaps: Vec<Vec<usize>> = outcome
+            .answers
+            .iter()
+            .map(|a| a.results.iter().map(|(_, r)| r.overlap).collect())
+            .collect();
+        match &reference {
+            None => {
+                reference = Some(overlaps);
+                reference_bytes = Some(outcome.comm.total_bytes());
+            }
+            Some(expected) => {
+                assert_eq!(&overlaps, expected, "strategy {strategy:?} changed the answers");
+                // Pruning and clipping may only reduce the communication.
+                assert!(outcome.comm.total_bytes() <= reference_bytes.unwrap());
+            }
+        }
+    }
+}
+
+#[test]
+fn cjsp_answers_are_connected_and_monotone_in_k() {
+    let source_data = generated_sources(300);
+    let framework = MultiSourceFramework::build(
+        &source_data,
+        FrameworkConfig {
+            resolution: 11,
+            delta_cells: 10.0,
+            strategy: DistributionStrategy::PrunedClipped,
+            ..FrameworkConfig::default()
+        },
+    );
+    let pool: Vec<SpatialDataset> = source_data
+        .iter()
+        .flat_map(|(_, d)| d.iter().cloned())
+        .collect();
+    let queries = select_queries(&pool, 5, 13);
+
+    for query in &queries {
+        let (small, _) = framework.cjsp(query, 2);
+        let (large, _) = framework.cjsp(query, 8);
+        assert!(small.coverage >= small.query_coverage);
+        assert!(large.coverage >= large.query_coverage);
+        assert!(small.selected.len() <= 2);
+        assert!(large.selected.len() <= 8);
+        // Selections never repeat a dataset.
+        let mut seen = std::collections::HashSet::new();
+        for pair in &large.selected {
+            assert!(seen.insert(*pair), "dataset selected twice: {pair:?}");
+        }
+        // Every selection must contribute: coverage strictly exceeds the
+        // query's own coverage whenever something was selected.
+        if !large.selected.is_empty() {
+            assert!(large.coverage > large.query_coverage);
+        }
+    }
+}
+
+#[test]
+fn every_index_kind_agrees_through_the_shared_trait() {
+    use joinable_spatial_search::baselines::{JosieIndex, QuadTreeIndex, RTreeIndex, Sts3Index};
+    use joinable_spatial_search::dits::{DitsLocal, DitsLocalConfig};
+
+    let source_data = generated_sources(300);
+    let grid = Grid::global(11).unwrap();
+    let nodes: Vec<DatasetNode> = source_data[3]
+        .1
+        .iter()
+        .filter_map(|d| DatasetNode::from_dataset(&grid, d).ok())
+        .collect();
+    let queries: Vec<CellSet> = select_queries(&source_data[3].1, 5, 21)
+        .iter()
+        .map(|d| CellSet::from_points(&grid, &d.points))
+        .collect();
+
+    let indexes: Vec<Box<dyn OverlapIndex>> = vec![
+        Box::new(DitsLocal::build(nodes.clone(), DitsLocalConfig::default())),
+        Box::new(QuadTreeIndex::build(nodes.clone())),
+        Box::new(RTreeIndex::build(nodes.clone())),
+        Box::new(Sts3Index::build(nodes.clone())),
+        Box::new(JosieIndex::build(nodes.clone())),
+    ];
+    for query in &queries {
+        let expected = overlap_search_bruteforce(&nodes, query, 7);
+        for index in &indexes {
+            let got = index.overlap_search(query, 7);
+            assert_eq!(
+                got.iter().map(|r| r.overlap).collect::<Vec<_>>(),
+                expected.iter().map(|r| r.overlap).collect::<Vec<_>>(),
+                "{} disagrees with brute force",
+                index.name()
+            );
+        }
+    }
+}
