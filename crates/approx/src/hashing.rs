@@ -43,10 +43,7 @@ impl HashFamily {
         let seeds = (0..n as u64)
             .map(|i| mix64(i.wrapping_add(0xA076_1D64_78BD_642F), master_seed))
             .collect();
-        Self {
-            seeds,
-            master_seed,
-        }
+        Self { seeds, master_seed }
     }
 
     /// Number of hash functions in the family.
@@ -117,7 +114,10 @@ mod tests {
                 order0 != order1
             })
             .count();
-        assert!(disagreements > 0, "members 0 and 1 ordered all 64 test pairs identically");
+        assert!(
+            disagreements > 0,
+            "members 0 and 1 ordered all 64 test pairs identically"
+        );
     }
 
     #[test]

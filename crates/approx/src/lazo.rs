@@ -80,7 +80,11 @@ impl LazoSketch {
         }
         let j = self.signature.estimate_jaccard(&other.signature);
         // Solve J = I / (a + b − I)  ⇒  I = J (a + b) / (1 + J).
-        let raw_overlap = if j > 0.0 { j * (a + b) / (1.0 + j) } else { 0.0 };
+        let raw_overlap = if j > 0.0 {
+            j * (a + b) / (1.0 + j)
+        } else {
+            0.0
+        };
         // The intersection can never exceed the smaller set and never be
         // negative; clamping also repairs the estimate when the raw MinHash
         // agreement was noisy.

@@ -110,7 +110,10 @@ impl LshEnsemble {
         let per_partition = sketched.len().div_ceil(config.partitions).max(1);
         let mut partitions = Vec::new();
         for chunk in sketched.chunks(per_partition) {
-            let lower = chunk.first().map(|e| e.signature.cardinality()).unwrap_or(0);
+            let lower = chunk
+                .first()
+                .map(|e| e.signature.cardinality())
+                .unwrap_or(0);
             let upper = chunk.last().map(|e| e.signature.cardinality()).unwrap_or(0);
             let mut partition = Partition {
                 lower,
@@ -147,6 +150,12 @@ impl LshEnsemble {
     /// Number of cardinality partitions actually materialised.
     pub fn partition_count(&self) -> usize {
         self.partitions.len()
+    }
+
+    /// The `[lower, upper]` cardinality bounds of each partition, in
+    /// ascending order.  Diagnostic view of the equi-depth partitioning.
+    pub fn partition_bounds(&self) -> Vec<(usize, usize)> {
+        self.partitions.iter().map(|p| (p.lower, p.upper)).collect()
     }
 
     /// Estimated heap memory of the index in bytes.
@@ -201,7 +210,12 @@ impl LshEnsemble {
             } else {
                 (threshold * q) / (q + u - threshold * q)
             };
-            partition.probe(&query_sig, jaccard_threshold, self.config.rows_per_band, &mut out);
+            partition.probe(
+                &query_sig,
+                jaccard_threshold,
+                self.config.rows_per_band,
+                &mut out,
+            );
         }
         out.sort_unstable();
         out.dedup();
@@ -210,12 +224,7 @@ impl LshEnsemble {
 
     /// Ranks the candidate datasets by estimated overlap with the query and
     /// returns the top `k` `(dataset, estimated overlap)` pairs.
-    pub fn query_top_k(
-        &self,
-        query: &CellSet,
-        k: usize,
-        threshold: f64,
-    ) -> Vec<(DatasetId, f64)> {
+    pub fn query_top_k(&self, query: &CellSet, k: usize, threshold: f64) -> Vec<(DatasetId, f64)> {
         let candidates = self.query_candidates(query, threshold);
         if candidates.is_empty() || k == 0 {
             return Vec::new();
@@ -245,12 +254,8 @@ impl LshEnsemble {
 impl Partition {
     /// Rebuilds the per-band hash buckets from the stored entries.
     fn rebuild_buckets(&mut self, rows_per_band: usize) {
-        let sig_len = self
-            .entries
-            .first()
-            .map(|e| e.signature.len())
-            .unwrap_or(0);
-        let bands = if rows_per_band == 0 { 0 } else { sig_len / rows_per_band };
+        let sig_len = self.entries.first().map(|e| e.signature.len()).unwrap_or(0);
+        let bands = sig_len.checked_div(rows_per_band).unwrap_or(0);
         self.buckets = vec![HashMap::new(); bands];
         for (i, entry) in self.entries.iter().enumerate() {
             for band in 0..bands {
@@ -340,14 +345,30 @@ mod tests {
     }
 
     #[test]
+    fn partition_bounds_are_ordered_and_nested() {
+        let sets: Vec<CellSet> = (1..40u64).map(|n| set(0..n * 5)).collect();
+        let index = LshEnsemble::build(
+            sets.iter().enumerate().map(|(i, s)| (i as u32, s)),
+            config(),
+        );
+        let bounds = index.partition_bounds();
+        assert_eq!(bounds.len(), index.partition_count());
+        for &(lower, upper) in &bounds {
+            assert!(lower <= upper);
+        }
+        // Equi-depth partitions over sorted cardinalities do not overlap out
+        // of order: each partition starts at or after the previous one ends.
+        for w in bounds.windows(2) {
+            assert!(w[0].1 <= w[1].0);
+        }
+    }
+
+    #[test]
     fn finds_a_near_duplicate_of_the_query() {
         let near: CellSet = set(0..100u64);
         let far: CellSet = set(5_000..5_100u64);
         let partial: CellSet = set(50..150u64);
-        let index = LshEnsemble::build(
-            [(1u32, &near), (2u32, &far), (3u32, &partial)],
-            config(),
-        );
+        let index = LshEnsemble::build([(1u32, &near), (2u32, &far), (3u32, &partial)], config());
         let query = set(0..100u64);
         let candidates = index.query_candidates(&query, 0.5);
         assert!(candidates.contains(&1), "near-duplicate not retrieved");
@@ -398,13 +419,18 @@ mod tests {
             owned.push((i, set(cells)));
         }
         for i in 30..230u32 {
-            let cells: Vec<u64> = (0..200).map(|_| 20_000 + rng.random_range(0..50_000u64)).collect();
+            let cells: Vec<u64> = (0..200)
+                .map(|_| 20_000 + rng.random_range(0..50_000u64))
+                .collect();
             owned.push((i, set(cells)));
         }
         let index = LshEnsemble::build(owned.iter().map(|(i, c)| (*i, c)), config());
         let candidates = index.query_candidates(&query, 0.5);
         let hits = (0..30u32).filter(|i| candidates.contains(i)).count();
-        assert!(hits >= 27, "only {hits}/30 strongly-overlapping sets retrieved");
+        assert!(
+            hits >= 27,
+            "only {hits}/30 strongly-overlapping sets retrieved"
+        );
         // And the candidate list must be much smaller than the full corpus.
         assert!(
             candidates.len() < 120,
@@ -432,7 +458,12 @@ mod tests {
         let a = set(0..5u64);
         let index = LshEnsemble::build(
             [(1u32, &a)],
-            LshConfig { signature_len: 0, partitions: 0, rows_per_band: 0, seed: 1 },
+            LshConfig {
+                signature_len: 0,
+                partitions: 0,
+                rows_per_band: 0,
+                seed: 1,
+            },
         );
         assert_eq!(index.dataset_count(), 1);
         // The repaired index must still answer queries without panicking.

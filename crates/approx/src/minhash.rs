@@ -248,7 +248,10 @@ mod tests {
         let c = hasher
             .sketch(&small)
             .estimate_containment_in(&hasher.sketch(&large));
-        assert!(c > 0.7, "containment estimate {c} too low for a true subset");
+        assert!(
+            c > 0.7,
+            "containment estimate {c} too low for a true subset"
+        );
         let reverse = hasher
             .sketch(&large)
             .estimate_containment_in(&hasher.sketch(&small));

@@ -220,7 +220,9 @@ mod tests {
             owned.push((i, set(cells)));
         }
         for i in 10..200u32 {
-            let cells: Vec<u64> = (0..100).map(|_| 20_000 + rng.random_range(0..40_000u64)).collect();
+            let cells: Vec<u64> = (0..100)
+                .map(|_| 20_000 + rng.random_range(0..40_000u64))
+                .collect();
             owned.push((i, set(cells)));
         }
         (owned, set(query_cells))
@@ -229,10 +231,8 @@ mod tests {
     #[test]
     fn exact_rerank_recovers_the_true_ranking() {
         let (owned, query) = corpus(1);
-        let index = ApproxOverlapIndex::build(
-            owned.iter().map(|(i, c)| (*i, c)),
-            ApproxConfig::default(),
-        );
+        let index =
+            ApproxOverlapIndex::build(owned.iter().map(|(i, c)| (*i, c)), ApproxConfig::default());
         let results = index.search(&query, 5);
         assert_eq!(results.len(), 5);
         assert!(results.iter().all(|r| r.exact));
@@ -250,7 +250,10 @@ mod tests {
         let (owned, query) = corpus(2);
         let index = ApproxOverlapIndex::build(
             owned.iter().map(|(i, c)| (*i, c)),
-            ApproxConfig { exact_rerank: false, ..ApproxConfig::default() },
+            ApproxConfig {
+                exact_rerank: false,
+                ..ApproxConfig::default()
+            },
         );
         let results = index.search(&query, 5);
         assert!(!results.is_empty());
@@ -262,10 +265,8 @@ mod tests {
     #[test]
     fn recall_against_exact_top_k_is_high() {
         let (owned, query) = corpus(3);
-        let index = ApproxOverlapIndex::build(
-            owned.iter().map(|(i, c)| (*i, c)),
-            ApproxConfig::default(),
-        );
+        let index =
+            ApproxOverlapIndex::build(owned.iter().map(|(i, c)| (*i, c)), ApproxConfig::default());
         let approx = index.search(&query, 8);
         let exact = index.exact_top_k(&query, 8);
         let corpus_map: HashMap<DatasetId, CellSet> = owned.into_iter().collect();
@@ -276,10 +277,8 @@ mod tests {
     #[test]
     fn degenerate_inputs() {
         let (owned, query) = corpus(4);
-        let index = ApproxOverlapIndex::build(
-            owned.iter().map(|(i, c)| (*i, c)),
-            ApproxConfig::default(),
-        );
+        let index =
+            ApproxOverlapIndex::build(owned.iter().map(|(i, c)| (*i, c)), ApproxConfig::default());
         assert!(index.search(&query, 0).is_empty());
         assert!(index.search(&CellSet::new(), 5).is_empty());
         let empty = ApproxOverlapIndex::build(std::iter::empty(), ApproxConfig::default());
@@ -297,10 +296,8 @@ mod tests {
     #[test]
     fn sketch_memory_is_smaller_than_corpus_memory() {
         let (owned, _query) = corpus(5);
-        let index = ApproxOverlapIndex::build(
-            owned.iter().map(|(i, c)| (*i, c)),
-            ApproxConfig::default(),
-        );
+        let index =
+            ApproxOverlapIndex::build(owned.iter().map(|(i, c)| (*i, c)), ApproxConfig::default());
         let corpus_bytes: usize = owned.iter().map(|(_, c)| c.memory_bytes()).sum();
         assert!(index.sketch_memory_bytes() > 0);
         assert_eq!(index.dataset_count(), 200);

@@ -93,7 +93,11 @@ pub fn sg_dits_coverage_search(
     coverage_search(
         index,
         query,
-        CoverageConfig { k, delta, merge_results: false },
+        CoverageConfig {
+            k,
+            delta,
+            merge_results: false,
+        },
     )
 }
 

@@ -70,7 +70,10 @@ impl JosieIndex {
         let tokens = self.ordered_tokens(&cells);
         let size = tokens.len();
         for token in tokens {
-            self.postings.entry(token).or_default().push(Posting { dataset: id, size });
+            self.postings
+                .entry(token)
+                .or_default()
+                .push(Posting { dataset: id, size });
         }
         self.datasets.insert(id, cells);
     }
@@ -108,8 +111,8 @@ impl OverlapIndex for JosieIndex {
                     + v.capacity() * std::mem::size_of::<Posting>()
             })
             .sum();
-        let freq = self.frequency.len()
-            * (std::mem::size_of::<CellId>() + std::mem::size_of::<usize>());
+        let freq =
+            self.frequency.len() * (std::mem::size_of::<CellId>() + std::mem::size_of::<usize>());
         postings + freq
     }
 
@@ -271,8 +274,20 @@ mod tests {
         ]);
         let results = idx.overlap_search(&cs(&[(0, 0), (1, 0), (2, 0)]), 2);
         assert_eq!(results.len(), 2);
-        assert_eq!(results[0], OverlapResult { dataset: 0, overlap: 3 });
-        assert_eq!(results[1], OverlapResult { dataset: 1, overlap: 2 });
+        assert_eq!(
+            results[0],
+            OverlapResult {
+                dataset: 0,
+                overlap: 3
+            }
+        );
+        assert_eq!(
+            results[1],
+            OverlapResult {
+                dataset: 1,
+                overlap: 2
+            }
+        );
     }
 
     #[test]

@@ -152,7 +152,8 @@ impl QuadTreeIndex {
             self.bounds.push(*q);
             children[i] = self.nodes.len() - 1;
         }
-        let points = match std::mem::replace(&mut self.nodes[node], QuadNode::Internal { children }) {
+        let points = match std::mem::replace(&mut self.nodes[node], QuadNode::Internal { children })
+        {
             QuadNode::Leaf { points } => points,
             QuadNode::Internal { .. } => unreachable!("split called on internal node"),
         };
@@ -242,7 +243,12 @@ impl OverlapIndex for QuadTreeIndex {
             let (x, y) = cell_coords(cell);
             // Points outside the root extent are clamped into it; the cell id
             // itself stays exact so overlap counting is unaffected.
-            let point = CellPoint { cell, x, y, dataset: node.id };
+            let point = CellPoint {
+                cell,
+                x,
+                y,
+                dataset: node.id,
+            };
             self.insert_point(point, self.root, 0);
         }
         self.datasets.insert(node.id, node.cells);
@@ -307,8 +313,20 @@ mod tests {
             node(2, &[(20, 20)]),
         ]);
         let results = tree.overlap_search(&cs(&[(0, 0), (1, 0), (5, 5)]), 3);
-        assert_eq!(results[0], OverlapResult { dataset: 0, overlap: 2 });
-        assert_eq!(results[1], OverlapResult { dataset: 1, overlap: 1 });
+        assert_eq!(
+            results[0],
+            OverlapResult {
+                dataset: 0,
+                overlap: 2
+            }
+        );
+        assert_eq!(
+            results[1],
+            OverlapResult {
+                dataset: 1,
+                overlap: 1
+            }
+        );
         assert_eq!(results.len(), 2);
     }
 

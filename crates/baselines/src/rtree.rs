@@ -17,14 +17,8 @@ const MAX_ENTRIES: usize = 16;
 
 #[derive(Debug, Clone)]
 enum RNode {
-    Leaf {
-        mbr: Mbr,
-        entries: Vec<DatasetNode>,
-    },
-    Internal {
-        mbr: Mbr,
-        children: Vec<usize>,
-    },
+    Leaf { mbr: Mbr, entries: Vec<DatasetNode> },
+    Internal { mbr: Mbr, children: Vec<usize> },
 }
 
 impl RNode {
@@ -46,7 +40,10 @@ pub struct RTreeIndex {
 impl Default for RTreeIndex {
     fn default() -> Self {
         Self {
-            nodes: vec![RNode::Leaf { mbr: empty_mbr(), entries: Vec::new() }],
+            nodes: vec![RNode::Leaf {
+                mbr: empty_mbr(),
+                entries: Vec::new(),
+            }],
             root: 0,
             dataset_count: 0,
         }
@@ -72,7 +69,11 @@ impl RTreeIndex {
             return Self::default();
         }
         let dataset_count = datasets.len();
-        let mut tree = Self { nodes: Vec::new(), root: 0, dataset_count };
+        let mut tree = Self {
+            nodes: Vec::new(),
+            root: 0,
+            dataset_count,
+        };
 
         // STR: sort by x, slice into vertical strips of ~sqrt(n/M) strips,
         // sort each strip by y and pack runs of MAX_ENTRIES into leaves.
@@ -81,13 +82,19 @@ impl RTreeIndex {
         let strip_count = (leaf_count as f64).sqrt().ceil() as usize;
         let per_strip = n.div_ceil(strip_count.max(1));
         datasets.sort_unstable_by(|a, b| {
-            a.pivot().x.partial_cmp(&b.pivot().x).unwrap_or(std::cmp::Ordering::Equal)
+            a.pivot()
+                .x
+                .partial_cmp(&b.pivot().x)
+                .unwrap_or(std::cmp::Ordering::Equal)
         });
         let mut leaves: Vec<usize> = Vec::new();
         for strip in datasets.chunks(per_strip.max(1)) {
             let mut strip: Vec<DatasetNode> = strip.to_vec();
             strip.sort_unstable_by(|a, b| {
-                a.pivot().y.partial_cmp(&b.pivot().y).unwrap_or(std::cmp::Ordering::Equal)
+                a.pivot()
+                    .y
+                    .partial_cmp(&b.pivot().y)
+                    .unwrap_or(std::cmp::Ordering::Equal)
             });
             for chunk in strip.chunks(MAX_ENTRIES) {
                 let entries = chunk.to_vec();
@@ -205,8 +212,14 @@ impl RTreeIndex {
         }
         let mbr_a = mbr_of_entries(&group_a);
         let mbr_b = mbr_of_entries(&group_b);
-        self.nodes[idx] = RNode::Leaf { mbr: mbr_a, entries: group_a };
-        self.nodes.push(RNode::Leaf { mbr: mbr_b, entries: group_b });
+        self.nodes[idx] = RNode::Leaf {
+            mbr: mbr_a,
+            entries: group_a,
+        };
+        self.nodes.push(RNode::Leaf {
+            mbr: mbr_b,
+            entries: group_b,
+        });
         self.nodes.len() - 1
     }
 
@@ -344,7 +357,10 @@ impl OverlapIndex for RTreeIndex {
             } else {
                 let old_root = self.root;
                 let mbr = self.nodes[old_root].mbr().union(&self.nodes[sibling].mbr());
-                self.nodes.push(RNode::Internal { mbr, children: vec![old_root, sibling] });
+                self.nodes.push(RNode::Internal {
+                    mbr,
+                    children: vec![old_root, sibling],
+                });
                 self.root = self.nodes.len() - 1;
             }
         }

@@ -49,7 +49,11 @@ fn bench_ablation(c: &mut Criterion) {
                 black_box(coverage_search(
                     &index,
                     q,
-                    CoverageConfig { k: 10, delta: 10.0, merge_results: true },
+                    CoverageConfig {
+                        k: 10,
+                        delta: 10.0,
+                        merge_results: true,
+                    },
                 ));
             }
         });
@@ -60,7 +64,11 @@ fn bench_ablation(c: &mut Criterion) {
                 black_box(coverage_search(
                     &index,
                     q,
-                    CoverageConfig { k: 10, delta: 10.0, merge_results: false },
+                    CoverageConfig {
+                        k: 10,
+                        delta: 10.0,
+                        merge_results: false,
+                    },
                 ));
             }
         });

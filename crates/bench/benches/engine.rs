@@ -1,0 +1,63 @@
+//! Query-engine scaling: batch-OJSP and batch-CJSP throughput as a function
+//! of the engine's worker count, on the synthetic five-source workload.
+//!
+//! Each `(query, candidate source)` pair is one shard task, so a batch of
+//! `q` queries over five sources exposes up to `5q` units of parallelism;
+//! the workers axis shows how much of it the hardware can absorb.
+
+use bench::ExperimentEnv;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use multisource::FrameworkConfig;
+use std::hint::black_box;
+
+fn worker_counts() -> Vec<usize> {
+    let cpus = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4);
+    let mut counts = vec![1, 2, 4];
+    if cpus > 4 {
+        counts.push(cpus);
+    }
+    counts.dedup();
+    counts
+}
+
+fn bench_engine_scaling(c: &mut Criterion) {
+    let env = ExperimentEnv::small();
+    let queries = env.query_datasets(20);
+    let framework = env.framework(FrameworkConfig {
+        resolution: 11,
+        ..FrameworkConfig::default()
+    });
+
+    let mut group = c.benchmark_group("engine_ojsp_batch");
+    group.sample_size(10);
+    for workers in worker_counts() {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(workers),
+            &workers,
+            |b, &workers| {
+                let engine = framework.engine_with_workers(workers);
+                b.iter(|| black_box(engine.run_ojsp(&queries, 10)));
+            },
+        );
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("engine_cjsp_batch");
+    group.sample_size(10);
+    for workers in worker_counts() {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(workers),
+            &workers,
+            |b, &workers| {
+                let engine = framework.engine_with_workers(workers);
+                b.iter(|| black_box(engine.run_cjsp(&queries, 10)));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_engine_scaling);
+criterion_main!(benches);

@@ -14,9 +14,13 @@ fn bench_index_construction(c: &mut Criterion) {
     // All five indexes on the Transit source at θ = 12 (Fig. 8 columns).
     let nodes = env.dataset_nodes(3, 12);
     for kind in IndexKind::all() {
-        group.bench_with_input(BenchmarkId::new("transit_theta12", kind.name()), &kind, |b, kind| {
-            b.iter(|| black_box(kind.build(nodes.clone(), 10)));
-        });
+        group.bench_with_input(
+            BenchmarkId::new("transit_theta12", kind.name()),
+            &kind,
+            |b, kind| {
+                b.iter(|| black_box(kind.build(nodes.clone(), 10)));
+            },
+        );
     }
 
     // DITS-L across the θ sweep (Fig. 8 x-axis).

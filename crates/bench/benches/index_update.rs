@@ -39,30 +39,38 @@ fn bench_index_update(c: &mut Criterion) {
     let mut group = c.benchmark_group("index_update");
     group.sample_size(10);
     for kind in IndexKind::all() {
-        group.bench_with_input(BenchmarkId::new("insert_100", kind.name()), &kind, |b, kind| {
-            b.iter_batched(
-                || kind.build(base.clone(), 10),
-                |mut index| {
-                    for node in &inserts {
-                        black_box(index.insert(node.clone()));
-                    }
-                    index
-                },
-                BatchSize::LargeInput,
-            );
-        });
-        group.bench_with_input(BenchmarkId::new("update_100", kind.name()), &kind, |b, kind| {
-            b.iter_batched(
-                || kind.build(base.clone(), 10),
-                |mut index| {
-                    for node in &updates {
-                        black_box(index.update(node.clone()));
-                    }
-                    index
-                },
-                BatchSize::LargeInput,
-            );
-        });
+        group.bench_with_input(
+            BenchmarkId::new("insert_100", kind.name()),
+            &kind,
+            |b, kind| {
+                b.iter_batched(
+                    || kind.build(base.clone(), 10),
+                    |mut index| {
+                        for node in &inserts {
+                            black_box(index.insert(node.clone()));
+                        }
+                        index
+                    },
+                    BatchSize::LargeInput,
+                );
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("update_100", kind.name()),
+            &kind,
+            |b, kind| {
+                b.iter_batched(
+                    || kind.build(base.clone(), 10),
+                    |mut index| {
+                        for node in &updates {
+                            black_box(index.update(node.clone()));
+                        }
+                        index
+                    },
+                    BatchSize::LargeInput,
+                );
+            },
+        );
     }
     group.finish();
 }

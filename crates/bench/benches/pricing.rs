@@ -20,7 +20,10 @@ fn bench_pricing(c: &mut Criterion) {
     let nodes = env.dataset_nodes(3, theta);
     let queries = env.query_cells(10, theta);
     let index = DitsLocal::build(nodes.clone(), DitsLocalConfig::default());
-    let model = PricingModel::PerCell { rate: 0.5, minimum: 1.0 };
+    let model = PricingModel::PerCell {
+        rate: 0.5,
+        minimum: 1.0,
+    };
     let prices = PriceBook::from_model(&model, nodes.iter());
     let weights = CellWeights::uniform(1.0);
 

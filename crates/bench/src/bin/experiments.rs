@@ -26,6 +26,15 @@ use dits::{coverage_search, CoverageConfig, DatasetNode, DitsLocal, DitsLocalCon
 use multisource::{CommConfig, DistributionStrategy, FrameworkConfig};
 use spatial::SourceStats;
 
+const USAGE: &str = "\
+Usage: experiments [EXPERIMENT] [--scale DIVISOR] [--quick]
+
+EXPERIMENT: all | table1 | table2 | fig7 | fig8 | fig9 | fig10 | fig11 |
+            fig12 | fig13 | fig14 | fig15 | fig16 | fig17 | fig18 |
+            fig19 | fig20 | fig21 | fig22
+--scale N   generate 1/N of the paper's dataset counts (default 20)
+--quick     use a reduced parameter grid and a smaller scale (divisor 100)";
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut experiment = "all".to_string();
@@ -34,6 +43,10 @@ fn main() {
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return;
+            }
             "--scale" => {
                 divisor = args
                     .get(i + 1)
@@ -43,14 +56,29 @@ fn main() {
             }
             "--quick" => quick = true,
             other if !other.starts_with('-') => experiment = other.to_string(),
-            _ => {}
+            other => {
+                eprintln!("unknown flag {other}\n{USAGE}");
+                std::process::exit(2);
+            }
         }
         i += 1;
+    }
+    const EXPERIMENTS: [&str; 19] = [
+        "all", "table1", "table2", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13",
+        "fig14", "fig15", "fig16", "fig17", "fig18", "fig19", "fig20", "fig21", "fig22",
+    ];
+    if !EXPERIMENTS.contains(&experiment.as_str()) {
+        eprintln!("unknown experiment {experiment:?}\n{USAGE}");
+        std::process::exit(2);
     }
     if quick {
         divisor = divisor.max(100);
     }
-    let grid_params = if quick { ParameterGrid::quick() } else { ParameterGrid::paper() };
+    let grid_params = if quick {
+        ParameterGrid::quick()
+    } else {
+        ParameterGrid::paper()
+    };
 
     eprintln!("# generating five synthetic sources at 1/{divisor} of Table I scale …");
     let env = ExperimentEnv::new(divisor, 0x1CDE_2025);
@@ -145,42 +173,68 @@ fn table2(grid: &ParameterGrid) {
     let fmt = |values: &[String], default: &str| {
         values
             .iter()
-            .map(|v| if v == default { format!("{v}*") } else { v.clone() })
+            .map(|v| {
+                if v == default {
+                    format!("{v}*")
+                } else {
+                    v.clone()
+                }
+            })
             .collect::<Vec<_>>()
             .join(", ")
     };
     println!(
         "k: number of results\t{}",
         fmt(
-            &grid.k_values.iter().map(|v| v.to_string()).collect::<Vec<_>>(),
+            &grid
+                .k_values
+                .iter()
+                .map(|v| v.to_string())
+                .collect::<Vec<_>>(),
             &grid.default_k.to_string()
         )
     );
     println!(
         "q: number of queries\t{}",
         fmt(
-            &grid.q_values.iter().map(|v| v.to_string()).collect::<Vec<_>>(),
+            &grid
+                .q_values
+                .iter()
+                .map(|v| v.to_string())
+                .collect::<Vec<_>>(),
             &grid.default_q.to_string()
         )
     );
     println!(
         "theta: resolution\t{}",
         fmt(
-            &grid.theta_values.iter().map(|v| v.to_string()).collect::<Vec<_>>(),
+            &grid
+                .theta_values
+                .iter()
+                .map(|v| v.to_string())
+                .collect::<Vec<_>>(),
             &grid.default_theta.to_string()
         )
     );
     println!(
         "delta: connectivity threshold\t{}",
         fmt(
-            &grid.delta_values.iter().map(|v| v.to_string()).collect::<Vec<_>>(),
+            &grid
+                .delta_values
+                .iter()
+                .map(|v| v.to_string())
+                .collect::<Vec<_>>(),
             &grid.default_delta.to_string()
         )
     );
     println!(
         "f: leaf node capacity\t{}",
         fmt(
-            &grid.f_values.iter().map(|v| v.to_string()).collect::<Vec<_>>(),
+            &grid
+                .f_values
+                .iter()
+                .map(|v| v.to_string())
+                .collect::<Vec<_>>(),
             &grid.default_f.to_string()
         )
     );
@@ -197,8 +251,8 @@ fn fig7(env: &ExperimentEnv) {
         for d in datasets {
             if let Some(m) = d.mbr() {
                 let c = m.center();
-                let gx = (((c.x - extent.min.x) / extent.width().max(1e-9)) * 16.0)
-                    .clamp(0.0, 15.0) as usize;
+                let gx = (((c.x - extent.min.x) / extent.width().max(1e-9)) * 16.0).clamp(0.0, 15.0)
+                    as usize;
                 let gy = (((c.y - extent.min.y) / extent.height().max(1e-9)) * 16.0)
                     .clamp(0.0, 15.0) as usize;
                 counts[gy][gx] += 1;
@@ -222,7 +276,10 @@ fn fig7(env: &ExperimentEnv) {
 
 fn fig8(env: &ExperimentEnv, grid: &ParameterGrid) {
     header("Fig. 8 (left) — index construction time vs theta (seconds, per source)");
-    println!("source\ttheta\t{}", IndexKind::all().map(|k| k.name()).join("\t"));
+    println!(
+        "source\ttheta\t{}",
+        IndexKind::all().map(|k| k.name()).join("\t")
+    );
     let mut memory_rows: Vec<String> = Vec::new();
     for source_idx in 0..env.source_data.len() {
         for &theta in &grid.theta_values {
@@ -234,7 +291,10 @@ fn fig8(env: &ExperimentEnv, grid: &ParameterGrid) {
                 let index = kind.build(nodes.clone(), grid.default_f);
                 let elapsed = start.elapsed();
                 time_cells.push(format!("{:.4}", elapsed.as_secs_f64()));
-                mem_cells.push(format!("{:.2}", index.memory_bytes() as f64 / (1024.0 * 1024.0)));
+                mem_cells.push(format!(
+                    "{:.2}",
+                    index.memory_bytes() as f64 / (1024.0 * 1024.0)
+                ));
             }
             println!(
                 "{}\t{}\t{}",
@@ -251,7 +311,10 @@ fn fig8(env: &ExperimentEnv, grid: &ParameterGrid) {
         }
     }
     header("Fig. 8 (right) — index memory vs theta (MiB, per source)");
-    println!("source\ttheta\t{}", IndexKind::all().map(|k| k.name()).join("\t"));
+    println!(
+        "source\ttheta\t{}",
+        IndexKind::all().map(|k| k.name()).join("\t")
+    );
     for row in memory_rows {
         println!("{row}");
     }
@@ -272,13 +335,21 @@ enum Sweep {
 
 fn ojsp_sweep(env: &ExperimentEnv, grid: &ParameterGrid, sweep: Sweep) {
     let (figure, label, xs): (&str, &str, Vec<f64>) = match sweep {
-        Sweep::K => ("Fig. 9", "k", grid.k_values.iter().map(|v| *v as f64).collect()),
+        Sweep::K => (
+            "Fig. 9",
+            "k",
+            grid.k_values.iter().map(|v| *v as f64).collect(),
+        ),
         Sweep::Theta => (
             "Fig. 10",
             "theta",
             grid.theta_values.iter().map(|v| *v as f64).collect(),
         ),
-        Sweep::Q => ("Fig. 11", "q", grid.q_values.iter().map(|v| *v as f64).collect()),
+        Sweep::Q => (
+            "Fig. 11",
+            "q",
+            grid.q_values.iter().map(|v| *v as f64).collect(),
+        ),
         Sweep::Delta => unreachable!("delta is not an OJSP parameter"),
     };
     header(&format!(
@@ -286,9 +357,21 @@ fn ojsp_sweep(env: &ExperimentEnv, grid: &ParameterGrid, sweep: Sweep) {
     ));
     println!("{label}\t{}", IndexKind::all().map(|k| k.name()).join("\t"));
     for &x in &xs {
-        let k = if sweep == Sweep::K { x as usize } else { grid.default_k };
-        let q = if sweep == Sweep::Q { x as usize } else { grid.default_q };
-        let theta = if sweep == Sweep::Theta { x as u32 } else { grid.default_theta };
+        let k = if sweep == Sweep::K {
+            x as usize
+        } else {
+            grid.default_k
+        };
+        let q = if sweep == Sweep::Q {
+            x as usize
+        } else {
+            grid.default_q
+        };
+        let theta = if sweep == Sweep::Theta {
+            x as u32
+        } else {
+            grid.default_theta
+        };
         let queries = env.query_cells(q, theta);
         let mut cells = Vec::new();
         for kind in IndexKind::all() {
@@ -354,7 +437,11 @@ fn fig13_14(env: &ExperimentEnv, grid: &ParameterGrid) {
     ];
     println!(
         "q\t{}",
-        strategies.iter().map(|(n, _)| *n).collect::<Vec<_>>().join("\t")
+        strategies
+            .iter()
+            .map(|(n, _)| *n)
+            .collect::<Vec<_>>()
+            .join("\t")
     );
     let comm_config = CommConfig::default();
     let mut time_rows: Vec<String> = Vec::new();
@@ -368,11 +455,15 @@ fn fig13_14(env: &ExperimentEnv, grid: &ParameterGrid) {
                 leaf_capacity: grid.default_f,
                 delta_cells: grid.default_delta,
                 strategy: *strategy,
+                workers: 0,
                 comm: comm_config,
             });
             let outcome = framework.run_ojsp(&queries, grid.default_k);
             byte_cells.push(outcome.comm.total_bytes().to_string());
-            time_cells.push(format!("{:.2}", outcome.comm.transmission_time_ms(&comm_config)));
+            time_cells.push(format!(
+                "{:.2}",
+                outcome.comm.transmission_time_ms(&comm_config)
+            ));
         }
         println!("{q}\t{}", byte_cells.join("\t"));
         time_rows.push(format!("{q}\t{}", time_cells.join("\t")));
@@ -380,7 +471,11 @@ fn fig13_14(env: &ExperimentEnv, grid: &ParameterGrid) {
     header("Fig. 14 — OJSP transmission time vs q (ms at 1 MiB/s)");
     println!(
         "q\t{}",
-        strategies.iter().map(|(n, _)| *n).collect::<Vec<_>>().join("\t")
+        strategies
+            .iter()
+            .map(|(n, _)| *n)
+            .collect::<Vec<_>>()
+            .join("\t")
     );
     for row in time_rows {
         println!("{row}");
@@ -393,13 +488,21 @@ fn fig13_14(env: &ExperimentEnv, grid: &ParameterGrid) {
 
 fn cjsp_sweep(env: &ExperimentEnv, grid: &ParameterGrid, sweep: Sweep) {
     let (figure, label, xs): (&str, &str, Vec<f64>) = match sweep {
-        Sweep::K => ("Fig. 15", "k", grid.k_values.iter().map(|v| *v as f64).collect()),
+        Sweep::K => (
+            "Fig. 15",
+            "k",
+            grid.k_values.iter().map(|v| *v as f64).collect(),
+        ),
         Sweep::Theta => (
             "Fig. 16",
             "theta",
             grid.theta_values.iter().map(|v| *v as f64).collect(),
         ),
-        Sweep::Q => ("Fig. 17", "q", grid.q_values.iter().map(|v| *v as f64).collect()),
+        Sweep::Q => (
+            "Fig. 17",
+            "q",
+            grid.q_values.iter().map(|v| *v as f64).collect(),
+        ),
         Sweep::Delta => ("Fig. 18", "delta", grid.delta_values.clone()),
     };
     header(&format!(
@@ -407,20 +510,45 @@ fn cjsp_sweep(env: &ExperimentEnv, grid: &ParameterGrid, sweep: Sweep) {
     ));
     println!("{label}\tCoverageSearch\tSG+DITS\tSG");
     for &x in &xs {
-        let k = if sweep == Sweep::K { x as usize } else { grid.default_k };
-        let q = if sweep == Sweep::Q { x as usize } else { grid.default_q };
-        let theta = if sweep == Sweep::Theta { x as u32 } else { grid.default_theta };
-        let delta = if sweep == Sweep::Delta { x } else { grid.default_delta };
+        let k = if sweep == Sweep::K {
+            x as usize
+        } else {
+            grid.default_k
+        };
+        let q = if sweep == Sweep::Q {
+            x as usize
+        } else {
+            grid.default_q
+        };
+        let theta = if sweep == Sweep::Theta {
+            x as u32
+        } else {
+            grid.default_theta
+        };
+        let delta = if sweep == Sweep::Delta {
+            x
+        } else {
+            grid.default_delta
+        };
         let queries = env.query_cells(q, theta);
         let mut coverage_total = Duration::ZERO;
         let mut sg_dits_total = Duration::ZERO;
         let mut sg_total = Duration::ZERO;
         for source_idx in 0..env.source_data.len() {
             let nodes: Vec<DatasetNode> = env.dataset_nodes(source_idx, theta);
-            let index = DitsLocal::build(nodes.clone(), DitsLocalConfig { leaf_capacity: grid.default_f });
+            let index = DitsLocal::build(
+                nodes.clone(),
+                DitsLocalConfig {
+                    leaf_capacity: grid.default_f,
+                },
+            );
             let start = Instant::now();
             for query in &queries {
-                std::hint::black_box(coverage_search(&index, query, CoverageConfig::new(k, delta)));
+                std::hint::black_box(coverage_search(
+                    &index,
+                    query,
+                    CoverageConfig::new(k, delta),
+                ));
             }
             coverage_total += start.elapsed();
             let start = Instant::now();
@@ -456,7 +584,11 @@ fn fig19_20(env: &ExperimentEnv, grid: &ParameterGrid) {
     ];
     println!(
         "q\t{}",
-        strategies.iter().map(|(n, _)| *n).collect::<Vec<_>>().join("\t")
+        strategies
+            .iter()
+            .map(|(n, _)| *n)
+            .collect::<Vec<_>>()
+            .join("\t")
     );
     let comm_config = CommConfig::default();
     let mut time_rows: Vec<String> = Vec::new();
@@ -470,11 +602,15 @@ fn fig19_20(env: &ExperimentEnv, grid: &ParameterGrid) {
                 leaf_capacity: grid.default_f,
                 delta_cells: grid.default_delta,
                 strategy: *strategy,
+                workers: 0,
                 comm: comm_config,
             });
             let outcome = framework.run_cjsp(&queries, grid.default_k);
             byte_cells.push(outcome.comm.total_bytes().to_string());
-            time_cells.push(format!("{:.2}", outcome.comm.transmission_time_ms(&comm_config)));
+            time_cells.push(format!(
+                "{:.2}",
+                outcome.comm.transmission_time_ms(&comm_config)
+            ));
         }
         println!("{q}\t{}", byte_cells.join("\t"));
         time_rows.push(format!("{q}\t{}", time_cells.join("\t")));
@@ -482,7 +618,11 @@ fn fig19_20(env: &ExperimentEnv, grid: &ParameterGrid) {
     header("Fig. 20 — CJSP transmission time vs q (ms at 1 MiB/s)");
     println!(
         "q\t{}",
-        strategies.iter().map(|(n, _)| *n).collect::<Vec<_>>().join("\t")
+        strategies
+            .iter()
+            .map(|(n, _)| *n)
+            .collect::<Vec<_>>()
+            .join("\t")
     );
     for row in time_rows {
         println!("{row}");
@@ -504,7 +644,9 @@ fn maintenance(env: &ExperimentEnv, grid: &ParameterGrid, mode: Maintenance) {
         Maintenance::Insert => ("Fig. 21", "inserts"),
         Maintenance::Update => ("Fig. 22", "updates"),
     };
-    header(&format!("{figure} — index update time vs number of dataset {what} (ms)"));
+    header(&format!(
+        "{figure} — index update time vs number of dataset {what} (ms)"
+    ));
     println!("beta\t{}", IndexKind::all().map(|k| k.name()).join("\t"));
     let theta = grid.default_theta;
     // Base index over the Transit source; the batch comes from the NYU

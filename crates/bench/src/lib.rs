@@ -55,10 +55,7 @@ impl IndexKind {
     /// Builds an index of this kind over the given dataset nodes.
     pub fn build(&self, nodes: Vec<DatasetNode>, leaf_capacity: usize) -> Box<dyn OverlapIndex> {
         match self {
-            IndexKind::Dits => Box::new(DitsLocal::build(
-                nodes,
-                DitsLocalConfig { leaf_capacity },
-            )),
+            IndexKind::Dits => Box::new(DitsLocal::build(nodes, DitsLocalConfig { leaf_capacity })),
             IndexKind::QuadTree => Box::new(QuadTreeIndex::build(nodes)),
             IndexKind::RTree => Box::new(RTreeIndex::build(nodes)),
             IndexKind::Sts3 => Box::new(Sts3Index::build(nodes)),

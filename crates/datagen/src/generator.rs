@@ -50,8 +50,16 @@ pub fn generate_source(profile: &SourceProfile, config: &GeneratorConfig) -> Vec
     let hotspots: Vec<(Point, f64)> = (0..profile.hotspots.max(1))
         .map(|_| {
             let c = random_point_in(&profile.extent, &mut rng);
-            let spread = 0.01 + 0.05 * rng.random::<f64>();
-            let spread = spread * profile.extent.width().min(profile.extent.height()).max(1e-6);
+            // Keep hotspots tight relative to the extent: real portal
+            // datasets (routes, tracts, POI extracts) are local, and the
+            // clustered-not-uniform shape of Fig. 7 depends on it.
+            let spread = 0.004 + 0.02 * rng.random::<f64>();
+            let spread = spread
+                * profile
+                    .extent
+                    .width()
+                    .min(profile.extent.height())
+                    .max(1e-6);
             (c, spread)
         })
         .collect();
@@ -171,7 +179,10 @@ mod tests {
         assert_eq!(a, b);
         let c = generate_source(
             profile,
-            &GeneratorConfig { seed: 8, ..small_config() },
+            &GeneratorConfig {
+                seed: 8,
+                ..small_config()
+            },
         );
         assert_ne!(a, c);
     }

@@ -149,7 +149,10 @@ mod tests {
                 s.scaled_dataset_count(SourceScale::Tenth)
                     <= s.scaled_dataset_count(SourceScale::Full)
             );
-            assert_eq!(s.scaled_dataset_count(SourceScale::Custom(0)), s.dataset_count);
+            assert_eq!(
+                s.scaled_dataset_count(SourceScale::Custom(0)),
+                s.dataset_count
+            );
         }
     }
 

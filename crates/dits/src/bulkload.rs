@@ -47,7 +47,9 @@ pub fn build_bottom_up(dataset_nodes: Vec<DatasetNode>, config: DitsLocalConfig)
         "bottom-up construction supports at most {BOTTOM_UP_MAX_DATASETS} datasets; use DitsLocal::build"
     );
     let capacity = config.leaf_capacity.max(1);
-    let config = DitsLocalConfig { leaf_capacity: capacity };
+    let config = DitsLocalConfig {
+        leaf_capacity: capacity,
+    };
     let dataset_count = dataset_nodes.len();
 
     // Phase 1: agglomerate dataset nodes into clusters of at most `capacity`.
@@ -99,7 +101,11 @@ pub fn build_bottom_up(dataset_nodes: Vec<DatasetNode>, config: DitsLocalConfig)
         index.node_mut_for_bulkload(i).parent = Some(parent);
         index.node_mut_for_bulkload(j).parent = Some(parent);
         // Remove the higher index first so the lower one stays valid.
-        let (hi, lo) = if best_i > best_j { (best_i, best_j) } else { (best_j, best_i) };
+        let (hi, lo) = if best_i > best_j {
+            (best_i, best_j)
+        } else {
+            (best_j, best_i)
+        };
         level.swap_remove(hi);
         level.swap_remove(lo);
         level.push(parent);
@@ -129,9 +135,13 @@ fn agglomerate(nodes: Vec<DatasetNode>, capacity: usize) -> Vec<Vec<DatasetNode>
         // smallest union area.
         let mut best: Option<(f64, f64, usize, usize)> = None;
         for i in 0..clusters.len() {
-            let Some((rect_i, members_i)) = &clusters[i] else { continue };
+            let Some((rect_i, members_i)) = &clusters[i] else {
+                continue;
+            };
             for j in (i + 1)..clusters.len() {
-                let Some((rect_j, members_j)) = &clusters[j] else { continue };
+                let Some((rect_j, members_j)) = &clusters[j] else {
+                    continue;
+                };
                 if members_i.len() + members_j.len() > capacity {
                     continue;
                 }
@@ -139,9 +149,7 @@ fn agglomerate(nodes: Vec<DatasetNode>, capacity: usize) -> Vec<Vec<DatasetNode>
                 let key = (union.area(), union.radius());
                 let better = match best {
                     None => true,
-                    Some((area, radius, _, _)) => {
-                        key.0 < area || (key.0 == area && key.1 < radius)
-                    }
+                    Some((area, radius, _, _)) => key.0 < area || (key.0 == area && key.1 < radius),
                 };
                 if better {
                     best = Some((key.0, key.1, i, j));
@@ -189,9 +197,11 @@ fn geometry_of_entries(entries: &[DatasetNode]) -> NodeGeometry {
             None => *e.rect(),
         });
     }
-    NodeGeometry::from_mbr(rect.unwrap_or_else(|| {
-        Mbr::new(spatial::Point::new(0.0, 0.0), spatial::Point::new(0.0, 0.0))
-    }))
+    NodeGeometry::from_mbr(
+        rect.unwrap_or_else(|| {
+            Mbr::new(spatial::Point::new(0.0, 0.0), spatial::Point::new(0.0, 0.0))
+        }),
+    )
 }
 
 impl DitsLocal {

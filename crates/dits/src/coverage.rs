@@ -39,7 +39,11 @@ pub struct CoverageConfig {
 impl CoverageConfig {
     /// Convenience constructor with merging enabled.
     pub fn new(k: usize, delta: f64) -> Self {
-        Self { k, delta, merge_results: true }
+        Self {
+            k,
+            delta,
+            merge_results: true,
+        }
     }
 }
 
@@ -215,7 +219,16 @@ fn find_connect_set<'a>(
         }
         NodeKind::Internal { left, right } => {
             find_connect_set(index, *left, probe_geometry, probe, delta, out, seen, stats);
-            find_connect_set(index, *right, probe_geometry, probe, delta, out, seen, stats);
+            find_connect_set(
+                index,
+                *right,
+                probe_geometry,
+                probe,
+                delta,
+                out,
+                seen,
+                stats,
+            );
         }
     }
 }
@@ -377,8 +390,26 @@ mod tests {
             .collect();
         let idx = DitsLocal::build(nodes, DitsLocalConfig { leaf_capacity: 4 });
         let query = cs(&[(0, 0)]);
-        let merged = coverage_search(&idx, &query, CoverageConfig { k: 5, delta: 2.5, merge_results: true }).0;
-        let unmerged = coverage_search(&idx, &query, CoverageConfig { k: 5, delta: 2.5, merge_results: false }).0;
+        let merged = coverage_search(
+            &idx,
+            &query,
+            CoverageConfig {
+                k: 5,
+                delta: 2.5,
+                merge_results: true,
+            },
+        )
+        .0;
+        let unmerged = coverage_search(
+            &idx,
+            &query,
+            CoverageConfig {
+                k: 5,
+                delta: 2.5,
+                merge_results: false,
+            },
+        )
+        .0;
         // Both are greedy over the same candidate space; coverage must match.
         assert_eq!(merged.coverage, unmerged.coverage);
     }

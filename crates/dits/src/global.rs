@@ -102,10 +102,17 @@ impl DitsGlobal {
     fn build_subtree(&mut self, mut summaries: Vec<SourceSummary>) -> usize {
         let geometry = geometry_of(&summaries);
         if summaries.len() <= self.leaf_capacity {
-            self.nodes.push(GlobalNode::Leaf { geometry, sources: summaries });
+            self.nodes.push(GlobalNode::Leaf {
+                geometry,
+                sources: summaries,
+            });
             return self.nodes.len() - 1;
         }
-        let dsplit = if geometry.rect.width() >= geometry.rect.height() { 0 } else { 1 };
+        let dsplit = if geometry.rect.width() >= geometry.rect.height() {
+            0
+        } else {
+            1
+        };
         let mid = summaries.len() / 2;
         summaries.select_nth_unstable_by(mid, |a, b| {
             coord(a, dsplit)
@@ -209,8 +216,8 @@ impl DitsGlobal {
             let node = &self.nodes[idx];
             let g = node.geometry();
             let intersects = g.rect.intersects(query_rect);
-            let within_delta = crate::bounds::node_distance_lower_bound(g, &query_geometry)
-                <= delta_lonlat;
+            let within_delta =
+                crate::bounds::node_distance_lower_bound(g, &query_geometry) <= delta_lonlat;
             if !intersects && !within_delta {
                 continue;
             }
@@ -218,10 +225,9 @@ impl DitsGlobal {
                 GlobalNode::Leaf { sources, .. } => {
                     for s in sources {
                         let s_intersects = s.geometry.rect.intersects(query_rect);
-                        let s_within = crate::bounds::node_distance_lower_bound(
-                            &s.geometry,
-                            &query_geometry,
-                        ) <= delta_lonlat;
+                        let s_within =
+                            crate::bounds::node_distance_lower_bound(&s.geometry, &query_geometry)
+                                <= delta_lonlat;
                         if s_intersects || s_within {
                             out.push(*s);
                         }
@@ -261,7 +267,9 @@ fn geometry_of(summaries: &[SourceSummary]) -> NodeGeometry {
             None => s.geometry.rect,
         });
     }
-    NodeGeometry::from_mbr(rect.unwrap_or_else(|| Mbr::new(Point::new(0.0, 0.0), Point::new(0.0, 0.0))))
+    NodeGeometry::from_mbr(
+        rect.unwrap_or_else(|| Mbr::new(Point::new(0.0, 0.0), Point::new(0.0, 0.0))),
+    )
 }
 
 fn coord(s: &SourceSummary, d: usize) -> f64 {
@@ -303,7 +311,10 @@ mod tests {
     #[test]
     fn delta_slack_reaches_nearby_sources() {
         let g = DitsGlobal::build(
-            vec![summary(0, 0.0, 0.0, 1.0, 1.0), summary(1, 5.0, 0.0, 6.0, 1.0)],
+            vec![
+                summary(0, 0.0, 0.0, 1.0, 1.0),
+                summary(1, 5.0, 0.0, 6.0, 1.0),
+            ],
             2,
         );
         let query = Mbr::new(Point::new(0.2, 0.2), Point::new(0.8, 0.8));
@@ -323,7 +334,15 @@ mod tests {
     #[test]
     fn many_sources_split_into_tree() {
         let summaries: Vec<SourceSummary> = (0..20)
-            .map(|i| summary(i as SourceId, i as f64 * 10.0, 0.0, i as f64 * 10.0 + 5.0, 5.0))
+            .map(|i| {
+                summary(
+                    i as SourceId,
+                    i as f64 * 10.0,
+                    0.0,
+                    i as f64 * 10.0 + 5.0,
+                    5.0,
+                )
+            })
             .collect();
         let g = DitsGlobal::build(summaries, 3);
         assert_eq!(g.source_count(), 20);
@@ -339,7 +358,15 @@ mod tests {
     fn insert_source_is_found_afterwards() {
         let mut g = DitsGlobal::build(
             (0..8)
-                .map(|i| summary(i as SourceId, i as f64 * 10.0, 0.0, i as f64 * 10.0 + 5.0, 5.0))
+                .map(|i| {
+                    summary(
+                        i as SourceId,
+                        i as f64 * 10.0,
+                        0.0,
+                        i as f64 * 10.0 + 5.0,
+                        5.0,
+                    )
+                })
                 .collect(),
             2,
         );
@@ -364,10 +391,8 @@ mod tests {
         let grid = Grid::global(10).unwrap();
         // A root covering cells (0,0)..(1023,1023) maps back to roughly the
         // whole globe.
-        let root = NodeGeometry::from_mbr(Mbr::new(
-            Point::new(0.0, 0.0),
-            Point::new(1023.0, 1023.0),
-        ));
+        let root =
+            NodeGeometry::from_mbr(Mbr::new(Point::new(0.0, 0.0), Point::new(1023.0, 1023.0)));
         let s = SourceSummary::from_local_root(3, &grid, root);
         assert_eq!(s.source, 3);
         assert_eq!(s.resolution, 10);

@@ -257,8 +257,26 @@ fn range_recurse(
             }
         }
         NodeKind::Internal { left, right } => {
-            range_recurse(index, *left, query, query_geometry, probe, delta, out, stats);
-            range_recurse(index, *right, query, query_geometry, probe, delta, out, stats);
+            range_recurse(
+                index,
+                *left,
+                query,
+                query_geometry,
+                probe,
+                delta,
+                out,
+                stats,
+            );
+            range_recurse(
+                index,
+                *right,
+                query,
+                query_geometry,
+                probe,
+                delta,
+                out,
+                stats,
+            );
         }
     }
 }
@@ -337,11 +355,7 @@ mod tests {
 
     #[test]
     fn range_returns_exactly_the_datasets_within_delta() {
-        let nodes = vec![
-            node(0, &[(1, 0)]),
-            node(1, &[(3, 0)]),
-            node(2, &[(6, 0)]),
-        ];
+        let nodes = vec![node(0, &[(1, 0)]), node(1, &[(3, 0)]), node(2, &[(6, 0)])];
         let idx = DitsLocal::build(nodes, DitsLocalConfig::default());
         let query = cs(&[(0, 0)]);
         let (within, _) = range_datasets(&idx, &query, 3.0);

@@ -46,3 +46,56 @@ pub use node::{DatasetNode, NodeGeometry};
 pub use overlap::{overlap_search, overlap_search_with_options, OverlapResult};
 pub use persist::{decode_local, encode_local, load_local, save_local, PersistError};
 pub use stats::SearchStats;
+
+#[cfg(test)]
+mod thread_safety_tests {
+    use super::*;
+    use spatial::zorder::cell_id;
+    use spatial::CellSet;
+
+    /// The multi-source query engine shares indexes across worker threads;
+    /// these assertions make that contract explicit at compile time.
+    #[test]
+    fn indexes_and_stats_are_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<DitsLocal>();
+        assert_send_sync::<DitsGlobal>();
+        assert_send_sync::<DatasetNode>();
+        assert_send_sync::<SearchStats>();
+    }
+
+    #[test]
+    fn concurrent_searches_over_a_shared_index_agree() {
+        let nodes: Vec<DatasetNode> = (0..60u32)
+            .map(|i| {
+                let base = (i % 10, i / 10);
+                DatasetNode::from_cell_set(
+                    i,
+                    CellSet::from_cells([
+                        cell_id(base.0 * 3, base.1 * 3),
+                        cell_id(base.0 * 3 + 1, base.1 * 3),
+                    ]),
+                )
+                .unwrap()
+            })
+            .collect();
+        let index = DitsLocal::build(nodes, DitsLocalConfig { leaf_capacity: 4 });
+        let query = CellSet::from_cells([cell_id(0, 0), cell_id(3, 0), cell_id(6, 3)]);
+        let (expected, _) = overlap_search(&index, &query, 8);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..8)
+                .map(|_| {
+                    scope.spawn(|| {
+                        let (results, stats) = overlap_search(&index, &query, 8);
+                        (results, stats)
+                    })
+                })
+                .collect();
+            for handle in handles {
+                let (results, stats) = handle.join().unwrap();
+                assert_eq!(results, expected);
+                assert!(stats.nodes_visited > 0);
+            }
+        });
+    }
+}

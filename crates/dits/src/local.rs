@@ -85,7 +85,9 @@ impl DitsLocal {
     /// An empty input produces a valid index with an empty root leaf.
     pub fn build(dataset_nodes: Vec<DatasetNode>, config: DitsLocalConfig) -> Self {
         let capacity = config.leaf_capacity.max(1);
-        let config = DitsLocalConfig { leaf_capacity: capacity };
+        let config = DitsLocalConfig {
+            leaf_capacity: capacity,
+        };
         let dataset_count = dataset_nodes.len();
         let mut index = Self {
             nodes: Vec::new(),
@@ -129,7 +131,11 @@ impl DitsLocal {
         }
 
         // Choose the split dimension: the axis with the maximum MBR width.
-        let dsplit = if geometry.rect.width() >= geometry.rect.height() { 0 } else { 1 };
+        let dsplit = if geometry.rect.width() >= geometry.rect.height() {
+            0
+        } else {
+            1
+        };
 
         // Partition by the median pivot on that dimension. Using the median
         // (select_nth_unstable) rather than the node pivot guarantees both
@@ -367,9 +373,11 @@ pub(crate) fn geometry_of(entries: &[DatasetNode]) -> NodeGeometry {
             None => *e.rect(),
         });
     }
-    NodeGeometry::from_mbr(rect.unwrap_or_else(|| {
-        Mbr::new(spatial::Point::new(0.0, 0.0), spatial::Point::new(0.0, 0.0))
-    }))
+    NodeGeometry::from_mbr(
+        rect.unwrap_or_else(|| {
+            Mbr::new(spatial::Point::new(0.0, 0.0), spatial::Point::new(0.0, 0.0))
+        }),
+    )
 }
 
 /// Coordinate of a dataset node's pivot along dimension `d`.

@@ -34,7 +34,11 @@ pub struct OverlapResult {
 /// Returns up to `k` datasets with the largest positive overlap with
 /// `query`, sorted by decreasing overlap (ties broken by dataset id for
 /// determinism), together with the search statistics.
-pub fn overlap_search(index: &DitsLocal, query: &CellSet, k: usize) -> (Vec<OverlapResult>, SearchStats) {
+pub fn overlap_search(
+    index: &DitsLocal,
+    query: &CellSet,
+    k: usize,
+) -> (Vec<OverlapResult>, SearchStats) {
     overlap_search_with_options(index, query, k, true)
 }
 
@@ -242,8 +246,20 @@ mod tests {
         let query = cs(&[(0, 0), (1, 0), (2, 0), (3, 0)]);
         let (results, stats) = overlap_search(&idx, &query, 2);
         assert_eq!(results.len(), 2);
-        assert_eq!(results[0], OverlapResult { dataset: 0, overlap: 3 });
-        assert_eq!(results[1], OverlapResult { dataset: 1, overlap: 2 });
+        assert_eq!(
+            results[0],
+            OverlapResult {
+                dataset: 0,
+                overlap: 3
+            }
+        );
+        assert_eq!(
+            results[1],
+            OverlapResult {
+                dataset: 1,
+                overlap: 2
+            }
+        );
         assert!(stats.nodes_visited > 0);
     }
 

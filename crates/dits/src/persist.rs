@@ -56,7 +56,10 @@ impl fmt::Display for PersistError {
         match self {
             PersistError::BadMagic(m) => write!(f, "not a DITS index image (magic {m:#010x})"),
             PersistError::UnsupportedVersion(v) => {
-                write!(f, "unsupported DITS image version {v} (supported: {VERSION})")
+                write!(
+                    f,
+                    "unsupported DITS image version {v} (supported: {VERSION})"
+                )
             }
             PersistError::UnexpectedEof { context } => {
                 write!(f, "index image truncated while reading {context}")
@@ -212,12 +215,12 @@ pub fn decode_local(image: &[u8]) -> Result<DitsLocal, PersistError> {
     let index = DitsLocal::from_parts(
         nodes,
         root,
-        DitsLocalConfig { leaf_capacity: leaf_capacity.max(1) },
+        DitsLocalConfig {
+            leaf_capacity: leaf_capacity.max(1),
+        },
         dataset_count,
     );
-    index
-        .check_invariants()
-        .map_err(PersistError::Corrupt)?;
+    index.check_invariants().map_err(PersistError::Corrupt)?;
     Ok(index)
 }
 
@@ -251,7 +254,9 @@ fn decode_tree_node(buf: &mut &[u8]) -> Result<TreeNode, PersistError> {
             NodeKind::Leaf { entries, inverted }
         }
         other => {
-            return Err(PersistError::Corrupt(format!("unknown node kind tag {other}")));
+            return Err(PersistError::Corrupt(format!(
+                "unknown node kind tag {other}"
+            )));
         }
     };
     Ok(TreeNode {
@@ -300,7 +305,9 @@ fn read_varint(buf: &mut &[u8]) -> Result<u64, PersistError> {
     loop {
         let byte = read_u8(buf, "varint")?;
         if shift >= 64 {
-            return Err(PersistError::Corrupt("varint longer than 64 bits".to_string()));
+            return Err(PersistError::Corrupt(
+                "varint longer than 64 bits".to_string(),
+            ));
         }
         value |= ((byte & 0x7f) as u64) << shift;
         if byte & 0x80 == 0 {
@@ -352,7 +359,12 @@ mod tests {
                 node(i, &[(bx, by), (bx + 1, by), (bx, by + 1)])
             })
             .collect();
-        DitsLocal::build(nodes, DitsLocalConfig { leaf_capacity: capacity })
+        DitsLocal::build(
+            nodes,
+            DitsLocalConfig {
+                leaf_capacity: capacity,
+            },
+        )
     }
 
     #[test]
@@ -423,7 +435,10 @@ mod tests {
             let truncated = &image[..cut];
             let err = decode_local(truncated).unwrap_err();
             assert!(
-                matches!(err, PersistError::UnexpectedEof { .. } | PersistError::Corrupt(_)),
+                matches!(
+                    err,
+                    PersistError::UnexpectedEof { .. } | PersistError::Corrupt(_)
+                ),
                 "cut at {cut} produced unexpected error {err}"
             );
         }
@@ -435,7 +450,10 @@ mod tests {
         let mut image = encode_local(&index).to_vec();
         // The dataset count lives at offset 4+2+8 = 14; flip it.
         image[14] = image[14].wrapping_add(1);
-        assert!(matches!(decode_local(&image), Err(PersistError::Corrupt(_))));
+        assert!(matches!(
+            decode_local(&image),
+            Err(PersistError::Corrupt(_))
+        ));
     }
 
     #[test]

@@ -40,6 +40,26 @@ impl SearchStats {
     }
 }
 
+impl std::iter::Sum for SearchStats {
+    fn sum<I: Iterator<Item = SearchStats>>(iter: I) -> Self {
+        let mut total = SearchStats::new();
+        for block in iter {
+            total.merge(&block);
+        }
+        total
+    }
+}
+
+impl<'a> std::iter::Sum<&'a SearchStats> for SearchStats {
+    fn sum<I: Iterator<Item = &'a SearchStats>>(iter: I) -> Self {
+        let mut total = SearchStats::new();
+        for block in iter {
+            total.merge(block);
+        }
+        total
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -68,5 +88,26 @@ mod tests {
     fn default_is_zeroed() {
         assert_eq!(SearchStats::new(), SearchStats::default());
         assert_eq!(SearchStats::new().nodes_visited, 0);
+    }
+
+    #[test]
+    fn sum_matches_repeated_merge() {
+        let blocks: Vec<SearchStats> = (0..5)
+            .map(|i| SearchStats {
+                nodes_visited: i,
+                candidates: 2 * i,
+                ..SearchStats::new()
+            })
+            .collect();
+        let by_sum: SearchStats = blocks.iter().sum();
+        let mut by_merge = SearchStats::new();
+        for b in &blocks {
+            by_merge.merge(b);
+        }
+        assert_eq!(by_sum, by_merge);
+        assert_eq!(by_sum.nodes_visited, 10);
+        assert_eq!(by_sum.candidates, 20);
+        let owned: SearchStats = blocks.into_iter().sum();
+        assert_eq!(owned, by_merge);
     }
 }

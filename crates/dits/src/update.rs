@@ -122,12 +122,24 @@ impl DitsLocal {
         };
         // Rebuild the subtree for these entries; its root replaces the leaf.
         let geometry = geometry_of(&entries);
-        let dsplit = if geometry.rect.width() >= geometry.rect.height() { 0 } else { 1 };
+        let dsplit = if geometry.rect.width() >= geometry.rect.height() {
+            0
+        } else {
+            1
+        };
         let mut entries = entries;
         let mid = entries.len() / 2;
         entries.select_nth_unstable_by(mid, |a, b| {
-            let ca = if dsplit == 0 { a.pivot().x } else { a.pivot().y };
-            let cb = if dsplit == 0 { b.pivot().x } else { b.pivot().y };
+            let ca = if dsplit == 0 {
+                a.pivot().x
+            } else {
+                a.pivot().y
+            };
+            let cb = if dsplit == 0 {
+                b.pivot().x
+            } else {
+                b.pivot().y
+            };
             ca.partial_cmp(&cb).unwrap_or(std::cmp::Ordering::Equal)
         });
         let right_entries = entries.split_off(mid);
@@ -145,10 +157,9 @@ impl DitsLocal {
         let mut current = self.node(idx).parent;
         while let Some(parent) = current {
             let geometry = match &self.node(parent).kind {
-                NodeKind::Internal { left, right } => self
-                    .node(*left)
-                    .geometry
-                    .union(&self.node(*right).geometry),
+                NodeKind::Internal { left, right } => {
+                    self.node(*left).geometry.union(&self.node(*right).geometry)
+                }
                 NodeKind::Leaf { .. } => self.node(parent).geometry,
             };
             self.node_mut(parent).geometry = geometry;

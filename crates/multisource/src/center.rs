@@ -2,11 +2,10 @@
 //! aggregation (Sections IV and VI-A).
 
 use dits::{DitsGlobal, OverlapResult};
-use spatial::distance::NeighborProbe;
 use spatial::{CellSet, DatasetId, Mbr, Point, SourceId, SpatialDataset};
 
 use crate::comm::CommStats;
-use crate::message::{CoverageCandidate, Message};
+use crate::engine::{EngineConfig, QueryEngine};
 use crate::source::DataSource;
 
 /// How the data center distributes a query to the data sources.
@@ -67,10 +66,16 @@ impl DataCenter {
         &self.global
     }
 
-    /// Runs the multi-source overlap joinable search.
+    /// The connectivity slack used when routing CJSP queries, in degrees.
+    pub(crate) fn delta_lonlat(&self) -> f64 {
+        self.delta_lonlat
+    }
+
+    /// Runs the multi-source overlap joinable search for one query.
     ///
-    /// Returns the aggregated global top-`k` together with the communication
-    /// statistics of the exchange.
+    /// A convenience wrapper: builds a [`QueryEngine`] over this center and
+    /// the given sources and runs a batch of one.  Batch callers should hold
+    /// an engine directly.
     pub fn ojsp(
         &self,
         sources: &[DataSource],
@@ -78,41 +83,27 @@ impl DataCenter {
         k: usize,
         strategy: DistributionStrategy,
     ) -> (AggregatedOverlap, CommStats) {
-        let mut comm = CommStats::new();
-        let mut all: Vec<(SourceId, OverlapResult)> = Vec::new();
-        let targets = self.route(sources, query, 0.0, strategy);
-        comm.sources_contacted = targets.len();
-
-        for source in targets {
-            let Some(query_cells) = self.prepare_query(source, query, 0.0, strategy) else {
-                continue;
-            };
-            if query_cells.is_empty() {
-                continue;
-            }
-            let request = Message::OverlapQuery { query: query_cells, k };
-            comm.record_request(request.wire_size());
-            let Some(reply) = source.handle(&request) else { continue };
-            comm.record_reply(reply.wire_size());
-            if let Message::OverlapReply { source: sid, results } = reply {
-                all.extend(results.into_iter().map(|r| (sid, r)));
-            }
-        }
-
-        all.sort_unstable_by(|a, b| {
-            b.1.overlap
-                .cmp(&a.1.overlap)
-                .then(a.0.cmp(&b.0))
-                .then(a.1.dataset.cmp(&b.1.dataset))
-        });
-        all.truncate(k);
-        (AggregatedOverlap { results: all }, comm)
+        let engine = QueryEngine::new(
+            self,
+            sources,
+            EngineConfig {
+                strategy,
+                ..EngineConfig::default()
+            },
+        );
+        let outcome = engine.run_ojsp(std::slice::from_ref(query), k);
+        let answer = outcome
+            .answers
+            .into_iter()
+            .next()
+            .expect("batch of one produces one answer");
+        (answer, outcome.comm)
     }
 
-    /// Runs the multi-source coverage joinable search.
+    /// Runs the multi-source coverage joinable search for one query.
     ///
     /// Each candidate source returns its local greedy candidates (with their
-    /// cells); the data center then runs the final greedy selection across
+    /// cells); the engine then runs the final greedy selection across
     /// sources, enforcing spatial connectivity with the query.  All sources
     /// are assumed to share the query's grid resolution for the cell-level
     /// aggregation (the per-run setting used throughout the paper's
@@ -125,81 +116,26 @@ impl DataCenter {
         delta_cells: f64,
         strategy: DistributionStrategy,
     ) -> (AggregatedCoverage, CommStats) {
-        let mut comm = CommStats::new();
-        let targets = self.route(sources, query, self.delta_lonlat, strategy);
-        comm.sources_contacted = targets.len();
-
-        let mut candidates: Vec<CoverageCandidate> = Vec::new();
-        let mut query_cells_any: Option<CellSet> = None;
-        for source in targets {
-            let Some(query_cells) = self.prepare_query(source, query, delta_cells, strategy)
-            else {
-                continue;
-            };
-            if query_cells.is_empty() {
-                continue;
-            }
-            if query_cells_any.is_none() {
-                // The un-clipped query in the shared grid, used for the final
-                // aggregation at the center.
-                query_cells_any = Some(source.grid_query(query));
-            }
-            let request = Message::CoverageQuery { query: query_cells, k, delta: delta_cells };
-            comm.record_request(request.wire_size());
-            let Some(reply) = source.handle(&request) else { continue };
-            comm.record_reply(reply.wire_size());
-            if let Message::CoverageReply { candidates: mut c, .. } = reply {
-                candidates.append(&mut c);
-            }
-        }
-
-        let query_cells = query_cells_any.unwrap_or_default();
-        let query_coverage = query_cells.len();
-        let mut merged = query_cells;
-        let mut selected: Vec<(SourceId, DatasetId)> = Vec::new();
-        let mut remaining: Vec<CoverageCandidate> = candidates;
-        while selected.len() < k && !remaining.is_empty() {
-            let probe = NeighborProbe::new(&merged);
-            let mut best: Option<(usize, usize)> = None; // (index, gain)
-            for (i, cand) in remaining.iter().enumerate() {
-                if !probe.within(&cand.cells, delta_cells) {
-                    continue;
-                }
-                let gain = cand.cells.marginal_gain(&merged);
-                let wins = match best {
-                    None => true,
-                    Some((bi, bg)) => {
-                        gain > bg
-                            || (gain == bg
-                                && (remaining[i].source, remaining[i].dataset)
-                                    < (remaining[bi].source, remaining[bi].dataset))
-                    }
-                };
-                if wins {
-                    best = Some((i, gain));
-                }
-            }
-            let Some((idx, gain)) = best else { break };
-            if gain == 0 {
-                break;
-            }
-            let chosen = remaining.swap_remove(idx);
-            merged.union_in_place(&chosen.cells);
-            selected.push((chosen.source, chosen.dataset));
-        }
-
-        (
-            AggregatedCoverage {
-                selected,
-                coverage: merged.len(),
-                query_coverage,
+        let engine = QueryEngine::new(
+            self,
+            sources,
+            EngineConfig {
+                strategy,
+                delta_cells,
+                ..EngineConfig::default()
             },
-            comm,
-        )
+        );
+        let outcome = engine.run_cjsp(std::slice::from_ref(query), k);
+        let answer = outcome
+            .answers
+            .into_iter()
+            .next()
+            .expect("batch of one produces one answer");
+        (answer, outcome.comm)
     }
 
     /// Chooses which sources to contact for a query.
-    fn route<'a>(
+    pub(crate) fn route<'a>(
         &self,
         sources: &'a [DataSource],
         query: &SpatialDataset,
@@ -209,7 +145,9 @@ impl DataCenter {
         match strategy {
             DistributionStrategy::Broadcast => sources.iter().collect(),
             DistributionStrategy::Pruned | DistributionStrategy::PrunedClipped => {
-                let Some(query_rect) = query.mbr() else { return Vec::new() };
+                let Some(query_rect) = query.mbr() else {
+                    return Vec::new();
+                };
                 let candidates = self.global.candidate_sources(&query_rect, delta_lonlat);
                 sources
                     .iter()
@@ -222,7 +160,7 @@ impl DataCenter {
     /// Grids the query with the target source's resolution and, under the
     /// clipped strategy, keeps only the cells that can interact with the
     /// source (its root MBR inflated by δ).
-    fn prepare_query(
+    pub(crate) fn prepare_query(
         &self,
         source: &DataSource,
         query: &SpatialDataset,
@@ -257,7 +195,12 @@ mod tests {
         let east: Vec<SpatialDataset> = (0..15)
             .map(|i| {
                 let pts = (0..8)
-                    .map(|j| Point::new(10.0 + i as f64 * 0.2 + j as f64 * 0.02, 50.0 + j as f64 * 0.02))
+                    .map(|j| {
+                        Point::new(
+                            10.0 + i as f64 * 0.2 + j as f64 * 0.02,
+                            50.0 + j as f64 * 0.02,
+                        )
+                    })
                     .collect();
                 SpatialDataset::new(i, pts)
             })
@@ -265,7 +208,12 @@ mod tests {
         let west: Vec<SpatialDataset> = (0..15)
             .map(|i| {
                 let pts = (0..8)
-                    .map(|j| Point::new(-120.0 + i as f64 * 0.2 + j as f64 * 0.02, 40.0 + j as f64 * 0.02))
+                    .map(|j| {
+                        Point::new(
+                            -120.0 + i as f64 * 0.2 + j as f64 * 0.02,
+                            40.0 + j as f64 * 0.02,
+                        )
+                    })
                     .collect();
                 SpatialDataset::new(i, pts)
             })
@@ -279,7 +227,9 @@ mod tests {
     fn query_in_east() -> SpatialDataset {
         SpatialDataset::new(
             999,
-            (0..6).map(|j| Point::new(10.0 + j as f64 * 0.05, 50.0 + j as f64 * 0.02)).collect(),
+            (0..6)
+                .map(|j| Point::new(10.0 + j as f64 * 0.05, 50.0 + j as f64 * 0.02))
+                .collect(),
         )
     }
 
@@ -305,8 +255,16 @@ mod tests {
         let (res_clipped, comm_clipped) =
             center.ojsp(&sources, &query, 5, DistributionStrategy::PrunedClipped);
         assert_eq!(
-            res_pruned.results.iter().map(|(_, r)| r.overlap).collect::<Vec<_>>(),
-            res_clipped.results.iter().map(|(_, r)| r.overlap).collect::<Vec<_>>()
+            res_pruned
+                .results
+                .iter()
+                .map(|(_, r)| r.overlap)
+                .collect::<Vec<_>>(),
+            res_clipped
+                .results
+                .iter()
+                .map(|(_, r)| r.overlap)
+                .collect::<Vec<_>>()
         );
         assert!(comm_clipped.total_bytes() <= comm_pruned.total_bytes());
     }
@@ -316,15 +274,20 @@ mod tests {
         let sources = two_sources();
         let center = DataCenter::build(&sources, 4, 1.0);
         // A query spanning both regions (two clusters of points).
-        let mut pts: Vec<Point> =
-            (0..4).map(|j| Point::new(10.0 + j as f64 * 0.05, 50.0)).collect();
+        let mut pts: Vec<Point> = (0..4)
+            .map(|j| Point::new(10.0 + j as f64 * 0.05, 50.0))
+            .collect();
         pts.extend((0..4).map(|j| Point::new(-120.0 + j as f64 * 0.05, 40.0)));
         let query = SpatialDataset::new(999, pts);
         let (res, comm) = center.ojsp(&sources, &query, 10, DistributionStrategy::PrunedClipped);
         assert_eq!(comm.sources_contacted, 2);
         let sources_seen: std::collections::HashSet<SourceId> =
             res.results.iter().map(|(s, _)| *s).collect();
-        assert_eq!(sources_seen.len(), 2, "results should come from both sources");
+        assert_eq!(
+            sources_seen.len(),
+            2,
+            "results should come from both sources"
+        );
         // Sorted by decreasing overlap.
         for w in res.results.windows(2) {
             assert!(w[0].1.overlap >= w[1].1.overlap);
@@ -336,8 +299,13 @@ mod tests {
         let sources = two_sources();
         let center = DataCenter::build(&sources, 4, 2.0);
         let query = query_in_east();
-        let (res, comm) =
-            center.cjsp(&sources, &query, 4, 10.0, DistributionStrategy::PrunedClipped);
+        let (res, comm) = center.cjsp(
+            &sources,
+            &query,
+            4,
+            10.0,
+            DistributionStrategy::PrunedClipped,
+        );
         assert!(res.coverage >= res.query_coverage);
         assert!(res.selected.len() <= 4);
         assert!(!res.selected.is_empty());
@@ -355,7 +323,13 @@ mod tests {
         let (res, comm) = center.ojsp(&sources, &query, 5, DistributionStrategy::PrunedClipped);
         assert!(res.results.is_empty());
         assert_eq!(comm.total_bytes(), 0);
-        let (res, _) = center.cjsp(&sources, &query, 5, 10.0, DistributionStrategy::PrunedClipped);
+        let (res, _) = center.cjsp(
+            &sources,
+            &query,
+            5,
+            10.0,
+            DistributionStrategy::PrunedClipped,
+        );
         assert!(res.selected.is_empty());
         assert_eq!(res.coverage, 0);
     }

@@ -21,7 +21,10 @@ pub struct CommConfig {
 
 impl Default for CommConfig {
     fn default() -> Self {
-        Self { bandwidth_bytes_per_sec: 1024.0 * 1024.0, latency_ms: 0.5 }
+        Self {
+            bandwidth_bytes_per_sec: 1024.0 * 1024.0,
+            latency_ms: 0.5,
+        }
     }
 }
 
@@ -86,6 +89,26 @@ impl CommStats {
     }
 }
 
+impl std::iter::Sum for CommStats {
+    fn sum<I: Iterator<Item = CommStats>>(iter: I) -> Self {
+        let mut total = CommStats::new();
+        for block in iter {
+            total.merge(&block);
+        }
+        total
+    }
+}
+
+impl<'a> std::iter::Sum<&'a CommStats> for CommStats {
+    fn sum<I: Iterator<Item = &'a CommStats>>(iter: I) -> Self {
+        let mut total = CommStats::new();
+        for block in iter {
+            total.merge(block);
+        }
+        total
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -106,7 +129,10 @@ mod tests {
 
     #[test]
     fn transmission_time_scales_with_bytes_and_latency() {
-        let config = CommConfig { bandwidth_bytes_per_sec: 1000.0, latency_ms: 2.0 };
+        let config = CommConfig {
+            bandwidth_bytes_per_sec: 1000.0,
+            latency_ms: 2.0,
+        };
         let mut s = CommStats::new();
         s.record_request(500);
         s.record_reply(500);
@@ -130,6 +156,29 @@ mod tests {
         assert_eq!(a.total_bytes(), 30);
         assert_eq!(a.sources_contacted, 3);
         assert_eq!(a.total_messages(), 2);
+    }
+
+    #[test]
+    fn sum_matches_repeated_merge() {
+        let blocks: Vec<CommStats> = (1..4)
+            .map(|i| {
+                let mut s = CommStats::new();
+                s.record_request(10 * i);
+                s.record_reply(i);
+                s.sources_contacted = 1;
+                s
+            })
+            .collect();
+        let by_sum: CommStats = blocks.iter().sum();
+        let mut by_merge = CommStats::new();
+        for b in &blocks {
+            by_merge.merge(b);
+        }
+        assert_eq!(by_sum, by_merge);
+        assert_eq!(by_sum.total_bytes(), 60 + 6);
+        assert_eq!(by_sum.sources_contacted, 3);
+        let owned: CommStats = blocks.into_iter().sum();
+        assert_eq!(owned, by_merge);
     }
 
     #[test]

@@ -1,0 +1,542 @@
+//! The batched, parallel query engine — the single execution path for every
+//! multi-source search in the repository.
+//!
+//! [`QueryEngine`] owns query execution end to end.  It accepts *batches* of
+//! OJSP / CJSP queries and fans each batch out as one task per
+//! `(query, candidate source)` pair — one source is one shard, matching the
+//! deployment of the paper's Fig. 3 where every data source runs its local
+//! search concurrently.  Tasks are executed by a fixed pool of scoped worker
+//! threads; each worker keeps its *own* [`CommStats`] and [`SearchStats`]
+//! accumulators (no shared counters, no locks on the hot path) and the
+//! per-worker blocks are merged once at the end, so the reported totals are
+//! identical to a sequential run of the same plan.
+//!
+//! The engine split is:
+//!
+//! 1. **Plan** (sequential, cheap): route each query through DITS-G, clip it
+//!    per candidate source, and materialise the request messages.
+//! 2. **Execute** (parallel): serialise requests, run the local searches,
+//!    account bytes — the expensive part, embarrassingly parallel.
+//! 3. **Aggregate**: merge per-source answers into the global top-`k`
+//!    (OJSP) or run the cross-source greedy selection (CJSP, itself
+//!    parallelised over the queries of the batch).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
+
+use dits::SearchStats;
+use spatial::distance::NeighborProbe;
+use spatial::{CellSet, DatasetId, SourceId, SpatialDataset};
+
+use crate::center::{AggregatedCoverage, AggregatedOverlap, DataCenter, DistributionStrategy};
+use crate::comm::{CommConfig, CommStats};
+use crate::message::{CoverageCandidate, Message};
+use crate::source::DataSource;
+
+/// Configuration of the query engine.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EngineConfig {
+    /// Number of worker threads; `0` means one per available CPU.
+    pub workers: usize,
+    /// Query-distribution strategy applied when planning.
+    pub strategy: DistributionStrategy,
+    /// Connectivity threshold δ in cell units (CJSP only).
+    pub delta_cells: f64,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        Self {
+            workers: 0,
+            strategy: DistributionStrategy::PrunedClipped,
+            delta_cells: 10.0,
+        }
+    }
+}
+
+/// Result of one batch run: per-query answers plus accumulated costs.
+#[derive(Debug, Clone)]
+pub struct BatchOutcome<T> {
+    /// One aggregated answer per query, in query order.
+    pub answers: Vec<T>,
+    /// Communication statistics accumulated over the whole batch.
+    pub comm: CommStats,
+    /// Local-search statistics accumulated over every contacted source.
+    pub search: SearchStats,
+    /// Wall-clock time spent planning, searching and aggregating.
+    pub elapsed: Duration,
+}
+
+impl<T> BatchOutcome<T> {
+    /// Transmission time implied by the accumulated bytes, in milliseconds.
+    pub fn transmission_time_ms(&self, config: &CommConfig) -> f64 {
+        self.comm.transmission_time_ms(config)
+    }
+}
+
+/// One planned shard task: a request bound for one source on behalf of one
+/// query of the batch.
+struct ShardTask<'s> {
+    query_idx: usize,
+    source: &'s DataSource,
+    request: Message,
+}
+
+/// The batched, parallel multi-source query engine.
+#[derive(Debug, Clone, Copy)]
+pub struct QueryEngine<'a> {
+    center: &'a DataCenter,
+    sources: &'a [DataSource],
+    config: EngineConfig,
+}
+
+impl<'a> QueryEngine<'a> {
+    /// Builds an engine over a data center and its sources.
+    pub fn new(center: &'a DataCenter, sources: &'a [DataSource], config: EngineConfig) -> Self {
+        Self {
+            center,
+            sources,
+            config,
+        }
+    }
+
+    /// The engine's configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// The number of worker threads a run will actually use.
+    pub fn effective_workers(&self) -> usize {
+        resolve_workers(self.config.workers)
+    }
+
+    /// Runs a batch of overlap joinable searches.
+    pub fn run_ojsp(
+        &self,
+        queries: &[SpatialDataset],
+        k: usize,
+    ) -> BatchOutcome<AggregatedOverlap> {
+        let start = Instant::now();
+
+        // Plan: route and clip every query, materialise the wire requests.
+        let mut comm = CommStats::new();
+        let mut tasks: Vec<ShardTask<'a>> = Vec::new();
+        for (query_idx, query) in queries.iter().enumerate() {
+            let targets = self
+                .center
+                .route(self.sources, query, 0.0, self.config.strategy);
+            comm.sources_contacted += targets.len();
+            for source in targets {
+                let Some(cells) =
+                    self.center
+                        .prepare_query(source, query, 0.0, self.config.strategy)
+                else {
+                    continue;
+                };
+                if cells.is_empty() {
+                    continue;
+                }
+                tasks.push(ShardTask {
+                    query_idx,
+                    source,
+                    request: Message::OverlapQuery { query: cells, k },
+                });
+            }
+        }
+
+        // Execute: one task per (query, source) shard, in parallel.
+        let (per_task, exec_comm, search) =
+            run_parallel(&tasks, self.config.workers, |task, comm, search| {
+                comm.record_request(task.request.wire_size());
+                let Some((reply, stats)) = task.source.handle_with_stats(&task.request) else {
+                    return Vec::new();
+                };
+                search.merge(&stats);
+                comm.record_reply(reply.wire_size());
+                match reply {
+                    Message::OverlapReply { source, results } => {
+                        results.into_iter().map(|r| (source, r)).collect()
+                    }
+                    _ => Vec::new(),
+                }
+            });
+        comm.merge(&exec_comm);
+
+        // Aggregate: global top-k per query.
+        let mut buckets: Vec<Vec<(SourceId, dits::OverlapResult)>> =
+            (0..queries.len()).map(|_| Vec::new()).collect();
+        for (task, results) in tasks.iter().zip(per_task) {
+            buckets[task.query_idx].extend(results);
+        }
+        let answers = buckets
+            .into_iter()
+            .map(|mut all| {
+                all.sort_unstable_by(|a, b| {
+                    b.1.overlap
+                        .cmp(&a.1.overlap)
+                        .then(a.0.cmp(&b.0))
+                        .then(a.1.dataset.cmp(&b.1.dataset))
+                });
+                all.truncate(k);
+                AggregatedOverlap { results: all }
+            })
+            .collect();
+
+        BatchOutcome {
+            answers,
+            comm,
+            search,
+            elapsed: start.elapsed(),
+        }
+    }
+
+    /// Runs a batch of coverage joinable searches.
+    pub fn run_cjsp(
+        &self,
+        queries: &[SpatialDataset],
+        k: usize,
+    ) -> BatchOutcome<AggregatedCoverage> {
+        let start = Instant::now();
+        let delta = self.config.delta_cells;
+
+        // Plan: route with the connectivity slack, clip, materialise requests
+        // and capture each query's un-clipped cell set in the shared grid
+        // (used by the final aggregation at the center).
+        let mut comm = CommStats::new();
+        let mut tasks: Vec<ShardTask<'a>> = Vec::new();
+        let mut query_cells: Vec<Option<CellSet>> = vec![None; queries.len()];
+        for (query_idx, query) in queries.iter().enumerate() {
+            let targets = self.center.route(
+                self.sources,
+                query,
+                self.center.delta_lonlat(),
+                self.config.strategy,
+            );
+            comm.sources_contacted += targets.len();
+            for source in targets {
+                let Some(cells) =
+                    self.center
+                        .prepare_query(source, query, delta, self.config.strategy)
+                else {
+                    continue;
+                };
+                if cells.is_empty() {
+                    continue;
+                }
+                if query_cells[query_idx].is_none() {
+                    query_cells[query_idx] = Some(source.grid_query(query));
+                }
+                tasks.push(ShardTask {
+                    query_idx,
+                    source,
+                    request: Message::CoverageQuery {
+                        query: cells,
+                        k,
+                        delta,
+                    },
+                });
+            }
+        }
+
+        // Execute: local coverage searches in parallel.
+        let (per_task, exec_comm, search) =
+            run_parallel(&tasks, self.config.workers, |task, comm, search| {
+                comm.record_request(task.request.wire_size());
+                let Some((reply, stats)) = task.source.handle_with_stats(&task.request) else {
+                    return Vec::new();
+                };
+                search.merge(&stats);
+                comm.record_reply(reply.wire_size());
+                match reply {
+                    Message::CoverageReply { candidates, .. } => candidates,
+                    _ => Vec::new(),
+                }
+            });
+        comm.merge(&exec_comm);
+
+        // Aggregate: cross-source greedy selection, parallelised over the
+        // queries of the batch (each query's greedy run is independent).
+        let mut buckets: Vec<Vec<CoverageCandidate>> =
+            (0..queries.len()).map(|_| Vec::new()).collect();
+        for (task, candidates) in tasks.iter().zip(per_task) {
+            buckets[task.query_idx].extend(candidates);
+        }
+        let agg_inputs: Vec<(CellSet, Vec<CoverageCandidate>)> = query_cells
+            .into_iter()
+            .zip(buckets)
+            .map(|(cells, candidates)| (cells.unwrap_or_default(), candidates))
+            .collect();
+        let (answers, _, _) = run_parallel(
+            &agg_inputs,
+            self.config.workers,
+            |(cells, candidates), _, _| aggregate_coverage(cells, candidates, k, delta),
+        );
+
+        BatchOutcome {
+            answers,
+            comm,
+            search,
+            elapsed: start.elapsed(),
+        }
+    }
+}
+
+/// The cross-source greedy selection of CoverageSearch's aggregation phase
+/// (Section VI-C applied at the data center): repeatedly picks the connected
+/// candidate with the largest marginal gain until `k` datasets are selected
+/// or no candidate adds coverage.
+fn aggregate_coverage(
+    query_cells: &CellSet,
+    candidates: &[CoverageCandidate],
+    k: usize,
+    delta_cells: f64,
+) -> AggregatedCoverage {
+    let query_coverage = query_cells.len();
+    let mut merged = query_cells.clone();
+    let mut selected: Vec<(SourceId, DatasetId)> = Vec::new();
+    let mut remaining: Vec<usize> = (0..candidates.len()).collect();
+    while selected.len() < k && !remaining.is_empty() {
+        let probe = NeighborProbe::new(&merged);
+        // Connectivity first (cheap bound checks), then one batched exact
+        // intersection pass over only the connected candidates.
+        let connected: Vec<usize> = remaining
+            .iter()
+            .enumerate()
+            .filter(|&(_, &idx)| probe.within(&candidates[idx].cells, delta_cells))
+            .map(|(pos, _)| pos)
+            .collect();
+        let overlaps = merged.intersection_size_many(
+            connected
+                .iter()
+                .map(|&pos| &candidates[remaining[pos]].cells),
+        );
+        let mut best: Option<(usize, usize)> = None; // (position in remaining, gain)
+        for (&pos, overlap) in connected.iter().zip(&overlaps) {
+            let cand = &candidates[remaining[pos]];
+            let gain = cand.cells.len() - overlap;
+            let wins = match best {
+                None => true,
+                Some((best_pos, best_gain)) => {
+                    let best_cand = &candidates[remaining[best_pos]];
+                    gain > best_gain
+                        || (gain == best_gain
+                            && (cand.source, cand.dataset) < (best_cand.source, best_cand.dataset))
+                }
+            };
+            if wins {
+                best = Some((pos, gain));
+            }
+        }
+        let Some((pos, gain)) = best else { break };
+        if gain == 0 {
+            break;
+        }
+        let idx = remaining.swap_remove(pos);
+        merged.union_in_place(&candidates[idx].cells);
+        selected.push((candidates[idx].source, candidates[idx].dataset));
+    }
+
+    AggregatedCoverage {
+        selected,
+        coverage: merged.len(),
+        query_coverage,
+    }
+}
+
+/// Resolves a worker-count setting: `0` means one worker per available CPU.
+fn resolve_workers(configured: usize) -> usize {
+    if configured > 0 {
+        configured
+    } else {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4)
+    }
+}
+
+/// Below this many tasks a run stays on the calling thread: spawning and
+/// joining OS threads costs tens of microseconds, which swamps the work of a
+/// handful of shard searches (e.g. one query routed to five sources via the
+/// single-query convenience wrappers).
+const MIN_PARALLEL_TASKS: usize = 8;
+
+/// Runs `f` over every task on a pool of scoped worker threads, returning
+/// the per-task results **in task order** plus the merged per-worker
+/// statistics accumulators.
+///
+/// Each worker owns private `CommStats` / `SearchStats` blocks — workers
+/// never contend on shared counters; the only synchronisation is the atomic
+/// task cursor and the final join/merge.  With one worker (or fewer than
+/// [`MIN_PARALLEL_TASKS`] tasks) the pool is bypassed entirely, which
+/// doubles as the sequential reference path the parity tests compare
+/// against.
+fn run_parallel<T, R, F>(tasks: &[T], workers: usize, f: F) -> (Vec<R>, CommStats, SearchStats)
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T, &mut CommStats, &mut SearchStats) -> R + Sync,
+{
+    let worker_count = resolve_workers(workers).min(tasks.len());
+    let mut comm = CommStats::new();
+    let mut search = SearchStats::new();
+
+    if worker_count <= 1 || tasks.len() < MIN_PARALLEL_TASKS {
+        let results = tasks.iter().map(|t| f(t, &mut comm, &mut search)).collect();
+        return (results, comm, search);
+    }
+
+    /// What one worker brings home: its indexed results plus its private
+    /// statistics accumulators.
+    type WorkerBlock<R> = (Vec<(usize, R)>, CommStats, SearchStats);
+
+    let cursor = AtomicUsize::new(0);
+    let worker_blocks: Vec<WorkerBlock<R>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..worker_count)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut local_comm = CommStats::new();
+                    let mut local_search = SearchStats::new();
+                    let mut local_results: Vec<(usize, R)> = Vec::new();
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        if i >= tasks.len() {
+                            break;
+                        }
+                        local_results.push((i, f(&tasks[i], &mut local_comm, &mut local_search)));
+                    }
+                    (local_results, local_comm, local_search)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("engine worker panicked"))
+            .collect()
+    });
+
+    // Lossless merge of the per-worker accumulators.
+    comm = worker_blocks.iter().map(|(_, c, _)| c).sum();
+    search = worker_blocks.iter().map(|(_, _, s)| s).sum();
+    let mut slots: Vec<Option<R>> = (0..tasks.len()).map(|_| None).collect();
+    for (results, _, _) in worker_blocks {
+        for (i, r) in results {
+            slots[i] = Some(r);
+        }
+    }
+    let results = slots
+        .into_iter()
+        .map(|slot| slot.expect("every task executed exactly once"))
+        .collect();
+    (results, comm, search)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::framework::{FrameworkConfig, MultiSourceFramework};
+    use datagen::{generate_source, paper_sources, GeneratorConfig, SourceScale};
+
+    fn five_source_framework() -> (MultiSourceFramework, Vec<SpatialDataset>) {
+        let config = GeneratorConfig {
+            scale: SourceScale::Custom(400),
+            seed: 77,
+            max_points_per_dataset: Some(100),
+        };
+        let source_data: Vec<(String, Vec<SpatialDataset>)> = paper_sources()
+            .iter()
+            .map(|p| (p.name.to_string(), generate_source(p, &config)))
+            .collect();
+        let queries: Vec<SpatialDataset> = source_data
+            .iter()
+            .flat_map(|(_, d)| d.iter().take(2).cloned())
+            .collect();
+        let fw = MultiSourceFramework::build(
+            &source_data,
+            FrameworkConfig {
+                resolution: 11,
+                ..FrameworkConfig::default()
+            },
+        );
+        (fw, queries)
+    }
+
+    #[test]
+    fn worker_pool_preserves_task_order_and_merges_stats() {
+        let tasks: Vec<usize> = (0..100).collect();
+        let (results, comm, search) = run_parallel(&tasks, 7, |&t, comm, search| {
+            comm.record_request(t);
+            search.nodes_visited += 1;
+            t * 2
+        });
+        assert_eq!(results, (0..100).map(|t| t * 2).collect::<Vec<_>>());
+        assert_eq!(comm.bytes_to_sources, (0..100).sum::<usize>());
+        assert_eq!(comm.requests, 100);
+        assert_eq!(search.nodes_visited, 100);
+    }
+
+    #[test]
+    fn worker_pool_sequential_path_matches_parallel() {
+        let tasks: Vec<usize> = (0..37).collect();
+        let (seq, seq_comm, _) = run_parallel(&tasks, 1, |&t, comm, _| {
+            comm.record_reply(t + 1);
+            t + 10
+        });
+        let (par, par_comm, _) = run_parallel(&tasks, 8, |&t, comm, _| {
+            comm.record_reply(t + 1);
+            t + 10
+        });
+        assert_eq!(seq, par);
+        assert_eq!(seq_comm, par_comm);
+    }
+
+    #[test]
+    fn batch_ojsp_matches_per_query_runs() {
+        let (fw, queries) = five_source_framework();
+        let batch = fw.engine().run_ojsp(&queries, 5);
+        assert_eq!(batch.answers.len(), queries.len());
+        let mut merged = CommStats::new();
+        for (query, batched) in queries.iter().zip(&batch.answers) {
+            let (single, comm) = fw.ojsp(query, 5);
+            assert_eq!(&single, batched);
+            merged.merge(&comm);
+        }
+        assert_eq!(merged.total_bytes(), batch.comm.total_bytes());
+        assert_eq!(merged.sources_contacted, batch.comm.sources_contacted);
+    }
+
+    #[test]
+    fn batch_cjsp_matches_per_query_runs() {
+        let (fw, queries) = five_source_framework();
+        let batch = fw.engine().run_cjsp(&queries, 3);
+        assert_eq!(batch.answers.len(), queries.len());
+        let mut merged = CommStats::new();
+        for (query, batched) in queries.iter().zip(&batch.answers) {
+            let (single, comm) = fw.cjsp(query, 3);
+            assert_eq!(&single, batched);
+            merged.merge(&comm);
+        }
+        assert_eq!(merged.total_bytes(), batch.comm.total_bytes());
+    }
+
+    #[test]
+    fn search_stats_are_threaded_through_the_engine() {
+        let (fw, queries) = five_source_framework();
+        let outcome = fw.engine().run_ojsp(&queries, 5);
+        assert!(
+            outcome.search.nodes_visited > 0,
+            "engine must surface search stats"
+        );
+        assert!(outcome.search.exact_computations > 0);
+    }
+
+    #[test]
+    fn empty_batch_is_a_no_op() {
+        let (fw, _) = five_source_framework();
+        let outcome = fw.engine().run_ojsp(&[], 5);
+        assert!(outcome.answers.is_empty());
+        assert_eq!(outcome.comm.total_bytes(), 0);
+        let outcome = fw.engine().run_cjsp(&[], 5);
+        assert!(outcome.answers.is_empty());
+        assert_eq!(outcome.comm, CommStats::new());
+    }
+}

@@ -1,20 +1,18 @@
 //! End-to-end assembly of the multi-source search framework.
 //!
 //! [`MultiSourceFramework`] owns the data sources and the data center,
-//! mirrors the deployment of Fig. 3 and exposes the two batch entry points
-//! the experiments need: `run_ojsp` and `run_cjsp` over a set of query
-//! datasets, returning the aggregated answers, the accumulated communication
-//! statistics and the wall-clock search time.
-
-use std::time::{Duration, Instant};
+//! mirrors the deployment of Fig. 3 and exposes the batch entry points the
+//! experiments need: `run_ojsp` and `run_cjsp` over a set of query datasets.
+//! Both route through the [`QueryEngine`](crate::engine::QueryEngine) — the
+//! framework plans nothing itself; it only assembles the deployment and
+//! hands batches to the engine.
 
 use dits::DitsLocalConfig;
 use spatial::{Grid, SourceId, SpatialDataset};
 
-use crate::center::{
-    AggregatedCoverage, AggregatedOverlap, DataCenter, DistributionStrategy,
-};
+use crate::center::{AggregatedCoverage, AggregatedOverlap, DataCenter, DistributionStrategy};
 use crate::comm::{CommConfig, CommStats};
+use crate::engine::{BatchOutcome, EngineConfig, QueryEngine};
 use crate::source::DataSource;
 
 /// Configuration of the whole framework.
@@ -28,6 +26,8 @@ pub struct FrameworkConfig {
     pub delta_cells: f64,
     /// Query-distribution strategy.
     pub strategy: DistributionStrategy,
+    /// Worker threads of the query engine; `0` means one per available CPU.
+    pub workers: usize,
     /// Simulated network parameters.
     pub comm: CommConfig,
 }
@@ -39,26 +39,9 @@ impl Default for FrameworkConfig {
             leaf_capacity: 10,
             delta_cells: 10.0,
             strategy: DistributionStrategy::PrunedClipped,
+            workers: 0,
             comm: CommConfig::default(),
         }
-    }
-}
-
-/// Result of a batch run: per-query answers plus accumulated costs.
-#[derive(Debug, Clone)]
-pub struct BatchOutcome<T> {
-    /// One aggregated answer per query, in query order.
-    pub answers: Vec<T>,
-    /// Communication statistics accumulated over the whole batch.
-    pub comm: CommStats,
-    /// Wall-clock time spent in search and aggregation.
-    pub elapsed: Duration,
-}
-
-impl<T> BatchOutcome<T> {
-    /// Transmission time implied by the accumulated bytes, in milliseconds.
-    pub fn transmission_time_ms(&self, config: &CommConfig) -> f64 {
-        self.comm.transmission_time_ms(config)
     }
 }
 
@@ -80,12 +63,11 @@ impl MultiSourceFramework {
     ///
     /// Panics when the resolution is outside `1..=31` (programming error in
     /// experiment configuration).
-    pub fn build(
-        source_data: &[(String, Vec<SpatialDataset>)],
-        config: FrameworkConfig,
-    ) -> Self {
+    pub fn build(source_data: &[(String, Vec<SpatialDataset>)], config: FrameworkConfig) -> Self {
         let grid = Grid::global(config.resolution).expect("valid resolution");
-        let local_config = DitsLocalConfig { leaf_capacity: config.leaf_capacity };
+        let local_config = DitsLocalConfig {
+            leaf_capacity: config.leaf_capacity,
+        };
         let sources: Vec<DataSource> = source_data
             .iter()
             .enumerate()
@@ -93,10 +75,14 @@ impl MultiSourceFramework {
                 DataSource::build(i as SourceId, name.clone(), grid, datasets, local_config)
             })
             .collect();
-        let delta_lonlat =
-            config.delta_cells * grid.cell_width().max(grid.cell_height());
+        let delta_lonlat = config.delta_cells * grid.cell_width().max(grid.cell_height());
         let center = DataCenter::build(&sources, config.leaf_capacity, delta_lonlat);
-        Self { config, grid, sources, center }
+        Self {
+            config,
+            grid,
+            sources,
+            center,
+        }
     }
 
     /// The framework's configuration.
@@ -129,85 +115,64 @@ impl MultiSourceFramework {
         self.sources.iter().map(|s| s.dataset_count()).sum()
     }
 
+    /// A query engine over this deployment with the configured worker count.
+    pub fn engine(&self) -> QueryEngine<'_> {
+        self.engine_with_workers(self.config.workers)
+    }
+
+    /// A query engine over this deployment with an explicit worker count
+    /// (`0` means one per available CPU).  Used by the scaling benches and
+    /// the sequential-vs-parallel parity tests.
+    pub fn engine_with_workers(&self, workers: usize) -> QueryEngine<'_> {
+        QueryEngine::new(
+            &self.center,
+            &self.sources,
+            EngineConfig {
+                workers,
+                strategy: self.config.strategy,
+                delta_cells: self.config.delta_cells,
+            },
+        )
+    }
+
     /// Runs the overlap joinable search for one query.
     pub fn ojsp(&self, query: &SpatialDataset, k: usize) -> (AggregatedOverlap, CommStats) {
-        self.center.ojsp(&self.sources, query, k, self.config.strategy)
+        let outcome = self.engine().run_ojsp(std::slice::from_ref(query), k);
+        let answer = outcome
+            .answers
+            .into_iter()
+            .next()
+            .expect("batch of one produces one answer");
+        (answer, outcome.comm)
     }
 
     /// Runs the coverage joinable search for one query.
     pub fn cjsp(&self, query: &SpatialDataset, k: usize) -> (AggregatedCoverage, CommStats) {
-        self.center.cjsp(
-            &self.sources,
-            query,
-            k,
-            self.config.delta_cells,
-            self.config.strategy,
-        )
+        let outcome = self.engine().run_cjsp(std::slice::from_ref(query), k);
+        let answer = outcome
+            .answers
+            .into_iter()
+            .next()
+            .expect("batch of one produces one answer");
+        (answer, outcome.comm)
     }
 
-    /// Runs OJSP over a batch of queries, accumulating costs.
-    pub fn run_ojsp(&self, queries: &[SpatialDataset], k: usize) -> BatchOutcome<AggregatedOverlap> {
-        let start = Instant::now();
-        let mut comm = CommStats::new();
-        let mut answers = Vec::with_capacity(queries.len());
-        for q in queries {
-            let (answer, c) = self.ojsp(q, k);
-            comm.merge(&c);
-            answers.push(answer);
-        }
-        BatchOutcome { answers, comm, elapsed: start.elapsed() }
-    }
-
-    /// Runs CJSP over a batch of queries, accumulating costs.
-    pub fn run_cjsp(&self, queries: &[SpatialDataset], k: usize) -> BatchOutcome<AggregatedCoverage> {
-        let start = Instant::now();
-        let mut comm = CommStats::new();
-        let mut answers = Vec::with_capacity(queries.len());
-        for q in queries {
-            let (answer, c) = self.cjsp(q, k);
-            comm.merge(&c);
-            answers.push(answer);
-        }
-        BatchOutcome { answers, comm, elapsed: start.elapsed() }
-    }
-
-    /// Runs OJSP over a batch of queries using one worker thread per CPU,
-    /// returning the same outcome as [`run_ojsp`](Self::run_ojsp).  The
-    /// multi-source search parallelises naturally because each query's
-    /// routing and aggregation are independent.
-    pub fn run_ojsp_parallel(
+    /// Runs OJSP over a batch of queries through the query engine.
+    pub fn run_ojsp(
         &self,
         queries: &[SpatialDataset],
         k: usize,
     ) -> BatchOutcome<AggregatedOverlap> {
-        let start = Instant::now();
-        let workers = std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(4)
-            .min(queries.len().max(1));
-        let results = parking_lot::Mutex::new(vec![None; queries.len()]);
-        let next = std::sync::atomic::AtomicUsize::new(0);
-        crossbeam::thread::scope(|scope| {
-            for _ in 0..workers {
-                scope.spawn(|_| loop {
-                    let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                    if i >= queries.len() {
-                        break;
-                    }
-                    let outcome = self.ojsp(&queries[i], k);
-                    results.lock()[i] = Some(outcome);
-                });
-            }
-        })
-        .expect("worker thread panicked");
-        let mut comm = CommStats::new();
-        let mut answers = Vec::with_capacity(queries.len());
-        for slot in results.into_inner() {
-            let (answer, c) = slot.expect("every query processed");
-            comm.merge(&c);
-            answers.push(answer);
-        }
-        BatchOutcome { answers, comm, elapsed: start.elapsed() }
+        self.engine().run_ojsp(queries, k)
+    }
+
+    /// Runs CJSP over a batch of queries through the query engine.
+    pub fn run_cjsp(
+        &self,
+        queries: &[SpatialDataset],
+        k: usize,
+    ) -> BatchOutcome<AggregatedCoverage> {
+        self.engine().run_cjsp(queries, k)
     }
 }
 
@@ -217,7 +182,9 @@ mod tests {
     use datagen::{generate_source, paper_sources, GeneratorConfig, SourceScale};
     use spatial::Point;
 
-    fn tiny_framework(strategy: DistributionStrategy) -> (MultiSourceFramework, Vec<SpatialDataset>) {
+    fn tiny_framework(
+        strategy: DistributionStrategy,
+    ) -> (MultiSourceFramework, Vec<SpatialDataset>) {
         let config = GeneratorConfig {
             scale: SourceScale::Custom(400),
             seed: 11,
@@ -258,7 +225,11 @@ mod tests {
         assert_eq!(outcome.answers.len(), queries.len());
         // A query that *is* one of the indexed datasets must be found with
         // full overlap (it is its own best match).
-        let found_self = outcome.answers.iter().filter(|a| !a.results.is_empty()).count();
+        let found_self = outcome
+            .answers
+            .iter()
+            .filter(|a| !a.results.is_empty())
+            .count();
         assert_eq!(found_self, queries.len());
         assert!(outcome.comm.total_bytes() > 0);
         assert!(outcome.transmission_time_ms(&CommConfig::default()) > 0.0);
@@ -291,16 +262,29 @@ mod tests {
         }
     }
 
+    /// The stats-merging parity check: a parallel engine run over the five
+    /// sources must produce answers *and* communication byte totals
+    /// identical to the sequential (one-worker) path on the same fixed seed.
     #[test]
-    fn parallel_and_sequential_ojsp_agree() {
+    fn parallel_and_sequential_engines_agree() {
         let (fw, queries) = tiny_framework(DistributionStrategy::PrunedClipped);
-        let seq = fw.run_ojsp(&queries, 4);
-        let par = fw.run_ojsp_parallel(&queries, 4);
-        assert_eq!(seq.answers.len(), par.answers.len());
-        for (a, b) in seq.answers.iter().zip(par.answers.iter()) {
-            assert_eq!(a, b);
-        }
-        assert_eq!(seq.comm.total_bytes(), par.comm.total_bytes());
+        let seq = fw.engine_with_workers(1).run_ojsp(&queries, 4);
+        let par = fw.engine_with_workers(8).run_ojsp(&queries, 4);
+        assert_eq!(seq.answers, par.answers);
+        assert_eq!(
+            seq.comm, par.comm,
+            "CommStats must merge to identical totals"
+        );
+        assert_eq!(
+            seq.search, par.search,
+            "SearchStats must merge to identical totals"
+        );
+
+        let seq = fw.engine_with_workers(1).run_cjsp(&queries, 3);
+        let par = fw.engine_with_workers(8).run_cjsp(&queries, 3);
+        assert_eq!(seq.answers, par.answers);
+        assert_eq!(seq.comm, par.comm);
+        assert_eq!(seq.search, par.search);
     }
 
     #[test]
@@ -310,7 +294,9 @@ mod tests {
         let grid = *fw.grid();
         let new_dataset = SpatialDataset::new(
             90_000,
-            (0..10).map(|j| Point::new(-77.0 + j as f64 * 0.01, 38.9)).collect(),
+            (0..10)
+                .map(|j| Point::new(-77.0 + j as f64 * 0.01, 38.9))
+                .collect(),
         );
         let node = dits::DatasetNode::from_dataset(&grid, &new_dataset).unwrap();
         assert!(fw.sources_mut()[3].index_mut().insert(node));

@@ -17,17 +17,24 @@
 //! [`comm::CommStats`] accumulates the transferred bytes and converts them
 //! into transmission time under a configurable bandwidth — exactly the two
 //! communication metrics reported in Figs. 13–14 and 19–20.
+//!
+//! All query execution — single queries and batches alike — flows through
+//! the [`engine::QueryEngine`], which fans every batch out as one task per
+//! `(query, candidate source)` shard across a pool of worker threads and
+//! merges per-worker communication / search statistics at the end.
 
 #![warn(missing_docs)]
 
 pub mod center;
 pub mod comm;
+pub mod engine;
 pub mod framework;
 pub mod message;
 pub mod source;
 
 pub use center::{AggregatedCoverage, AggregatedOverlap, DataCenter, DistributionStrategy};
 pub use comm::{CommConfig, CommStats};
+pub use engine::{BatchOutcome, EngineConfig, QueryEngine};
 pub use framework::{FrameworkConfig, MultiSourceFramework};
 pub use message::{CoverageCandidate, Message};
 pub use source::DataSource;

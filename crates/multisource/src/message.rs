@@ -148,7 +148,11 @@ impl Message {
                     let src = data.get_u16();
                     let dataset = get_varint(&mut data)? as DatasetId;
                     let cells = get_cells(&mut data)?;
-                    candidates.push(CoverageCandidate { source: src, dataset, cells });
+                    candidates.push(CoverageCandidate {
+                        source: src,
+                        dataset,
+                        cells,
+                    });
                 }
                 Some(Message::CoverageReply { source, candidates })
             }
@@ -225,7 +229,10 @@ mod tests {
 
     #[test]
     fn overlap_query_roundtrip() {
-        let m = Message::OverlapQuery { query: cs(&[1, 5, 100, 4096]), k: 10 };
+        let m = Message::OverlapQuery {
+            query: cs(&[1, 5, 100, 4096]),
+            k: 10,
+        };
         let encoded = m.encode();
         assert_eq!(Message::decode(encoded.clone()), Some(m.clone()));
         assert_eq!(m.wire_size(), encoded.len());
@@ -236,8 +243,14 @@ mod tests {
         let m = Message::OverlapReply {
             source: 3,
             results: vec![
-                OverlapResult { dataset: 7, overlap: 42 },
-                OverlapResult { dataset: 1000, overlap: 1 },
+                OverlapResult {
+                    dataset: 7,
+                    overlap: 42,
+                },
+                OverlapResult {
+                    dataset: 1000,
+                    overlap: 1,
+                },
             ],
         };
         assert_eq!(Message::decode(m.encode()), Some(m));
@@ -245,7 +258,11 @@ mod tests {
 
     #[test]
     fn coverage_messages_roundtrip() {
-        let q = Message::CoverageQuery { query: cs(&[0, 2, 9]), k: 5, delta: 10.0 };
+        let q = Message::CoverageQuery {
+            query: cs(&[0, 2, 9]),
+            k: 5,
+            delta: 10.0,
+        };
         assert_eq!(Message::decode(q.encode()), Some(q));
         let r = Message::CoverageReply {
             source: 1,
@@ -263,7 +280,10 @@ mod tests {
         assert_eq!(Message::decode(Bytes::new()), None);
         assert_eq!(Message::decode(Bytes::from_static(&[9, 1, 2])), None);
         // Truncated query.
-        let m = Message::OverlapQuery { query: cs(&[1, 2, 3]), k: 1 };
+        let m = Message::OverlapQuery {
+            query: cs(&[1, 2, 3]),
+            k: 1,
+        };
         let enc = m.encode();
         let truncated = enc.slice(0..enc.len() - 1);
         assert_eq!(Message::decode(truncated), None);
@@ -274,7 +294,11 @@ mod tests {
         let full: CellSet = (0..1000u64).collect();
         let clipped: CellSet = (0..100u64).collect();
         let full_size = Message::OverlapQuery { query: full, k: 10 }.wire_size();
-        let clipped_size = Message::OverlapQuery { query: clipped, k: 10 }.wire_size();
+        let clipped_size = Message::OverlapQuery {
+            query: clipped,
+            k: 10,
+        }
+        .wire_size();
         assert!(clipped_size < full_size / 5);
     }
 
@@ -282,7 +306,11 @@ mod tests {
     fn delta_encoding_beats_fixed_width() {
         // 1000 consecutive cells fit in ~1 byte each instead of 8.
         let cells: CellSet = (10_000..11_000u64).collect();
-        let size = Message::OverlapQuery { query: cells, k: 10 }.wire_size();
+        let size = Message::OverlapQuery {
+            query: cells,
+            k: 10,
+        }
+        .wire_size();
         assert!(size < 1_000 * 8 / 4, "wire size {size} not compact");
     }
 

@@ -3,7 +3,7 @@
 
 use dits::{
     coverage_search, overlap_search, CoverageConfig, DatasetNode, DitsLocal, DitsLocalConfig,
-    SourceSummary,
+    SearchStats, SourceSummary,
 };
 use spatial::{CellSet, Grid, SourceId, SpatialDataset};
 
@@ -84,26 +84,51 @@ impl DataSource {
     /// Handles one request message, producing the reply the source would put
     /// on the wire.  Unknown request types yield `None`.
     pub fn handle(&self, request: &Message) -> Option<Message> {
+        self.handle_with_stats(request).map(|(reply, _)| reply)
+    }
+
+    /// Handles one request message, additionally returning the local search
+    /// statistics of the run.  The statistics never travel on the wire (they
+    /// are a per-source instrumentation channel, not part of the protocol),
+    /// which keeps the byte accounting identical to [`handle`](Self::handle).
+    ///
+    /// Takes `&self` only: sources answer concurrent requests from the query
+    /// engine's worker threads without any synchronisation.
+    pub fn handle_with_stats(&self, request: &Message) -> Option<(Message, SearchStats)> {
         match request {
             Message::OverlapQuery { query, k } => {
-                let (results, _) = overlap_search(&self.index, query, *k);
-                Some(Message::OverlapReply { source: self.id, results })
+                let (results, stats) = overlap_search(&self.index, query, *k);
+                Some((
+                    Message::OverlapReply {
+                        source: self.id,
+                        results,
+                    },
+                    stats,
+                ))
             }
             Message::CoverageQuery { query, k, delta } => {
-                let (result, _) =
+                let (result, stats) =
                     coverage_search(&self.index, query, CoverageConfig::new(*k, *delta));
                 let candidates = result
                     .datasets
                     .iter()
                     .filter_map(|id| {
-                        self.index.find_dataset(*id).map(|(_, node)| CoverageCandidate {
-                            source: self.id,
-                            dataset: *id,
-                            cells: node.cells.clone(),
-                        })
+                        self.index
+                            .find_dataset(*id)
+                            .map(|(_, node)| CoverageCandidate {
+                                source: self.id,
+                                dataset: *id,
+                                cells: node.cells.clone(),
+                            })
                     })
                     .collect();
-                Some(Message::CoverageReply { source: self.id, candidates })
+                Some((
+                    Message::CoverageReply {
+                        source: self.id,
+                        candidates,
+                    },
+                    stats,
+                ))
             }
             Message::OverlapReply { .. } | Message::CoverageReply { .. } => None,
         }
@@ -126,7 +151,13 @@ mod tests {
                 SpatialDataset::new(i, points)
             })
             .collect();
-        DataSource::build(1, "test-source", grid, &datasets, DitsLocalConfig::default())
+        DataSource::build(
+            1,
+            "test-source",
+            grid,
+            &datasets,
+            DitsLocalConfig::default(),
+        )
     }
 
     #[test]
@@ -144,10 +175,13 @@ mod tests {
     #[test]
     fn handles_overlap_query() {
         let s = source_with_routes();
-        let query = SpatialDataset::new(99, vec![Point::new(-77.0, 38.9), Point::new(-76.9, 38.95)]);
+        let query =
+            SpatialDataset::new(99, vec![Point::new(-77.0, 38.9), Point::new(-76.9, 38.95)]);
         let cells = s.grid_query(&query);
         assert!(!cells.is_empty());
-        let reply = s.handle(&Message::OverlapQuery { query: cells, k: 5 }).unwrap();
+        let reply = s
+            .handle(&Message::OverlapQuery { query: cells, k: 5 })
+            .unwrap();
         match reply {
             Message::OverlapReply { source, results } => {
                 assert_eq!(source, 1);
@@ -164,7 +198,11 @@ mod tests {
         let query = SpatialDataset::new(99, vec![Point::new(-77.0, 38.9)]);
         let cells = s.grid_query(&query);
         let reply = s
-            .handle(&Message::CoverageQuery { query: cells, k: 3, delta: 10.0 })
+            .handle(&Message::CoverageQuery {
+                query: cells,
+                k: 3,
+                delta: 10.0,
+            })
             .unwrap();
         match reply {
             Message::CoverageReply { source, candidates } => {
@@ -183,10 +221,16 @@ mod tests {
     fn replies_are_not_handled_as_requests() {
         let s = source_with_routes();
         assert!(s
-            .handle(&Message::OverlapReply { source: 0, results: vec![] })
+            .handle(&Message::OverlapReply {
+                source: 0,
+                results: vec![]
+            })
             .is_none());
         assert!(s
-            .handle(&Message::CoverageReply { source: 0, candidates: vec![] })
+            .handle(&Message::CoverageReply {
+                source: 0,
+                candidates: vec![]
+            })
             .is_none());
     }
 

@@ -24,8 +24,8 @@
 
 use crate::model::PriceBook;
 use dits::bounds::node_distance_bounds;
-use dits::{DatasetNode, DitsLocal, NodeGeometry, SearchStats};
 use dits::local::{NodeIdx, NodeKind};
+use dits::{DatasetNode, DitsLocal, NodeGeometry, SearchStats};
 use serde::{Deserialize, Serialize};
 use spatial::distance::NeighborProbe;
 use spatial::{CellSet, DatasetId};
@@ -46,7 +46,11 @@ pub struct BudgetedConfig {
 impl BudgetedConfig {
     /// Convenience constructor without a dataset-count cap.
     pub fn new(budget: f64, delta: f64) -> Self {
-        Self { budget, delta, max_datasets: None }
+        Self {
+            budget,
+            delta,
+            max_datasets: None,
+        }
     }
 }
 
@@ -144,7 +148,9 @@ fn cost_benefit_greedy(
             if selected.contains(&node.id) {
                 continue;
             }
-            let Some(price) = prices.price(node.id) else { continue };
+            let Some(price) = prices.price(node.id) else {
+                continue;
+            };
             if price > result.remaining {
                 continue;
             }
@@ -154,7 +160,11 @@ fn cost_benefit_greedy(
                 continue;
             }
             // Free datasets have an infinite ratio; order them by gain.
-            let ratio = if price > 0.0 { gain as f64 / price } else { f64::INFINITY };
+            let ratio = if price > 0.0 {
+                gain as f64 / price
+            } else {
+                f64::INFINITY
+            };
             let wins = match best {
                 None => true,
                 Some((current, _, current_gain, current_ratio)) => {
@@ -168,7 +178,9 @@ fn cost_benefit_greedy(
             }
         }
 
-        let Some((node, price, gain, _)) = best else { break };
+        let Some((node, price, gain, _)) = best else {
+            break;
+        };
         selected.insert(node.id);
         result.datasets.push(node.id);
         result.spent += price;
@@ -211,7 +223,9 @@ fn best_single_purchase(
     );
     let mut best: Option<(&DatasetNode, f64, usize)> = None;
     for node in connected {
-        let Some(price) = prices.price(node.id) else { continue };
+        let Some(price) = prices.price(node.id) else {
+            continue;
+        };
         if price > config.budget {
             continue;
         }
@@ -283,7 +297,16 @@ fn find_connected<'a>(
         }
         NodeKind::Internal { left, right } => {
             find_connected(index, *left, probe_geometry, probe, delta, out, seen, stats);
-            find_connected(index, *right, probe_geometry, probe, delta, out, seen, stats);
+            find_connected(
+                index,
+                *right,
+                probe_geometry,
+                probe,
+                delta,
+                out,
+                seen,
+                stats,
+            );
         }
     }
 }
@@ -312,7 +335,7 @@ mod tests {
     fn chain_index() -> (DitsLocal, Vec<DatasetNode>) {
         let nodes: Vec<DatasetNode> = (0..6)
             .map(|i| {
-                let x = (i as u32 + 1) * 2;
+                let x = (i + 1) * 2;
                 node(i, &[(x, 0), (x + 1, 0)])
             })
             .collect();
@@ -336,12 +359,8 @@ mod tests {
         let query = cs(&[(0, 0), (1, 0)]);
         let prices = uniform_prices(0..6, 10.0);
         // Budget 25 affords exactly two datasets at 10 each.
-        let (result, _) = budgeted_coverage_search(
-            &index,
-            &query,
-            &prices,
-            BudgetedConfig::new(25.0, 2.0),
-        );
+        let (result, _) =
+            budgeted_coverage_search(&index, &query, &prices, BudgetedConfig::new(25.0, 2.0));
         assert_eq!(result.datasets.len(), 2);
         assert!(result.spent <= 25.0);
         assert_eq!(result.coverage, 2 + 4);
@@ -366,12 +385,8 @@ mod tests {
         let query = cs(&[(0, 0), (1, 0)]);
         // Only dataset 0 is on offer.
         let prices = uniform_prices([0], 1.0);
-        let (result, _) = budgeted_coverage_search(
-            &index,
-            &query,
-            &prices,
-            BudgetedConfig::new(100.0, 2.0),
-        );
+        let (result, _) =
+            budgeted_coverage_search(&index, &query, &prices, BudgetedConfig::new(100.0, 2.0));
         assert_eq!(result.datasets, vec![0]);
     }
 
@@ -386,7 +401,18 @@ mod tests {
             node(0, &[(2, 0), (2, 1)]),
             node(
                 1,
-                &[(0, 2), (1, 2), (2, 2), (3, 2), (4, 2), (0, 3), (1, 3), (2, 3), (3, 3), (4, 3)],
+                &[
+                    (0, 2),
+                    (1, 2),
+                    (2, 2),
+                    (3, 2),
+                    (4, 2),
+                    (0, 3),
+                    (1, 3),
+                    (2, 3),
+                    (3, 3),
+                    (4, 3),
+                ],
             ),
         ];
         let index = DitsLocal::build(nodes, DitsLocalConfig::default());
@@ -394,12 +420,8 @@ mod tests {
         let mut prices = PriceBook::new();
         prices.set(0, 1.0);
         prices.set(1, 8.0);
-        let (result, _) = budgeted_coverage_search(
-            &index,
-            &query,
-            &prices,
-            BudgetedConfig::new(8.0, 3.0),
-        );
+        let (result, _) =
+            budgeted_coverage_search(&index, &query, &prices, BudgetedConfig::new(8.0, 3.0));
         assert_eq!(result.datasets, vec![1]);
         assert_eq!(result.coverage, 12);
         assert_eq!(result.spent, 8.0);
@@ -411,12 +433,8 @@ mod tests {
         let index = DitsLocal::build(nodes, DitsLocalConfig::default());
         let query = cs(&[(0, 0)]);
         let prices = uniform_prices(0..2, 1.0);
-        let (result, _) = budgeted_coverage_search(
-            &index,
-            &query,
-            &prices,
-            BudgetedConfig::new(100.0, 3.0),
-        );
+        let (result, _) =
+            budgeted_coverage_search(&index, &query, &prices, BudgetedConfig::new(100.0, 3.0));
         // Only the nearby dataset is connected; the far one is excluded even
         // though it would add more coverage.
         assert_eq!(result.datasets, vec![0]);
@@ -431,7 +449,11 @@ mod tests {
             &index,
             &query,
             &prices,
-            BudgetedConfig { budget: 100.0, delta: 2.0, max_datasets: Some(3) },
+            BudgetedConfig {
+                budget: 100.0,
+                delta: 2.0,
+                max_datasets: Some(3),
+            },
         );
         assert_eq!(result.datasets.len(), 3);
     }

@@ -66,7 +66,9 @@ pub fn optimal_combination(
             .collect();
         // Affordability first (cheap test), then connectivity.
         let ids: Vec<DatasetId> = chosen.iter().map(|d| d.id).collect();
-        let Some(price) = prices.total(&ids) else { continue };
+        let Some(price) = prices.total(&ids) else {
+            continue;
+        };
         if price > budget {
             continue;
         }
@@ -219,9 +221,9 @@ mod tests {
     #[test]
     fn rank_by_value_orders_by_gain_per_price() {
         let nodes = vec![
-            node(0, &[(0, 0), (2, 0)]),          // overlap 1, gain 1
-            node(1, &[(3, 0), (4, 0), (5, 0)]),  // overlap 0, gain 3
-            node(2, &[(0, 0), (1, 0)]),          // fully covered by the query
+            node(0, &[(0, 0), (2, 0)]),         // overlap 1, gain 1
+            node(1, &[(3, 0), (4, 0), (5, 0)]), // overlap 0, gain 3
+            node(2, &[(0, 0), (1, 0)]),         // fully covered by the query
         ];
         let mut prices = PriceBook::new();
         prices.set(0, 1.0); // value 1.0

@@ -168,7 +168,10 @@ mod tests {
 
     #[test]
     fn per_cell_pricing_scales_with_coverage() {
-        let model = PricingModel::PerCell { rate: 0.5, minimum: 2.0 };
+        let model = PricingModel::PerCell {
+            rate: 0.5,
+            minimum: 2.0,
+        };
         assert_eq!(model.price_for_coverage(100), 50.0);
         // The minimum kicks in for tiny datasets.
         assert_eq!(model.price_for_coverage(1), 2.0);
@@ -186,7 +189,10 @@ mod tests {
         assert_eq!(model.price_for_coverage(100), 10.0 + 45.0);
         assert_eq!(model.price_for_coverage(200), 10.0 + 45.0 + 10.0);
         // Degenerate tier list falls back to the minimum.
-        let empty = PricingModel::Tiered { tiers: vec![], minimum: 3.0 };
+        let empty = PricingModel::Tiered {
+            tiers: vec![],
+            minimum: 3.0,
+        };
         assert_eq!(empty.price_for_coverage(1000), 3.0);
     }
 
@@ -203,7 +209,10 @@ mod tests {
     #[test]
     fn price_book_from_model_prices_every_node() {
         let nodes: Vec<DatasetNode> = (0..5).map(|i| node(i, (i + 1) * 10)).collect();
-        let model = PricingModel::PerCell { rate: 1.0, minimum: 0.0 };
+        let model = PricingModel::PerCell {
+            rate: 1.0,
+            minimum: 0.0,
+        };
         let book = PriceBook::from_model(&model, nodes.iter());
         assert_eq!(book.len(), 5);
         assert!(!book.is_empty());

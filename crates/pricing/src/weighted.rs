@@ -40,10 +40,7 @@ impl CellWeights {
     /// everything else.
     pub fn from_pairs<I: IntoIterator<Item = (CellId, f64)>>(pairs: I, default: f64) -> Self {
         Self {
-            weights: pairs
-                .into_iter()
-                .map(|(c, w)| (c, w.max(0.0)))
-                .collect(),
+            weights: pairs.into_iter().map(|(c, w)| (c, w.max(0.0))).collect(),
             default: default.max(0.0),
         }
     }
@@ -225,7 +222,16 @@ fn find_connected<'a>(
         }
         NodeKind::Internal { left, right } => {
             find_connected(index, *left, probe_geometry, probe, delta, out, seen, stats);
-            find_connected(index, *right, probe_geometry, probe, delta, out, seen, stats);
+            find_connected(
+                index,
+                *right,
+                probe_geometry,
+                probe,
+                delta,
+                out,
+                seen,
+                stats,
+            );
         }
     }
 }
@@ -290,10 +296,7 @@ mod tests {
     fn high_weight_cells_redirect_the_greedy_choice() {
         // Dataset 0 covers 3 ordinary cells; dataset 1 covers a single cell
         // of weight 100.  Both are connected to the query.
-        let nodes = vec![
-            node(0, &[(2, 0), (2, 1), (2, 2)]),
-            node(1, &[(0, 2)]),
-        ];
+        let nodes = vec![node(0, &[(2, 0), (2, 1), (2, 2)]), node(1, &[(0, 2)])];
         let index = DitsLocal::build(nodes, DitsLocalConfig::default());
         let query = cs(&[(0, 0), (1, 0)]);
         let weights = CellWeights::from_pairs([(cell_id(0, 2), 100.0)], 1.0);
@@ -323,16 +326,28 @@ mod tests {
     fn empty_inputs_are_handled() {
         let index = DitsLocal::build(Vec::new(), DitsLocalConfig::default());
         let weights = CellWeights::uniform(1.0);
-        let (r, _) =
-            weighted_coverage_search(&index, &cs(&[(0, 0)]), &weights, WeightedConfig::new(2, 1.0));
+        let (r, _) = weighted_coverage_search(
+            &index,
+            &cs(&[(0, 0)]),
+            &weights,
+            WeightedConfig::new(2, 1.0),
+        );
         assert!(r.datasets.is_empty());
         let nodes = vec![node(0, &[(0, 0)])];
         let index = DitsLocal::build(nodes, DitsLocalConfig::default());
-        let (r, _) =
-            weighted_coverage_search(&index, &CellSet::new(), &weights, WeightedConfig::new(2, 1.0));
+        let (r, _) = weighted_coverage_search(
+            &index,
+            &CellSet::new(),
+            &weights,
+            WeightedConfig::new(2, 1.0),
+        );
         assert!(r.datasets.is_empty());
-        let (r, _) =
-            weighted_coverage_search(&index, &cs(&[(0, 0)]), &weights, WeightedConfig::new(0, 1.0));
+        let (r, _) = weighted_coverage_search(
+            &index,
+            &cs(&[(0, 0)]),
+            &weights,
+            WeightedConfig::new(0, 1.0),
+        );
         assert!(r.datasets.is_empty());
     }
 

@@ -40,10 +40,7 @@ impl CellSet {
     /// (real portals contain a handful of out-of-range records; the paper
     /// simply grids what falls inside the declared space).
     pub fn from_points(grid: &Grid, points: &[Point]) -> Self {
-        let mut cells: Vec<CellId> = points
-            .iter()
-            .filter_map(|p| grid.cell_of(p).ok())
-            .collect();
+        let mut cells: Vec<CellId> = points.iter().filter_map(|p| grid.cell_of(p).ok()).collect();
         cells.sort_unstable();
         cells.dedup();
         Self { cells }
@@ -74,11 +71,13 @@ impl CellSet {
         self.cells.iter().copied()
     }
 
-    /// Size of the intersection `|self ∩ other|` using a linear merge of the
-    /// two sorted lists.
+    /// Size of the intersection `|self ∩ other|`.
+    ///
+    /// Adaptive: a linear two-pointer merge when the sets have comparable
+    /// sizes, and a galloping (exponential) search over the larger set when
+    /// the sizes are skewed — the common case on the hot path, where a small
+    /// query cell set is intersected with large indexed datasets.
     pub fn intersection_size(&self, other: &CellSet) -> usize {
-        // Merge the smaller into the larger with galloping when the sizes are
-        // very skewed; otherwise a plain two-pointer merge.
         let (small, large) = if self.len() <= other.len() {
             (self, other)
         } else {
@@ -88,18 +87,20 @@ impl CellSet {
             return 0;
         }
         if small.len() * 16 < large.len() {
-            // Galloping: binary-search each element of the small set.
-            return small
-                .cells
-                .iter()
-                .filter(|c| large.contains(**c))
-                .count();
+            small.intersection_size_galloping(large)
+        } else {
+            small.intersection_size_linear(large)
         }
+    }
+
+    /// Reference linear merge of the two sorted lists. Exposed so tests and
+    /// benches can compare the adaptive paths against it.
+    pub fn intersection_size_linear(&self, other: &CellSet) -> usize {
         let mut i = 0;
         let mut j = 0;
         let mut count = 0;
-        while i < small.cells.len() && j < large.cells.len() {
-            match small.cells[i].cmp(&large.cells[j]) {
+        while i < self.cells.len() && j < other.cells.len() {
+            match self.cells[i].cmp(&other.cells[j]) {
                 std::cmp::Ordering::Less => i += 1,
                 std::cmp::Ordering::Greater => j += 1,
                 std::cmp::Ordering::Equal => {
@@ -110,6 +111,57 @@ impl CellSet {
             }
         }
         count
+    }
+
+    /// Galloping intersection: for each cell of `self` (assumed the smaller
+    /// set), exponentially probe forward in `other`'s remaining tail, then
+    /// binary-search the bracketed window.  Unlike a per-element full binary
+    /// search this is `O(m·log(n/m))` overall and never rescans the part of
+    /// `other` already passed, which is what makes it profitable even when
+    /// the skew is moderate. Exposed so tests can drive this path directly.
+    pub fn intersection_size_galloping(&self, other: &CellSet) -> usize {
+        let mut base = 0; // everything before `base` in `other` is consumed
+        let mut count = 0;
+        for &cell in &self.cells {
+            let tail = &other.cells[base..];
+            if tail.is_empty() {
+                break;
+            }
+            // Exponential probe: find the first window [step/2, step] whose
+            // upper bound reaches `cell`.
+            let mut step = 1;
+            while step < tail.len() && tail[step] < cell {
+                step <<= 1;
+            }
+            let lo = step >> 1;
+            let hi = step.min(tail.len() - 1);
+            match tail[lo..=hi].binary_search(&cell) {
+                Ok(pos) => {
+                    count += 1;
+                    base += lo + pos + 1;
+                }
+                Err(pos) => {
+                    base += lo + pos;
+                }
+            }
+        }
+        count
+    }
+
+    /// Batch intersection sizes `|self ∩ otherᵢ|` for every set in `others`.
+    ///
+    /// Equivalent to mapping [`intersection_size`](Self::intersection_size)
+    /// over `others`, but written as one primitive so batch callers (the
+    /// multi-source query engine's coverage aggregation, the benches) have a
+    /// single hot entry point to optimise.
+    pub fn intersection_size_many<'a, I>(&self, others: I) -> Vec<usize>
+    where
+        I: IntoIterator<Item = &'a CellSet>,
+    {
+        others
+            .into_iter()
+            .map(|other| self.intersection_size(other))
+            .collect()
     }
 
     /// Size of the union `|self ∪ other|`.
@@ -283,6 +335,72 @@ mod tests {
         let large: CellSet = (0..1000u64).collect();
         assert_eq!(small.intersection_size(&large), 3);
         assert_eq!(large.intersection_size(&small), 3);
+        assert_eq!(small.intersection_size_galloping(&large), 3);
+        assert_eq!(small.intersection_size_linear(&large), 3);
+    }
+
+    #[test]
+    fn empty_set_edge_cases() {
+        let empty = CellSet::new();
+        let other = set(&[1, 2, 3]);
+        assert_eq!(empty.intersection_size(&empty), 0);
+        assert_eq!(empty.intersection_size(&other), 0);
+        assert_eq!(other.intersection_size(&empty), 0);
+        assert_eq!(empty.intersection_size_linear(&other), 0);
+        assert_eq!(empty.intersection_size_galloping(&other), 0);
+        assert_eq!(empty.union_size(&empty), 0);
+        assert_eq!(empty.union(&other).cells(), other.cells());
+        assert!(empty.intersection(&other).is_empty());
+    }
+
+    #[test]
+    fn disjoint_range_edge_cases() {
+        // Fully disjoint, interleaved at the boundary, and far apart.
+        let low = set(&[0, 1, 2, 3]);
+        let high = set(&[100, 200, 300]);
+        assert_eq!(low.intersection_size(&high), 0);
+        assert_eq!(low.intersection_size_galloping(&high), 0);
+        assert_eq!(high.intersection_size_galloping(&low), 0);
+        assert_eq!(low.union_size(&high), 7);
+        // Adjacent but not overlapping.
+        let a = set(&[1, 3, 5]);
+        let b = set(&[0, 2, 4, 6]);
+        assert_eq!(a.intersection_size(&b), 0);
+        assert_eq!(a.intersection_size_linear(&b), 0);
+        assert_eq!(a.intersection_size_galloping(&b), 0);
+    }
+
+    #[test]
+    fn one_element_edge_cases() {
+        let single = set(&[42]);
+        let hit: CellSet = (0..100u64).collect();
+        let miss = set(&[41, 43]);
+        assert_eq!(single.intersection_size(&single), 1);
+        assert_eq!(single.intersection_size(&hit), 1);
+        assert_eq!(single.intersection_size(&miss), 0);
+        assert_eq!(single.intersection_size_galloping(&hit), 1);
+        assert_eq!(hit.intersection_size(&single), 1);
+        // Last and first element hits exercise the gallop-to-the-end path.
+        assert_eq!(set(&[99]).intersection_size_galloping(&hit), 1);
+        assert_eq!(set(&[0]).intersection_size_galloping(&hit), 1);
+        assert_eq!(set(&[100]).intersection_size_galloping(&hit), 0);
+    }
+
+    #[test]
+    fn intersection_size_many_matches_singles() {
+        let q = set(&[2, 4, 6, 8]);
+        let others = [
+            set(&[1, 2, 3]),
+            CellSet::new(),
+            (0..50u64).collect::<CellSet>(),
+        ];
+        let batch = q.intersection_size_many(others.iter());
+        let singles: Vec<usize> = others.iter().map(|o| q.intersection_size(o)).collect();
+        assert_eq!(batch, singles);
+        assert_eq!(batch, vec![1, 0, 4]);
+        assert!(q
+            .intersection_size_many(std::iter::empty::<&CellSet>())
+            .is_empty());
     }
 
     #[test]
@@ -376,6 +494,43 @@ mod tests {
             prop_assert_eq!(
                 ca.union_size(&cb) + ca.intersection_size(&cb),
                 ca.len() + cb.len()
+            );
+        }
+
+        #[test]
+        fn prop_galloping_agrees_with_linear(
+            a in proptest::collection::vec(0u64..5000, 0..400),
+            b in proptest::collection::vec(0u64..5000, 0..400),
+        ) {
+            let ca = CellSet::from_cells(a);
+            let cb = CellSet::from_cells(b);
+            let linear = ca.intersection_size_linear(&cb);
+            prop_assert_eq!(ca.intersection_size_galloping(&cb), linear);
+            prop_assert_eq!(cb.intersection_size_galloping(&ca), linear);
+            prop_assert_eq!(ca.intersection_size(&cb), linear);
+            prop_assert_eq!(
+                ca.intersection_size_many([&cb, &ca]),
+                vec![linear, ca.len()]
+            );
+        }
+
+        #[test]
+        fn prop_skewed_galloping_agrees_with_linear(
+            small in proptest::collection::vec(0u64..100_000, 0..20),
+            dense_start in 0u64..50_000,
+            dense_len in 1usize..3000,
+        ) {
+            // A tiny probe set against a long dense run: the shape that takes
+            // the galloping path inside `intersection_size`.
+            let ca = CellSet::from_cells(small);
+            let cb: CellSet = (dense_start..dense_start + dense_len as u64).collect();
+            prop_assert_eq!(
+                ca.intersection_size(&cb),
+                ca.intersection_size_linear(&cb)
+            );
+            prop_assert_eq!(
+                ca.intersection_size_galloping(&cb),
+                ca.intersection_size_linear(&cb)
             );
         }
 

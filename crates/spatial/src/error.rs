@@ -32,7 +32,10 @@ impl fmt::Display for SpatialError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             SpatialError::InvalidResolution(theta) => {
-                write!(f, "grid resolution θ={theta} outside supported range 1..=31")
+                write!(
+                    f,
+                    "grid resolution θ={theta} outside supported range 1..=31"
+                )
             }
             SpatialError::DegenerateSpace { width, height } => {
                 write!(f, "degenerate space: width={width}, height={height}")
@@ -55,7 +58,10 @@ mod tests {
     fn display_messages_are_informative() {
         let e = SpatialError::InvalidResolution(40);
         assert!(e.to_string().contains("40"));
-        let e = SpatialError::DegenerateSpace { width: 0.0, height: 1.0 };
+        let e = SpatialError::DegenerateSpace {
+            width: 0.0,
+            height: 1.0,
+        };
         assert!(e.to_string().contains("degenerate"));
         let e = SpatialError::PointOutOfBounds { x: 1.0, y: 2.0 };
         assert!(e.to_string().contains("outside"));

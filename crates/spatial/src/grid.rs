@@ -167,9 +167,7 @@ impl Grid {
     /// coordinate* space (used when mixing sources indexed at different
     /// resolutions through the global index).
     pub fn mbr_to_cell_space(&self, mbr: &Mbr) -> Mbr {
-        let lo = self
-            .locate(&mbr.min)
-            .unwrap_or((0, 0));
+        let lo = self.locate(&mbr.min).unwrap_or((0, 0));
         let hi = self
             .locate(&mbr.max)
             .unwrap_or((self.side - 1, self.side - 1));
@@ -198,15 +196,30 @@ mod tests {
     #[test]
     fn construction_validates_inputs() {
         assert!(matches!(
-            Grid::new(GridConfig { origin: Point::new(0.0, 0.0), width: 1.0, height: 1.0, resolution: 0 }),
+            Grid::new(GridConfig {
+                origin: Point::new(0.0, 0.0),
+                width: 1.0,
+                height: 1.0,
+                resolution: 0
+            }),
             Err(SpatialError::InvalidResolution(0))
         ));
         assert!(matches!(
-            Grid::new(GridConfig { origin: Point::new(0.0, 0.0), width: 1.0, height: 1.0, resolution: 32 }),
+            Grid::new(GridConfig {
+                origin: Point::new(0.0, 0.0),
+                width: 1.0,
+                height: 1.0,
+                resolution: 32
+            }),
             Err(SpatialError::InvalidResolution(32))
         ));
         assert!(matches!(
-            Grid::new(GridConfig { origin: Point::new(0.0, 0.0), width: 0.0, height: 1.0, resolution: 4 }),
+            Grid::new(GridConfig {
+                origin: Point::new(0.0, 0.0),
+                width: 0.0,
+                height: 1.0,
+                resolution: 4
+            }),
             Err(SpatialError::DegenerateSpace { .. })
         ));
     }

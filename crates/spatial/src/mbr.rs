@@ -21,7 +21,10 @@ pub struct Mbr {
 impl Mbr {
     /// Creates an MBR from two corner points, normalising the corner order.
     pub fn new(a: Point, b: Point) -> Self {
-        Self { min: a.min(&b), max: a.max(&b) }
+        Self {
+            min: a.min(&b),
+            max: a.max(&b),
+        }
     }
 
     /// Creates a degenerate MBR containing a single point.
@@ -138,8 +141,12 @@ impl Mbr {
     /// Minimum Euclidean distance between two rectangles (0 when they
     /// intersect).
     pub fn min_distance(&self, other: &Mbr) -> f64 {
-        let dx = (self.min.x - other.max.x).max(0.0).max(other.min.x - self.max.x);
-        let dy = (self.min.y - other.max.y).max(0.0).max(other.min.y - self.max.y);
+        let dx = (self.min.x - other.max.x)
+            .max(0.0)
+            .max(other.min.x - self.max.x);
+        let dy = (self.min.y - other.max.y)
+            .max(0.0)
+            .max(other.min.y - self.max.y);
         (dx * dx + dy * dy).sqrt()
     }
 

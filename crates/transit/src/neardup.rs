@@ -84,7 +84,9 @@ pub fn find_near_duplicates(
     let sizes: HashMap<DatasetId, usize> = nodes.iter().map(|n| (n.id, n.coverage())).collect();
     let index = DitsLocal::build(
         nodes.clone(),
-        DitsLocalConfig { leaf_capacity: config.leaf_capacity.max(1) },
+        DitsLocalConfig {
+            leaf_capacity: config.leaf_capacity.max(1),
+        },
     );
 
     let mut pairs: Vec<DuplicatePair> = Vec::new();
@@ -155,22 +157,32 @@ mod tests {
     #[test]
     fn threshold_controls_sensitivity() {
         // Two routes sharing roughly half their extent.
-        let a = TransitRoute::new(0, "a", RouteMode::Bus, vec![
-            Point::new(-77.2, 38.9),
-            Point::new(-77.0, 38.9),
-        ]);
-        let b = TransitRoute::new(1, "b", RouteMode::Bus, vec![
-            Point::new(-77.1, 38.9),
-            Point::new(-76.9, 38.9),
-        ]);
+        let a = TransitRoute::new(
+            0,
+            "a",
+            RouteMode::Bus,
+            vec![Point::new(-77.2, 38.9), Point::new(-77.0, 38.9)],
+        );
+        let b = TransitRoute::new(
+            1,
+            "b",
+            RouteMode::Bus,
+            vec![Point::new(-77.1, 38.9), Point::new(-76.9, 38.9)],
+        );
         let strict = find_near_duplicates(
             &[a.clone(), b.clone()],
-            &NearDuplicateConfig { overlap_threshold: 0.9, ..NearDuplicateConfig::default() },
+            &NearDuplicateConfig {
+                overlap_threshold: 0.9,
+                ..NearDuplicateConfig::default()
+            },
         );
         assert!(strict.is_empty());
         let lenient = find_near_duplicates(
             &[a, b],
-            &NearDuplicateConfig { overlap_threshold: 0.3, ..NearDuplicateConfig::default() },
+            &NearDuplicateConfig {
+                overlap_threshold: 0.3,
+                ..NearDuplicateConfig::default()
+            },
         );
         assert_eq!(lenient.len(), 1);
         assert!(lenient[0].overlap_fraction >= 0.3 && lenient[0].overlap_fraction <= 0.7);
@@ -178,7 +190,10 @@ mod tests {
 
     #[test]
     fn generated_duplicates_are_found() {
-        let config = NetworkConfig { duplicates: 4, ..NetworkConfig::default() };
+        let config = NetworkConfig {
+            duplicates: 4,
+            ..NetworkConfig::default()
+        };
         let routes = generate_network(&config);
         let pairs = find_near_duplicates(&routes, &NearDuplicateConfig::default());
         // Every injected rebranded route must be matched with its original.
@@ -212,7 +227,10 @@ mod tests {
         // instead of panicking.
         let pairs = find_near_duplicates(
             &[straight_route(0, 38.9), straight_route(1, 38.9)],
-            &NearDuplicateConfig { resolution: 0, ..NearDuplicateConfig::default() },
+            &NearDuplicateConfig {
+                resolution: 0,
+                ..NearDuplicateConfig::default()
+            },
         );
         assert!(pairs.is_empty());
     }

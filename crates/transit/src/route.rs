@@ -67,10 +67,7 @@ impl TransitRoute {
 
     /// Total polyline length in coordinate units.
     pub fn length(&self) -> f64 {
-        self.shape
-            .windows(2)
-            .map(|w| w[0].distance(&w[1]))
-            .sum()
+        self.shape.windows(2).map(|w| w[0].distance(&w[1])).sum()
     }
 
     /// Returns `true` when the route has fewer than two shape points.
@@ -245,7 +242,11 @@ mod tests {
             0,
             "test",
             RouteMode::Bus,
-            vec![Point::new(0.0, 0.0), Point::new(0.3, 0.0), Point::new(0.3, 0.4)],
+            vec![
+                Point::new(0.0, 0.0),
+                Point::new(0.3, 0.0),
+                Point::new(0.3, 0.4),
+            ],
         );
         assert!((route.length() - 0.7).abs() < 1e-12);
         assert!(!route.is_degenerate());
@@ -267,20 +268,24 @@ mod tests {
         assert!(single.is_degenerate());
         assert_eq!(single.length(), 0.0);
         assert_eq!(single.resample(0.1), vec![Point::new(1.0, 2.0)]);
-        let route = TransitRoute::new(2, "line", RouteMode::Bus, vec![
-            Point::new(0.0, 0.0),
-            Point::new(1.0, 0.0),
-        ]);
+        let route = TransitRoute::new(
+            2,
+            "line",
+            RouteMode::Bus,
+            vec![Point::new(0.0, 0.0), Point::new(1.0, 0.0)],
+        );
         // Non-positive spacing falls back to the raw shape.
         assert_eq!(route.resample(0.0).len(), 2);
     }
 
     #[test]
     fn to_dataset_preserves_identity() {
-        let route = TransitRoute::new(7, "Bus 42", RouteMode::Bus, vec![
-            Point::new(-77.0, 38.9),
-            Point::new(-76.95, 38.92),
-        ]);
+        let route = TransitRoute::new(
+            7,
+            "Bus 42",
+            RouteMode::Bus,
+            vec![Point::new(-77.0, 38.9), Point::new(-76.95, 38.92)],
+        );
         let dataset = route.to_dataset(0.005);
         assert_eq!(dataset.id, 7);
         assert_eq!(dataset.name, "Bus 42");
@@ -308,7 +313,11 @@ mod tests {
         let grid = Grid::global(12).unwrap();
         for route in &a {
             let dataset = route.to_dataset(0.01);
-            assert!(dataset.to_cell_set(&grid).is_ok(), "route {} has no cells", route.name);
+            assert!(
+                dataset.to_cell_set(&grid).is_ok(),
+                "route {} has no cells",
+                route.name
+            );
         }
         // Different seeds give different jitter.
         let other = generate_network(&NetworkConfig { seed: 43, ..config });
@@ -337,7 +346,11 @@ mod tests {
                         .zip(dup.shape.iter())
                         .all(|(a, b)| a.distance(b) < 0.01)
             });
-            assert!(close_to_original, "{} is not close to any original", dup.name);
+            assert!(
+                close_to_original,
+                "{} is not close to any original",
+                dup.name
+            );
         }
     }
 

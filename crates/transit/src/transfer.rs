@@ -108,7 +108,9 @@ pub fn plan_transfers(
         nodes.iter().map(|n| (n.id, n.cells.clone())).collect();
     let index = DitsLocal::build(
         nodes,
-        DitsLocalConfig { leaf_capacity: config.leaf_capacity.max(1) },
+        DitsLocalConfig {
+            leaf_capacity: config.leaf_capacity.max(1),
+        },
     );
     let (result, _) = coverage_search(
         &index,
@@ -225,7 +227,10 @@ mod tests {
         let plan = plan_transfers(
             &routes,
             &query,
-            &TransferPlanConfig { k: 3, ..TransferPlanConfig::default() },
+            &TransferPlanConfig {
+                k: 3,
+                ..TransferPlanConfig::default()
+            },
         );
         assert_eq!(plan.selected.len(), 3);
         // The greedy order must respect the chain: route 2 after route 1.
@@ -245,7 +250,10 @@ mod tests {
         let small = plan_transfers(
             &routes,
             &query,
-            &TransferPlanConfig { k: 2, ..TransferPlanConfig::default() },
+            &TransferPlanConfig {
+                k: 2,
+                ..TransferPlanConfig::default()
+            },
         );
         assert_eq!(small.selected.len(), 2);
         // A one-cell transfer distance admits every crossing route (they
@@ -254,7 +262,11 @@ mod tests {
         let strict = plan_transfers(
             &routes,
             &query,
-            &TransferPlanConfig { max_transfer_cells: 1.0, k: 6, ..TransferPlanConfig::default() },
+            &TransferPlanConfig {
+                max_transfer_cells: 1.0,
+                k: 6,
+                ..TransferPlanConfig::default()
+            },
         );
         assert_eq!(strict.selected.len(), 6);
         for t in &strict.transfers {
@@ -265,7 +277,10 @@ mod tests {
     #[test]
     fn far_away_routes_are_never_selected() {
         let query = horizontal(100, 38.90, -77.10, -76.90);
-        let routes = vec![horizontal(0, 45.0, 10.0, 10.2), vertical(1, 120.0, -5.0, 5.0)];
+        let routes = vec![
+            horizontal(0, 45.0, 10.0, 10.2),
+            vertical(1, 120.0, -5.0, 5.0),
+        ];
         let plan = plan_transfers(&routes, &query, &TransferPlanConfig::default());
         assert!(plan.selected.is_empty());
         assert!(plan.transfers.is_empty());
@@ -284,7 +299,10 @@ mod tests {
         let plan = plan_transfers(
             &[vertical(0, -77.0, 38.8, 39.0)],
             &query,
-            &TransferPlanConfig { resolution: 0, ..TransferPlanConfig::default() },
+            &TransferPlanConfig {
+                resolution: 0,
+                ..TransferPlanConfig::default()
+            },
         );
         assert_eq!(plan.coverage, 0);
         // The query itself appears in the candidate list: it must not be
@@ -304,7 +322,10 @@ mod tests {
         let plan = plan_transfers(
             &routes,
             &query,
-            &TransferPlanConfig { k: 5, ..TransferPlanConfig::default() },
+            &TransferPlanConfig {
+                k: 5,
+                ..TransferPlanConfig::default()
+            },
         );
         assert!(!plan.selected.is_empty());
         assert_eq!(plan.selected.len(), plan.transfers.len());

@@ -58,14 +58,34 @@ fn main() {
     let approx = approx_index.search(&query, 10);
     let approx_time = started.elapsed();
 
-    println!("corpus: {} datasets, query covers {} cells\n", cells.len(), query.len());
-    println!("exact OJSP       : {:?} ({} leaves verified)", exact_time, stats.leaves_verified);
-    println!("approximate OJSP : {:?} (sketches: {} KiB)\n", approx_time, approx_index.sketch_memory_bytes() / 1024);
+    println!(
+        "corpus: {} datasets, query covers {} cells\n",
+        cells.len(),
+        query.len()
+    );
+    println!(
+        "exact OJSP       : {:?} ({} leaves verified)",
+        exact_time, stats.leaves_verified
+    );
+    println!(
+        "approximate OJSP : {:?} (sketches: {} KiB)\n",
+        approx_time,
+        approx_index.sketch_memory_bytes() / 1024
+    );
 
-    println!("{:<10} {:>14} {:>16}", "rank", "exact overlap", "approx overlap");
+    println!(
+        "{:<10} {:>14} {:>16}",
+        "rank", "exact overlap", "approx overlap"
+    );
     for i in 0..10 {
-        let e = exact.get(i).map(|r| format!("{} ({})", r.overlap, r.dataset)).unwrap_or_default();
-        let a = approx.get(i).map(|r| format!("{} ({})", r.overlap, r.dataset)).unwrap_or_default();
+        let e = exact
+            .get(i)
+            .map(|r| format!("{} ({})", r.overlap, r.dataset))
+            .unwrap_or_default();
+        let a = approx
+            .get(i)
+            .map(|r| format!("{} ({})", r.overlap, r.dataset))
+            .unwrap_or_default();
         println!("{:<10} {:>14} {:>16}", i + 1, e, a);
     }
 

@@ -44,7 +44,10 @@ fn main() {
     let query = CellSet::from_points(&grid, &query_points);
 
     // Coverage-based pricing: one currency unit per 2 covered cells, minimum 3.
-    let model = PricingModel::PerCell { rate: 0.5, minimum: 3.0 };
+    let model = PricingModel::PerCell {
+        rate: 0.5,
+        minimum: 3.0,
+    };
     let prices = PriceBook::from_model(&model, nodes.iter());
 
     println!("value-for-money ranking (gain per currency unit):");
@@ -57,12 +60,8 @@ fn main() {
 
     // Budgeted coverage search at three budget levels.
     for budget in [10.0, 25.0, 60.0] {
-        let (result, _) = budgeted_coverage_search(
-            &index,
-            &query,
-            &prices,
-            BudgetedConfig::new(budget, 10.0),
-        );
+        let (result, _) =
+            budgeted_coverage_search(&index, &query, &prices, BudgetedConfig::new(budget, 10.0));
         println!(
             "\nbudget {budget:>5.1}: bought {:?} for {:.1}, coverage {} cells (query alone {})",
             result.datasets, result.spent, result.coverage, result.query_coverage
@@ -85,7 +84,8 @@ fn main() {
             weights.set(cell, 5.0);
         }
     }
-    let (weighted, _) = weighted_coverage_search(&index, &query, &weights, WeightedConfig::new(3, 10.0));
+    let (weighted, _) =
+        weighted_coverage_search(&index, &query, &weights, WeightedConfig::new(3, 10.0));
     println!(
         "\ndemand-weighted selection (k = 3): {:?}, covered weight {:.1}, {} cells",
         weighted.datasets, weighted.covered_weight, weighted.coverage

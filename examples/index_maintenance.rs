@@ -51,12 +51,12 @@ fn main() {
     );
 
     // A query over the newly inserted corridor finds the new data.
-    let query = CellSet::from_points(
-        &grid,
-        &synthetic_route(0, -76.8, 39.2).points,
-    );
+    let query = CellSet::from_points(&grid, &synthetic_route(0, -76.8, 39.2).points);
     let results = OverlapIndex::overlap_search(&index, &query, 3);
-    println!("top matches after insert: {:?}", results.iter().map(|r| r.dataset).collect::<Vec<_>>());
+    println!(
+        "top matches after insert: {:?}",
+        results.iter().map(|r| r.dataset).collect::<Vec<_>>()
+    );
 
     // --- batch update -----------------------------------------------------
     let start = Instant::now();

@@ -1,7 +1,8 @@
 //! Federated search across the five (synthetic) open-data portals of the
-//! paper: the data center routes a query with DITS-G, ships clipped queries
-//! to the candidate sources, and aggregates their local results — while the
-//! communication cost of every exchange is measured in actual bytes.
+//! paper: the query engine routes a batch of queries with DITS-G, ships
+//! clipped queries to the candidate sources in parallel (one source = one
+//! shard), and aggregates their local results — while the communication
+//! cost of every exchange is measured in actual bytes.
 //!
 //! ```text
 //! cargo run --release --example multi_source_federation
@@ -50,18 +51,23 @@ fn main() {
                 leaf_capacity: 10,
                 delta_cells: 10.0,
                 strategy,
+                workers: 0, // one engine worker per CPU
                 comm: comm_config,
             },
         );
+        // Both batch runs go through the parallel QueryEngine: every
+        // (query, candidate source) pair is one shard task.
         let ojsp = framework.run_ojsp(&queries, 10);
         let cjsp = framework.run_cjsp(&queries, 10);
         println!(
-            "\nstrategy {:?}\n  OJSP: {} requests, {} bytes, {:.1} ms transmission, {:.1} ms search",
+            "\nstrategy {:?} ({} engine workers)\n  OJSP: {} requests, {} bytes, {:.1} ms transmission, {:.1} ms search, {} index nodes visited",
             strategy,
+            framework.engine().effective_workers(),
             ojsp.comm.requests,
             ojsp.comm.total_bytes(),
             ojsp.comm.transmission_time_ms(&comm_config),
             ojsp.elapsed.as_secs_f64() * 1e3,
+            ojsp.search.nodes_visited,
         );
         println!(
             "  CJSP: {} requests, {} bytes, {:.1} ms transmission, {:.1} ms search",

@@ -58,7 +58,10 @@ fn main() {
     println!("OJSP: 4 datasets with the maximum overlap");
     for r in &overlaps {
         let d = &datasets[r.dataset as usize];
-        println!("  {:<24} shares {:>4} cells with the query", d.name, r.overlap);
+        println!(
+            "  {:<24} shares {:>4} cells with the query",
+            d.name, r.overlap
+        );
     }
 
     // Task 2 — coverage joinable search (Fig. 1(c)): connected routes that

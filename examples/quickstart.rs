@@ -49,7 +49,10 @@ fn main() {
     let (overlaps, stats) = overlap_search(&index, &query, 3);
     println!("\nOJSP top-{}:", overlaps.len());
     for r in &overlaps {
-        println!("  dataset {} overlaps the query in {} cells", r.dataset, r.overlap);
+        println!(
+            "  dataset {} overlaps the query in {} cells",
+            r.dataset, r.overlap
+        );
     }
     println!(
         "  (visited {} tree nodes, pruned {}, verified {} leaves)",

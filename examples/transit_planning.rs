@@ -9,7 +9,9 @@
 //! cargo run --release --example transit_planning
 //! ```
 
-use joinable_spatial_search::dits::{decode_local, encode_local, DatasetNode, DitsLocal, DitsLocalConfig};
+use joinable_spatial_search::dits::{
+    decode_local, encode_local, DatasetNode, DitsLocal, DitsLocalConfig,
+};
 use joinable_spatial_search::spatial::Grid;
 use joinable_spatial_search::transit::{
     find_near_duplicates, generate_network, plan_transfers, NearDuplicateConfig, NetworkConfig,
@@ -47,7 +49,10 @@ fn main() {
     let plan = plan_transfers(
         &network,
         &corridor,
-        &TransferPlanConfig { k: 5, ..TransferPlanConfig::default() },
+        &TransferPlanConfig {
+            k: 5,
+            ..TransferPlanConfig::default()
+        },
     );
     println!(
         "\ntransfer plan around '{}' ({} → {} covered cells):",

@@ -63,7 +63,10 @@ fn multi_source_ojsp_matches_global_bruteforce() {
         let got: Vec<usize> = answer.results.iter().map(|(_, r)| r.overlap).collect();
         let want: Vec<usize> = expected.iter().take(got.len()).map(|r| r.overlap).collect();
         assert_eq!(got, want, "query {} disagrees with brute force", query.id);
-        assert!(!got.is_empty(), "a portal dataset used as query must match itself");
+        assert!(
+            !got.is_empty(),
+            "a portal dataset used as query must match itself"
+        );
         // The best match is the query dataset itself: full overlap.
         assert_eq!(got[0], query_cells.len());
     }
@@ -105,7 +108,10 @@ fn all_distribution_strategies_return_identical_answers() {
                 reference_bytes = Some(outcome.comm.total_bytes());
             }
             Some(expected) => {
-                assert_eq!(&overlaps, expected, "strategy {strategy:?} changed the answers");
+                assert_eq!(
+                    &overlaps, expected,
+                    "strategy {strategy:?} changed the answers"
+                );
                 // Pruning and clipping may only reduce the communication.
                 assert!(outcome.comm.total_bytes() <= reference_bytes.unwrap());
             }

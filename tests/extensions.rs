@@ -57,7 +57,10 @@ fn approximate_search_recovers_the_exact_top_k_on_this_corpus() {
     let approx_index = ApproxOverlapIndex::build(
         cells.iter().map(|(id, c)| (*id, c)),
         ApproxConfig {
-            lsh: LshConfig { signature_len: 192, ..LshConfig::default() },
+            lsh: LshConfig {
+                signature_len: 192,
+                ..LshConfig::default()
+            },
             ..ApproxConfig::default()
         },
     );
@@ -68,7 +71,10 @@ fn approximate_search_recovers_the_exact_top_k_on_this_corpus() {
     // this strongly clustered corpus).
     assert_eq!(
         exact.iter().map(|r| r.overlap).collect::<Vec<_>>(),
-        approx.iter().map(|r| r.overlap as usize).collect::<Vec<_>>()
+        approx
+            .iter()
+            .map(|r| r.overlap as usize)
+            .collect::<Vec<_>>()
     );
 }
 
@@ -130,7 +136,10 @@ fn marketplace_pipeline_is_consistent_with_its_price_book() {
     let index = DitsLocal::build(nodes.clone(), DitsLocalConfig::default());
     let q = query(&grid);
 
-    let model = PricingModel::PerCell { rate: 0.25, minimum: 1.0 };
+    let model = PricingModel::PerCell {
+        rate: 0.25,
+        minimum: 1.0,
+    };
     let prices = PriceBook::from_model(&model, nodes.iter());
     let ranking = rank_by_value(&nodes, &q, &prices);
     assert_eq!(ranking.len(), nodes.len());
@@ -166,7 +175,10 @@ fn transit_workflow_runs_end_to_end_on_a_generated_city() {
         let plan = plan_transfers(
             &network,
             corridor,
-            &TransferPlanConfig { k: 4, ..TransferPlanConfig::default() },
+            &TransferPlanConfig {
+                k: 4,
+                ..TransferPlanConfig::default()
+            },
         );
         assert!(plan.coverage >= plan.query_coverage);
         assert_eq!(plan.selected.len(), plan.transfers.len());

@@ -8,8 +8,8 @@ use joinable_spatial_search::dits::{
     InvertedIndex,
 };
 use joinable_spatial_search::spatial::{
-    dataset_distance, is_directly_connected, satisfies_spatial_connectivity, zorder, CellSet,
-    Grid, GridConfig, Point,
+    dataset_distance, is_directly_connected, satisfies_spatial_connectivity, zorder, CellSet, Grid,
+    GridConfig, Point,
 };
 
 /// Example 2 (Fig. 2): a 4×4 grid over a unit space, three datasets whose

@@ -1,0 +1,284 @@
+//! Offline minimal stand-in for the `bytes` crate.
+//!
+//! Implements exactly the surface the workspace's explicit binary codecs use
+//! (`dits::persist`, `multisource::message`): [`Bytes`], [`BytesMut`], and
+//! the [`Buf`] / [`BufMut`] reader/writer traits with the big-endian and
+//! little-endian scalar accessors.  Unlike the real crate there is no
+//! zero-copy sharing — `Bytes` owns a plain `Vec<u8>` — which is irrelevant
+//! for correctness and for the byte-counting the experiments do.
+
+use std::ops::Range;
+
+/// An immutable byte buffer with a read cursor.
+#[derive(Debug, Clone, Default, Eq)]
+pub struct Bytes {
+    data: Vec<u8>,
+    pos: usize,
+}
+
+impl Bytes {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Wraps a static byte slice (copied; the real crate borrows it).
+    pub fn from_static(data: &'static [u8]) -> Self {
+        Self {
+            data: data.to_vec(),
+            pos: 0,
+        }
+    }
+
+    /// Number of unread bytes.
+    pub fn len(&self) -> usize {
+        self.data.len() - self.pos
+    }
+
+    /// Whether any unread bytes remain.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The unread bytes as a slice.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.data[self.pos..]
+    }
+
+    /// Copies the unread bytes into a fresh vector.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.as_slice().to_vec()
+    }
+
+    /// A new buffer holding the given sub-range of the unread bytes.
+    pub fn slice(&self, range: Range<usize>) -> Bytes {
+        Bytes {
+            data: self.as_slice()[range].to_vec(),
+            pos: 0,
+        }
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(data: Vec<u8>) -> Self {
+        Self { data, pos: 0 }
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl std::ops::Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+/// A growable byte buffer for encoding.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BytesMut {
+    data: Vec<u8>,
+}
+
+impl BytesMut {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// An empty buffer with pre-allocated capacity.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self {
+            data: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// Number of written bytes.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Converts the buffer into an immutable [`Bytes`].
+    pub fn freeze(self) -> Bytes {
+        Bytes {
+            data: self.data,
+            pos: 0,
+        }
+    }
+}
+
+macro_rules! get_scalar {
+    ($name:ident, $ty:ty, $from:ident) => {
+        /// Reads the scalar and advances the cursor.
+        ///
+        /// # Panics
+        ///
+        /// Panics when fewer than `size_of` bytes remain (same contract as
+        /// the real crate); callers check `remaining()` first.
+        fn $name(&mut self) -> $ty {
+            const N: usize = std::mem::size_of::<$ty>();
+            let mut raw = [0u8; N];
+            raw.copy_from_slice(&self.chunk()[..N]);
+            self.advance(N);
+            <$ty>::$from(raw)
+        }
+    };
+}
+
+/// Sequential reader over a byte source.
+pub trait Buf {
+    /// Unread bytes left in the source.
+    fn remaining(&self) -> usize;
+    /// The unread bytes.
+    fn chunk(&self) -> &[u8];
+    /// Advances the cursor by `n` bytes.
+    fn advance(&mut self, n: usize);
+
+    /// Whether any unread bytes remain.
+    fn has_remaining(&self) -> bool {
+        self.remaining() > 0
+    }
+
+    /// Reads one byte and advances the cursor.
+    fn get_u8(&mut self) -> u8 {
+        let b = self.chunk()[0];
+        self.advance(1);
+        b
+    }
+
+    get_scalar!(get_u16, u16, from_be_bytes);
+    get_scalar!(get_u16_le, u16, from_le_bytes);
+    get_scalar!(get_u32, u32, from_be_bytes);
+    get_scalar!(get_u32_le, u32, from_le_bytes);
+    get_scalar!(get_u64, u64, from_be_bytes);
+    get_scalar!(get_u64_le, u64, from_le_bytes);
+    get_scalar!(get_f64, f64, from_be_bytes);
+    get_scalar!(get_f64_le, f64, from_le_bytes);
+}
+
+impl Buf for Bytes {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn chunk(&self) -> &[u8] {
+        self.as_slice()
+    }
+
+    fn advance(&mut self, n: usize) {
+        assert!(n <= self.len(), "advance past end of Bytes");
+        self.pos += n;
+    }
+}
+
+impl Buf for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn chunk(&self) -> &[u8] {
+        self
+    }
+
+    fn advance(&mut self, n: usize) {
+        *self = &self[n..];
+    }
+}
+
+macro_rules! put_scalar {
+    ($name:ident, $ty:ty, $to:ident) => {
+        /// Appends the scalar in the corresponding byte order.
+        fn $name(&mut self, value: $ty) {
+            self.put_slice(&value.$to());
+        }
+    };
+}
+
+/// Sequential writer into a byte sink.
+pub trait BufMut {
+    /// Appends a byte slice.
+    fn put_slice(&mut self, src: &[u8]);
+
+    /// Appends one byte.
+    fn put_u8(&mut self, value: u8) {
+        self.put_slice(&[value]);
+    }
+
+    put_scalar!(put_u16, u16, to_be_bytes);
+    put_scalar!(put_u16_le, u16, to_le_bytes);
+    put_scalar!(put_u32, u32, to_be_bytes);
+    put_scalar!(put_u32_le, u32, to_le_bytes);
+    put_scalar!(put_u64, u64, to_be_bytes);
+    put_scalar!(put_u64_le, u64, to_le_bytes);
+    put_scalar!(put_f64, f64, to_be_bytes);
+    put_scalar!(put_f64_le, f64, to_le_bytes);
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.data.extend_from_slice(src);
+    }
+}
+
+impl BufMut for Vec<u8> {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_scalars() {
+        let mut buf = BytesMut::with_capacity(32);
+        buf.put_u8(7);
+        buf.put_u16(0x1234);
+        buf.put_u32_le(0xDEAD_BEEF);
+        buf.put_u64_le(42);
+        buf.put_f64(1.5);
+        let mut bytes = buf.freeze();
+        assert_eq!(bytes.get_u8(), 7);
+        assert_eq!(bytes.get_u16(), 0x1234);
+        assert_eq!(bytes.get_u32_le(), 0xDEAD_BEEF);
+        assert_eq!(bytes.get_u64_le(), 42);
+        assert_eq!(bytes.get_f64(), 1.5);
+        assert!(!bytes.has_remaining());
+    }
+
+    #[test]
+    fn slice_and_eq_use_unread_bytes() {
+        let mut b = Bytes::from(vec![1, 2, 3, 4]);
+        b.get_u8();
+        assert_eq!(b.len(), 3);
+        assert_eq!(b.to_vec(), vec![2, 3, 4]);
+        assert_eq!(b.slice(0..2).to_vec(), vec![2, 3]);
+        assert_eq!(b, Bytes::from(vec![2, 3, 4]));
+    }
+
+    #[test]
+    fn slice_reader_advances() {
+        let data = [1u8, 0, 2, 0];
+        let mut buf: &[u8] = &data;
+        assert_eq!(buf.get_u16_le(), 1);
+        assert_eq!(buf.remaining(), 2);
+        assert_eq!(buf.get_u16_le(), 2);
+        assert!(!buf.has_remaining());
+    }
+}

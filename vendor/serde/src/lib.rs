@@ -1,0 +1,8 @@
+//! Offline stand-in for the `serde` façade.
+//!
+//! Re-exports the no-op derives so `use serde::{Deserialize, Serialize}`
+//! plus `#[derive(Serialize, Deserialize)]` compile unchanged.  See
+//! `vendor/README.md` for why the workspace vendors stubs instead of the
+//! real crates.
+
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,21 @@
+//! No-op stand-ins for serde's `Serialize` / `Deserialize` derives.
+//!
+//! The workspace builds in an offline environment with no crates.io access,
+//! and nothing in the repository serialises through serde's data model (the
+//! wire and persistence codecs are explicit, see `dits::persist` and
+//! `multisource::message`).  The derives therefore only need to *exist* so
+//! `#[derive(Serialize, Deserialize)]` attributes compile; they emit no code.
+
+use proc_macro::TokenStream;
+
+/// No-op `Serialize` derive: accepts any item, emits nothing.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `Deserialize` derive: accepts any item, emits nothing.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
