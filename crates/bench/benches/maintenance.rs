@@ -1,0 +1,165 @@
+//! Maintenance throughput: interleaved update/query batches through the
+//! cross-layer maintenance pipeline (`MultiSourceFramework::apply_updates`:
+//! wire message → DITS-L mutation → DITS-G summary refresh) versus the
+//! naive alternative of rebuilding the whole framework from the mutated raw
+//! data before every query batch.
+//!
+//! Alongside the criterion groups, the bench prints a one-line ops/sec
+//! summary so the two strategies can be compared at a glance.
+
+use bench::ExperimentEnv;
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use multisource::{FrameworkConfig, MultiSourceFramework, UpdateOp};
+use spatial::{Point, SourceId, SpatialDataset};
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Number of maintenance operations per batch (the paper's β).
+const BETA: usize = 64;
+/// Queries interleaved after each maintenance batch.
+const QUERIES: usize = 8;
+
+fn synth_dataset(id: u32, salt: u32) -> SpatialDataset {
+    let base_lon = -100.0 + f64::from(salt % 50) * 0.6;
+    let base_lat = 25.0 + f64::from(salt % 20) * 0.4;
+    let points = (0..4)
+        .map(|j| {
+            Point::new(
+                base_lon + f64::from(j) * 0.01,
+                base_lat + f64::from(j % 2) * 0.01,
+            )
+        })
+        .collect();
+    SpatialDataset::new(id, points)
+}
+
+/// One mixed maintenance batch for `source`: half inserts, a quarter
+/// relocating updates of previously inserted datasets, a quarter deletes.
+fn make_batch(source: usize, round: u32, existing: &[SpatialDataset]) -> Vec<UpdateOp> {
+    let base = 500_000 + round * BETA as u32;
+    (0..BETA as u32)
+        .map(|i| {
+            let salt = round * 31 + i * 7 + source as u32;
+            match i % 4 {
+                0 | 1 => UpdateOp::Insert(synth_dataset(base + i, salt)),
+                2 => {
+                    let target = existing[(salt as usize) % existing.len()].id;
+                    UpdateOp::Update(synth_dataset(target, salt))
+                }
+                _ => {
+                    let target = existing[(salt as usize * 13) % existing.len()].id;
+                    UpdateOp::Delete(target)
+                }
+            }
+        })
+        .collect()
+}
+
+/// Applies `rounds` interleaved maintenance/query batches incrementally.
+fn run_incremental(
+    mut fw: MultiSourceFramework,
+    batches: &[(SourceId, Vec<UpdateOp>)],
+    queries: &[SpatialDataset],
+) -> MultiSourceFramework {
+    for (source, batch) in batches {
+        fw.apply_updates(*source, batch).expect("valid batch");
+        black_box(fw.run_ojsp(queries, 5));
+    }
+    fw
+}
+
+/// The rebuild baseline: fold each batch into the raw data, rebuild the
+/// whole framework, then run the same query batch.
+fn run_full_rebuild(
+    mut data: Vec<(String, Vec<SpatialDataset>)>,
+    batches: &[(SourceId, Vec<UpdateOp>)],
+    queries: &[SpatialDataset],
+    config: FrameworkConfig,
+) -> MultiSourceFramework {
+    // One build per batch, nothing more: both strategies start from an
+    // already-built deployment, so charging the baseline an extra initial
+    // build would bias the comparison toward the incremental path.
+    let mut fw = None;
+    for (source, batch) in batches {
+        let datasets = &mut data[usize::from(*source)].1;
+        for op in batch {
+            match op {
+                UpdateOp::Insert(d) => {
+                    if !datasets.iter().any(|e| e.id == d.id) {
+                        datasets.push(d.clone());
+                    }
+                }
+                UpdateOp::Update(d) => {
+                    if let Some(e) = datasets.iter_mut().find(|e| e.id == d.id) {
+                        *e = d.clone();
+                    }
+                }
+                UpdateOp::Delete(id) => datasets.retain(|e| e.id != *id),
+            }
+        }
+        let rebuilt = MultiSourceFramework::build(&data, config);
+        black_box(rebuilt.run_ojsp(queries, 5));
+        fw = Some(rebuilt);
+    }
+    fw.unwrap_or_else(|| MultiSourceFramework::build(&data, config))
+}
+
+fn bench_maintenance(c: &mut Criterion) {
+    let env = ExperimentEnv::small();
+    let config = FrameworkConfig {
+        resolution: 11,
+        ..FrameworkConfig::default()
+    };
+    let fw0 = env.framework(config);
+    let queries = env.query_datasets(QUERIES);
+    let rounds = 4u32;
+    let batches: Vec<(SourceId, Vec<UpdateOp>)> = (0..rounds)
+        .map(|r| {
+            let source = (r as usize) % fw0.sources().len();
+            (
+                source as SourceId,
+                make_batch(source, r, env.source(source)),
+            )
+        })
+        .collect();
+
+    let mut group = c.benchmark_group("maintenance_interleaved");
+    group.sample_size(10);
+    group.bench_function("incremental_apply_updates", |b| {
+        b.iter_batched(
+            || fw0.clone(),
+            |fw| run_incremental(fw, &batches, &queries),
+            BatchSize::LargeInput,
+        )
+    });
+    group.bench_function("full_rebuild", |b| {
+        b.iter_batched(
+            || env.source_data.clone(),
+            |data| run_full_rebuild(data, &batches, &queries, config),
+            BatchSize::LargeInput,
+        )
+    });
+    group.finish();
+
+    // One-line ops/sec summary: maintenance operations absorbed per second,
+    // query batches included in both loops so the comparison is end to end.
+    let total_ops = (rounds as usize * BETA) as f64;
+    let start = Instant::now();
+    black_box(run_incremental(fw0.clone(), &batches, &queries));
+    let incremental = total_ops / start.elapsed().as_secs_f64();
+    let start = Instant::now();
+    black_box(run_full_rebuild(
+        env.source_data.clone(),
+        &batches,
+        &queries,
+        config,
+    ));
+    let rebuild = total_ops / start.elapsed().as_secs_f64();
+    eprintln!(
+        "maintenance throughput: {incremental:.0} ops/s incremental vs {rebuild:.0} ops/s full-rebuild ({:.1}x)",
+        incremental / rebuild.max(f64::EPSILON)
+    );
+}
+
+criterion_group!(benches, bench_maintenance);
+criterion_main!(benches);

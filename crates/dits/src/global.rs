@@ -54,7 +54,7 @@ fn cell_coord_to_lonlat(grid: &Grid, p: Point) -> Point {
 
 /// One node of the global index tree.
 #[derive(Debug, Clone, Serialize, Deserialize)]
-enum GlobalNode {
+pub(crate) enum GlobalNode {
     Internal {
         geometry: NodeGeometry,
         left: usize,
@@ -82,6 +82,9 @@ pub struct DitsGlobal {
     root: usize,
     leaf_capacity: usize,
     source_count: usize,
+    /// Maintenance operations absorbed in place since the last (re)build.
+    /// Drives the occasional-rebuild heuristic of [`Self::needs_rebuild`].
+    churn: usize,
 }
 
 impl DitsGlobal {
@@ -94,6 +97,7 @@ impl DitsGlobal {
             root: 0,
             leaf_capacity,
             source_count,
+            churn: 0,
         };
         index.root = index.build_subtree(summaries);
         index
@@ -136,6 +140,47 @@ impl DitsGlobal {
         self.source_count
     }
 
+    /// Leaf capacity the tree was built with.
+    pub fn leaf_capacity(&self) -> usize {
+        self.leaf_capacity
+    }
+
+    /// Maintenance operations absorbed in place since the last (re)build.
+    pub fn churn(&self) -> usize {
+        self.churn
+    }
+
+    /// Decomposes the index into its raw parts (arena, root, leaf capacity,
+    /// source count, churn); used by the persistence codec.
+    pub(crate) fn parts(&self) -> (&[GlobalNode], usize, usize, usize, usize) {
+        (
+            &self.nodes,
+            self.root,
+            self.leaf_capacity,
+            self.source_count,
+            self.churn,
+        )
+    }
+
+    /// Reassembles an index from raw parts produced by [`Self::parts`] (or
+    /// by the persistence codec).  The caller is responsible for structural
+    /// consistency; [`Self::check_invariants`] can verify it afterwards.
+    pub(crate) fn from_parts(
+        nodes: Vec<GlobalNode>,
+        root: usize,
+        leaf_capacity: usize,
+        source_count: usize,
+        churn: usize,
+    ) -> Self {
+        Self {
+            nodes,
+            root,
+            leaf_capacity,
+            source_count,
+            churn,
+        }
+    }
+
     /// Registers one more source without rebuilding the rest of the tree:
     /// the summary is added to the closest leaf (mirroring the local-index
     /// insertion strategy of Appendix IX-C).
@@ -171,31 +216,226 @@ impl DitsGlobal {
             sources.push(summary);
             *geometry = geometry_of(sources);
         }
-        // Note: ancestors' geometry is refreshed lazily by candidate_sources
-        // being conservative; a full rebuild can be triggered by the caller
-        // when many sources churn.
+        self.churn += 1;
         self.refresh_geometry(self.root);
     }
 
-    fn refresh_geometry(&mut self, idx: usize) -> NodeGeometry {
+    /// Replaces the summary of an already-registered source in place and
+    /// refreshes the tree's geometry (Appendix IX-C applied at the global
+    /// level).  The summary stays in the leaf it was first routed to even if
+    /// its region moved — accumulated drift is what [`Self::needs_rebuild`]
+    /// watches for.
+    ///
+    /// Returns `false` (and leaves the index untouched) when the source is
+    /// not registered.
+    pub fn refresh_source(&mut self, summary: SourceSummary) -> bool {
+        let Some((leaf, pos)) = self.find_source(summary.source) else {
+            return false;
+        };
+        if let GlobalNode::Leaf { geometry, sources } = &mut self.nodes[leaf] {
+            sources[pos] = summary;
+            *geometry = geometry_of(sources);
+        }
+        self.churn += 1;
+        self.refresh_geometry(self.root);
+        true
+    }
+
+    /// Unregisters a source, removing its summary from the tree.  The leaf
+    /// that held it may become empty; empty leaves stop contributing to
+    /// ancestor geometry and are reclaimed by the next rebuild.
+    ///
+    /// Returns `false` when the source is not registered.
+    pub fn remove_source(&mut self, source: SourceId) -> bool {
+        let Some((leaf, pos)) = self.find_source(source) else {
+            return false;
+        };
+        if let GlobalNode::Leaf { geometry, sources } = &mut self.nodes[leaf] {
+            sources.remove(pos);
+            *geometry = geometry_of(sources);
+        }
+        self.source_count -= 1;
+        self.churn += 1;
+        self.refresh_geometry(self.root);
+        true
+    }
+
+    /// All registered summaries, sorted by source id (the deterministic
+    /// input [`Self::rebuild`] reconstructs the tree from).
+    pub fn summaries(&self) -> Vec<SourceSummary> {
+        let mut out: Vec<SourceSummary> = Vec::with_capacity(self.source_count);
+        let mut stack = vec![self.root];
+        while let Some(idx) = stack.pop() {
+            match &self.nodes[idx] {
+                GlobalNode::Leaf { sources, .. } => out.extend(sources.iter().copied()),
+                GlobalNode::Internal { left, right, .. } => {
+                    stack.push(*left);
+                    stack.push(*right);
+                }
+            }
+        }
+        out.sort_by_key(|s| s.source);
+        out
+    }
+
+    /// Rebuilds the tree from scratch over the current summaries, resetting
+    /// the churn counter.  Restores balanced leaves after in-place
+    /// maintenance has degraded the tree.
+    pub fn rebuild(&mut self) {
+        *self = Self::build(self.summaries(), self.leaf_capacity);
+    }
+
+    /// The occasional-rebuild heuristic: the tree is considered degraded
+    /// once the in-place churn reaches the number of indexed sources (every
+    /// source drifted once, on average) or removals have emptied most
+    /// leaves.  In-place refreshes stay conservative-correct regardless —
+    /// a rebuild only restores routing selectivity, never correctness.
+    pub fn needs_rebuild(&self) -> bool {
+        if self.churn >= self.source_count.max(8) {
+            return true;
+        }
+        let (leaves, empty) = self.leaf_population();
+        empty * 2 > leaves
+    }
+
+    /// Locates the leaf holding a source's summary, returning the leaf's
+    /// arena index and the summary's position inside it.
+    fn find_source(&self, source: SourceId) -> Option<(usize, usize)> {
+        if self.nodes.is_empty() {
+            return None;
+        }
+        let mut stack = vec![self.root];
+        while let Some(idx) = stack.pop() {
+            match &self.nodes[idx] {
+                GlobalNode::Leaf { sources, .. } => {
+                    if let Some(pos) = sources.iter().position(|s| s.source == source) {
+                        return Some((idx, pos));
+                    }
+                }
+                GlobalNode::Internal { left, right, .. } => {
+                    stack.push(*left);
+                    stack.push(*right);
+                }
+            }
+        }
+        None
+    }
+
+    /// Counts `(reachable leaves, empty leaves)`.
+    fn leaf_population(&self) -> (usize, usize) {
+        let mut leaves = 0;
+        let mut empty = 0;
+        let mut stack = vec![self.root];
+        if self.nodes.is_empty() {
+            return (0, 0);
+        }
+        while let Some(idx) = stack.pop() {
+            match &self.nodes[idx] {
+                GlobalNode::Leaf { sources, .. } => {
+                    leaves += 1;
+                    if sources.is_empty() {
+                        empty += 1;
+                    }
+                }
+                GlobalNode::Internal { left, right, .. } => {
+                    stack.push(*left);
+                    stack.push(*right);
+                }
+            }
+        }
+        (leaves, empty)
+    }
+
+    /// Recomputes every node's geometry bottom-up.  Empty leaves (left
+    /// behind by [`Self::remove_source`]) return `None` so their fabricated
+    /// degenerate MBR never leaks into an ancestor's pruning bounds — the
+    /// global-level counterpart of the local index's leaf-collapse rule.
+    fn refresh_geometry(&mut self, idx: usize) -> Option<NodeGeometry> {
         match self.nodes[idx].clone() {
             GlobalNode::Leaf { sources, .. } => {
-                let g = geometry_of(&sources);
+                let g = (!sources.is_empty()).then(|| geometry_of(&sources));
                 if let GlobalNode::Leaf { geometry, .. } = &mut self.nodes[idx] {
-                    *geometry = g;
+                    *geometry = g.unwrap_or_else(empty_geometry);
                 }
                 g
             }
             GlobalNode::Internal { left, right, .. } => {
                 let gl = self.refresh_geometry(left);
                 let gr = self.refresh_geometry(right);
-                let g = gl.union(&gr);
+                let g = match (gl, gr) {
+                    (Some(a), Some(b)) => Some(a.union(&b)),
+                    (a, b) => a.or(b),
+                };
                 if let GlobalNode::Internal { geometry, .. } = &mut self.nodes[idx] {
-                    *geometry = g;
+                    *geometry = g.unwrap_or_else(empty_geometry);
                 }
                 g
             }
         }
+    }
+
+    /// Checks the structural invariants of the tree: the bookkeeping counts
+    /// match the reachable summaries, source ids are unique, and every
+    /// internal node's MBR contains all summaries below it (the property
+    /// [`Self::candidate_sources`] pruning relies on).  Returns a
+    /// description of the first violation found.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        let summaries = self.summaries();
+        if summaries.len() != self.source_count {
+            return Err(format!(
+                "source_count {} does not match reachable summaries {}",
+                self.source_count,
+                summaries.len()
+            ));
+        }
+        if summaries.windows(2).any(|w| w[0].source == w[1].source) {
+            return Err("duplicate source ids in the tree".to_string());
+        }
+        // Iterative post-order walk — a decoded tree may be arbitrarily
+        // deep, so recursion could overflow the stack on a crafted image.
+        // Subtree emptiness is computed bottom-up, then every node's MBR is
+        // checked against its non-empty children: empty subtrees carry only
+        // a placeholder geometry and hold no summaries to mis-prune.
+        let mut empty = vec![true; self.nodes.len()];
+        let mut stack = vec![(self.root, false)];
+        while let Some((idx, children_done)) = stack.pop() {
+            match &self.nodes[idx] {
+                GlobalNode::Leaf { geometry, sources } => {
+                    empty[idx] = sources.is_empty();
+                    for s in sources {
+                        if !geometry.rect.contains(&s.geometry.rect) {
+                            return Err(format!(
+                                "leaf {idx} MBR does not contain source {}",
+                                s.source
+                            ));
+                        }
+                    }
+                }
+                GlobalNode::Internal {
+                    geometry,
+                    left,
+                    right,
+                } => {
+                    if !children_done {
+                        stack.push((idx, true));
+                        stack.push((*left, false));
+                        stack.push((*right, false));
+                        continue;
+                    }
+                    empty[idx] = empty[*left] && empty[*right];
+                    for child in [*left, *right] {
+                        if !empty[child]
+                            && !geometry.rect.contains(&self.nodes[child].geometry().rect)
+                        {
+                            return Err(format!(
+                                "internal {idx} MBR does not contain child {child}"
+                            ));
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
     }
 
     /// Finds the candidate data sources for a query with MBR `query_rect`
@@ -267,9 +507,13 @@ fn geometry_of(summaries: &[SourceSummary]) -> NodeGeometry {
             None => s.geometry.rect,
         });
     }
-    NodeGeometry::from_mbr(
-        rect.unwrap_or_else(|| Mbr::new(Point::new(0.0, 0.0), Point::new(0.0, 0.0))),
-    )
+    rect.map(NodeGeometry::from_mbr)
+        .unwrap_or_else(empty_geometry)
+}
+
+/// Placeholder geometry for a subtree that holds no summaries.
+fn empty_geometry() -> NodeGeometry {
+    NodeGeometry::from_mbr(Mbr::new(Point::new(0.0, 0.0), Point::new(0.0, 0.0)))
 }
 
 fn coord(s: &SourceSummary, d: usize) -> f64 {
@@ -384,6 +628,116 @@ mod tests {
         g.insert_source(summary(1, 0.0, 0.0, 1.0, 1.0));
         let query = Mbr::new(Point::new(0.1, 0.1), Point::new(0.2, 0.2));
         assert_eq!(g.candidate_sources(&query, 0.0).len(), 1);
+    }
+
+    #[test]
+    fn refresh_source_moves_the_routing_target() {
+        let mut g = DitsGlobal::build(
+            vec![
+                summary(0, 0.0, 0.0, 5.0, 5.0),
+                summary(1, 50.0, 0.0, 55.0, 5.0),
+                summary(2, 100.0, 0.0, 105.0, 5.0),
+            ],
+            2,
+        );
+        // Source 1's region moves far away; a query at its old spot must no
+        // longer see it, a query at the new spot must.
+        assert!(g.refresh_source(summary(1, -60.0, 20.0, -55.0, 25.0)));
+        assert!(g.check_invariants().is_ok());
+        let old_spot = Mbr::new(Point::new(51.0, 1.0), Point::new(52.0, 2.0));
+        assert!(g.candidate_sources(&old_spot, 0.0).is_empty());
+        let new_spot = Mbr::new(Point::new(-59.0, 21.0), Point::new(-58.0, 22.0));
+        let ids: Vec<SourceId> = g
+            .candidate_sources(&new_spot, 0.0)
+            .iter()
+            .map(|s| s.source)
+            .collect();
+        assert_eq!(ids, vec![1]);
+        // Refreshing an unknown source is rejected.
+        assert!(!g.refresh_source(summary(77, 0.0, 0.0, 1.0, 1.0)));
+        assert_eq!(g.source_count(), 3);
+    }
+
+    #[test]
+    fn remove_source_prunes_it_from_candidates() {
+        let mut g = DitsGlobal::build(
+            (0..6)
+                .map(|i| {
+                    summary(
+                        i as SourceId,
+                        i as f64 * 10.0,
+                        0.0,
+                        i as f64 * 10.0 + 5.0,
+                        5.0,
+                    )
+                })
+                .collect(),
+            2,
+        );
+        assert!(g.remove_source(3));
+        assert!(!g.remove_source(3));
+        assert_eq!(g.source_count(), 5);
+        assert!(g.check_invariants().is_ok());
+        let query = Mbr::new(Point::new(31.0, 1.0), Point::new(34.0, 2.0));
+        assert!(g.candidate_sources(&query, 0.0).is_empty());
+        // The remaining sources are all still reachable.
+        let ids: Vec<SourceId> = g.summaries().iter().map(|s| s.source).collect();
+        assert_eq!(ids, vec![0, 1, 2, 4, 5]);
+    }
+
+    #[test]
+    fn emptied_leaves_do_not_leak_degenerate_geometry() {
+        // Two far-apart leaves; removing both sources of one leaf must not
+        // drag the surviving ancestors' MBR toward the origin placeholder.
+        let mut g = DitsGlobal::build(
+            vec![
+                summary(0, 100.0, 40.0, 105.0, 45.0),
+                summary(1, 106.0, 40.0, 111.0, 45.0),
+                summary(2, -100.0, -40.0, -95.0, -35.0),
+                summary(3, -94.0, -40.0, -89.0, -35.0),
+            ],
+            2,
+        );
+        assert!(g.remove_source(2));
+        assert!(g.remove_source(3));
+        assert!(g.check_invariants().is_ok());
+        // A probe with generous slack around the origin placeholder finds
+        // nothing: the empty subtree contributes no geometry.
+        let near_origin = Mbr::new(Point::new(-1.0, -1.0), Point::new(1.0, 1.0));
+        assert!(g.candidate_sources(&near_origin, 5.0).is_empty());
+        let east = Mbr::new(Point::new(101.0, 41.0), Point::new(102.0, 42.0));
+        assert_eq!(g.candidate_sources(&east, 0.0).len(), 1);
+    }
+
+    #[test]
+    fn churn_heuristic_triggers_and_rebuild_resets() {
+        let mut g = DitsGlobal::build(
+            (0..12)
+                .map(|i| {
+                    summary(
+                        i as SourceId,
+                        i as f64 * 10.0,
+                        0.0,
+                        i as f64 * 10.0 + 5.0,
+                        5.0,
+                    )
+                })
+                .collect(),
+            3,
+        );
+        assert!(!g.needs_rebuild());
+        for round in 0..12u32 {
+            let i = round as SourceId % 12;
+            let base = f64::from(round) * 7.0 - 40.0;
+            assert!(g.refresh_source(summary(i, base, 10.0, base + 5.0, 15.0)));
+        }
+        assert!(g.needs_rebuild(), "churn {} should degrade", g.churn());
+        let before = g.summaries();
+        g.rebuild();
+        assert_eq!(g.churn(), 0);
+        assert!(!g.needs_rebuild());
+        assert!(g.check_invariants().is_ok());
+        assert_eq!(g.summaries(), before, "rebuild preserves the summaries");
     }
 
     #[test]

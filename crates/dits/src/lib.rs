@@ -44,8 +44,11 @@ pub use knn::{nearest_datasets, range_datasets, Neighbor};
 pub use local::{DitsLocal, DitsLocalConfig};
 pub use node::{DatasetNode, NodeGeometry};
 pub use overlap::{overlap_search, overlap_search_with_options, OverlapResult};
-pub use persist::{decode_local, encode_local, load_local, save_local, PersistError};
-pub use stats::SearchStats;
+pub use persist::{
+    decode_global, decode_local, encode_global, encode_local, load_global, load_local, save_global,
+    save_local, PersistError,
+};
+pub use stats::{MaintenanceStats, SearchStats};
 
 #[cfg(test)]
 mod thread_safety_tests {

@@ -330,8 +330,20 @@ impl DitsLocal {
         }
         match &node.kind {
             NodeKind::Leaf { entries, inverted } => {
+                // An emptied leaf must be collapsed into its sibling by the
+                // delete path; if one survives anywhere below the root, its
+                // fabricated degenerate MBR would be unioned into every
+                // ancestor and corrupt the pruning bounds.
+                if entries.is_empty() && parent.is_some() {
+                    return Err(format!(
+                        "leaf {idx} is empty but not the root (degenerate geometry leak)"
+                    ));
+                }
+                if node.geometry.rect != geometry_of(entries).rect {
+                    return Err(format!("leaf {idx} geometry is stale or loose"));
+                }
                 for e in entries {
-                    if !node.geometry.rect.contains(e.rect()) && !entries.is_empty() {
+                    if !node.geometry.rect.contains(e.rect()) {
                         return Err(format!("leaf {idx} MBR does not contain dataset {}", e.id));
                     }
                     seen.push(e.id);
@@ -350,6 +362,15 @@ impl DitsLocal {
                 Ok(())
             }
             NodeKind::Internal { left, right } => {
+                let union = self.nodes[*left]
+                    .geometry
+                    .rect
+                    .union(&self.nodes[*right].geometry.rect);
+                if node.geometry.rect != union {
+                    return Err(format!(
+                        "internal {idx} MBR is not the exact union of its children"
+                    ));
+                }
                 for child in [*left, *right] {
                     let crect = self.nodes[child].geometry.rect;
                     if !node.geometry.rect.contains(&crect) {

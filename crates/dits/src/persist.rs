@@ -1,8 +1,10 @@
-//! Index persistence: a compact, versioned binary image of DITS-L.
+//! Index persistence: compact, versioned binary images of DITS-L and DITS-G.
 //!
 //! Real deployments of the multi-source framework restart data sources
 //! without wanting to re-grid and re-index terabytes of portal data, so the
-//! local index needs a durable on-disk form.  The workspace deliberately
+//! local index needs a durable on-disk form — and the data center needs one
+//! for its global index, so a restarted center recovers every source's
+//! summary without re-polling the whole fleet.  The workspace deliberately
 //! depends on no serialisation *format* crate, so this module implements a
 //! small explicit codec on top of [`bytes`]:
 //!
@@ -18,18 +20,21 @@
 //! image smaller and removes a whole class of corruption (a posting list
 //! disagreeing with its entries).
 
+use crate::global::{DitsGlobal, GlobalNode};
 use crate::inverted::InvertedIndex;
 use crate::local::{DitsLocal, DitsLocalConfig, NodeIdx, NodeKind, TreeNode};
 use crate::node::{DatasetNode, NodeGeometry};
 use bytes::{Buf, BufMut, Bytes, BytesMut};
-use spatial::{CellSet, Mbr, Point};
+use spatial::{CellSet, Mbr, Point, SourceId};
 use std::fmt;
 use std::fs;
 use std::io;
 use std::path::Path;
 
-/// Magic number at the start of every index image (`"DITS"` in ASCII).
+/// Magic number at the start of every local index image (`"DITS"` in ASCII).
 const MAGIC: u32 = 0x4449_5453;
+/// Magic number at the start of every global index image (`"DITG"`).
+const GLOBAL_MAGIC: u32 = 0x4449_5447;
 /// Current format version; bump when the encoding changes incompatibly.
 const VERSION: u16 = 1;
 
@@ -133,6 +138,179 @@ fn encode_tree_node(buf: &mut BytesMut, node: &TreeNode) {
     }
 }
 
+/// Encodes a global index into its binary image.
+///
+/// The image carries the full arena (tree shape, geometry and every source
+/// summary) plus the maintenance churn counter, so a restarted data center
+/// resumes exactly where it stopped — including how close the tree was to
+/// its next heuristic rebuild.
+pub fn encode_global(index: &DitsGlobal) -> Bytes {
+    let (nodes, root, leaf_capacity, source_count, churn) = index.parts();
+    let mut buf = BytesMut::with_capacity(64 + nodes.len() * 64);
+    buf.put_u32_le(GLOBAL_MAGIC);
+    buf.put_u16_le(VERSION);
+    buf.put_u64_le(leaf_capacity as u64);
+    buf.put_u64_le(source_count as u64);
+    buf.put_u64_le(churn as u64);
+    buf.put_u64_le(root as u64);
+    buf.put_u64_le(nodes.len() as u64);
+    for node in nodes {
+        match node {
+            GlobalNode::Internal {
+                geometry,
+                left,
+                right,
+            } => {
+                buf.put_u8(0);
+                encode_geometry(&mut buf, geometry);
+                buf.put_u64_le(*left as u64);
+                buf.put_u64_le(*right as u64);
+            }
+            GlobalNode::Leaf { geometry, sources } => {
+                buf.put_u8(1);
+                encode_geometry(&mut buf, geometry);
+                buf.put_u64_le(sources.len() as u64);
+                for s in sources {
+                    buf.put_u16_le(s.source);
+                    buf.put_u32_le(s.resolution);
+                    buf.put_f64_le(s.geometry.rect.min.x);
+                    buf.put_f64_le(s.geometry.rect.min.y);
+                    buf.put_f64_le(s.geometry.rect.max.x);
+                    buf.put_f64_le(s.geometry.rect.max.y);
+                }
+            }
+        }
+    }
+    buf.freeze()
+}
+
+/// Writes the binary image of a global index to a file (atomically via a
+/// temporary sibling file).
+pub fn save_global(index: &DitsGlobal, path: &Path) -> Result<(), PersistError> {
+    let image = encode_global(index);
+    let tmp = path.with_extension("tmp");
+    fs::write(&tmp, &image)?;
+    fs::rename(&tmp, path)?;
+    Ok(())
+}
+
+/// Decodes a global index from its binary image, verifying structural
+/// invariants.
+pub fn decode_global(image: &[u8]) -> Result<DitsGlobal, PersistError> {
+    let mut buf = image;
+    let magic = read_u32(&mut buf, "magic")?;
+    if magic != GLOBAL_MAGIC {
+        return Err(PersistError::BadMagic(magic));
+    }
+    let version = read_u16(&mut buf, "version")?;
+    if version != VERSION {
+        return Err(PersistError::UnsupportedVersion(version));
+    }
+    let leaf_capacity = read_u64(&mut buf, "leaf capacity")? as usize;
+    let source_count = read_u64(&mut buf, "source count")? as usize;
+    let churn = read_u64(&mut buf, "churn")? as usize;
+    let root = read_u64(&mut buf, "root index")? as usize;
+    let node_count = read_u64(&mut buf, "node count")? as usize;
+    if node_count > image.len() {
+        return Err(PersistError::Corrupt(format!(
+            "node count {node_count} larger than the image itself"
+        )));
+    }
+    // The arena is never empty: even an index with no sources has its root
+    // leaf node, and every reachability walk starts by indexing the root.
+    if node_count == 0 {
+        return Err(PersistError::Corrupt("empty node arena".to_string()));
+    }
+    let mut nodes = Vec::with_capacity(node_count);
+    for _ in 0..node_count {
+        let tag = read_u8(&mut buf, "global node kind")?;
+        let node = match tag {
+            0 => {
+                let geometry = decode_geometry(&mut buf)?;
+                GlobalNode::Internal {
+                    geometry,
+                    left: read_u64(&mut buf, "left child")? as usize,
+                    right: read_u64(&mut buf, "right child")? as usize,
+                }
+            }
+            1 => {
+                let geometry = decode_geometry(&mut buf)?;
+                let n = read_u64(&mut buf, "leaf summary count")? as usize;
+                let mut sources = Vec::with_capacity(n.min(1 << 16));
+                for _ in 0..n {
+                    sources.push(decode_summary(&mut buf)?);
+                }
+                GlobalNode::Leaf { geometry, sources }
+            }
+            other => {
+                return Err(PersistError::Corrupt(format!(
+                    "unknown global node kind tag {other}"
+                )));
+            }
+        };
+        nodes.push(node);
+    }
+    if root >= nodes.len() {
+        return Err(PersistError::Corrupt(format!(
+            "root index {root} out of bounds ({} nodes)",
+            nodes.len()
+        )));
+    }
+    // Child pointers must form a proper tree: in bounds and no node adopted
+    // twice.  This rules out cycles and shared subtrees before any
+    // reachability walk runs over the arena.
+    let mut referenced = vec![false; nodes.len()];
+    for (idx, node) in nodes.iter().enumerate() {
+        if let GlobalNode::Internal { left, right, .. } = node {
+            for child in [*left, *right] {
+                if child >= nodes.len() || child == idx {
+                    return Err(PersistError::Corrupt(format!(
+                        "internal {idx} references an invalid child {child}"
+                    )));
+                }
+                if referenced[child] {
+                    return Err(PersistError::Corrupt(format!(
+                        "node {child} has more than one parent"
+                    )));
+                }
+                referenced[child] = true;
+            }
+        }
+    }
+    if referenced[root] {
+        return Err(PersistError::Corrupt(
+            "root is referenced as a child".to_string(),
+        ));
+    }
+    let index = DitsGlobal::from_parts(nodes, root, leaf_capacity.max(1), source_count, churn);
+    index.check_invariants().map_err(PersistError::Corrupt)?;
+    Ok(index)
+}
+
+/// Reads the binary image of a global index from a file.
+pub fn load_global(path: &Path) -> Result<DitsGlobal, PersistError> {
+    let image = fs::read(path)?;
+    decode_global(&image)
+}
+
+fn decode_summary(buf: &mut &[u8]) -> Result<crate::global::SourceSummary, PersistError> {
+    let source = read_u16(buf, "summary source id")? as SourceId;
+    let resolution = read_u32(buf, "summary resolution")?;
+    let min = Point::new(
+        read_f64(buf, "summary min x")?,
+        read_f64(buf, "summary min y")?,
+    );
+    let max = Point::new(
+        read_f64(buf, "summary max x")?,
+        read_f64(buf, "summary max y")?,
+    );
+    Ok(crate::global::SourceSummary {
+        source,
+        geometry: NodeGeometry::from_mbr(Mbr::new(min, max)),
+        resolution,
+    })
+}
+
 fn encode_dataset_node(buf: &mut BytesMut, node: &DatasetNode) {
     // The dataset geometry (MBR / pivot / radius) is fully determined by the
     // cell set, so only the id and the cells are stored; the geometry is
@@ -196,17 +374,21 @@ pub fn decode_local(image: &[u8]) -> Result<DitsLocal, PersistError> {
     let root = read_u64(&mut buf, "root index")? as usize;
     let node_count = read_u64(&mut buf, "node count")? as usize;
     // A valid arena never has more nodes than bytes in the image — reject
-    // absurd counts before allocating.
+    // absurd counts before allocating.  And it is never empty: even an
+    // index with no datasets has its root leaf node.
     if node_count > image.len() {
         return Err(PersistError::Corrupt(format!(
             "node count {node_count} larger than the image itself"
         )));
     }
+    if node_count == 0 {
+        return Err(PersistError::Corrupt("empty node arena".to_string()));
+    }
     let mut nodes = Vec::with_capacity(node_count);
     for _ in 0..node_count {
         nodes.push(decode_tree_node(&mut buf)?);
     }
-    if root >= nodes.len() && !nodes.is_empty() {
+    if root >= nodes.len() {
         return Err(PersistError::Corrupt(format!(
             "root index {root} out of bounds ({} nodes)",
             nodes.len()
@@ -483,6 +665,138 @@ mod tests {
         assert!(err.to_string().contains("magic"));
         let err = PersistError::UnsupportedVersion(9);
         assert!(err.to_string().contains("version"));
+    }
+
+    fn sample_global(n: u16, capacity: usize) -> DitsGlobal {
+        use crate::global::SourceSummary;
+        let summaries: Vec<SourceSummary> = (0..n)
+            .map(|i| SourceSummary {
+                source: i,
+                geometry: NodeGeometry::from_mbr(Mbr::new(
+                    Point::new(f64::from(i) * 7.0 - 100.0, f64::from(i % 5) * 9.0 - 20.0),
+                    Point::new(f64::from(i) * 7.0 - 95.0, f64::from(i % 5) * 9.0 - 15.0),
+                )),
+                resolution: 10 + u32::from(i % 3),
+            })
+            .collect();
+        DitsGlobal::build(summaries, capacity)
+    }
+
+    #[test]
+    fn global_roundtrip_preserves_summaries_and_routing() {
+        let mut index = sample_global(17, 3);
+        // Exercise the maintenance paths so churn and empty leaves survive
+        // the round-trip too.
+        assert!(index.remove_source(4));
+        let moved = crate::global::SourceSummary {
+            source: 9,
+            geometry: NodeGeometry::from_mbr(Mbr::new(
+                Point::new(150.0, 60.0),
+                Point::new(155.0, 65.0),
+            )),
+            resolution: 11,
+        };
+        assert!(index.refresh_source(moved));
+        let image = encode_global(&index);
+        let decoded = decode_global(&image).unwrap();
+        assert_eq!(decoded.source_count(), index.source_count());
+        assert_eq!(decoded.leaf_capacity(), index.leaf_capacity());
+        assert_eq!(decoded.churn(), index.churn());
+        assert_eq!(decoded.summaries(), index.summaries());
+        assert!(decoded.check_invariants().is_ok());
+        // Candidate routing is identical after the round-trip.
+        for query in [
+            Mbr::new(Point::new(-80.0, -10.0), Point::new(-60.0, 10.0)),
+            Mbr::new(Point::new(151.0, 61.0), Point::new(152.0, 62.0)),
+            Mbr::new(Point::new(-30.0, -30.0), Point::new(30.0, 30.0)),
+        ] {
+            assert_eq!(
+                decoded.candidate_sources(&query, 2.0),
+                index.candidate_sources(&query, 2.0)
+            );
+        }
+    }
+
+    #[test]
+    fn global_roundtrip_of_empty_index() {
+        let decoded = decode_global(&encode_global(&sample_global(0, 4))).unwrap();
+        assert_eq!(decoded.source_count(), 0);
+        assert!(decoded.check_invariants().is_ok());
+    }
+
+    #[test]
+    fn global_and_local_images_are_not_interchangeable() {
+        let local = sample_index(10, 4);
+        assert!(matches!(
+            decode_global(&encode_local(&local)),
+            Err(PersistError::BadMagic(_))
+        ));
+        let global = sample_global(10, 4);
+        assert!(matches!(
+            decode_local(&encode_global(&global)),
+            Err(PersistError::BadMagic(_))
+        ));
+    }
+
+    #[test]
+    fn truncated_global_images_fail_loudly() {
+        let image = encode_global(&sample_global(12, 3)).to_vec();
+        for cut in [3usize, 9, 30, image.len() / 2, image.len() - 1] {
+            let err = decode_global(&image[..cut]).unwrap_err();
+            assert!(
+                matches!(
+                    err,
+                    PersistError::UnexpectedEof { .. } | PersistError::Corrupt(_)
+                ),
+                "cut at {cut} produced unexpected error {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn zero_node_images_are_rejected_not_panicking() {
+        // A crafted header declaring an empty arena with root = 0 used to
+        // slip past the bounds check and panic inside the invariant walk.
+        for magic in [MAGIC, GLOBAL_MAGIC] {
+            let mut image = Vec::new();
+            image.put_u32_le(magic);
+            image.put_u16_le(VERSION);
+            // leaf capacity + (dataset|source) count [+ churn] + root +
+            // node_count, all zero: more header words than either format
+            // reads, so both decoders see node_count = 0.
+            for _ in 0..6 {
+                image.put_u64_le(0);
+            }
+            let err = if magic == MAGIC {
+                decode_local(&image).unwrap_err()
+            } else {
+                decode_global(&image).unwrap_err()
+            };
+            assert!(matches!(err, PersistError::Corrupt(_)), "got {err}");
+        }
+    }
+
+    #[test]
+    fn save_and_load_global_via_files() {
+        let dir = std::env::temp_dir().join(format!("dits-persist-global-{}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("global.ditg");
+        let index = sample_global(9, 2);
+        save_global(&index, &path).unwrap();
+        let loaded = load_global(&path).unwrap();
+        assert_eq!(loaded.summaries(), index.summaries());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    proptest! {
+        #[test]
+        fn prop_random_bytes_never_panic_global(
+            bytes in proptest::collection::vec(any::<u8>(), 0..400),
+        ) {
+            if let Ok(index) = decode_global(&bytes) {
+                prop_assert!(index.check_invariants().is_ok());
+            }
+        }
     }
 
     proptest! {

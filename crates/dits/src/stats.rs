@@ -60,9 +60,106 @@ impl<'a> std::iter::Sum<&'a SearchStats> for SearchStats {
     }
 }
 
+/// Counters accumulated while applying maintenance operations (Appendix
+/// IX-C) to the local and global indexes.  The multi-source maintenance
+/// pipeline threads one block per `ApplyUpdates` batch so the benches (and
+/// operators) can see *how* the indexes absorbed a batch — how many updates
+/// relocated a dataset across leaves, how often an emptied leaf was
+/// collapsed into its sibling, and whether the data center decided to
+/// rebuild DITS-G.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MaintenanceStats {
+    /// Datasets inserted into a local index.
+    pub inserts: usize,
+    /// Datasets updated in place or via relocation.
+    pub updates: usize,
+    /// Datasets deleted from a local index.
+    pub deletes: usize,
+    /// Operations rejected because the target id was missing (update /
+    /// delete) or already present (insert).
+    pub rejected: usize,
+    /// Updates whose new pivot left the old leaf's MBR, forcing a
+    /// delete-and-reinsert instead of an in-place replacement.
+    pub reinserts: usize,
+    /// Leaves split because an insert pushed them over the capacity `f`.
+    pub leaf_splits: usize,
+    /// Emptied leaves collapsed into their sibling after a delete.
+    pub leaf_collapses: usize,
+    /// Source summaries refreshed in DITS-G.
+    pub summary_refreshes: usize,
+    /// Full DITS-G rebuilds triggered by the degradation heuristic.
+    pub global_rebuilds: usize,
+}
+
+impl MaintenanceStats {
+    /// A zeroed statistics block.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Merges counters from another statistics block.
+    pub fn merge(&mut self, other: &MaintenanceStats) {
+        self.inserts += other.inserts;
+        self.updates += other.updates;
+        self.deletes += other.deletes;
+        self.rejected += other.rejected;
+        self.reinserts += other.reinserts;
+        self.leaf_splits += other.leaf_splits;
+        self.leaf_collapses += other.leaf_collapses;
+        self.summary_refreshes += other.summary_refreshes;
+        self.global_rebuilds += other.global_rebuilds;
+    }
+
+    /// Operations that actually mutated an index.
+    pub fn applied(&self) -> usize {
+        self.inserts + self.updates + self.deletes
+    }
+}
+
+impl std::iter::Sum for MaintenanceStats {
+    fn sum<I: Iterator<Item = MaintenanceStats>>(iter: I) -> Self {
+        let mut total = MaintenanceStats::new();
+        for block in iter {
+            total.merge(&block);
+        }
+        total
+    }
+}
+
+impl<'a> std::iter::Sum<&'a MaintenanceStats> for MaintenanceStats {
+    fn sum<I: Iterator<Item = &'a MaintenanceStats>>(iter: I) -> Self {
+        let mut total = MaintenanceStats::new();
+        for block in iter {
+            total.merge(block);
+        }
+        total
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn maintenance_stats_merge_and_sum() {
+        let a = MaintenanceStats {
+            inserts: 1,
+            updates: 2,
+            deletes: 3,
+            rejected: 1,
+            reinserts: 1,
+            leaf_splits: 2,
+            leaf_collapses: 1,
+            summary_refreshes: 4,
+            global_rebuilds: 1,
+        };
+        let total: MaintenanceStats = [a, a].iter().sum();
+        assert_eq!(total.inserts, 2);
+        assert_eq!(total.deletes, 6);
+        assert_eq!(total.global_rebuilds, 2);
+        assert_eq!(a.applied(), 6);
+        assert_eq!(MaintenanceStats::new(), MaintenanceStats::default());
+    }
 
     #[test]
     fn merge_adds_counters() {

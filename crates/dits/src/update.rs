@@ -5,14 +5,34 @@
 //!   the child whose pivot is closest to the new dataset node's pivot; add
 //!   the dataset to the reached leaf (splitting it with Algorithm 1 when the
 //!   capacity `f` is exceeded) and refresh the geometry of every ancestor.
-//! * **Update**: locate the dataset by id, replace it in place, refresh the
-//!   leaf's inverted index and the ancestors' geometry.
-//! * **Delete**: a special case of update — remove the dataset from its leaf
-//!   and refresh upwards.
+//! * **Update**: locate the dataset by id.  When the new pivot still falls
+//!   inside the leaf's MBR the dataset is replaced in place (refreshing the
+//!   leaf's inverted index and the ancestors' geometry); when it escapes the
+//!   leaf, the entry is deleted and re-inserted along the normal descent so
+//!   pivot-guided lookups and pruning bounds stay tight.
+//! * **Delete**: remove the dataset from its leaf and refresh upwards.  A
+//!   leaf emptied by the removal is *collapsed into its sibling* (leaf
+//!   underflow): keeping it around would leave a fabricated degenerate MBR
+//!   that every ancestor unions into its own geometry, silently corrupting
+//!   kNN and coverage pruning bounds.  [`DitsLocal::check_invariants`]
+//!   rejects such leaves, so a regression fails loudly.
+//!
+//! Every mutation has a `_with_stats` variant that records what structural
+//! work was done into a [`MaintenanceStats`] block; the multi-source
+//! maintenance pipeline (`MultiSourceFramework::apply_updates` in the
+//! `multisource` crate) aggregates those blocks per wire batch and folds
+//! the resulting root summary into DITS-G, so global routing never goes
+//! stale.  The collapse machinery leaves the orphaned arena slots in place
+//! (the arena never shrinks, like the split path never reuses slots):
+//! orphans are unreachable from the root, cost two empty slots per
+//! collapse, and survive persistence round-trips — the codec serialises
+//! the whole arena so node indices stay stable — until the next full
+//! rebuild reclaims them.
 
 use crate::inverted::InvertedIndex;
 use crate::local::{geometry_of, DitsLocal, NodeIdx, NodeKind};
 use crate::node::DatasetNode;
+use crate::stats::MaintenanceStats;
 use spatial::DatasetId;
 
 impl DitsLocal {
@@ -21,9 +41,26 @@ impl DitsLocal {
     /// Returns `false` (and leaves the index untouched) when a dataset with
     /// the same id is already present.
     pub fn insert(&mut self, dataset: DatasetNode) -> bool {
+        self.insert_with_stats(dataset, &mut MaintenanceStats::new())
+    }
+
+    /// [`insert`](Self::insert), recording structural work into `stats`.
+    pub fn insert_with_stats(
+        &mut self,
+        dataset: DatasetNode,
+        stats: &mut MaintenanceStats,
+    ) -> bool {
         if self.find_dataset(dataset.id).is_some() {
             return false;
         }
+        self.insert_unchecked(dataset, stats);
+        stats.inserts += 1;
+        true
+    }
+
+    /// Inserts a dataset known to be absent: descend, append, split on
+    /// overflow, refresh ancestors.
+    fn insert_unchecked(&mut self, dataset: DatasetNode, stats: &mut MaintenanceStats) {
         let leaf = self.descend_to_closest_leaf(dataset.pivot());
         let capacity = self.config().leaf_capacity;
         let needs_split;
@@ -40,32 +77,59 @@ impl DitsLocal {
         }
         if needs_split {
             self.split_leaf(leaf);
+            stats.leaf_splits += 1;
         }
         self.refresh_ancestors(leaf);
         self.set_dataset_count(self.dataset_count() + 1);
-        true
     }
 
     /// Replaces the dataset with id `dataset.id` by the new content.
     ///
+    /// When the new pivot stays inside the holding leaf's MBR the entry is
+    /// replaced in place; otherwise the stale placement would loosen every
+    /// descend-based lookup, so the entry is deleted and re-inserted along
+    /// the normal closest-pivot descent.
+    ///
     /// Returns `false` when no dataset with that id exists.
     pub fn update(&mut self, dataset: DatasetNode) -> bool {
+        self.update_with_stats(dataset, &mut MaintenanceStats::new())
+    }
+
+    /// [`update`](Self::update), recording structural work into `stats`.
+    pub fn update_with_stats(
+        &mut self,
+        dataset: DatasetNode,
+        stats: &mut MaintenanceStats,
+    ) -> bool {
         let Some((leaf, _)) = self.find_dataset(dataset.id) else {
             return false;
         };
-        {
-            let node = self.node_mut(leaf);
-            if let NodeKind::Leaf { entries, inverted } = &mut node.kind {
-                if let Some(pos) = entries.iter().position(|e| e.id == dataset.id) {
-                    let old = &entries[pos];
-                    inverted.remove_dataset(old.id, &old.cells);
-                    inverted.add_dataset(dataset.id, &dataset.cells);
-                    entries[pos] = dataset;
-                    node.geometry = geometry_of(entries);
+        let pivot = dataset.pivot();
+        if self.node(leaf).geometry.rect.contains_point(&pivot) {
+            // In-place replacement: the relocated dataset still belongs to
+            // this leaf's region.
+            {
+                let node = self.node_mut(leaf);
+                if let NodeKind::Leaf { entries, inverted } = &mut node.kind {
+                    if let Some(pos) = entries.iter().position(|e| e.id == dataset.id) {
+                        let old = &entries[pos];
+                        inverted.remove_dataset(old.id, &old.cells);
+                        inverted.add_dataset(dataset.id, &dataset.cells);
+                        entries[pos] = dataset;
+                        node.geometry = geometry_of(entries);
+                    }
                 }
             }
+            self.refresh_ancestors(leaf);
+        } else {
+            // The dataset moved out of the leaf's region: delete + reinsert
+            // so the tree's geometry stays tight around actual placements.
+            let removed = self.remove_entry(dataset.id, stats);
+            debug_assert!(removed, "find_dataset found the id an instant ago");
+            self.insert_unchecked(dataset, stats);
+            stats.reinserts += 1;
         }
-        self.refresh_ancestors(leaf);
+        stats.updates += 1;
         true
     }
 
@@ -73,22 +137,91 @@ impl DitsLocal {
     ///
     /// Returns `false` when no dataset with that id exists.
     pub fn delete(&mut self, id: DatasetId) -> bool {
+        self.delete_with_stats(id, &mut MaintenanceStats::new())
+    }
+
+    /// [`delete`](Self::delete), recording structural work into `stats`.
+    pub fn delete_with_stats(&mut self, id: DatasetId, stats: &mut MaintenanceStats) -> bool {
+        if self.remove_entry(id, stats) {
+            stats.deletes += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Removes one dataset from its leaf, collapsing the leaf into its
+    /// sibling when the removal empties it, and refreshes ancestor geometry.
+    /// Decrements the dataset count.  Returns `false` when the id is absent.
+    fn remove_entry(&mut self, id: DatasetId, stats: &mut MaintenanceStats) -> bool {
         let Some((leaf, _)) = self.find_dataset(id) else {
             return false;
         };
+        let now_empty;
         {
             let node = self.node_mut(leaf);
             if let NodeKind::Leaf { entries, inverted } = &mut node.kind {
-                if let Some(pos) = entries.iter().position(|e| e.id == id) {
-                    let old = entries.remove(pos);
-                    inverted.remove_dataset(old.id, &old.cells);
-                    node.geometry = geometry_of(entries);
-                }
+                let pos = entries
+                    .iter()
+                    .position(|e| e.id == id)
+                    .expect("find_dataset located this leaf");
+                let old = entries.remove(pos);
+                inverted.remove_dataset(old.id, &old.cells);
+                node.geometry = geometry_of(entries);
+                now_empty = entries.is_empty();
+            } else {
+                unreachable!("find_dataset returned a non-leaf");
             }
         }
-        self.refresh_ancestors(leaf);
+        let refresh_from = if now_empty && self.node(leaf).parent.is_some() {
+            let parent = self.collapse_empty_leaf(leaf);
+            stats.leaf_collapses += 1;
+            parent
+        } else {
+            // Either the leaf still holds entries, or it is the root: an
+            // empty root leaf is the canonical empty index.
+            leaf
+        };
+        self.refresh_ancestors(refresh_from);
         self.set_dataset_count(self.dataset_count() - 1);
         true
+    }
+
+    /// Collapses an emptied leaf by replacing its parent with the sibling
+    /// subtree (the parent's arena slot is reused so grandparent child
+    /// pointers stay valid; the two vacated slots become unreachable
+    /// orphans).  Returns the parent's arena index, where the sibling's
+    /// content now lives.
+    fn collapse_empty_leaf(&mut self, leaf: NodeIdx) -> NodeIdx {
+        let parent = self.node(leaf).parent.expect("collapse needs a parent");
+        let sibling = match self.node(parent).kind {
+            NodeKind::Internal { left, right } => {
+                if left == leaf {
+                    right
+                } else {
+                    left
+                }
+            }
+            NodeKind::Leaf { .. } => unreachable!("a leaf's parent is internal"),
+        };
+        // Hoist the sibling's content into the parent slot, leaving an empty
+        // orphan leaf behind in the sibling slot.
+        let sibling_geometry = self.node(sibling).geometry;
+        let sibling_kind = std::mem::replace(
+            &mut self.node_mut(sibling).kind,
+            NodeKind::Leaf {
+                entries: Vec::new(),
+                inverted: InvertedIndex::new(),
+            },
+        );
+        if let NodeKind::Internal { left, right } = sibling_kind {
+            self.node_mut(left).parent = Some(parent);
+            self.node_mut(right).parent = Some(parent);
+        }
+        let node = self.node_mut(parent);
+        node.geometry = sibling_geometry;
+        node.kind = sibling_kind;
+        parent
     }
 
     /// Walks from the root to the leaf whose pivot is closest to `pivot`

@@ -1,7 +1,7 @@
 //! The data center: global routing, query distribution and result
 //! aggregation (Sections IV and VI-A).
 
-use dits::{DitsGlobal, OverlapResult};
+use dits::{DitsGlobal, MaintenanceStats, OverlapResult, SourceSummary};
 use spatial::{CellSet, DatasetId, Mbr, Point, SourceId, SpatialDataset};
 
 use crate::comm::CommStats;
@@ -53,10 +53,31 @@ pub struct DataCenter {
 impl DataCenter {
     /// Builds the data center's global index from the sources' uploaded root
     /// summaries.
+    ///
+    /// Sources that hold no datasets are not registered: an empty index has
+    /// no real root geometry (only a degenerate placeholder at the grid
+    /// origin), can answer no query, and would otherwise attract
+    /// origin-adjacent queries for nothing.  The maintenance path readmits
+    /// such a source as soon as an applied batch gives it data (see
+    /// [`Self::register_source`]).
     pub fn build(sources: &[DataSource], leaf_capacity: usize, delta_lonlat: f64) -> Self {
-        let summaries = sources.iter().map(|s| s.summary()).collect();
+        let summaries = sources
+            .iter()
+            .filter(|s| s.dataset_count() > 0)
+            .map(|s| s.summary())
+            .collect();
         Self {
             global: DitsGlobal::build(summaries, leaf_capacity),
+            delta_lonlat,
+        }
+    }
+
+    /// Reassembles a data center around a recovered global index (e.g. one
+    /// decoded from a [`dits::persist`] image after a restart), skipping the
+    /// summary re-poll of every source that [`Self::build`] performs.
+    pub fn from_global(global: DitsGlobal, delta_lonlat: f64) -> Self {
+        Self {
+            global,
             delta_lonlat,
         }
     }
@@ -64,6 +85,54 @@ impl DataCenter {
     /// The global index (exposed for inspection / experiments).
     pub fn global(&self) -> &DitsGlobal {
         &self.global
+    }
+
+    /// Folds a source's refreshed root summary into DITS-G — the center half
+    /// of the maintenance protocol.  Runs *before* the maintenance call
+    /// returns, so the next query batch is planned against summaries that
+    /// agree with every source's local index.
+    ///
+    /// When the accumulated in-place churn degrades the global tree (see
+    /// [`DitsGlobal::needs_rebuild`]), the tree is rebuilt from its current
+    /// summaries on the spot.
+    ///
+    /// Returns `false` when the source is not registered in DITS-G.
+    pub fn apply_refresh(&mut self, summary: SourceSummary, stats: &mut MaintenanceStats) -> bool {
+        if !self.global.refresh_source(summary) {
+            return false;
+        }
+        stats.summary_refreshes += 1;
+        if self.global.needs_rebuild() {
+            self.global.rebuild();
+            stats.global_rebuilds += 1;
+        }
+        true
+    }
+
+    /// Registers a summary for a source DITS-G does not know yet: one that
+    /// joined the federation, was empty when the center was built, or was
+    /// dropped when maintenance emptied it and now holds data again.
+    pub fn register_source(&mut self, summary: SourceSummary, stats: &mut MaintenanceStats) {
+        self.global.insert_source(summary);
+        stats.summary_refreshes += 1;
+        if self.global.needs_rebuild() {
+            self.global.rebuild();
+            stats.global_rebuilds += 1;
+        }
+    }
+
+    /// Unregisters a source from DITS-G (a source leaving the federation,
+    /// or one whose index shrank to empty).
+    /// Returns `false` when the source is not registered.
+    pub fn remove_source(&mut self, source: SourceId, stats: &mut MaintenanceStats) -> bool {
+        if !self.global.remove_source(source) {
+            return false;
+        }
+        if self.global.needs_rebuild() {
+            self.global.rebuild();
+            stats.global_rebuilds += 1;
+        }
+        true
     }
 
     /// The connectivity slack used when routing CJSP queries, in degrees.

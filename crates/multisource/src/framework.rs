@@ -6,14 +6,67 @@
 //! Both route through the [`QueryEngine`](crate::engine::QueryEngine) — the
 //! framework plans nothing itself; it only assembles the deployment and
 //! hands batches to the engine.
+//!
+//! Index maintenance flows through [`MultiSourceFramework::apply_updates`]:
+//! a batch of [`UpdateOp`]s travels to one source as a
+//! [`Message::ApplyUpdates`], the source applies it to its DITS-L, and the
+//! returned [`Message::SummaryRefresh`] is folded into the center's DITS-G
+//! before the call returns — so query batches issued afterwards are planned
+//! against summaries that agree with every local index.
 
-use dits::DitsLocalConfig;
-use spatial::{Grid, SourceId, SpatialDataset};
+use std::fmt;
+
+use dits::{DitsLocalConfig, MaintenanceStats, SourceSummary};
+use spatial::{Grid, SourceId, SpatialDataset, SpatialError};
 
 use crate::center::{AggregatedCoverage, AggregatedOverlap, DataCenter, DistributionStrategy};
 use crate::comm::{CommConfig, CommStats};
 use crate::engine::{BatchOutcome, EngineConfig, QueryEngine};
+use crate::message::{Message, UpdateOp};
 use crate::source::DataSource;
+
+/// Why a maintenance batch could not be applied.  In both cases nothing was
+/// mutated — neither the source's DITS-L nor the center's DITS-G.
+#[derive(Debug, PartialEq)]
+pub enum MaintenanceError {
+    /// The framework has no source with this id.
+    UnknownSource(SourceId),
+    /// The batch contained a structurally invalid dataset (e.g. an empty
+    /// one); the source rejected the whole batch before applying anything.
+    Spatial(SpatialError),
+}
+
+impl fmt::Display for MaintenanceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MaintenanceError::UnknownSource(id) => {
+                write!(f, "no data source with id {id} in the framework")
+            }
+            MaintenanceError::Spatial(e) => write!(f, "maintenance batch rejected: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for MaintenanceError {}
+
+impl From<SpatialError> for MaintenanceError {
+    fn from(e: SpatialError) -> Self {
+        MaintenanceError::Spatial(e)
+    }
+}
+
+/// What one applied maintenance batch produced.
+#[derive(Debug, Clone)]
+pub struct MaintenanceOutcome {
+    /// The source's root summary after the batch (already folded into
+    /// DITS-G by the time the caller sees it).
+    pub summary: SourceSummary,
+    /// Structural work done by the batch, across the local index (splits,
+    /// collapses, relocations) and the global one (refreshes, rebuilds).
+    pub stats: MaintenanceStats,
+    /// Bytes moved by the maintenance exchange.
+    pub comm: CommStats,
+}
 
 /// Configuration of the whole framework.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -100,14 +153,66 @@ impl MultiSourceFramework {
         &self.sources
     }
 
-    /// Mutable access to the data sources (index-maintenance experiments).
-    pub fn sources_mut(&mut self) -> &mut [DataSource] {
-        &mut self.sources
-    }
-
     /// The data center.
     pub fn center(&self) -> &DataCenter {
         &self.center
+    }
+
+    /// Applies a batch of maintenance operations to one source through the
+    /// wire protocol, then refreshes the center's DITS-G with the source's
+    /// new root summary — the full cross-layer pipeline of Appendix IX-C.
+    ///
+    /// The exchange is transactional at the batch level: a structurally
+    /// invalid dataset rejects the whole batch with nothing mutated
+    /// anywhere, while individually impossible operations (duplicate
+    /// insert, missing update/delete target) are skipped and counted in
+    /// [`MaintenanceStats::rejected`].  By the time this returns `Ok`, the
+    /// next [`QueryEngine`] batch is planned against a DITS-G that agrees
+    /// with the mutated local index, so `candidate_sources` pruning stays
+    /// lossless.
+    pub fn apply_updates(
+        &mut self,
+        source: SourceId,
+        ops: &[UpdateOp],
+    ) -> Result<MaintenanceOutcome, MaintenanceError> {
+        let pos = self
+            .sources
+            .iter()
+            .position(|s| s.id == source)
+            .ok_or(MaintenanceError::UnknownSource(source))?;
+        let request = Message::ApplyUpdates { ops: ops.to_vec() };
+        let mut comm = CommStats::new();
+        comm.sources_contacted += 1;
+        comm.record_request(request.wire_size());
+        let (reply, mut stats) = self.sources[pos]
+            .handle_maintenance(&request)
+            .expect("ApplyUpdates is a maintenance request")?;
+        comm.record_reply(reply.wire_size());
+        let Message::SummaryRefresh {
+            summary,
+            dataset_count,
+            ..
+        } = reply
+        else {
+            unreachable!("a maintenance request is answered by SummaryRefresh");
+        };
+        if dataset_count == 0 {
+            // The batch emptied the source.  An empty index has only a
+            // degenerate placeholder geometry and can answer no query, so
+            // it is dropped from DITS-G (readmitted when data returns)
+            // instead of attracting origin-adjacent queries for nothing.
+            self.center.remove_source(source, &mut stats);
+        } else if !self.center.apply_refresh(summary, &mut stats) {
+            // Unknown to DITS-G: the source was empty at build time or was
+            // dropped when a previous batch emptied it — register it now
+            // that it holds data again.
+            self.center.register_source(summary, &mut stats);
+        }
+        Ok(MaintenanceOutcome {
+            summary,
+            stats,
+            comm,
+        })
     }
 
     /// Total number of datasets across all sources.
@@ -291,15 +396,55 @@ mod tests {
     fn index_maintenance_through_the_framework() {
         let (mut fw, _) = tiny_framework(DistributionStrategy::PrunedClipped);
         let before = fw.dataset_count();
-        let grid = *fw.grid();
         let new_dataset = SpatialDataset::new(
             90_000,
             (0..10)
                 .map(|j| Point::new(-77.0 + j as f64 * 0.01, 38.9))
                 .collect(),
         );
-        let node = dits::DatasetNode::from_dataset(&grid, &new_dataset).unwrap();
-        assert!(fw.sources_mut()[3].index_mut().insert(node));
+        let outcome = fw
+            .apply_updates(3, &[UpdateOp::Insert(new_dataset.clone())])
+            .unwrap();
         assert_eq!(fw.dataset_count(), before + 1);
+        assert_eq!(outcome.stats.inserts, 1);
+        assert_eq!(outcome.stats.summary_refreshes, 1);
+        assert!(outcome.comm.total_bytes() > 0);
+        assert_eq!(outcome.comm.requests, 1);
+        assert_eq!(outcome.comm.replies, 1);
+
+        // The refreshed DITS-G routes a query for the new dataset to the
+        // mutated source, and the engine finds it with full overlap.
+        let (answer, _) = fw.ojsp(&new_dataset, 1);
+        assert_eq!(answer.results.len(), 1);
+        assert_eq!(answer.results[0].0, 3);
+        assert_eq!(answer.results[0].1.dataset, 90_000);
+
+        // Deleting it again restores the old state.
+        let outcome = fw.apply_updates(3, &[UpdateOp::Delete(90_000)]).unwrap();
+        assert_eq!(outcome.stats.deletes, 1);
+        assert_eq!(fw.dataset_count(), before);
+    }
+
+    #[test]
+    fn maintenance_errors_leave_the_framework_untouched() {
+        let (mut fw, _) = tiny_framework(DistributionStrategy::PrunedClipped);
+        let before = fw.dataset_count();
+        // Unknown source.
+        let err = fw.apply_updates(99, &[UpdateOp::Delete(0)]).unwrap_err();
+        assert_eq!(err, MaintenanceError::UnknownSource(99));
+        // Structurally invalid batch: nothing applied, not even the valid
+        // leading op.
+        let err = fw
+            .apply_updates(
+                2,
+                &[
+                    UpdateOp::Insert(SpatialDataset::new(91_000, vec![Point::new(0.0, 0.0)])),
+                    UpdateOp::Insert(SpatialDataset::new(91_001, vec![])),
+                ],
+            )
+            .unwrap_err();
+        assert!(matches!(err, MaintenanceError::Spatial(_)));
+        assert_eq!(fw.dataset_count(), before);
+        assert!(!err.to_string().is_empty());
     }
 }

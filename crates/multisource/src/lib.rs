@@ -22,6 +22,15 @@
 //! the [`engine::QueryEngine`], which fans every batch out as one task per
 //! `(query, candidate source)` shard across a pool of worker threads and
 //! merges per-worker communication / search statistics at the end.
+//!
+//! Index mutation flows through
+//! [`framework::MultiSourceFramework::apply_updates`]: maintenance batches
+//! travel as [`message::Message::ApplyUpdates`], each source applies them
+//! transactionally to its DITS-L, and the
+//! [`message::Message::SummaryRefresh`] acknowledgement is folded into the
+//! center's DITS-G before the next query batch is planned — the consistency
+//! guarantee that keeps `candidate_sources` pruning lossless under churn
+//! (see [`message`] for the protocol details).
 
 #![warn(missing_docs)]
 
@@ -35,6 +44,6 @@ pub mod source;
 pub use center::{AggregatedCoverage, AggregatedOverlap, DataCenter, DistributionStrategy};
 pub use comm::{CommConfig, CommStats};
 pub use engine::{BatchOutcome, EngineConfig, QueryEngine};
-pub use framework::{FrameworkConfig, MultiSourceFramework};
-pub use message::{CoverageCandidate, Message};
+pub use framework::{FrameworkConfig, MaintenanceError, MaintenanceOutcome, MultiSourceFramework};
+pub use message::{CoverageCandidate, Message, UpdateOp};
 pub use source::DataSource;

@@ -5,10 +5,48 @@
 //! binary layout (via [`bytes`]) rather than estimated: cell IDs are
 //! delta-encoded as LEB128 varints, which rewards the query-clipping
 //! strategy exactly the way a real deployment would.
+//!
+//! # Maintenance protocol
+//!
+//! Besides the two query exchanges (overlap, coverage), the protocol has one
+//! maintenance exchange implementing the paper's Appendix IX-C algorithms
+//! across the deployment:
+//!
+//! * [`Message::ApplyUpdates`] (center → source) carries a batch of
+//!   [`UpdateOp`]s — raw datasets for inserts/updates (each source grids
+//!   them at its own resolution) and dataset ids for deletes.
+//! * [`Message::SummaryRefresh`] (source → center) acknowledges the batch
+//!   and carries the source's *new root summary* plus applied/rejected
+//!   counts, so the data center can refresh DITS-G without another round
+//!   trip.
+//!
+//! **Consistency guarantee.** A source validates the whole batch before
+//! mutating anything (a structurally invalid op — e.g. an empty dataset —
+//! rejects the batch with no partial application), and the data center
+//! refreshes DITS-G with the returned summary before any later query batch
+//! is planned.  Queries therefore never observe a summary that disagrees
+//! with its source's local index, which is exactly the property
+//! `candidate_sources` pruning needs to stay lossless.
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
-use dits::OverlapResult;
-use spatial::{CellId, CellSet, DatasetId, SourceId};
+use dits::{OverlapResult, SourceSummary};
+use spatial::{CellId, CellSet, DatasetId, Mbr, Point, SourceId, SpatialDataset};
+
+/// One maintenance operation shipped to a data source as part of a
+/// [`Message::ApplyUpdates`] batch.
+///
+/// Inserts and updates carry the *raw* dataset (points in longitude /
+/// latitude): sources index at their own resolution, so gridding happens on
+/// the receiving side, exactly like the initial upload.
+#[derive(Debug, Clone, PartialEq)]
+pub enum UpdateOp {
+    /// Add a new dataset to the source.
+    Insert(SpatialDataset),
+    /// Replace the content of an existing dataset.
+    Update(SpatialDataset),
+    /// Remove a dataset.
+    Delete(DatasetId),
+}
 
 /// A coverage candidate returned by a source: a dataset id plus its cells,
 /// so the data center can run the final greedy aggregation.
@@ -56,6 +94,28 @@ pub enum Message {
         /// Candidate datasets and their cells.
         candidates: Vec<CoverageCandidate>,
     },
+    /// Data center → source: apply a batch of index-maintenance operations.
+    ApplyUpdates {
+        /// The operations, applied in order.
+        ops: Vec<UpdateOp>,
+    },
+    /// Source → data center: maintenance acknowledgement carrying the
+    /// source's refreshed root summary, so DITS-G can be updated without a
+    /// second round trip.
+    ///
+    /// The summary's geometry travels as its MBR only; pivot and radius are
+    /// recomputed on decode (they are fully determined by the MBR).
+    SummaryRefresh {
+        /// The refreshed root summary of the replying source.
+        summary: SourceSummary,
+        /// Number of datasets the source holds after the batch.
+        dataset_count: u64,
+        /// Operations that mutated the index.
+        applied: u64,
+        /// Operations rejected individually (duplicate insert, missing
+        /// update/delete target).
+        rejected: u64,
+    },
 }
 
 impl Message {
@@ -92,6 +152,43 @@ impl Message {
                     put_varint(&mut buf, c.dataset as u64);
                     put_cells(&mut buf, &c.cells);
                 }
+            }
+            Message::ApplyUpdates { ops } => {
+                buf.put_u8(4);
+                put_varint(&mut buf, ops.len() as u64);
+                for op in ops {
+                    match op {
+                        UpdateOp::Insert(dataset) => {
+                            buf.put_u8(0);
+                            put_dataset(&mut buf, dataset);
+                        }
+                        UpdateOp::Update(dataset) => {
+                            buf.put_u8(1);
+                            put_dataset(&mut buf, dataset);
+                        }
+                        UpdateOp::Delete(id) => {
+                            buf.put_u8(2);
+                            put_varint(&mut buf, *id as u64);
+                        }
+                    }
+                }
+            }
+            Message::SummaryRefresh {
+                summary,
+                dataset_count,
+                applied,
+                rejected,
+            } => {
+                buf.put_u8(5);
+                buf.put_u16(summary.source);
+                buf.put_u32(summary.resolution);
+                buf.put_f64(summary.geometry.rect.min.x);
+                buf.put_f64(summary.geometry.rect.min.y);
+                buf.put_f64(summary.geometry.rect.max.x);
+                buf.put_f64(summary.geometry.rect.max.y);
+                put_varint(&mut buf, *dataset_count);
+                put_varint(&mut buf, *applied);
+                put_varint(&mut buf, *rejected);
             }
         }
         buf.freeze()
@@ -156,6 +253,45 @@ impl Message {
                 }
                 Some(Message::CoverageReply { source, candidates })
             }
+            4 => {
+                let n = get_varint(&mut data)? as usize;
+                let mut ops = Vec::with_capacity(n.min(1 << 16));
+                for _ in 0..n {
+                    if !data.has_remaining() {
+                        return None;
+                    }
+                    let op = match data.get_u8() {
+                        0 => UpdateOp::Insert(get_dataset(&mut data)?),
+                        1 => UpdateOp::Update(get_dataset(&mut data)?),
+                        2 => UpdateOp::Delete(get_varint(&mut data)? as DatasetId),
+                        _ => return None,
+                    };
+                    ops.push(op);
+                }
+                Some(Message::ApplyUpdates { ops })
+            }
+            5 => {
+                if data.remaining() < 2 + 4 + 4 * 8 {
+                    return None;
+                }
+                let source = data.get_u16();
+                let resolution = data.get_u32();
+                let min = Point::new(data.get_f64(), data.get_f64());
+                let max = Point::new(data.get_f64(), data.get_f64());
+                let dataset_count = get_varint(&mut data)?;
+                let applied = get_varint(&mut data)?;
+                let rejected = get_varint(&mut data)?;
+                Some(Message::SummaryRefresh {
+                    summary: SourceSummary {
+                        source,
+                        geometry: dits::NodeGeometry::from_mbr(Mbr::new(min, max)),
+                        resolution,
+                    },
+                    dataset_count,
+                    applied,
+                    rejected,
+                })
+            }
             _ => None,
         }
     }
@@ -164,6 +300,39 @@ impl Message {
     pub fn wire_size(&self) -> usize {
         self.encode().len()
     }
+}
+
+/// Writes a raw spatial dataset: id, name and longitude/latitude points.
+/// Maintenance ships raw points (not cells) because every source grids at
+/// its own resolution.
+fn put_dataset(buf: &mut BytesMut, dataset: &SpatialDataset) {
+    put_varint(buf, dataset.id as u64);
+    put_varint(buf, dataset.name.len() as u64);
+    buf.put_slice(dataset.name.as_bytes());
+    put_varint(buf, dataset.points.len() as u64);
+    for p in &dataset.points {
+        buf.put_f64(p.x);
+        buf.put_f64(p.y);
+    }
+}
+
+fn get_dataset(data: &mut Bytes) -> Option<SpatialDataset> {
+    let id = get_varint(data)? as DatasetId;
+    let name_len = get_varint(data)? as usize;
+    if data.remaining() < name_len {
+        return None;
+    }
+    let name = String::from_utf8(data.chunk()[..name_len].to_vec()).ok()?;
+    data.advance(name_len);
+    let n = get_varint(data)? as usize;
+    if data.remaining() < n.checked_mul(16)? {
+        return None;
+    }
+    let mut points = Vec::with_capacity(n);
+    for _ in 0..n {
+        points.push(Point::new(data.get_f64(), data.get_f64()));
+    }
+    Some(SpatialDataset::named(id, name, points))
 }
 
 /// Writes a cell set as a count followed by delta-encoded varints (the cells
@@ -287,6 +456,66 @@ mod tests {
         let enc = m.encode();
         let truncated = enc.slice(0..enc.len() - 1);
         assert_eq!(Message::decode(truncated), None);
+    }
+
+    #[test]
+    fn maintenance_messages_roundtrip() {
+        use spatial::Point;
+        let batch = Message::ApplyUpdates {
+            ops: vec![
+                UpdateOp::Insert(SpatialDataset::named(
+                    7,
+                    "bus-route-7",
+                    vec![Point::new(-77.01, 38.9), Point::new(-77.02, 38.91)],
+                )),
+                UpdateOp::Update(SpatialDataset::new(3, vec![Point::new(116.3, 39.9)])),
+                UpdateOp::Delete(42),
+            ],
+        };
+        let encoded = batch.encode();
+        assert_eq!(Message::decode(encoded.clone()), Some(batch.clone()));
+        assert_eq!(batch.wire_size(), encoded.len());
+
+        let grid = spatial::Grid::global(10).unwrap();
+        let root = dits::NodeGeometry::from_mbr(spatial::Mbr::new(
+            Point::new(100.0, 200.0),
+            Point::new(300.0, 400.0),
+        ));
+        let reply = Message::SummaryRefresh {
+            summary: SourceSummary::from_local_root(3, &grid, root),
+            dataset_count: 1234,
+            applied: 3,
+            rejected: 1,
+        };
+        assert_eq!(Message::decode(reply.encode()), Some(reply));
+    }
+
+    #[test]
+    fn empty_maintenance_batch_roundtrips() {
+        let m = Message::ApplyUpdates { ops: vec![] };
+        assert_eq!(Message::decode(m.encode()), Some(m));
+    }
+
+    #[test]
+    fn malformed_maintenance_messages_are_rejected() {
+        let batch = Message::ApplyUpdates {
+            ops: vec![UpdateOp::Insert(SpatialDataset::new(
+                1,
+                vec![spatial::Point::new(1.0, 2.0)],
+            ))],
+        };
+        let enc = batch.encode();
+        for cut in 1..enc.len() {
+            assert_eq!(
+                Message::decode(enc.slice(0..cut)),
+                None,
+                "truncation at {cut} must fail"
+            );
+        }
+        // Unknown op tag.
+        let mut raw = enc.to_vec();
+        raw[2] = 9;
+        assert_eq!(Message::decode(Bytes::from(raw)), None);
     }
 
     #[test]

@@ -1,13 +1,22 @@
 //! A data source: an autonomous holder of spatial datasets with its own
-//! local index, answering the data center's query messages.
+//! local index, answering the data center's query messages and applying the
+//! center's maintenance batches (Appendix IX-C at deployment scale).
 
 use dits::{
     coverage_search, overlap_search, CoverageConfig, DatasetNode, DitsLocal, DitsLocalConfig,
-    SearchStats, SourceSummary,
+    MaintenanceStats, SearchStats, SourceSummary,
 };
-use spatial::{CellSet, Grid, SourceId, SpatialDataset};
+use spatial::{CellSet, DatasetId, Grid, SourceId, SpatialDataset, SpatialError};
 
-use crate::message::{CoverageCandidate, Message};
+use crate::message::{CoverageCandidate, Message, UpdateOp};
+
+/// A maintenance operation whose dataset has already been gridded — the
+/// validated form [`DataSource::apply_updates`] executes.
+enum PreparedOp {
+    Insert(DatasetNode),
+    Update(DatasetNode),
+    Delete(DatasetId),
+}
 
 /// One autonomous data source of the multi-source framework.
 #[derive(Debug, Clone)]
@@ -55,9 +64,101 @@ impl DataSource {
         &self.index
     }
 
-    /// Mutable access to the local index (used by maintenance experiments).
-    pub fn index_mut(&mut self) -> &mut DitsLocal {
-        &mut self.index
+    /// Applies a batch of maintenance operations to the local index.
+    ///
+    /// The batch is *validated before anything mutates*: every insert/update
+    /// dataset is gridded up front, so a structurally invalid dataset (e.g.
+    /// an empty one, which has no MBR and can never be indexed) returns
+    /// [`SpatialError`] with the index untouched.  Individually impossible
+    /// operations — inserting a duplicate id, updating or deleting a missing
+    /// id — are not errors: they are skipped and counted in
+    /// [`MaintenanceStats::rejected`], matching the idempotent semantics a
+    /// replayed maintenance log needs.
+    ///
+    /// On success, returns the source's refreshed root summary (what the
+    /// data center folds into DITS-G) plus the maintenance statistics.
+    pub fn apply_updates(
+        &mut self,
+        ops: &[UpdateOp],
+    ) -> Result<(SourceSummary, MaintenanceStats), SpatialError> {
+        let mut prepared = Vec::with_capacity(ops.len());
+        for op in ops {
+            prepared.push(match op {
+                UpdateOp::Insert(d) => {
+                    PreparedOp::Insert(DatasetNode::from_dataset(&self.grid, d)?)
+                }
+                UpdateOp::Update(d) => {
+                    PreparedOp::Update(DatasetNode::from_dataset(&self.grid, d)?)
+                }
+                UpdateOp::Delete(id) => PreparedOp::Delete(*id),
+            });
+        }
+        let mut stats = MaintenanceStats::new();
+        // The raw-collection cache (scanned by the index-free baselines) is
+        // maintained op by op — one clone per *applied* operation — rather
+        // than rebuilt from the index per batch, which would cost a clone
+        // of every indexed cell set no matter how small the batch.
+        for op in prepared {
+            match op {
+                PreparedOp::Insert(node) => {
+                    if self.index.insert_with_stats(node.clone(), &mut stats) {
+                        self.dataset_nodes.push(node);
+                    } else {
+                        stats.rejected += 1;
+                    }
+                }
+                PreparedOp::Update(node) => {
+                    if self.index.update_with_stats(node.clone(), &mut stats) {
+                        let pos = self
+                            .dataset_nodes
+                            .iter()
+                            .position(|e| e.id == node.id)
+                            .expect("cache is in sync with the index");
+                        self.dataset_nodes[pos] = node;
+                    } else {
+                        stats.rejected += 1;
+                    }
+                }
+                PreparedOp::Delete(id) => {
+                    if self.index.delete_with_stats(id, &mut stats) {
+                        let pos = self
+                            .dataset_nodes
+                            .iter()
+                            .position(|e| e.id == id)
+                            .expect("cache is in sync with the index");
+                        self.dataset_nodes.swap_remove(pos);
+                    } else {
+                        stats.rejected += 1;
+                    }
+                }
+            }
+        }
+        debug_assert_eq!(self.index.check_invariants(), Ok(()));
+        Ok((self.summary(), stats))
+    }
+
+    /// Handles one maintenance request, producing the
+    /// [`Message::SummaryRefresh`] acknowledgement the source would put on
+    /// the wire plus the off-wire maintenance statistics.  Non-maintenance
+    /// messages yield `None`.
+    pub fn handle_maintenance(
+        &mut self,
+        request: &Message,
+    ) -> Option<Result<(Message, MaintenanceStats), SpatialError>> {
+        let Message::ApplyUpdates { ops } = request else {
+            return None;
+        };
+        Some(self.apply_updates(ops).map(|(summary, stats)| {
+            (
+                Message::SummaryRefresh {
+                    summary,
+                    dataset_count: self.index.dataset_count() as u64,
+                    applied: stats.applied() as u64,
+                    rejected: stats.rejected as u64,
+                },
+                stats,
+            )
+        }))
     }
 
     /// The dataset nodes held by the source (used by the SG baseline, which
@@ -130,7 +231,12 @@ impl DataSource {
                     stats,
                 ))
             }
-            Message::OverlapReply { .. } | Message::CoverageReply { .. } => None,
+            // Maintenance requests need `&mut self` and flow through
+            // [`Self::handle_maintenance`]; replies are never requests.
+            Message::ApplyUpdates { .. }
+            | Message::OverlapReply { .. }
+            | Message::CoverageReply { .. }
+            | Message::SummaryRefresh { .. } => None,
         }
     }
 }
@@ -235,12 +341,75 @@ mod tests {
     }
 
     #[test]
-    fn index_mut_allows_maintenance() {
+    fn apply_updates_maintains_index_and_cache() {
         let mut s = source_with_routes();
-        let node = s.dataset_nodes()[0].clone();
-        assert!(s.index_mut().delete(node.id));
-        assert_eq!(s.dataset_count(), 19);
-        assert!(s.index_mut().insert(node));
+        let old_summary = s.summary();
+        let ops = vec![
+            UpdateOp::Delete(0),
+            UpdateOp::Insert(SpatialDataset::new(
+                500,
+                vec![Point::new(-50.0, 10.0), Point::new(-49.9, 10.1)],
+            )),
+            // Rejected: the id was just deleted.
+            UpdateOp::Update(SpatialDataset::new(0, vec![Point::new(1.0, 1.0)])),
+        ];
+        let (summary, stats) = s.apply_updates(&ops).unwrap();
+        assert_eq!(stats.inserts, 1);
+        assert_eq!(stats.deletes, 1);
+        assert_eq!(stats.rejected, 1);
         assert_eq!(s.dataset_count(), 20);
+        // The cached raw collection tracked the mutation.
+        assert!(s.dataset_nodes().iter().any(|n| n.id == 500));
+        assert!(s.dataset_nodes().iter().all(|n| n.id != 0));
+        // The summary reflects the new root geometry (the inserted dataset
+        // lies far east of the original routes).
+        assert!(summary.geometry.rect.max.x > old_summary.geometry.rect.max.x);
+    }
+
+    #[test]
+    fn empty_dataset_rejects_the_whole_batch() {
+        let mut s = source_with_routes();
+        let before = s.dataset_count();
+        let ops = vec![
+            UpdateOp::Delete(1),
+            UpdateOp::Insert(SpatialDataset::new(600, vec![])),
+        ];
+        let err = s.apply_updates(&ops).unwrap_err();
+        assert_eq!(err, SpatialError::EmptyDataset);
+        // Transactional: the valid delete before the invalid insert did not
+        // run either.
+        assert_eq!(s.dataset_count(), before);
+        assert!(s.index().find_dataset(1).is_some());
+    }
+
+    #[test]
+    fn handle_maintenance_produces_summary_refresh() {
+        let mut s = source_with_routes();
+        let request = Message::ApplyUpdates {
+            ops: vec![UpdateOp::Delete(3), UpdateOp::Delete(999_999)],
+        };
+        let (reply, stats) = s.handle_maintenance(&request).unwrap().unwrap();
+        match reply {
+            Message::SummaryRefresh {
+                summary,
+                dataset_count,
+                applied,
+                rejected,
+            } => {
+                assert_eq!(summary.source, 1);
+                assert_eq!(dataset_count, 19);
+                assert_eq!(applied, 1);
+                assert_eq!(rejected, 1);
+            }
+            other => panic!("unexpected reply {other:?}"),
+        }
+        assert_eq!(stats.deletes, 1);
+        // Query messages are not maintenance.
+        assert!(s
+            .handle_maintenance(&Message::OverlapQuery {
+                query: CellSet::new(),
+                k: 1
+            })
+            .is_none());
     }
 }

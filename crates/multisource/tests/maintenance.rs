@@ -1,0 +1,344 @@
+//! Cross-layer maintenance integration tests: random interleaved
+//! insert/update/delete batches flow through
+//! `MultiSourceFramework::apply_updates` (wire messages → DITS-L mutation →
+//! DITS-G summary refresh), and the mutated deployment must answer every
+//! query *identically* to a framework rebuilt from scratch on the mutated
+//! raw data — OJSP and CJSP answers, per-source kNN, and the
+//! `candidate_sources` routing decisions alike.  A divergence in any of
+//! them means a maintenance path corrupted an index or let DITS-G go stale.
+
+use datagen::{generate_source, paper_sources, GeneratorConfig, SourceScale};
+use dits::{
+    decode_global, decode_local, encode_global, encode_local, nearest_datasets, overlap_search,
+};
+use multisource::{DistributionStrategy, FrameworkConfig, MultiSourceFramework, UpdateOp};
+use proptest::prelude::*;
+use spatial::{Point, SourceId, SpatialDataset};
+
+fn build_data(seed: u64) -> Vec<(String, Vec<SpatialDataset>)> {
+    let config = GeneratorConfig {
+        scale: SourceScale::Custom(500),
+        seed,
+        max_points_per_dataset: Some(60),
+    };
+    paper_sources()
+        .iter()
+        .map(|p| (p.name.to_string(), generate_source(p, &config)))
+        .collect()
+}
+
+fn framework(data: &[(String, Vec<SpatialDataset>)]) -> MultiSourceFramework {
+    MultiSourceFramework::build(
+        data,
+        FrameworkConfig {
+            resolution: 11,
+            strategy: DistributionStrategy::PrunedClipped,
+            ..FrameworkConfig::default()
+        },
+    )
+}
+
+/// A small synthetic dataset whose placement is a deterministic function of
+/// `salt`, scattered across the North-Atlantic quadrant the generated
+/// sources also live in.
+fn synth_dataset(id: u32, salt: u32) -> SpatialDataset {
+    let base_lon = -90.0 + f64::from(salt % 40) * 0.7;
+    let base_lat = 30.0 + f64::from(salt % 17) * 0.5;
+    let points = (0..3 + salt % 5)
+        .map(|j| {
+            Point::new(
+                base_lon + f64::from(j) * 0.01,
+                base_lat + f64::from(j % 3) * 0.01,
+            )
+        })
+        .collect();
+    SpatialDataset::new(id, points)
+}
+
+/// Picks a mostly-live target id: a miss every fifth draw (and whenever the
+/// source is empty) so update/delete rejection stays exercised.
+fn pick_id(datasets: &[SpatialDataset], x: u8, seq: u32) -> u32 {
+    if datasets.is_empty() || x.is_multiple_of(5) {
+        200_000 + seq
+    } else {
+        datasets[usize::from(x) % datasets.len()].id
+    }
+}
+
+/// Queries probing the mutated deployment: one surviving dataset per source
+/// plus a fixed synthetic box, so empty and non-empty regions are covered.
+fn probe_queries(data: &[(String, Vec<SpatialDataset>)]) -> Vec<SpatialDataset> {
+    let mut queries: Vec<SpatialDataset> = data
+        .iter()
+        .filter_map(|(_, d)| d.first().cloned())
+        .collect();
+    queries.push(synth_dataset(999_999, 13));
+    queries
+}
+
+/// Asserts that the incrementally maintained framework and the
+/// scratch-rebuilt one are structurally sound and route identically.
+fn assert_parity(
+    maintained: &MultiSourceFramework,
+    scratch: &MultiSourceFramework,
+    queries: &[SpatialDataset],
+) {
+    // Structural invariants on every layer.
+    maintained.center().global().check_invariants().unwrap();
+    for s in maintained.sources() {
+        s.index().check_invariants().unwrap();
+    }
+
+    // DITS-G holds byte-identical summaries…
+    assert_eq!(
+        maintained.center().global().summaries(),
+        scratch.center().global().summaries()
+    );
+
+    // …and routes every probe identically (the pruning-decision parity the
+    // maintenance protocol exists to preserve).
+    for q in queries {
+        if let Some(rect) = q.mbr() {
+            for delta in [0.0, 2.5] {
+                assert_eq!(
+                    maintained.center().global().candidate_sources(&rect, delta),
+                    scratch.center().global().candidate_sources(&rect, delta),
+                );
+            }
+        }
+    }
+}
+
+/// Full query-answer parity over a set of probe queries.
+fn assert_answer_parity(
+    maintained: &MultiSourceFramework,
+    scratch: &MultiSourceFramework,
+    queries: &[SpatialDataset],
+) {
+    let a = maintained.run_ojsp(queries, 5);
+    let b = scratch.run_ojsp(queries, 5);
+    assert_eq!(a.answers, b.answers, "OJSP answers diverged");
+
+    let a = maintained.run_cjsp(queries, 3);
+    let b = scratch.run_cjsp(queries, 3);
+    assert_eq!(a.answers, b.answers, "CJSP answers diverged");
+
+    // Per-source kNN parity: the maintained local trees must rank datasets
+    // exactly like trees built from scratch on the same content.
+    for (ms, ss) in maintained.sources().iter().zip(scratch.sources()) {
+        assert_eq!(ms.id, ss.id);
+        for q in queries {
+            let cells = ms.grid_query(q);
+            if cells.is_empty() {
+                continue;
+            }
+            let (mine, _) = nearest_datasets(ms.index(), &cells, 4);
+            let (theirs, _) = nearest_datasets(ss.index(), &cells, 4);
+            assert_eq!(mine, theirs, "kNN diverged on source {}", ms.id);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+    #[test]
+    fn prop_maintenance_matches_scratch_rebuild(
+        seed in 0u64..4,
+        ops in proptest::collection::vec((0u8..5, 0u8..3, any::<u8>()), 1..25),
+    ) {
+        let mut data = build_data(seed);
+        let mut fw = framework(&data);
+        let mut seq = 0u32;
+        let mut expected_applied = 0usize;
+        let mut expected_rejected = 0usize;
+        let mut total = dits::MaintenanceStats::new();
+
+        for (src_sel, kind, x) in ops {
+            let src = usize::from(src_sel);
+            let source_id = src as SourceId;
+            let datasets = &mut data[src].1;
+            seq += 1;
+            let op = match kind {
+                0 => {
+                    // Mostly fresh inserts; every fourth draw reuses a live
+                    // id so duplicate rejection is exercised.
+                    let id = if x.is_multiple_of(4) && !datasets.is_empty() {
+                        datasets[usize::from(x) % datasets.len()].id
+                    } else {
+                        100_000 + seq
+                    };
+                    UpdateOp::Insert(synth_dataset(id, seq))
+                }
+                1 => UpdateOp::Update(synth_dataset(
+                    pick_id(datasets, x, seq),
+                    seq.wrapping_mul(7) % 600,
+                )),
+                _ => UpdateOp::Delete(pick_id(datasets, x, seq)),
+            };
+
+            // Mirror the op on the shadow model with the documented
+            // semantics: structural errors are impossible here (synthetic
+            // datasets are never empty), individual misses are skipped.
+            match &op {
+                UpdateOp::Insert(d) => {
+                    if datasets.iter().any(|e| e.id == d.id) {
+                        expected_rejected += 1;
+                    } else {
+                        datasets.push(d.clone());
+                        expected_applied += 1;
+                    }
+                }
+                UpdateOp::Update(d) => {
+                    if let Some(e) = datasets.iter_mut().find(|e| e.id == d.id) {
+                        *e = d.clone();
+                        expected_applied += 1;
+                    } else {
+                        expected_rejected += 1;
+                    }
+                }
+                UpdateOp::Delete(id) => {
+                    let before = datasets.len();
+                    datasets.retain(|e| e.id != *id);
+                    if datasets.len() < before {
+                        expected_applied += 1;
+                    } else {
+                        expected_rejected += 1;
+                    }
+                }
+            }
+
+            let outcome = fw.apply_updates(source_id, std::slice::from_ref(&op)).unwrap();
+            total.merge(&outcome.stats);
+        }
+
+        prop_assert_eq!(total.applied(), expected_applied);
+        prop_assert_eq!(total.rejected, expected_rejected);
+
+        let scratch = framework(&data);
+        let queries = probe_queries(&data);
+        assert_parity(&fw, &scratch, &queries);
+        assert_answer_parity(&fw, &scratch, &queries);
+    }
+}
+
+#[test]
+fn sustained_churn_triggers_global_rebuild_without_losing_parity() {
+    let mut data = build_data(7);
+    let mut fw = framework(&data);
+    let mut rebuilds = 0usize;
+    // Every batch refreshes one summary in place; with five sources the
+    // degradation heuristic must fire well within twenty batches.
+    for i in 0..20u32 {
+        let src = (i % 5) as usize;
+        let d = synth_dataset(300_000 + i, i * 3 + 1);
+        data[src].1.push(d.clone());
+        let outcome = fw
+            .apply_updates(src as SourceId, &[UpdateOp::Insert(d)])
+            .unwrap();
+        rebuilds += outcome.stats.global_rebuilds;
+    }
+    assert!(rebuilds >= 1, "churn heuristic never triggered a rebuild");
+    let scratch = framework(&data);
+    let queries = probe_queries(&data);
+    assert_parity(&fw, &scratch, &queries);
+    assert_answer_parity(&fw, &scratch, &queries);
+}
+
+#[test]
+fn draining_a_source_drops_it_from_global_routing_until_data_returns() {
+    let mut data = build_data(5);
+    let mut fw = framework(&data);
+    let drained: SourceId = 2;
+
+    // Delete every dataset of one source through the pipeline.
+    let ids: Vec<u32> = data[usize::from(drained)].1.iter().map(|d| d.id).collect();
+    let ops: Vec<UpdateOp> = ids.iter().map(|id| UpdateOp::Delete(*id)).collect();
+    let outcome = fw.apply_updates(drained, &ops).unwrap();
+    assert_eq!(outcome.stats.deletes, ids.len());
+    data[usize::from(drained)].1.clear();
+
+    // The emptied source leaves DITS-G entirely: no degenerate placeholder
+    // summary survives to attract origin-adjacent queries, and routing
+    // matches a framework built from scratch on the drained data.
+    assert_eq!(fw.center().global().source_count(), 4);
+    assert!(fw
+        .center()
+        .global()
+        .summaries()
+        .iter()
+        .all(|s| s.source != drained));
+    let scratch = framework(&data);
+    let queries = probe_queries(&data);
+    assert_parity(&fw, &scratch, &queries);
+    assert_answer_parity(&fw, &scratch, &queries);
+
+    // Give the source data again: it is readmitted and routable.
+    let refill = synth_dataset(700_001, 9);
+    fw.apply_updates(drained, &[UpdateOp::Insert(refill.clone())])
+        .unwrap();
+    data[usize::from(drained)].1.push(refill.clone());
+    assert_eq!(fw.center().global().source_count(), 5);
+    let (answer, _) = fw.ojsp(&refill, 1);
+    assert_eq!(answer.results[0].0, drained);
+    assert_eq!(answer.results[0].1.dataset, 700_001);
+    let scratch = framework(&data);
+    let queries = probe_queries(&data);
+    assert_parity(&fw, &scratch, &queries);
+}
+
+#[test]
+fn maintained_indexes_survive_a_persistence_round_trip() {
+    let mut data = build_data(3);
+    let mut fw = framework(&data);
+    // A mixed batch per source: grow, move, shrink.
+    for src in 0..5u16 {
+        let fresh = synth_dataset(400_000 + u32::from(src), u32::from(src) * 11 + 2);
+        let victim = data[usize::from(src)].1[0].id;
+        let moved_target = data[usize::from(src)].1[1].id;
+        let moved = synth_dataset(moved_target, u32::from(src) * 17 + 5);
+        let ops = vec![
+            UpdateOp::Insert(fresh.clone()),
+            UpdateOp::Update(moved.clone()),
+            UpdateOp::Delete(victim),
+        ];
+        let outcome = fw.apply_updates(src, &ops).unwrap();
+        assert_eq!(outcome.stats.applied(), 3);
+        let shadow = &mut data[usize::from(src)].1;
+        shadow.retain(|e| e.id != victim);
+        if let Some(e) = shadow.iter_mut().find(|e| e.id == moved_target) {
+            *e = moved;
+        }
+        shadow.push(fresh);
+    }
+
+    // Every mutated local index round-trips losslessly and keeps answering
+    // identically.
+    let queries = probe_queries(&data);
+    for s in fw.sources() {
+        let decoded = decode_local(&encode_local(s.index())).unwrap();
+        assert_eq!(decoded.dataset_count(), s.dataset_count());
+        for q in &queries {
+            let cells = s.grid_query(q);
+            assert_eq!(
+                overlap_search(&decoded, &cells, 5).0,
+                overlap_search(s.index(), &cells, 5).0,
+            );
+        }
+    }
+
+    // The center's mutated DITS-G round-trips through the new global image:
+    // a restarted center recovers every refreshed summary (and the churn
+    // state) without re-polling the sources.
+    let global = fw.center().global();
+    let decoded = decode_global(&encode_global(global)).unwrap();
+    assert_eq!(decoded.summaries(), global.summaries());
+    assert_eq!(decoded.churn(), global.churn());
+    for q in &queries {
+        if let Some(rect) = q.mbr() {
+            assert_eq!(
+                decoded.candidate_sources(&rect, 1.0),
+                global.candidate_sources(&rect, 1.0)
+            );
+        }
+    }
+}
