@@ -88,7 +88,14 @@ fn bench_ablation(c: &mut Criterion) {
             ..FrameworkConfig::default()
         });
         group.bench_function(name, |b| {
-            b.iter(|| black_box(framework.run_ojsp(&raw_queries, 10)));
+            b.iter(|| {
+                black_box(
+                    framework
+                        .engine()
+                        .run_ojsp(&raw_queries, 10)
+                        .expect("in-process search"),
+                )
+            });
         });
     }
     group.finish();

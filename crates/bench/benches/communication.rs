@@ -26,7 +26,13 @@ fn bench_communication(c: &mut Criterion) {
             ..FrameworkConfig::default()
         });
         group.bench_with_input(BenchmarkId::from_parameter(name), &framework, |b, fw| {
-            b.iter(|| black_box(fw.run_ojsp(&queries, 10)));
+            b.iter(|| {
+                black_box(
+                    fw.engine()
+                        .run_ojsp(&queries, 10)
+                        .expect("in-process search"),
+                )
+            });
         });
     }
     group.finish();
@@ -40,7 +46,13 @@ fn bench_communication(c: &mut Criterion) {
             ..FrameworkConfig::default()
         });
         group.bench_with_input(BenchmarkId::from_parameter(name), &framework, |b, fw| {
-            b.iter(|| black_box(fw.run_cjsp(&queries, 10)));
+            b.iter(|| {
+                black_box(
+                    fw.engine()
+                        .run_cjsp(&queries, 10)
+                        .expect("in-process search"),
+                )
+            });
         });
     }
     group.finish();

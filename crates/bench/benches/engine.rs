@@ -38,7 +38,7 @@ fn bench_engine_scaling(c: &mut Criterion) {
             &workers,
             |b, &workers| {
                 let engine = framework.engine_with_workers(workers);
-                b.iter(|| black_box(engine.run_ojsp(&queries, 10)));
+                b.iter(|| black_box(engine.run_ojsp(&queries, 10).expect("in-process search")));
             },
         );
     }
@@ -52,7 +52,7 @@ fn bench_engine_scaling(c: &mut Criterion) {
             &workers,
             |b, &workers| {
                 let engine = framework.engine_with_workers(workers);
-                b.iter(|| black_box(engine.run_cjsp(&queries, 10)));
+                b.iter(|| black_box(engine.run_cjsp(&queries, 10).expect("in-process search")));
             },
         );
     }

@@ -63,7 +63,7 @@ fn run_incremental(
 ) -> MultiSourceFramework {
     for (source, batch) in batches {
         fw.apply_updates(*source, batch).expect("valid batch");
-        black_box(fw.run_ojsp(queries, 5));
+        black_box(fw.engine().run_ojsp(queries, 5).expect("in-process search"));
     }
     fw
 }
@@ -98,7 +98,12 @@ fn run_full_rebuild(
             }
         }
         let rebuilt = MultiSourceFramework::build(&data, config);
-        black_box(rebuilt.run_ojsp(queries, 5));
+        black_box(
+            rebuilt
+                .engine()
+                .run_ojsp(queries, 5)
+                .expect("in-process search"),
+        );
         fw = Some(rebuilt);
     }
     fw.unwrap_or_else(|| MultiSourceFramework::build(&data, config))

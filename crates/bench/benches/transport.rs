@@ -1,0 +1,108 @@
+//! Transport overhead: the same OJSP / kNN query batches executed over the
+//! in-process transport and over a loopback-TCP federation (`SourceServer`
+//! threads speaking the framed protocol).
+//!
+//! Answers and protocol byte counts are identical by construction (asserted
+//! by `crates/multisource/tests/transport.rs`); what this bench isolates is
+//! the *wall-clock* cost of the wire — connect, frame, serialise, context
+//! switch — per query batch, so wire-format regressions show up in the perf
+//! trajectory next to the search-side benches.
+//!
+//! ```text
+//! cargo bench --bench transport
+//! ```
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use datagen::{generate_source, paper_sources, select_queries, GeneratorConfig, SourceScale};
+use multisource::{
+    DataCenter, DistributionStrategy, EngineConfig, FrameworkConfig, MultiSourceFramework,
+    QueryEngine, SearchRequest, SourceServer, TcpTransport,
+};
+use spatial::SpatialDataset;
+use std::hint::black_box;
+
+struct Env {
+    framework: MultiSourceFramework,
+    queries: Vec<SpatialDataset>,
+}
+
+fn build_env() -> Env {
+    let generator = GeneratorConfig {
+        scale: SourceScale::Custom(400),
+        seed: 4242,
+        max_points_per_dataset: Some(120),
+    };
+    let source_data: Vec<(String, Vec<SpatialDataset>)> = paper_sources()
+        .iter()
+        .map(|p| (p.name.to_string(), generate_source(p, &generator)))
+        .collect();
+    let pool: Vec<SpatialDataset> = source_data
+        .iter()
+        .flat_map(|(_, d)| d.iter().cloned())
+        .collect();
+    let queries = select_queries(&pool, 16, 7);
+    let framework = MultiSourceFramework::try_build(
+        &source_data,
+        FrameworkConfig {
+            resolution: 11,
+            strategy: DistributionStrategy::PrunedClipped,
+            ..FrameworkConfig::default()
+        },
+    )
+    .expect("static configuration is valid");
+    Env { framework, queries }
+}
+
+fn bench_transports(c: &mut Criterion) {
+    let env = build_env();
+    let fw = &env.framework;
+
+    // Stand up the loopback federation once; servers are detached threads.
+    let endpoints: Vec<_> = fw
+        .sources()
+        .iter()
+        .map(|s| {
+            SourceServer::spawn("127.0.0.1:0", s.clone())
+                .expect("bind loopback")
+                .endpoint()
+        })
+        .collect();
+    let tcp = TcpTransport::new(endpoints);
+    let center = DataCenter::from_transport(&tcp, fw.config().leaf_capacity)
+        .expect("summary poll over loopback");
+    let config = EngineConfig {
+        workers: fw.config().workers,
+        strategy: fw.config().strategy,
+        delta_cells: fw.config().delta_cells,
+        collect_stats: true,
+    };
+    let remote = QueryEngine::new(&center, &tcp, config);
+
+    let ojsp = SearchRequest::ojsp_batch(env.queries.clone()).k(10);
+    let knn = SearchRequest::knn_batch(env.queries.clone()).k(5);
+
+    let mut group = c.benchmark_group("transport");
+    group.bench_function("ojsp_batch_in_process", |b| {
+        b.iter(|| black_box(fw.search(&ojsp).expect("in-process search")));
+    });
+    group.bench_function("ojsp_batch_tcp_loopback", |b| {
+        b.iter(|| black_box(remote.run(&ojsp).expect("loopback search")));
+    });
+    group.bench_function("knn_batch_in_process", |b| {
+        b.iter(|| black_box(fw.search(&knn).expect("in-process search")));
+    });
+    group.bench_function("knn_batch_tcp_loopback", |b| {
+        b.iter(|| black_box(remote.run(&knn).expect("loopback search")));
+    });
+    group.finish();
+
+    // Sanity: the two transports agreed on the last answers (cheap spot
+    // check so a drifting wire format fails the bench run, not only CI).
+    let local = fw.search(&ojsp).expect("in-process search");
+    let over_tcp = remote.run(&ojsp).expect("loopback search");
+    assert_eq!(local.results, over_tcp.results);
+    assert_eq!(local.comm, over_tcp.comm);
+}
+
+criterion_group!(benches, bench_transports);
+criterion_main!(benches);

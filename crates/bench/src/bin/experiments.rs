@@ -23,7 +23,7 @@ use baselines::{sg_coverage_search, sg_dits_coverage_search};
 use bench::{ExperimentEnv, IndexKind};
 use datagen::ParameterGrid;
 use dits::{coverage_search, CoverageConfig, DatasetNode, DitsLocal, DitsLocalConfig};
-use multisource::{CommConfig, DistributionStrategy, FrameworkConfig};
+use multisource::{CommConfig, DistributionStrategy, FrameworkConfig, SearchRequest};
 use spatial::SourceStats;
 
 const USAGE: &str = "\
@@ -458,7 +458,9 @@ fn fig13_14(env: &ExperimentEnv, grid: &ParameterGrid) {
                 workers: 0,
                 comm: comm_config,
             });
-            let outcome = framework.run_ojsp(&queries, grid.default_k);
+            let outcome = framework
+                .search(&SearchRequest::ojsp_batch(queries.clone()).k(grid.default_k))
+                .expect("in-process search");
             byte_cells.push(outcome.comm.total_bytes().to_string());
             time_cells.push(format!(
                 "{:.2}",
@@ -605,7 +607,9 @@ fn fig19_20(env: &ExperimentEnv, grid: &ParameterGrid) {
                 workers: 0,
                 comm: comm_config,
             });
-            let outcome = framework.run_cjsp(&queries, grid.default_k);
+            let outcome = framework
+                .search(&SearchRequest::cjsp_batch(queries.clone()).k(grid.default_k))
+                .expect("in-process search");
             byte_cells.push(outcome.comm.total_bytes().to_string());
             time_cells.push(format!(
                 "{:.2}",

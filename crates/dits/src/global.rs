@@ -40,6 +40,18 @@ impl SourceSummary {
             resolution: grid.resolution(),
         }
     }
+
+    /// The summary's root MBR converted back into *cell coordinate* space of
+    /// `grid` — the exact inverse of [`Self::from_local_root`] when `grid`
+    /// has the summary's resolution (the lonlat corners are cell centres, so
+    /// `Grid::locate` recovers the original integer cell coordinates).
+    ///
+    /// This is what lets a data center plan query clipping and kNN distance
+    /// bounds for a *remote* source from its uploaded summary alone, without
+    /// ever touching the source's local index.
+    pub fn cell_space_rect(&self, grid: &Grid) -> Mbr {
+        grid.mbr_to_cell_space(&self.geometry.rect)
+    }
 }
 
 /// Converts a point in cell-coordinate space back to longitude/latitude by

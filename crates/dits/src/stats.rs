@@ -40,6 +40,35 @@ impl SearchStats {
     }
 }
 
+impl SearchStats {
+    /// The counters as a fixed-order array, the form the multi-source frame
+    /// codec puts on the wire.  Field order is part of the wire contract:
+    /// append new counters at the end, never reorder.
+    pub fn to_array(&self) -> [u64; 6] {
+        [
+            self.nodes_visited as u64,
+            self.nodes_pruned as u64,
+            self.leaves_pruned_by_bounds as u64,
+            self.leaves_verified as u64,
+            self.exact_computations as u64,
+            self.candidates as u64,
+        ]
+    }
+
+    /// Rebuilds a statistics block from its wire array (see
+    /// [`Self::to_array`]).
+    pub fn from_array(a: [u64; 6]) -> Self {
+        Self {
+            nodes_visited: a[0] as usize,
+            nodes_pruned: a[1] as usize,
+            leaves_pruned_by_bounds: a[2] as usize,
+            leaves_verified: a[3] as usize,
+            exact_computations: a[4] as usize,
+            candidates: a[5] as usize,
+        }
+    }
+}
+
 impl std::iter::Sum for SearchStats {
     fn sum<I: Iterator<Item = SearchStats>>(iter: I) -> Self {
         let mut total = SearchStats::new();
@@ -113,6 +142,40 @@ impl MaintenanceStats {
     /// Operations that actually mutated an index.
     pub fn applied(&self) -> usize {
         self.inserts + self.updates + self.deletes
+    }
+}
+
+impl MaintenanceStats {
+    /// The counters as a fixed-order array for the multi-source frame codec.
+    /// Field order is part of the wire contract: append, never reorder.
+    pub fn to_array(&self) -> [u64; 9] {
+        [
+            self.inserts as u64,
+            self.updates as u64,
+            self.deletes as u64,
+            self.rejected as u64,
+            self.reinserts as u64,
+            self.leaf_splits as u64,
+            self.leaf_collapses as u64,
+            self.summary_refreshes as u64,
+            self.global_rebuilds as u64,
+        ]
+    }
+
+    /// Rebuilds a statistics block from its wire array (see
+    /// [`Self::to_array`]).
+    pub fn from_array(a: [u64; 9]) -> Self {
+        Self {
+            inserts: a[0] as usize,
+            updates: a[1] as usize,
+            deletes: a[2] as usize,
+            rejected: a[3] as usize,
+            reinserts: a[4] as usize,
+            leaf_splits: a[5] as usize,
+            leaf_collapses: a[6] as usize,
+            summary_refreshes: a[7] as usize,
+            global_rebuilds: a[8] as usize,
+        }
     }
 }
 

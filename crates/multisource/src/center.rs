@@ -1,12 +1,24 @@
-//! The data center: global routing, query distribution and result
-//! aggregation (Sections IV and VI-A).
+//! The data center: global routing, query distribution, result aggregation
+//! (Sections IV and VI-A) and the center half of the maintenance protocol.
+//!
+//! Everything the center plans — candidate sources, query clipping windows,
+//! kNN distance bounds — is derived from the [`SourceSummary`]s registered
+//! in DITS-G, never from a local index.  That is what makes the planning
+//! transport-agnostic: the same plan executes against in-process sources and
+//! against remote `source-server` processes, byte for byte.
 
-use dits::{DitsGlobal, MaintenanceStats, OverlapResult, SourceSummary};
-use spatial::{CellSet, DatasetId, Mbr, Point, SourceId, SpatialDataset};
+use std::collections::BTreeMap;
+
+use dits::bounds::node_distance_bounds;
+use dits::{DitsGlobal, MaintenanceStats, Neighbor, NodeGeometry, OverlapResult, SourceSummary};
+use spatial::{CellSet, DatasetId, Grid, Mbr, Point, SourceId, SpatialDataset};
 
 use crate::comm::CommStats;
 use crate::engine::{EngineConfig, QueryEngine};
+use crate::error::{ConfigError, SearchError, TransportError};
+use crate::message::{Message, UpdateOp};
 use crate::source::DataSource;
+use crate::transport::SourceTransport;
 
 /// How the data center distributes a query to the data sources.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -41,13 +53,82 @@ pub struct AggregatedCoverage {
     pub query_coverage: usize,
 }
 
+/// Aggregated kNN answer: the global k nearest datasets across all sources,
+/// ascending by distance (ties broken by source, then dataset id).
+///
+/// All sources are assumed to share the query's grid resolution so the
+/// cell-unit distances are comparable — the per-run setting used throughout
+/// the paper's experiments (the same assumption CJSP aggregation makes).
+#[derive(Debug, Clone, PartialEq)]
+pub struct AggregatedKnn {
+    /// `(source, neighbor)` pairs sorted by ascending distance.
+    pub neighbors: Vec<(SourceId, Neighbor)>,
+}
+
+/// What one applied maintenance batch produced.
+#[derive(Debug, Clone)]
+pub struct MaintenanceOutcome {
+    /// The source's root summary after the batch (already folded into
+    /// DITS-G by the time the caller sees it).
+    pub summary: SourceSummary,
+    /// Structural work done by the batch, across the local index (splits,
+    /// collapses, relocations) and the global one (refreshes, rebuilds).
+    pub stats: MaintenanceStats,
+    /// Bytes moved by the maintenance exchange.
+    pub comm: CommStats,
+}
+
+/// Per-resolution grid cache used while planning a batch: sources may index
+/// at their own θ, and `Grid::global` validates the resolution, so building
+/// a grid is fallible and worth doing once per resolution per batch.
+pub(crate) struct GridCache {
+    grids: BTreeMap<u32, Grid>,
+}
+
+impl GridCache {
+    pub(crate) fn new() -> Self {
+        Self {
+            grids: BTreeMap::new(),
+        }
+    }
+
+    pub(crate) fn get(&mut self, resolution: u32) -> Result<&Grid, SearchError> {
+        match self.grids.entry(resolution) {
+            std::collections::btree_map::Entry::Occupied(entry) => Ok(entry.into_mut()),
+            std::collections::btree_map::Entry::Vacant(slot) => {
+                let grid = Grid::global(resolution)
+                    .map_err(|e| SearchError::Config(ConfigError::Resolution(e)))?;
+                Ok(slot.insert(grid))
+            }
+        }
+    }
+}
+
+/// Per-query cache of the gridded query cells, keyed by resolution: with a
+/// shared per-run θ every candidate source sees the same cell set, so one
+/// gridding per query replaces one per `(query, source)` pair.
+pub(crate) struct QueryCellsCache {
+    by_resolution: BTreeMap<u32, CellSet>,
+}
+
+impl QueryCellsCache {
+    pub(crate) fn new() -> Self {
+        Self {
+            by_resolution: BTreeMap::new(),
+        }
+    }
+
+    pub(crate) fn get(&mut self, grid: &Grid, points: &[Point]) -> &CellSet {
+        self.by_resolution
+            .entry(grid.resolution())
+            .or_insert_with(|| CellSet::from_points(grid, points))
+    }
+}
+
 /// The data center of the multi-source framework.
 #[derive(Debug, Clone)]
 pub struct DataCenter {
     global: DitsGlobal,
-    /// Connectivity slack used when routing CJSP queries, in degrees of
-    /// longitude/latitude (δ converted from cells by the framework).
-    delta_lonlat: f64,
 }
 
 impl DataCenter {
@@ -60,7 +141,7 @@ impl DataCenter {
     /// origin-adjacent queries for nothing.  The maintenance path readmits
     /// such a source as soon as an applied batch gives it data (see
     /// [`Self::register_source`]).
-    pub fn build(sources: &[DataSource], leaf_capacity: usize, delta_lonlat: f64) -> Self {
+    pub fn build(sources: &[DataSource], leaf_capacity: usize) -> Self {
         let summaries = sources
             .iter()
             .filter(|s| s.dataset_count() > 0)
@@ -68,23 +149,116 @@ impl DataCenter {
             .collect();
         Self {
             global: DitsGlobal::build(summaries, leaf_capacity),
-            delta_lonlat,
         }
+    }
+
+    /// Builds a data center by polling every source reachable through a
+    /// transport for its root summary (an empty [`Message::ApplyUpdates`]
+    /// batch is the protocol's read-only summary poll).  This is how a
+    /// center bootstraps a *federated* deployment: the sources may be
+    /// `source-server` processes on other machines.
+    ///
+    /// Sources reporting zero datasets are skipped, exactly like
+    /// [`Self::build`].
+    pub fn from_transport(
+        transport: &dyn SourceTransport,
+        leaf_capacity: usize,
+    ) -> Result<Self, SearchError> {
+        let mut summaries = Vec::new();
+        for source in transport.source_ids() {
+            let reply = transport.call(source, &Message::ApplyUpdates { ops: vec![] }, false)?;
+            match reply.message {
+                Message::SummaryRefresh {
+                    summary,
+                    dataset_count,
+                    ..
+                } => {
+                    if dataset_count > 0 {
+                        summaries.push(summary);
+                    }
+                }
+                Message::Error { code, detail } => {
+                    return Err(TransportError::Remote { code, detail }.into())
+                }
+                _ => return Err(TransportError::UnexpectedReply("SummaryRefresh").into()),
+            }
+        }
+        Ok(Self {
+            global: DitsGlobal::build(summaries, leaf_capacity),
+        })
     }
 
     /// Reassembles a data center around a recovered global index (e.g. one
     /// decoded from a [`dits::persist`] image after a restart), skipping the
     /// summary re-poll of every source that [`Self::build`] performs.
-    pub fn from_global(global: DitsGlobal, delta_lonlat: f64) -> Self {
-        Self {
-            global,
-            delta_lonlat,
-        }
+    pub fn from_global(global: DitsGlobal) -> Self {
+        Self { global }
     }
 
     /// The global index (exposed for inspection / experiments).
     pub fn global(&self) -> &DitsGlobal {
         &self.global
+    }
+
+    /// Applies a batch of maintenance operations to one source *through a
+    /// transport*, then refreshes DITS-G with the source's new root summary
+    /// — the full cross-layer pipeline of Appendix IX-C, working identically
+    /// for in-process sources (via
+    /// [`ExclusiveTransport`](crate::ExclusiveTransport)) and remote ones
+    /// (via [`TcpTransport`](crate::TcpTransport)).
+    ///
+    /// The exchange is transactional at the batch level: a structurally
+    /// invalid dataset rejects the whole batch with nothing mutated anywhere
+    /// ([`SearchError::Rejected`]), while individually impossible operations
+    /// (duplicate insert, missing update/delete target) are skipped and
+    /// counted in [`MaintenanceStats::rejected`].  By the time this returns
+    /// `Ok`, the next query batch is planned against a DITS-G that agrees
+    /// with the mutated local index, so `candidate_sources` pruning stays
+    /// lossless.
+    pub fn apply_updates(
+        &mut self,
+        transport: &dyn SourceTransport,
+        source: SourceId,
+        ops: &[UpdateOp],
+    ) -> Result<MaintenanceOutcome, SearchError> {
+        let request = Message::ApplyUpdates { ops: ops.to_vec() };
+        let mut comm = CommStats::new();
+        comm.sources_contacted += 1;
+        let reply = transport.call(source, &request, true)?;
+        comm.record_request(reply.request_bytes);
+        comm.record_reply(reply.reply_bytes);
+        let mut stats = reply.maintenance.unwrap_or_default();
+        let (summary, dataset_count) = match reply.message {
+            Message::SummaryRefresh {
+                summary,
+                dataset_count,
+                ..
+            } => (summary, dataset_count),
+            Message::Error { code, detail } if code == crate::message::ERR_REJECTED_BATCH => {
+                return Err(SearchError::Rejected { detail })
+            }
+            Message::Error { code, detail } => {
+                return Err(TransportError::Remote { code, detail }.into())
+            }
+            _ => return Err(TransportError::UnexpectedReply("SummaryRefresh").into()),
+        };
+        if dataset_count == 0 {
+            // The batch emptied the source.  An empty index has only a
+            // degenerate placeholder geometry and can answer no query, so
+            // it is dropped from DITS-G (readmitted when data returns)
+            // instead of attracting origin-adjacent queries for nothing.
+            self.remove_source(source, &mut stats);
+        } else if !self.apply_refresh(summary, &mut stats) {
+            // Unknown to DITS-G: the source was empty at build time or was
+            // dropped when a previous batch emptied it — register it now
+            // that it holds data again.
+            self.register_source(summary, &mut stats);
+        }
+        Ok(MaintenanceOutcome {
+            summary,
+            stats,
+            comm,
+        })
     }
 
     /// Folds a source's refreshed root summary into DITS-G — the center half
@@ -135,24 +309,38 @@ impl DataCenter {
         true
     }
 
-    /// The connectivity slack used when routing CJSP queries, in degrees.
-    pub(crate) fn delta_lonlat(&self) -> f64 {
-        self.delta_lonlat
+    /// The connectivity slack used when routing CJSP queries, in degrees:
+    /// δ (cell units) scaled by the *coarsest* registered source's cell size,
+    /// so the lonlat-space pruning bound is conservative for every source —
+    /// and so a per-request δ override widens routing along with clipping
+    /// and aggregation.
+    pub(crate) fn route_slack_lonlat(
+        &self,
+        delta_cells: f64,
+        grids: &mut GridCache,
+    ) -> Result<f64, SearchError> {
+        let mut degrees_per_cell: f64 = 0.0;
+        for summary in self.global.summaries() {
+            let grid = grids.get(summary.resolution)?;
+            degrees_per_cell = degrees_per_cell.max(grid.cell_width().max(grid.cell_height()));
+        }
+        Ok(delta_cells.max(0.0) * degrees_per_cell)
     }
 
-    /// Runs the multi-source overlap joinable search for one query.
-    ///
-    /// A convenience wrapper: builds a [`QueryEngine`] over this center and
-    /// the given sources and runs a batch of one.  Batch callers should hold
-    /// an engine directly.
+    /// Runs the multi-source overlap joinable search for one query over
+    /// in-process sources.
+    #[deprecated(
+        since = "0.1.0",
+        note = "build a `SearchRequest` and run it through `QueryEngine::run`"
+    )]
     pub fn ojsp(
         &self,
         sources: &[DataSource],
         query: &SpatialDataset,
         k: usize,
         strategy: DistributionStrategy,
-    ) -> (AggregatedOverlap, CommStats) {
-        let engine = QueryEngine::new(
+    ) -> Result<(AggregatedOverlap, CommStats), SearchError> {
+        let engine = QueryEngine::in_process(
             self,
             sources,
             EngineConfig {
@@ -160,23 +348,21 @@ impl DataCenter {
                 ..EngineConfig::default()
             },
         );
-        let outcome = engine.run_ojsp(std::slice::from_ref(query), k);
+        let outcome = engine.run_ojsp(std::slice::from_ref(query), k)?;
         let answer = outcome
             .answers
             .into_iter()
             .next()
-            .expect("batch of one produces one answer");
-        (answer, outcome.comm)
+            .ok_or(SearchError::Internal("batch of one produced no answer"))?;
+        Ok((answer, outcome.comm))
     }
 
-    /// Runs the multi-source coverage joinable search for one query.
-    ///
-    /// Each candidate source returns its local greedy candidates (with their
-    /// cells); the engine then runs the final greedy selection across
-    /// sources, enforcing spatial connectivity with the query.  All sources
-    /// are assumed to share the query's grid resolution for the cell-level
-    /// aggregation (the per-run setting used throughout the paper's
-    /// experiments).
+    /// Runs the multi-source coverage joinable search for one query over
+    /// in-process sources.
+    #[deprecated(
+        since = "0.1.0",
+        note = "build a `SearchRequest` and run it through `QueryEngine::run`"
+    )]
     pub fn cjsp(
         &self,
         sources: &[DataSource],
@@ -184,8 +370,8 @@ impl DataCenter {
         k: usize,
         delta_cells: f64,
         strategy: DistributionStrategy,
-    ) -> (AggregatedCoverage, CommStats) {
-        let engine = QueryEngine::new(
+    ) -> Result<(AggregatedCoverage, CommStats), SearchError> {
+        let engine = QueryEngine::in_process(
             self,
             sources,
             EngineConfig {
@@ -194,59 +380,112 @@ impl DataCenter {
                 ..EngineConfig::default()
             },
         );
-        let outcome = engine.run_cjsp(std::slice::from_ref(query), k);
+        let outcome = engine.run_cjsp(std::slice::from_ref(query), k)?;
         let answer = outcome
             .answers
             .into_iter()
             .next()
-            .expect("batch of one produces one answer");
-        (answer, outcome.comm)
+            .ok_or(SearchError::Internal("batch of one produced no answer"))?;
+        Ok((answer, outcome.comm))
     }
 
-    /// Chooses which sources to contact for a query.
-    pub(crate) fn route<'a>(
+    /// Chooses which sources to contact for an overlap / coverage query,
+    /// purely from the summaries registered in DITS-G (ascending by source
+    /// id).  Under `Broadcast` every registered source is contacted; the
+    /// pruned strategies consult `candidate_sources`.
+    pub(crate) fn route(
         &self,
-        sources: &'a [DataSource],
         query: &SpatialDataset,
         delta_lonlat: f64,
         strategy: DistributionStrategy,
-    ) -> Vec<&'a DataSource> {
+    ) -> Vec<SourceSummary> {
         match strategy {
-            DistributionStrategy::Broadcast => sources.iter().collect(),
+            DistributionStrategy::Broadcast => self.global.summaries(),
             DistributionStrategy::Pruned | DistributionStrategy::PrunedClipped => {
                 let Some(query_rect) = query.mbr() else {
                     return Vec::new();
                 };
-                let candidates = self.global.candidate_sources(&query_rect, delta_lonlat);
-                sources
-                    .iter()
-                    .filter(|s| candidates.iter().any(|c| c.source == s.id))
-                    .collect()
+                self.global.candidate_sources(&query_rect, delta_lonlat)
             }
         }
     }
 
-    /// Grids the query with the target source's resolution and, under the
-    /// clipped strategy, keeps only the cells that can interact with the
-    /// source (its root MBR inflated by δ).
-    pub(crate) fn prepare_query(
+    /// Chooses which sources to contact for a kNN query: every source whose
+    /// distance *lower bound* to the query could still land in the top-`k`.
+    ///
+    /// The rule is lossless (Lemma 4 applied at the federation level): the
+    /// `k` sources with the smallest distance *upper bounds* each guarantee
+    /// at least one dataset within their bound, so the k-th best distance is
+    /// at most the k-th smallest upper bound `T` — and any source with
+    /// `lb > T` can only hold datasets strictly farther than every true
+    /// top-k member.
+    pub(crate) fn knn_route(
         &self,
-        source: &DataSource,
         query: &SpatialDataset,
+        k: usize,
+        strategy: DistributionStrategy,
+        grids: &mut GridCache,
+        cells: &mut QueryCellsCache,
+    ) -> Result<Vec<SourceSummary>, SearchError> {
+        if k == 0 {
+            return Ok(Vec::new());
+        }
+        let summaries = self.global.summaries();
+        if strategy == DistributionStrategy::Broadcast || summaries.len() <= k {
+            return Ok(summaries);
+        }
+        let mut scored: Vec<(f64, f64, SourceSummary)> = Vec::with_capacity(summaries.len());
+        for s in summaries {
+            let grid = grids.get(s.resolution)?;
+            let cells = cells.get(grid, &query.points);
+            let Some(query_rect) = cells.mbr_cell_space() else {
+                // The query grids to nothing: no source can answer it.
+                return Ok(Vec::new());
+            };
+            let query_geometry = NodeGeometry::from_mbr(query_rect);
+            let source_geometry = NodeGeometry::from_mbr(s.cell_space_rect(grid));
+            let (lb, ub) = node_distance_bounds(&source_geometry, &query_geometry);
+            scored.push((lb, ub, s));
+        }
+        let mut upper_bounds: Vec<f64> = scored.iter().map(|&(_, ub, _)| ub).collect();
+        upper_bounds.sort_unstable_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        // Small slack absorbs the floating-point error of the lonlat →
+        // cell-space round trip; keeping a borderline source is always safe.
+        let threshold = upper_bounds[k - 1] + 1e-9;
+        let mut out: Vec<SourceSummary> = scored
+            .into_iter()
+            .filter(|&(lb, _, _)| lb <= threshold)
+            .map(|(_, _, s)| s)
+            .collect();
+        out.sort_by_key(|s| s.source);
+        Ok(out)
+    }
+
+    /// Clips query cells to the window that can interact with a source (its
+    /// root MBR in cell space, inflated by δ) under the clipped strategy;
+    /// passes them through untouched otherwise.
+    ///
+    /// The window is recovered from the source's uploaded summary — the
+    /// lonlat corners are cell centres, so [`SourceSummary::cell_space_rect`]
+    /// reproduces the local root's integer cell rectangle exactly, and the
+    /// clipping decision is identical to one taken next to the local index.
+    pub(crate) fn clip_for_source(
+        summary: &SourceSummary,
+        grid: &Grid,
+        cells: &CellSet,
         delta_cells: f64,
         strategy: DistributionStrategy,
-    ) -> Option<CellSet> {
-        let cells = source.grid_query(query);
+    ) -> CellSet {
         match strategy {
-            DistributionStrategy::Broadcast | DistributionStrategy::Pruned => Some(cells),
+            DistributionStrategy::Broadcast | DistributionStrategy::Pruned => cells.clone(),
             DistributionStrategy::PrunedClipped => {
-                let root = source.index().root_geometry().rect;
+                let root = summary.cell_space_rect(grid);
                 let slack = delta_cells.max(0.0);
                 let window = Mbr::new(
                     Point::new(root.min.x - slack, root.min.y - slack),
                     Point::new(root.max.x + slack, root.max.y + slack),
                 );
-                Some(cells.clip_to_window(&window))
+                cells.clip_to_window(&window)
             }
         }
     }
@@ -255,6 +494,7 @@ impl DataCenter {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::transport::InProcessTransport;
     use dits::DitsLocalConfig;
     use spatial::Grid;
 
@@ -302,13 +542,42 @@ mod tests {
         )
     }
 
+    #[allow(deprecated)]
+    fn run_ojsp(
+        center: &DataCenter,
+        sources: &[DataSource],
+        query: &SpatialDataset,
+        k: usize,
+        strategy: DistributionStrategy,
+    ) -> (AggregatedOverlap, CommStats) {
+        center.ojsp(sources, query, k, strategy).unwrap()
+    }
+
+    #[allow(deprecated)]
+    fn run_cjsp(
+        center: &DataCenter,
+        sources: &[DataSource],
+        query: &SpatialDataset,
+        k: usize,
+        delta: f64,
+        strategy: DistributionStrategy,
+    ) -> (AggregatedCoverage, CommStats) {
+        center.cjsp(sources, query, k, delta, strategy).unwrap()
+    }
+
     #[test]
     fn pruned_strategy_contacts_fewer_sources() {
         let sources = two_sources();
-        let center = DataCenter::build(&sources, 4, 1.0);
+        let center = DataCenter::build(&sources, 4);
         let query = query_in_east();
-        let (_, broadcast) = center.ojsp(&sources, &query, 5, DistributionStrategy::Broadcast);
-        let (_, pruned) = center.ojsp(&sources, &query, 5, DistributionStrategy::Pruned);
+        let (_, broadcast) = run_ojsp(
+            &center,
+            &sources,
+            &query,
+            5,
+            DistributionStrategy::Broadcast,
+        );
+        let (_, pruned) = run_ojsp(&center, &sources, &query, 5, DistributionStrategy::Pruned);
         assert_eq!(broadcast.sources_contacted, 2);
         assert_eq!(pruned.sources_contacted, 1);
         assert!(pruned.total_bytes() < broadcast.total_bytes());
@@ -317,12 +586,17 @@ mod tests {
     #[test]
     fn clipping_reduces_bytes_without_changing_results() {
         let sources = two_sources();
-        let center = DataCenter::build(&sources, 4, 1.0);
+        let center = DataCenter::build(&sources, 4);
         let query = query_in_east();
         let (res_pruned, comm_pruned) =
-            center.ojsp(&sources, &query, 5, DistributionStrategy::Pruned);
-        let (res_clipped, comm_clipped) =
-            center.ojsp(&sources, &query, 5, DistributionStrategy::PrunedClipped);
+            run_ojsp(&center, &sources, &query, 5, DistributionStrategy::Pruned);
+        let (res_clipped, comm_clipped) = run_ojsp(
+            &center,
+            &sources,
+            &query,
+            5,
+            DistributionStrategy::PrunedClipped,
+        );
         assert_eq!(
             res_pruned
                 .results
@@ -341,14 +615,20 @@ mod tests {
     #[test]
     fn ojsp_aggregates_across_sources() {
         let sources = two_sources();
-        let center = DataCenter::build(&sources, 4, 1.0);
+        let center = DataCenter::build(&sources, 4);
         // A query spanning both regions (two clusters of points).
         let mut pts: Vec<Point> = (0..4)
             .map(|j| Point::new(10.0 + j as f64 * 0.05, 50.0))
             .collect();
         pts.extend((0..4).map(|j| Point::new(-120.0 + j as f64 * 0.05, 40.0)));
         let query = SpatialDataset::new(999, pts);
-        let (res, comm) = center.ojsp(&sources, &query, 10, DistributionStrategy::PrunedClipped);
+        let (res, comm) = run_ojsp(
+            &center,
+            &sources,
+            &query,
+            10,
+            DistributionStrategy::PrunedClipped,
+        );
         assert_eq!(comm.sources_contacted, 2);
         let sources_seen: std::collections::HashSet<SourceId> =
             res.results.iter().map(|(s, _)| *s).collect();
@@ -366,9 +646,10 @@ mod tests {
     #[test]
     fn cjsp_selects_connected_datasets() {
         let sources = two_sources();
-        let center = DataCenter::build(&sources, 4, 2.0);
+        let center = DataCenter::build(&sources, 4);
         let query = query_in_east();
-        let (res, comm) = center.cjsp(
+        let (res, comm) = run_cjsp(
+            &center,
             &sources,
             &query,
             4,
@@ -387,12 +668,19 @@ mod tests {
     #[test]
     fn empty_query_produces_empty_answer() {
         let sources = two_sources();
-        let center = DataCenter::build(&sources, 4, 1.0);
+        let center = DataCenter::build(&sources, 4);
         let query = SpatialDataset::new(1, vec![]);
-        let (res, comm) = center.ojsp(&sources, &query, 5, DistributionStrategy::PrunedClipped);
+        let (res, comm) = run_ojsp(
+            &center,
+            &sources,
+            &query,
+            5,
+            DistributionStrategy::PrunedClipped,
+        );
         assert!(res.results.is_empty());
         assert_eq!(comm.total_bytes(), 0);
-        let (res, _) = center.cjsp(
+        let (res, _) = run_cjsp(
+            &center,
             &sources,
             &query,
             5,
@@ -401,5 +689,71 @@ mod tests {
         );
         assert!(res.selected.is_empty());
         assert_eq!(res.coverage, 0);
+    }
+
+    #[test]
+    fn from_transport_matches_direct_build() {
+        let sources = two_sources();
+        let direct = DataCenter::build(&sources, 4);
+        let transport = InProcessTransport::new(&sources);
+        let polled = DataCenter::from_transport(&transport, 4).unwrap();
+        assert_eq!(polled.global().summaries(), direct.global().summaries());
+        assert_eq!(polled.global().source_count(), 2);
+    }
+
+    #[test]
+    fn knn_route_keeps_every_source_that_could_matter() {
+        let sources = two_sources();
+        let center = DataCenter::build(&sources, 4);
+        let mut grids = GridCache::new();
+        let mut cells = QueryCellsCache::new();
+        // k larger than the federation: nothing can be pruned.
+        let all = center
+            .knn_route(
+                &query_in_east(),
+                5,
+                DistributionStrategy::PrunedClipped,
+                &mut grids,
+                &mut cells,
+            )
+            .unwrap();
+        assert_eq!(all.len(), 2);
+        // k = 1 for a query sitting inside the east source: the west source
+        // (an ocean away) must be pruned.
+        let east_only = center
+            .knn_route(
+                &query_in_east(),
+                1,
+                DistributionStrategy::PrunedClipped,
+                &mut grids,
+                &mut cells,
+            )
+            .unwrap();
+        assert_eq!(east_only.len(), 1);
+        assert_eq!(east_only[0].source, 0);
+        // Broadcast never prunes; k = 0 asks for nothing.
+        assert_eq!(
+            center
+                .knn_route(
+                    &query_in_east(),
+                    1,
+                    DistributionStrategy::Broadcast,
+                    &mut grids,
+                    &mut cells
+                )
+                .unwrap()
+                .len(),
+            2
+        );
+        assert!(center
+            .knn_route(
+                &query_in_east(),
+                0,
+                DistributionStrategy::PrunedClipped,
+                &mut grids,
+                &mut cells
+            )
+            .unwrap()
+            .is_empty());
     }
 }

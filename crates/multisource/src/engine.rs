@@ -1,37 +1,51 @@
 //! The batched, parallel query engine — the single execution path for every
 //! multi-source search in the repository.
 //!
-//! [`QueryEngine`] owns query execution end to end.  It accepts *batches* of
-//! OJSP / CJSP queries and fans each batch out as one task per
-//! `(query, candidate source)` pair — one source is one shard, matching the
-//! deployment of the paper's Fig. 3 where every data source runs its local
-//! search concurrently.  Tasks are executed by a fixed pool of scoped worker
-//! threads; each worker keeps its *own* [`CommStats`] and [`SearchStats`]
+//! [`QueryEngine`] owns query execution end to end.  It accepts a
+//! [`SearchRequest`] (or a typed batch through `run_ojsp` / `run_cjsp` /
+//! `run_knn`) and fans it out as one task per `(query, candidate source)`
+//! pair — one source is one shard, matching the deployment of the paper's
+//! Fig. 3 where every data source runs its local search concurrently.
+//! Tasks are executed by a fixed pool of scoped worker threads; each worker
+//! keeps its *own* [`CommStats`] / [`SearchStats`] / per-source timing
 //! accumulators (no shared counters, no locks on the hot path) and the
 //! per-worker blocks are merged once at the end, so the reported totals are
 //! identical to a sequential run of the same plan.
+//!
+//! The engine is **transport-agnostic**: it plans entirely from the
+//! [`SourceSummary`]s in DITS-G and executes every shard through a
+//! [`SourceTransport`] — in-process function calls and framed TCP exchanges
+//! run the exact same plan and move the exact same protocol bytes.
 //!
 //! The engine split is:
 //!
 //! 1. **Plan** (sequential, cheap): route each query through DITS-G, clip it
 //!    per candidate source, and materialise the request messages.
-//! 2. **Execute** (parallel): serialise requests, run the local searches,
-//!    account bytes — the expensive part, embarrassingly parallel.
+//! 2. **Execute** (parallel): serialise requests, deliver them through the
+//!    transport, account bytes — the expensive part, embarrassingly
+//!    parallel.
 //! 3. **Aggregate**: merge per-source answers into the global top-`k`
-//!    (OJSP) or run the cross-source greedy selection (CJSP, itself
+//!    (OJSP, kNN) or run the cross-source greedy selection (CJSP, itself
 //!    parallelised over the queries of the batch).
 
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
 
-use dits::SearchStats;
+use dits::{Neighbor, SearchStats};
 use spatial::distance::NeighborProbe;
 use spatial::{CellSet, DatasetId, SourceId, SpatialDataset};
 
-use crate::center::{AggregatedCoverage, AggregatedOverlap, DataCenter, DistributionStrategy};
+use crate::api::{SearchKind, SearchRequest, SearchResponse, SearchResults, SourceTiming};
+use crate::center::{
+    AggregatedCoverage, AggregatedKnn, AggregatedOverlap, DataCenter, DistributionStrategy,
+    GridCache, QueryCellsCache,
+};
 use crate::comm::{CommConfig, CommStats};
+use crate::error::{SearchError, TransportError};
 use crate::message::{CoverageCandidate, Message};
 use crate::source::DataSource;
+use crate::transport::{InProcessTransport, SourceTransport};
 
 /// Configuration of the query engine.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -42,6 +56,9 @@ pub struct EngineConfig {
     pub strategy: DistributionStrategy,
     /// Connectivity threshold δ in cell units (CJSP only).
     pub delta_cells: f64,
+    /// Whether sources report their off-wire search statistics (never
+    /// changes the counted protocol bytes).
+    pub collect_stats: bool,
 }
 
 impl Default for EngineConfig {
@@ -50,6 +67,7 @@ impl Default for EngineConfig {
             workers: 0,
             strategy: DistributionStrategy::PrunedClipped,
             delta_cells: 10.0,
+            collect_stats: true,
         }
     }
 }
@@ -63,6 +81,8 @@ pub struct BatchOutcome<T> {
     pub comm: CommStats,
     /// Local-search statistics accumulated over every contacted source.
     pub search: SearchStats,
+    /// Per-source transport timing, ascending by source id.
+    pub per_source: Vec<SourceTiming>,
     /// Wall-clock time spent planning, searching and aggregating.
     pub elapsed: Duration,
 }
@@ -76,26 +96,64 @@ impl<T> BatchOutcome<T> {
 
 /// One planned shard task: a request bound for one source on behalf of one
 /// query of the batch.
-struct ShardTask<'s> {
+struct ShardTask {
     query_idx: usize,
-    source: &'s DataSource,
+    source: SourceId,
     request: Message,
+}
+
+/// How the engine reaches its sources: a borrowed transport object, or an
+/// in-process transport it carries by value (so
+/// [`MultiSourceFramework::engine`](crate::MultiSourceFramework::engine) can
+/// hand out engines without a self-referential borrow).
+#[derive(Debug, Clone, Copy)]
+enum EngineTransport<'a> {
+    InProcess(InProcessTransport<'a>),
+    Borrowed(&'a dyn SourceTransport),
+}
+
+impl<'a> EngineTransport<'a> {
+    fn get(&self) -> &dyn SourceTransport {
+        match self {
+            EngineTransport::InProcess(t) => t,
+            EngineTransport::Borrowed(t) => *t,
+        }
+    }
 }
 
 /// The batched, parallel multi-source query engine.
 #[derive(Debug, Clone, Copy)]
 pub struct QueryEngine<'a> {
     center: &'a DataCenter,
-    sources: &'a [DataSource],
+    transport: EngineTransport<'a>,
     config: EngineConfig,
 }
 
 impl<'a> QueryEngine<'a> {
-    /// Builds an engine over a data center and its sources.
-    pub fn new(center: &'a DataCenter, sources: &'a [DataSource], config: EngineConfig) -> Self {
+    /// Builds an engine over a data center and any transport (TCP
+    /// federation, custom transports, …).
+    pub fn new(
+        center: &'a DataCenter,
+        transport: &'a dyn SourceTransport,
+        config: EngineConfig,
+    ) -> Self {
         Self {
             center,
-            sources,
+            transport: EngineTransport::Borrowed(transport),
+            config,
+        }
+    }
+
+    /// Builds an engine over in-process sources (the default deployment of
+    /// every benchmark and test).
+    pub fn in_process(
+        center: &'a DataCenter,
+        sources: &'a [DataSource],
+        config: EngineConfig,
+    ) -> Self {
+        Self {
+            center,
+            transport: EngineTransport::InProcess(InProcessTransport::new(sources)),
             config,
         }
     }
@@ -110,57 +168,151 @@ impl<'a> QueryEngine<'a> {
         resolve_workers(self.config.workers)
     }
 
+    /// The sources this engine can actually deliver to.  Routing intersects
+    /// DITS-G candidates with this set, so a stale summary (a source that
+    /// left the fleet after the global image was persisted) is skipped
+    /// instead of failing every batch with `UnknownSource`.
+    fn reachable_sources(&self) -> std::collections::BTreeSet<SourceId> {
+        self.transport.get().source_ids().into_iter().collect()
+    }
+
+    /// Executes a unified [`SearchRequest`]: applies its option overrides,
+    /// dispatches on its [`SearchKind`] and packages the typed answers into
+    /// a [`SearchResponse`].
+    pub fn run(&self, request: &SearchRequest) -> Result<SearchResponse, SearchError> {
+        let mut config = self.config;
+        if let Some(workers) = request.requested_workers() {
+            config.workers = workers;
+        }
+        if let Some(strategy) = request.requested_strategy() {
+            config.strategy = strategy;
+        }
+        if let Some(delta) = request.requested_delta_cells() {
+            config.delta_cells = delta;
+        }
+        config.collect_stats = request.wants_stats();
+        let engine = Self {
+            center: self.center,
+            transport: self.transport,
+            config,
+        };
+        let k = request.requested_k();
+        let (results, comm, search, per_source, elapsed) = match request.kind() {
+            SearchKind::Ojsp => {
+                let out = engine.run_ojsp(request.queries(), k)?;
+                (
+                    SearchResults::Overlap(out.answers),
+                    out.comm,
+                    out.search,
+                    out.per_source,
+                    out.elapsed,
+                )
+            }
+            SearchKind::Cjsp => {
+                let out = engine.run_cjsp(request.queries(), k)?;
+                (
+                    SearchResults::Coverage(out.answers),
+                    out.comm,
+                    out.search,
+                    out.per_source,
+                    out.elapsed,
+                )
+            }
+            SearchKind::Knn => {
+                let out = engine.run_knn(request.queries(), k)?;
+                (
+                    SearchResults::Knn(out.answers),
+                    out.comm,
+                    out.search,
+                    out.per_source,
+                    out.elapsed,
+                )
+            }
+        };
+        Ok(SearchResponse {
+            results,
+            comm,
+            search: request.wants_stats().then_some(search),
+            per_source,
+            elapsed,
+        })
+    }
+
+    /// Delivers one shard request through the transport, accounting bytes,
+    /// timing and statistics, and returns the reply message.
+    fn exchange(&self, task: &ShardTask, ctx: &mut WorkerCtx) -> Result<Message, SearchError> {
+        let started = Instant::now();
+        let reply =
+            self.transport
+                .get()
+                .call(task.source, &task.request, self.config.collect_stats)?;
+        let elapsed = started.elapsed();
+        // Sizes come from the transport (the TCP path reads them off the
+        // frames it already moved), so nothing is re-encoded for accounting.
+        ctx.comm.record_request(reply.request_bytes);
+        ctx.comm.record_reply(reply.reply_bytes);
+        ctx.record_timing(
+            task.source,
+            reply.request_bytes + reply.reply_bytes,
+            elapsed,
+        );
+        if let Some(stats) = reply.search {
+            ctx.search.merge(&stats);
+        }
+        match reply.message {
+            Message::Error { code, detail } => Err(TransportError::Remote { code, detail }.into()),
+            message => Ok(message),
+        }
+    }
+
     /// Runs a batch of overlap joinable searches.
     pub fn run_ojsp(
         &self,
         queries: &[SpatialDataset],
         k: usize,
-    ) -> BatchOutcome<AggregatedOverlap> {
+    ) -> Result<BatchOutcome<AggregatedOverlap>, SearchError> {
         let start = Instant::now();
 
         // Plan: route and clip every query, materialise the wire requests.
         let mut comm = CommStats::new();
-        let mut tasks: Vec<ShardTask<'a>> = Vec::new();
+        let mut grids = GridCache::new();
+        let reachable = self.reachable_sources();
+        let mut tasks: Vec<ShardTask> = Vec::new();
         for (query_idx, query) in queries.iter().enumerate() {
-            let targets = self
-                .center
-                .route(self.sources, query, 0.0, self.config.strategy);
+            let targets = retain_reachable(
+                self.center.route(query, 0.0, self.config.strategy),
+                &reachable,
+            );
             comm.sources_contacted += targets.len();
-            for source in targets {
-                let Some(cells) =
-                    self.center
-                        .prepare_query(source, query, 0.0, self.config.strategy)
-                else {
-                    continue;
-                };
+            let mut query_cells = QueryCellsCache::new();
+            for summary in targets {
+                let grid = grids.get(summary.resolution)?;
+                let cells = query_cells.get(grid, &query.points);
+                let cells =
+                    DataCenter::clip_for_source(&summary, grid, cells, 0.0, self.config.strategy);
                 if cells.is_empty() {
                     continue;
                 }
                 tasks.push(ShardTask {
                     query_idx,
-                    source,
+                    source: summary.source,
                     request: Message::OverlapQuery { query: cells, k },
                 });
             }
         }
 
         // Execute: one task per (query, source) shard, in parallel.
-        let (per_task, exec_comm, search) =
-            run_parallel(&tasks, self.config.workers, |task, comm, search| {
-                comm.record_request(task.request.wire_size());
-                let Some((reply, stats)) = task.source.handle_with_stats(&task.request) else {
-                    return Vec::new();
-                };
-                search.merge(&stats);
-                comm.record_reply(reply.wire_size());
-                match reply {
-                    Message::OverlapReply { source, results } => {
-                        results.into_iter().map(|r| (source, r)).collect()
-                    }
-                    _ => Vec::new(),
+        let (per_task, ctx) = run_parallel(&tasks, self.config.workers, |task, ctx| {
+            match self.exchange(task, ctx)? {
+                Message::OverlapReply { source, results } => {
+                    let pairs: Vec<(SourceId, dits::OverlapResult)> =
+                        results.into_iter().map(|r| (source, r)).collect();
+                    Ok(pairs)
                 }
-            });
-        comm.merge(&exec_comm);
+                _ => Err(TransportError::UnexpectedReply("OverlapReply").into()),
+            }
+        })?;
+        comm.merge(&ctx.comm);
 
         // Aggregate: global top-k per query.
         let mut buckets: Vec<Vec<(SourceId, dits::OverlapResult)>> =
@@ -182,12 +334,13 @@ impl<'a> QueryEngine<'a> {
             })
             .collect();
 
-        BatchOutcome {
+        Ok(BatchOutcome {
             answers,
             comm,
-            search,
+            search: ctx.search,
+            per_source: ctx.into_timings(),
             elapsed: start.elapsed(),
-        }
+        })
     }
 
     /// Runs a batch of coverage joinable searches.
@@ -195,7 +348,7 @@ impl<'a> QueryEngine<'a> {
         &self,
         queries: &[SpatialDataset],
         k: usize,
-    ) -> BatchOutcome<AggregatedCoverage> {
+    ) -> Result<BatchOutcome<AggregatedCoverage>, SearchError> {
         let start = Instant::now();
         let delta = self.config.delta_cells;
 
@@ -203,32 +356,32 @@ impl<'a> QueryEngine<'a> {
         // and capture each query's un-clipped cell set in the shared grid
         // (used by the final aggregation at the center).
         let mut comm = CommStats::new();
-        let mut tasks: Vec<ShardTask<'a>> = Vec::new();
+        let mut grids = GridCache::new();
+        let reachable = self.reachable_sources();
+        let route_slack = self.center.route_slack_lonlat(delta, &mut grids)?;
+        let mut tasks: Vec<ShardTask> = Vec::new();
         let mut query_cells: Vec<Option<CellSet>> = vec![None; queries.len()];
         for (query_idx, query) in queries.iter().enumerate() {
-            let targets = self.center.route(
-                self.sources,
-                query,
-                self.center.delta_lonlat(),
-                self.config.strategy,
+            let targets = retain_reachable(
+                self.center.route(query, route_slack, self.config.strategy),
+                &reachable,
             );
             comm.sources_contacted += targets.len();
-            for source in targets {
-                let Some(cells) =
-                    self.center
-                        .prepare_query(source, query, delta, self.config.strategy)
-                else {
-                    continue;
-                };
+            let mut cells_cache = QueryCellsCache::new();
+            for summary in targets {
+                let grid = grids.get(summary.resolution)?;
+                let full = cells_cache.get(grid, &query.points);
+                let cells =
+                    DataCenter::clip_for_source(&summary, grid, full, delta, self.config.strategy);
                 if cells.is_empty() {
                     continue;
                 }
                 if query_cells[query_idx].is_none() {
-                    query_cells[query_idx] = Some(source.grid_query(query));
+                    query_cells[query_idx] = Some(full.clone());
                 }
                 tasks.push(ShardTask {
                     query_idx,
-                    source,
+                    source: summary.source,
                     request: Message::CoverageQuery {
                         query: cells,
                         k,
@@ -239,20 +392,13 @@ impl<'a> QueryEngine<'a> {
         }
 
         // Execute: local coverage searches in parallel.
-        let (per_task, exec_comm, search) =
-            run_parallel(&tasks, self.config.workers, |task, comm, search| {
-                comm.record_request(task.request.wire_size());
-                let Some((reply, stats)) = task.source.handle_with_stats(&task.request) else {
-                    return Vec::new();
-                };
-                search.merge(&stats);
-                comm.record_reply(reply.wire_size());
-                match reply {
-                    Message::CoverageReply { candidates, .. } => candidates,
-                    _ => Vec::new(),
-                }
-            });
-        comm.merge(&exec_comm);
+        let (per_task, ctx) = run_parallel(&tasks, self.config.workers, |task, ctx| {
+            match self.exchange(task, ctx)? {
+                Message::CoverageReply { candidates, .. } => Ok(candidates),
+                _ => Err(TransportError::UnexpectedReply("CoverageReply").into()),
+            }
+        })?;
+        comm.merge(&ctx.comm);
 
         // Aggregate: cross-source greedy selection, parallelised over the
         // queries of the batch (each query's greedy run is independent).
@@ -266,19 +412,119 @@ impl<'a> QueryEngine<'a> {
             .zip(buckets)
             .map(|(cells, candidates)| (cells.unwrap_or_default(), candidates))
             .collect();
-        let (answers, _, _) = run_parallel(
+        let (answers, _) = run_parallel(
             &agg_inputs,
             self.config.workers,
-            |(cells, candidates), _, _| aggregate_coverage(cells, candidates, k, delta),
-        );
+            |(cells, candidates), _| Ok(aggregate_coverage(cells, candidates, k, delta)),
+        )?;
 
-        BatchOutcome {
+        Ok(BatchOutcome {
             answers,
             comm,
-            search,
+            search: ctx.search,
+            per_source: ctx.into_timings(),
             elapsed: start.elapsed(),
-        }
+        })
     }
+
+    /// Runs a batch of k-nearest-datasets searches across the federation —
+    /// the first multi-source surface for the [`dits::knn`] machinery.
+    ///
+    /// Routing prunes whole sources through DITS-G distance bounds (see
+    /// `DataCenter::knn_route`); each contacted source answers with its
+    /// local top-k and the center merges to the global top-k.  The query
+    /// travels unclipped: removing far query cells could only inflate the
+    /// distance and corrupt the ranking.
+    pub fn run_knn(
+        &self,
+        queries: &[SpatialDataset],
+        k: usize,
+    ) -> Result<BatchOutcome<AggregatedKnn>, SearchError> {
+        let start = Instant::now();
+
+        // Plan: distance-bound routing, full (unclipped) query cells.
+        let mut comm = CommStats::new();
+        let mut grids = GridCache::new();
+        let reachable = self.reachable_sources();
+        let mut tasks: Vec<ShardTask> = Vec::new();
+        for (query_idx, query) in queries.iter().enumerate() {
+            let mut cells_cache = QueryCellsCache::new();
+            let targets = retain_reachable(
+                self.center.knn_route(
+                    query,
+                    k,
+                    self.config.strategy,
+                    &mut grids,
+                    &mut cells_cache,
+                )?,
+                &reachable,
+            );
+            comm.sources_contacted += targets.len();
+            for summary in targets {
+                let grid = grids.get(summary.resolution)?;
+                let cells = cells_cache.get(grid, &query.points).clone();
+                if cells.is_empty() {
+                    continue;
+                }
+                tasks.push(ShardTask {
+                    query_idx,
+                    source: summary.source,
+                    request: Message::KnnQuery { query: cells, k },
+                });
+            }
+        }
+
+        // Execute.
+        let (per_task, ctx) = run_parallel(&tasks, self.config.workers, |task, ctx| {
+            match self.exchange(task, ctx)? {
+                Message::KnnReply { source, neighbors } => {
+                    let pairs: Vec<(SourceId, Neighbor)> =
+                        neighbors.into_iter().map(|n| (source, n)).collect();
+                    Ok(pairs)
+                }
+                _ => Err(TransportError::UnexpectedReply("KnnReply").into()),
+            }
+        })?;
+        comm.merge(&ctx.comm);
+
+        // Aggregate: global k nearest per query.
+        let mut buckets: Vec<Vec<(SourceId, Neighbor)>> =
+            (0..queries.len()).map(|_| Vec::new()).collect();
+        for (task, neighbors) in tasks.iter().zip(per_task) {
+            buckets[task.query_idx].extend(neighbors);
+        }
+        let answers = buckets
+            .into_iter()
+            .map(|mut all| {
+                all.sort_unstable_by(|a, b| {
+                    a.1.distance
+                        .partial_cmp(&b.1.distance)
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                        .then(a.0.cmp(&b.0))
+                        .then(a.1.dataset.cmp(&b.1.dataset))
+                });
+                all.truncate(k);
+                AggregatedKnn { neighbors: all }
+            })
+            .collect();
+
+        Ok(BatchOutcome {
+            answers,
+            comm,
+            search: ctx.search,
+            per_source: ctx.into_timings(),
+            elapsed: start.elapsed(),
+        })
+    }
+}
+
+/// Keeps only the routed summaries the transport can deliver to.
+fn retain_reachable(
+    mut targets: Vec<dits::SourceSummary>,
+    reachable: &std::collections::BTreeSet<SourceId>,
+) -> Vec<dits::SourceSummary> {
+    targets.retain(|s| reachable.contains(&s.source));
+    targets
 }
 
 /// The cross-source greedy selection of CoverageSearch's aggregation phase
@@ -360,74 +606,147 @@ fn resolve_workers(configured: usize) -> usize {
 /// single-query convenience wrappers).
 const MIN_PARALLEL_TASKS: usize = 8;
 
+/// Per-worker private accumulators: communication bytes, search statistics
+/// and per-source transport timing.  Workers never contend on shared
+/// counters; blocks are merged losslessly after the join.
+#[derive(Debug)]
+struct WorkerCtx {
+    comm: CommStats,
+    search: SearchStats,
+    timings: Vec<(SourceId, usize, Duration)>,
+}
+
+impl WorkerCtx {
+    fn new() -> Self {
+        Self {
+            comm: CommStats::new(),
+            search: SearchStats::new(),
+            timings: Vec::new(),
+        }
+    }
+
+    fn record_timing(&mut self, source: SourceId, bytes: usize, elapsed: Duration) {
+        self.timings.push((source, bytes, elapsed));
+    }
+
+    fn merge(&mut self, other: WorkerCtx) {
+        self.comm.merge(&other.comm);
+        self.search.merge(&other.search);
+        self.timings.extend(other.timings);
+    }
+
+    /// Collapses the raw per-call records into one [`SourceTiming`] per
+    /// source, ascending by source id.
+    fn into_timings(self) -> Vec<SourceTiming> {
+        let mut by_source: BTreeMap<SourceId, SourceTiming> = BTreeMap::new();
+        for (source, bytes, elapsed) in self.timings {
+            let entry = by_source.entry(source).or_insert(SourceTiming {
+                source,
+                requests: 0,
+                bytes: 0,
+                elapsed: Duration::ZERO,
+            });
+            entry.requests += 1;
+            entry.bytes += bytes;
+            entry.elapsed += elapsed;
+        }
+        by_source.into_values().collect()
+    }
+}
+
 /// Runs `f` over every task on a pool of scoped worker threads, returning
 /// the per-task results **in task order** plus the merged per-worker
-/// statistics accumulators.
+/// accumulators.  The first shard error aborts the batch (remaining workers
+/// drain their current task and stop).
 ///
-/// Each worker owns private `CommStats` / `SearchStats` blocks — workers
-/// never contend on shared counters; the only synchronisation is the atomic
-/// task cursor and the final join/merge.  With one worker (or fewer than
-/// [`MIN_PARALLEL_TASKS`] tasks) the pool is bypassed entirely, which
-/// doubles as the sequential reference path the parity tests compare
-/// against.
-fn run_parallel<T, R, F>(tasks: &[T], workers: usize, f: F) -> (Vec<R>, CommStats, SearchStats)
+/// With one worker (or fewer than [`MIN_PARALLEL_TASKS`] tasks) the pool is
+/// bypassed entirely, which doubles as the sequential reference path the
+/// parity tests compare against.
+fn run_parallel<T, R, F>(
+    tasks: &[T],
+    workers: usize,
+    f: F,
+) -> Result<(Vec<R>, WorkerCtx), SearchError>
 where
     T: Sync,
     R: Send,
-    F: Fn(&T, &mut CommStats, &mut SearchStats) -> R + Sync,
+    F: Fn(&T, &mut WorkerCtx) -> Result<R, SearchError> + Sync,
 {
     let worker_count = resolve_workers(workers).min(tasks.len());
-    let mut comm = CommStats::new();
-    let mut search = SearchStats::new();
+    let mut ctx = WorkerCtx::new();
 
     if worker_count <= 1 || tasks.len() < MIN_PARALLEL_TASKS {
-        let results = tasks.iter().map(|t| f(t, &mut comm, &mut search)).collect();
-        return (results, comm, search);
+        let mut results = Vec::with_capacity(tasks.len());
+        for task in tasks {
+            results.push(f(task, &mut ctx)?);
+        }
+        return Ok((results, ctx));
     }
 
-    /// What one worker brings home: its indexed results plus its private
-    /// statistics accumulators.
-    type WorkerBlock<R> = (Vec<(usize, R)>, CommStats, SearchStats);
+    /// What one worker brings home: its indexed results, its private
+    /// accumulators, and the first error it hit (if any).
+    type WorkerBlock<R> = (Vec<(usize, R)>, WorkerCtx, Option<SearchError>);
 
     let cursor = AtomicUsize::new(0);
-    let worker_blocks: Vec<WorkerBlock<R>> = std::thread::scope(|scope| {
+    let worker_blocks: Vec<Result<WorkerBlock<R>, SearchError>> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..worker_count)
             .map(|_| {
                 scope.spawn(|| {
-                    let mut local_comm = CommStats::new();
-                    let mut local_search = SearchStats::new();
+                    let mut local = WorkerCtx::new();
                     let mut local_results: Vec<(usize, R)> = Vec::new();
+                    let mut error = None;
                     loop {
                         let i = cursor.fetch_add(1, Ordering::Relaxed);
                         if i >= tasks.len() {
                             break;
                         }
-                        local_results.push((i, f(&tasks[i], &mut local_comm, &mut local_search)));
+                        match f(&tasks[i], &mut local) {
+                            Ok(r) => local_results.push((i, r)),
+                            Err(e) => {
+                                // Park the cursor past the end so idle
+                                // workers stop claiming shards: the batch is
+                                // already doomed, there is no point paying
+                                // for (possibly slow) remaining exchanges.
+                                cursor.store(tasks.len(), Ordering::Relaxed);
+                                error = Some(e);
+                                break;
+                            }
+                        }
                     }
-                    (local_results, local_comm, local_search)
+                    (local_results, local, error)
                 })
             })
             .collect();
         handles
             .into_iter()
-            .map(|h| h.join().expect("engine worker panicked"))
+            .map(|h| {
+                h.join()
+                    .map_err(|_| SearchError::Internal("engine worker panicked"))
+            })
             .collect()
     });
 
-    // Lossless merge of the per-worker accumulators.
-    comm = worker_blocks.iter().map(|(_, c, _)| c).sum();
-    search = worker_blocks.iter().map(|(_, _, s)| s).sum();
+    // Lossless merge of the per-worker accumulators; the first error (join
+    // failure or shard error) aborts the batch.
     let mut slots: Vec<Option<R>> = (0..tasks.len()).map(|_| None).collect();
-    for (results, _, _) in worker_blocks {
+    for block in worker_blocks {
+        let (results, local, error) = block?;
+        if let Some(e) = error {
+            return Err(e);
+        }
+        ctx.merge(local);
         for (i, r) in results {
             slots[i] = Some(r);
         }
     }
-    let results = slots
-        .into_iter()
-        .map(|slot| slot.expect("every task executed exactly once"))
-        .collect();
-    (results, comm, search)
+    let mut results = Vec::with_capacity(tasks.len());
+    for slot in slots {
+        match slot {
+            Some(r) => results.push(r),
+            None => return Err(SearchError::Internal("a shard task produced no result")),
+        }
+    }
+    Ok((results, ctx))
 }
 
 #[cfg(test)]
@@ -463,40 +782,68 @@ mod tests {
     #[test]
     fn worker_pool_preserves_task_order_and_merges_stats() {
         let tasks: Vec<usize> = (0..100).collect();
-        let (results, comm, search) = run_parallel(&tasks, 7, |&t, comm, search| {
-            comm.record_request(t);
-            search.nodes_visited += 1;
-            t * 2
-        });
+        let (results, ctx) = run_parallel(&tasks, 7, |&t, ctx| {
+            ctx.comm.record_request(t);
+            ctx.search.nodes_visited += 1;
+            Ok(t * 2)
+        })
+        .unwrap();
         assert_eq!(results, (0..100).map(|t| t * 2).collect::<Vec<_>>());
-        assert_eq!(comm.bytes_to_sources, (0..100).sum::<usize>());
-        assert_eq!(comm.requests, 100);
-        assert_eq!(search.nodes_visited, 100);
+        assert_eq!(ctx.comm.bytes_to_sources, (0..100).sum::<usize>());
+        assert_eq!(ctx.comm.requests, 100);
+        assert_eq!(ctx.search.nodes_visited, 100);
     }
 
     #[test]
     fn worker_pool_sequential_path_matches_parallel() {
         let tasks: Vec<usize> = (0..37).collect();
-        let (seq, seq_comm, _) = run_parallel(&tasks, 1, |&t, comm, _| {
-            comm.record_reply(t + 1);
-            t + 10
-        });
-        let (par, par_comm, _) = run_parallel(&tasks, 8, |&t, comm, _| {
-            comm.record_reply(t + 1);
-            t + 10
-        });
+        let (seq, seq_ctx) = run_parallel(&tasks, 1, |&t, ctx| {
+            ctx.comm.record_reply(t + 1);
+            Ok(t + 10)
+        })
+        .unwrap();
+        let (par, par_ctx) = run_parallel(&tasks, 8, |&t, ctx| {
+            ctx.comm.record_reply(t + 1);
+            Ok(t + 10)
+        })
+        .unwrap();
         assert_eq!(seq, par);
-        assert_eq!(seq_comm, par_comm);
+        assert_eq!(seq_ctx.comm, par_ctx.comm);
+    }
+
+    #[test]
+    fn worker_pool_propagates_shard_errors() {
+        let tasks: Vec<usize> = (0..50).collect();
+        let err = run_parallel(&tasks, 4, |&t, _| {
+            if t == 23 {
+                Err(SearchError::Internal("boom"))
+            } else {
+                Ok(t)
+            }
+        })
+        .unwrap_err();
+        assert_eq!(err, SearchError::Internal("boom"));
+        // Sequential path too.
+        let err = run_parallel(&tasks[..4], 1, |&t, _| {
+            if t == 2 {
+                Err(SearchError::Internal("boom"))
+            } else {
+                Ok(t)
+            }
+        })
+        .unwrap_err();
+        assert_eq!(err, SearchError::Internal("boom"));
     }
 
     #[test]
     fn batch_ojsp_matches_per_query_runs() {
         let (fw, queries) = five_source_framework();
-        let batch = fw.engine().run_ojsp(&queries, 5);
+        let batch = fw.engine().run_ojsp(&queries, 5).unwrap();
         assert_eq!(batch.answers.len(), queries.len());
         let mut merged = CommStats::new();
         for (query, batched) in queries.iter().zip(&batch.answers) {
-            let (single, comm) = fw.ojsp(query, 5);
+            #[allow(deprecated)]
+            let (single, comm) = fw.ojsp(query, 5).unwrap();
             assert_eq!(&single, batched);
             merged.merge(&comm);
         }
@@ -507,11 +854,12 @@ mod tests {
     #[test]
     fn batch_cjsp_matches_per_query_runs() {
         let (fw, queries) = five_source_framework();
-        let batch = fw.engine().run_cjsp(&queries, 3);
+        let batch = fw.engine().run_cjsp(&queries, 3).unwrap();
         assert_eq!(batch.answers.len(), queries.len());
         let mut merged = CommStats::new();
         for (query, batched) in queries.iter().zip(&batch.answers) {
-            let (single, comm) = fw.cjsp(query, 3);
+            #[allow(deprecated)]
+            let (single, comm) = fw.cjsp(query, 3).unwrap();
             assert_eq!(&single, batched);
             merged.merge(&comm);
         }
@@ -521,22 +869,111 @@ mod tests {
     #[test]
     fn search_stats_are_threaded_through_the_engine() {
         let (fw, queries) = five_source_framework();
-        let outcome = fw.engine().run_ojsp(&queries, 5);
+        let outcome = fw.engine().run_ojsp(&queries, 5).unwrap();
         assert!(
             outcome.search.nodes_visited > 0,
             "engine must surface search stats"
         );
         assert!(outcome.search.exact_computations > 0);
+        // Per-source timing covers every contacted source.
+        assert!(!outcome.per_source.is_empty());
+        assert_eq!(
+            outcome.per_source.iter().map(|t| t.requests).sum::<usize>(),
+            outcome.comm.requests
+        );
+        assert_eq!(
+            outcome.per_source.iter().map(|t| t.bytes).sum::<usize>(),
+            outcome.comm.total_bytes()
+        );
     }
 
     #[test]
     fn empty_batch_is_a_no_op() {
         let (fw, _) = five_source_framework();
-        let outcome = fw.engine().run_ojsp(&[], 5);
+        let outcome = fw.engine().run_ojsp(&[], 5).unwrap();
         assert!(outcome.answers.is_empty());
         assert_eq!(outcome.comm.total_bytes(), 0);
-        let outcome = fw.engine().run_cjsp(&[], 5);
+        let outcome = fw.engine().run_cjsp(&[], 5).unwrap();
         assert!(outcome.answers.is_empty());
         assert_eq!(outcome.comm, CommStats::new());
+        let outcome = fw.engine().run_knn(&[], 5).unwrap();
+        assert!(outcome.answers.is_empty());
+    }
+
+    #[test]
+    fn multi_source_knn_matches_merged_local_searches() {
+        let (fw, queries) = five_source_framework();
+        let k = 6;
+        let batch = fw.engine().run_knn(&queries, k).unwrap();
+        assert_eq!(batch.answers.len(), queries.len());
+        for (query, answer) in queries.iter().zip(&batch.answers) {
+            // Oracle: run the local kNN on every source and merge.
+            let mut expected: Vec<(SourceId, Neighbor)> = Vec::new();
+            for s in fw.sources() {
+                let cells = s.grid_query(query);
+                if cells.is_empty() {
+                    continue;
+                }
+                let (local, _) = dits::nearest_datasets(s.index(), &cells, k);
+                expected.extend(local.into_iter().map(|n| (s.id, n)));
+            }
+            expected.sort_unstable_by(|a, b| {
+                a.1.distance
+                    .partial_cmp(&b.1.distance)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .then(a.0.cmp(&b.0))
+                    .then(a.1.dataset.cmp(&b.1.dataset))
+            });
+            expected.truncate(k);
+            assert_eq!(answer.neighbors, expected, "kNN routing lost a result");
+            // A query drawn from the federation overlaps itself: distance 0.
+            assert_eq!(answer.neighbors[0].1.distance, 0.0);
+        }
+        // Distance-bound routing pruned at least one (query, source) pair
+        // on this clustered workload.
+        let broadcast = fw
+            .engine()
+            .run(
+                &crate::SearchRequest::knn_batch(queries.clone())
+                    .k(k)
+                    .strategy(DistributionStrategy::Broadcast),
+            )
+            .unwrap();
+        assert!(batch.comm.sources_contacted <= broadcast.comm.sources_contacted);
+        match broadcast.results {
+            SearchResults::Knn(answers) => assert_eq!(answers, batch.answers),
+            other => panic!("unexpected results {other:?}"),
+        }
+    }
+
+    /// The stats-merging parity check: a parallel engine run over the five
+    /// sources must produce answers *and* communication byte totals
+    /// identical to the sequential (one-worker) path on the same fixed seed.
+    #[test]
+    fn parallel_and_sequential_engines_agree() {
+        let (fw, queries) = five_source_framework();
+        let seq = fw.engine_with_workers(1).run_ojsp(&queries, 4).unwrap();
+        let par = fw.engine_with_workers(8).run_ojsp(&queries, 4).unwrap();
+        assert_eq!(seq.answers, par.answers);
+        assert_eq!(
+            seq.comm, par.comm,
+            "CommStats must merge to identical totals"
+        );
+        assert_eq!(
+            seq.search, par.search,
+            "SearchStats must merge to identical totals"
+        );
+
+        let seq = fw.engine_with_workers(1).run_cjsp(&queries, 3).unwrap();
+        let par = fw.engine_with_workers(8).run_cjsp(&queries, 3).unwrap();
+        assert_eq!(seq.answers, par.answers);
+        assert_eq!(seq.comm, par.comm);
+        assert_eq!(seq.search, par.search);
+
+        let seq = fw.engine_with_workers(1).run_knn(&queries, 4).unwrap();
+        let par = fw.engine_with_workers(8).run_knn(&queries, 4).unwrap();
+        assert_eq!(seq.answers, par.answers);
+        assert_eq!(seq.comm, par.comm);
+        assert_eq!(seq.search, par.search);
     }
 }

@@ -1,0 +1,233 @@
+//! The unified error hierarchy of the multi-source crate.
+//!
+//! Three layers, matching the three layers a request crosses:
+//!
+//! * [`WireError`] — a byte buffer could not be decoded into a
+//!   [`Message`](crate::message::Message) (truncated, bad tag, bad varint).
+//! * [`TransportError`] — a request could not be delivered to a source or
+//!   its reply could not be obtained (unknown source, I/O failure, remote
+//!   rejection, malformed reply).
+//! * [`SearchError`] — a query batch or maintenance batch failed as a
+//!   whole: bad configuration, transport failure, or a source rejecting a
+//!   maintenance batch.
+//!
+//! Lower layers convert losslessly into higher ones (`From` impls), so the
+//! public entry points — `Framework::search`, `DataCenter::apply_updates` —
+//! report a single [`SearchError`] while preserving the root cause.
+
+use std::fmt;
+
+use spatial::{SourceId, SpatialError};
+
+/// Why a byte buffer could not be decoded into a `Message`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WireError {
+    /// The buffer ended before the named field was complete.
+    Truncated(&'static str),
+    /// The leading message tag is not part of the protocol.
+    BadTag(u8),
+    /// The tag of one maintenance operation is not part of the protocol.
+    BadOpTag(u8),
+    /// A LEB128 varint was malformed (ran past 64 bits) while decoding the
+    /// named field.
+    BadVarint(&'static str),
+    /// A delta-encoded cell id overflowed `u64`.
+    CellOverflow,
+    /// A length prefix exceeds the protocol's sanity limit.
+    Oversized(&'static str),
+    /// A string field was not valid UTF-8.
+    BadUtf8,
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Truncated(what) => write!(f, "message truncated while reading {what}"),
+            WireError::BadTag(tag) => write!(f, "unknown message tag {tag}"),
+            WireError::BadOpTag(tag) => write!(f, "unknown maintenance op tag {tag}"),
+            WireError::BadVarint(what) => write!(f, "malformed varint in {what}"),
+            WireError::CellOverflow => write!(f, "delta-encoded cell id overflowed"),
+            WireError::Oversized(what) => write!(f, "{what} exceeds the protocol size limit"),
+            WireError::BadUtf8 => write!(f, "string field is not valid UTF-8"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Why a request could not be exchanged with a data source.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TransportError {
+    /// The transport has no route to this source.
+    UnknownSource(SourceId),
+    /// The reply (or a frame) could not be decoded.
+    Wire(WireError),
+    /// Socket-level failure (connect, read, write).  The message carries the
+    /// endpoint for diagnosis; `std::io::Error` itself is not `Clone`, so
+    /// only its rendering survives.
+    Io(String),
+    /// The source answered with a protocol error message.
+    Remote {
+        /// Machine-readable error code (see [`crate::message`] constants).
+        code: u16,
+        /// Human-readable detail produced by the source.
+        detail: String,
+    },
+    /// The source answered with a message of the wrong kind.
+    UnexpectedReply(&'static str),
+    /// A mutating request was sent through a shared (read-only) in-process
+    /// transport; maintenance needs [`ExclusiveTransport`]
+    /// (crate::transport::ExclusiveTransport) or a remote transport.
+    ExclusiveRequired,
+}
+
+impl fmt::Display for TransportError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TransportError::UnknownSource(id) => write!(f, "no route to data source {id}"),
+            TransportError::Wire(e) => write!(f, "wire decode failed: {e}"),
+            TransportError::Io(detail) => write!(f, "transport I/O failed: {detail}"),
+            TransportError::Remote { code, detail } => {
+                write!(f, "source rejected the request (code {code}): {detail}")
+            }
+            TransportError::UnexpectedReply(expected) => {
+                write!(
+                    f,
+                    "source replied with the wrong message kind (expected {expected})"
+                )
+            }
+            TransportError::ExclusiveRequired => {
+                write!(
+                    f,
+                    "maintenance requests need an exclusive in-process transport or a remote one"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for TransportError {}
+
+impl From<WireError> for TransportError {
+    fn from(e: WireError) -> Self {
+        TransportError::Wire(e)
+    }
+}
+
+/// Why a framework configuration is invalid.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ConfigError {
+    /// The grid resolution θ is outside the supported `1..=31`.
+    Resolution(SpatialError),
+    /// The connectivity threshold δ is negative or not finite.
+    Delta(f64),
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::Resolution(e) => write!(f, "{e}"),
+            ConfigError::Delta(d) => {
+                write!(f, "connectivity threshold δ={d} must be finite and ≥ 0")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// Why a search or maintenance request failed as a whole.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SearchError {
+    /// The framework (or request) configuration is invalid.
+    Config(ConfigError),
+    /// The deployment has no source with this id.
+    UnknownSource(SourceId),
+    /// A request could not be exchanged with a source.
+    Transport(TransportError),
+    /// A source rejected a maintenance batch before applying anything (e.g.
+    /// a structurally invalid dataset); nothing was mutated anywhere.
+    Rejected {
+        /// Human-readable reason produced by the source.
+        detail: String,
+    },
+    /// An invariant of the engine itself was violated (worker panic, lost
+    /// task slot).  Indicates a bug, not a user error.
+    Internal(&'static str),
+}
+
+impl fmt::Display for SearchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SearchError::Config(e) => write!(f, "invalid configuration: {e}"),
+            SearchError::UnknownSource(id) => {
+                write!(f, "no data source with id {id} in the deployment")
+            }
+            SearchError::Transport(e) => write!(f, "{e}"),
+            SearchError::Rejected { detail } => write!(f, "batch rejected: {detail}"),
+            SearchError::Internal(what) => write!(f, "internal engine error: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for SearchError {}
+
+impl From<ConfigError> for SearchError {
+    fn from(e: ConfigError) -> Self {
+        SearchError::Config(e)
+    }
+}
+
+impl From<TransportError> for SearchError {
+    fn from(e: TransportError) -> Self {
+        match e {
+            // An unroutable source is a deployment-level condition, not a
+            // socket-level one; surface it at the top of the hierarchy.
+            TransportError::UnknownSource(id) => SearchError::UnknownSource(id),
+            other => SearchError::Transport(other),
+        }
+    }
+}
+
+impl From<WireError> for SearchError {
+    fn from(e: WireError) -> Self {
+        SearchError::Transport(TransportError::Wire(e))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_preserve_the_root_cause() {
+        let wire = WireError::BadTag(9);
+        let transport: TransportError = wire.into();
+        assert_eq!(transport, TransportError::Wire(WireError::BadTag(9)));
+        let search: SearchError = transport.into();
+        assert!(matches!(
+            search,
+            SearchError::Transport(TransportError::Wire(WireError::BadTag(9)))
+        ));
+        // Unknown sources are hoisted to the top level.
+        let search: SearchError = TransportError::UnknownSource(7).into();
+        assert_eq!(search, SearchError::UnknownSource(7));
+    }
+
+    #[test]
+    fn displays_are_informative() {
+        for e in [
+            WireError::Truncated("query cells"),
+            WireError::BadTag(200),
+            WireError::BadVarint("k"),
+            WireError::CellOverflow,
+            WireError::BadUtf8,
+        ] {
+            assert!(!e.to_string().is_empty());
+        }
+        assert!(SearchError::Config(ConfigError::Delta(-1.0))
+            .to_string()
+            .contains("δ"));
+        assert!(SearchError::UnknownSource(3).to_string().contains('3'));
+    }
+}

@@ -1,72 +1,36 @@
 //! End-to-end assembly of the multi-source search framework.
 //!
 //! [`MultiSourceFramework`] owns the data sources and the data center,
-//! mirrors the deployment of Fig. 3 and exposes the batch entry points the
-//! experiments need: `run_ojsp` and `run_cjsp` over a set of query datasets.
-//! Both route through the [`QueryEngine`](crate::engine::QueryEngine) — the
-//! framework plans nothing itself; it only assembles the deployment and
-//! hands batches to the engine.
+//! mirrors the deployment of Fig. 3 and exposes the unified query surface:
+//! build a [`SearchRequest`] (OJSP / CJSP / kNN, single query or batch) and
+//! execute it with [`MultiSourceFramework::search`].  Execution routes
+//! through the [`QueryEngine`](crate::engine::QueryEngine) over an
+//! [`InProcessTransport`] — the framework plans nothing itself; it only
+//! assembles the deployment and hands requests to the engine.  The same
+//! requests run unchanged against remote sources: see
+//! [`DataCenter::from_transport`] and [`TcpTransport`](crate::TcpTransport).
 //!
 //! Index maintenance flows through [`MultiSourceFramework::apply_updates`]:
 //! a batch of [`UpdateOp`]s travels to one source as a
-//! [`Message::ApplyUpdates`], the source applies it to its DITS-L, and the
-//! returned [`Message::SummaryRefresh`] is folded into the center's DITS-G
-//! before the call returns — so query batches issued afterwards are planned
-//! against summaries that agree with every local index.
+//! [`Message::ApplyUpdates`](crate::message::Message::ApplyUpdates) through
+//! an [`ExclusiveTransport`], the source applies it to its DITS-L, and the
+//! returned summary refresh is folded into the center's DITS-G before the
+//! call returns — so query batches issued afterwards are planned against
+//! summaries that agree with every local index.
 
-use std::fmt;
+use dits::DitsLocalConfig;
+use spatial::{Grid, SourceId, SpatialDataset};
 
-use dits::{DitsLocalConfig, MaintenanceStats, SourceSummary};
-use spatial::{Grid, SourceId, SpatialDataset, SpatialError};
-
-use crate::center::{AggregatedCoverage, AggregatedOverlap, DataCenter, DistributionStrategy};
+use crate::api::{SearchRequest, SearchResponse};
+use crate::center::{
+    AggregatedCoverage, AggregatedOverlap, DataCenter, DistributionStrategy, MaintenanceOutcome,
+};
 use crate::comm::{CommConfig, CommStats};
 use crate::engine::{BatchOutcome, EngineConfig, QueryEngine};
-use crate::message::{Message, UpdateOp};
+use crate::error::{ConfigError, SearchError};
+use crate::message::UpdateOp;
 use crate::source::DataSource;
-
-/// Why a maintenance batch could not be applied.  In both cases nothing was
-/// mutated — neither the source's DITS-L nor the center's DITS-G.
-#[derive(Debug, PartialEq)]
-pub enum MaintenanceError {
-    /// The framework has no source with this id.
-    UnknownSource(SourceId),
-    /// The batch contained a structurally invalid dataset (e.g. an empty
-    /// one); the source rejected the whole batch before applying anything.
-    Spatial(SpatialError),
-}
-
-impl fmt::Display for MaintenanceError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            MaintenanceError::UnknownSource(id) => {
-                write!(f, "no data source with id {id} in the framework")
-            }
-            MaintenanceError::Spatial(e) => write!(f, "maintenance batch rejected: {e}"),
-        }
-    }
-}
-
-impl std::error::Error for MaintenanceError {}
-
-impl From<SpatialError> for MaintenanceError {
-    fn from(e: SpatialError) -> Self {
-        MaintenanceError::Spatial(e)
-    }
-}
-
-/// What one applied maintenance batch produced.
-#[derive(Debug, Clone)]
-pub struct MaintenanceOutcome {
-    /// The source's root summary after the batch (already folded into
-    /// DITS-G by the time the caller sees it).
-    pub summary: SourceSummary,
-    /// Structural work done by the batch, across the local index (splits,
-    /// collapses, relocations) and the global one (refreshes, rebuilds).
-    pub stats: MaintenanceStats,
-    /// Bytes moved by the maintenance exchange.
-    pub comm: CommStats,
-}
+use crate::transport::ExclusiveTransport;
 
 /// Configuration of the whole framework.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -98,6 +62,25 @@ impl Default for FrameworkConfig {
     }
 }
 
+impl FrameworkConfig {
+    /// Validates the configuration without building anything: the grid
+    /// resolution must be constructible (`1..=31`) and δ finite and
+    /// non-negative.
+    pub fn validate(&self) -> Result<(), SearchError> {
+        self.validated_grid().map(|_| ())
+    }
+
+    /// Validates and returns the shared grid of a run.
+    fn validated_grid(&self) -> Result<Grid, SearchError> {
+        let grid = Grid::global(self.resolution)
+            .map_err(|e| SearchError::Config(ConfigError::Resolution(e)))?;
+        if !self.delta_cells.is_finite() || self.delta_cells < 0.0 {
+            return Err(SearchError::Config(ConfigError::Delta(self.delta_cells)));
+        }
+        Ok(grid)
+    }
+}
+
 /// The assembled multi-source search framework.
 #[derive(Debug, Clone)]
 pub struct MultiSourceFramework {
@@ -110,14 +93,13 @@ pub struct MultiSourceFramework {
 impl MultiSourceFramework {
     /// Builds the framework: one [`DataSource`] (with its DITS-L) per input
     /// collection, then the data center's DITS-G from the uploaded root
-    /// summaries.
-    ///
-    /// # Panics
-    ///
-    /// Panics when the resolution is outside `1..=31` (programming error in
-    /// experiment configuration).
-    pub fn build(source_data: &[(String, Vec<SpatialDataset>)], config: FrameworkConfig) -> Self {
-        let grid = Grid::global(config.resolution).expect("valid resolution");
+    /// summaries.  Returns [`SearchError::Config`] for an invalid
+    /// configuration instead of panicking.
+    pub fn try_build(
+        source_data: &[(String, Vec<SpatialDataset>)],
+        config: FrameworkConfig,
+    ) -> Result<Self, SearchError> {
+        let grid = config.validated_grid()?;
         let local_config = DitsLocalConfig {
             leaf_capacity: config.leaf_capacity,
         };
@@ -128,13 +110,26 @@ impl MultiSourceFramework {
                 DataSource::build(i as SourceId, name.clone(), grid, datasets, local_config)
             })
             .collect();
-        let delta_lonlat = config.delta_cells * grid.cell_width().max(grid.cell_height());
-        let center = DataCenter::build(&sources, config.leaf_capacity, delta_lonlat);
-        Self {
+        let center = DataCenter::build(&sources, config.leaf_capacity);
+        Ok(Self {
             config,
             grid,
             sources,
             center,
+        })
+    }
+
+    /// Builds the framework, panicking on an invalid configuration — a
+    /// convenience for tests and experiment binaries whose configurations
+    /// are static.  Library callers should prefer [`Self::try_build`].
+    ///
+    /// # Panics
+    ///
+    /// Panics when [`FrameworkConfig::validate`] rejects the configuration.
+    pub fn build(source_data: &[(String, Vec<SpatialDataset>)], config: FrameworkConfig) -> Self {
+        match Self::try_build(source_data, config) {
+            Ok(framework) => framework,
+            Err(e) => panic!("invalid framework configuration: {e}"),
         }
     }
 
@@ -158,61 +153,27 @@ impl MultiSourceFramework {
         &self.center
     }
 
+    /// Executes a unified [`SearchRequest`] (OJSP / CJSP / kNN, single query
+    /// or batch) over the in-process deployment.  This is the blessed query
+    /// surface; everything else delegates to it.
+    pub fn search(&self, request: &SearchRequest) -> Result<SearchResponse, SearchError> {
+        self.engine().run(request)
+    }
+
     /// Applies a batch of maintenance operations to one source through the
-    /// wire protocol, then refreshes the center's DITS-G with the source's
-    /// new root summary — the full cross-layer pipeline of Appendix IX-C.
-    ///
-    /// The exchange is transactional at the batch level: a structurally
-    /// invalid dataset rejects the whole batch with nothing mutated
-    /// anywhere, while individually impossible operations (duplicate
-    /// insert, missing update/delete target) are skipped and counted in
-    /// [`MaintenanceStats::rejected`].  By the time this returns `Ok`, the
-    /// next [`QueryEngine`] batch is planned against a DITS-G that agrees
-    /// with the mutated local index, so `candidate_sources` pruning stays
-    /// lossless.
+    /// wire protocol (over an [`ExclusiveTransport`]), then refreshes the
+    /// center's DITS-G with the source's new root summary — the full
+    /// cross-layer pipeline of Appendix IX-C.  See
+    /// [`DataCenter::apply_updates`] for the transactional semantics; the
+    /// same call works against remote sources over a
+    /// [`TcpTransport`](crate::TcpTransport).
     pub fn apply_updates(
         &mut self,
         source: SourceId,
         ops: &[UpdateOp],
-    ) -> Result<MaintenanceOutcome, MaintenanceError> {
-        let pos = self
-            .sources
-            .iter()
-            .position(|s| s.id == source)
-            .ok_or(MaintenanceError::UnknownSource(source))?;
-        let request = Message::ApplyUpdates { ops: ops.to_vec() };
-        let mut comm = CommStats::new();
-        comm.sources_contacted += 1;
-        comm.record_request(request.wire_size());
-        let (reply, mut stats) = self.sources[pos]
-            .handle_maintenance(&request)
-            .expect("ApplyUpdates is a maintenance request")?;
-        comm.record_reply(reply.wire_size());
-        let Message::SummaryRefresh {
-            summary,
-            dataset_count,
-            ..
-        } = reply
-        else {
-            unreachable!("a maintenance request is answered by SummaryRefresh");
-        };
-        if dataset_count == 0 {
-            // The batch emptied the source.  An empty index has only a
-            // degenerate placeholder geometry and can answer no query, so
-            // it is dropped from DITS-G (readmitted when data returns)
-            // instead of attracting origin-adjacent queries for nothing.
-            self.center.remove_source(source, &mut stats);
-        } else if !self.center.apply_refresh(summary, &mut stats) {
-            // Unknown to DITS-G: the source was empty at build time or was
-            // dropped when a previous batch emptied it — register it now
-            // that it holds data again.
-            self.center.register_source(summary, &mut stats);
-        }
-        Ok(MaintenanceOutcome {
-            summary,
-            stats,
-            comm,
-        })
+    ) -> Result<MaintenanceOutcome, SearchError> {
+        let transport = ExclusiveTransport::new(&mut self.sources);
+        self.center.apply_updates(&transport, source, ops)
     }
 
     /// Total number of datasets across all sources.
@@ -229,54 +190,83 @@ impl MultiSourceFramework {
     /// (`0` means one per available CPU).  Used by the scaling benches and
     /// the sequential-vs-parallel parity tests.
     pub fn engine_with_workers(&self, workers: usize) -> QueryEngine<'_> {
-        QueryEngine::new(
+        QueryEngine::in_process(
             &self.center,
             &self.sources,
             EngineConfig {
                 workers,
                 strategy: self.config.strategy,
                 delta_cells: self.config.delta_cells,
+                collect_stats: true,
             },
         )
     }
 
     /// Runs the overlap joinable search for one query.
-    pub fn ojsp(&self, query: &SpatialDataset, k: usize) -> (AggregatedOverlap, CommStats) {
-        let outcome = self.engine().run_ojsp(std::slice::from_ref(query), k);
-        let answer = outcome
-            .answers
-            .into_iter()
-            .next()
-            .expect("batch of one produces one answer");
-        (answer, outcome.comm)
+    #[deprecated(since = "0.1.0", note = "use `search` with `SearchRequest::ojsp`")]
+    pub fn ojsp(
+        &self,
+        query: &SpatialDataset,
+        k: usize,
+    ) -> Result<(AggregatedOverlap, CommStats), SearchError> {
+        let response = self.search(&SearchRequest::ojsp(query.clone()).k(k))?;
+        let comm = response.comm;
+        match response.results {
+            crate::api::SearchResults::Overlap(answers) => answers
+                .into_iter()
+                .next()
+                .map(|a| (a, comm))
+                .ok_or(SearchError::Internal("batch of one produced no answer")),
+            _ => Err(SearchError::Internal(
+                "OJSP request produced non-OJSP results",
+            )),
+        }
     }
 
     /// Runs the coverage joinable search for one query.
-    pub fn cjsp(&self, query: &SpatialDataset, k: usize) -> (AggregatedCoverage, CommStats) {
-        let outcome = self.engine().run_cjsp(std::slice::from_ref(query), k);
-        let answer = outcome
-            .answers
-            .into_iter()
-            .next()
-            .expect("batch of one produces one answer");
-        (answer, outcome.comm)
+    #[deprecated(since = "0.1.0", note = "use `search` with `SearchRequest::cjsp`")]
+    pub fn cjsp(
+        &self,
+        query: &SpatialDataset,
+        k: usize,
+    ) -> Result<(AggregatedCoverage, CommStats), SearchError> {
+        let response = self.search(&SearchRequest::cjsp(query.clone()).k(k))?;
+        let comm = response.comm;
+        match response.results {
+            crate::api::SearchResults::Coverage(answers) => answers
+                .into_iter()
+                .next()
+                .map(|a| (a, comm))
+                .ok_or(SearchError::Internal("batch of one produced no answer")),
+            _ => Err(SearchError::Internal(
+                "CJSP request produced non-CJSP results",
+            )),
+        }
     }
 
     /// Runs OJSP over a batch of queries through the query engine.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `search` with `SearchRequest::ojsp_batch`"
+    )]
     pub fn run_ojsp(
         &self,
         queries: &[SpatialDataset],
         k: usize,
-    ) -> BatchOutcome<AggregatedOverlap> {
+    ) -> Result<BatchOutcome<AggregatedOverlap>, SearchError> {
         self.engine().run_ojsp(queries, k)
     }
 
     /// Runs CJSP over a batch of queries through the query engine.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `search` with `SearchRequest::cjsp_batch`"
+    )]
     pub fn run_cjsp(
         &self,
         queries: &[SpatialDataset],
         k: usize,
-    ) -> BatchOutcome<AggregatedCoverage> {
+    ) -> Result<BatchOutcome<AggregatedCoverage>, SearchError> {
         self.engine().run_cjsp(queries, k)
     }
 }
@@ -284,6 +274,8 @@ impl MultiSourceFramework {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::api::{SearchRequest, SearchResults};
+    use crate::error::{ConfigError, SearchError};
     use datagen::{generate_source, paper_sources, GeneratorConfig, SourceScale};
     use spatial::Point;
 
@@ -324,29 +316,81 @@ mod tests {
     }
 
     #[test]
+    fn try_build_rejects_invalid_configurations() {
+        let bad_resolution = FrameworkConfig {
+            resolution: 40,
+            ..FrameworkConfig::default()
+        };
+        assert!(matches!(
+            MultiSourceFramework::try_build(&[], bad_resolution),
+            Err(SearchError::Config(ConfigError::Resolution(_)))
+        ));
+        let bad_delta = FrameworkConfig {
+            delta_cells: f64::NAN,
+            ..FrameworkConfig::default()
+        };
+        assert!(matches!(
+            bad_delta.validate(),
+            Err(SearchError::Config(ConfigError::Delta(_)))
+        ));
+        assert!(FrameworkConfig::default().validate().is_ok());
+    }
+
+    #[test]
+    fn unified_search_covers_every_kind() {
+        let (fw, queries) = tiny_framework(DistributionStrategy::PrunedClipped);
+        let query = queries[0].clone();
+
+        let ojsp = fw.search(&SearchRequest::ojsp(query.clone()).k(5)).unwrap();
+        let answers = ojsp.overlap().expect("OJSP answers");
+        assert_eq!(answers.len(), 1);
+        assert!(!answers[0].results.is_empty());
+        assert!(ojsp.comm.total_bytes() > 0);
+        assert!(ojsp.search.expect("stats requested").nodes_visited > 0);
+        assert!(!ojsp.per_source.is_empty());
+
+        let cjsp = fw.search(&SearchRequest::cjsp(query.clone()).k(3)).unwrap();
+        let answers = cjsp.coverage().expect("CJSP answers");
+        assert!(answers[0].coverage >= answers[0].query_coverage);
+
+        let knn = fw
+            .search(&SearchRequest::knn(query).k(4).with_stats(false))
+            .unwrap();
+        let answers = knn.knn().expect("kNN answers");
+        assert_eq!(answers.len(), 1);
+        assert_eq!(answers[0].neighbors[0].1.distance, 0.0);
+        assert!(knn.search.is_none(), "stats were opted out");
+    }
+
+    #[test]
     fn queries_drawn_from_a_source_find_themselves() {
         let (fw, queries) = tiny_framework(DistributionStrategy::PrunedClipped);
-        let outcome = fw.run_ojsp(&queries, 5);
-        assert_eq!(outcome.answers.len(), queries.len());
+        let outcome = fw
+            .search(&SearchRequest::ojsp_batch(queries.clone()).k(5))
+            .unwrap();
+        let answers = outcome.overlap().expect("OJSP answers");
+        assert_eq!(answers.len(), queries.len());
         // A query that *is* one of the indexed datasets must be found with
         // full overlap (it is its own best match).
-        let found_self = outcome
-            .answers
-            .iter()
-            .filter(|a| !a.results.is_empty())
-            .count();
+        let found_self = answers.iter().filter(|a| !a.results.is_empty()).count();
         assert_eq!(found_self, queries.len());
         assert!(outcome.comm.total_bytes() > 0);
-        assert!(outcome.transmission_time_ms(&CommConfig::default()) > 0.0);
+        assert!(outcome.comm.transmission_time_ms(&CommConfig::default()) > 0.0);
     }
 
     #[test]
     fn strategies_agree_on_results_but_not_on_cost() {
         let (fw_b, queries) = tiny_framework(DistributionStrategy::Broadcast);
         let (fw_c, _) = tiny_framework(DistributionStrategy::PrunedClipped);
-        let out_b = fw_b.run_ojsp(&queries, 5);
-        let out_c = fw_c.run_ojsp(&queries, 5);
-        for (a, b) in out_b.answers.iter().zip(out_c.answers.iter()) {
+        let out_b = fw_b
+            .search(&SearchRequest::ojsp_batch(queries.clone()).k(5))
+            .unwrap();
+        let out_c = fw_c
+            .search(&SearchRequest::ojsp_batch(queries).k(5))
+            .unwrap();
+        let answers_b = out_b.overlap().unwrap();
+        let answers_c = out_c.overlap().unwrap();
+        for (a, b) in answers_b.iter().zip(answers_c.iter()) {
             assert_eq!(
                 a.results.iter().map(|(_, r)| r.overlap).collect::<Vec<_>>(),
                 b.results.iter().map(|(_, r)| r.overlap).collect::<Vec<_>>()
@@ -359,37 +403,94 @@ mod tests {
     #[test]
     fn cjsp_batch_improves_coverage() {
         let (fw, queries) = tiny_framework(DistributionStrategy::PrunedClipped);
-        let outcome = fw.run_cjsp(&queries, 3);
-        assert_eq!(outcome.answers.len(), queries.len());
-        for a in &outcome.answers {
+        let outcome = fw
+            .search(&SearchRequest::cjsp_batch(queries.clone()).k(3))
+            .unwrap();
+        let answers = outcome.coverage().expect("CJSP answers");
+        assert_eq!(answers.len(), queries.len());
+        for a in answers {
             assert!(a.coverage >= a.query_coverage);
             assert!(a.selected.len() <= 3);
         }
     }
 
-    /// The stats-merging parity check: a parallel engine run over the five
-    /// sources must produce answers *and* communication byte totals
-    /// identical to the sequential (one-worker) path on the same fixed seed.
     #[test]
-    fn parallel_and_sequential_engines_agree() {
+    fn request_overrides_beat_the_framework_configuration() {
         let (fw, queries) = tiny_framework(DistributionStrategy::PrunedClipped);
-        let seq = fw.engine_with_workers(1).run_ojsp(&queries, 4);
-        let par = fw.engine_with_workers(8).run_ojsp(&queries, 4);
-        assert_eq!(seq.answers, par.answers);
+        // Per-request Broadcast contacts every source on every query.
+        let broadcast = fw
+            .search(
+                &SearchRequest::ojsp_batch(queries.clone())
+                    .k(5)
+                    .strategy(DistributionStrategy::Broadcast),
+            )
+            .unwrap();
+        let pruned = fw
+            .search(&SearchRequest::ojsp_batch(queries.clone()).k(5))
+            .unwrap();
         assert_eq!(
-            seq.comm, par.comm,
-            "CommStats must merge to identical totals"
+            broadcast.comm.sources_contacted,
+            queries.len() * fw.sources().len()
         );
-        assert_eq!(
-            seq.search, par.search,
-            "SearchStats must merge to identical totals"
-        );
+        assert!(pruned.comm.sources_contacted <= broadcast.comm.sources_contacted);
+        // Per-request worker override: answers identical either way.
+        let seq = fw
+            .search(&SearchRequest::ojsp_batch(queries.clone()).k(5).workers(1))
+            .unwrap();
+        assert_eq!(seq.results, pruned.results);
+        assert_eq!(seq.comm, pruned.comm);
 
-        let seq = fw.engine_with_workers(1).run_cjsp(&queries, 3);
-        let par = fw.engine_with_workers(8).run_cjsp(&queries, 3);
-        assert_eq!(seq.answers, par.answers);
-        assert_eq!(seq.comm, par.comm);
-        assert_eq!(seq.search, par.search);
+        // A per-request δ override must reach *routing* too, not only
+        // clipping and aggregation: a widened δ under the pruned strategy
+        // returns the same answers Broadcast does (routing never loses a
+        // connected source).
+        for delta in [0.0, 25.0, 60.0] {
+            let pruned = fw
+                .search(
+                    &SearchRequest::cjsp_batch(queries.clone())
+                        .k(3)
+                        .delta_cells(delta),
+                )
+                .unwrap();
+            let broadcast = fw
+                .search(
+                    &SearchRequest::cjsp_batch(queries.clone())
+                        .k(3)
+                        .delta_cells(delta)
+                        .strategy(DistributionStrategy::Broadcast),
+                )
+                .unwrap();
+            assert_eq!(
+                pruned.results, broadcast.results,
+                "δ={delta}: routing pruned a source the aggregation needed"
+            );
+        }
+    }
+
+    /// The deprecated tuple shims still answer identically to the unified
+    /// API they delegate to.
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shims_delegate_to_search() {
+        let (fw, queries) = tiny_framework(DistributionStrategy::PrunedClipped);
+        let (answer, comm) = fw.ojsp(&queries[0], 5).unwrap();
+        let response = fw
+            .search(&SearchRequest::ojsp(queries[0].clone()).k(5))
+            .unwrap();
+        assert_eq!(
+            response.results,
+            SearchResults::Overlap(vec![answer.clone()])
+        );
+        assert_eq!(response.comm, comm);
+        assert!(!answer.results.is_empty());
+
+        let (coverage, _) = fw.cjsp(&queries[0], 3).unwrap();
+        assert!(coverage.coverage >= coverage.query_coverage);
+
+        let batch = fw.run_ojsp(&queries, 5).unwrap();
+        assert_eq!(batch.answers.len(), queries.len());
+        let batch = fw.run_cjsp(&queries, 3).unwrap();
+        assert_eq!(batch.answers.len(), queries.len());
     }
 
     #[test]
@@ -414,7 +515,10 @@ mod tests {
 
         // The refreshed DITS-G routes a query for the new dataset to the
         // mutated source, and the engine finds it with full overlap.
-        let (answer, _) = fw.ojsp(&new_dataset, 1);
+        let response = fw
+            .search(&SearchRequest::ojsp(new_dataset.clone()).k(1))
+            .unwrap();
+        let answer = &response.overlap().unwrap()[0];
         assert_eq!(answer.results.len(), 1);
         assert_eq!(answer.results[0].0, 3);
         assert_eq!(answer.results[0].1.dataset, 90_000);
@@ -431,7 +535,7 @@ mod tests {
         let before = fw.dataset_count();
         // Unknown source.
         let err = fw.apply_updates(99, &[UpdateOp::Delete(0)]).unwrap_err();
-        assert_eq!(err, MaintenanceError::UnknownSource(99));
+        assert_eq!(err, SearchError::UnknownSource(99));
         // Structurally invalid batch: nothing applied, not even the valid
         // leading op.
         let err = fw
@@ -443,7 +547,7 @@ mod tests {
                 ],
             )
             .unwrap_err();
-        assert!(matches!(err, MaintenanceError::Spatial(_)));
+        assert!(matches!(err, SearchError::Rejected { .. }));
         assert_eq!(fw.dataset_count(), before);
         assert!(!err.to_string().is_empty());
     }

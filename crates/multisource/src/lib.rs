@@ -3,47 +3,80 @@
 //! The framework mirrors Fig. 3 of the paper: a set of independent
 //! [`DataSource`]s, each holding its own datasets and its own DITS-L, and a
 //! [`DataCenter`] that keeps the DITS-G global index built from the sources'
-//! root summaries.  A user query goes to the data center, which
+//! root summaries.  A user builds a [`SearchRequest`] (OJSP, CJSP or kNN —
+//! one query or a batch) and the data center
 //!
 //! 1. consults DITS-G to find the *candidate sources* (first query-
-//!    distribution strategy: fewer communication rounds),
+//!    distribution strategy: fewer communication rounds; kNN uses distance
+//!    bounds instead of intersection),
 //! 2. ships to each candidate only the part of the query that can intersect
 //!    it (second strategy: fewer bytes per round),
-//! 3. lets every candidate run its local OverlapSearch / CoverageSearch, and
-//! 4. aggregates the per-source results into the final top-`k`.
+//! 3. lets every candidate run its local OverlapSearch / CoverageSearch /
+//!    kNN, and
+//! 4. aggregates the per-source results into the final top-`k` answer of a
+//!    [`SearchResponse`].
 //!
-//! The deployment is simulated in-process: every request and response is
-//! serialised into an actual byte buffer by [`message`], and
-//! [`comm::CommStats`] accumulates the transferred bytes and converts them
-//! into transmission time under a configurable bandwidth — exactly the two
-//! communication metrics reported in Figs. 13–14 and 19–20.
+//! # Transports
 //!
-//! All query execution — single queries and batches alike — flows through
-//! the [`engine::QueryEngine`], which fans every batch out as one task per
-//! `(query, candidate source)` shard across a pool of worker threads and
-//! merges per-worker communication / search statistics at the end.
+//! Delivery is pluggable through [`SourceTransport`]: the same planning and
+//! aggregation code runs against
+//!
+//! * [`InProcessTransport`] — sources in this process (the benchmark /
+//!   simulation deployment; every request and response is still serialised
+//!   into actual bytes by [`message`], and [`comm::CommStats`] accounts
+//!   them), and
+//! * [`TcpTransport`] — sources as independent processes speaking
+//!   length-prefixed frames over TCP (the `source-server` binary, or
+//!   [`SourceServer`] threads), with **identical answers and identical
+//!   protocol byte counts**.
+//!
+//! A federated data center bootstraps itself with
+//! [`DataCenter::from_transport`], which polls every remote source for its
+//! root summary.
+//!
+//! All query execution flows through the [`engine::QueryEngine`], which fans
+//! every batch out as one task per `(query, candidate source)` shard across
+//! a pool of worker threads and merges per-worker communication / search /
+//! timing statistics at the end.
 //!
 //! Index mutation flows through
-//! [`framework::MultiSourceFramework::apply_updates`]: maintenance batches
-//! travel as [`message::Message::ApplyUpdates`], each source applies them
+//! [`framework::MultiSourceFramework::apply_updates`] (in-process) or
+//! [`DataCenter::apply_updates`] (any transport): maintenance batches travel
+//! as [`message::Message::ApplyUpdates`], each source applies them
 //! transactionally to its DITS-L, and the
 //! [`message::Message::SummaryRefresh`] acknowledgement is folded into the
 //! center's DITS-G before the next query batch is planned — the consistency
 //! guarantee that keeps `candidate_sources` pruning lossless under churn
 //! (see [`message`] for the protocol details).
+//!
+//! Failures are typed, not panicked: [`WireError`] for undecodable bytes,
+//! [`TransportError`] for undeliverable requests, [`SearchError`] for
+//! whole-request failures (see [`error`]).
 
 #![warn(missing_docs)]
 
+pub mod api;
 pub mod center;
 pub mod comm;
 pub mod engine;
+pub mod error;
 pub mod framework;
 pub mod message;
 pub mod source;
+pub mod transport;
 
-pub use center::{AggregatedCoverage, AggregatedOverlap, DataCenter, DistributionStrategy};
+pub use api::{SearchKind, SearchRequest, SearchResponse, SearchResults, SourceTiming};
+pub use center::{
+    AggregatedCoverage, AggregatedKnn, AggregatedOverlap, DataCenter, DistributionStrategy,
+    MaintenanceOutcome,
+};
 pub use comm::{CommConfig, CommStats};
 pub use engine::{BatchOutcome, EngineConfig, QueryEngine};
-pub use framework::{FrameworkConfig, MaintenanceError, MaintenanceOutcome, MultiSourceFramework};
+pub use error::{ConfigError, SearchError, TransportError, WireError};
+pub use framework::{FrameworkConfig, MultiSourceFramework};
 pub use message::{CoverageCandidate, Message, UpdateOp};
 pub use source::DataSource;
+pub use transport::{
+    serve_source, ExclusiveTransport, InProcessTransport, ServedReply, SourceServer,
+    SourceTransport, TcpTransport, TransportReply,
+};

@@ -6,19 +6,34 @@
 //! delta-encoded as LEB128 varints, which rewards the query-clipping
 //! strategy exactly the way a real deployment would.
 //!
+//! # Query protocol
+//!
+//! Three request/reply exchanges, one per [`SearchKind`](crate::SearchKind):
+//! [`Message::OverlapQuery`] / [`Message::OverlapReply`] (OJSP),
+//! [`Message::CoverageQuery`] / [`Message::CoverageReply`] (CJSP) and
+//! [`Message::KnnQuery`] / [`Message::KnnReply`] (k-nearest datasets).
+//!
 //! # Maintenance protocol
 //!
-//! Besides the two query exchanges (overlap, coverage), the protocol has one
-//! maintenance exchange implementing the paper's Appendix IX-C algorithms
+//! One maintenance exchange implements the paper's Appendix IX-C algorithms
 //! across the deployment:
 //!
 //! * [`Message::ApplyUpdates`] (center → source) carries a batch of
 //!   [`UpdateOp`]s — raw datasets for inserts/updates (each source grids
-//!   them at its own resolution) and dataset ids for deletes.
+//!   them at its own resolution) and dataset ids for deletes.  An *empty*
+//!   batch doubles as a summary poll: it mutates nothing and is answered
+//!   with the source's current summary, which is how a data center
+//!   bootstraps DITS-G from remote sources
+//!   ([`DataCenter::from_transport`](crate::DataCenter::from_transport)).
 //! * [`Message::SummaryRefresh`] (source → center) acknowledges the batch
 //!   and carries the source's *new root summary* plus applied/rejected
 //!   counts, so the data center can refresh DITS-G without another round
 //!   trip.
+//!
+//! A source that cannot serve a request answers [`Message::Error`] with a
+//! machine-readable code ([`ERR_UNSUPPORTED`], [`ERR_REJECTED_BATCH`]) and a
+//! human-readable detail, so a transactional rejection crosses transports
+//! losslessly instead of dying as a closed socket.
 //!
 //! **Consistency guarantee.** A source validates the whole batch before
 //! mutating anything (a structurally invalid op — e.g. an empty dataset —
@@ -29,8 +44,22 @@
 //! `candidate_sources` pruning needs to stay lossless.
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
-use dits::{OverlapResult, SourceSummary};
+use dits::{Neighbor, OverlapResult, SourceSummary};
 use spatial::{CellId, CellSet, DatasetId, Mbr, Point, SourceId, SpatialDataset};
+
+use crate::error::WireError;
+
+/// Error code: the source does not serve this request kind.
+pub const ERR_UNSUPPORTED: u16 = 0;
+/// Error code: a maintenance batch was structurally invalid and rejected as
+/// a whole (nothing was applied).
+pub const ERR_REJECTED_BATCH: u16 = 1;
+
+/// Upper bound on an error detail on the wire.  Enforced symmetrically: the
+/// encoder truncates (at a char boundary) and the decoder rejects anything
+/// longer, so an oversized detail can never round-trip in-process but fail
+/// over TCP.
+const MAX_ERROR_DETAIL_BYTES: usize = 1 << 20;
 
 /// One maintenance operation shipped to a data source as part of a
 /// [`Message::ApplyUpdates`] batch.
@@ -95,6 +124,7 @@ pub enum Message {
         candidates: Vec<CoverageCandidate>,
     },
     /// Data center → source: apply a batch of index-maintenance operations.
+    /// An empty batch is a read-only summary poll.
     ApplyUpdates {
         /// The operations, applied in order.
         ops: Vec<UpdateOp>,
@@ -115,6 +145,32 @@ pub enum Message {
         /// Operations rejected individually (duplicate insert, missing
         /// update/delete target).
         rejected: u64,
+    },
+    /// Data center → source: run a local k-nearest-datasets search.  The
+    /// query travels *unclipped*: dropping far-away query cells could only
+    /// inflate the cell-based distance, which would corrupt the ranking.
+    KnnQuery {
+        /// The full query cell set at the source's resolution.
+        query: CellSet,
+        /// Number of neighbours requested.
+        k: usize,
+    },
+    /// Source → data center: the local k nearest datasets, sorted by
+    /// ascending distance.
+    KnnReply {
+        /// The replying source.
+        source: SourceId,
+        /// Local nearest datasets with exact distances.
+        neighbors: Vec<Neighbor>,
+    },
+    /// Source → data center: the request could not be served.  Carries a
+    /// machine-readable code plus a human-readable detail, so transactional
+    /// rejections survive any transport.
+    Error {
+        /// One of [`ERR_UNSUPPORTED`], [`ERR_REJECTED_BATCH`].
+        code: u16,
+        /// Human-readable reason.
+        detail: String,
     },
 }
 
@@ -190,60 +246,85 @@ impl Message {
                 put_varint(&mut buf, *applied);
                 put_varint(&mut buf, *rejected);
             }
+            Message::KnnQuery { query, k } => {
+                buf.put_u8(6);
+                put_varint(&mut buf, *k as u64);
+                put_cells(&mut buf, query);
+            }
+            Message::KnnReply { source, neighbors } => {
+                buf.put_u8(7);
+                buf.put_u16(*source);
+                put_varint(&mut buf, neighbors.len() as u64);
+                for n in neighbors {
+                    put_varint(&mut buf, n.dataset as u64);
+                    buf.put_f64(n.distance);
+                }
+            }
+            Message::Error { code, detail } => {
+                buf.put_u8(8);
+                buf.put_u16(*code);
+                let mut len = detail.len().min(MAX_ERROR_DETAIL_BYTES);
+                while !detail.is_char_boundary(len) {
+                    len -= 1;
+                }
+                put_varint(&mut buf, len as u64);
+                buf.put_slice(&detail.as_bytes()[..len]);
+            }
         }
         buf.freeze()
     }
 
-    /// Deserialises a message from its wire form.
-    ///
-    /// Returns `None` for malformed input.
-    pub fn decode(mut data: Bytes) -> Option<Self> {
+    /// Deserialises a message from its wire form, reporting *why* malformed
+    /// input was rejected — the difference between "a peer sent garbage" and
+    /// "a frame was cut short", which a federated deployment must be able to
+    /// tell apart.
+    pub fn decode(mut data: Bytes) -> Result<Self, WireError> {
         if data.is_empty() {
-            return None;
+            return Err(WireError::Truncated("message tag"));
         }
         let tag = data.get_u8();
         match tag {
             0 => {
-                let k = get_varint(&mut data)? as usize;
+                let k = get_varint(&mut data, "k")? as usize;
                 let query = get_cells(&mut data)?;
-                Some(Message::OverlapQuery { query, k })
+                Ok(Message::OverlapQuery { query, k })
             }
             1 => {
                 if data.remaining() < 2 {
-                    return None;
+                    return Err(WireError::Truncated("source id"));
                 }
                 let source = data.get_u16();
-                let n = get_varint(&mut data)? as usize;
+                let n = get_varint(&mut data, "result count")? as usize;
                 let mut results = Vec::with_capacity(n.min(1 << 16));
                 for _ in 0..n {
-                    let dataset = get_varint(&mut data)? as DatasetId;
-                    let overlap = get_varint(&mut data)? as usize;
+                    let dataset = get_varint(&mut data, "result dataset id")? as DatasetId;
+                    let overlap = get_varint(&mut data, "result overlap")? as usize;
                     results.push(OverlapResult { dataset, overlap });
                 }
-                Some(Message::OverlapReply { source, results })
+                Ok(Message::OverlapReply { source, results })
             }
             2 => {
-                let k = get_varint(&mut data)? as usize;
+                let k = get_varint(&mut data, "k")? as usize;
                 if data.remaining() < 8 {
-                    return None;
+                    return Err(WireError::Truncated("delta"));
                 }
                 let delta = data.get_f64();
                 let query = get_cells(&mut data)?;
-                Some(Message::CoverageQuery { query, k, delta })
+                Ok(Message::CoverageQuery { query, k, delta })
             }
             3 => {
                 if data.remaining() < 2 {
-                    return None;
+                    return Err(WireError::Truncated("source id"));
                 }
                 let source = data.get_u16();
-                let n = get_varint(&mut data)? as usize;
+                let n = get_varint(&mut data, "candidate count")? as usize;
                 let mut candidates = Vec::with_capacity(n.min(1 << 16));
                 for _ in 0..n {
                     if data.remaining() < 2 {
-                        return None;
+                        return Err(WireError::Truncated("candidate source id"));
                     }
                     let src = data.get_u16();
-                    let dataset = get_varint(&mut data)? as DatasetId;
+                    let dataset = get_varint(&mut data, "candidate dataset id")? as DatasetId;
                     let cells = get_cells(&mut data)?;
                     candidates.push(CoverageCandidate {
                         source: src,
@@ -251,37 +332,37 @@ impl Message {
                         cells,
                     });
                 }
-                Some(Message::CoverageReply { source, candidates })
+                Ok(Message::CoverageReply { source, candidates })
             }
             4 => {
-                let n = get_varint(&mut data)? as usize;
+                let n = get_varint(&mut data, "op count")? as usize;
                 let mut ops = Vec::with_capacity(n.min(1 << 16));
                 for _ in 0..n {
                     if !data.has_remaining() {
-                        return None;
+                        return Err(WireError::Truncated("op tag"));
                     }
                     let op = match data.get_u8() {
                         0 => UpdateOp::Insert(get_dataset(&mut data)?),
                         1 => UpdateOp::Update(get_dataset(&mut data)?),
-                        2 => UpdateOp::Delete(get_varint(&mut data)? as DatasetId),
-                        _ => return None,
+                        2 => UpdateOp::Delete(get_varint(&mut data, "delete target")? as DatasetId),
+                        other => return Err(WireError::BadOpTag(other)),
                     };
                     ops.push(op);
                 }
-                Some(Message::ApplyUpdates { ops })
+                Ok(Message::ApplyUpdates { ops })
             }
             5 => {
                 if data.remaining() < 2 + 4 + 4 * 8 {
-                    return None;
+                    return Err(WireError::Truncated("summary"));
                 }
                 let source = data.get_u16();
                 let resolution = data.get_u32();
                 let min = Point::new(data.get_f64(), data.get_f64());
                 let max = Point::new(data.get_f64(), data.get_f64());
-                let dataset_count = get_varint(&mut data)?;
-                let applied = get_varint(&mut data)?;
-                let rejected = get_varint(&mut data)?;
-                Some(Message::SummaryRefresh {
+                let dataset_count = get_varint(&mut data, "dataset count")?;
+                let applied = get_varint(&mut data, "applied count")?;
+                let rejected = get_varint(&mut data, "rejected count")?;
+                Ok(Message::SummaryRefresh {
                     summary: SourceSummary {
                         source,
                         geometry: dits::NodeGeometry::from_mbr(Mbr::new(min, max)),
@@ -292,8 +373,56 @@ impl Message {
                     rejected,
                 })
             }
-            _ => None,
+            6 => {
+                let k = get_varint(&mut data, "k")? as usize;
+                let query = get_cells(&mut data)?;
+                Ok(Message::KnnQuery { query, k })
+            }
+            7 => {
+                if data.remaining() < 2 {
+                    return Err(WireError::Truncated("source id"));
+                }
+                let source = data.get_u16();
+                let n = get_varint(&mut data, "neighbor count")? as usize;
+                let mut neighbors = Vec::with_capacity(n.min(1 << 16));
+                for _ in 0..n {
+                    let dataset = get_varint(&mut data, "neighbor dataset id")? as DatasetId;
+                    if data.remaining() < 8 {
+                        return Err(WireError::Truncated("neighbor distance"));
+                    }
+                    let distance = data.get_f64();
+                    neighbors.push(Neighbor { dataset, distance });
+                }
+                Ok(Message::KnnReply { source, neighbors })
+            }
+            8 => {
+                if data.remaining() < 2 {
+                    return Err(WireError::Truncated("error code"));
+                }
+                let code = data.get_u16();
+                let len = get_varint(&mut data, "error detail length")? as usize;
+                if len > MAX_ERROR_DETAIL_BYTES {
+                    return Err(WireError::Oversized("error detail"));
+                }
+                if data.remaining() < len {
+                    return Err(WireError::Truncated("error detail"));
+                }
+                let detail = String::from_utf8(data.chunk()[..len].to_vec())
+                    .map_err(|_| WireError::BadUtf8)?;
+                data.advance(len);
+                Ok(Message::Error { code, detail })
+            }
+            other => Err(WireError::BadTag(other)),
         }
+    }
+
+    /// Deserialises a message, collapsing the failure reason.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `decode`, which reports why decoding failed"
+    )]
+    pub fn decode_opt(data: Bytes) -> Option<Self> {
+        Self::decode(data).ok()
     }
 
     /// Size of the message on the wire, in bytes.
@@ -316,23 +445,27 @@ fn put_dataset(buf: &mut BytesMut, dataset: &SpatialDataset) {
     }
 }
 
-fn get_dataset(data: &mut Bytes) -> Option<SpatialDataset> {
-    let id = get_varint(data)? as DatasetId;
-    let name_len = get_varint(data)? as usize;
+fn get_dataset(data: &mut Bytes) -> Result<SpatialDataset, WireError> {
+    let id = get_varint(data, "dataset id")? as DatasetId;
+    let name_len = get_varint(data, "dataset name length")? as usize;
     if data.remaining() < name_len {
-        return None;
+        return Err(WireError::Truncated("dataset name"));
     }
-    let name = String::from_utf8(data.chunk()[..name_len].to_vec()).ok()?;
+    let name =
+        String::from_utf8(data.chunk()[..name_len].to_vec()).map_err(|_| WireError::BadUtf8)?;
     data.advance(name_len);
-    let n = get_varint(data)? as usize;
-    if data.remaining() < n.checked_mul(16)? {
-        return None;
+    let n = get_varint(data, "point count")? as usize;
+    let needed = n
+        .checked_mul(16)
+        .ok_or(WireError::Oversized("point count"))?;
+    if data.remaining() < needed {
+        return Err(WireError::Truncated("dataset points"));
     }
     let mut points = Vec::with_capacity(n);
     for _ in 0..n {
         points.push(Point::new(data.get_f64(), data.get_f64()));
     }
-    Some(SpatialDataset::named(id, name, points))
+    Ok(SpatialDataset::named(id, name, points))
 }
 
 /// Writes a cell set as a count followed by delta-encoded varints (the cells
@@ -346,20 +479,21 @@ fn put_cells(buf: &mut BytesMut, cells: &CellSet) {
     }
 }
 
-fn get_cells(data: &mut Bytes) -> Option<CellSet> {
-    let n = get_varint(data)? as usize;
+fn get_cells(data: &mut Bytes) -> Result<CellSet, WireError> {
+    let n = get_varint(data, "cell count")? as usize;
     let mut cells = Vec::with_capacity(n.min(1 << 20));
     let mut previous: CellId = 0;
     for _ in 0..n {
-        let delta = get_varint(data)?;
-        previous = previous.checked_add(delta)?;
+        let delta = get_varint(data, "cell delta")?;
+        previous = previous.checked_add(delta).ok_or(WireError::CellOverflow)?;
         cells.push(previous);
     }
-    Some(CellSet::from_cells(cells))
+    Ok(CellSet::from_cells(cells))
 }
 
-/// LEB128 unsigned varint.
-fn put_varint(buf: &mut BytesMut, mut value: u64) {
+/// LEB128 unsigned varint.  `pub(crate)` so the transport frame codec reuses
+/// the exact same integer representation as the messages it carries.
+pub(crate) fn put_varint(buf: &mut BytesMut, mut value: u64) {
     loop {
         let byte = (value & 0x7f) as u8;
         value >>= 7;
@@ -371,17 +505,20 @@ fn put_varint(buf: &mut BytesMut, mut value: u64) {
     }
 }
 
-fn get_varint(data: &mut Bytes) -> Option<u64> {
+pub(crate) fn get_varint(data: &mut Bytes, what: &'static str) -> Result<u64, WireError> {
     let mut value: u64 = 0;
     let mut shift = 0u32;
     loop {
-        if !data.has_remaining() || shift >= 64 {
-            return None;
+        if !data.has_remaining() {
+            return Err(WireError::Truncated(what));
+        }
+        if shift >= 64 {
+            return Err(WireError::BadVarint(what));
         }
         let byte = data.get_u8();
         value |= ((byte & 0x7f) as u64) << shift;
         if byte & 0x80 == 0 {
-            return Some(value);
+            return Ok(value);
         }
         shift += 7;
     }
@@ -403,7 +540,7 @@ mod tests {
             k: 10,
         };
         let encoded = m.encode();
-        assert_eq!(Message::decode(encoded.clone()), Some(m.clone()));
+        assert_eq!(Message::decode(encoded.clone()), Ok(m.clone()));
         assert_eq!(m.wire_size(), encoded.len());
     }
 
@@ -422,7 +559,7 @@ mod tests {
                 },
             ],
         };
-        assert_eq!(Message::decode(m.encode()), Some(m));
+        assert_eq!(Message::decode(m.encode()), Ok(m));
     }
 
     #[test]
@@ -432,7 +569,7 @@ mod tests {
             k: 5,
             delta: 10.0,
         };
-        assert_eq!(Message::decode(q.encode()), Some(q));
+        assert_eq!(Message::decode(q.encode()), Ok(q));
         let r = Message::CoverageReply {
             source: 1,
             candidates: vec![CoverageCandidate {
@@ -441,21 +578,86 @@ mod tests {
                 cells: cs(&[9, 10, 11]),
             }],
         };
-        assert_eq!(Message::decode(r.encode()), Some(r));
+        assert_eq!(Message::decode(r.encode()), Ok(r));
     }
 
     #[test]
-    fn malformed_input_is_rejected() {
-        assert_eq!(Message::decode(Bytes::new()), None);
-        assert_eq!(Message::decode(Bytes::from_static(&[9, 1, 2])), None);
-        // Truncated query.
+    fn knn_messages_roundtrip() {
+        let q = Message::KnnQuery {
+            query: cs(&[3, 8, 1024]),
+            k: 7,
+        };
+        assert_eq!(Message::decode(q.encode()), Ok(q));
+        let r = Message::KnnReply {
+            source: 4,
+            neighbors: vec![
+                Neighbor {
+                    dataset: 12,
+                    distance: 0.0,
+                },
+                Neighbor {
+                    dataset: 99,
+                    distance: 3.5,
+                },
+            ],
+        };
+        assert_eq!(Message::decode(r.encode()), Ok(r));
+    }
+
+    #[test]
+    fn error_message_roundtrips() {
+        let m = Message::Error {
+            code: ERR_REJECTED_BATCH,
+            detail: "dataset 42 is empty".to_string(),
+        };
+        assert_eq!(Message::decode(m.encode()), Ok(m));
+        let empty = Message::Error {
+            code: ERR_UNSUPPORTED,
+            detail: String::new(),
+        };
+        assert_eq!(Message::decode(empty.encode()), Ok(empty));
+    }
+
+    #[test]
+    fn malformed_input_is_rejected_with_a_reason() {
+        assert_eq!(
+            Message::decode(Bytes::new()),
+            Err(WireError::Truncated("message tag"))
+        );
+        assert_eq!(
+            Message::decode(Bytes::from_static(&[99, 1, 2])),
+            Err(WireError::BadTag(99))
+        );
+        // Truncated query: the last cell delta is cut off.
         let m = Message::OverlapQuery {
             query: cs(&[1, 2, 3]),
             k: 1,
         };
         let enc = m.encode();
         let truncated = enc.slice(0..enc.len() - 1);
-        assert_eq!(Message::decode(truncated), None);
+        assert_eq!(
+            Message::decode(truncated),
+            Err(WireError::Truncated("cell delta"))
+        );
+        // An overlong varint is a BadVarint, not a truncation.
+        let mut raw = vec![0u8]; // OverlapQuery tag
+        raw.extend(std::iter::repeat_n(0x80, 10));
+        raw.push(0x01);
+        assert_eq!(
+            Message::decode(Bytes::from(raw)),
+            Err(WireError::BadVarint("k"))
+        );
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_option_shim_still_works() {
+        let m = Message::KnnQuery {
+            query: cs(&[1]),
+            k: 1,
+        };
+        assert_eq!(Message::decode_opt(m.encode()), Some(m));
+        assert_eq!(Message::decode_opt(Bytes::new()), None);
     }
 
     #[test]
@@ -473,7 +675,7 @@ mod tests {
             ],
         };
         let encoded = batch.encode();
-        assert_eq!(Message::decode(encoded.clone()), Some(batch.clone()));
+        assert_eq!(Message::decode(encoded.clone()), Ok(batch.clone()));
         assert_eq!(batch.wire_size(), encoded.len());
 
         let grid = spatial::Grid::global(10).unwrap();
@@ -487,13 +689,13 @@ mod tests {
             applied: 3,
             rejected: 1,
         };
-        assert_eq!(Message::decode(reply.encode()), Some(reply));
+        assert_eq!(Message::decode(reply.encode()), Ok(reply));
     }
 
     #[test]
     fn empty_maintenance_batch_roundtrips() {
         let m = Message::ApplyUpdates { ops: vec![] };
-        assert_eq!(Message::decode(m.encode()), Some(m));
+        assert_eq!(Message::decode(m.encode()), Ok(m));
     }
 
     #[test]
@@ -506,16 +708,18 @@ mod tests {
         };
         let enc = batch.encode();
         for cut in 1..enc.len() {
-            assert_eq!(
-                Message::decode(enc.slice(0..cut)),
-                None,
+            assert!(
+                Message::decode(enc.slice(0..cut)).is_err(),
                 "truncation at {cut} must fail"
             );
         }
         // Unknown op tag.
         let mut raw = enc.to_vec();
         raw[2] = 9;
-        assert_eq!(Message::decode(Bytes::from(raw)), None);
+        assert_eq!(
+            Message::decode(Bytes::from(raw)),
+            Err(WireError::BadOpTag(9))
+        );
     }
 
     #[test]
@@ -552,10 +756,12 @@ mod tests {
             delta in 0.0f64..50.0,
         ) {
             let q = Message::OverlapQuery { query: CellSet::from_cells(cells.clone()), k };
-            prop_assert_eq!(Message::decode(q.encode()), Some(q));
+            prop_assert_eq!(Message::decode(q.encode()), Ok(q));
             let c = Message::CoverageQuery {
                 query: CellSet::from_cells(cells.clone()), k, delta };
-            prop_assert_eq!(Message::decode(c.encode()), Some(c));
+            prop_assert_eq!(Message::decode(c.encode()), Ok(c));
+            let n = Message::KnnQuery { query: CellSet::from_cells(cells.clone()), k };
+            prop_assert_eq!(Message::decode(n.encode()), Ok(n));
             let r = Message::CoverageReply {
                 source,
                 candidates: vec![CoverageCandidate {
@@ -564,7 +770,7 @@ mod tests {
                     cells: CellSet::from_cells(cells),
                 }],
             };
-            prop_assert_eq!(Message::decode(r.encode()), Some(r));
+            prop_assert_eq!(Message::decode(r.encode()), Ok(r));
         }
     }
 }

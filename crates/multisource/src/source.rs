@@ -3,12 +3,13 @@
 //! center's maintenance batches (Appendix IX-C at deployment scale).
 
 use dits::{
-    coverage_search, overlap_search, CoverageConfig, DatasetNode, DitsLocal, DitsLocalConfig,
-    MaintenanceStats, SearchStats, SourceSummary,
+    coverage_search, nearest_datasets, overlap_search, CoverageConfig, DatasetNode, DitsLocal,
+    DitsLocalConfig, MaintenanceStats, SearchStats, SourceSummary,
 };
 use spatial::{CellSet, DatasetId, Grid, SourceId, SpatialDataset, SpatialError};
 
-use crate::message::{CoverageCandidate, Message, UpdateOp};
+use crate::message::{CoverageCandidate, Message, UpdateOp, ERR_REJECTED_BATCH, ERR_UNSUPPORTED};
+use crate::transport::ServedReply;
 
 /// A maintenance operation whose dataset has already been gridded — the
 /// validated form [`DataSource::apply_updates`] executes.
@@ -109,24 +110,26 @@ impl DataSource {
                 }
                 PreparedOp::Update(node) => {
                     if self.index.update_with_stats(node.clone(), &mut stats) {
-                        let pos = self
-                            .dataset_nodes
-                            .iter()
-                            .position(|e| e.id == node.id)
-                            .expect("cache is in sync with the index");
-                        self.dataset_nodes[pos] = node;
+                        // The cache mirrors the index, so the id is present;
+                        // resync by appending if it ever is not (a request
+                        // handler must stay total).
+                        let pos = self.dataset_nodes.iter().position(|e| e.id == node.id);
+                        debug_assert!(pos.is_some(), "cache is in sync with the index");
+                        match pos {
+                            Some(pos) => self.dataset_nodes[pos] = node,
+                            None => self.dataset_nodes.push(node),
+                        }
                     } else {
                         stats.rejected += 1;
                     }
                 }
                 PreparedOp::Delete(id) => {
                     if self.index.delete_with_stats(id, &mut stats) {
-                        let pos = self
-                            .dataset_nodes
-                            .iter()
-                            .position(|e| e.id == id)
-                            .expect("cache is in sync with the index");
-                        self.dataset_nodes.swap_remove(pos);
+                        let pos = self.dataset_nodes.iter().position(|e| e.id == id);
+                        debug_assert!(pos.is_some(), "cache is in sync with the index");
+                        if let Some(pos) = pos {
+                            self.dataset_nodes.swap_remove(pos);
+                        }
                     } else {
                         stats.rejected += 1;
                     }
@@ -175,6 +178,21 @@ impl DataSource {
     /// The root summary uploaded to the data center after index construction.
     pub fn summary(&self) -> SourceSummary {
         SourceSummary::from_local_root(self.id, &self.grid, self.index.root_geometry())
+    }
+
+    /// The [`Message::SummaryRefresh`] this source would answer to a
+    /// read-only summary poll (an empty [`Message::ApplyUpdates`] batch):
+    /// the current root summary, the current dataset count, nothing applied.
+    ///
+    /// Takes `&self` — polling never mutates, which lets the shared
+    /// (lock-free) in-process transport bootstrap a data center.
+    pub fn summary_message(&self) -> Message {
+        Message::SummaryRefresh {
+            summary: self.summary(),
+            dataset_count: self.index.dataset_count() as u64,
+            applied: 0,
+            rejected: 0,
+        }
     }
 
     /// Grids a query dataset with this source's own resolution.
@@ -231,12 +249,75 @@ impl DataSource {
                     stats,
                 ))
             }
+            Message::KnnQuery { query, k } => {
+                let (neighbors, stats) = nearest_datasets(&self.index, query, *k);
+                Some((
+                    Message::KnnReply {
+                        source: self.id,
+                        neighbors,
+                    },
+                    stats,
+                ))
+            }
             // Maintenance requests need `&mut self` and flow through
             // [`Self::handle_maintenance`]; replies are never requests.
             Message::ApplyUpdates { .. }
             | Message::OverlapReply { .. }
             | Message::CoverageReply { .. }
-            | Message::SummaryRefresh { .. } => None,
+            | Message::SummaryRefresh { .. }
+            | Message::KnnReply { .. }
+            | Message::Error { .. } => None,
+        }
+    }
+
+    /// The one-stop request dispatcher every transport server uses: query
+    /// messages go through [`Self::handle_with_stats`], maintenance batches
+    /// through [`Self::handle_maintenance`], and anything unservable —
+    /// including a transactionally rejected batch — becomes a
+    /// [`Message::Error`] reply instead of a dropped connection.  This is
+    /// what makes a source behave *identically* behind the in-process
+    /// transport and behind a TCP socket.
+    pub fn serve(&mut self, request: &Message) -> ServedReply {
+        match request {
+            Message::ApplyUpdates { ops } if !ops.is_empty() => {
+                match self.handle_maintenance(request) {
+                    Some(Ok((reply, stats))) => ServedReply::maintenance(reply, stats),
+                    Some(Err(e)) => ServedReply::plain(Message::Error {
+                        code: ERR_REJECTED_BATCH,
+                        detail: e.to_string(),
+                    }),
+                    // Unreachable: the match arm guarantees a maintenance
+                    // request, but stay total instead of panicking.
+                    None => ServedReply::plain(Message::Error {
+                        code: ERR_UNSUPPORTED,
+                        detail: "not a maintenance request".to_string(),
+                    }),
+                }
+            }
+            other => self.serve_readonly(other),
+        }
+    }
+
+    /// The read-only half of [`Self::serve`]: summary polls and query
+    /// messages, which never mutate the index.  Both in-process transports
+    /// and the TCP server's read path dispatch through this single function,
+    /// so the protocols cannot drift apart.
+    pub fn serve_readonly(&self, request: &Message) -> ServedReply {
+        match request {
+            Message::ApplyUpdates { ops } if ops.is_empty() => {
+                ServedReply::plain(self.summary_message())
+            }
+            Message::ApplyUpdates { .. } => ServedReply::plain(Message::Error {
+                code: ERR_UNSUPPORTED,
+                detail: "mutating maintenance needs exclusive access".to_string(),
+            }),
+            other => match self.handle_with_stats(other) {
+                Some((reply, stats)) => ServedReply::search(reply, stats),
+                None => ServedReply::plain(Message::Error {
+                    code: ERR_UNSUPPORTED,
+                    detail: "request kind not served by a data source".to_string(),
+                }),
+            },
         }
     }
 }

@@ -1,0 +1,762 @@
+//! Pluggable delivery of [`Message`]s to data sources.
+//!
+//! The query engine, the data center and the maintenance pipeline never talk
+//! to a [`DataSource`] directly — they hand a request to a
+//! [`SourceTransport`] and get the reply back.  Everything above the
+//! transport (routing, clipping, aggregation, byte accounting) is therefore
+//! oblivious to *where* a source lives:
+//!
+//! * [`InProcessTransport`] — the sources live in this process; a call is a
+//!   function call.  Lock-free (`&[DataSource]`), so the engine's worker
+//!   threads fan out without synchronisation.  Serves queries and read-only
+//!   summary polls; mutating maintenance needs [`ExclusiveTransport`].
+//! * [`ExclusiveTransport`] — in-process with exclusive access
+//!   (`&mut Vec<DataSource>` behind a mutex): the full protocol including
+//!   mutating maintenance batches.
+//! * [`TcpTransport`] — each source is a remote process reached over
+//!   length-prefixed frames on `std::net::TcpStream`, speaking exactly the
+//!   bytes [`Message::encode`] produces.  [`SourceServer`] (and the
+//!   `source-server` binary) are the other end of that socket.
+//!
+//! Byte accounting ([`CommStats`](crate::CommStats)) counts
+//! [`Message::wire_size`] in both directions regardless of transport — the
+//! frame header is transport framing, like a TCP header, not protocol
+//! payload — so the communication metrics of a run are identical whether the
+//! sources are threads or processes.
+//!
+//! # Frame format
+//!
+//! ```text
+//! [u32 BE body length][u8 flags][varint msg_len][message][stats varints]
+//! ```
+//!
+//! `flags` bit 0 on a request asks the source to append its off-wire search
+//! statistics to the reply; bits 1/2 on a reply say a
+//! [`SearchStats`]/[`MaintenanceStats`] block follows the message.  The
+//! statistics are an *instrumentation channel*: they ride in the frame, not
+//! in the message, so opting in or out never changes the protocol bytes the
+//! paper's communication figures count.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::Mutex;
+use std::time::Duration;
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use dits::{MaintenanceStats, SearchStats};
+use spatial::SourceId;
+
+use crate::error::{TransportError, WireError};
+use crate::message::{get_varint, put_varint, Message};
+use crate::source::DataSource;
+
+/// Request flag: append search/maintenance statistics to the reply frame.
+const FLAG_WANT_STATS: u8 = 0b0000_0001;
+/// Reply flag: a [`SearchStats`] block follows the message.
+const FLAG_HAS_SEARCH: u8 = 0b0000_0010;
+/// Reply flag: a [`MaintenanceStats`] block follows the message.
+const FLAG_HAS_MAINTENANCE: u8 = 0b0000_0100;
+
+/// Upper bound on one frame body; anything larger is a corrupt length
+/// prefix, not a real request.
+const MAX_FRAME_BYTES: usize = 256 << 20;
+
+/// What a transport call brings back: the reply message, the exact protocol
+/// byte counts of the exchange (so callers never re-encode messages just to
+/// account them — the TCP transport reads the sizes off the frames it
+/// already moved), plus the off-wire statistics the source produced while
+/// serving it (when requested and when the request kind has any).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TransportReply {
+    /// The source's reply message.
+    pub message: Message,
+    /// Wire size of the request message, in bytes.
+    pub request_bytes: usize,
+    /// Wire size of the reply message, in bytes.
+    pub reply_bytes: usize,
+    /// Local-search statistics (query requests only).
+    pub search: Option<SearchStats>,
+    /// Index-maintenance statistics (maintenance requests only).
+    pub maintenance: Option<MaintenanceStats>,
+}
+
+/// What [`DataSource::serve`] produces: the reply plus whichever statistics
+/// block the request kind has.  Shared by every server implementation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServedReply {
+    /// The reply message to put on the wire.
+    pub message: Message,
+    /// Search statistics, for query requests.
+    pub search: Option<SearchStats>,
+    /// Maintenance statistics, for applied maintenance batches.
+    pub maintenance: Option<MaintenanceStats>,
+}
+
+impl ServedReply {
+    /// A reply with no statistics (errors, summary polls).
+    pub fn plain(message: Message) -> Self {
+        Self {
+            message,
+            search: None,
+            maintenance: None,
+        }
+    }
+
+    /// A query reply with its search statistics.
+    pub fn search(message: Message, stats: SearchStats) -> Self {
+        Self {
+            message,
+            search: Some(stats),
+            maintenance: None,
+        }
+    }
+
+    /// A maintenance acknowledgement with its maintenance statistics.
+    pub fn maintenance(message: Message, stats: MaintenanceStats) -> Self {
+        Self {
+            message,
+            search: None,
+            maintenance: Some(stats),
+        }
+    }
+
+    fn into_reply(self, want_stats: bool, request_bytes: usize) -> TransportReply {
+        let reply_bytes = self.message.wire_size();
+        TransportReply {
+            message: self.message,
+            request_bytes,
+            reply_bytes,
+            search: self.search.filter(|_| want_stats),
+            maintenance: self.maintenance.filter(|_| want_stats),
+        }
+    }
+}
+
+/// Delivery of one request to one data source.
+///
+/// Implementations must be callable from many engine worker threads at once
+/// (`Sync` is a supertrait); queries take `&self`.
+pub trait SourceTransport: fmt::Debug + Sync {
+    /// The sources reachable through this transport, ascending by id.
+    fn source_ids(&self) -> Vec<SourceId>;
+
+    /// Sends `request` to `source` and waits for the reply.  With
+    /// `want_stats`, the source's off-wire statistics ride back alongside
+    /// the reply (never changing the counted protocol bytes).
+    fn call(
+        &self,
+        source: SourceId,
+        request: &Message,
+        want_stats: bool,
+    ) -> Result<TransportReply, TransportError>;
+}
+
+/// The in-process transport: sources are a borrowed slice, a call is a
+/// function call.  This is the deployment every benchmark and test uses by
+/// default, and it is `Copy` — the engine carries it by value.
+///
+/// Mutating maintenance batches are refused with
+/// [`TransportError::ExclusiveRequired`]; route them through
+/// [`ExclusiveTransport`] (what
+/// [`MultiSourceFramework::apply_updates`](crate::MultiSourceFramework::apply_updates)
+/// does internally).
+#[derive(Debug, Clone, Copy)]
+pub struct InProcessTransport<'a> {
+    sources: &'a [DataSource],
+}
+
+impl<'a> InProcessTransport<'a> {
+    /// A transport over the given sources.
+    pub fn new(sources: &'a [DataSource]) -> Self {
+        Self { sources }
+    }
+
+    fn find(&self, source: SourceId) -> Result<&'a DataSource, TransportError> {
+        self.sources
+            .iter()
+            .find(|s| s.id == source)
+            .ok_or(TransportError::UnknownSource(source))
+    }
+}
+
+impl SourceTransport for InProcessTransport<'_> {
+    fn source_ids(&self) -> Vec<SourceId> {
+        let mut ids: Vec<SourceId> = self.sources.iter().map(|s| s.id).collect();
+        ids.sort_unstable();
+        ids
+    }
+
+    fn call(
+        &self,
+        source: SourceId,
+        request: &Message,
+        want_stats: bool,
+    ) -> Result<TransportReply, TransportError> {
+        let src = self.find(source)?;
+        match request {
+            // A mutating batch cannot be applied through a shared borrow;
+            // fail loudly instead of answering with a protocol error, so
+            // the caller reaches for `ExclusiveTransport`.
+            Message::ApplyUpdates { ops } if !ops.is_empty() => {
+                Err(TransportError::ExclusiveRequired)
+            }
+            other => Ok(src
+                .serve_readonly(other)
+                .into_reply(want_stats, request.wire_size())),
+        }
+    }
+}
+
+/// The exclusive in-process transport: full protocol including mutating
+/// maintenance, over `&mut` sources behind a mutex (the [`SourceTransport`]
+/// contract takes `&self`).  Built transiently by the framework's
+/// maintenance path; the mutex is uncontended there.
+pub struct ExclusiveTransport<'a> {
+    sources: Mutex<&'a mut Vec<DataSource>>,
+}
+
+impl fmt::Debug for ExclusiveTransport<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ExclusiveTransport").finish_non_exhaustive()
+    }
+}
+
+impl<'a> ExclusiveTransport<'a> {
+    /// A transport with exclusive access to the sources.
+    pub fn new(sources: &'a mut Vec<DataSource>) -> Self {
+        Self {
+            sources: Mutex::new(sources),
+        }
+    }
+}
+
+impl SourceTransport for ExclusiveTransport<'_> {
+    fn source_ids(&self) -> Vec<SourceId> {
+        let guard = match self.sources.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        let mut ids: Vec<SourceId> = guard.iter().map(|s| s.id).collect();
+        ids.sort_unstable();
+        ids
+    }
+
+    fn call(
+        &self,
+        source: SourceId,
+        request: &Message,
+        want_stats: bool,
+    ) -> Result<TransportReply, TransportError> {
+        let mut guard = match self.sources.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        let src = guard
+            .iter_mut()
+            .find(|s| s.id == source)
+            .ok_or(TransportError::UnknownSource(source))?;
+        Ok(src
+            .serve(request)
+            .into_reply(want_stats, request.wire_size()))
+    }
+}
+
+/// The TCP federation transport: every source is an independent process (or
+/// thread) listening on its own socket, and a call is one framed
+/// request/reply exchange on a fresh connection.
+///
+/// Connections are per-call on purpose: the engine's worker threads each
+/// open their own sockets, so no pooling, no locking, and a crashed source
+/// affects exactly the calls addressed to it.
+#[derive(Debug, Clone)]
+pub struct TcpTransport {
+    endpoints: BTreeMap<SourceId, String>,
+    timeout: Option<Duration>,
+}
+
+impl TcpTransport {
+    /// A transport over `(source id, "host:port")` endpoints.
+    pub fn new(endpoints: impl IntoIterator<Item = (SourceId, String)>) -> Self {
+        Self {
+            endpoints: endpoints.into_iter().collect(),
+            timeout: Some(Duration::from_secs(30)),
+        }
+    }
+
+    /// Overrides the per-call read/write timeout (`None` blocks forever).
+    pub fn with_timeout(mut self, timeout: Option<Duration>) -> Self {
+        self.timeout = timeout;
+        self
+    }
+
+    /// The registered endpoints.
+    pub fn endpoints(&self) -> &BTreeMap<SourceId, String> {
+        &self.endpoints
+    }
+}
+
+impl SourceTransport for TcpTransport {
+    fn source_ids(&self) -> Vec<SourceId> {
+        self.endpoints.keys().copied().collect()
+    }
+
+    fn call(
+        &self,
+        source: SourceId,
+        request: &Message,
+        want_stats: bool,
+    ) -> Result<TransportReply, TransportError> {
+        let addr = self
+            .endpoints
+            .get(&source)
+            .ok_or(TransportError::UnknownSource(source))?;
+        let io_err = |stage: &str, e: std::io::Error| {
+            TransportError::Io(format!("{stage} {addr} (source {source}): {e}"))
+        };
+        let mut stream = TcpStream::connect(addr).map_err(|e| io_err("connect", e))?;
+        stream
+            .set_read_timeout(self.timeout)
+            .and_then(|()| stream.set_write_timeout(self.timeout))
+            .and_then(|()| stream.set_nodelay(true))
+            .map_err(|e| io_err("configure", e))?;
+        let request_bytes = write_frame(
+            &mut stream,
+            &ServedReply::plain(request.clone()),
+            want_stats,
+        )
+        .map_err(|e| io_err("send to", e))?;
+        let frame = read_frame(&mut stream).map_err(|e| match e {
+            FrameError::Io(e) => io_err("receive from", e),
+            FrameError::Wire(w) => TransportError::Wire(w),
+        })?;
+        Ok(TransportReply {
+            message: frame.message,
+            request_bytes,
+            reply_bytes: frame.message_bytes,
+            search: frame.search,
+            maintenance: frame.maintenance,
+        })
+    }
+}
+
+/// One decoded frame.
+struct DecodedFrame {
+    want_stats: bool,
+    message: Message,
+    /// Wire size of `message` (the frame's inner length prefix).
+    message_bytes: usize,
+    search: Option<SearchStats>,
+    maintenance: Option<MaintenanceStats>,
+}
+
+/// Why a frame could not be read.
+enum FrameError {
+    Io(std::io::Error),
+    Wire(WireError),
+}
+
+impl From<std::io::Error> for FrameError {
+    fn from(e: std::io::Error) -> Self {
+        FrameError::Io(e)
+    }
+}
+
+impl From<WireError> for FrameError {
+    fn from(e: WireError) -> Self {
+        FrameError::Wire(e)
+    }
+}
+
+/// Writes one frame: length prefix, flags, the message, then any statistics
+/// blocks.  `want_stats` only makes sense on request frames; reply frames
+/// derive their flags from which statistics are present.  Returns the wire
+/// size of the message itself (the protocol bytes `CommStats` counts).
+fn write_frame(
+    w: &mut impl Write,
+    reply: &ServedReply,
+    want_stats: bool,
+) -> std::io::Result<usize> {
+    let msg = reply.message.encode();
+    let mut body = BytesMut::new();
+    let mut flags = 0u8;
+    if want_stats {
+        flags |= FLAG_WANT_STATS;
+    }
+    if reply.search.is_some() {
+        flags |= FLAG_HAS_SEARCH;
+    }
+    if reply.maintenance.is_some() {
+        flags |= FLAG_HAS_MAINTENANCE;
+    }
+    body.put_u8(flags);
+    put_varint(&mut body, msg.len() as u64);
+    body.put_slice(&msg);
+    if let Some(stats) = &reply.search {
+        for v in stats.to_array() {
+            put_varint(&mut body, v);
+        }
+    }
+    if let Some(stats) = &reply.maintenance {
+        for v in stats.to_array() {
+            put_varint(&mut body, v);
+        }
+    }
+    let body = body.freeze();
+    if body.len() > MAX_FRAME_BYTES {
+        // The read side rejects oversized frames; enforcing the same bound
+        // here keeps the failure on the sender (and keeps the `u32` length
+        // prefix from ever wrapping).
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidInput,
+            format!(
+                "frame body of {} bytes exceeds the protocol limit",
+                body.len()
+            ),
+        ));
+    }
+    w.write_all(&(body.len() as u32).to_be_bytes())?;
+    w.write_all(&body)?;
+    w.flush()?;
+    Ok(msg.len())
+}
+
+/// Reads one frame.
+fn read_frame(r: &mut impl Read) -> Result<DecodedFrame, FrameError> {
+    let mut len_buf = [0u8; 4];
+    r.read_exact(&mut len_buf)?;
+    let len = u32::from_be_bytes(len_buf) as usize;
+    if len == 0 {
+        return Err(WireError::Truncated("frame flags").into());
+    }
+    if len > MAX_FRAME_BYTES {
+        return Err(WireError::Oversized("frame body").into());
+    }
+    let mut body = vec![0u8; len];
+    r.read_exact(&mut body)?;
+    let mut body = Bytes::from(body);
+    let flags = body.get_u8();
+    let msg_len = get_varint(&mut body, "frame message length")? as usize;
+    if body.remaining() < msg_len {
+        return Err(WireError::Truncated("frame message").into());
+    }
+    let message = Message::decode(body.split_to(msg_len))?;
+    let message_bytes = msg_len;
+    let search = if flags & FLAG_HAS_SEARCH != 0 {
+        let mut a = [0u64; 6];
+        for slot in &mut a {
+            *slot = get_varint(&mut body, "search stats")?;
+        }
+        Some(SearchStats::from_array(a))
+    } else {
+        None
+    };
+    let maintenance = if flags & FLAG_HAS_MAINTENANCE != 0 {
+        let mut a = [0u64; 9];
+        for slot in &mut a {
+            *slot = get_varint(&mut body, "maintenance stats")?;
+        }
+        Some(MaintenanceStats::from_array(a))
+    } else {
+        None
+    };
+    Ok(DecodedFrame {
+        want_stats: flags & FLAG_WANT_STATS != 0,
+        message,
+        message_bytes,
+        search,
+        maintenance,
+    })
+}
+
+/// A data source serving the framed TCP protocol from this process — the
+/// in-thread twin of the `source-server` binary, used by benches, tests and
+/// the federation example to stand up a real-socket federation without
+/// spawning processes.
+///
+/// One thread per accepted connection; queries take a read lock, mutating
+/// maintenance a write lock, mirroring the `&self`/`&mut self` split of
+/// [`DataSource`].  Threads are detached: the server lives until the process
+/// exits (or the listener is dropped by the OS).
+#[derive(Debug)]
+pub struct SourceServer {
+    id: SourceId,
+    addr: std::net::SocketAddr,
+}
+
+impl SourceServer {
+    /// Binds `addr` (use port 0 for an ephemeral port) and starts serving
+    /// `source` on a background thread.
+    pub fn spawn(addr: &str, source: DataSource) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let id = source.id;
+        std::thread::spawn(move || serve_source(listener, source));
+        Ok(Self { id, addr: local })
+    }
+
+    /// The served source's id.
+    pub fn id(&self) -> SourceId {
+        self.id
+    }
+
+    /// The bound address (resolves ephemeral ports).
+    pub fn addr(&self) -> std::net::SocketAddr {
+        self.addr
+    }
+
+    /// The `(id, endpoint)` pair [`TcpTransport::new`] consumes.
+    pub fn endpoint(&self) -> (SourceId, String) {
+        (self.id, self.addr.to_string())
+    }
+}
+
+/// Accept loop shared by [`SourceServer`] and the `source-server` binary:
+/// serves framed requests against `source` until the listener fails.
+///
+/// Connections are handled on their own threads; the source sits behind a
+/// read-write lock so concurrent queries proceed in parallel while a
+/// maintenance batch gets exclusive access.
+pub fn serve_source(listener: TcpListener, source: DataSource) {
+    let source = std::sync::Arc::new(std::sync::RwLock::new(source));
+    // Transient accept failures (ECONNABORTED, fd exhaustion under load)
+    // must not shut the source down; only a persistently failing listener
+    // ends the loop.
+    let mut consecutive_failures = 0u32;
+    for stream in listener.incoming() {
+        let stream = match stream {
+            Ok(stream) => stream,
+            Err(e) => {
+                consecutive_failures += 1;
+                eprintln!("source {}: accept failed: {e}", {
+                    let guard = match source.read() {
+                        Ok(guard) => guard,
+                        Err(poisoned) => poisoned.into_inner(),
+                    };
+                    guard.id
+                });
+                if consecutive_failures >= 100 {
+                    return;
+                }
+                std::thread::sleep(Duration::from_millis(10));
+                continue;
+            }
+        };
+        consecutive_failures = 0;
+        let source = std::sync::Arc::clone(&source);
+        std::thread::spawn(move || {
+            let _ = serve_connection(stream, &source);
+        });
+    }
+}
+
+/// Serves framed request/reply exchanges on one connection until the peer
+/// hangs up or sends garbage.
+fn serve_connection(
+    mut stream: TcpStream,
+    source: &std::sync::RwLock<DataSource>,
+) -> Result<(), FrameError> {
+    let _ = stream.set_nodelay(true);
+    loop {
+        let frame = match read_frame(&mut stream) {
+            Ok(frame) => frame,
+            // Clean disconnect between frames.
+            Err(FrameError::Io(e)) if e.kind() == std::io::ErrorKind::UnexpectedEof => {
+                return Ok(())
+            }
+            Err(other) => return Err(other),
+        };
+        let needs_exclusive =
+            matches!(&frame.message, Message::ApplyUpdates { ops } if !ops.is_empty());
+        let served = if needs_exclusive {
+            match source.write() {
+                Ok(mut guard) => guard.serve(&frame.message),
+                Err(poisoned) => poisoned.into_inner().serve(&frame.message),
+            }
+        } else {
+            // Read path: summary polls and queries never mutate, so they
+            // share the read lock (and the exact dispatch the in-process
+            // transport uses).
+            let guard = match source.read() {
+                Ok(guard) => guard,
+                Err(poisoned) => poisoned.into_inner(),
+            };
+            guard.serve_readonly(&frame.message)
+        };
+        let served = if frame.want_stats {
+            served
+        } else {
+            ServedReply::plain(served.message)
+        };
+        write_frame(&mut stream, &served, false)?;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dits::DitsLocalConfig;
+    use spatial::{Grid, Point, SpatialDataset};
+
+    fn tiny_source(id: SourceId) -> DataSource {
+        let grid = Grid::global(10).unwrap();
+        let datasets: Vec<SpatialDataset> = (0..6)
+            .map(|i| {
+                SpatialDataset::new(
+                    i,
+                    (0..5)
+                        .map(|j| Point::new(10.0 + i as f64 * 0.2 + j as f64 * 0.02, 50.0))
+                        .collect(),
+                )
+            })
+            .collect();
+        DataSource::build(
+            id,
+            format!("s{id}"),
+            grid,
+            &datasets,
+            DitsLocalConfig::default(),
+        )
+    }
+
+    #[test]
+    fn frame_roundtrip_with_and_without_stats() {
+        let msg = Message::OverlapQuery {
+            query: spatial::CellSet::from_cells([1u64, 2, 3]),
+            k: 5,
+        };
+        for (search, maintenance) in [
+            (None, None),
+            (Some(SearchStats::from_array([1, 2, 3, 4, 5, 6])), None),
+            (
+                None,
+                Some(MaintenanceStats::from_array([1, 2, 3, 4, 5, 6, 7, 8, 9])),
+            ),
+        ] {
+            let served = ServedReply {
+                message: msg.clone(),
+                search,
+                maintenance,
+            };
+            let mut buf = Vec::new();
+            write_frame(&mut buf, &served, true).unwrap();
+            let frame = match read_frame(&mut &buf[..]) {
+                Ok(f) => f,
+                Err(FrameError::Io(e)) => panic!("io: {e}"),
+                Err(FrameError::Wire(e)) => panic!("wire: {e}"),
+            };
+            assert!(frame.want_stats);
+            assert_eq!(frame.message, msg);
+            assert_eq!(frame.search, served.search);
+            assert_eq!(frame.maintenance, served.maintenance);
+        }
+    }
+
+    #[test]
+    fn truncated_frames_are_io_or_wire_errors_never_panics() {
+        let served = ServedReply::search(
+            Message::OverlapReply {
+                source: 1,
+                results: vec![],
+            },
+            SearchStats::from_array([9, 8, 7, 6, 5, 4]),
+        );
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &served, false).unwrap();
+        for cut in 0..buf.len() {
+            assert!(
+                read_frame(&mut &buf[..cut]).is_err(),
+                "truncation at {cut} must fail"
+            );
+        }
+    }
+
+    #[test]
+    fn in_process_transport_serves_queries_and_polls() {
+        let sources = vec![tiny_source(0), tiny_source(3)];
+        let t = InProcessTransport::new(&sources);
+        assert_eq!(t.source_ids(), vec![0, 3]);
+        let query = Message::KnnQuery {
+            query: sources[0].grid_query(&SpatialDataset::new(99, vec![Point::new(10.0, 50.0)])),
+            k: 2,
+        };
+        let reply = t.call(3, &query, true).unwrap();
+        assert!(matches!(reply.message, Message::KnnReply { source: 3, .. }));
+        assert!(reply.search.is_some());
+        // Stats opt-out leaves the message identical but drops the block.
+        let no_stats = t.call(3, &query, false).unwrap();
+        assert_eq!(no_stats.message, reply.message);
+        assert!(no_stats.search.is_none());
+        // Summary poll is read-only and allowed.
+        let poll = t
+            .call(0, &Message::ApplyUpdates { ops: vec![] }, false)
+            .unwrap();
+        assert!(matches!(
+            poll.message,
+            Message::SummaryRefresh {
+                dataset_count: 6,
+                ..
+            }
+        ));
+        // Mutation needs the exclusive transport.
+        let err = t
+            .call(
+                0,
+                &Message::ApplyUpdates {
+                    ops: vec![crate::message::UpdateOp::Delete(0)],
+                },
+                false,
+            )
+            .unwrap_err();
+        assert_eq!(err, TransportError::ExclusiveRequired);
+        assert_eq!(
+            t.call(9, &query, false).unwrap_err(),
+            TransportError::UnknownSource(9)
+        );
+    }
+
+    #[test]
+    fn exclusive_transport_applies_maintenance() {
+        let mut sources = vec![tiny_source(0)];
+        let t = ExclusiveTransport::new(&mut sources);
+        let reply = t
+            .call(
+                0,
+                &Message::ApplyUpdates {
+                    ops: vec![crate::message::UpdateOp::Delete(2)],
+                },
+                true,
+            )
+            .unwrap();
+        assert!(matches!(
+            reply.message,
+            Message::SummaryRefresh {
+                dataset_count: 5,
+                applied: 1,
+                ..
+            }
+        ));
+        assert_eq!(reply.maintenance.map(|m| m.deletes), Some(1));
+        assert_eq!(sources[0].dataset_count(), 5);
+    }
+
+    #[test]
+    fn tcp_roundtrip_matches_in_process() {
+        let sources = vec![tiny_source(0)];
+        let server = SourceServer::spawn("127.0.0.1:0", sources[0].clone()).unwrap();
+        let tcp = TcpTransport::new([server.endpoint()]);
+        let in_process = InProcessTransport::new(&sources);
+        let query = Message::OverlapQuery {
+            query: sources[0].grid_query(&SpatialDataset::new(99, vec![Point::new(10.2, 50.0)])),
+            k: 3,
+        };
+        let a = tcp.call(0, &query, true).unwrap();
+        let b = in_process.call(0, &query, true).unwrap();
+        assert_eq!(a, b, "TCP and in-process replies must be identical");
+        assert_eq!(
+            tcp.call(7, &query, false).unwrap_err(),
+            TransportError::UnknownSource(7)
+        );
+    }
+}

@@ -11,7 +11,9 @@ use datagen::{generate_source, paper_sources, GeneratorConfig, SourceScale};
 use dits::{
     decode_global, decode_local, encode_global, encode_local, nearest_datasets, overlap_search,
 };
-use multisource::{DistributionStrategy, FrameworkConfig, MultiSourceFramework, UpdateOp};
+use multisource::{
+    DistributionStrategy, FrameworkConfig, MultiSourceFramework, SearchRequest, UpdateOp,
+};
 use proptest::prelude::*;
 use spatial::{Point, SourceId, SpatialDataset};
 
@@ -115,13 +117,22 @@ fn assert_answer_parity(
     scratch: &MultiSourceFramework,
     queries: &[SpatialDataset],
 ) {
-    let a = maintained.run_ojsp(queries, 5);
-    let b = scratch.run_ojsp(queries, 5);
+    let a = maintained.engine().run_ojsp(queries, 5).unwrap();
+    let b = scratch.engine().run_ojsp(queries, 5).unwrap();
     assert_eq!(a.answers, b.answers, "OJSP answers diverged");
 
-    let a = maintained.run_cjsp(queries, 3);
-    let b = scratch.run_cjsp(queries, 3);
+    let a = maintained.engine().run_cjsp(queries, 3).unwrap();
+    let b = scratch.engine().run_cjsp(queries, 3).unwrap();
     assert_eq!(a.answers, b.answers, "CJSP answers diverged");
+
+    // Multi-source kNN parity through the unified request API.
+    let a = maintained
+        .search(&SearchRequest::knn_batch(queries.to_vec()).k(4))
+        .unwrap();
+    let b = scratch
+        .search(&SearchRequest::knn_batch(queries.to_vec()).k(4))
+        .unwrap();
+    assert_eq!(a.results, b.results, "multi-source kNN diverged");
 
     // Per-source kNN parity: the maintained local trees must rank datasets
     // exactly like trees built from scratch on the same content.
@@ -278,7 +289,10 @@ fn draining_a_source_drops_it_from_global_routing_until_data_returns() {
         .unwrap();
     data[usize::from(drained)].1.push(refill.clone());
     assert_eq!(fw.center().global().source_count(), 5);
-    let (answer, _) = fw.ojsp(&refill, 1);
+    let response = fw
+        .search(&SearchRequest::ojsp(refill.clone()).k(1))
+        .unwrap();
+    let answer = &response.overlap().unwrap()[0];
     assert_eq!(answer.results[0].0, drained);
     assert_eq!(answer.results[0].1.dataset, 700_001);
     let scratch = framework(&data);

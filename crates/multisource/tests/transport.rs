@@ -1,0 +1,455 @@
+//! Transport-parity and wire-robustness integration tests.
+//!
+//! * Fuzz-style proptests feed truncated / bit-flipped `Message::encode`
+//!   output through `Message::decode`, asserting it never panics and always
+//!   reports a typed [`WireError`] for malformed input.
+//! * A loopback TCP federation ([`SourceServer`] threads, real sockets, the
+//!   framed protocol) must answer every OJSP / CJSP / kNN `SearchRequest`
+//!   **byte-identically** to the in-process transport — same answers, same
+//!   `CommStats`, same `SearchStats` — and apply maintenance batches with
+//!   the same transactional semantics.
+//! * The `source-server` *binary* is spawned as real child processes and
+//!   served the same checks end to end.
+
+use std::io::Write as _;
+use std::process::{Child, Command, Stdio};
+
+use bytes::Bytes;
+use datagen::{generate_source, paper_sources, select_queries, GeneratorConfig, SourceScale};
+use multisource::{
+    DataCenter, DistributionStrategy, EngineConfig, FrameworkConfig, Message, MultiSourceFramework,
+    QueryEngine, SearchError, SearchRequest, SourceServer, TcpTransport, UpdateOp, WireError,
+};
+use proptest::prelude::*;
+use spatial::{Point, SpatialDataset};
+
+fn build_data(seed: u64) -> Vec<(String, Vec<SpatialDataset>)> {
+    let config = GeneratorConfig {
+        scale: SourceScale::Custom(500),
+        seed,
+        max_points_per_dataset: Some(80),
+    };
+    paper_sources()
+        .iter()
+        .take(3)
+        .map(|p| (p.name.to_string(), generate_source(p, &config)))
+        .collect()
+}
+
+fn framework(data: &[(String, Vec<SpatialDataset>)]) -> MultiSourceFramework {
+    MultiSourceFramework::build(
+        data,
+        FrameworkConfig {
+            resolution: 11,
+            strategy: DistributionStrategy::PrunedClipped,
+            ..FrameworkConfig::default()
+        },
+    )
+}
+
+fn probe_queries(data: &[(String, Vec<SpatialDataset>)]) -> Vec<SpatialDataset> {
+    let pool: Vec<SpatialDataset> = data.iter().flat_map(|(_, d)| d.iter().cloned()).collect();
+    select_queries(&pool, 6, 3)
+}
+
+/// Engine config matching what `MultiSourceFramework` uses, so the
+/// transport-built engine plans identically to the in-process framework.
+fn engine_config(fw: &MultiSourceFramework) -> EngineConfig {
+    EngineConfig {
+        workers: fw.config().workers,
+        strategy: fw.config().strategy,
+        delta_cells: fw.config().delta_cells,
+        collect_stats: true,
+    }
+}
+
+/// Spawns one `SourceServer` thread per in-process source and returns the
+/// TCP transport reaching them.
+fn spawn_federation(fw: &MultiSourceFramework) -> TcpTransport {
+    let endpoints: Vec<_> = fw
+        .sources()
+        .iter()
+        .map(|s| {
+            SourceServer::spawn("127.0.0.1:0", s.clone())
+                .expect("bind loopback")
+                .endpoint()
+        })
+        .collect();
+    TcpTransport::new(endpoints)
+}
+
+/// The core parity assertion: every search kind, identical answers, comm
+/// bytes and search stats across the two transports.
+fn assert_transport_parity(
+    fw: &MultiSourceFramework,
+    tcp: &TcpTransport,
+    queries: &[SpatialDataset],
+) {
+    let remote_center =
+        DataCenter::from_transport(tcp, fw.config().leaf_capacity).expect("summary poll");
+    assert_eq!(
+        remote_center.global().summaries(),
+        fw.center().global().summaries(),
+        "a DITS-G bootstrapped over TCP must equal the locally built one"
+    );
+    let remote = QueryEngine::new(&remote_center, tcp, engine_config(fw));
+
+    for request in [
+        SearchRequest::ojsp_batch(queries.to_vec()).k(5),
+        SearchRequest::cjsp_batch(queries.to_vec()).k(3),
+        SearchRequest::knn_batch(queries.to_vec()).k(4),
+        SearchRequest::ojsp_batch(queries.to_vec())
+            .k(5)
+            .strategy(DistributionStrategy::Broadcast),
+        SearchRequest::knn_batch(queries.to_vec())
+            .k(2)
+            .strategy(DistributionStrategy::Broadcast),
+    ] {
+        let local = fw.search(&request).expect("in-process search");
+        let over_tcp = remote.run(&request).expect("TCP search");
+        assert_eq!(
+            local.results,
+            over_tcp.results,
+            "answers diverged across transports ({:?})",
+            request.kind()
+        );
+        assert_eq!(
+            local.comm, over_tcp.comm,
+            "protocol byte accounting diverged across transports"
+        );
+        assert_eq!(
+            local.search, over_tcp.search,
+            "search statistics diverged across transports"
+        );
+    }
+}
+
+#[test]
+fn loopback_tcp_federation_matches_in_process() {
+    let data = build_data(21);
+    let fw = framework(&data);
+    let queries = probe_queries(&data);
+    let tcp = spawn_federation(&fw);
+    assert_transport_parity(&fw, &tcp, &queries);
+}
+
+/// A summary registered in DITS-G whose source the transport cannot reach
+/// (a fleet member that left after the global image was persisted) is
+/// skipped during routing — the batch answers from the remaining sources
+/// instead of failing wholesale with `UnknownSource`.
+#[test]
+fn unreachable_sources_are_skipped_not_fatal() {
+    let data = build_data(21);
+    let fw = framework(&data);
+    let queries = probe_queries(&data);
+    // A center that knows every source, over a transport that lost one.
+    let center = DataCenter::from_global(fw.center().global().clone());
+    let partial: Vec<multisource::DataSource> = fw.sources()[..2].to_vec();
+    let transport = multisource::InProcessTransport::new(&partial);
+    let engine = QueryEngine::new(&center, &transport, engine_config(&fw));
+    for request in [
+        SearchRequest::ojsp_batch(queries.clone()).k(5),
+        SearchRequest::cjsp_batch(queries.clone()).k(3),
+        SearchRequest::knn_batch(queries.clone()).k(4),
+    ] {
+        let response = engine.run(&request).expect("partial fleet still answers");
+        assert_eq!(response.results.len(), queries.len());
+        // Nothing was routed to the missing source.
+        assert!(response.per_source.iter().all(|t| t.source < 2));
+    }
+}
+
+#[test]
+fn maintenance_over_tcp_matches_in_process() {
+    let data = build_data(8);
+    let mut fw = framework(&data);
+    let queries = probe_queries(&data);
+
+    // Remote deployment: servers seeded with the same initial sources.
+    let tcp = spawn_federation(&fw);
+    let mut remote_center = DataCenter::from_transport(&tcp, fw.config().leaf_capacity).unwrap();
+
+    // The same mixed batch applied through both transports.
+    let fresh = SpatialDataset::new(
+        800_000,
+        (0..8)
+            .map(|j| Point::new(-76.5 + j as f64 * 0.01, 39.0))
+            .collect(),
+    );
+    let victim = data[1].1[0].id;
+    let ops = vec![
+        UpdateOp::Insert(fresh.clone()),
+        UpdateOp::Delete(victim),
+        UpdateOp::Delete(900_000), // individually rejected: unknown id
+    ];
+    let local_outcome = fw.apply_updates(1, &ops).unwrap();
+    let remote_outcome = remote_center.apply_updates(&tcp, 1, &ops).unwrap();
+    assert_eq!(local_outcome.summary, remote_outcome.summary);
+    assert_eq!(local_outcome.stats, remote_outcome.stats);
+    assert_eq!(local_outcome.comm, remote_outcome.comm);
+    assert_eq!(
+        remote_center.global().summaries(),
+        fw.center().global().summaries(),
+        "DITS-G must track the remote mutation identically"
+    );
+
+    // Post-maintenance queries still agree transport to transport.
+    let remote = QueryEngine::new(&remote_center, &tcp, engine_config(&fw));
+    let request = SearchRequest::ojsp_batch(queries).k(5);
+    let local = fw.search(&request).unwrap();
+    let over_tcp = remote.run(&request).unwrap();
+    assert_eq!(local.results, over_tcp.results);
+    assert_eq!(local.comm, over_tcp.comm);
+
+    // A structurally invalid batch is rejected transactionally over TCP,
+    // exactly like in-process: typed error, nothing mutated.
+    let before = remote_center.global().summaries();
+    let bad = vec![
+        UpdateOp::Insert(SpatialDataset::new(810_000, vec![Point::new(1.0, 1.0)])),
+        UpdateOp::Insert(SpatialDataset::new(810_001, vec![])),
+    ];
+    let local_err = fw.apply_updates(1, &bad).unwrap_err();
+    let remote_err = remote_center.apply_updates(&tcp, 1, &bad).unwrap_err();
+    assert!(matches!(local_err, SearchError::Rejected { .. }));
+    assert_eq!(
+        local_err, remote_err,
+        "rejections must cross the wire losslessly"
+    );
+    assert_eq!(remote_center.global().summaries(), before);
+
+    // An unroutable source is the same typed error on both transports.
+    assert_eq!(
+        remote_center
+            .apply_updates(&tcp, 77, &[UpdateOp::Delete(1)])
+            .unwrap_err(),
+        SearchError::UnknownSource(77)
+    );
+}
+
+/// Spawned `source-server` child with its parsed listen address.
+struct ServerProcess {
+    child: Child,
+    addr: String,
+}
+
+impl Drop for ServerProcess {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+fn spawn_server_binary(
+    id: u16,
+    dir: &std::path::Path,
+    datasets: &[SpatialDataset],
+) -> ServerProcess {
+    // One `dataset_id lon lat` triple per line.
+    let data_path = dir.join(format!("source-{id}.tsv"));
+    let mut file = std::fs::File::create(&data_path).expect("create data file");
+    for d in datasets {
+        for p in &d.points {
+            writeln!(file, "{} {} {}", d.id, p.x, p.y).expect("write data file");
+        }
+    }
+    drop(file);
+
+    let mut child = Command::new(env!("CARGO_BIN_EXE_source-server"))
+        .args([
+            "--id",
+            &id.to_string(),
+            "--resolution",
+            "11",
+            "--listen",
+            "127.0.0.1:0",
+            "--data",
+            data_path.to_str().expect("utf8 path"),
+        ])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn source-server");
+
+    // The server prints `LISTENING <addr>` once bound.
+    use std::io::{BufRead, BufReader};
+    let stdout = child.stdout.take().expect("piped stdout");
+    let mut line = String::new();
+    BufReader::new(stdout)
+        .read_line(&mut line)
+        .expect("read ready line");
+    let addr = line
+        .trim()
+        .strip_prefix("LISTENING ")
+        .unwrap_or_else(|| panic!("unexpected ready line {line:?}"))
+        .to_string();
+    ServerProcess { child, addr }
+}
+
+#[test]
+fn source_server_processes_answer_identically_to_in_process() {
+    let data = build_data(33);
+    let fw = framework(&data);
+    let queries = probe_queries(&data);
+
+    let dir = std::env::temp_dir().join(format!("source-server-test-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    let servers: Vec<ServerProcess> = data
+        .iter()
+        .enumerate()
+        .map(|(i, (_, datasets))| spawn_server_binary(i as u16, &dir, datasets))
+        .collect();
+    let tcp = TcpTransport::new(
+        servers
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (i as u16, s.addr.clone())),
+    );
+
+    assert_transport_parity(&fw, &tcp, &queries);
+    drop(servers);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+// ---------------------------------------------------------------------------
+// Wire-robustness fuzzing
+// ---------------------------------------------------------------------------
+
+/// Builds one message of any protocol kind from raw fuzz ingredients.
+fn build_message(kind: u8, cells: &[u64], k: usize, delta: f64, ids: &[u32], code: u16) -> Message {
+    let query = spatial::CellSet::from_cells(cells.iter().copied());
+    match kind {
+        0 => Message::OverlapQuery { query, k },
+        1 => Message::KnnQuery { query, k },
+        2 => Message::CoverageQuery { query, k, delta },
+        3 => Message::ApplyUpdates {
+            ops: ids
+                .iter()
+                .enumerate()
+                .map(|(i, &id)| {
+                    let dataset = SpatialDataset::new(
+                        id,
+                        vec![
+                            Point::new(delta - 10.0, delta),
+                            Point::new(delta, delta + 1.0),
+                        ],
+                    );
+                    match i % 3 {
+                        0 => UpdateOp::Insert(dataset),
+                        1 => UpdateOp::Update(dataset),
+                        _ => UpdateOp::Delete(id),
+                    }
+                })
+                .collect(),
+        },
+        4 => Message::Error {
+            code,
+            detail: format!("fuzz error {code}"),
+        },
+        _ => Message::KnnReply {
+            source: code,
+            neighbors: ids
+                .iter()
+                .map(|&id| dits::Neighbor {
+                    dataset: id,
+                    distance: delta,
+                })
+                .collect(),
+        },
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    // Every prefix truncation decodes to a typed error -- never a panic,
+    // never a bogus success.
+    #[test]
+    fn prop_truncations_fail_closed(
+        kind in 0u8..6,
+        cells in proptest::collection::vec(0u64..1_000_000, 0..60),
+        k in 0usize..50,
+        delta in 0.0f64..30.0,
+        ids in proptest::collection::vec(0u32..10_000, 0..4),
+        code in 0u16..100,
+    ) {
+        let message = build_message(kind, &cells, k, delta, &ids, code);
+        let encoded = message.encode();
+        prop_assert_eq!(Message::decode(encoded.clone()), Ok(message));
+        for cut in 0..encoded.len() {
+            let truncated = encoded.slice(0..cut);
+            prop_assert!(
+                Message::decode(truncated).is_err(),
+                "truncation at {} of {} decoded successfully",
+                cut,
+                encoded.len()
+            );
+        }
+    }
+
+    // Bit flips anywhere in the buffer either decode to *some* message or
+    // fail with a typed error -- decode must be total.
+    #[test]
+    fn prop_bit_flips_never_panic(
+        kind in 0u8..6,
+        cells in proptest::collection::vec(0u64..1_000_000, 0..60),
+        k in 0usize..50,
+        delta in 0.0f64..30.0,
+        ids in proptest::collection::vec(0u32..10_000, 0..4),
+        code in 0u16..100,
+        byte_sel in any::<u64>(),
+        bit in 0u8..8,
+    ) {
+        let mut raw = build_message(kind, &cells, k, delta, &ids, code)
+            .encode()
+            .to_vec();
+        let idx = (byte_sel as usize) % raw.len();
+        raw[idx] ^= 1 << bit;
+        let _ = Message::decode(Bytes::from(raw));
+    }
+
+    // Arbitrary garbage decodes without panicking.
+    #[test]
+    fn prop_random_bytes_never_panic(raw in proptest::collection::vec(any::<u8>(), 0..300)) {
+        let _ = Message::decode(Bytes::from(raw));
+    }
+}
+
+#[test]
+fn decode_reports_the_right_error_variants() {
+    // Bad tag.
+    assert_eq!(
+        Message::decode(Bytes::from(vec![42u8, 0, 0])),
+        Err(WireError::BadTag(42))
+    );
+    // Truncated mid-field.
+    let enc = Message::KnnReply {
+        source: 1,
+        neighbors: vec![dits::Neighbor {
+            dataset: 3,
+            distance: 1.5,
+        }],
+    }
+    .encode();
+    assert_eq!(
+        Message::decode(enc.slice(0..enc.len() - 1)),
+        Err(WireError::Truncated("neighbor distance"))
+    );
+    // Overlong varint.
+    let mut raw = vec![6u8]; // KnnQuery tag
+    raw.extend(std::iter::repeat_n(0xFF, 11));
+    assert_eq!(
+        Message::decode(Bytes::from(raw)),
+        Err(WireError::BadVarint("k"))
+    );
+    // Cell-delta overflow.
+    let mut raw = vec![0u8]; // OverlapQuery tag
+    raw.push(1); // k = 1
+    raw.push(2); // two cells
+                 // First delta: u64::MAX, second delta: 1 → overflow.
+    raw.extend([0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0x01]);
+    raw.push(1);
+    assert_eq!(
+        Message::decode(Bytes::from(raw)),
+        Err(WireError::CellOverflow)
+    );
+}

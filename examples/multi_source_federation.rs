@@ -1,8 +1,14 @@
 //! Federated search across the five (synthetic) open-data portals of the
-//! paper: the query engine routes a batch of queries with DITS-G, ships
-//! clipped queries to the candidate sources in parallel (one source = one
-//! shard), and aggregates their local results — while the communication
-//! cost of every exchange is measured in actual bytes.
+//! paper: one `SearchRequest` per search kind goes to the framework, the
+//! query engine routes the batch with DITS-G, ships clipped queries to the
+//! candidate sources in parallel (one source = one shard), and aggregates
+//! their local results — while the communication cost of every exchange is
+//! measured in actual bytes.
+//!
+//! The tuple-returning `ojsp`/`cjsp`/`run_ojsp`/`run_cjsp` methods shown
+//! here in earlier revisions are deprecated; `SearchRequest` +
+//! `MultiSourceFramework::search` is the query surface.  (For the same
+//! requests over a real TCP federation, see `examples/federated_tcp.rs`.)
 //!
 //! ```text
 //! cargo run --release --example multi_source_federation
@@ -12,7 +18,7 @@ use joinable_spatial_search::datagen::{
     generate_source, paper_sources, select_queries, GeneratorConfig, SourceScale,
 };
 use joinable_spatial_search::multisource::{
-    CommConfig, DistributionStrategy, FrameworkConfig, MultiSourceFramework,
+    CommConfig, DistributionStrategy, FrameworkConfig, MultiSourceFramework, SearchRequest,
 };
 use joinable_spatial_search::spatial::SpatialDataset;
 
@@ -44,7 +50,7 @@ fn main() {
         DistributionStrategy::Pruned,
         DistributionStrategy::PrunedClipped,
     ] {
-        let framework = MultiSourceFramework::build(
+        let framework = MultiSourceFramework::try_build(
             &source_data,
             FrameworkConfig {
                 resolution: 12,
@@ -54,11 +60,21 @@ fn main() {
                 workers: 0, // one engine worker per CPU
                 comm: comm_config,
             },
-        );
-        // Both batch runs go through the parallel QueryEngine: every
-        // (query, candidate source) pair is one shard task.
-        let ojsp = framework.run_ojsp(&queries, 10);
-        let cjsp = framework.run_cjsp(&queries, 10);
+        )
+        .expect("static configuration is valid");
+
+        // One unified request per search kind; each batch goes through the
+        // parallel QueryEngine (every (query, candidate source) pair is one
+        // shard task).
+        let ojsp = framework
+            .search(&SearchRequest::ojsp_batch(queries.clone()).k(10))
+            .expect("in-process search");
+        let cjsp = framework
+            .search(&SearchRequest::cjsp_batch(queries.clone()).k(10))
+            .expect("in-process search");
+        let knn = framework
+            .search(&SearchRequest::knn_batch(queries.clone()).k(5))
+            .expect("in-process search");
         println!(
             "\nstrategy {:?} ({} engine workers)\n  OJSP: {} requests, {} bytes, {:.1} ms transmission, {:.1} ms search, {} index nodes visited",
             strategy,
@@ -67,7 +83,7 @@ fn main() {
             ojsp.comm.total_bytes(),
             ojsp.comm.transmission_time_ms(&comm_config),
             ojsp.elapsed.as_secs_f64() * 1e3,
-            ojsp.search.nodes_visited,
+            ojsp.search.map(|s| s.nodes_visited).unwrap_or(0),
         );
         println!(
             "  CJSP: {} requests, {} bytes, {:.1} ms transmission, {:.1} ms search",
@@ -76,11 +92,25 @@ fn main() {
             cjsp.comm.transmission_time_ms(&comm_config),
             cjsp.elapsed.as_secs_f64() * 1e3,
         );
+        println!(
+            "  kNN : {} requests, {} bytes ({} sources contacted)",
+            knn.comm.requests,
+            knn.comm.total_bytes(),
+            knn.comm.sources_contacted,
+        );
         // Show the best federated match of the first query.
-        if let Some((source, result)) = ojsp.answers[0].results.first() {
+        let answers = ojsp.overlap().expect("OJSP answers");
+        if let Some((source, result)) = answers[0].results.first() {
             println!(
                 "  best match for query 0: dataset {} of source {} ({} shared cells)",
                 result.dataset, source, result.overlap
+            );
+        }
+        let neighbors = knn.knn().expect("kNN answers");
+        if let Some((source, neighbor)) = neighbors[0].neighbors.first() {
+            println!(
+                "  nearest dataset to query 0: dataset {} of source {} (distance {:.1} cells)",
+                neighbor.dataset, source, neighbor.distance
             );
         }
     }

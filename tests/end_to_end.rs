@@ -8,7 +8,7 @@ use joinable_spatial_search::datagen::{
 use joinable_spatial_search::dits::overlap::overlap_search_bruteforce;
 use joinable_spatial_search::dits::DatasetNode;
 use joinable_spatial_search::multisource::{
-    DistributionStrategy, FrameworkConfig, MultiSourceFramework,
+    DistributionStrategy, FrameworkConfig, MultiSourceFramework, SearchRequest,
 };
 use joinable_spatial_search::spatial::{CellSet, Grid, SpatialDataset};
 
@@ -54,7 +54,10 @@ fn multi_source_ojsp_matches_global_bruteforce() {
     let queries = select_queries(&pool, 8, 5);
 
     for query in &queries {
-        let (answer, _) = framework.ojsp(query, 10);
+        let response = framework
+            .search(&SearchRequest::ojsp(query.clone()).k(10))
+            .expect("in-process search");
+        let answer = &response.overlap().expect("OJSP answers")[0];
         let query_cells = CellSet::from_points(&grid, &query.points);
         let expected = overlap_search_bruteforce(&all_nodes, &query_cells, usize::MAX);
 
@@ -96,9 +99,12 @@ fn all_distribution_strategies_return_identical_answers() {
                 ..FrameworkConfig::default()
             },
         );
-        let outcome = framework.run_ojsp(&queries, 5);
+        let outcome = framework
+            .search(&SearchRequest::ojsp_batch(queries.clone()).k(5))
+            .expect("in-process search");
         let overlaps: Vec<Vec<usize>> = outcome
-            .answers
+            .overlap()
+            .expect("OJSP answers")
             .iter()
             .map(|a| a.results.iter().map(|(_, r)| r.overlap).collect())
             .collect();
@@ -138,8 +144,14 @@ fn cjsp_answers_are_connected_and_monotone_in_k() {
     let queries = select_queries(&pool, 5, 13);
 
     for query in &queries {
-        let (small, _) = framework.cjsp(query, 2);
-        let (large, _) = framework.cjsp(query, 8);
+        let small = framework
+            .search(&SearchRequest::cjsp(query.clone()).k(2))
+            .expect("in-process search");
+        let small = &small.coverage().expect("CJSP answers")[0];
+        let large = framework
+            .search(&SearchRequest::cjsp(query.clone()).k(8))
+            .expect("in-process search");
+        let large = &large.coverage().expect("CJSP answers")[0];
         assert!(small.coverage >= small.query_coverage);
         assert!(large.coverage >= large.query_coverage);
         assert!(small.selected.len() <= 2);

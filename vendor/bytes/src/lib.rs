@@ -57,6 +57,19 @@ impl Bytes {
             pos: 0,
         }
     }
+
+    /// Splits off and returns the first `at` unread bytes, leaving the rest
+    /// in `self` (same contract as the real crate).
+    ///
+    /// # Panics
+    ///
+    /// Panics when fewer than `at` unread bytes remain.
+    pub fn split_to(&mut self, at: usize) -> Bytes {
+        assert!(at <= self.len(), "split_to past end of Bytes");
+        let head = self.slice(0..at);
+        self.pos += at;
+        head
+    }
 }
 
 impl From<Vec<u8>> for Bytes {
