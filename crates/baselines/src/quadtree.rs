@@ -4,17 +4,19 @@
 //! Every occupied cell of every dataset becomes a point `(cell, dataset id)`
 //! in the quadtree; a quadrant splits into four children once it holds more
 //! than the leaf capacity (4, the classic quadtree setting the paper uses).
-//! OJSP finds all leaves intersecting the query MBR and counts, per dataset,
-//! the points that fall on query cells — behaviour that is close to an
-//! inverted index and explains why the paper measures QuadTree as the most
-//! memory-hungry index (its node count scales with the number of cells `N`,
-//! not the number of datasets `n`).
+//! OJSP finds all leaves intersecting the query MBR to collect candidate
+//! datasets, then scores them in one batched
+//! [`intersection_size_many`](CellSet::intersection_size_many) pass over
+//! their cell sets — behaviour that is close to an inverted index and
+//! explains why the paper measures QuadTree as the most memory-hungry index
+//! (its node count scales with the number of cells `N`, not the number of
+//! datasets `n`).
 
 use crate::traits::OverlapIndex;
 use dits::{DatasetNode, OverlapResult};
 use spatial::zorder::cell_coords;
 use spatial::{CellId, CellSet, DatasetId, Mbr, Point};
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 const QUAD_LEAF_CAPACITY: usize = 4;
 const MAX_DEPTH: u32 = 24;
@@ -96,7 +98,7 @@ impl QuadTreeIndex {
         // Walk down to the leaf quadrant for the point, loosening the bounds
         // of every node on the path so later inserts outside the original
         // extent (e.g. after a dataset update moves far away) remain visible
-        // to the MBR pruning of `count_overlaps`.
+        // to the MBR pruning of `candidate_datasets`.
         loop {
             self.bounds[node].expand_point(&Point::new(point.x as f64, point.y as f64));
             match &self.nodes[node] {
@@ -171,27 +173,26 @@ impl QuadTreeIndex {
         }
     }
 
-    /// Collects per-dataset counts of points lying on query cells, visiting
-    /// only quadrants that intersect the query MBR.
-    fn count_overlaps(&self, query: &CellSet, query_rect: &Mbr) -> HashMap<DatasetId, usize> {
-        let mut counts = HashMap::new();
+    /// Collects the ids of datasets owning at least one point in a quadrant
+    /// intersecting the query MBR.  Every dataset cell inside the query lies
+    /// inside the query's MBR, so its quadrant is visited and the owning
+    /// dataset is discovered; exact overlaps are then computed in one
+    /// batched intersection pass over the candidates' cell sets.
+    fn candidate_datasets(&self, query_rect: &Mbr) -> Vec<DatasetId> {
+        let mut seen = HashSet::new();
         let mut stack = vec![self.root];
         while let Some(idx) = stack.pop() {
             if !self.bounds[idx].intersects(query_rect) {
                 continue;
             }
             match &self.nodes[idx] {
-                QuadNode::Leaf { points } => {
-                    for p in points {
-                        if query.contains(p.cell) {
-                            *counts.entry(p.dataset).or_insert(0) += 1;
-                        }
-                    }
-                }
+                QuadNode::Leaf { points } => seen.extend(points.iter().map(|p| p.dataset)),
                 QuadNode::Internal { children } => stack.extend_from_slice(children),
             }
         }
-        counts
+        let mut candidates: Vec<DatasetId> = seen.into_iter().collect();
+        candidates.sort_unstable();
+        candidates
     }
 }
 
@@ -225,9 +226,13 @@ impl OverlapIndex for QuadTreeIndex {
         let Some(query_rect) = query.mbr_cell_space() else {
             return Vec::new();
         };
-        let counts = self.count_overlaps(query, &query_rect);
-        let mut results: Vec<OverlapResult> = counts
+        let candidates = self.candidate_datasets(&query_rect);
+        let overlaps =
+            query.intersection_size_many(candidates.iter().map(|dataset| &self.datasets[dataset]));
+        let mut results: Vec<OverlapResult> = candidates
             .into_iter()
+            .zip(overlaps)
+            .filter(|&(_, overlap)| overlap > 0)
             .map(|(dataset, overlap)| OverlapResult { dataset, overlap })
             .collect();
         results.sort_unstable_by(|a, b| b.overlap.cmp(&a.overlap).then(a.dataset.cmp(&b.dataset)));

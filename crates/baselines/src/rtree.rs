@@ -315,12 +315,16 @@ impl OverlapIndex for RTreeIndex {
         let Some(query_rect) = query.mbr_cell_space() else {
             return Vec::new();
         };
-        let mut results: Vec<OverlapResult> = self
-            .intersecting_datasets(&query_rect)
+        // MBR filtering finds the candidates; one batched intersection pass
+        // scores them all against the query's cached packed representation.
+        let candidates = self.intersecting_datasets(&query_rect);
+        let overlaps = query.intersection_size_many(candidates.iter().map(|d| &d.cells));
+        let mut results: Vec<OverlapResult> = candidates
             .into_iter()
-            .map(|d| OverlapResult {
+            .zip(overlaps)
+            .map(|(d, overlap)| OverlapResult {
                 dataset: d.id,
-                overlap: d.cells.intersection_size(query),
+                overlap,
             })
             .filter(|r| r.overlap > 0)
             .collect();

@@ -74,7 +74,7 @@ fn bench_transports(c: &mut Criterion) {
         workers: fw.config().workers,
         strategy: fw.config().strategy,
         delta_cells: fw.config().delta_cells,
-        collect_stats: true,
+        ..EngineConfig::default()
     };
     let remote = QueryEngine::new(&center, &tcp, config);
 

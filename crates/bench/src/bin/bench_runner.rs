@@ -1,0 +1,776 @@
+//! Perf-trajectory runner: a fixed OJSP / CJSP / kNN batch suite on
+//! deterministic datagen seeds, emitting a schema'd `BENCH_<date>.json`
+//! snapshot that is committed alongside each change.
+//!
+//! Usage:
+//!
+//! ```text
+//! bench-runner [--quick] [--out PATH]
+//! bench-runner --validate PATH
+//!
+//! --quick          reduced scale and iteration counts (the CI smoke run)
+//! --out PATH       where to write the snapshot (default BENCH_<date>.json)
+//! --validate PATH  check an existing snapshot against the schema and exit
+//! ```
+//!
+//! Every measured kernel reports throughput (`ops_per_sec`) plus per-op
+//! `p50_ns` / `p99_ns`; the `deltas` section pairs each new kernel with its
+//! baseline **measured in the same run**, so the committed speedups are
+//! apples-to-apples on one machine:
+//!
+//! * `kernel/intersection/dense-grid` — the word-parallel (popcount) cell
+//!   intersection against the scalar sorted-merge on dense grid sets.
+//! * `batch/ojsp`, `batch/cjsp` — the shared frontier traversal against the
+//!   per-query search loop over the same local indexes.
+//! * `engine/ojsp` — the multi-source engine's per-source batched shard
+//!   mode against the per-(query, source) oracle.
+//!
+//! The suite asserts result parity between every new/baseline pair before
+//! timing them, so a snapshot can never report the speed of diverging code.
+
+use std::time::Instant;
+
+use bench::ExperimentEnv;
+use dits::{
+    coverage_search, coverage_search_batch, nearest_datasets, overlap_search, overlap_search_batch,
+    CoverageConfig, DitsLocal, DitsLocalConfig,
+};
+use multisource::{FrameworkConfig, QueryEngine, ShardMode};
+use spatial::zorder::cell_id;
+use spatial::CellSet;
+
+const USAGE: &str = "\
+Usage: bench-runner [--quick] [--out PATH]
+       bench-runner --validate PATH
+
+--quick          reduced scale and iteration counts (the CI smoke run)
+--out PATH       where to write the snapshot (default BENCH_<date>.json)
+--validate PATH  check an existing snapshot against the schema and exit";
+
+/// Schema version stamped into (and required from) every snapshot.
+const SCHEMA_VERSION: u64 = 1;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut quick = false;
+    let mut out: Option<String> = None;
+    let mut validate: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return;
+            }
+            "--quick" => quick = true,
+            "--out" => {
+                out = args.get(i + 1).cloned();
+                if out.is_none() {
+                    eprintln!("--out needs a path\n{USAGE}");
+                    std::process::exit(2);
+                }
+                i += 1;
+            }
+            "--validate" => {
+                validate = args.get(i + 1).cloned();
+                if validate.is_none() {
+                    eprintln!("--validate needs a path\n{USAGE}");
+                    std::process::exit(2);
+                }
+                i += 1;
+            }
+            other => {
+                eprintln!("unknown flag {other}\n{USAGE}");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+
+    if let Some(path) = validate {
+        match validate_snapshot(&path) {
+            Ok(summary) => println!("{path}: OK ({summary})"),
+            Err(e) => {
+                eprintln!("{path}: INVALID — {e}");
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
+
+    let date = today_utc();
+    let out = out.unwrap_or_else(|| format!("BENCH_{date}.json"));
+    let suite = run_suite(quick);
+    let json = render_snapshot(&date, quick, &suite);
+    std::fs::write(&out, &json).unwrap_or_else(|e| {
+        eprintln!("cannot write {out}: {e}");
+        std::process::exit(1);
+    });
+    // A snapshot that does not parse against its own schema must never be
+    // committed; re-validating what was just written keeps writer and
+    // validator honest with each other.
+    if let Err(e) = validate_snapshot(&out) {
+        eprintln!("{out}: snapshot failed self-validation — {e}");
+        std::process::exit(1);
+    }
+    println!("wrote {out}");
+    for d in &suite.deltas {
+        println!("  {:<40} {:>6.2}x vs {}", d.name, d.speedup, d.baseline);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Measurement
+// ---------------------------------------------------------------------------
+
+/// One measured kernel: throughput plus per-op latency percentiles.
+struct KernelReport {
+    name: String,
+    iters: usize,
+    ops_per_sec: f64,
+    p50_ns: f64,
+    p99_ns: f64,
+}
+
+/// One same-run comparison: `new` kernel over `baseline` kernel.
+struct Delta {
+    name: String,
+    new: String,
+    baseline: String,
+    speedup: f64,
+}
+
+struct Suite {
+    kernels: Vec<KernelReport>,
+    deltas: Vec<Delta>,
+}
+
+/// Times `work` (which performs `ops` operations per call) `samples` times
+/// and folds the per-op nanosecond samples into a [`KernelReport`].
+fn measure(name: &str, samples: usize, ops: usize, mut work: impl FnMut()) -> KernelReport {
+    work(); // warm-up: caches (packed words, page-ins) are steady state
+    let mut per_op_ns: Vec<f64> = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let started = Instant::now();
+        work();
+        per_op_ns.push(started.elapsed().as_nanos() as f64 / ops as f64);
+    }
+    per_op_ns.sort_unstable_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    let p50 = percentile(&per_op_ns, 50.0);
+    let p99 = percentile(&per_op_ns, 99.0);
+    KernelReport {
+        name: name.to_string(),
+        iters: samples * ops,
+        ops_per_sec: if p50 > 0.0 { 1.0e9 / p50 } else { 0.0 },
+        p50_ns: p50,
+        p99_ns: p99,
+    }
+}
+
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = (p / 100.0 * (sorted.len() - 1) as f64).round() as usize;
+    sorted[rank.min(sorted.len() - 1)]
+}
+
+fn delta(name: &str, new: &KernelReport, baseline: &KernelReport) -> Delta {
+    Delta {
+        name: name.to_string(),
+        new: new.name.clone(),
+        baseline: baseline.name.clone(),
+        speedup: if baseline.p50_ns > 0.0 {
+            baseline.p50_ns / new.p50_ns.max(f64::MIN_POSITIVE)
+        } else {
+            0.0
+        },
+    }
+}
+
+/// A dense axis-aligned block of grid cells starting at `(x0, y0)`.
+fn dense_block(x0: u32, y0: u32, w: u32, h: u32) -> CellSet {
+    CellSet::from_cells((0..w).flat_map(|dx| (0..h).map(move |dy| cell_id(x0 + dx, y0 + dy))))
+}
+
+fn run_suite(quick: bool) -> Suite {
+    let (divisor, queries_n, samples) = if quick { (400, 8, 5) } else { (100, 32, 20) };
+    let theta = 11;
+    let k = 10;
+    let delta_cells = 4.0;
+    let mut kernels = Vec::new();
+    let mut deltas = Vec::new();
+
+    // -- Kernel: dense-grid cell intersection, word-parallel vs scalar ------
+    eprintln!("[1/4] kernel/intersection/dense-grid");
+    let pairs: Vec<(CellSet, CellSet)> = (0..32)
+        .map(|i| {
+            let bx = (i as u32 % 8) * 96;
+            let by = (i as u32 / 8) * 80;
+            // Two 64x64 blocks overlapping in a 32-column band: dense in
+            // word space, non-trivial intersection.
+            (
+                dense_block(bx, by, 64, 64),
+                dense_block(bx + 32, by, 64, 64),
+            )
+        })
+        .collect();
+    for (a, b) in &pairs {
+        assert_eq!(
+            a.intersection_size_packed(b),
+            a.intersection_size_linear(b),
+            "packed and scalar kernels disagree"
+        );
+    }
+    let kernel_samples = samples * 10;
+    let packed = measure(
+        "kernel/intersection/dense-grid/packed",
+        kernel_samples,
+        pairs.len(),
+        || {
+            for (a, b) in &pairs {
+                std::hint::black_box(a.intersection_size_packed(std::hint::black_box(b)));
+            }
+        },
+    );
+    let scalar = measure(
+        "kernel/intersection/dense-grid/scalar",
+        kernel_samples,
+        pairs.len(),
+        || {
+            for (a, b) in &pairs {
+                std::hint::black_box(a.intersection_size_linear(std::hint::black_box(b)));
+            }
+        },
+    );
+    let adaptive = measure(
+        "kernel/intersection/dense-grid/adaptive",
+        kernel_samples,
+        pairs.len(),
+        || {
+            for (a, b) in &pairs {
+                std::hint::black_box(a.intersection_size(std::hint::black_box(b)));
+            }
+        },
+    );
+    deltas.push(delta("kernel/intersection/dense-grid", &packed, &scalar));
+    kernels.extend([packed, scalar, adaptive]);
+
+    // -- Batch OJSP / CJSP / kNN over the five local indexes ----------------
+    eprintln!("[2/4] batch/ojsp + batch/cjsp (scale 1/{divisor}, {queries_n} queries)");
+    let env = ExperimentEnv::new(divisor, 0xBEEF);
+    let indexes: Vec<DitsLocal> = (0..env.source_data.len())
+        .map(|s| DitsLocal::build(env.dataset_nodes(s, theta), DitsLocalConfig::default()))
+        .collect();
+    let queries = env.query_cells(queries_n, theta);
+    assert!(!queries.is_empty(), "query workload must not be empty");
+    let batch_ops = indexes.len() * queries.len();
+
+    for index in &indexes {
+        let solo: Vec<_> = queries
+            .iter()
+            .map(|q| overlap_search(index, q, k))
+            .collect();
+        assert_eq!(
+            overlap_search_batch(index, &queries, k),
+            solo,
+            "frontier OJSP diverged from the per-query oracle"
+        );
+        let config = CoverageConfig::new(k, delta_cells);
+        let solo: Vec<_> = queries
+            .iter()
+            .map(|q| coverage_search(index, q, config))
+            .collect();
+        assert_eq!(
+            coverage_search_batch(index, &queries, config),
+            solo,
+            "frontier CJSP diverged from the per-query oracle"
+        );
+    }
+
+    let ojsp_per_query = measure("batch/ojsp/per-query", samples, batch_ops, || {
+        for index in &indexes {
+            for q in &queries {
+                std::hint::black_box(overlap_search(index, q, k));
+            }
+        }
+    });
+    let ojsp_frontier = measure("batch/ojsp/frontier", samples, batch_ops, || {
+        for index in &indexes {
+            std::hint::black_box(overlap_search_batch(index, &queries, k));
+        }
+    });
+    deltas.push(delta("batch/ojsp", &ojsp_frontier, &ojsp_per_query));
+    kernels.extend([ojsp_per_query, ojsp_frontier]);
+
+    let coverage_config = CoverageConfig::new(k, delta_cells);
+    let cjsp_per_query = measure("batch/cjsp/per-query", samples, batch_ops, || {
+        for index in &indexes {
+            for q in &queries {
+                std::hint::black_box(coverage_search(index, q, coverage_config));
+            }
+        }
+    });
+    let cjsp_frontier = measure("batch/cjsp/frontier", samples, batch_ops, || {
+        for index in &indexes {
+            std::hint::black_box(coverage_search_batch(index, &queries, coverage_config));
+        }
+    });
+    deltas.push(delta("batch/cjsp", &cjsp_frontier, &cjsp_per_query));
+    kernels.extend([cjsp_per_query, cjsp_frontier]);
+
+    eprintln!("[3/4] knn/per-query (trajectory only)");
+    kernels.push(measure("knn/per-query", samples, batch_ops, || {
+        for index in &indexes {
+            for q in &queries {
+                std::hint::black_box(nearest_datasets(index, q, k));
+            }
+        }
+    }));
+
+    // -- Engine shard modes over the full multi-source framework ------------
+    eprintln!("[4/4] engine/ojsp shard modes");
+    let fw = env.framework(FrameworkConfig {
+        resolution: theta,
+        ..FrameworkConfig::default()
+    });
+    let raw_queries = env.query_datasets(queries_n);
+    let per_query_engine = fw.engine();
+    let mut config = *per_query_engine.config();
+    config.shard_mode = ShardMode::PerSourceBatch;
+    let batched_engine = QueryEngine::in_process(fw.center(), fw.sources(), config);
+    let oracle = per_query_engine
+        .run_ojsp(&raw_queries, k)
+        .expect("in-process OJSP");
+    let fast = batched_engine
+        .run_ojsp(&raw_queries, k)
+        .expect("in-process batched OJSP");
+    assert_eq!(
+        oracle.answers, fast.answers,
+        "batched shard mode diverged from the per-query oracle"
+    );
+    let engine_per_query = measure("engine/ojsp/per-query", samples, raw_queries.len(), || {
+        std::hint::black_box(per_query_engine.run_ojsp(&raw_queries, k).expect("OJSP"));
+    });
+    let engine_batched = measure(
+        "engine/ojsp/per-source-batch",
+        samples,
+        raw_queries.len(),
+        || {
+            std::hint::black_box(batched_engine.run_ojsp(&raw_queries, k).expect("OJSP"));
+        },
+    );
+    deltas.push(delta("engine/ojsp", &engine_batched, &engine_per_query));
+    kernels.extend([engine_per_query, engine_batched]);
+
+    Suite { kernels, deltas }
+}
+
+// ---------------------------------------------------------------------------
+// Snapshot writing
+// ---------------------------------------------------------------------------
+
+fn render_snapshot(date: &str, quick: bool, suite: &Suite) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str(&format!("  \"schema_version\": {SCHEMA_VERSION},\n"));
+    s.push_str(&format!("  \"date\": \"{}\",\n", escape_json(date)));
+    s.push_str(&format!("  \"quick\": {quick},\n"));
+    s.push_str("  \"kernels\": [\n");
+    for (i, k) in suite.kernels.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"name\": \"{}\", \"iters\": {}, \"ops_per_sec\": {:.1}, \
+             \"p50_ns\": {:.1}, \"p99_ns\": {:.1}}}{}\n",
+            escape_json(&k.name),
+            k.iters,
+            k.ops_per_sec,
+            k.p50_ns,
+            k.p99_ns,
+            if i + 1 < suite.kernels.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("  ],\n");
+    s.push_str("  \"deltas\": [\n");
+    for (i, d) in suite.deltas.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"name\": \"{}\", \"new\": \"{}\", \"baseline\": \"{}\", \
+             \"speedup\": {:.2}}}{}\n",
+            escape_json(&d.name),
+            escape_json(&d.new),
+            escape_json(&d.baseline),
+            d.speedup,
+            if i + 1 < suite.deltas.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("  ]\n");
+    s.push_str("}\n");
+    s
+}
+
+fn escape_json(raw: &str) -> String {
+    let mut out = String::with_capacity(raw.len());
+    for c in raw.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Snapshot validation (hand-rolled JSON: the toolchain has no serde_json)
+// ---------------------------------------------------------------------------
+
+/// A parsed JSON value — just enough of the grammar for the snapshot schema.
+#[derive(Debug, Clone, PartialEq)]
+enum Json {
+    Null,
+    Bool(bool),
+    Number(f64),
+    String(String),
+    Array(Vec<Json>),
+    Object(Vec<(String, Json)>),
+}
+
+impl Json {
+    fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Object(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    fn as_number(&self) -> Option<f64> {
+        match self {
+            Json::Number(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    fn as_array(&self) -> Option<&[Json]> {
+        match self {
+            Json::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(text: &'a str) -> Self {
+        Self {
+            bytes: text.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn error(&self, what: &str) -> String {
+        format!("{what} at byte {}", self.pos)
+    }
+
+    fn skip_ws(&mut self) {
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| matches!(b, b' ' | b'\t' | b'\n' | b'\r'))
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, byte: u8) -> Result<(), String> {
+        if self.peek() == Some(byte) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.error(&format!("expected '{}'", byte as char)))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        match self.peek().ok_or_else(|| self.error("unexpected end"))? {
+            b'{' => self.object(),
+            b'[' => self.array(),
+            b'"' => Ok(Json::String(self.string()?)),
+            b't' => self.literal("true", Json::Bool(true)),
+            b'f' => self.literal("false", Json::Bool(false)),
+            b'n' => self.literal("null", Json::Null),
+            _ => self.number(),
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Json) -> Result<Json, String> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(self.error(&format!("expected '{word}'")))
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Object(fields));
+        }
+        loop {
+            let key = self.string()?;
+            self.expect(b':')?;
+            fields.push((key, self.value()?));
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Object(fields));
+                }
+                _ => return Err(self.error("expected ',' or '}'")),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Array(items));
+        }
+        loop {
+            items.push(self.value()?);
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Array(items));
+                }
+                _ => return Err(self.error("expected ',' or ']'")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.bytes.get(self.pos) {
+                None => return Err(self.error("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.bytes.get(self.pos) {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .ok_or_else(|| self.error("truncated \\u escape"))?;
+                            let code = std::str::from_utf8(hex)
+                                .ok()
+                                .and_then(|h| u32::from_str_radix(h, 16).ok())
+                                .ok_or_else(|| self.error("bad \\u escape"))?;
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                            self.pos += 4;
+                        }
+                        _ => return Err(self.error("bad escape")),
+                    }
+                    self.pos += 1;
+                }
+                Some(&b) => {
+                    // Multi-byte UTF-8 sequences pass through untouched.
+                    let len = match b {
+                        _ if b < 0x80 => 1,
+                        _ if b >> 5 == 0b110 => 2,
+                        _ if b >> 4 == 0b1110 => 3,
+                        _ => 4,
+                    };
+                    let chunk = self
+                        .bytes
+                        .get(self.pos..self.pos + len)
+                        .ok_or_else(|| self.error("truncated utf-8"))?;
+                    out.push_str(
+                        std::str::from_utf8(chunk).map_err(|_| self.error("invalid utf-8"))?,
+                    );
+                    self.pos += len;
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        self.skip_ws();
+        let start = self.pos;
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| matches!(b, b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E'))
+        {
+            self.pos += 1;
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .ok()
+            .and_then(|t| t.parse::<f64>().ok())
+            .map(Json::Number)
+            .ok_or_else(|| self.error("expected a number"))
+    }
+
+    fn parse(mut self) -> Result<Json, String> {
+        let value = self.value()?;
+        self.skip_ws();
+        if self.pos != self.bytes.len() {
+            return Err(self.error("trailing data"));
+        }
+        Ok(value)
+    }
+}
+
+/// Validates a snapshot file against the schema; returns a short summary.
+fn validate_snapshot(path: &str) -> Result<String, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read: {e}"))?;
+    let root = Parser::new(&text).parse()?;
+
+    let version = root
+        .get("schema_version")
+        .and_then(Json::as_number)
+        .ok_or("missing numeric schema_version")?;
+    if version != SCHEMA_VERSION as f64 {
+        return Err(format!("unsupported schema_version {version}"));
+    }
+    let date = root
+        .get("date")
+        .and_then(Json::as_str)
+        .ok_or("missing string date")?;
+    let date_ok = date.len() == 10
+        && date.chars().enumerate().all(|(i, c)| {
+            if i == 4 || i == 7 {
+                c == '-'
+            } else {
+                c.is_ascii_digit()
+            }
+        });
+    if !date_ok {
+        return Err(format!("date {date:?} is not YYYY-MM-DD"));
+    }
+    if !matches!(root.get("quick"), Some(Json::Bool(_))) {
+        return Err("missing boolean quick".into());
+    }
+
+    let kernels = root
+        .get("kernels")
+        .and_then(Json::as_array)
+        .ok_or("missing kernels array")?;
+    if kernels.is_empty() {
+        return Err("kernels array is empty".into());
+    }
+    for (i, k) in kernels.iter().enumerate() {
+        for field in ["iters", "ops_per_sec", "p50_ns", "p99_ns"] {
+            let n = k
+                .get(field)
+                .and_then(Json::as_number)
+                .ok_or(format!("kernels[{i}] missing numeric {field}"))?;
+            if !n.is_finite() || n < 0.0 {
+                return Err(format!(
+                    "kernels[{i}].{field} = {n} is not a valid measurement"
+                ));
+            }
+        }
+        if k.get("name").and_then(Json::as_str).is_none() {
+            return Err(format!("kernels[{i}] missing string name"));
+        }
+    }
+
+    let deltas = root
+        .get("deltas")
+        .and_then(Json::as_array)
+        .ok_or("missing deltas array")?;
+    if deltas.is_empty() {
+        return Err("deltas array is empty".into());
+    }
+    let kernel_names: Vec<&str> = kernels
+        .iter()
+        .filter_map(|k| k.get("name").and_then(Json::as_str))
+        .collect();
+    for (i, d) in deltas.iter().enumerate() {
+        if d.get("name").and_then(Json::as_str).is_none() {
+            return Err(format!("deltas[{i}] missing string name"));
+        }
+        let speedup = d
+            .get("speedup")
+            .and_then(Json::as_number)
+            .ok_or(format!("deltas[{i}] missing numeric speedup"))?;
+        if !speedup.is_finite() || speedup <= 0.0 {
+            return Err(format!("deltas[{i}].speedup = {speedup} is not positive"));
+        }
+        for side in ["new", "baseline"] {
+            let name = d
+                .get(side)
+                .and_then(Json::as_str)
+                .ok_or(format!("deltas[{i}] missing string {side}"))?;
+            if !kernel_names.contains(&name) {
+                return Err(format!(
+                    "deltas[{i}].{side} {name:?} names no measured kernel"
+                ));
+            }
+        }
+    }
+
+    Ok(format!(
+        "{} kernels, {} deltas",
+        kernels.len(),
+        deltas.len()
+    ))
+}
+
+// ---------------------------------------------------------------------------
+// Civil date (no chrono in the toolchain)
+// ---------------------------------------------------------------------------
+
+/// Today's UTC date as `YYYY-MM-DD` (Howard Hinnant's `civil_from_days`).
+fn today_utc() -> String {
+    let secs = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    let z = (secs / 86_400) as i64 + 719_468;
+    let era = if z >= 0 { z } else { z - 146_096 } / 146_097;
+    let doe = (z - era * 146_097) as u64;
+    let yoe = (doe - doe / 1_460 + doe / 36_524 - doe / 146_096) / 365;
+    let year = yoe as i64 + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let day = doy - (153 * mp + 2) / 5 + 1;
+    let month = if mp < 10 { mp + 3 } else { mp - 9 };
+    let year = if month <= 2 { year + 1 } else { year };
+    format!("{year:04}-{month:02}-{day:02}")
+}

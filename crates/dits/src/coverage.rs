@@ -123,33 +123,10 @@ pub fn coverage_search(
             }
         }
 
-        // Greedy choice: maximum marginal gain, with the paper's size filter
-        // |N_D.S_D| ≥ τ as a cheap pre-test (a dataset with fewer cells than
-        // the best gain found so far can never match it).  Ties are broken by
-        // the smaller dataset id so every greedy variant (CoverageSearch,
-        // SG+DITS, SG) makes identical choices and stays comparable.
-        let mut tau: isize = -1;
-        let mut best: Option<&DatasetNode> = None;
-        for node in connected {
-            if selected.contains(&node.id) {
-                continue;
-            }
-            if (node.cells.len() as isize) < tau {
-                continue;
-            }
-            stats.exact_computations += 1;
-            let gain = node.cells.marginal_gain(&merged_cells) as isize;
-            let wins = match best {
-                None => true,
-                Some(current) => gain > tau || (gain == tau && node.id < current.id),
-            };
-            if wins {
-                tau = gain;
-                best = Some(node);
-            }
-        }
-
-        let Some(best) = best else { break };
+        let Some((best, tau)) = greedy_pick(&connected, &selected, &merged_cells, &mut stats)
+        else {
+            break;
+        };
         if tau <= 0 {
             // No remaining connected dataset adds any new cell.
             break;
@@ -166,6 +143,44 @@ pub fn coverage_search(
     }
 
     (result, stats)
+}
+
+/// The greedy choice of Algorithm 3, shared between the per-query search and
+/// the batch frontier traversal so both make identical selections and count
+/// identical statistics: the connected dataset with the maximum marginal
+/// gain, with the paper's size filter `|N_D.S_D| ≥ τ` as a cheap pre-test (a
+/// dataset with fewer cells than the best gain found so far can never match
+/// it).  Ties are broken by the smaller dataset id so every greedy variant
+/// (CoverageSearch, SG+DITS, SG) makes identical choices and stays
+/// comparable.  Returns the winner and its gain `τ`; the caller stops when
+/// the gain is not positive.
+pub(crate) fn greedy_pick<'a>(
+    connected: &[&'a DatasetNode],
+    selected: &HashSet<DatasetId>,
+    merged_cells: &CellSet,
+    stats: &mut SearchStats,
+) -> Option<(&'a DatasetNode, isize)> {
+    let mut tau: isize = -1;
+    let mut best: Option<&DatasetNode> = None;
+    for &node in connected {
+        if selected.contains(&node.id) {
+            continue;
+        }
+        if (node.cells.len() as isize) < tau {
+            continue;
+        }
+        stats.exact_computations += 1;
+        let gain = node.cells.marginal_gain(merged_cells) as isize;
+        let wins = match best {
+            None => true,
+            Some(current) => gain > tau || (gain == tau && node.id < current.id),
+        };
+        if wins {
+            tau = gain;
+            best = Some(node);
+        }
+    }
+    best.map(|b| (b, tau))
 }
 
 /// `FindConnectSet` of Algorithm 3: collects every dataset node whose
@@ -234,7 +249,7 @@ fn find_connect_set<'a>(
 }
 
 /// Adds every dataset node in the subtree to the output.
-fn collect_all<'a>(
+pub(crate) fn collect_all<'a>(
     index: &'a DitsLocal,
     node_idx: NodeIdx,
     out: &mut Vec<&'a DatasetNode>,

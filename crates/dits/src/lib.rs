@@ -26,6 +26,7 @@
 pub mod bounds;
 pub mod bulkload;
 pub mod coverage;
+pub mod frontier;
 pub mod global;
 pub mod inverted;
 pub mod knn;
@@ -38,10 +39,13 @@ pub mod update;
 
 pub use bulkload::build_bottom_up;
 pub use coverage::{coverage_search, CoverageConfig, CoverageResult};
+pub use frontier::{
+    coverage_search_batch, overlap_search_batch, overlap_search_batch_with_options,
+};
 pub use global::{DitsGlobal, SourceSummary};
 pub use inverted::InvertedIndex;
 pub use knn::{nearest_datasets, range_datasets, Neighbor};
-pub use local::{DitsLocal, DitsLocalConfig};
+pub use local::{DitsLocal, DitsLocalConfig, TraversalLayout};
 pub use node::{DatasetNode, NodeGeometry};
 pub use overlap::{overlap_search, overlap_search_with_options, OverlapResult};
 pub use persist::{

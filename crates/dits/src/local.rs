@@ -384,6 +384,72 @@ impl DitsLocal {
     }
 }
 
+/// Cache-conscious structure-of-arrays snapshot of the node arena for batch
+/// traversal: node geometries (MBR, pivot, radius) and child indices live in
+/// two contiguous arrays, so the shared frontier walk touches two tightly
+/// packed cache lines per node instead of striding over full [`TreeNode`]s
+/// (whose leaf payloads — entries and inverted indexes — are dead weight
+/// during descent).
+///
+/// The layout is a snapshot: build it with
+/// [`DitsLocal::traversal_layout`] per batch (an `O(nodes)` copy amortised
+/// over every query in the batch) rather than holding it across index
+/// updates.
+#[derive(Debug, Clone)]
+pub struct TraversalLayout {
+    geometries: Vec<NodeGeometry>,
+    children: Vec<[NodeIdx; 2]>,
+}
+
+/// Sentinel child index marking a leaf in [`TraversalLayout`].
+const NO_CHILD: NodeIdx = NodeIdx::MAX;
+
+impl TraversalLayout {
+    /// Geometry of node `idx`.
+    pub fn geometry(&self, idx: NodeIdx) -> &NodeGeometry {
+        &self.geometries[idx]
+    }
+
+    /// MBR of node `idx`.
+    pub fn rect(&self, idx: NodeIdx) -> &Mbr {
+        &self.geometries[idx].rect
+    }
+
+    /// Children of node `idx`, or `None` for a leaf.
+    pub fn children(&self, idx: NodeIdx) -> Option<(NodeIdx, NodeIdx)> {
+        let [left, right] = self.children[idx];
+        (left != NO_CHILD).then_some((left, right))
+    }
+
+    /// Number of arena nodes covered by the snapshot.
+    pub fn len(&self) -> usize {
+        self.geometries.len()
+    }
+
+    /// Whether the snapshot covers no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.geometries.is_empty()
+    }
+}
+
+impl DitsLocal {
+    /// Builds the structure-of-arrays [`TraversalLayout`] snapshot of the
+    /// current arena (see its docs for when to use one).
+    pub fn traversal_layout(&self) -> TraversalLayout {
+        TraversalLayout {
+            geometries: self.nodes.iter().map(|n| n.geometry).collect(),
+            children: self
+                .nodes
+                .iter()
+                .map(|n| match n.kind {
+                    NodeKind::Internal { left, right } => [left, right],
+                    NodeKind::Leaf { .. } => [NO_CHILD; 2],
+                })
+                .collect(),
+        }
+    }
+}
+
 /// Geometry of a set of dataset nodes (an empty set gets a degenerate MBR at
 /// the origin).
 pub(crate) fn geometry_of(entries: &[DatasetNode]) -> NodeGeometry {
@@ -515,6 +581,25 @@ mod tests {
         let large = DitsLocal::build(grid_nodes(200), DitsLocalConfig::default());
         assert!(small.memory_bytes() > 0);
         assert!(large.memory_bytes() > small.memory_bytes());
+    }
+
+    #[test]
+    fn traversal_layout_mirrors_the_arena() {
+        let idx = DitsLocal::build(grid_nodes(50), DitsLocalConfig { leaf_capacity: 4 });
+        let layout = idx.traversal_layout();
+        assert_eq!(layout.len(), idx.node_count());
+        assert!(!layout.is_empty());
+        for i in 0..idx.node_count() {
+            let node = idx.node(i);
+            assert_eq!(layout.rect(i), &node.geometry.rect);
+            assert_eq!(layout.geometry(i).pivot, node.geometry.pivot);
+            match node.kind {
+                NodeKind::Internal { left, right } => {
+                    assert_eq!(layout.children(i), Some((left, right)))
+                }
+                NodeKind::Leaf { .. } => assert_eq!(layout.children(i), None),
+            }
+        }
     }
 
     #[test]

@@ -61,7 +61,7 @@ pub fn overlap_search_with_options(
     };
 
     // Phase 1 (BranchAndBound): collect candidate leaves with their bounds.
-    let mut candidates: Vec<(usize, usize, NodeIdx)> = Vec::new(); // (ub, lb, leaf)
+    let mut candidates: Vec<LeafCandidate> = Vec::new();
     collect_candidate_leaves(
         index,
         index.root(),
@@ -72,10 +72,30 @@ pub fn overlap_search_with_options(
         &mut stats,
     );
 
+    let results = verify_candidates(index, query, k, use_bounds, candidates, &mut stats);
+    (results, stats)
+}
+
+/// A candidate leaf awaiting verification: `(upper bound, lower bound, leaf)`
+/// as produced by phase 1 in recursion order.
+pub(crate) type LeafCandidate = (usize, usize, NodeIdx);
+
+/// Phase 2 of Algorithm 2, shared between the per-query search and the batch
+/// frontier traversal so both produce identical results and statistics:
+/// sorts the candidate leaves by decreasing upper bound, then verifies them
+/// exactly with a min-heap of the current top-k, pruning once the next upper
+/// bound cannot beat the `k`-th best intersection.
+pub(crate) fn verify_candidates(
+    index: &DitsLocal,
+    query: &CellSet,
+    k: usize,
+    use_bounds: bool,
+    mut candidates: Vec<LeafCandidate>,
+    stats: &mut SearchStats,
+) -> Vec<OverlapResult> {
     // Order leaves by decreasing upper bound so verification can stop early.
     candidates.sort_unstable_by_key(|&(ub, _, _)| Reverse(ub));
 
-    // Phase 2: exact verification with a min-heap of the current top-k.
     let mut heap: BinaryHeap<Reverse<(usize, Reverse<DatasetId>)>> = BinaryHeap::new();
     for (ub, _lb, leaf) in candidates {
         let kth_best = if heap.len() >= k {
@@ -129,7 +149,7 @@ pub fn overlap_search_with_options(
         .map(|Reverse((overlap, Reverse(dataset)))| OverlapResult { dataset, overlap })
         .collect();
     results.sort_unstable_by(|a, b| b.overlap.cmp(&a.overlap).then(a.dataset.cmp(&b.dataset)));
-    (results, stats)
+    results
 }
 
 /// Recursive descent of Algorithm 2's `BranchAndBound`: prunes subtrees not

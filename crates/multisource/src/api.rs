@@ -29,6 +29,7 @@ use spatial::{SourceId, SpatialDataset};
 
 use crate::center::{AggregatedCoverage, AggregatedKnn, AggregatedOverlap, DistributionStrategy};
 use crate::comm::CommStats;
+use crate::engine::ShardMode;
 
 /// Which search problem a [`SearchRequest`] asks for.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -57,6 +58,7 @@ pub struct SearchRequest {
     workers: Option<usize>,
     strategy: Option<DistributionStrategy>,
     delta_cells: Option<f64>,
+    shard_mode: Option<ShardMode>,
     collect_stats: bool,
 }
 
@@ -69,6 +71,7 @@ impl SearchRequest {
             workers: None,
             strategy: None,
             delta_cells: None,
+            shard_mode: None,
             collect_stats: true,
         }
     }
@@ -129,6 +132,16 @@ impl SearchRequest {
         self
     }
 
+    /// Overrides how the batch is sharded across sources for this request
+    /// (OJSP/CJSP only; kNN always runs per query).
+    /// [`ShardMode::PerSourceBatch`] answers each source's whole sub-batch
+    /// with one shared frontier traversal — identical answers, fewer
+    /// messages, one index walk per batch instead of one per query.
+    pub fn shard_mode(mut self, mode: ShardMode) -> Self {
+        self.shard_mode = Some(mode);
+        self
+    }
+
     /// Whether sources should report their off-wire search statistics
     /// (default `true`).  Opting out never changes the counted protocol
     /// bytes — the statistics ride in the transport frame, not the message.
@@ -165,6 +178,11 @@ impl SearchRequest {
     /// The δ override, if any.
     pub fn requested_delta_cells(&self) -> Option<f64> {
         self.delta_cells
+    }
+
+    /// The shard-mode override, if any.
+    pub fn requested_shard_mode(&self) -> Option<ShardMode> {
+        self.shard_mode
     }
 
     /// Whether statistics collection was requested.

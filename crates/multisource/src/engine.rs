@@ -47,6 +47,29 @@ use crate::message::{CoverageCandidate, Message};
 use crate::source::DataSource;
 use crate::transport::{InProcessTransport, SourceTransport};
 
+/// How the engine shards a query batch across its sources.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ShardMode {
+    /// One shard task per `(query, source)` pair: every routed query becomes
+    /// its own request message.  The historical mode, kept as the parity
+    /// oracle the batched mode is tested against.
+    #[default]
+    PerQuery,
+    /// One shard task per *source*, carrying every query of the batch routed
+    /// to it.  The source answers the whole batch with a single shared
+    /// frontier traversal of its index
+    /// ([`overlap_search_batch`](dits::overlap_search_batch) /
+    /// [`coverage_search_batch`](dits::coverage_search_batch)), touching each
+    /// index node at most once per batch instead of once per query.
+    ///
+    /// Answers are identical to [`ShardMode::PerQuery`] and the accumulated
+    /// [`SearchStats`] are the same per-query sums; only the protocol
+    /// framing differs (fewer, larger messages).  kNN requests always run
+    /// per query — distance ranking needs the unclipped query and gains
+    /// nothing from frontier sharing.
+    PerSourceBatch,
+}
+
 /// Configuration of the query engine.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct EngineConfig {
@@ -59,6 +82,8 @@ pub struct EngineConfig {
     /// Whether sources report their off-wire search statistics (never
     /// changes the counted protocol bytes).
     pub collect_stats: bool,
+    /// How the batch is sharded across sources (OJSP/CJSP only).
+    pub shard_mode: ShardMode,
 }
 
 impl Default for EngineConfig {
@@ -68,6 +93,7 @@ impl Default for EngineConfig {
             strategy: DistributionStrategy::PrunedClipped,
             delta_cells: 10.0,
             collect_stats: true,
+            shard_mode: ShardMode::PerQuery,
         }
     }
 }
@@ -190,6 +216,9 @@ impl<'a> QueryEngine<'a> {
         if let Some(delta) = request.requested_delta_cells() {
             config.delta_cells = delta;
         }
+        if let Some(mode) = request.requested_shard_mode() {
+            config.shard_mode = mode;
+        }
         config.collect_stats = request.wants_stats();
         let engine = Self {
             center: self.center,
@@ -238,24 +267,25 @@ impl<'a> QueryEngine<'a> {
         })
     }
 
-    /// Delivers one shard request through the transport, accounting bytes,
-    /// timing and statistics, and returns the reply message.
-    fn exchange(&self, task: &ShardTask, ctx: &mut WorkerCtx) -> Result<Message, SearchError> {
+    /// Delivers one request through the transport, accounting bytes, timing
+    /// and statistics, and returns the reply message.
+    fn exchange(
+        &self,
+        source: SourceId,
+        request: &Message,
+        ctx: &mut WorkerCtx,
+    ) -> Result<Message, SearchError> {
         let started = Instant::now();
-        let reply =
-            self.transport
-                .get()
-                .call(task.source, &task.request, self.config.collect_stats)?;
+        let reply = self
+            .transport
+            .get()
+            .call(source, request, self.config.collect_stats)?;
         let elapsed = started.elapsed();
         // Sizes come from the transport (the TCP path reads them off the
         // frames it already moved), so nothing is re-encoded for accounting.
         ctx.comm.record_request(reply.request_bytes);
         ctx.comm.record_reply(reply.reply_bytes);
-        ctx.record_timing(
-            task.source,
-            reply.request_bytes + reply.reply_bytes,
-            elapsed,
-        );
+        ctx.record_timing(source, reply.request_bytes + reply.reply_bytes, elapsed);
         if let Some(stats) = reply.search {
             ctx.search.merge(&stats);
         }
@@ -301,25 +331,63 @@ impl<'a> QueryEngine<'a> {
             }
         }
 
-        // Execute: one task per (query, source) shard, in parallel.
-        let (per_task, ctx) = run_parallel(&tasks, self.config.workers, |task, ctx| {
-            match self.exchange(task, ctx)? {
-                Message::OverlapReply { source, results } => {
-                    let pairs: Vec<(SourceId, dits::OverlapResult)> =
-                        results.into_iter().map(|r| (source, r)).collect();
-                    Ok(pairs)
+        // Execute, bucketing replies per query.  The final per-query sort
+        // uses a total order (overlap desc, then source, then dataset), so
+        // the bucket fill order — task order per query vs. source order per
+        // batch — cannot change the aggregated answers.
+        let mut buckets: Vec<Vec<(SourceId, dits::OverlapResult)>> =
+            (0..queries.len()).map(|_| Vec::new()).collect();
+        let ctx = match self.config.shard_mode {
+            // One task per (query, source) shard, in parallel.
+            ShardMode::PerQuery => {
+                let (per_task, ctx) = run_parallel(&tasks, self.config.workers, |task, ctx| {
+                    match self.exchange(task.source, &task.request, ctx)? {
+                        Message::OverlapReply { source, results } => {
+                            let pairs: Vec<(SourceId, dits::OverlapResult)> =
+                                results.into_iter().map(|r| (source, r)).collect();
+                            Ok(pairs)
+                        }
+                        _ => Err(TransportError::UnexpectedReply("OverlapReply").into()),
+                    }
+                })?;
+                for (task, results) in tasks.iter().zip(per_task) {
+                    buckets[task.query_idx].extend(results);
                 }
-                _ => Err(TransportError::UnexpectedReply("OverlapReply").into()),
+                ctx
             }
-        })?;
+            // One task per source carrying its whole routed sub-batch; the
+            // source answers with a single shared frontier traversal.
+            ShardMode::PerSourceBatch => {
+                let batches = group_overlap_batches(tasks, k);
+                let (per_batch, ctx) =
+                    run_parallel(&batches, self.config.workers, |batch, ctx| {
+                        match self.exchange(batch.source, &batch.request, ctx)? {
+                            Message::OverlapBatchReply { source, results }
+                                if results.len() == batch.query_idxs.len() =>
+                            {
+                                let per_query: Vec<Vec<(SourceId, dits::OverlapResult)>> = results
+                                    .into_iter()
+                                    .map(|rs| rs.into_iter().map(|r| (source, r)).collect())
+                                    .collect();
+                                Ok(per_query)
+                            }
+                            _ => Err(TransportError::UnexpectedReply(
+                                "OverlapBatchReply of matching arity",
+                            )
+                            .into()),
+                        }
+                    })?;
+                for (batch, per_query) in batches.iter().zip(per_batch) {
+                    for (&query_idx, results) in batch.query_idxs.iter().zip(per_query) {
+                        buckets[query_idx].extend(results);
+                    }
+                }
+                ctx
+            }
+        };
         comm.merge(&ctx.comm);
 
         // Aggregate: global top-k per query.
-        let mut buckets: Vec<Vec<(SourceId, dits::OverlapResult)>> =
-            (0..queries.len()).map(|_| Vec::new()).collect();
-        for (task, results) in tasks.iter().zip(per_task) {
-            buckets[task.query_idx].extend(results);
-        }
         let answers = buckets
             .into_iter()
             .map(|mut all| {
@@ -391,22 +459,53 @@ impl<'a> QueryEngine<'a> {
             }
         }
 
-        // Execute: local coverage searches in parallel.
-        let (per_task, ctx) = run_parallel(&tasks, self.config.workers, |task, ctx| {
-            match self.exchange(task, ctx)? {
-                Message::CoverageReply { candidates, .. } => Ok(candidates),
-                _ => Err(TransportError::UnexpectedReply("CoverageReply").into()),
+        // Execute local coverage searches, bucketing candidates per query.
+        // The greedy aggregation below picks its winner through a total
+        // order on (gain, source, dataset), so the bucket fill order cannot
+        // change the selected sets.
+        let mut buckets: Vec<Vec<CoverageCandidate>> =
+            (0..queries.len()).map(|_| Vec::new()).collect();
+        let ctx = match self.config.shard_mode {
+            ShardMode::PerQuery => {
+                let (per_task, ctx) = run_parallel(&tasks, self.config.workers, |task, ctx| {
+                    match self.exchange(task.source, &task.request, ctx)? {
+                        Message::CoverageReply { candidates, .. } => Ok(candidates),
+                        _ => Err(TransportError::UnexpectedReply("CoverageReply").into()),
+                    }
+                })?;
+                for (task, candidates) in tasks.iter().zip(per_task) {
+                    buckets[task.query_idx].extend(candidates);
+                }
+                ctx
             }
-        })?;
+            ShardMode::PerSourceBatch => {
+                let batches = group_coverage_batches(tasks, k, delta);
+                let (per_batch, ctx) =
+                    run_parallel(&batches, self.config.workers, |batch, ctx| {
+                        match self.exchange(batch.source, &batch.request, ctx)? {
+                            Message::CoverageBatchReply { candidates, .. }
+                                if candidates.len() == batch.query_idxs.len() =>
+                            {
+                                Ok(candidates)
+                            }
+                            _ => Err(TransportError::UnexpectedReply(
+                                "CoverageBatchReply of matching arity",
+                            )
+                            .into()),
+                        }
+                    })?;
+                for (batch, per_query) in batches.iter().zip(per_batch) {
+                    for (&query_idx, candidates) in batch.query_idxs.iter().zip(per_query) {
+                        buckets[query_idx].extend(candidates);
+                    }
+                }
+                ctx
+            }
+        };
         comm.merge(&ctx.comm);
 
         // Aggregate: cross-source greedy selection, parallelised over the
         // queries of the batch (each query's greedy run is independent).
-        let mut buckets: Vec<Vec<CoverageCandidate>> =
-            (0..queries.len()).map(|_| Vec::new()).collect();
-        for (task, candidates) in tasks.iter().zip(per_task) {
-            buckets[task.query_idx].extend(candidates);
-        }
         let agg_inputs: Vec<(CellSet, Vec<CoverageCandidate>)> = query_cells
             .into_iter()
             .zip(buckets)
@@ -474,9 +573,11 @@ impl<'a> QueryEngine<'a> {
             }
         }
 
-        // Execute.
+        // Execute.  kNN ignores the shard mode: distance ranking needs the
+        // unclipped query at every source and gains nothing from frontier
+        // sharing, so it always runs one task per (query, source).
         let (per_task, ctx) = run_parallel(&tasks, self.config.workers, |task, ctx| {
-            match self.exchange(task, ctx)? {
+            match self.exchange(task.source, &task.request, ctx)? {
                 Message::KnnReply { source, neighbors } => {
                     let pairs: Vec<(SourceId, Neighbor)> =
                         neighbors.into_iter().map(|n| (source, n)).collect();
@@ -516,6 +617,63 @@ impl<'a> QueryEngine<'a> {
             elapsed: start.elapsed(),
         })
     }
+}
+
+/// One planned per-source batch task ([`ShardMode::PerSourceBatch`]): the
+/// whole sub-batch of queries routed to one source, plus the positions of
+/// those queries in the original batch so replies can be bucketed back.
+struct BatchShard {
+    source: SourceId,
+    query_idxs: Vec<usize>,
+    request: Message,
+}
+
+/// Groups planned per-(query, source) overlap tasks into one
+/// [`Message::OverlapBatchQuery`] per source, preserving query order within
+/// each source's sub-batch.
+fn group_overlap_batches(tasks: Vec<ShardTask>, k: usize) -> Vec<BatchShard> {
+    let mut grouped: BTreeMap<SourceId, (Vec<usize>, Vec<CellSet>)> = BTreeMap::new();
+    for task in tasks {
+        // Planning only ever materialises overlap requests here; stay total
+        // rather than panicking on an impossible variant.
+        let Message::OverlapQuery { query, .. } = task.request else {
+            continue;
+        };
+        let entry = grouped.entry(task.source).or_default();
+        entry.0.push(task.query_idx);
+        entry.1.push(query);
+    }
+    grouped
+        .into_iter()
+        .map(|(source, (query_idxs, queries))| BatchShard {
+            source,
+            query_idxs,
+            request: Message::OverlapBatchQuery { queries, k },
+        })
+        .collect()
+}
+
+/// Groups planned per-(query, source) coverage tasks into one
+/// [`Message::CoverageBatchQuery`] per source, preserving query order within
+/// each source's sub-batch.
+fn group_coverage_batches(tasks: Vec<ShardTask>, k: usize, delta: f64) -> Vec<BatchShard> {
+    let mut grouped: BTreeMap<SourceId, (Vec<usize>, Vec<CellSet>)> = BTreeMap::new();
+    for task in tasks {
+        let Message::CoverageQuery { query, .. } = task.request else {
+            continue;
+        };
+        let entry = grouped.entry(task.source).or_default();
+        entry.0.push(task.query_idx);
+        entry.1.push(query);
+    }
+    grouped
+        .into_iter()
+        .map(|(source, (query_idxs, queries))| BatchShard {
+            source,
+            query_idxs,
+            request: Message::CoverageBatchQuery { queries, k, delta },
+        })
+        .collect()
 }
 
 /// Keeps only the routed summaries the transport can deliver to.
@@ -944,6 +1102,64 @@ mod tests {
             SearchResults::Knn(answers) => assert_eq!(answers, batch.answers),
             other => panic!("unexpected results {other:?}"),
         }
+    }
+
+    /// The shard-mode parity check: the per-source batched mode must produce
+    /// exactly the answers and summed `SearchStats` of the per-query oracle,
+    /// while contacting the same sources with fewer requests.
+    #[test]
+    fn batched_shard_mode_matches_per_query_oracle() {
+        let (fw, queries) = five_source_framework();
+        let per_query = fw.engine();
+        let mut config = *per_query.config();
+        config.shard_mode = ShardMode::PerSourceBatch;
+        let batched = QueryEngine::in_process(fw.center(), fw.sources(), config);
+
+        let oracle = per_query.run_ojsp(&queries, 5).unwrap();
+        let fast = batched.run_ojsp(&queries, 5).unwrap();
+        assert_eq!(oracle.answers, fast.answers);
+        assert_eq!(
+            oracle.search, fast.search,
+            "frontier sharing must not change the summed search stats"
+        );
+        assert_eq!(oracle.comm.sources_contacted, fast.comm.sources_contacted);
+        assert!(
+            fast.comm.requests < oracle.comm.requests,
+            "batching must collapse requests ({} vs {})",
+            fast.comm.requests,
+            oracle.comm.requests
+        );
+
+        let oracle = per_query.run_cjsp(&queries, 3).unwrap();
+        let fast = batched.run_cjsp(&queries, 3).unwrap();
+        assert_eq!(oracle.answers, fast.answers);
+        assert_eq!(oracle.search, fast.search);
+        assert!(fast.comm.requests < oracle.comm.requests);
+
+        // kNN ignores the shard mode entirely.
+        let oracle = per_query.run_knn(&queries, 4).unwrap();
+        let fast = batched.run_knn(&queries, 4).unwrap();
+        assert_eq!(oracle.answers, fast.answers);
+        assert_eq!(oracle.comm, fast.comm);
+    }
+
+    /// The shard mode is reachable through the unified request API.
+    #[test]
+    fn search_request_can_pick_the_batched_shard_mode() {
+        let (fw, queries) = five_source_framework();
+        let oracle = fw
+            .search(&SearchRequest::ojsp_batch(queries.clone()).k(5))
+            .unwrap();
+        let fast = fw
+            .search(
+                &SearchRequest::ojsp_batch(queries.clone())
+                    .k(5)
+                    .shard_mode(ShardMode::PerSourceBatch),
+            )
+            .unwrap();
+        assert_eq!(oracle.results, fast.results);
+        assert_eq!(oracle.search, fast.search);
+        assert!(fast.comm.requests < oracle.comm.requests);
     }
 
     /// The stats-merging parity check: a parallel engine run over the five

@@ -197,7 +197,7 @@ impl MultiSourceFramework {
                 workers,
                 strategy: self.config.strategy,
                 delta_cells: self.config.delta_cells,
-                collect_stats: true,
+                ..EngineConfig::default()
             },
         )
     }

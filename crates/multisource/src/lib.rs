@@ -71,7 +71,7 @@ pub use center::{
     MaintenanceOutcome,
 };
 pub use comm::{CommConfig, CommStats};
-pub use engine::{BatchOutcome, EngineConfig, QueryEngine};
+pub use engine::{BatchOutcome, EngineConfig, QueryEngine, ShardMode};
 pub use error::{ConfigError, SearchError, TransportError, WireError};
 pub use framework::{FrameworkConfig, MultiSourceFramework};
 pub use message::{CoverageCandidate, Message, UpdateOp};

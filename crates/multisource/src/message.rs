@@ -172,6 +172,44 @@ pub enum Message {
         /// Human-readable reason.
         detail: String,
     },
+    /// Data center → source: run a local overlap search for a whole batch of
+    /// queries in one round trip.  The source answers all of them with one
+    /// shared frontier walk of its index
+    /// ([`overlap_search_batch`](dits::overlap_search_batch)) — the wire
+    /// counterpart of the engine's per-(source, batch) shard mode.
+    OverlapBatchQuery {
+        /// The (possibly clipped) query cell sets, one per batched query.
+        queries: Vec<CellSet>,
+        /// Number of results requested per query.
+        k: usize,
+    },
+    /// Source → data center: local overlap results for a batched query, one
+    /// result list per query, in query order.
+    OverlapBatchReply {
+        /// The replying source.
+        source: SourceId,
+        /// Per-query local top-k results, in query order.
+        results: Vec<Vec<OverlapResult>>,
+    },
+    /// Data center → source: run a local coverage search for a whole batch
+    /// of queries in one round trip (shared-frontier counterpart of
+    /// [`Message::CoverageQuery`]).
+    CoverageBatchQuery {
+        /// The (possibly clipped) query cell sets, one per batched query.
+        queries: Vec<CellSet>,
+        /// Number of results requested per query.
+        k: usize,
+        /// Connectivity threshold δ in cell units.
+        delta: f64,
+    },
+    /// Source → data center: local coverage candidates for a batched query,
+    /// one candidate list per query, in query order.
+    CoverageBatchReply {
+        /// The replying source.
+        source: SourceId,
+        /// Per-query candidate datasets with their cells, in query order.
+        candidates: Vec<Vec<CoverageCandidate>>,
+    },
 }
 
 impl Message {
@@ -269,6 +307,48 @@ impl Message {
                 }
                 put_varint(&mut buf, len as u64);
                 buf.put_slice(&detail.as_bytes()[..len]);
+            }
+            Message::OverlapBatchQuery { queries, k } => {
+                buf.put_u8(9);
+                put_varint(&mut buf, *k as u64);
+                put_varint(&mut buf, queries.len() as u64);
+                for query in queries {
+                    put_cells(&mut buf, query);
+                }
+            }
+            Message::OverlapBatchReply { source, results } => {
+                buf.put_u8(10);
+                buf.put_u16(*source);
+                put_varint(&mut buf, results.len() as u64);
+                for per_query in results {
+                    put_varint(&mut buf, per_query.len() as u64);
+                    for r in per_query {
+                        put_varint(&mut buf, r.dataset as u64);
+                        put_varint(&mut buf, r.overlap as u64);
+                    }
+                }
+            }
+            Message::CoverageBatchQuery { queries, k, delta } => {
+                buf.put_u8(11);
+                put_varint(&mut buf, *k as u64);
+                buf.put_f64(*delta);
+                put_varint(&mut buf, queries.len() as u64);
+                for query in queries {
+                    put_cells(&mut buf, query);
+                }
+            }
+            Message::CoverageBatchReply { source, candidates } => {
+                buf.put_u8(12);
+                buf.put_u16(*source);
+                put_varint(&mut buf, candidates.len() as u64);
+                for per_query in candidates {
+                    put_varint(&mut buf, per_query.len() as u64);
+                    for c in per_query {
+                        buf.put_u16(c.source);
+                        put_varint(&mut buf, c.dataset as u64);
+                        put_cells(&mut buf, &c.cells);
+                    }
+                }
             }
         }
         buf.freeze()
@@ -411,6 +491,74 @@ impl Message {
                     .map_err(|_| WireError::BadUtf8)?;
                 data.advance(len);
                 Ok(Message::Error { code, detail })
+            }
+            9 => {
+                let k = get_varint(&mut data, "k")? as usize;
+                let n = get_varint(&mut data, "batch query count")? as usize;
+                let mut queries = Vec::with_capacity(n.min(1 << 12));
+                for _ in 0..n {
+                    queries.push(get_cells(&mut data)?);
+                }
+                Ok(Message::OverlapBatchQuery { queries, k })
+            }
+            10 => {
+                if data.remaining() < 2 {
+                    return Err(WireError::Truncated("source id"));
+                }
+                let source = data.get_u16();
+                let n = get_varint(&mut data, "batch reply count")? as usize;
+                let mut results = Vec::with_capacity(n.min(1 << 12));
+                for _ in 0..n {
+                    let m = get_varint(&mut data, "result count")? as usize;
+                    let mut per_query = Vec::with_capacity(m.min(1 << 16));
+                    for _ in 0..m {
+                        let dataset = get_varint(&mut data, "result dataset id")? as DatasetId;
+                        let overlap = get_varint(&mut data, "result overlap")? as usize;
+                        per_query.push(OverlapResult { dataset, overlap });
+                    }
+                    results.push(per_query);
+                }
+                Ok(Message::OverlapBatchReply { source, results })
+            }
+            11 => {
+                let k = get_varint(&mut data, "k")? as usize;
+                if data.remaining() < 8 {
+                    return Err(WireError::Truncated("delta"));
+                }
+                let delta = data.get_f64();
+                let n = get_varint(&mut data, "batch query count")? as usize;
+                let mut queries = Vec::with_capacity(n.min(1 << 12));
+                for _ in 0..n {
+                    queries.push(get_cells(&mut data)?);
+                }
+                Ok(Message::CoverageBatchQuery { queries, k, delta })
+            }
+            12 => {
+                if data.remaining() < 2 {
+                    return Err(WireError::Truncated("source id"));
+                }
+                let source = data.get_u16();
+                let n = get_varint(&mut data, "batch reply count")? as usize;
+                let mut candidates = Vec::with_capacity(n.min(1 << 12));
+                for _ in 0..n {
+                    let m = get_varint(&mut data, "candidate count")? as usize;
+                    let mut per_query = Vec::with_capacity(m.min(1 << 16));
+                    for _ in 0..m {
+                        if data.remaining() < 2 {
+                            return Err(WireError::Truncated("candidate source id"));
+                        }
+                        let src = data.get_u16();
+                        let dataset = get_varint(&mut data, "candidate dataset id")? as DatasetId;
+                        let cells = get_cells(&mut data)?;
+                        per_query.push(CoverageCandidate {
+                            source: src,
+                            dataset,
+                            cells,
+                        });
+                    }
+                    candidates.push(per_query);
+                }
+                Ok(Message::CoverageBatchReply { source, candidates })
             }
             other => Err(WireError::BadTag(other)),
         }
@@ -720,6 +868,119 @@ mod tests {
             Message::decode(Bytes::from(raw)),
             Err(WireError::BadOpTag(9))
         );
+    }
+
+    #[test]
+    fn batch_messages_roundtrip() {
+        let oq = Message::OverlapBatchQuery {
+            queries: vec![cs(&[1, 5, 100]), cs(&[]), cs(&[4096])],
+            k: 10,
+        };
+        let encoded = oq.encode();
+        assert_eq!(Message::decode(encoded.clone()), Ok(oq.clone()));
+        assert_eq!(oq.wire_size(), encoded.len());
+
+        let or = Message::OverlapBatchReply {
+            source: 3,
+            results: vec![
+                vec![
+                    OverlapResult {
+                        dataset: 7,
+                        overlap: 42,
+                    },
+                    OverlapResult {
+                        dataset: 1000,
+                        overlap: 1,
+                    },
+                ],
+                vec![],
+            ],
+        };
+        assert_eq!(Message::decode(or.encode()), Ok(or));
+
+        let cq = Message::CoverageBatchQuery {
+            queries: vec![cs(&[0, 2, 9]), cs(&[7])],
+            k: 5,
+            delta: 10.0,
+        };
+        assert_eq!(Message::decode(cq.encode()), Ok(cq));
+
+        let cr = Message::CoverageBatchReply {
+            source: 1,
+            candidates: vec![
+                vec![CoverageCandidate {
+                    source: 1,
+                    dataset: 4,
+                    cells: cs(&[9, 10, 11]),
+                }],
+                vec![],
+            ],
+        };
+        assert_eq!(Message::decode(cr.encode()), Ok(cr));
+    }
+
+    #[test]
+    fn empty_batch_messages_roundtrip() {
+        for m in [
+            Message::OverlapBatchQuery {
+                queries: vec![],
+                k: 3,
+            },
+            Message::OverlapBatchReply {
+                source: 0,
+                results: vec![],
+            },
+            Message::CoverageBatchQuery {
+                queries: vec![],
+                k: 3,
+                delta: 1.0,
+            },
+            Message::CoverageBatchReply {
+                source: 0,
+                candidates: vec![],
+            },
+        ] {
+            assert_eq!(Message::decode(m.encode()), Ok(m));
+        }
+    }
+
+    #[test]
+    fn malformed_batch_messages_are_rejected() {
+        let messages = [
+            Message::OverlapBatchQuery {
+                queries: vec![cs(&[1, 2, 3]), cs(&[10])],
+                k: 2,
+            },
+            Message::OverlapBatchReply {
+                source: 2,
+                results: vec![vec![OverlapResult {
+                    dataset: 5,
+                    overlap: 3,
+                }]],
+            },
+            Message::CoverageBatchQuery {
+                queries: vec![cs(&[1, 2])],
+                k: 2,
+                delta: 4.0,
+            },
+            Message::CoverageBatchReply {
+                source: 2,
+                candidates: vec![vec![CoverageCandidate {
+                    source: 2,
+                    dataset: 6,
+                    cells: cs(&[3, 4]),
+                }]],
+            },
+        ];
+        for m in messages {
+            let enc = m.encode();
+            for cut in 1..enc.len() {
+                assert!(
+                    Message::decode(enc.slice(0..cut)).is_err(),
+                    "truncation at {cut} of {m:?} must fail"
+                );
+            }
+        }
     }
 
     #[test]

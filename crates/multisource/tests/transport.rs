@@ -18,7 +18,8 @@ use bytes::Bytes;
 use datagen::{generate_source, paper_sources, select_queries, GeneratorConfig, SourceScale};
 use multisource::{
     DataCenter, DistributionStrategy, EngineConfig, FrameworkConfig, Message, MultiSourceFramework,
-    QueryEngine, SearchError, SearchRequest, SourceServer, TcpTransport, UpdateOp, WireError,
+    QueryEngine, SearchError, SearchRequest, ShardMode, SourceServer, TcpTransport, UpdateOp,
+    WireError,
 };
 use proptest::prelude::*;
 use spatial::{Point, SpatialDataset};
@@ -59,7 +60,7 @@ fn engine_config(fw: &MultiSourceFramework) -> EngineConfig {
         workers: fw.config().workers,
         strategy: fw.config().strategy,
         delta_cells: fw.config().delta_cells,
-        collect_stats: true,
+        ..EngineConfig::default()
     }
 }
 
@@ -104,6 +105,15 @@ fn assert_transport_parity(
         SearchRequest::knn_batch(queries.to_vec())
             .k(2)
             .strategy(DistributionStrategy::Broadcast),
+        // The per-source batched shard mode moves different (batched) wire
+        // messages; it must stay byte- and stats-identical across transports
+        // too.
+        SearchRequest::ojsp_batch(queries.to_vec())
+            .k(5)
+            .shard_mode(ShardMode::PerSourceBatch),
+        SearchRequest::cjsp_batch(queries.to_vec())
+            .k(3)
+            .shard_mode(ShardMode::PerSourceBatch),
     ] {
         let local = fw.search(&request).expect("in-process search");
         let over_tcp = remote.run(&request).expect("TCP search");
@@ -345,6 +355,15 @@ fn build_message(kind: u8, cells: &[u64], k: usize, delta: f64, ids: &[u32], cod
             code,
             detail: format!("fuzz error {code}"),
         },
+        5 => Message::OverlapBatchQuery {
+            queries: vec![query, spatial::CellSet::new()],
+            k,
+        },
+        6 => Message::CoverageBatchQuery {
+            queries: vec![query],
+            k,
+            delta,
+        },
         _ => Message::KnnReply {
             source: code,
             neighbors: ids
@@ -365,7 +384,7 @@ proptest! {
     // never a bogus success.
     #[test]
     fn prop_truncations_fail_closed(
-        kind in 0u8..6,
+        kind in 0u8..8,
         cells in proptest::collection::vec(0u64..1_000_000, 0..60),
         k in 0usize..50,
         delta in 0.0f64..30.0,
@@ -390,7 +409,7 @@ proptest! {
     // fail with a typed error -- decode must be total.
     #[test]
     fn prop_bit_flips_never_panic(
-        kind in 0u8..6,
+        kind in 0u8..8,
         cells in proptest::collection::vec(0u64..1_000_000, 0..60),
         k in 0usize..50,
         delta in 0.0f64..30.0,

@@ -6,6 +6,35 @@
 //! cell sets — OJSP maximises `|S_Q ∩ S_D|` and CJSP maximises
 //! `|S_Q ∪ (∪ S_Di)|` — so the intersection-size and union-size primitives
 //! here are the hot path of every search algorithm in the repository.
+//!
+//! # Performance
+//!
+//! [`intersection_size`](CellSet::intersection_size) (and everything built on
+//! it: `union_size`, `marginal_gain`, `intersection_size_many`) picks between
+//! three kernels:
+//!
+//! 1. **Galloping** when the sizes are skewed (`|small| · 16 < |large|`): for
+//!    each cell of the small set, exponentially probe forward in the large
+//!    set's remaining tail — `O(m·log(n/m))`, ideal for a handful of query
+//!    cells against a big indexed dataset.
+//! 2. **Word-parallel popcount** when both sets are dense (≥ 2 cells per
+//!    occupied 64-cell block on average): each set lazily builds and caches a
+//!    bit-packed block representation — 64-bit words keyed by `cell >> 6` —
+//!    and the intersection is a merge over block keys with one `AND` +
+//!    `count_ones` per matching block, processing up to 64 cells per
+//!    instruction.  Z-order IDs make this effective: spatially clustered
+//!    datasets occupy few, well-filled blocks.
+//! 3. **Linear merge** otherwise (comparable sizes, sparse blocks), where the
+//!    packed form would degenerate to one bit per word.
+//!
+//! The packed form is built at most once per set (cached in a [`OnceLock`]
+//! alongside the sorted vec, invalidated by mutation), so batch callers that
+//! intersect the same sets repeatedly pay the packing cost once and the
+//! popcount price thereafter.  Run `cargo run --release -p bench
+//! --bin bench-runner` to measure the kernels on this machine; see
+//! `BENCH_*.json` at the repository root for the committed trajectory.
+
+use std::sync::OnceLock;
 
 use crate::grid::Grid;
 use crate::mbr::Mbr;
@@ -13,26 +42,167 @@ use crate::point::Point;
 use crate::zorder::{cell_coords, CellId};
 use serde::{Deserialize, Serialize};
 
+/// Size skew ratio above which the galloping kernel is used.
+const GALLOP_SKEW: usize = 16;
+
+/// Minimum average bits per occupied 64-cell block for the word-parallel
+/// kernel to be worthwhile on both operands.
+const PACKED_MIN_DENSITY: f64 = 2.0;
+
+/// Bit-packed block representation of a sorted cell list: `keys[i]` is
+/// `cell >> 6` and `words[i]` has bit `cell & 63` set for every member cell
+/// in that block.  Keys are strictly increasing, words are never zero.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+struct PackedCells {
+    keys: Vec<u64>,
+    words: Vec<u64>,
+}
+
+impl PackedCells {
+    /// Packs a sorted, deduplicated cell list into blocks.
+    fn build(cells: &[CellId]) -> Self {
+        let mut keys: Vec<u64> = Vec::new();
+        let mut words: Vec<u64> = Vec::new();
+        for &cell in cells {
+            let key = cell >> 6;
+            let bit = 1u64 << (cell & 63);
+            match words.last_mut() {
+                Some(word) if keys.last() == Some(&key) => *word |= bit,
+                _ => {
+                    keys.push(key);
+                    words.push(bit);
+                }
+            }
+        }
+        Self { keys, words }
+    }
+
+    /// Number of occupied blocks.
+    fn block_count(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// Word-parallel intersection size: merge the two key lists and popcount
+    /// the `AND` of matching words.  Galloping over the larger key list when
+    /// the block counts themselves are skewed.
+    fn intersection_size(&self, other: &PackedCells) -> usize {
+        let (small, large) = if self.keys.len() <= other.keys.len() {
+            (self, other)
+        } else {
+            (other, self)
+        };
+        if small.keys.is_empty() {
+            return 0;
+        }
+        if small.keys.len() * GALLOP_SKEW < large.keys.len() {
+            small.intersection_size_galloping(large)
+        } else {
+            small.intersection_size_merge(large)
+        }
+    }
+
+    fn intersection_size_merge(&self, other: &PackedCells) -> usize {
+        let mut i = 0;
+        let mut j = 0;
+        let mut count = 0;
+        while i < self.keys.len() && j < other.keys.len() {
+            match self.keys[i].cmp(&other.keys[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    count += (self.words[i] & other.words[j]).count_ones() as usize;
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        count
+    }
+
+    fn intersection_size_galloping(&self, other: &PackedCells) -> usize {
+        let mut base = 0;
+        let mut count = 0;
+        for (idx, &key) in self.keys.iter().enumerate() {
+            let tail = &other.keys[base..];
+            if tail.is_empty() {
+                break;
+            }
+            let mut step = 1;
+            while step < tail.len() && tail[step] < key {
+                step <<= 1;
+            }
+            let lo = step >> 1;
+            let hi = step.min(tail.len() - 1);
+            match tail[lo..=hi].binary_search(&key) {
+                Ok(pos) => {
+                    count += (self.words[idx] & other.words[base + lo + pos]).count_ones() as usize;
+                    base += lo + pos + 1;
+                }
+                Err(pos) => {
+                    base += lo + pos;
+                }
+            }
+        }
+        count
+    }
+
+    /// Heap bytes used by the packed form.
+    fn memory_bytes(&self) -> usize {
+        (self.keys.capacity() + self.words.capacity()) * std::mem::size_of::<u64>()
+    }
+}
+
 /// A sorted, deduplicated set of grid cell IDs representing a spatial
 /// dataset on a fixed grid.
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+///
+/// Alongside the sorted vec the set lazily caches a bit-packed block form
+/// used by the word-parallel intersection kernel (see the module docs);
+/// equality, ordering of iteration and the serialized shape are defined by
+/// the sorted cells alone.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct CellSet {
     cells: Vec<CellId>,
+    packed: OnceLock<PackedCells>,
 }
+
+impl PartialEq for CellSet {
+    fn eq(&self, other: &Self) -> bool {
+        self.cells == other.cells
+    }
+}
+
+impl Eq for CellSet {}
 
 impl CellSet {
     /// Creates an empty cell set.
     pub fn new() -> Self {
-        Self { cells: Vec::new() }
+        Self::from_sorted(Vec::new())
+    }
+
+    /// Wraps an already sorted, deduplicated cell vector.
+    fn from_sorted(cells: Vec<CellId>) -> Self {
+        debug_assert!(cells.windows(2).all(|w| w[0] < w[1]));
+        Self {
+            cells,
+            packed: OnceLock::new(),
+        }
+    }
+
+    /// Shared construction tail: sorts, deduplicates and wraps a candidate
+    /// cell vector (callers pre-reserve capacity for their own source shape).
+    fn from_unsorted(mut cells: Vec<CellId>) -> Self {
+        cells.sort_unstable();
+        cells.dedup();
+        Self::from_sorted(cells)
     }
 
     /// Builds a cell set from an arbitrary iterator of cell IDs (sorting and
     /// deduplicating).
     pub fn from_cells<I: IntoIterator<Item = CellId>>(cells: I) -> Self {
-        let mut cells: Vec<CellId> = cells.into_iter().collect();
-        cells.sort_unstable();
-        cells.dedup();
-        Self { cells }
+        let iter = cells.into_iter();
+        let mut v: Vec<CellId> = Vec::with_capacity(iter.size_hint().0);
+        v.extend(iter);
+        Self::from_unsorted(v)
     }
 
     /// Builds the cell-based representation `S_{D,Cθ}` of a point dataset on
@@ -40,10 +210,9 @@ impl CellSet {
     /// (real portals contain a handful of out-of-range records; the paper
     /// simply grids what falls inside the declared space).
     pub fn from_points(grid: &Grid, points: &[Point]) -> Self {
-        let mut cells: Vec<CellId> = points.iter().filter_map(|p| grid.cell_of(p).ok()).collect();
-        cells.sort_unstable();
-        cells.dedup();
-        Self { cells }
+        let mut v: Vec<CellId> = Vec::with_capacity(points.len());
+        v.extend(points.iter().filter_map(|p| grid.cell_of(p).ok()));
+        Self::from_unsorted(v)
     }
 
     /// Number of cells in the set — the *spatial coverage* of the dataset.
@@ -71,26 +240,64 @@ impl CellSet {
         self.cells.iter().copied()
     }
 
+    /// The cached bit-packed form, building it on first use.
+    fn packed(&self) -> &PackedCells {
+        self.packed.get_or_init(|| PackedCells::build(&self.cells))
+    }
+
+    /// Average member cells per occupied 64-cell block.  Exact once the
+    /// packed form is cached; before that, a conservative lower bound from
+    /// the spanned block range (occupied blocks ≤ spanned blocks, so the true
+    /// density is at least the estimate's floor counterpart — dense runs are
+    /// recognised either way, and a wrong guess only costs the kernel choice,
+    /// never correctness).
+    fn density_hint(&self) -> f64 {
+        if self.cells.is_empty() {
+            return 0.0;
+        }
+        if let Some(packed) = self.packed.get() {
+            return self.cells.len() as f64 / packed.block_count() as f64;
+        }
+        let first = self.cells[0] >> 6;
+        let last = self.cells[self.cells.len() - 1] >> 6;
+        let spanned = (last - first + 1) as f64;
+        self.cells.len() as f64 / spanned
+    }
+
     /// Size of the intersection `|self ∩ other|`.
     ///
-    /// Adaptive: a linear two-pointer merge when the sets have comparable
-    /// sizes, and a galloping (exponential) search over the larger set when
-    /// the sizes are skewed — the common case on the hot path, where a small
-    /// query cell set is intersected with large indexed datasets.
+    /// Adaptive over three kernels — galloping for skewed sizes,
+    /// word-parallel popcount over the cached bit-packed blocks when both
+    /// sets are dense, linear merge otherwise.  See the module-level
+    /// "Performance" section for the selection heuristic.
     pub fn intersection_size(&self, other: &CellSet) -> usize {
         let (small, large) = if self.len() <= other.len() {
             (self, other)
         } else {
             (other, self)
         };
-        if small.is_empty() || large.is_empty() {
+        if small.is_empty() {
             return 0;
         }
-        if small.len() * 16 < large.len() {
+        if small.len() * GALLOP_SKEW < large.len() {
             small.intersection_size_galloping(large)
+        } else if small.density_hint() >= PACKED_MIN_DENSITY
+            && large.density_hint() >= PACKED_MIN_DENSITY
+        {
+            small.intersection_size_packed(large)
         } else {
             small.intersection_size_linear(large)
         }
+    }
+
+    /// Word-parallel intersection size over the bit-packed block forms,
+    /// building and caching them on first use.  Exposed so tests and benches
+    /// can drive this kernel directly regardless of the density heuristic.
+    pub fn intersection_size_packed(&self, other: &CellSet) -> usize {
+        if self.is_empty() || other.is_empty() {
+            return 0;
+        }
+        self.packed().intersection_size(other.packed())
     }
 
     /// Reference linear merge of the two sorted lists. Exposed so tests and
@@ -152,8 +359,10 @@ impl CellSet {
     ///
     /// Equivalent to mapping [`intersection_size`](Self::intersection_size)
     /// over `others`, but written as one primitive so batch callers (the
-    /// multi-source query engine's coverage aggregation, the benches) have a
-    /// single hot entry point to optimise.
+    /// multi-source query engine's coverage aggregation, the baselines'
+    /// candidate scoring, the benches) have a single hot entry point: `self`
+    /// is packed at most once and its cached block form is reused against
+    /// every dense partner in the batch.
     pub fn intersection_size_many<'a, I>(&self, others: I) -> Vec<usize>
     where
         I: IntoIterator<Item = &'a CellSet>,
@@ -164,7 +373,11 @@ impl CellSet {
             .collect()
     }
 
-    /// Size of the union `|self ∪ other|`.
+    /// Size of the union `|self ∪ other|` by inclusion–exclusion.
+    ///
+    /// Allocation-free: no per-call buffer is built — the only allocation
+    /// that can ever happen underneath is the one-time packed-block cache
+    /// fill, shared with every other intersection against the same set.
     pub fn union_size(&self, other: &CellSet) -> usize {
         self.len() + other.len() - self.intersection_size(other)
     }
@@ -193,7 +406,7 @@ impl CellSet {
         }
         out.extend_from_slice(&self.cells[i..]);
         out.extend_from_slice(&other.cells[j..]);
-        CellSet { cells: out }
+        CellSet::from_sorted(out)
     }
 
     /// In-place union (used by CoverageSearch's merge strategy).
@@ -217,7 +430,7 @@ impl CellSet {
                 }
             }
         }
-        CellSet { cells: out }
+        CellSet::from_sorted(out)
     }
 
     /// Marginal gain `g(S_D, R) = |S_D ∪ R| − |R|` of adding this set to an
@@ -234,6 +447,7 @@ impl CellSet {
             Ok(_) => false,
             Err(pos) => {
                 self.cells.insert(pos, cell);
+                self.packed.take(); // the cached packed form is stale now
                 true
             }
         }
@@ -244,6 +458,7 @@ impl CellSet {
         match self.cells.binary_search(&cell) {
             Ok(pos) => {
                 self.cells.remove(pos);
+                self.packed.take();
                 true
             }
             Err(_) => false,
@@ -264,9 +479,8 @@ impl CellSet {
     /// uses this to transmit only the part of a query that can intersect a
     /// candidate source (the paper's second query-distribution strategy).
     pub fn clip_to_window(&self, window: &Mbr) -> CellSet {
-        CellSet {
-            cells: self
-                .cells
+        CellSet::from_sorted(
+            self.cells
                 .iter()
                 .copied()
                 .filter(|&c| {
@@ -274,12 +488,14 @@ impl CellSet {
                     window.contains_point(&Point::new(x as f64, y as f64))
                 })
                 .collect(),
-        }
+        )
     }
 
-    /// An estimate of the heap memory used by this set, in bytes.
+    /// An estimate of the heap memory used by this set, in bytes, including
+    /// the packed-block cache when it has been built.
     pub fn memory_bytes(&self) -> usize {
         self.cells.capacity() * std::mem::size_of::<CellId>()
+            + self.packed.get().map_or(0, PackedCells::memory_bytes)
     }
 }
 
@@ -337,6 +553,7 @@ mod tests {
         assert_eq!(large.intersection_size(&small), 3);
         assert_eq!(small.intersection_size_galloping(&large), 3);
         assert_eq!(small.intersection_size_linear(&large), 3);
+        assert_eq!(small.intersection_size_packed(&large), 3);
     }
 
     #[test]
@@ -348,6 +565,8 @@ mod tests {
         assert_eq!(other.intersection_size(&empty), 0);
         assert_eq!(empty.intersection_size_linear(&other), 0);
         assert_eq!(empty.intersection_size_galloping(&other), 0);
+        assert_eq!(empty.intersection_size_packed(&other), 0);
+        assert_eq!(other.intersection_size_packed(&empty), 0);
         assert_eq!(empty.union_size(&empty), 0);
         assert_eq!(empty.union(&other).cells(), other.cells());
         assert!(empty.intersection(&other).is_empty());
@@ -361,6 +580,7 @@ mod tests {
         assert_eq!(low.intersection_size(&high), 0);
         assert_eq!(low.intersection_size_galloping(&high), 0);
         assert_eq!(high.intersection_size_galloping(&low), 0);
+        assert_eq!(low.intersection_size_packed(&high), 0);
         assert_eq!(low.union_size(&high), 7);
         // Adjacent but not overlapping.
         let a = set(&[1, 3, 5]);
@@ -368,6 +588,7 @@ mod tests {
         assert_eq!(a.intersection_size(&b), 0);
         assert_eq!(a.intersection_size_linear(&b), 0);
         assert_eq!(a.intersection_size_galloping(&b), 0);
+        assert_eq!(a.intersection_size_packed(&b), 0);
     }
 
     #[test]
@@ -379,6 +600,7 @@ mod tests {
         assert_eq!(single.intersection_size(&hit), 1);
         assert_eq!(single.intersection_size(&miss), 0);
         assert_eq!(single.intersection_size_galloping(&hit), 1);
+        assert_eq!(single.intersection_size_packed(&hit), 1);
         assert_eq!(hit.intersection_size(&single), 1);
         // Last and first element hits exercise the gallop-to-the-end path.
         assert_eq!(set(&[99]).intersection_size_galloping(&hit), 1);
@@ -425,6 +647,52 @@ mod tests {
     }
 
     #[test]
+    fn mutation_invalidates_the_packed_cache() {
+        let mut s: CellSet = (0..256u64).collect();
+        let probe: CellSet = (0..512u64).collect();
+        assert_eq!(s.intersection_size_packed(&probe), 256);
+        assert!(s.insert(1000));
+        assert_eq!(s.intersection_size_packed(&probe), 256);
+        assert_eq!(s.intersection_size_packed(&set(&[1000])), 1);
+        assert!(s.remove(0));
+        assert_eq!(s.intersection_size_packed(&probe), 255);
+        assert_eq!(s.intersection_size_linear(&probe), 255);
+    }
+
+    #[test]
+    fn equality_and_clone_ignore_the_cache() {
+        let a: CellSet = (0..300u64).collect();
+        let b: CellSet = (0..300u64).collect();
+        // Build `a`'s packed cache but not `b`'s: still equal both ways.
+        assert_eq!(a.intersection_size_packed(&a), 300);
+        assert_eq!(a, b);
+        assert_eq!(b, a);
+        let c = a.clone();
+        assert_eq!(c, a);
+        assert_eq!(c.intersection_size_packed(&b), 300);
+    }
+
+    #[test]
+    fn density_hint_routes_dense_pairs_to_the_packed_kernel() {
+        // A solid run has ~64 cells per block; two disjoint high-bit blocks
+        // have 1 cell per spanned-block estimate.
+        let dense: CellSet = (0..4096u64).collect();
+        assert!(dense.density_hint() >= PACKED_MIN_DENSITY);
+        let sparse = set(&[0, 1 << 40, 1 << 41, 1 << 42]);
+        assert!(sparse.density_hint() < PACKED_MIN_DENSITY);
+        // Whatever the kernel choice, the answer matches the reference merge.
+        let other: CellSet = (2048..6144u64).collect();
+        assert_eq!(
+            dense.intersection_size(&other),
+            dense.intersection_size_linear(&other)
+        );
+        assert_eq!(
+            sparse.intersection_size(&other),
+            sparse.intersection_size_linear(&other)
+        );
+    }
+
+    #[test]
     fn from_points_grids_a_dataset() {
         let grid = Grid::new(GridConfig {
             origin: Point::new(0.0, 0.0),
@@ -464,7 +732,11 @@ mod tests {
     #[test]
     fn memory_estimate_scales_with_len() {
         let s: CellSet = (0..100u64).collect();
-        assert!(s.memory_bytes() >= 100 * 8);
+        let bare = s.memory_bytes();
+        assert!(bare >= 100 * 8);
+        // Building the packed cache is reflected in the estimate.
+        s.intersection_size_packed(&s);
+        assert!(s.memory_bytes() > bare);
     }
 
     proptest! {
@@ -515,6 +787,68 @@ mod tests {
         }
 
         #[test]
+        fn prop_packed_agrees_with_linear(
+            a in proptest::collection::vec(0u64..5000, 0..400),
+            b in proptest::collection::vec(0u64..5000, 0..400),
+        ) {
+            let ca = CellSet::from_cells(a);
+            let cb = CellSet::from_cells(b);
+            let linear = ca.intersection_size_linear(&cb);
+            prop_assert_eq!(ca.intersection_size_packed(&cb), linear);
+            prop_assert_eq!(cb.intersection_size_packed(&ca), linear);
+        }
+
+        #[test]
+        fn prop_packed_agrees_on_dense_runs(
+            start_a in 0u64..10_000,
+            len_a in 1usize..4000,
+            start_b in 0u64..10_000,
+            len_b in 1usize..4000,
+        ) {
+            // Dense runs: the distribution the word-parallel kernel targets.
+            let ca: CellSet = (start_a..start_a + len_a as u64).collect();
+            let cb: CellSet = (start_b..start_b + len_b as u64).collect();
+            let linear = ca.intersection_size_linear(&cb);
+            prop_assert_eq!(ca.intersection_size_packed(&cb), linear);
+            prop_assert_eq!(ca.intersection_size(&cb), linear);
+            prop_assert_eq!(ca.union_size(&cb), ca.len() + cb.len() - linear);
+        }
+
+        #[test]
+        fn prop_packed_agrees_on_single_cell_sets(
+            cell in 0u64..u64::MAX,
+            others in proptest::collection::vec(0u64..u64::MAX, 0..50),
+        ) {
+            // Single-cell sets: one word on one side, arbitrary blocks on the
+            // other — exercises the packed gallop path and the word masks.
+            let single = CellSet::from_cells([cell]);
+            let rest = CellSet::from_cells(others);
+            let linear = single.intersection_size_linear(&rest);
+            prop_assert_eq!(single.intersection_size_packed(&rest), linear);
+            prop_assert_eq!(rest.intersection_size_packed(&single), linear);
+            prop_assert_eq!(single.intersection_size(&rest), linear);
+        }
+
+        #[test]
+        fn prop_packed_agrees_on_disjoint_high_bit_blocks(
+            blocks_a in proptest::collection::vec(0u64..1 << 40, 1..40),
+            blocks_b in proptest::collection::vec(0u64..1 << 40, 1..40),
+            lows in proptest::collection::vec(0u64..64, 1..8),
+        ) {
+            // Sets whose members differ only in high bits: every block holds
+            // a handful of cells and most block keys miss — adversarial for
+            // the packed merge, which must not over- or under-count.
+            let ca = CellSet::from_cells(
+                blocks_a.iter().flat_map(|&hi| lows.iter().map(move |&lo| (hi << 6) | lo)));
+            let cb = CellSet::from_cells(
+                blocks_b.iter().flat_map(|&hi| lows.iter().map(move |&lo| (hi << 6) | lo)));
+            let linear = ca.intersection_size_linear(&cb);
+            prop_assert_eq!(ca.intersection_size_packed(&cb), linear);
+            prop_assert_eq!(cb.intersection_size_packed(&ca), linear);
+            prop_assert_eq!(ca.intersection_size(&cb), linear);
+        }
+
+        #[test]
         fn prop_skewed_galloping_agrees_with_linear(
             small in proptest::collection::vec(0u64..100_000, 0..20),
             dense_start in 0u64..50_000,
@@ -530,6 +864,10 @@ mod tests {
             );
             prop_assert_eq!(
                 ca.intersection_size_galloping(&cb),
+                ca.intersection_size_linear(&cb)
+            );
+            prop_assert_eq!(
+                ca.intersection_size_packed(&cb),
                 ca.intersection_size_linear(&cb)
             );
         }
