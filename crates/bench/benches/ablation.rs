@@ -13,7 +13,7 @@ use dits::{
     build_bottom_up, coverage_search, overlap_search_with_options, CoverageConfig, DitsLocal,
     DitsLocalConfig,
 };
-use multisource::{DistributionStrategy, FrameworkConfig};
+use multisource::{DistributionStrategy, FrameworkConfig, SearchRequest};
 use std::hint::black_box;
 
 fn bench_ablation(c: &mut Criterion) {
@@ -88,14 +88,8 @@ fn bench_ablation(c: &mut Criterion) {
             ..FrameworkConfig::default()
         });
         group.bench_function(name, |b| {
-            b.iter(|| {
-                black_box(
-                    framework
-                        .engine()
-                        .run_ojsp(&raw_queries, 10)
-                        .expect("in-process search"),
-                )
-            });
+            let request = SearchRequest::ojsp_batch(raw_queries.clone()).k(10);
+            b.iter(|| black_box(framework.search(&request).expect("in-process search")));
         });
     }
     group.finish();

@@ -5,7 +5,7 @@
 
 use bench::ExperimentEnv;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use multisource::{DistributionStrategy, FrameworkConfig};
+use multisource::{DistributionStrategy, FrameworkConfig, SearchRequest};
 use std::hint::black_box;
 
 fn bench_communication(c: &mut Criterion) {
@@ -26,13 +26,8 @@ fn bench_communication(c: &mut Criterion) {
             ..FrameworkConfig::default()
         });
         group.bench_with_input(BenchmarkId::from_parameter(name), &framework, |b, fw| {
-            b.iter(|| {
-                black_box(
-                    fw.engine()
-                        .run_ojsp(&queries, 10)
-                        .expect("in-process search"),
-                )
-            });
+            let request = SearchRequest::ojsp_batch(queries.clone()).k(10);
+            b.iter(|| black_box(fw.search(&request).expect("in-process search")));
         });
     }
     group.finish();
@@ -46,13 +41,8 @@ fn bench_communication(c: &mut Criterion) {
             ..FrameworkConfig::default()
         });
         group.bench_with_input(BenchmarkId::from_parameter(name), &framework, |b, fw| {
-            b.iter(|| {
-                black_box(
-                    fw.engine()
-                        .run_cjsp(&queries, 10)
-                        .expect("in-process search"),
-                )
-            });
+            let request = SearchRequest::cjsp_batch(queries.clone()).k(10);
+            b.iter(|| black_box(fw.search(&request).expect("in-process search")));
         });
     }
     group.finish();

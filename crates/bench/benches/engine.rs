@@ -7,7 +7,7 @@
 
 use bench::ExperimentEnv;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use multisource::FrameworkConfig;
+use multisource::{FrameworkConfig, SearchRequest};
 use std::hint::black_box;
 
 fn worker_counts() -> Vec<usize> {
@@ -38,7 +38,8 @@ fn bench_engine_scaling(c: &mut Criterion) {
             &workers,
             |b, &workers| {
                 let engine = framework.engine_with_workers(workers);
-                b.iter(|| black_box(engine.run_ojsp(&queries, 10).expect("in-process search")));
+                let request = SearchRequest::ojsp_batch(queries.clone()).k(10);
+                b.iter(|| black_box(engine.run(&request).expect("in-process search")));
             },
         );
     }
@@ -52,7 +53,8 @@ fn bench_engine_scaling(c: &mut Criterion) {
             &workers,
             |b, &workers| {
                 let engine = framework.engine_with_workers(workers);
-                b.iter(|| black_box(engine.run_cjsp(&queries, 10).expect("in-process search")));
+                let request = SearchRequest::cjsp_batch(queries.clone()).k(10);
+                b.iter(|| black_box(engine.run(&request).expect("in-process search")));
             },
         );
     }

@@ -9,7 +9,7 @@
 
 use bench::ExperimentEnv;
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
-use multisource::{FrameworkConfig, MultiSourceFramework, UpdateOp};
+use multisource::{FrameworkConfig, MultiSourceFramework, SearchRequest, UpdateOp};
 use spatial::{Point, SourceId, SpatialDataset};
 use std::hint::black_box;
 use std::time::Instant;
@@ -61,9 +61,10 @@ fn run_incremental(
     batches: &[(SourceId, Vec<UpdateOp>)],
     queries: &[SpatialDataset],
 ) -> MultiSourceFramework {
+    let request = SearchRequest::ojsp_batch(queries.to_vec()).k(5);
     for (source, batch) in batches {
         fw.apply_updates(*source, batch).expect("valid batch");
-        black_box(fw.engine().run_ojsp(queries, 5).expect("in-process search"));
+        black_box(fw.search(&request).expect("in-process search"));
     }
     fw
 }
@@ -80,6 +81,7 @@ fn run_full_rebuild(
     // already-built deployment, so charging the baseline an extra initial
     // build would bias the comparison toward the incremental path.
     let mut fw = None;
+    let request = SearchRequest::ojsp_batch(queries.to_vec()).k(5);
     for (source, batch) in batches {
         let datasets = &mut data[usize::from(*source)].1;
         for op in batch {
@@ -98,12 +100,7 @@ fn run_full_rebuild(
             }
         }
         let rebuilt = MultiSourceFramework::build(&data, config);
-        black_box(
-            rebuilt
-                .engine()
-                .run_ojsp(queries, 5)
-                .expect("in-process search"),
-        );
+        black_box(rebuilt.search(&request).expect("in-process search"));
         fw = Some(rebuilt);
     }
     fw.unwrap_or_else(|| MultiSourceFramework::build(&data, config))

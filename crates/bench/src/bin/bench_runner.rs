@@ -25,17 +25,23 @@
 //! * `engine/ojsp` — the multi-source engine's per-source batched shard
 //!   mode against the per-(query, source) oracle.
 //!
+//! The `phases` section reports each engine entry's source-side
+//! traversal-vs-verification time split, measured through a traced
+//! (`SearchRequest::with_trace`) run of the same workload, and the `env`
+//! section records the machine context (CPU count, cargo profile, git
+//! commit) the numbers were taken in.
+//!
 //! The suite asserts result parity between every new/baseline pair before
 //! timing them, so a snapshot can never report the speed of diverging code.
 
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use bench::ExperimentEnv;
 use dits::{
     coverage_search, coverage_search_batch, nearest_datasets, overlap_search, overlap_search_batch,
     CoverageConfig, DitsLocal, DitsLocalConfig,
 };
-use multisource::{FrameworkConfig, QueryEngine, ShardMode};
+use multisource::{FrameworkConfig, QueryEngine, SearchRequest, SearchResponse, ShardMode};
 use spatial::zorder::cell_id;
 use spatial::CellSet;
 
@@ -48,7 +54,8 @@ Usage: bench-runner [--quick] [--out PATH]
 --validate PATH  check an existing snapshot against the schema and exit";
 
 /// Schema version stamped into (and required from) every snapshot.
-const SCHEMA_VERSION: u64 = 1;
+/// v2 added the `env` block and the `phases` breakdown.
+const SCHEMA_VERSION: u64 = 2;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -101,7 +108,7 @@ fn main() {
     let date = today_utc();
     let out = out.unwrap_or_else(|| format!("BENCH_{date}.json"));
     let suite = run_suite(quick);
-    let json = render_snapshot(&date, quick, &suite);
+    let json = render_snapshot(&date, quick, &env_info(), &suite);
     std::fs::write(&out, &json).unwrap_or_else(|e| {
         eprintln!("cannot write {out}: {e}");
         std::process::exit(1);
@@ -116,6 +123,13 @@ fn main() {
     println!("wrote {out}");
     for d in &suite.deltas {
         println!("  {:<40} {:>6.2}x vs {}", d.name, d.speedup, d.baseline);
+    }
+    for p in &suite.phases {
+        println!(
+            "  {:<40} verify {:>5.1}% of source time",
+            p.name,
+            p.verify_share * 100.0
+        );
     }
 }
 
@@ -140,9 +154,66 @@ struct Delta {
     speedup: f64,
 }
 
+/// One engine entry's source-side phase split, from a traced run of the same
+/// workload the kernel timings cover.
+struct PhaseReport {
+    name: String,
+    traversal_ns: u64,
+    verify_ns: u64,
+    verify_share: f64,
+}
+
 struct Suite {
     kernels: Vec<KernelReport>,
     deltas: Vec<Delta>,
+    phases: Vec<PhaseReport>,
+}
+
+/// Extracts the traversal/verify split out of a traced [`SearchResponse`].
+fn phase_report(name: &str, response: &SearchResponse) -> PhaseReport {
+    let trace = response.trace.as_ref().expect("run was traced");
+    let traversal = trace.total_named("traversal");
+    let verify = trace.total_named("verify");
+    let total = traversal + verify;
+    PhaseReport {
+        name: name.to_string(),
+        traversal_ns: traversal.as_nanos() as u64,
+        verify_ns: verify.as_nanos() as u64,
+        verify_share: if total > Duration::ZERO {
+            verify.as_secs_f64() / total.as_secs_f64()
+        } else {
+            0.0
+        },
+    }
+}
+
+/// The machine context a snapshot was measured in.
+struct EnvInfo {
+    cpus: usize,
+    profile: &'static str,
+    git_commit: String,
+}
+
+fn env_info() -> EnvInfo {
+    EnvInfo {
+        cpus: std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+        profile: if cfg!(debug_assertions) {
+            "debug"
+        } else {
+            "release"
+        },
+        git_commit: std::process::Command::new("git")
+            .args(["rev-parse", "--short", "HEAD"])
+            .output()
+            .ok()
+            .filter(|o| o.status.success())
+            .and_then(|o| String::from_utf8(o.stdout).ok())
+            .map(|s| s.trim().to_string())
+            .filter(|s| !s.is_empty())
+            .unwrap_or_else(|| "unknown".to_string()),
+    }
 }
 
 /// Times `work` (which performs `ops` operations per call) `samples` times
@@ -329,7 +400,7 @@ fn run_suite(quick: bool) -> Suite {
     }));
 
     // -- Engine shard modes over the full multi-source framework ------------
-    eprintln!("[4/4] engine/ojsp shard modes");
+    eprintln!("[4/4] engine/ojsp shard modes + phase breakdown");
     let fw = env.framework(FrameworkConfig {
         resolution: theta,
         ..FrameworkConfig::default()
@@ -339,43 +410,90 @@ fn run_suite(quick: bool) -> Suite {
     let mut config = *per_query_engine.config();
     config.shard_mode = ShardMode::PerSourceBatch;
     let batched_engine = QueryEngine::in_process(fw.center(), fw.sources(), config);
+    let ojsp_request = SearchRequest::ojsp_batch(raw_queries.clone()).k(k);
     let oracle = per_query_engine
-        .run_ojsp(&raw_queries, k)
+        .run(&ojsp_request)
         .expect("in-process OJSP");
     let fast = batched_engine
-        .run_ojsp(&raw_queries, k)
+        .run(&ojsp_request)
         .expect("in-process batched OJSP");
     assert_eq!(
-        oracle.answers, fast.answers,
+        oracle.results, fast.results,
         "batched shard mode diverged from the per-query oracle"
     );
     let engine_per_query = measure("engine/ojsp/per-query", samples, raw_queries.len(), || {
-        std::hint::black_box(per_query_engine.run_ojsp(&raw_queries, k).expect("OJSP"));
+        std::hint::black_box(per_query_engine.run(&ojsp_request).expect("OJSP"));
     });
     let engine_batched = measure(
         "engine/ojsp/per-source-batch",
         samples,
         raw_queries.len(),
         || {
-            std::hint::black_box(batched_engine.run_ojsp(&raw_queries, k).expect("OJSP"));
+            std::hint::black_box(batched_engine.run(&ojsp_request).expect("OJSP"));
         },
     );
     deltas.push(delta("engine/ojsp", &engine_batched, &engine_per_query));
     kernels.extend([engine_per_query, engine_batched]);
 
-    Suite { kernels, deltas }
+    // Phase breakdown: one traced run per engine entry splits the sources'
+    // time into index traversal vs. candidate verification (ROADMAP item 3's
+    // "verification dominates" claim, now measured instead of asserted).
+    let traced_ojsp = ojsp_request.clone().with_trace(true);
+    let phases = vec![
+        phase_report(
+            "engine/ojsp/per-query",
+            &per_query_engine.run(&traced_ojsp).expect("traced OJSP"),
+        ),
+        phase_report(
+            "engine/ojsp/per-source-batch",
+            &batched_engine.run(&traced_ojsp).expect("traced OJSP"),
+        ),
+        phase_report(
+            "engine/cjsp/per-query",
+            &per_query_engine
+                .run(
+                    &SearchRequest::cjsp_batch(raw_queries.clone())
+                        .k(k)
+                        .delta_cells(delta_cells)
+                        .with_trace(true),
+                )
+                .expect("traced CJSP"),
+        ),
+        phase_report(
+            "engine/knn/per-query",
+            &per_query_engine
+                .run(
+                    &SearchRequest::knn_batch(raw_queries.clone())
+                        .k(k)
+                        .with_trace(true),
+                )
+                .expect("traced kNN"),
+        ),
+    ];
+
+    Suite {
+        kernels,
+        deltas,
+        phases,
+    }
 }
 
 // ---------------------------------------------------------------------------
 // Snapshot writing
 // ---------------------------------------------------------------------------
 
-fn render_snapshot(date: &str, quick: bool, suite: &Suite) -> String {
+fn render_snapshot(date: &str, quick: bool, env: &EnvInfo, suite: &Suite) -> String {
     let mut s = String::new();
     s.push_str("{\n");
     s.push_str(&format!("  \"schema_version\": {SCHEMA_VERSION},\n"));
     s.push_str(&format!("  \"date\": \"{}\",\n", escape_json(date)));
     s.push_str(&format!("  \"quick\": {quick},\n"));
+    s.push_str(&format!(
+        "  \"env\": {{\"cpus\": {}, \"profile\": \"{}\", \"git_commit\": \"{}\"}},\n",
+        env.cpus,
+        escape_json(env.profile),
+        escape_json(&env.git_commit)
+    ));
     s.push_str("  \"kernels\": [\n");
     for (i, k) in suite.kernels.iter().enumerate() {
         s.push_str(&format!(
@@ -400,6 +518,19 @@ fn render_snapshot(date: &str, quick: bool, suite: &Suite) -> String {
             escape_json(&d.baseline),
             d.speedup,
             if i + 1 < suite.deltas.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("  ],\n");
+    s.push_str("  \"phases\": [\n");
+    for (i, p) in suite.phases.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"name\": \"{}\", \"traversal_ns\": {}, \"verify_ns\": {}, \
+             \"verify_share\": {:.4}}}{}\n",
+            escape_json(&p.name),
+            p.traversal_ns,
+            p.verify_ns,
+            p.verify_share,
+            if i + 1 < suite.phases.len() { "," } else { "" }
         ));
     }
     s.push_str("  ]\n");
@@ -686,6 +817,29 @@ fn validate_snapshot(path: &str) -> Result<String, String> {
         return Err("missing boolean quick".into());
     }
 
+    let env = root.get("env").ok_or("missing env object")?;
+    let cpus = env
+        .get("cpus")
+        .and_then(Json::as_number)
+        .ok_or("env missing numeric cpus")?;
+    if !cpus.is_finite() || cpus < 1.0 {
+        return Err(format!("env.cpus = {cpus} is not a positive CPU count"));
+    }
+    let profile = env
+        .get("profile")
+        .and_then(Json::as_str)
+        .ok_or("env missing string profile")?;
+    if profile != "release" && profile != "debug" {
+        return Err(format!("env.profile {profile:?} is not release/debug"));
+    }
+    if env
+        .get("git_commit")
+        .and_then(Json::as_str)
+        .is_none_or(str::is_empty)
+    {
+        return Err("env missing non-empty string git_commit".into());
+    }
+
     let kernels = root
         .get("kernels")
         .and_then(Json::as_array)
@@ -745,10 +899,44 @@ fn validate_snapshot(path: &str) -> Result<String, String> {
         }
     }
 
+    let phases = root
+        .get("phases")
+        .and_then(Json::as_array)
+        .ok_or("missing phases array")?;
+    if phases.is_empty() {
+        return Err("phases array is empty".into());
+    }
+    for (i, p) in phases.iter().enumerate() {
+        if p.get("name").and_then(Json::as_str).is_none() {
+            return Err(format!("phases[{i}] missing string name"));
+        }
+        for field in ["traversal_ns", "verify_ns"] {
+            let n = p
+                .get(field)
+                .and_then(Json::as_number)
+                .ok_or(format!("phases[{i}] missing numeric {field}"))?;
+            if !n.is_finite() || n < 0.0 {
+                return Err(format!(
+                    "phases[{i}].{field} = {n} is not a valid measurement"
+                ));
+            }
+        }
+        let share = p
+            .get("verify_share")
+            .and_then(Json::as_number)
+            .ok_or(format!("phases[{i}] missing numeric verify_share"))?;
+        if !share.is_finite() || !(0.0..=1.0).contains(&share) {
+            return Err(format!(
+                "phases[{i}].verify_share = {share} is not in [0, 1]"
+            ));
+        }
+    }
+
     Ok(format!(
-        "{} kernels, {} deltas",
+        "{} kernels, {} deltas, {} phases",
         kernels.len(),
-        deltas.len()
+        deltas.len(),
+        phases.len()
     ))
 }
 

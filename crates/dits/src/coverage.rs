@@ -96,6 +96,7 @@ pub fn coverage_search(
         // result (or to any member when merging is off).
         let mut connected: Vec<&DatasetNode> = Vec::new();
         let mut seen: HashSet<DatasetId> = HashSet::new();
+        let started = std::time::Instant::now();
         if config.merge_results {
             let probe = NeighborProbe::new(&merged_cells);
             find_connect_set(
@@ -122,9 +123,12 @@ pub fn coverage_search(
                 );
             }
         }
+        crate::phase::add_traversal(started.elapsed());
 
-        let Some((best, tau)) = greedy_pick(&connected, &selected, &merged_cells, &mut stats)
-        else {
+        let started = std::time::Instant::now();
+        let pick = greedy_pick(&connected, &selected, &merged_cells, &mut stats);
+        crate::phase::add_verify(started.elapsed());
+        let Some((best, tau)) = pick else {
             break;
         };
         if tau <= 0 {

@@ -67,6 +67,7 @@ pub fn overlap_search_batch_with_options(
         .filter_map(|(i, r)| r.as_ref().map(|_| i as u32))
         .collect();
 
+    let walk_started = std::time::Instant::now();
     if !root_frontier.is_empty() {
         let layout = index.traversal_layout();
         let mut stack: Vec<(NodeIdx, Vec<u32>)> = vec![(index.root(), root_frontier)];
@@ -118,7 +119,10 @@ pub fn overlap_search_batch_with_options(
         }
     }
 
-    queries
+    crate::phase::add_traversal(walk_started.elapsed());
+
+    let verify_started = std::time::Instant::now();
+    let out = queries
         .iter()
         .enumerate()
         .map(|(i, query)| {
@@ -137,7 +141,9 @@ pub fn overlap_search_batch_with_options(
             };
             (results, s)
         })
-        .collect()
+        .collect();
+    crate::phase::add_verify(verify_started.elapsed());
+    out
 }
 
 /// Per-query state of the batch coverage search.
@@ -217,6 +223,7 @@ pub fn coverage_search_batch(
         // Snapshots keep the walk free of aliasing with the per-query stats:
         // probes own their coordinates, geometries are plain copies.  The
         // per-query algorithm rebuilds its probe every iteration too.
+        let walk_started = std::time::Instant::now();
         let probes: Vec<Option<NeighborProbe>> = states
             .iter()
             .map(|s| s.active.then(|| NeighborProbe::new(&s.merged_cells)))
@@ -282,7 +289,10 @@ pub fn coverage_search_batch(
             }
         }
 
+        crate::phase::add_traversal(walk_started.elapsed());
+
         // Greedy selection per query, identical to the per-query algorithm.
+        let verify_started = std::time::Instant::now();
         for &q in &active {
             let qi = q as usize;
             let state = &mut states[qi];
@@ -306,6 +316,7 @@ pub fn coverage_search_batch(
                 _ => state.active = false,
             }
         }
+        crate::phase::add_verify(verify_started.elapsed());
     }
 
     states.into_iter().map(|s| (s.result, s.stats)).collect()

@@ -22,6 +22,7 @@ use spatial::distance::{dataset_distance, NeighborProbe};
 use spatial::{CellSet, DatasetId};
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
+use std::time::{Duration, Instant};
 
 /// One neighbour: a dataset and its exact cell-based distance to the query.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -78,6 +79,13 @@ pub fn nearest_datasets(
     };
     let query_geometry = NodeGeometry::from_mbr(rect);
 
+    // Best-first search interleaves the two phases, so the phase clock is
+    // charged by difference: exact distance computations are timed directly
+    // (verify), everything else — node expansion, bound evaluation, the
+    // final sort — is traversal.
+    let started = Instant::now();
+    let mut verify_time = Duration::ZERO;
+
     // Results kept as a max-heap on distance so the worst of the current
     // top-k is peekable in O(1).
     let mut results: BinaryHeap<ResultEntry> = BinaryHeap::new();
@@ -119,7 +127,9 @@ pub fn nearest_datasets(
                         }
                     }
                     stats.exact_computations += 1;
+                    let verify_started = Instant::now();
                     let distance = dataset_distance(query, &entry.cells);
+                    verify_time += verify_started.elapsed();
                     let entry = ResultEntry {
                         distance,
                         dataset: entry.id,
@@ -152,6 +162,8 @@ pub fn nearest_datasets(
             .unwrap_or(Ordering::Equal)
             .then(a.dataset.cmp(&b.dataset))
     });
+    crate::phase::add_verify(verify_time);
+    crate::phase::add_traversal(started.elapsed().saturating_sub(verify_time));
     (out, stats)
 }
 
@@ -201,6 +213,8 @@ pub fn range_datasets(
     let query_geometry = NodeGeometry::from_mbr(rect);
     let probe = NeighborProbe::new(query);
     let mut out = Vec::new();
+    let started = Instant::now();
+    let mut verify_time = Duration::ZERO;
     range_recurse(
         index,
         index.root(),
@@ -210,6 +224,7 @@ pub fn range_datasets(
         delta,
         &mut out,
         &mut stats,
+        &mut verify_time,
     );
     out.sort_unstable_by(|a: &Neighbor, b: &Neighbor| {
         a.distance
@@ -217,6 +232,8 @@ pub fn range_datasets(
             .unwrap_or(Ordering::Equal)
             .then(a.dataset.cmp(&b.dataset))
     });
+    crate::phase::add_verify(verify_time);
+    crate::phase::add_traversal(started.elapsed().saturating_sub(verify_time));
     (out, stats)
 }
 
@@ -230,6 +247,7 @@ fn range_recurse(
     delta: f64,
     out: &mut Vec<Neighbor>,
     stats: &mut SearchStats,
+    verify_time: &mut Duration,
 ) {
     let node = index.node(node_idx);
     stats.nodes_visited += 1;
@@ -246,6 +264,7 @@ fn range_recurse(
                     continue;
                 }
                 stats.exact_computations += 1;
+                let verify_started = Instant::now();
                 if probe.within(&entry.cells, delta) {
                     let distance = dataset_distance(query, &entry.cells);
                     out.push(Neighbor {
@@ -254,6 +273,7 @@ fn range_recurse(
                     });
                     stats.candidates += 1;
                 }
+                *verify_time += verify_started.elapsed();
             }
         }
         NodeKind::Internal { left, right } => {
@@ -266,6 +286,7 @@ fn range_recurse(
                 delta,
                 out,
                 stats,
+                verify_time,
             );
             range_recurse(
                 index,
@@ -276,6 +297,7 @@ fn range_recurse(
                 delta,
                 out,
                 stats,
+                verify_time,
             );
         }
     }

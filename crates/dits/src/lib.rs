@@ -34,6 +34,7 @@ pub mod local;
 pub mod node;
 pub mod overlap;
 pub mod persist;
+pub mod phase;
 pub mod stats;
 pub mod update;
 
@@ -52,6 +53,7 @@ pub use persist::{
     decode_global, decode_local, encode_global, encode_local, load_global, load_local, save_global,
     save_local, PersistError,
 };
+pub use phase::{take_phase_timings, PhaseTimings};
 pub use stats::{MaintenanceStats, SearchStats};
 
 #[cfg(test)]

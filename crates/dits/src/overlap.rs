@@ -62,6 +62,7 @@ pub fn overlap_search_with_options(
 
     // Phase 1 (BranchAndBound): collect candidate leaves with their bounds.
     let mut candidates: Vec<LeafCandidate> = Vec::new();
+    let started = std::time::Instant::now();
     collect_candidate_leaves(
         index,
         index.root(),
@@ -71,8 +72,11 @@ pub fn overlap_search_with_options(
         &mut candidates,
         &mut stats,
     );
+    crate::phase::add_traversal(started.elapsed());
 
+    let started = std::time::Instant::now();
     let results = verify_candidates(index, query, k, use_bounds, candidates, &mut stats);
+    crate::phase::add_verify(started.elapsed());
     (results, stats)
 }
 

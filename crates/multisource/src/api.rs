@@ -60,6 +60,7 @@ pub struct SearchRequest {
     delta_cells: Option<f64>,
     shard_mode: Option<ShardMode>,
     collect_stats: bool,
+    collect_trace: bool,
 }
 
 impl SearchRequest {
@@ -73,6 +74,7 @@ impl SearchRequest {
             delta_cells: None,
             shard_mode: None,
             collect_stats: true,
+            collect_trace: false,
         }
     }
 
@@ -189,6 +191,22 @@ impl SearchRequest {
     pub fn wants_stats(&self) -> bool {
         self.collect_stats
     }
+
+    /// Opt in to structured tracing (default off): the engine assigns a
+    /// trace id, propagates it to every contacted source on the transport
+    /// frame, and returns a [`SearchResponse::trace`] of timed spans
+    /// covering planning, per-shard transport calls, the sources' traversal
+    /// vs. verification split and aggregation.  Like the statistics channel,
+    /// tracing never changes the counted protocol bytes.
+    pub fn with_trace(mut self, collect: bool) -> Self {
+        self.collect_trace = collect;
+        self
+    }
+
+    /// Whether a trace was requested.
+    pub fn wants_trace(&self) -> bool {
+        self.collect_trace
+    }
 }
 
 /// Typed per-query answers of a [`SearchResponse`], one variant per
@@ -231,6 +249,10 @@ pub struct SourceTiming {
     /// Wall-clock time spent in transport calls to it (includes the
     /// source's local search time).
     pub elapsed: Duration,
+    /// The part of `elapsed` the source itself reported serving — the
+    /// remainder is transport overhead (framing, sockets, scheduling).
+    /// Zero when the source did not report service times.
+    pub service: Duration,
 }
 
 /// What a [`SearchRequest`] produces: typed answers plus the cost accounting
@@ -249,6 +271,9 @@ pub struct SearchResponse {
     pub per_source: Vec<SourceTiming>,
     /// Wall-clock time spent planning, searching and aggregating.
     pub elapsed: Duration,
+    /// The structured trace of the run; `None` unless the request opted in
+    /// with [`SearchRequest::with_trace`].
+    pub trace: Option<obs::Trace>,
 }
 
 impl SearchResponse {

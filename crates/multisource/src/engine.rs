@@ -45,7 +45,7 @@ use crate::comm::{CommConfig, CommStats};
 use crate::error::{SearchError, TransportError};
 use crate::message::{CoverageCandidate, Message};
 use crate::source::DataSource;
-use crate::transport::{InProcessTransport, SourceTransport};
+use crate::transport::{CallOptions, InProcessTransport, SourceTransport};
 
 /// How the engine shards a query batch across its sources.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -84,6 +84,12 @@ pub struct EngineConfig {
     pub collect_stats: bool,
     /// How the batch is sharded across sources (OJSP/CJSP only).
     pub shard_mode: ShardMode,
+    /// Whether runs assemble a structured [`obs::Trace`]: a center-assigned
+    /// trace id propagated to every contacted source plus timed spans for
+    /// planning, each transport call, the sources' traversal/verification
+    /// split and aggregation.  Like the statistics channel, tracing never
+    /// changes the counted protocol bytes.
+    pub collect_trace: bool,
 }
 
 impl Default for EngineConfig {
@@ -94,6 +100,7 @@ impl Default for EngineConfig {
             delta_cells: 10.0,
             collect_stats: true,
             shard_mode: ShardMode::PerQuery,
+            collect_trace: false,
         }
     }
 }
@@ -111,6 +118,9 @@ pub struct BatchOutcome<T> {
     pub per_source: Vec<SourceTiming>,
     /// Wall-clock time spent planning, searching and aggregating.
     pub elapsed: Duration,
+    /// The structured trace of the run (`None` unless
+    /// [`EngineConfig::collect_trace`] is set).
+    pub trace: Option<obs::Trace>,
 }
 
 impl<T> BatchOutcome<T> {
@@ -153,6 +163,7 @@ pub struct QueryEngine<'a> {
     center: &'a DataCenter,
     transport: EngineTransport<'a>,
     config: EngineConfig,
+    slow_log: Option<&'a obs::SlowQueryLog>,
 }
 
 impl<'a> QueryEngine<'a> {
@@ -167,6 +178,7 @@ impl<'a> QueryEngine<'a> {
             center,
             transport: EngineTransport::Borrowed(transport),
             config,
+            slow_log: None,
         }
     }
 
@@ -181,7 +193,16 @@ impl<'a> QueryEngine<'a> {
             center,
             transport: EngineTransport::InProcess(InProcessTransport::new(sources)),
             config,
+            slow_log: None,
         }
+    }
+
+    /// Attaches a slow-query log: every [`Self::run`] whose wall-clock time
+    /// reaches the log's threshold is recorded (with its trace id, when the
+    /// request was traced).
+    pub fn with_slow_log(mut self, log: &'a obs::SlowQueryLog) -> Self {
+        self.slow_log = Some(log);
+        self
     }
 
     /// The engine's configuration.
@@ -220,50 +241,62 @@ impl<'a> QueryEngine<'a> {
             config.shard_mode = mode;
         }
         config.collect_stats = request.wants_stats();
+        config.collect_trace = request.wants_trace();
         let engine = Self {
             center: self.center,
             transport: self.transport,
             config,
+            slow_log: self.slow_log,
         };
         let k = request.requested_k();
-        let (results, comm, search, per_source, elapsed) = match request.kind() {
+        let (results, kind_name, comm, search, per_source, elapsed, trace) = match request.kind() {
             SearchKind::Ojsp => {
                 let out = engine.run_ojsp(request.queries(), k)?;
                 (
                     SearchResults::Overlap(out.answers),
+                    "ojsp",
                     out.comm,
                     out.search,
                     out.per_source,
                     out.elapsed,
+                    out.trace,
                 )
             }
             SearchKind::Cjsp => {
                 let out = engine.run_cjsp(request.queries(), k)?;
                 (
                     SearchResults::Coverage(out.answers),
+                    "cjsp",
                     out.comm,
                     out.search,
                     out.per_source,
                     out.elapsed,
+                    out.trace,
                 )
             }
             SearchKind::Knn => {
                 let out = engine.run_knn(request.queries(), k)?;
                 (
                     SearchResults::Knn(out.answers),
+                    "knn",
                     out.comm,
                     out.search,
                     out.per_source,
                     out.elapsed,
+                    out.trace,
                 )
             }
         };
+        if let Some(log) = self.slow_log {
+            log.record(kind_name, elapsed, trace.as_ref().map(|t| t.id));
+        }
         Ok(SearchResponse {
             results,
             comm,
             search: request.wants_stats().then_some(search),
             per_source,
             elapsed,
+            trace,
         })
     }
 
@@ -276,18 +309,55 @@ impl<'a> QueryEngine<'a> {
         ctx: &mut WorkerCtx,
     ) -> Result<Message, SearchError> {
         let started = Instant::now();
-        let reply = self
-            .transport
-            .get()
-            .call(source, request, self.config.collect_stats)?;
+        let opts = CallOptions {
+            want_stats: self.config.collect_stats,
+            trace: ctx.trace,
+        };
+        let reply = self.transport.get().call_with(source, request, opts)?;
         let elapsed = started.elapsed();
         // Sizes come from the transport (the TCP path reads them off the
         // frames it already moved), so nothing is re-encoded for accounting.
         ctx.comm.record_request(reply.request_bytes);
         ctx.comm.record_reply(reply.reply_bytes);
-        ctx.record_timing(source, reply.request_bytes + reply.reply_bytes, elapsed);
+        ctx.record_timing(
+            source,
+            reply.request_bytes + reply.reply_bytes,
+            elapsed,
+            reply.service.unwrap_or_default(),
+        );
         if let Some(stats) = reply.search {
             ctx.search.merge(&stats);
+        }
+        if ctx.trace.is_some() {
+            // Source-side spans carry the source id; the call span is the
+            // transport wall-clock around the whole exchange.
+            ctx.spans.push(obs::Span {
+                name: "call".to_string(),
+                source: Some(source),
+                elapsed,
+            });
+            if let Some(service) = reply.service {
+                ctx.spans.push(obs::Span {
+                    name: "service".to_string(),
+                    source: Some(source),
+                    elapsed: service,
+                });
+            }
+            // A source's phase spans only count if the reply echoes this
+            // run's trace id — a mismatched echo would attribute another
+            // request's phases to this trace.
+            if let Some(trace) = reply.trace.filter(|t| Some(t.trace_id) == ctx.trace) {
+                ctx.spans.push(obs::Span {
+                    name: "traversal".to_string(),
+                    source: Some(source),
+                    elapsed: trace.phases.traversal,
+                });
+                ctx.spans.push(obs::Span {
+                    name: "verify".to_string(),
+                    source: Some(source),
+                    elapsed: trace.phases.verify,
+                });
+            }
         }
         match reply.message {
             Message::Error { code, detail } => Err(TransportError::Remote { code, detail }.into()),
@@ -302,6 +372,7 @@ impl<'a> QueryEngine<'a> {
         k: usize,
     ) -> Result<BatchOutcome<AggregatedOverlap>, SearchError> {
         let start = Instant::now();
+        let trace_id = self.config.collect_trace.then(obs::next_trace_id);
 
         // Plan: route and clip every query, materialise the wire requests.
         let mut comm = CommStats::new();
@@ -337,19 +408,23 @@ impl<'a> QueryEngine<'a> {
         // batch — cannot change the aggregated answers.
         let mut buckets: Vec<Vec<(SourceId, dits::OverlapResult)>> =
             (0..queries.len()).map(|_| Vec::new()).collect();
-        let ctx = match self.config.shard_mode {
+        let plan_elapsed = start.elapsed();
+        let mut ctx = match self.config.shard_mode {
             // One task per (query, source) shard, in parallel.
             ShardMode::PerQuery => {
-                let (per_task, ctx) = run_parallel(&tasks, self.config.workers, |task, ctx| {
-                    match self.exchange(task.source, &task.request, ctx)? {
+                let (per_task, ctx) = run_parallel(
+                    &tasks,
+                    self.config.workers,
+                    trace_id,
+                    |task, ctx| match self.exchange(task.source, &task.request, ctx)? {
                         Message::OverlapReply { source, results } => {
                             let pairs: Vec<(SourceId, dits::OverlapResult)> =
                                 results.into_iter().map(|r| (source, r)).collect();
                             Ok(pairs)
                         }
                         _ => Err(TransportError::UnexpectedReply("OverlapReply").into()),
-                    }
-                })?;
+                    },
+                )?;
                 for (task, results) in tasks.iter().zip(per_task) {
                     buckets[task.query_idx].extend(results);
                 }
@@ -359,24 +434,26 @@ impl<'a> QueryEngine<'a> {
             // source answers with a single shared frontier traversal.
             ShardMode::PerSourceBatch => {
                 let batches = group_overlap_batches(tasks, k);
-                let (per_batch, ctx) =
-                    run_parallel(&batches, self.config.workers, |batch, ctx| {
-                        match self.exchange(batch.source, &batch.request, ctx)? {
-                            Message::OverlapBatchReply { source, results }
-                                if results.len() == batch.query_idxs.len() =>
-                            {
-                                let per_query: Vec<Vec<(SourceId, dits::OverlapResult)>> = results
-                                    .into_iter()
-                                    .map(|rs| rs.into_iter().map(|r| (source, r)).collect())
-                                    .collect();
-                                Ok(per_query)
-                            }
-                            _ => Err(TransportError::UnexpectedReply(
-                                "OverlapBatchReply of matching arity",
-                            )
-                            .into()),
+                let (per_batch, ctx) = run_parallel(
+                    &batches,
+                    self.config.workers,
+                    trace_id,
+                    |batch, ctx| match self.exchange(batch.source, &batch.request, ctx)? {
+                        Message::OverlapBatchReply { source, results }
+                            if results.len() == batch.query_idxs.len() =>
+                        {
+                            let per_query: Vec<Vec<(SourceId, dits::OverlapResult)>> = results
+                                .into_iter()
+                                .map(|rs| rs.into_iter().map(|r| (source, r)).collect())
+                                .collect();
+                            Ok(per_query)
                         }
-                    })?;
+                        _ => Err(TransportError::UnexpectedReply(
+                            "OverlapBatchReply of matching arity",
+                        )
+                        .into()),
+                    },
+                )?;
                 for (batch, per_query) in batches.iter().zip(per_batch) {
                     for (&query_idx, results) in batch.query_idxs.iter().zip(per_query) {
                         buckets[query_idx].extend(results);
@@ -388,6 +465,7 @@ impl<'a> QueryEngine<'a> {
         comm.merge(&ctx.comm);
 
         // Aggregate: global top-k per query.
+        let agg_started = Instant::now();
         let answers = buckets
             .into_iter()
             .map(|mut all| {
@@ -402,12 +480,14 @@ impl<'a> QueryEngine<'a> {
             })
             .collect();
 
+        let spans = std::mem::take(&mut ctx.spans);
         Ok(BatchOutcome {
             answers,
             comm,
             search: ctx.search,
             per_source: ctx.into_timings(),
             elapsed: start.elapsed(),
+            trace: assemble_trace(trace_id, plan_elapsed, spans, agg_started.elapsed()),
         })
     }
 
@@ -418,6 +498,7 @@ impl<'a> QueryEngine<'a> {
         k: usize,
     ) -> Result<BatchOutcome<AggregatedCoverage>, SearchError> {
         let start = Instant::now();
+        let trace_id = self.config.collect_trace.then(obs::next_trace_id);
         let delta = self.config.delta_cells;
 
         // Plan: route with the connectivity slack, clip, materialise requests
@@ -465,47 +546,53 @@ impl<'a> QueryEngine<'a> {
         // change the selected sets.
         let mut buckets: Vec<Vec<CoverageCandidate>> =
             (0..queries.len()).map(|_| Vec::new()).collect();
-        let ctx = match self.config.shard_mode {
-            ShardMode::PerQuery => {
-                let (per_task, ctx) = run_parallel(&tasks, self.config.workers, |task, ctx| {
-                    match self.exchange(task.source, &task.request, ctx)? {
-                        Message::CoverageReply { candidates, .. } => Ok(candidates),
-                        _ => Err(TransportError::UnexpectedReply("CoverageReply").into()),
+        let plan_elapsed = start.elapsed();
+        let mut ctx =
+            match self.config.shard_mode {
+                ShardMode::PerQuery => {
+                    let (per_task, ctx) = run_parallel(
+                        &tasks,
+                        self.config.workers,
+                        trace_id,
+                        |task, ctx| match self.exchange(task.source, &task.request, ctx)? {
+                            Message::CoverageReply { candidates, .. } => Ok(candidates),
+                            _ => Err(TransportError::UnexpectedReply("CoverageReply").into()),
+                        },
+                    )?;
+                    for (task, candidates) in tasks.iter().zip(per_task) {
+                        buckets[task.query_idx].extend(candidates);
                     }
-                })?;
-                for (task, candidates) in tasks.iter().zip(per_task) {
-                    buckets[task.query_idx].extend(candidates);
+                    ctx
                 }
-                ctx
-            }
-            ShardMode::PerSourceBatch => {
-                let batches = group_coverage_batches(tasks, k, delta);
-                let (per_batch, ctx) =
-                    run_parallel(&batches, self.config.workers, |batch, ctx| {
-                        match self.exchange(batch.source, &batch.request, ctx)? {
-                            Message::CoverageBatchReply { candidates, .. }
-                                if candidates.len() == batch.query_idxs.len() =>
-                            {
-                                Ok(candidates)
+                ShardMode::PerSourceBatch => {
+                    let batches = group_coverage_batches(tasks, k, delta);
+                    let (per_batch, ctx) =
+                        run_parallel(&batches, self.config.workers, trace_id, |batch, ctx| {
+                            match self.exchange(batch.source, &batch.request, ctx)? {
+                                Message::CoverageBatchReply { candidates, .. }
+                                    if candidates.len() == batch.query_idxs.len() =>
+                                {
+                                    Ok(candidates)
+                                }
+                                _ => Err(TransportError::UnexpectedReply(
+                                    "CoverageBatchReply of matching arity",
+                                )
+                                .into()),
                             }
-                            _ => Err(TransportError::UnexpectedReply(
-                                "CoverageBatchReply of matching arity",
-                            )
-                            .into()),
+                        })?;
+                    for (batch, per_query) in batches.iter().zip(per_batch) {
+                        for (&query_idx, candidates) in batch.query_idxs.iter().zip(per_query) {
+                            buckets[query_idx].extend(candidates);
                         }
-                    })?;
-                for (batch, per_query) in batches.iter().zip(per_batch) {
-                    for (&query_idx, candidates) in batch.query_idxs.iter().zip(per_query) {
-                        buckets[query_idx].extend(candidates);
                     }
+                    ctx
                 }
-                ctx
-            }
-        };
+            };
         comm.merge(&ctx.comm);
 
         // Aggregate: cross-source greedy selection, parallelised over the
         // queries of the batch (each query's greedy run is independent).
+        let agg_started = Instant::now();
         let agg_inputs: Vec<(CellSet, Vec<CoverageCandidate>)> = query_cells
             .into_iter()
             .zip(buckets)
@@ -514,15 +601,18 @@ impl<'a> QueryEngine<'a> {
         let (answers, _) = run_parallel(
             &agg_inputs,
             self.config.workers,
+            None,
             |(cells, candidates), _| Ok(aggregate_coverage(cells, candidates, k, delta)),
         )?;
 
+        let spans = std::mem::take(&mut ctx.spans);
         Ok(BatchOutcome {
             answers,
             comm,
             search: ctx.search,
             per_source: ctx.into_timings(),
             elapsed: start.elapsed(),
+            trace: assemble_trace(trace_id, plan_elapsed, spans, agg_started.elapsed()),
         })
     }
 
@@ -540,6 +630,7 @@ impl<'a> QueryEngine<'a> {
         k: usize,
     ) -> Result<BatchOutcome<AggregatedKnn>, SearchError> {
         let start = Instant::now();
+        let trace_id = self.config.collect_trace.then(obs::next_trace_id);
 
         // Plan: distance-bound routing, full (unclipped) query cells.
         let mut comm = CommStats::new();
@@ -576,19 +667,24 @@ impl<'a> QueryEngine<'a> {
         // Execute.  kNN ignores the shard mode: distance ranking needs the
         // unclipped query at every source and gains nothing from frontier
         // sharing, so it always runs one task per (query, source).
-        let (per_task, ctx) = run_parallel(&tasks, self.config.workers, |task, ctx| {
-            match self.exchange(task.source, &task.request, ctx)? {
+        let plan_elapsed = start.elapsed();
+        let (per_task, mut ctx) = run_parallel(
+            &tasks,
+            self.config.workers,
+            trace_id,
+            |task, ctx| match self.exchange(task.source, &task.request, ctx)? {
                 Message::KnnReply { source, neighbors } => {
                     let pairs: Vec<(SourceId, Neighbor)> =
                         neighbors.into_iter().map(|n| (source, n)).collect();
                     Ok(pairs)
                 }
                 _ => Err(TransportError::UnexpectedReply("KnnReply").into()),
-            }
-        })?;
+            },
+        )?;
         comm.merge(&ctx.comm);
 
         // Aggregate: global k nearest per query.
+        let agg_started = Instant::now();
         let mut buckets: Vec<Vec<(SourceId, Neighbor)>> =
             (0..queries.len()).map(|_| Vec::new()).collect();
         for (task, neighbors) in tasks.iter().zip(per_task) {
@@ -609,12 +705,14 @@ impl<'a> QueryEngine<'a> {
             })
             .collect();
 
+        let spans = std::mem::take(&mut ctx.spans);
         Ok(BatchOutcome {
             answers,
             comm,
             search: ctx.search,
             per_source: ctx.into_timings(),
             elapsed: start.elapsed(),
+            trace: assemble_trace(trace_id, plan_elapsed, spans, agg_started.elapsed()),
         })
     }
 }
@@ -747,6 +845,26 @@ fn aggregate_coverage(
     }
 }
 
+/// Assembles a run's [`obs::Trace`] from its phase timings and the spans the
+/// workers collected: `plan` and `aggregate` spans bracket the per-call
+/// `call` / `service` / `traversal` / `verify` spans, and the whole trace is
+/// canonicalised so span order is deterministic across worker schedules.
+fn assemble_trace(
+    trace_id: Option<u64>,
+    plan: Duration,
+    spans: Vec<obs::Span>,
+    aggregate: Duration,
+) -> Option<obs::Trace> {
+    trace_id.map(|id| {
+        let mut trace = obs::Trace::new(id);
+        trace.push("plan", None, plan);
+        trace.spans.extend(spans);
+        trace.push("aggregate", None, aggregate);
+        trace.canonicalize();
+        trace
+    })
+}
+
 /// Resolves a worker-count setting: `0` means one worker per available CPU.
 fn resolve_workers(configured: usize) -> usize {
     if configured > 0 {
@@ -771,42 +889,58 @@ const MIN_PARALLEL_TASKS: usize = 8;
 struct WorkerCtx {
     comm: CommStats,
     search: SearchStats,
-    timings: Vec<(SourceId, usize, Duration)>,
+    timings: Vec<(SourceId, usize, Duration, Duration)>,
+    /// The run's trace id, when tracing; workers pass it on every call and
+    /// collect the per-call spans locally (merged after the join, like every
+    /// other accumulator).
+    trace: Option<u64>,
+    spans: Vec<obs::Span>,
 }
 
 impl WorkerCtx {
-    fn new() -> Self {
+    fn new(trace: Option<u64>) -> Self {
         Self {
             comm: CommStats::new(),
             search: SearchStats::new(),
             timings: Vec::new(),
+            trace,
+            spans: Vec::new(),
         }
     }
 
-    fn record_timing(&mut self, source: SourceId, bytes: usize, elapsed: Duration) {
-        self.timings.push((source, bytes, elapsed));
+    fn record_timing(
+        &mut self,
+        source: SourceId,
+        bytes: usize,
+        elapsed: Duration,
+        service: Duration,
+    ) {
+        self.timings.push((source, bytes, elapsed, service));
     }
 
     fn merge(&mut self, other: WorkerCtx) {
         self.comm.merge(&other.comm);
         self.search.merge(&other.search);
         self.timings.extend(other.timings);
+        self.spans.extend(other.spans);
     }
 
     /// Collapses the raw per-call records into one [`SourceTiming`] per
     /// source, ascending by source id.
     fn into_timings(self) -> Vec<SourceTiming> {
         let mut by_source: BTreeMap<SourceId, SourceTiming> = BTreeMap::new();
-        for (source, bytes, elapsed) in self.timings {
+        for (source, bytes, elapsed, service) in self.timings {
             let entry = by_source.entry(source).or_insert(SourceTiming {
                 source,
                 requests: 0,
                 bytes: 0,
                 elapsed: Duration::ZERO,
+                service: Duration::ZERO,
             });
             entry.requests += 1;
             entry.bytes += bytes;
             entry.elapsed += elapsed;
+            entry.service += service;
         }
         by_source.into_values().collect()
     }
@@ -823,6 +957,7 @@ impl WorkerCtx {
 fn run_parallel<T, R, F>(
     tasks: &[T],
     workers: usize,
+    trace: Option<u64>,
     f: F,
 ) -> Result<(Vec<R>, WorkerCtx), SearchError>
 where
@@ -831,7 +966,7 @@ where
     F: Fn(&T, &mut WorkerCtx) -> Result<R, SearchError> + Sync,
 {
     let worker_count = resolve_workers(workers).min(tasks.len());
-    let mut ctx = WorkerCtx::new();
+    let mut ctx = WorkerCtx::new(trace);
 
     if worker_count <= 1 || tasks.len() < MIN_PARALLEL_TASKS {
         let mut results = Vec::with_capacity(tasks.len());
@@ -850,7 +985,7 @@ where
         let handles: Vec<_> = (0..worker_count)
             .map(|_| {
                 scope.spawn(|| {
-                    let mut local = WorkerCtx::new();
+                    let mut local = WorkerCtx::new(trace);
                     let mut local_results: Vec<(usize, R)> = Vec::new();
                     let mut error = None;
                     loop {
@@ -940,7 +1075,7 @@ mod tests {
     #[test]
     fn worker_pool_preserves_task_order_and_merges_stats() {
         let tasks: Vec<usize> = (0..100).collect();
-        let (results, ctx) = run_parallel(&tasks, 7, |&t, ctx| {
+        let (results, ctx) = run_parallel(&tasks, 7, None, |&t, ctx| {
             ctx.comm.record_request(t);
             ctx.search.nodes_visited += 1;
             Ok(t * 2)
@@ -955,12 +1090,12 @@ mod tests {
     #[test]
     fn worker_pool_sequential_path_matches_parallel() {
         let tasks: Vec<usize> = (0..37).collect();
-        let (seq, seq_ctx) = run_parallel(&tasks, 1, |&t, ctx| {
+        let (seq, seq_ctx) = run_parallel(&tasks, 1, None, |&t, ctx| {
             ctx.comm.record_reply(t + 1);
             Ok(t + 10)
         })
         .unwrap();
-        let (par, par_ctx) = run_parallel(&tasks, 8, |&t, ctx| {
+        let (par, par_ctx) = run_parallel(&tasks, 8, None, |&t, ctx| {
             ctx.comm.record_reply(t + 1);
             Ok(t + 10)
         })
@@ -972,7 +1107,7 @@ mod tests {
     #[test]
     fn worker_pool_propagates_shard_errors() {
         let tasks: Vec<usize> = (0..50).collect();
-        let err = run_parallel(&tasks, 4, |&t, _| {
+        let err = run_parallel(&tasks, 4, None, |&t, _| {
             if t == 23 {
                 Err(SearchError::Internal("boom"))
             } else {
@@ -982,7 +1117,7 @@ mod tests {
         .unwrap_err();
         assert_eq!(err, SearchError::Internal("boom"));
         // Sequential path too.
-        let err = run_parallel(&tasks[..4], 1, |&t, _| {
+        let err = run_parallel(&tasks[..4], 1, None, |&t, _| {
             if t == 2 {
                 Err(SearchError::Internal("boom"))
             } else {
@@ -1160,6 +1295,75 @@ mod tests {
         assert_eq!(oracle.results, fast.results);
         assert_eq!(oracle.search, fast.search);
         assert!(fast.comm.requests < oracle.comm.requests);
+    }
+
+    /// Tracing is opt-in, assembles center-side and per-source spans, and
+    /// never changes the answers or the counted protocol bytes.
+    #[test]
+    fn traced_requests_return_spans_without_changing_bytes() {
+        let (fw, queries) = five_source_framework();
+        let plain = fw
+            .search(&SearchRequest::ojsp_batch(queries.clone()).k(5))
+            .unwrap();
+        assert!(plain.trace.is_none(), "tracing must be opt-in");
+        let traced = fw
+            .search(
+                &SearchRequest::ojsp_batch(queries.clone())
+                    .k(5)
+                    .with_trace(true),
+            )
+            .unwrap();
+        assert_eq!(plain.results, traced.results);
+        assert_eq!(
+            plain.comm, traced.comm,
+            "tracing must not change the counted protocol bytes"
+        );
+        let trace = traced.trace.expect("trace was requested");
+        assert!(trace.id > 0, "0 is reserved as the no-trace wire marker");
+        assert_eq!(trace.spans_named("plan").count(), 1);
+        assert_eq!(trace.spans_named("aggregate").count(), 1);
+        // One call/service/traversal/verify span per exchanged request, each
+        // naming the source it was measured on.
+        for name in ["call", "service", "traversal", "verify"] {
+            assert_eq!(trace.spans_named(name).count(), traced.comm.requests);
+            assert!(trace.spans_named(name).all(|s| s.source.is_some()));
+        }
+        // Canonical order puts center-side spans first.
+        assert_eq!(trace.spans[0].source, None);
+        assert!(trace.total_named("traversal") > Duration::ZERO);
+        // Service time surfaced per source, bounded by the transport time.
+        assert!(traced
+            .per_source
+            .iter()
+            .all(|t| t.service > Duration::ZERO && t.service <= t.elapsed));
+    }
+
+    /// Every run crossing the slow-query threshold is recorded with its kind
+    /// and (when traced) its trace id.
+    #[test]
+    fn slow_query_log_captures_runs_with_trace_ids() {
+        let (fw, queries) = five_source_framework();
+        let log = obs::SlowQueryLog::new(Duration::ZERO);
+        let engine = fw.engine().with_slow_log(&log);
+        let traced = engine
+            .run(
+                &SearchRequest::ojsp_batch(queries.clone())
+                    .k(3)
+                    .with_trace(true),
+            )
+            .unwrap();
+        engine
+            .run(&SearchRequest::knn_batch(queries.clone()).k(3))
+            .unwrap();
+        let entries = log.entries();
+        assert_eq!(entries.len(), 2);
+        assert_eq!(entries[0].kind, "ojsp");
+        assert_eq!(
+            entries[0].trace_id,
+            Some(traced.trace.expect("traced run").id)
+        );
+        assert_eq!(entries[1].kind, "knn");
+        assert_eq!(entries[1].trace_id, None, "untraced runs log no trace id");
     }
 
     /// The stats-merging parity check: a parallel engine run over the five

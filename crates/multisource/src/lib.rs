@@ -75,8 +75,8 @@ pub use engine::{BatchOutcome, EngineConfig, QueryEngine, ShardMode};
 pub use error::{ConfigError, SearchError, TransportError, WireError};
 pub use framework::{FrameworkConfig, MultiSourceFramework};
 pub use message::{CoverageCandidate, Message, UpdateOp};
-pub use source::DataSource;
+pub use source::{DataSource, SourceMetrics};
 pub use transport::{
-    serve_source, ExclusiveTransport, InProcessTransport, ServedReply, SourceServer,
-    SourceTransport, TcpTransport, TransportReply,
+    scrape_metrics, serve_source, CallOptions, ExclusiveTransport, InProcessTransport, ServedReply,
+    SourceServer, SourceTrace, SourceTransport, TcpTransport, TransportReply,
 };

@@ -210,6 +210,17 @@ pub enum Message {
         /// Per-query candidate datasets with their cells, in query order.
         candidates: Vec<Vec<CoverageCandidate>>,
     },
+    /// Data center → source: scrape the source's metrics registry (remote
+    /// introspection; served read-only, like a summary poll).
+    MetricsQuery,
+    /// Source → data center: a point-in-time snapshot of the source's
+    /// metrics registry, answering a [`Message::MetricsQuery`].
+    MetricsSnapshot {
+        /// The replying source.
+        source: SourceId,
+        /// The registry snapshot (counters, gauges, log₂ histograms).
+        snapshot: obs::MetricsSnapshot,
+    },
 }
 
 impl Message {
@@ -347,6 +358,46 @@ impl Message {
                         buf.put_u16(c.source);
                         put_varint(&mut buf, c.dataset as u64);
                         put_cells(&mut buf, &c.cells);
+                    }
+                }
+            }
+            Message::MetricsQuery => {
+                buf.put_u8(13);
+            }
+            Message::MetricsSnapshot { source, snapshot } => {
+                buf.put_u8(14);
+                buf.put_u16(*source);
+                put_varint(&mut buf, snapshot.samples.len() as u64);
+                for sample in &snapshot.samples {
+                    put_string(&mut buf, &sample.name);
+                    put_varint(&mut buf, sample.labels.len() as u64);
+                    for (key, value) in &sample.labels {
+                        put_string(&mut buf, key);
+                        put_string(&mut buf, value);
+                    }
+                    match &sample.value {
+                        obs::MetricValue::Counter(v) => {
+                            buf.put_u8(0);
+                            put_varint(&mut buf, *v);
+                        }
+                        obs::MetricValue::Gauge(v) => {
+                            buf.put_u8(1);
+                            buf.put_f64(*v);
+                        }
+                        obs::MetricValue::Histogram {
+                            count,
+                            sum,
+                            buckets,
+                        } => {
+                            buf.put_u8(2);
+                            put_varint(&mut buf, *count);
+                            put_varint(&mut buf, *sum);
+                            put_varint(&mut buf, buckets.len() as u64);
+                            for (idx, n) in buckets {
+                                buf.put_u8(*idx);
+                                put_varint(&mut buf, *n);
+                            }
+                        }
                     }
                 }
             }
@@ -560,6 +611,67 @@ impl Message {
                 }
                 Ok(Message::CoverageBatchReply { source, candidates })
             }
+            13 => Ok(Message::MetricsQuery),
+            14 => {
+                if data.remaining() < 2 {
+                    return Err(WireError::Truncated("source id"));
+                }
+                let source = data.get_u16();
+                let n = get_varint(&mut data, "sample count")? as usize;
+                let mut samples = Vec::with_capacity(n.min(1 << 12));
+                for _ in 0..n {
+                    let name = get_string(&mut data, "metric name")?;
+                    let label_count = get_varint(&mut data, "label count")? as usize;
+                    let mut labels = Vec::with_capacity(label_count.min(1 << 8));
+                    for _ in 0..label_count {
+                        let key = get_string(&mut data, "label key")?;
+                        let value = get_string(&mut data, "label value")?;
+                        labels.push((key, value));
+                    }
+                    if !data.has_remaining() {
+                        return Err(WireError::Truncated("metric value tag"));
+                    }
+                    let value = match data.get_u8() {
+                        0 => obs::MetricValue::Counter(get_varint(&mut data, "counter value")?),
+                        1 => {
+                            if data.remaining() < 8 {
+                                return Err(WireError::Truncated("gauge value"));
+                            }
+                            obs::MetricValue::Gauge(data.get_f64())
+                        }
+                        2 => {
+                            let count = get_varint(&mut data, "histogram count")?;
+                            let sum = get_varint(&mut data, "histogram sum")?;
+                            let bucket_count =
+                                get_varint(&mut data, "histogram bucket count")? as usize;
+                            let mut buckets = Vec::with_capacity(bucket_count.min(1 << 8));
+                            for _ in 0..bucket_count {
+                                if !data.has_remaining() {
+                                    return Err(WireError::Truncated("histogram bucket index"));
+                                }
+                                let idx = data.get_u8();
+                                let bucket = get_varint(&mut data, "histogram bucket value")?;
+                                buckets.push((idx, bucket));
+                            }
+                            obs::MetricValue::Histogram {
+                                count,
+                                sum,
+                                buckets,
+                            }
+                        }
+                        other => return Err(WireError::BadOpTag(other)),
+                    };
+                    samples.push(obs::MetricSample {
+                        name,
+                        labels,
+                        value,
+                    });
+                }
+                Ok(Message::MetricsSnapshot {
+                    source,
+                    snapshot: obs::MetricsSnapshot { samples },
+                })
+            }
             other => Err(WireError::BadTag(other)),
         }
     }
@@ -637,6 +749,36 @@ fn get_cells(data: &mut Bytes) -> Result<CellSet, WireError> {
         cells.push(previous);
     }
     Ok(CellSet::from_cells(cells))
+}
+
+/// Metric names and label strings come from in-process registries and are
+/// short; a decoder bound keeps a hostile snapshot from forcing a huge
+/// allocation.
+const MAX_METRIC_STRING_BYTES: usize = 1 << 12;
+
+/// Writes a short metrics string (name, label key, label value), truncated at
+/// a char boundary if it somehow exceeds the wire bound so that encode and
+/// decode enforce the same limit.
+fn put_string(buf: &mut BytesMut, s: &str) {
+    let mut len = s.len().min(MAX_METRIC_STRING_BYTES);
+    while !s.is_char_boundary(len) {
+        len -= 1;
+    }
+    put_varint(buf, len as u64);
+    buf.put_slice(&s.as_bytes()[..len]);
+}
+
+fn get_string(data: &mut Bytes, what: &'static str) -> Result<String, WireError> {
+    let len = get_varint(data, what)? as usize;
+    if len > MAX_METRIC_STRING_BYTES {
+        return Err(WireError::Oversized(what));
+    }
+    if data.remaining() < len {
+        return Err(WireError::Truncated(what));
+    }
+    let s = String::from_utf8(data.chunk()[..len].to_vec()).map_err(|_| WireError::BadUtf8)?;
+    data.advance(len);
+    Ok(s)
 }
 
 /// LEB128 unsigned varint.  `pub(crate)` so the transport frame codec reuses
@@ -983,6 +1125,82 @@ mod tests {
         }
     }
 
+    fn sample_snapshot() -> obs::MetricsSnapshot {
+        obs::MetricsSnapshot {
+            samples: vec![
+                obs::MetricSample {
+                    name: "source_requests_total".into(),
+                    labels: vec![("kind".into(), "overlap".into())],
+                    value: obs::MetricValue::Counter(42),
+                },
+                obs::MetricSample {
+                    name: "source_datasets".into(),
+                    labels: vec![],
+                    value: obs::MetricValue::Gauge(17.5),
+                },
+                obs::MetricSample {
+                    name: "source_service_nanos".into(),
+                    labels: vec![],
+                    value: obs::MetricValue::Histogram {
+                        count: 3,
+                        sum: 12_345,
+                        buckets: vec![(4, 1), (11, 2)],
+                    },
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn metrics_messages_roundtrip() {
+        let q = Message::MetricsQuery;
+        assert_eq!(Message::decode(q.encode()), Ok(q));
+
+        let m = Message::MetricsSnapshot {
+            source: 3,
+            snapshot: sample_snapshot(),
+        };
+        assert_eq!(Message::decode(m.encode()), Ok(m));
+
+        let empty = Message::MetricsSnapshot {
+            source: 0,
+            snapshot: obs::MetricsSnapshot { samples: vec![] },
+        };
+        assert_eq!(Message::decode(empty.encode()), Ok(empty));
+    }
+
+    #[test]
+    fn malformed_metrics_messages_are_rejected() {
+        let m = Message::MetricsSnapshot {
+            source: 3,
+            snapshot: sample_snapshot(),
+        };
+        let enc = m.encode();
+        for cut in 1..enc.len() {
+            assert!(
+                Message::decode(enc.slice(0..cut)).is_err(),
+                "truncation at {cut} of {m:?} must fail"
+            );
+        }
+    }
+
+    #[test]
+    fn oversized_metric_string_is_rejected() {
+        // Forge a snapshot frame whose metric-name length claims more than
+        // the wire bound allows; it must fail closed even if the bytes are
+        // present.
+        let mut buf = BytesMut::new();
+        buf.put_u8(14);
+        buf.put_u16(0);
+        put_varint(&mut buf, 1); // one sample
+        put_varint(&mut buf, (MAX_METRIC_STRING_BYTES + 1) as u64);
+        buf.put_slice(&vec![b'a'; MAX_METRIC_STRING_BYTES + 1]);
+        assert_eq!(
+            Message::decode(buf.freeze()),
+            Err(WireError::Oversized("metric name"))
+        );
+    }
+
     #[test]
     fn clipping_the_query_shrinks_the_wire_size() {
         let full: CellSet = (0..1000u64).collect();
@@ -1032,6 +1250,47 @@ mod tests {
                 }],
             };
             prop_assert_eq!(Message::decode(r.encode()), Ok(r));
+        }
+
+        #[test]
+        fn prop_metrics_snapshot_roundtrips(
+            source in 0u16..100,
+            counter in 0u64..u64::MAX,
+            gauge in -1.0e12f64..1.0e12,
+            buckets in proptest::collection::vec((0u8..64, 1u64..1_000_000), 0..8),
+            name_idx in 0usize..3,
+            label_idx in 0usize..3,
+        ) {
+            let name = ["requests_total", "service_nanos", "x"][name_idx].to_string();
+            let label = ["overlap", "coverage k=5", "été/θ"][label_idx].to_string();
+            let count: u64 = buckets.iter().map(|(_, n)| n).sum();
+            let m = Message::MetricsSnapshot {
+                source,
+                snapshot: obs::MetricsSnapshot {
+                    samples: vec![
+                        obs::MetricSample {
+                            name: name.clone(),
+                            labels: vec![("label".into(), label)],
+                            value: obs::MetricValue::Counter(counter),
+                        },
+                        obs::MetricSample {
+                            name: format!("{name}_gauge"),
+                            labels: vec![],
+                            value: obs::MetricValue::Gauge(gauge),
+                        },
+                        obs::MetricSample {
+                            name: format!("{name}_nanos"),
+                            labels: vec![],
+                            value: obs::MetricValue::Histogram {
+                                count,
+                                sum: count.saturating_mul(7),
+                                buckets,
+                            },
+                        },
+                    ],
+                },
+            };
+            prop_assert_eq!(Message::decode(m.encode()), Ok(m));
         }
     }
 }

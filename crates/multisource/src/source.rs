@@ -2,15 +2,106 @@
 //! local index, answering the data center's query messages and applying the
 //! center's maintenance batches (Appendix IX-C at deployment scale).
 
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
 use dits::{
     coverage_search, coverage_search_batch, nearest_datasets, overlap_search, overlap_search_batch,
-    CoverageConfig, DatasetNode, DitsLocal, DitsLocalConfig, MaintenanceStats, SearchStats,
-    SourceSummary,
+    take_phase_timings, CoverageConfig, DatasetNode, DitsLocal, DitsLocalConfig, MaintenanceStats,
+    PhaseTimings, SearchStats, SourceSummary,
 };
 use spatial::{CellSet, DatasetId, Grid, SourceId, SpatialDataset, SpatialError};
 
 use crate::message::{CoverageCandidate, Message, UpdateOp, ERR_REJECTED_BATCH, ERR_UNSUPPORTED};
 use crate::transport::ServedReply;
+
+/// The request kinds a source counts separately (the `kind` label of
+/// `source_requests_total`).
+const REQUEST_KINDS: [&str; 7] = [
+    "overlap",
+    "coverage",
+    "knn",
+    "maintenance",
+    "summary",
+    "metrics",
+    "other",
+];
+
+fn request_kind_index(request: &Message) -> usize {
+    match request {
+        Message::OverlapQuery { .. } | Message::OverlapBatchQuery { .. } => 0,
+        Message::CoverageQuery { .. } | Message::CoverageBatchQuery { .. } => 1,
+        Message::KnnQuery { .. } => 2,
+        Message::ApplyUpdates { ops } if !ops.is_empty() => 3,
+        Message::ApplyUpdates { .. } => 4,
+        Message::MetricsQuery => 5,
+        _ => 6,
+    }
+}
+
+/// A data source's observability registry, pre-wired with the instruments
+/// every source maintains: per-kind request counters, a log₂ histogram of
+/// service time, cumulative traversal/verification phase counters and a
+/// dataset-count gauge.  The spatial crate's process-global intersection
+/// kernel counters are folded in as gauges at snapshot time.
+///
+/// `Clone` shares the underlying registry (the handles are `Arc`s), so
+/// clones of a [`DataSource`] — e.g. the copy handed to a
+/// [`SourceServer`](crate::SourceServer) — report into one registry.
+#[derive(Debug, Clone)]
+pub struct SourceMetrics {
+    registry: Arc<obs::MetricsRegistry>,
+    requests: [obs::Counter; REQUEST_KINDS.len()],
+    service_nanos: obs::Histogram,
+    traversal_nanos: obs::Counter,
+    verify_nanos: obs::Counter,
+    datasets: obs::Gauge,
+    kernel_calls: [obs::Gauge; 3],
+}
+
+impl SourceMetrics {
+    fn new() -> Self {
+        let registry = Arc::new(obs::MetricsRegistry::new());
+        let requests = std::array::from_fn(|i| {
+            registry.counter("source_requests_total", &[("kind", REQUEST_KINDS[i])])
+        });
+        let service_nanos = registry.histogram("source_service_nanos", &[]);
+        let traversal_nanos = registry.counter("source_phase_nanos", &[("phase", "traversal")]);
+        let verify_nanos = registry.counter("source_phase_nanos", &[("phase", "verify")]);
+        let datasets = registry.gauge("source_datasets", &[]);
+        let kernel_calls = [
+            registry.gauge("spatial_kernel_calls", &[("kernel", "packed")]),
+            registry.gauge("spatial_kernel_calls", &[("kernel", "linear")]),
+            registry.gauge("spatial_kernel_calls", &[("kernel", "galloping")]),
+        ];
+        Self {
+            registry,
+            requests,
+            service_nanos,
+            traversal_nanos,
+            verify_nanos,
+            datasets,
+            kernel_calls,
+        }
+    }
+
+    /// The underlying registry (register additional instruments, render
+    /// exporters).
+    pub fn registry(&self) -> &obs::MetricsRegistry {
+        &self.registry
+    }
+
+    fn record(&self, request: &Message, service: Duration, phases: PhaseTimings) {
+        self.requests[request_kind_index(request)].inc();
+        self.service_nanos.observe(service.as_nanos() as u64);
+        if phases.traversal > Duration::ZERO {
+            self.traversal_nanos.add(phases.traversal.as_nanos() as u64);
+        }
+        if phases.verify > Duration::ZERO {
+            self.verify_nanos.add(phases.verify.as_nanos() as u64);
+        }
+    }
+}
 
 /// A maintenance operation whose dataset has already been gridded — the
 /// validated form [`DataSource::apply_updates`] executes.
@@ -30,6 +121,7 @@ pub struct DataSource {
     grid: Grid,
     index: DitsLocal,
     dataset_nodes: Vec<DatasetNode>,
+    metrics: SourceMetrics,
 }
 
 impl DataSource {
@@ -53,7 +145,26 @@ impl DataSource {
             grid,
             index,
             dataset_nodes,
+            metrics: SourceMetrics::new(),
         }
+    }
+
+    /// The source's observability registry handles.
+    pub fn metrics(&self) -> &SourceMetrics {
+        &self.metrics
+    }
+
+    /// A point-in-time snapshot of the source's metrics registry — what a
+    /// [`Message::MetricsQuery`] is answered with.  Gauges (dataset count,
+    /// the process-global intersection-kernel dispatch counters) are
+    /// refreshed here, immediately before the registry is read.
+    pub fn metrics_snapshot(&self) -> obs::MetricsSnapshot {
+        self.metrics.datasets.set(self.index.dataset_count() as f64);
+        let kernels = spatial::kernel_counters();
+        self.metrics.kernel_calls[0].set(kernels.packed as f64);
+        self.metrics.kernel_calls[1].set(kernels.linear as f64);
+        self.metrics.kernel_calls[2].set(kernels.galloping as f64);
+        self.metrics.registry.snapshot()
     }
 
     /// The source's grid (each source may pick its own resolution).
@@ -312,14 +423,17 @@ impl DataSource {
                 ))
             }
             // Maintenance requests need `&mut self` and flow through
-            // [`Self::handle_maintenance`]; replies are never requests.
+            // [`Self::handle_maintenance`], metrics scrapes through
+            // [`Self::serve_readonly`]; replies are never requests.
             Message::ApplyUpdates { .. }
+            | Message::MetricsQuery
             | Message::OverlapReply { .. }
             | Message::CoverageReply { .. }
             | Message::SummaryRefresh { .. }
             | Message::KnnReply { .. }
             | Message::OverlapBatchReply { .. }
             | Message::CoverageBatchReply { .. }
+            | Message::MetricsSnapshot { .. }
             | Message::Error { .. } => None,
         }
     }
@@ -334,7 +448,11 @@ impl DataSource {
     pub fn serve(&mut self, request: &Message) -> ServedReply {
         match request {
             Message::ApplyUpdates { ops } if !ops.is_empty() => {
-                match self.handle_maintenance(request) {
+                // Discard any phase residue a non-serve caller left on this
+                // thread, so the drain in `finish` sees only this request.
+                let _ = take_phase_timings();
+                let started = Instant::now();
+                let reply = match self.handle_maintenance(request) {
                     Some(Ok((reply, stats))) => ServedReply::maintenance(reply, stats),
                     Some(Err(e)) => ServedReply::plain(Message::Error {
                         code: ERR_REJECTED_BATCH,
@@ -346,24 +464,33 @@ impl DataSource {
                         code: ERR_UNSUPPORTED,
                         detail: "not a maintenance request".to_string(),
                     }),
-                }
+                };
+                self.finish(request, started, reply)
             }
             other => self.serve_readonly(other),
         }
     }
 
-    /// The read-only half of [`Self::serve`]: summary polls and query
-    /// messages, which never mutate the index.  Both in-process transports
-    /// and the TCP server's read path dispatch through this single function,
-    /// so the protocols cannot drift apart.
+    /// The read-only half of [`Self::serve`]: summary polls, metrics
+    /// scrapes and query messages, which never mutate the index.  Both
+    /// in-process transports and the TCP server's read path dispatch through
+    /// this single function, so the protocols cannot drift apart.
     pub fn serve_readonly(&self, request: &Message) -> ServedReply {
-        match request {
+        // Discard any phase residue a non-serve caller left on this thread,
+        // so the drain in `finish` sees only this request.
+        let _ = take_phase_timings();
+        let started = Instant::now();
+        let reply = match request {
             Message::ApplyUpdates { ops } if ops.is_empty() => {
                 ServedReply::plain(self.summary_message())
             }
             Message::ApplyUpdates { .. } => ServedReply::plain(Message::Error {
                 code: ERR_UNSUPPORTED,
                 detail: "mutating maintenance needs exclusive access".to_string(),
+            }),
+            Message::MetricsQuery => ServedReply::plain(Message::MetricsSnapshot {
+                source: self.id,
+                snapshot: self.metrics_snapshot(),
             }),
             other => match self.handle_with_stats(other) {
                 Some((reply, stats)) => ServedReply::search(reply, stats),
@@ -372,7 +499,19 @@ impl DataSource {
                     detail: "request kind not served by a data source".to_string(),
                 }),
             },
-        }
+        };
+        self.finish(request, started, reply)
+    }
+
+    /// Completes a served request: measures the service time, drains the
+    /// thread-local traversal/verification phase clock the search left
+    /// behind, records both into the source's metrics registry and attaches
+    /// them to the reply so they can ride the frame next to the statistics.
+    fn finish(&self, request: &Message, started: Instant, reply: ServedReply) -> ServedReply {
+        let service = started.elapsed();
+        let phases = take_phase_timings();
+        self.metrics.record(request, service, phases);
+        reply.with_timing(service, phases)
     }
 }
 

@@ -32,10 +32,15 @@
 //!
 //! `flags` bit 0 on a request asks the source to append its off-wire search
 //! statistics to the reply; bits 1/2 on a reply say a
-//! [`SearchStats`]/[`MaintenanceStats`] block follows the message.  The
-//! statistics are an *instrumentation channel*: they ride in the frame, not
-//! in the message, so opting in or out never changes the protocol bytes the
-//! paper's communication figures count.
+//! [`SearchStats`]/[`MaintenanceStats`] block follows the message; bit 3 on
+//! a reply says the source's wall-clock service time (one varint of
+//! nanoseconds) follows; bit 4 says a trace block (trace id plus the
+//! traversal/verification phase split, three varints) follows — on a request
+//! the block carries the center-assigned trace id with zeroed phases, on a
+//! reply it echoes that id with the measured phases.  All of these are an
+//! *instrumentation channel*: they ride in the frame, not in the message, so
+//! opting in or out never changes the protocol bytes the paper's
+//! communication figures count.
 
 use std::collections::BTreeMap;
 use std::fmt;
@@ -45,7 +50,7 @@ use std::sync::Mutex;
 use std::time::Duration;
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
-use dits::{MaintenanceStats, SearchStats};
+use dits::{MaintenanceStats, PhaseTimings, SearchStats};
 use spatial::SourceId;
 
 use crate::error::{TransportError, WireError};
@@ -58,6 +63,12 @@ const FLAG_WANT_STATS: u8 = 0b0000_0001;
 const FLAG_HAS_SEARCH: u8 = 0b0000_0010;
 /// Reply flag: a [`MaintenanceStats`] block follows the message.
 const FLAG_HAS_MAINTENANCE: u8 = 0b0000_0100;
+/// Reply flag: the source's service time (varint nanoseconds) follows the
+/// statistics blocks.
+const FLAG_HAS_SERVICE: u8 = 0b0000_1000;
+/// Request/reply flag: a trace block (trace id, traversal nanoseconds,
+/// verification nanoseconds — three varints) ends the frame.
+const FLAG_HAS_TRACE: u8 = 0b0001_0000;
 
 /// Upper bound on one frame body; anything larger is a corrupt length
 /// prefix, not a real request.
@@ -80,6 +91,53 @@ pub struct TransportReply {
     pub search: Option<SearchStats>,
     /// Index-maintenance statistics (maintenance requests only).
     pub maintenance: Option<MaintenanceStats>,
+    /// Source-measured wall-clock service time of this request — the part of
+    /// the call's latency that is *not* transport overhead.  `None` unless
+    /// statistics were requested.
+    pub service: Option<Duration>,
+    /// The source-side trace echo.  `None` unless the call was traced
+    /// ([`CallOptions::traced`]).
+    pub trace: Option<SourceTrace>,
+}
+
+/// How a transport call should be instrumented: whether the source's
+/// off-wire statistics (and service time) ride back with the reply, and
+/// whether the call carries a center-assigned trace id for the source to
+/// echo together with its traversal/verification phase split.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CallOptions {
+    /// Ask the source to append its search/maintenance statistics and its
+    /// service time to the reply.
+    pub want_stats: bool,
+    /// Center-assigned trace id to propagate on the request frame.
+    pub trace: Option<u64>,
+}
+
+impl CallOptions {
+    /// Options with only the statistics opt-in set.
+    pub fn stats(want_stats: bool) -> Self {
+        Self {
+            want_stats,
+            trace: None,
+        }
+    }
+
+    /// Attaches a center-assigned trace id to the call.
+    pub fn traced(mut self, trace_id: u64) -> Self {
+        self.trace = Some(trace_id);
+        self
+    }
+}
+
+/// The source-side half of a distributed trace: the trace id the center
+/// assigned (echoed by the source, proving correlation across the wire) and
+/// the traversal/verification split the source measured while serving.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SourceTrace {
+    /// The center-assigned trace id this reply belongs to.
+    pub trace_id: u64,
+    /// Traversal vs. verification time observed while serving the request.
+    pub phases: PhaseTimings,
 }
 
 /// What [`DataSource::serve`] produces: the reply plus whichever statistics
@@ -92,6 +150,14 @@ pub struct ServedReply {
     pub search: Option<SearchStats>,
     /// Maintenance statistics, for applied maintenance batches.
     pub maintenance: Option<MaintenanceStats>,
+    /// Source-measured service time of the request (set by
+    /// [`DataSource::serve`]/[`DataSource::serve_readonly`]).
+    pub service: Option<Duration>,
+    /// Traversal vs. verification split observed while serving.
+    pub phases: PhaseTimings,
+    /// Trace id to echo on the reply frame.  The *serving transport* sets
+    /// this from the request frame; the source itself never sees trace ids.
+    pub trace_id: Option<u64>,
 }
 
 impl ServedReply {
@@ -101,35 +167,54 @@ impl ServedReply {
             message,
             search: None,
             maintenance: None,
+            service: None,
+            phases: PhaseTimings::default(),
+            trace_id: None,
         }
     }
 
     /// A query reply with its search statistics.
     pub fn search(message: Message, stats: SearchStats) -> Self {
         Self {
-            message,
             search: Some(stats),
-            maintenance: None,
+            ..Self::plain(message)
         }
     }
 
     /// A maintenance acknowledgement with its maintenance statistics.
     pub fn maintenance(message: Message, stats: MaintenanceStats) -> Self {
         Self {
-            message,
-            search: None,
             maintenance: Some(stats),
+            ..Self::plain(message)
         }
     }
 
-    fn into_reply(self, want_stats: bool, request_bytes: usize) -> TransportReply {
+    /// Attaches the source-measured service time and phase split.
+    pub fn with_timing(mut self, service: Duration, phases: PhaseTimings) -> Self {
+        self.service = Some(service);
+        self.phases = phases;
+        self
+    }
+
+    /// Attaches a trace id to echo on the reply frame.
+    pub fn traced(mut self, trace_id: Option<u64>) -> Self {
+        self.trace_id = trace_id;
+        self
+    }
+
+    fn into_reply(self, opts: CallOptions, request_bytes: usize) -> TransportReply {
         let reply_bytes = self.message.wire_size();
         TransportReply {
             message: self.message,
             request_bytes,
             reply_bytes,
-            search: self.search.filter(|_| want_stats),
-            maintenance: self.maintenance.filter(|_| want_stats),
+            search: self.search.filter(|_| opts.want_stats),
+            maintenance: self.maintenance.filter(|_| opts.want_stats),
+            service: self.service.filter(|_| opts.want_stats),
+            trace: opts.trace.map(|trace_id| SourceTrace {
+                trace_id,
+                phases: self.phases,
+            }),
         }
     }
 }
@@ -142,6 +227,17 @@ pub trait SourceTransport: fmt::Debug + Sync {
     /// The sources reachable through this transport, ascending by id.
     fn source_ids(&self) -> Vec<SourceId>;
 
+    /// Sends `request` to `source` and waits for the reply, instrumented as
+    /// `opts` asks: statistics/service-time opt-in and an optional trace id
+    /// for the source to echo.  None of it ever changes the counted protocol
+    /// bytes.
+    fn call_with(
+        &self,
+        source: SourceId,
+        request: &Message,
+        opts: CallOptions,
+    ) -> Result<TransportReply, TransportError>;
+
     /// Sends `request` to `source` and waits for the reply.  With
     /// `want_stats`, the source's off-wire statistics ride back alongside
     /// the reply (never changing the counted protocol bytes).
@@ -150,7 +246,9 @@ pub trait SourceTransport: fmt::Debug + Sync {
         source: SourceId,
         request: &Message,
         want_stats: bool,
-    ) -> Result<TransportReply, TransportError>;
+    ) -> Result<TransportReply, TransportError> {
+        self.call_with(source, request, CallOptions::stats(want_stats))
+    }
 }
 
 /// The in-process transport: sources are a borrowed slice, a call is a
@@ -188,11 +286,11 @@ impl SourceTransport for InProcessTransport<'_> {
         ids
     }
 
-    fn call(
+    fn call_with(
         &self,
         source: SourceId,
         request: &Message,
-        want_stats: bool,
+        opts: CallOptions,
     ) -> Result<TransportReply, TransportError> {
         let src = self.find(source)?;
         match request {
@@ -204,7 +302,7 @@ impl SourceTransport for InProcessTransport<'_> {
             }
             other => Ok(src
                 .serve_readonly(other)
-                .into_reply(want_stats, request.wire_size())),
+                .into_reply(opts, request.wire_size())),
         }
     }
 }
@@ -243,11 +341,11 @@ impl SourceTransport for ExclusiveTransport<'_> {
         ids
     }
 
-    fn call(
+    fn call_with(
         &self,
         source: SourceId,
         request: &Message,
-        want_stats: bool,
+        opts: CallOptions,
     ) -> Result<TransportReply, TransportError> {
         let mut guard = match self.sources.lock() {
             Ok(g) => g,
@@ -257,9 +355,7 @@ impl SourceTransport for ExclusiveTransport<'_> {
             .iter_mut()
             .find(|s| s.id == source)
             .ok_or(TransportError::UnknownSource(source))?;
-        Ok(src
-            .serve(request)
-            .into_reply(want_stats, request.wire_size()))
+        Ok(src.serve(request).into_reply(opts, request.wire_size()))
     }
 }
 
@@ -302,11 +398,11 @@ impl SourceTransport for TcpTransport {
         self.endpoints.keys().copied().collect()
     }
 
-    fn call(
+    fn call_with(
         &self,
         source: SourceId,
         request: &Message,
-        want_stats: bool,
+        opts: CallOptions,
     ) -> Result<TransportReply, TransportError> {
         let addr = self
             .endpoints
@@ -321,10 +417,13 @@ impl SourceTransport for TcpTransport {
             .and_then(|()| stream.set_write_timeout(self.timeout))
             .and_then(|()| stream.set_nodelay(true))
             .map_err(|e| io_err("configure", e))?;
+        // The request frame carries the trace id (zeroed phases) so the
+        // source's reply can echo it — the id rides the frame, not the
+        // message, keeping the counted protocol bytes trace-invariant.
         let request_bytes = write_frame(
             &mut stream,
-            &ServedReply::plain(request.clone()),
-            want_stats,
+            &ServedReply::plain(request.clone()).traced(opts.trace),
+            opts.want_stats,
         )
         .map_err(|e| io_err("send to", e))?;
         let frame = read_frame(&mut stream).map_err(|e| match e {
@@ -337,6 +436,8 @@ impl SourceTransport for TcpTransport {
             reply_bytes: frame.message_bytes,
             search: frame.search,
             maintenance: frame.maintenance,
+            service: frame.service,
+            trace: frame.trace,
         })
     }
 }
@@ -349,6 +450,10 @@ struct DecodedFrame {
     message_bytes: usize,
     search: Option<SearchStats>,
     maintenance: Option<MaintenanceStats>,
+    /// Source-reported service time (reply frames only).
+    service: Option<Duration>,
+    /// Trace block: the trace id plus the phase split (zeroed on requests).
+    trace: Option<SourceTrace>,
 }
 
 /// Why a frame could not be read.
@@ -390,6 +495,12 @@ fn write_frame(
     if reply.maintenance.is_some() {
         flags |= FLAG_HAS_MAINTENANCE;
     }
+    if reply.service.is_some() {
+        flags |= FLAG_HAS_SERVICE;
+    }
+    if reply.trace_id.is_some() {
+        flags |= FLAG_HAS_TRACE;
+    }
     body.put_u8(flags);
     put_varint(&mut body, msg.len() as u64);
     body.put_slice(&msg);
@@ -402,6 +513,14 @@ fn write_frame(
         for v in stats.to_array() {
             put_varint(&mut body, v);
         }
+    }
+    if let Some(service) = reply.service {
+        put_varint(&mut body, service.as_nanos() as u64);
+    }
+    if let Some(trace_id) = reply.trace_id {
+        put_varint(&mut body, trace_id);
+        put_varint(&mut body, reply.phases.traversal.as_nanos() as u64);
+        put_varint(&mut body, reply.phases.verify.as_nanos() as u64);
     }
     let body = body.freeze();
     if body.len() > MAX_FRAME_BYTES {
@@ -461,12 +580,30 @@ fn read_frame(r: &mut impl Read) -> Result<DecodedFrame, FrameError> {
     } else {
         None
     };
+    let service = if flags & FLAG_HAS_SERVICE != 0 {
+        Some(Duration::from_nanos(get_varint(&mut body, "service time")?))
+    } else {
+        None
+    };
+    let trace = if flags & FLAG_HAS_TRACE != 0 {
+        let trace_id = get_varint(&mut body, "trace id")?;
+        let traversal = Duration::from_nanos(get_varint(&mut body, "trace traversal")?);
+        let verify = Duration::from_nanos(get_varint(&mut body, "trace verify")?);
+        Some(SourceTrace {
+            trace_id,
+            phases: PhaseTimings { traversal, verify },
+        })
+    } else {
+        None
+    };
     Ok(DecodedFrame {
         want_stats: flags & FLAG_WANT_STATS != 0,
         message,
         message_bytes,
         search,
         maintenance,
+        service,
+        trace,
     })
 }
 
@@ -584,12 +721,36 @@ fn serve_connection(
             };
             guard.serve_readonly(&frame.message)
         };
-        let served = if frame.want_stats {
+        let mut served = if frame.want_stats {
             served
         } else {
-            ServedReply::plain(served.message)
+            // Stats opt-out drops every statistics block — including the
+            // service time, which rides "next to the stats".
+            let phases = served.phases;
+            ServedReply {
+                phases,
+                ..ServedReply::plain(served.message)
+            }
         };
+        // Echo the center-assigned trace id (if any) with the measured
+        // phase split; the source itself never sees trace ids.
+        served.trace_id = frame.trace.map(|t| t.trace_id);
         write_frame(&mut stream, &served, false)?;
+    }
+}
+
+/// Scrapes a source's metrics registry over any transport: sends a
+/// [`Message::MetricsQuery`] and unwraps the [`Message::MetricsSnapshot`]
+/// reply.
+pub fn scrape_metrics(
+    transport: &dyn SourceTransport,
+    source: SourceId,
+) -> Result<obs::MetricsSnapshot, TransportError> {
+    let reply = transport.call(source, &Message::MetricsQuery, false)?;
+    match reply.message {
+        Message::MetricsSnapshot { snapshot, .. } => Ok(snapshot),
+        Message::Error { code, detail } => Err(TransportError::Remote { code, detail }),
+        _ => Err(TransportError::UnexpectedReply("MetricsSnapshot")),
     }
 }
 
@@ -635,9 +796,9 @@ mod tests {
             ),
         ] {
             let served = ServedReply {
-                message: msg.clone(),
                 search,
                 maintenance,
+                ..ServedReply::plain(msg.clone())
             };
             let mut buf = Vec::new();
             write_frame(&mut buf, &served, true).unwrap();
@@ -650,6 +811,46 @@ mod tests {
             assert_eq!(frame.message, msg);
             assert_eq!(frame.search, served.search);
             assert_eq!(frame.maintenance, served.maintenance);
+            assert_eq!(frame.service, None);
+            assert_eq!(frame.trace, None);
+        }
+    }
+
+    #[test]
+    fn frame_roundtrip_with_service_and_trace() {
+        let msg = Message::OverlapReply {
+            source: 2,
+            results: vec![],
+        };
+        let phases = PhaseTimings {
+            traversal: Duration::from_nanos(1_234),
+            verify: Duration::from_nanos(987_654_321),
+        };
+        let served = ServedReply::search(msg.clone(), SearchStats::from_array([1, 2, 3, 4, 5, 6]))
+            .with_timing(Duration::from_micros(42), phases)
+            .traced(Some(7_000_000_123));
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &served, false).unwrap();
+        let frame = match read_frame(&mut &buf[..]) {
+            Ok(f) => f,
+            Err(FrameError::Io(e)) => panic!("io: {e}"),
+            Err(FrameError::Wire(e)) => panic!("wire: {e}"),
+        };
+        assert_eq!(frame.message, msg);
+        assert_eq!(frame.service, Some(Duration::from_micros(42)));
+        assert_eq!(
+            frame.trace,
+            Some(SourceTrace {
+                trace_id: 7_000_000_123,
+                phases,
+            })
+        );
+        // Every truncation of the extended frame still fails closed.
+        for cut in 0..buf.len() {
+            assert!(
+                read_frame(&mut &buf[..cut]).is_err(),
+                "truncation at {cut} must fail"
+            );
         }
     }
 
@@ -753,10 +954,72 @@ mod tests {
         };
         let a = tcp.call(0, &query, true).unwrap();
         let b = in_process.call(0, &query, true).unwrap();
-        assert_eq!(a, b, "TCP and in-process replies must be identical");
+        // Everything except the measured timings must be identical across
+        // transports; the service time is wall-clock and cannot be equal.
+        assert_eq!(a.message, b.message);
+        assert_eq!(a.request_bytes, b.request_bytes);
+        assert_eq!(a.reply_bytes, b.reply_bytes);
+        assert_eq!(a.search, b.search);
+        assert_eq!(a.maintenance, b.maintenance);
+        assert!(a.service.is_some() && b.service.is_some());
+        assert_eq!(a.trace, None);
+        assert_eq!(b.trace, None);
         assert_eq!(
             tcp.call(7, &query, false).unwrap_err(),
             TransportError::UnknownSource(7)
         );
+    }
+
+    #[test]
+    fn traced_tcp_call_echoes_the_trace_id() {
+        let sources = [tiny_source(0)];
+        let server = SourceServer::spawn("127.0.0.1:0", sources[0].clone()).unwrap();
+        let tcp = TcpTransport::new([server.endpoint()]);
+        let query = Message::OverlapQuery {
+            query: sources[0].grid_query(&SpatialDataset::new(99, vec![Point::new(10.2, 50.0)])),
+            k: 3,
+        };
+        let traced = tcp
+            .call_with(0, &query, CallOptions::stats(true).traced(424_242))
+            .unwrap();
+        let trace = traced.trace.expect("traced call returns a trace echo");
+        assert_eq!(trace.trace_id, 424_242);
+        // The overlap query ran a real search, so the source observed a
+        // nonzero traversal+verification split.
+        assert!(trace.phases.traversal + trace.phases.verify > Duration::ZERO);
+        // Tracing never changes the counted protocol bytes.
+        let untraced = tcp.call(0, &query, true).unwrap();
+        assert_eq!(traced.request_bytes, untraced.request_bytes);
+        assert_eq!(traced.reply_bytes, untraced.reply_bytes);
+        assert_eq!(untraced.trace, None);
+    }
+
+    #[test]
+    fn metrics_scrape_over_both_transports() {
+        let sources = vec![tiny_source(0)];
+        // Serve a query first so the registry has something to report.
+        let in_process = InProcessTransport::new(&sources);
+        let query = Message::OverlapQuery {
+            query: sources[0].grid_query(&SpatialDataset::new(99, vec![Point::new(10.2, 50.0)])),
+            k: 3,
+        };
+        in_process.call(0, &query, true).unwrap();
+        let local = scrape_metrics(&in_process, 0).unwrap();
+        let requests = local
+            .find("source_requests_total", &[("kind", "overlap")])
+            .expect("overlap request counter registered");
+        assert!(matches!(requests.value, obs::MetricValue::Counter(n) if n >= 1));
+
+        // The TCP server clones the source, which shares the same registry,
+        // so the scrape sees the query served above plus anything since.
+        let server = SourceServer::spawn("127.0.0.1:0", sources[0].clone()).unwrap();
+        let tcp = TcpTransport::new([server.endpoint()]);
+        let remote = scrape_metrics(&tcp, 0).unwrap();
+        assert!(remote
+            .find("source_requests_total", &[("kind", "overlap")])
+            .is_some());
+        assert!(remote.find("source_service_nanos", &[]).is_some_and(
+            |s| matches!(s.value, obs::MetricValue::Histogram { count, .. } if count >= 1)
+        ));
     }
 }

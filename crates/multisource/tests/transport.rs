@@ -10,9 +10,14 @@
 //!   the same transactional semantics.
 //! * The `source-server` *binary* is spawned as real child processes and
 //!   served the same checks end to end.
+//! * Observability crosses the wire without perturbing it: a traced request
+//!   yields the same canonical span structure on every transport while the
+//!   counted protocol bytes stay identical to an untraced run, and every
+//!   source's metrics registry is scrapable into valid Prometheus text.
 
 use std::io::Write as _;
 use std::process::{Child, Command, Stdio};
+use std::time::Duration;
 
 use bytes::Bytes;
 use datagen::{generate_source, paper_sources, select_queries, GeneratorConfig, SourceScale};
@@ -318,6 +323,164 @@ fn source_server_processes_answer_identically_to_in_process() {
     assert_transport_parity(&fw, &tcp, &queries);
     drop(servers);
     let _ = std::fs::remove_dir_all(&dir);
+}
+
+// ---------------------------------------------------------------------------
+// Observability across transports
+// ---------------------------------------------------------------------------
+
+/// A trace's canonical span structure: the `(source, name)` pairs, which must
+/// be deployment-independent even though the measured durations are not.
+fn span_structure(trace: &obs::Trace) -> Vec<(Option<u16>, String)> {
+    trace
+        .spans
+        .iter()
+        .map(|s| (s.source, s.name.clone()))
+        .collect()
+}
+
+/// Runs the same request untraced and traced through one engine, asserting
+/// tracing changes nothing observable but the trace itself, and returns the
+/// trace.
+fn run_traced(
+    engine: &QueryEngine,
+    request: &SearchRequest,
+    deployment: &str,
+) -> (multisource::SearchResponse, obs::Trace) {
+    let plain = engine.run(request).expect("untraced run");
+    assert!(
+        plain.trace.is_none(),
+        "{deployment}: tracing must be opt-in"
+    );
+    let traced = engine
+        .run(&request.clone().with_trace(true))
+        .expect("traced run");
+    assert_eq!(
+        plain.results, traced.results,
+        "{deployment}: tracing changed the answers"
+    );
+    assert_eq!(
+        plain.comm, traced.comm,
+        "{deployment}: tracing changed the counted protocol bytes"
+    );
+    let trace = traced.trace.clone().expect("trace was requested");
+    (traced, trace)
+}
+
+/// The cross-transport invariance check of the observability layer: the
+/// in-process deployment, `SourceServer` threads over loopback TCP, and
+/// spawned `source-server` child processes must all produce the *same
+/// canonical span structure* for the same traced request — and on every
+/// deployment the source-side spans must carry the center-assigned trace id
+/// (the engine drops phase spans whose frame echo does not match, so their
+/// presence proves propagation across the real socket).
+#[test]
+fn traced_span_structure_is_transport_invariant() {
+    let data = build_data(21);
+    let fw = framework(&data);
+    let queries = probe_queries(&data);
+    let request = SearchRequest::ojsp_batch(queries.clone()).k(5);
+
+    // In-process reference.
+    let engine = fw.engine();
+    let (_, local_trace) = run_traced(&engine, &request, "in-process");
+    let reference = span_structure(&local_trace);
+    assert!(
+        local_trace.spans_named("traversal").count() > 0,
+        "source-side phase spans must be present"
+    );
+
+    // SourceServer threads over loopback TCP.
+    let tcp = spawn_federation(&fw);
+    let center = DataCenter::from_transport(&tcp, fw.config().leaf_capacity).expect("summary poll");
+    let remote = QueryEngine::new(&center, &tcp, engine_config(&fw));
+    let (_, tcp_trace) = run_traced(&remote, &request, "loopback TCP");
+    assert_eq!(
+        span_structure(&tcp_trace),
+        reference,
+        "span structure diverged between in-process and loopback TCP"
+    );
+    assert!(
+        tcp_trace.total_named("traversal") + tcp_trace.total_named("verify") > Duration::ZERO,
+        "phase measurements must survive the socket round-trip"
+    );
+
+    // Spawned source-server binaries.
+    let dir = std::env::temp_dir().join(format!("source-server-trace-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    let servers: Vec<ServerProcess> = data
+        .iter()
+        .enumerate()
+        .map(|(i, (_, datasets))| spawn_server_binary(i as u16, &dir, datasets))
+        .collect();
+    let spawned = TcpTransport::new(
+        servers
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (i as u16, s.addr.clone())),
+    );
+    let center =
+        DataCenter::from_transport(&spawned, fw.config().leaf_capacity).expect("summary poll");
+    let remote = QueryEngine::new(&center, &spawned, engine_config(&fw));
+    let (_, spawned_trace) = run_traced(&remote, &request, "spawned binary");
+    assert_eq!(
+        span_structure(&spawned_trace),
+        reference,
+        "span structure diverged between in-process and spawned source-server processes"
+    );
+    // Traces from different runs have distinct center-assigned ids.
+    assert_ne!(tcp_trace.id, spawned_trace.id);
+    drop(servers);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Every source's metrics registry is scrapable through the wire protocol,
+/// and the snapshot renders to Prometheus text the mini-parser accepts.
+#[test]
+fn metrics_scrape_renders_valid_prometheus_over_tcp() {
+    use multisource::SourceTransport as _;
+
+    let data = build_data(5);
+    let fw = framework(&data);
+    let queries = probe_queries(&data);
+    let tcp = spawn_federation(&fw);
+    let center = DataCenter::from_transport(&tcp, fw.config().leaf_capacity).expect("summary poll");
+    let remote = QueryEngine::new(&center, &tcp, engine_config(&fw));
+    // Broadcast so every source demonstrably serves at least one overlap
+    // query before being scraped.
+    remote
+        .run(
+            &SearchRequest::ojsp_batch(queries.clone())
+                .k(5)
+                .strategy(DistributionStrategy::Broadcast),
+        )
+        .expect("OJSP over TCP");
+
+    for source in tcp.source_ids() {
+        let snapshot = multisource::scrape_metrics(&tcp, source).expect("metrics scrape");
+        let text = obs::render_prometheus(&snapshot);
+        let samples = obs::parse_prometheus(&text)
+            .unwrap_or_else(|e| panic!("source {source} produced invalid exposition: {e}"));
+        let overlap_served = samples.iter().any(|s| {
+            s.name == "source_requests_total"
+                && s.labels.iter().any(|(k, v)| k == "kind" && v == "overlap")
+                && s.value >= 1.0
+        });
+        assert!(
+            overlap_served,
+            "source {source} reported no served overlap requests"
+        );
+        assert!(
+            samples
+                .iter()
+                .any(|s| s.name == "source_service_nanos_count" && s.value >= 1.0),
+            "source {source} reported no service-time observations"
+        );
+        // The JSON exporter agrees on the series.
+        let json = obs::render_json(&snapshot);
+        assert!(json.contains("source_requests_total"));
+        assert!(json.contains("source_service_nanos"));
+    }
 }
 
 // ---------------------------------------------------------------------------

@@ -1,0 +1,381 @@
+//! Exporters for [`MetricsSnapshot`]: Prometheus text exposition and
+//! hand-rolled JSON, plus a Prometheus mini-parser for validating scrapes.
+//!
+//! Both writers are dependency-free by design (this workspace builds
+//! offline) and deterministic: samples render in the snapshot's
+//! `(name, labels)` order, so two identical snapshots produce identical
+//! bytes.
+
+use crate::metrics::{bucket_upper_bound, MetricSample, MetricValue, MetricsSnapshot};
+use std::fmt::Write as _;
+
+/// Renders a snapshot in the Prometheus text exposition format.
+///
+/// Counters and gauges render as single samples; a histogram renders as the
+/// conventional triplet — cumulative `_bucket{le="..."}` series (upper
+/// bounds are the log₂ bucket bounds), `_sum`, and `_count`. A `# TYPE`
+/// comment precedes each distinct metric name.
+pub fn render_prometheus(snapshot: &MetricsSnapshot) -> String {
+    let mut out = String::new();
+    let mut last_name: Option<&str> = None;
+    for sample in &snapshot.samples {
+        if last_name != Some(sample.name.as_str()) {
+            let kind = match sample.value {
+                MetricValue::Counter(_) => "counter",
+                MetricValue::Gauge(_) => "gauge",
+                MetricValue::Histogram { .. } => "histogram",
+            };
+            let _ = writeln!(out, "# TYPE {} {kind}", sample.name);
+            last_name = Some(sample.name.as_str());
+        }
+        match &sample.value {
+            MetricValue::Counter(v) => {
+                let _ = writeln!(
+                    out,
+                    "{}{} {v}",
+                    sample.name,
+                    label_block(&sample.labels, &[])
+                );
+            }
+            MetricValue::Gauge(v) => {
+                let _ = writeln!(
+                    out,
+                    "{}{} {v}",
+                    sample.name,
+                    label_block(&sample.labels, &[])
+                );
+            }
+            MetricValue::Histogram {
+                count,
+                sum,
+                buckets,
+            } => {
+                let mut cumulative = 0u64;
+                for &(idx, n) in buckets {
+                    cumulative += n;
+                    let le = bucket_upper_bound(idx as usize);
+                    let _ = writeln!(
+                        out,
+                        "{}_bucket{} {cumulative}",
+                        sample.name,
+                        label_block(&sample.labels, &[("le", &le.to_string())])
+                    );
+                }
+                let _ = writeln!(
+                    out,
+                    "{}_bucket{} {count}",
+                    sample.name,
+                    label_block(&sample.labels, &[("le", "+Inf")])
+                );
+                let _ = writeln!(
+                    out,
+                    "{}_sum{} {sum}",
+                    sample.name,
+                    label_block(&sample.labels, &[])
+                );
+                let _ = writeln!(
+                    out,
+                    "{}_count{} {count}",
+                    sample.name,
+                    label_block(&sample.labels, &[])
+                );
+            }
+        }
+    }
+    out
+}
+
+fn label_block(labels: &[(String, String)], extra: &[(&str, &str)]) -> String {
+    if labels.is_empty() && extra.is_empty() {
+        return String::new();
+    }
+    let mut out = String::from("{");
+    let mut first = true;
+    for (k, v) in labels
+        .iter()
+        .map(|(k, v)| (k.as_str(), v.as_str()))
+        .chain(extra.iter().copied())
+    {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        let _ = write!(out, "{k}=\"{}\"", escape_label(v));
+    }
+    out.push('}');
+    out
+}
+
+fn escape_label(v: &str) -> String {
+    v.replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+}
+
+/// Renders a snapshot as a single JSON object, in the same hand-rolled
+/// style as `bench-runner`'s `BENCH_<date>.json` writer.
+pub fn render_json(snapshot: &MetricsSnapshot) -> String {
+    let mut out = String::from("{\"samples\":[");
+    for (i, sample) in snapshot.samples.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        render_sample_json(&mut out, sample);
+    }
+    out.push_str("]}");
+    out
+}
+
+fn render_sample_json(out: &mut String, sample: &MetricSample) {
+    let _ = write!(
+        out,
+        "{{\"name\":\"{}\",\"labels\":{{",
+        escape_json(&sample.name)
+    );
+    for (i, (k, v)) in sample.labels.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "\"{}\":\"{}\"", escape_json(k), escape_json(v));
+    }
+    out.push_str("},");
+    match &sample.value {
+        MetricValue::Counter(v) => {
+            let _ = write!(out, "\"type\":\"counter\",\"value\":{v}");
+        }
+        MetricValue::Gauge(v) => {
+            let rendered = if v.is_finite() {
+                format!("{v}")
+            } else {
+                // JSON has no Inf/NaN literals; fail closed to null.
+                "null".to_string()
+            };
+            let _ = write!(out, "\"type\":\"gauge\",\"value\":{rendered}");
+        }
+        MetricValue::Histogram {
+            count,
+            sum,
+            buckets,
+        } => {
+            let _ = write!(
+                out,
+                "\"type\":\"histogram\",\"count\":{count},\"sum\":{sum},\"buckets\":["
+            );
+            for (i, (idx, n)) in buckets.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                let _ = write!(out, "[{idx},{n}]");
+            }
+            out.push(']');
+        }
+    }
+    out.push('}');
+}
+
+fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// One parsed Prometheus sample line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PromSample {
+    /// Metric (series) name, including any `_bucket`/`_sum`/`_count` suffix.
+    pub name: String,
+    /// Label key/value pairs in line order.
+    pub labels: Vec<(String, String)>,
+    /// The sample value.
+    pub value: f64,
+}
+
+/// A mini-parser for the Prometheus text exposition format — enough to
+/// validate a scrape in CI: comments/blank lines are skipped, every other
+/// line must be `name[{k="v",...}] value` with a parseable value
+/// (`+Inf`/`-Inf`/`NaN` accepted).
+pub fn parse_prometheus(text: &str) -> Result<Vec<PromSample>, String> {
+    let mut samples = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        samples.push(parse_sample_line(line).map_err(|e| format!("line {}: {e}", lineno + 1))?);
+    }
+    Ok(samples)
+}
+
+fn parse_sample_line(line: &str) -> Result<PromSample, String> {
+    let (series, value_str) = match line.find('{') {
+        Some(brace) => {
+            let close = line[brace..].find('}').ok_or("unclosed label block")? + brace;
+            (&line[..close + 1], line[close + 1..].trim())
+        }
+        None => {
+            let space = line.find(' ').ok_or("missing value")?;
+            (&line[..space], line[space + 1..].trim())
+        }
+    };
+    let (name, labels) = match series.find('{') {
+        Some(brace) => (
+            &series[..brace],
+            parse_labels(&series[brace + 1..series.len() - 1])?,
+        ),
+        None => (series, Vec::new()),
+    };
+    if name.is_empty()
+        || !name
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+    {
+        return Err(format!("bad metric name {name:?}"));
+    }
+    let value = match value_str {
+        "+Inf" => f64::INFINITY,
+        "-Inf" => f64::NEG_INFINITY,
+        "NaN" => f64::NAN,
+        v => v.parse::<f64>().map_err(|_| format!("bad value {v:?}"))?,
+    };
+    Ok(PromSample {
+        name: name.to_string(),
+        labels,
+        value,
+    })
+}
+
+fn parse_labels(block: &str) -> Result<Vec<(String, String)>, String> {
+    let mut labels = Vec::new();
+    let mut rest = block.trim();
+    while !rest.is_empty() {
+        let eq = rest.find('=').ok_or("label without '='")?;
+        let key = rest[..eq].trim();
+        if key.is_empty() {
+            return Err("empty label name".to_string());
+        }
+        let after = &rest[eq + 1..];
+        if !after.starts_with('"') {
+            return Err("label value must be quoted".to_string());
+        }
+        // Scan for the closing quote, honouring backslash escapes.
+        let mut value = String::new();
+        let mut chars = after[1..].char_indices();
+        let mut end = None;
+        while let Some((i, c)) = chars.next() {
+            match c {
+                '\\' => match chars.next() {
+                    Some((_, 'n')) => value.push('\n'),
+                    Some((_, escaped)) => value.push(escaped),
+                    None => return Err("dangling escape".to_string()),
+                },
+                '"' => {
+                    end = Some(i);
+                    break;
+                }
+                c => value.push(c),
+            }
+        }
+        let end = end.ok_or("unterminated label value")?;
+        labels.push((key.to_string(), value));
+        rest = after[1 + end + 1..].trim_start();
+        if let Some(stripped) = rest.strip_prefix(',') {
+            rest = stripped.trim_start();
+        } else if !rest.is_empty() {
+            return Err("expected ',' between labels".to_string());
+        }
+    }
+    Ok(labels)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::MetricsRegistry;
+
+    fn sample_registry() -> MetricsRegistry {
+        let reg = MetricsRegistry::new();
+        reg.counter("requests_total", &[("kind", "ojsp")]).add(5);
+        reg.counter("requests_total", &[("kind", "cjsp")]).add(2);
+        reg.gauge("datasets", &[]).set(42.0);
+        let h = reg.histogram("service_ns", &[]);
+        h.observe(3);
+        h.observe(900);
+        reg
+    }
+
+    #[test]
+    fn prometheus_rendering_roundtrips_through_the_parser() {
+        let snap = sample_registry().snapshot();
+        let text = render_prometheus(&snap);
+        let parsed = parse_prometheus(&text).expect("own output parses");
+        // 2 counters + 1 gauge + (2 buckets + Inf + sum + count) = 8 lines.
+        assert_eq!(parsed.len(), 8);
+        let ojsp = parsed
+            .iter()
+            .find(|s| {
+                s.name == "requests_total"
+                    && s.labels == vec![("kind".to_string(), "ojsp".to_string())]
+            })
+            .expect("ojsp counter present");
+        assert_eq!(ojsp.value, 5.0);
+        let inf_bucket = parsed
+            .iter()
+            .find(|s| s.name == "service_ns_bucket" && s.labels.iter().any(|(_, v)| v == "+Inf"))
+            .expect("+Inf bucket present");
+        assert_eq!(inf_bucket.value, 2.0);
+        assert!(text.contains("# TYPE service_ns histogram"));
+    }
+
+    #[test]
+    fn histogram_buckets_render_cumulatively() {
+        let snap = sample_registry().snapshot();
+        let parsed = parse_prometheus(&render_prometheus(&snap)).unwrap();
+        let buckets: Vec<f64> = parsed
+            .iter()
+            .filter(|s| s.name == "service_ns_bucket")
+            .map(|s| s.value)
+            .collect();
+        // 3 lands in le="3", 900 in le="1023"; cumulative 1, 2, and +Inf 2.
+        assert_eq!(buckets, vec![1.0, 2.0, 2.0]);
+    }
+
+    #[test]
+    fn json_rendering_is_stable_and_escaped() {
+        let reg = MetricsRegistry::new();
+        reg.counter("odd\"name", &[("k", "line\nbreak")]).inc();
+        let json = render_json(&reg.snapshot());
+        assert!(json.starts_with("{\"samples\":["));
+        assert!(json.contains("odd\\\"name"));
+        assert!(json.contains("line\\nbreak"));
+        assert_eq!(render_json(&reg.snapshot()), json);
+    }
+
+    #[test]
+    fn parser_rejects_malformed_lines() {
+        assert!(parse_prometheus("metric_without_value").is_err());
+        assert!(parse_prometheus("bad name 1").is_err());
+        assert!(parse_prometheus("m{unclosed=\"x\" 1").is_err());
+        assert!(parse_prometheus("m{k=unquoted} 1").is_err());
+        assert!(parse_prometheus("m nonnumeric").is_err());
+        assert!(parse_prometheus("# just a comment\n").unwrap().is_empty());
+    }
+
+    #[test]
+    fn parser_handles_escapes_and_inf() {
+        let parsed = parse_prometheus("m{k=\"a\\\"b\\nc\"} +Inf").unwrap();
+        assert_eq!(parsed[0].labels[0].1, "a\"b\nc");
+        assert!(parsed[0].value.is_infinite());
+    }
+}

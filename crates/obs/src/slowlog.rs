@@ -1,0 +1,127 @@
+//! The slow-query log: a bounded ring of requests that exceeded a latency
+//! threshold, each keeping its trace id so the full trace can be pulled up.
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// Default ring capacity.
+const DEFAULT_CAPACITY: usize = 128;
+
+/// One slow-query record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SlowQuery {
+    /// Request kind, e.g. `ojsp`, `cjsp`, `knn`.
+    pub kind: String,
+    /// End-to-end latency of the offending request.
+    pub elapsed: Duration,
+    /// The request's trace id, when tracing was enabled for it.
+    pub trace_id: Option<u64>,
+}
+
+/// A bounded log of queries slower than a configurable threshold.
+///
+/// Recording takes a mutex, but only for requests that actually crossed the
+/// threshold — the fast path is a single `Duration` comparison.
+#[derive(Debug)]
+pub struct SlowQueryLog {
+    threshold: Duration,
+    capacity: usize,
+    entries: Mutex<VecDeque<SlowQuery>>,
+}
+
+impl SlowQueryLog {
+    /// A log keeping the most recent [`DEFAULT_CAPACITY`](self) slow queries.
+    pub fn new(threshold: Duration) -> Self {
+        Self::with_capacity(threshold, DEFAULT_CAPACITY)
+    }
+
+    /// A log with an explicit ring capacity (minimum 1).
+    pub fn with_capacity(threshold: Duration, capacity: usize) -> Self {
+        SlowQueryLog {
+            threshold,
+            capacity: capacity.max(1),
+            entries: Mutex::new(VecDeque::new()),
+        }
+    }
+
+    /// The configured threshold.
+    pub fn threshold(&self) -> Duration {
+        self.threshold
+    }
+
+    /// Records the request if it crossed the threshold; returns whether it
+    /// was recorded. The oldest entry is evicted once the ring is full.
+    pub fn record(&self, kind: &str, elapsed: Duration, trace_id: Option<u64>) -> bool {
+        if elapsed < self.threshold {
+            return false;
+        }
+        let mut entries = self.entries.lock().expect("slow-query log poisoned");
+        if entries.len() == self.capacity {
+            entries.pop_front();
+        }
+        entries.push_back(SlowQuery {
+            kind: kind.to_string(),
+            elapsed,
+            trace_id,
+        });
+        true
+    }
+
+    /// A copy of the current entries, oldest first.
+    pub fn entries(&self) -> Vec<SlowQuery> {
+        self.entries
+            .lock()
+            .expect("slow-query log poisoned")
+            .iter()
+            .cloned()
+            .collect()
+    }
+
+    /// Number of entries currently held.
+    pub fn len(&self) -> usize {
+        self.entries.lock().expect("slow-query log poisoned").len()
+    }
+
+    /// Whether the log is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drops all entries.
+    pub fn clear(&self) {
+        self.entries
+            .lock()
+            .expect("slow-query log poisoned")
+            .clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn only_queries_over_the_threshold_are_recorded() {
+        let log = SlowQueryLog::new(Duration::from_millis(10));
+        assert!(!log.record("ojsp", Duration::from_millis(9), None));
+        assert!(log.record("ojsp", Duration::from_millis(10), Some(7)));
+        assert!(log.record("cjsp", Duration::from_millis(50), None));
+        let entries = log.entries();
+        assert_eq!(entries.len(), 2);
+        assert_eq!(entries[0].kind, "ojsp");
+        assert_eq!(entries[0].trace_id, Some(7));
+    }
+
+    #[test]
+    fn the_ring_evicts_oldest_first() {
+        let log = SlowQueryLog::with_capacity(Duration::ZERO, 2);
+        log.record("a", Duration::from_millis(1), None);
+        log.record("b", Duration::from_millis(2), None);
+        log.record("c", Duration::from_millis(3), None);
+        let kinds: Vec<String> = log.entries().into_iter().map(|e| e.kind).collect();
+        assert_eq!(kinds, vec!["b", "c"]);
+        log.clear();
+        assert!(log.is_empty());
+    }
+}

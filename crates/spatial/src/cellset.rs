@@ -34,6 +34,7 @@
 //! --bin bench-runner` to measure the kernels on this machine; see
 //! `BENCH_*.json` at the repository root for the committed trajectory.
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::OnceLock;
 
 use crate::grid::Grid;
@@ -48,6 +49,39 @@ const GALLOP_SKEW: usize = 16;
 /// Minimum average bits per occupied 64-cell block for the word-parallel
 /// kernel to be worthwhile on both operands.
 const PACKED_MIN_DENSITY: f64 = 2.0;
+
+// Process-wide kernel dispatch counters (relaxed: metrics tolerate torn
+// cross-counter views, and a relaxed fetch_add is far below the cost of the
+// cheapest kernel invocation). Cumulative and monotone so they can feed a
+// metrics-registry counter directly.
+static CALLS_PACKED: AtomicU64 = AtomicU64::new(0);
+static CALLS_LINEAR: AtomicU64 = AtomicU64::new(0);
+static CALLS_GALLOPING: AtomicU64 = AtomicU64::new(0);
+
+/// Cumulative process-wide counts of intersection-kernel invocations, by
+/// kernel. Covers both adaptive dispatch through
+/// [`intersection_size`](CellSet::intersection_size) and direct calls to the
+/// per-kernel entry points; observability layers (the per-source metrics
+/// registry, `bench-runner`) snapshot these to show which kernel actually
+/// carries a workload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct KernelCounters {
+    /// Word-parallel popcount kernel invocations.
+    pub packed: u64,
+    /// Linear sorted-merge kernel invocations.
+    pub linear: u64,
+    /// Galloping (skewed-size) kernel invocations.
+    pub galloping: u64,
+}
+
+/// A snapshot of the process-wide [`KernelCounters`].
+pub fn kernel_counters() -> KernelCounters {
+    KernelCounters {
+        packed: CALLS_PACKED.load(Ordering::Relaxed),
+        linear: CALLS_LINEAR.load(Ordering::Relaxed),
+        galloping: CALLS_GALLOPING.load(Ordering::Relaxed),
+    }
+}
 
 /// Bit-packed block representation of a sorted cell list: `keys[i]` is
 /// `cell >> 6` and `words[i]` has bit `cell & 63` set for every member cell
@@ -297,12 +331,14 @@ impl CellSet {
         if self.is_empty() || other.is_empty() {
             return 0;
         }
+        CALLS_PACKED.fetch_add(1, Ordering::Relaxed);
         self.packed().intersection_size(other.packed())
     }
 
     /// Reference linear merge of the two sorted lists. Exposed so tests and
     /// benches can compare the adaptive paths against it.
     pub fn intersection_size_linear(&self, other: &CellSet) -> usize {
+        CALLS_LINEAR.fetch_add(1, Ordering::Relaxed);
         let mut i = 0;
         let mut j = 0;
         let mut count = 0;
@@ -327,6 +363,7 @@ impl CellSet {
     /// `other` already passed, which is what makes it profitable even when
     /// the skew is moderate. Exposed so tests can drive this path directly.
     pub fn intersection_size_galloping(&self, other: &CellSet) -> usize {
+        CALLS_GALLOPING.fetch_add(1, Ordering::Relaxed);
         let mut base = 0; // everything before `base` in `other` is consumed
         let mut count = 0;
         for &cell in &self.cells {
@@ -514,6 +551,22 @@ mod tests {
 
     fn set(ids: &[CellId]) -> CellSet {
         CellSet::from_cells(ids.iter().copied())
+    }
+
+    #[test]
+    fn kernel_counters_count_dispatches() {
+        // Counters are process-global and tests run concurrently, so only
+        // monotone growth by at least the calls made here can be asserted.
+        let before = kernel_counters();
+        let a = set(&[1, 2, 3, 64, 65]);
+        let b = set(&[2, 3, 64, 200]);
+        a.intersection_size_packed(&b);
+        a.intersection_size_linear(&b);
+        a.intersection_size_galloping(&b);
+        let after = kernel_counters();
+        assert!(after.packed > before.packed);
+        assert!(after.linear > before.linear);
+        assert!(after.galloping > before.galloping);
     }
 
     #[test]

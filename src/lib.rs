@@ -37,6 +37,7 @@ pub use baselines;
 pub use datagen;
 pub use dits;
 pub use multisource;
+pub use obs;
 pub use pricing;
 pub use spatial;
 pub use transit;
