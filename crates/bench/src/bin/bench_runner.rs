@@ -20,8 +20,13 @@
 //!
 //! * `kernel/intersection/dense-grid` — the word-parallel (popcount) cell
 //!   intersection against the scalar sorted-merge on dense grid sets.
+//! * `kernel/distance/cached`, `kernel/distance/bounded` — the verification
+//!   plane sweep over the cached per-node sorted-coordinate state, without
+//!   and with a k-th-best cutoff, against the fresh-state unbounded sweep.
 //! * `batch/ojsp`, `batch/cjsp` — the shared frontier traversal against the
 //!   per-query search loop over the same local indexes.
+//! * `knn/per-query` — the bounded kNN verification kernel against the
+//!   unbounded fresh-state oracle over the same indexes.
 //! * `engine/ojsp` — the multi-source engine's per-source batched shard
 //!   mode against the per-(query, source) oracle.
 //!
@@ -38,10 +43,11 @@ use std::time::{Duration, Instant};
 
 use bench::ExperimentEnv;
 use dits::{
-    coverage_search, coverage_search_batch, nearest_datasets, overlap_search, overlap_search_batch,
-    CoverageConfig, DitsLocal, DitsLocalConfig,
+    coverage_search, coverage_search_batch, nearest_datasets, nearest_datasets_unbounded,
+    overlap_search, overlap_search_batch, CoverageConfig, DitsLocal, DitsLocalConfig,
 };
 use multisource::{FrameworkConfig, QueryEngine, SearchRequest, SearchResponse, ShardMode};
+use spatial::distance::{dataset_distance, dataset_distance_bounded, dataset_distance_uncached};
 use spatial::zorder::cell_id;
 use spatial::CellSet;
 
@@ -54,8 +60,20 @@ Usage: bench-runner [--quick] [--out PATH]
 --validate PATH  check an existing snapshot against the schema and exit";
 
 /// Schema version stamped into (and required from) every snapshot.
-/// v2 added the `env` block and the `phases` breakdown.
-const SCHEMA_VERSION: u64 = 2;
+/// v2 added the `env` block and the `phases` breakdown; v3 added the
+/// verification-sweep kernels (`kernel/distance/*`, `knn/per-query` delta)
+/// and requires the phase breakdown to cover every engine mode.
+const SCHEMA_VERSION: u64 = 3;
+
+/// Engine entries whose traversal/verify phase split every snapshot must
+/// report — a snapshot that drops one silently loses the trajectory of the
+/// paper's "verification dominates" claim.
+const REQUIRED_PHASES: [&str; 4] = [
+    "engine/ojsp/per-query",
+    "engine/ojsp/per-source-batch",
+    "engine/cjsp/per-query",
+    "engine/knn/per-query",
+];
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -273,7 +291,7 @@ fn run_suite(quick: bool) -> Suite {
     let mut deltas = Vec::new();
 
     // -- Kernel: dense-grid cell intersection, word-parallel vs scalar ------
-    eprintln!("[1/4] kernel/intersection/dense-grid");
+    eprintln!("[1/6] kernel/intersection/dense-grid");
     let pairs: Vec<(CellSet, CellSet)> = (0..32)
         .map(|i| {
             let bx = (i as u32 % 8) * 96;
@@ -327,8 +345,8 @@ fn run_suite(quick: bool) -> Suite {
     deltas.push(delta("kernel/intersection/dense-grid", &packed, &scalar));
     kernels.extend([packed, scalar, adaptive]);
 
-    // -- Batch OJSP / CJSP / kNN over the five local indexes ----------------
-    eprintln!("[2/4] batch/ojsp + batch/cjsp (scale 1/{divisor}, {queries_n} queries)");
+    // -- Kernel: verification plane sweep, fresh vs cached vs bounded -------
+    eprintln!("[2/6] kernel/distance (verification sweep variants)");
     let env = ExperimentEnv::new(divisor, 0xBEEF);
     let indexes: Vec<DitsLocal> = (0..env.source_data.len())
         .map(|s| DitsLocal::build(env.dataset_nodes(s, theta), DitsLocalConfig::default()))
@@ -336,6 +354,78 @@ fn run_suite(quick: bool) -> Suite {
     let queries = env.query_cells(queries_n, theta);
     assert!(!queries.is_empty(), "query workload must not be empty");
     let batch_ops = indexes.len() * queries.len();
+
+    // Query-vs-dataset pairs drawn from the real workload, so the sweep sees
+    // the coordinate distributions the kNN verifier actually walks.
+    let sweep_nodes = env.dataset_nodes(0, theta);
+    let sweep_pairs: Vec<(&CellSet, &CellSet)> = queries
+        .iter()
+        .flat_map(|q| sweep_nodes.iter().step_by(7).map(move |n| (q, &n.cells)))
+        .take(64)
+        .collect();
+    assert!(!sweep_pairs.is_empty(), "sweep workload must not be empty");
+    // Exact-answer parity before timing; this pass also materialises the
+    // cached sorted-coordinate state the cached/bounded kernels reuse.
+    let sweep_truths: Vec<f64> = sweep_pairs
+        .iter()
+        .map(|(q, c)| dataset_distance_uncached(q, c))
+        .collect();
+    for (&(q, c), &truth) in sweep_pairs.iter().zip(&sweep_truths) {
+        assert_eq!(
+            dataset_distance(q, c),
+            truth,
+            "cached sweep diverged from the fresh-state oracle"
+        );
+        assert_eq!(
+            dataset_distance_bounded(q, c, truth),
+            truth,
+            "bounded sweep diverged from the oracle at its own cutoff"
+        );
+    }
+    let sweep_unbounded = measure(
+        "kernel/distance/unbounded",
+        kernel_samples,
+        sweep_pairs.len(),
+        || {
+            for (q, c) in &sweep_pairs {
+                std::hint::black_box(dataset_distance_uncached(q, std::hint::black_box(c)));
+            }
+        },
+    );
+    let sweep_cached = measure(
+        "kernel/distance/cached",
+        kernel_samples,
+        sweep_pairs.len(),
+        || {
+            for (q, c) in &sweep_pairs {
+                std::hint::black_box(dataset_distance(q, std::hint::black_box(c)));
+            }
+        },
+    );
+    let sweep_bounded = measure(
+        "kernel/distance/bounded",
+        kernel_samples,
+        sweep_pairs.len(),
+        || {
+            for (&(q, c), &truth) in sweep_pairs.iter().zip(&sweep_truths) {
+                std::hint::black_box(dataset_distance_bounded(q, std::hint::black_box(c), truth));
+            }
+        },
+    );
+    deltas.push(delta(
+        "kernel/distance/cached",
+        &sweep_cached,
+        &sweep_unbounded,
+    ));
+    deltas.push(delta(
+        "kernel/distance/bounded",
+        &sweep_bounded,
+        &sweep_unbounded,
+    ));
+    kernels.extend([sweep_unbounded, sweep_cached, sweep_bounded]);
+
+    // -- Batch OJSP / CJSP over the five local indexes ----------------------
+    eprintln!("[3/6] batch/ojsp + batch/cjsp (scale 1/{divisor}, {queries_n} queries)");
 
     for index in &indexes {
         let solo: Vec<_> = queries
@@ -390,17 +480,35 @@ fn run_suite(quick: bool) -> Suite {
     deltas.push(delta("batch/cjsp", &cjsp_frontier, &cjsp_per_query));
     kernels.extend([cjsp_per_query, cjsp_frontier]);
 
-    eprintln!("[3/4] knn/per-query (trajectory only)");
-    kernels.push(measure("knn/per-query", samples, batch_ops, || {
+    eprintln!("[4/6] knn/per-query bounded vs unbounded oracle");
+    for index in &indexes {
+        for q in &queries {
+            assert_eq!(
+                nearest_datasets(index, q, k),
+                nearest_datasets_unbounded(index, q, k),
+                "bounded kNN diverged from the unbounded oracle"
+            );
+        }
+    }
+    let knn_unbounded = measure("knn/per-query/unbounded", samples, batch_ops, || {
+        for index in &indexes {
+            for q in &queries {
+                std::hint::black_box(nearest_datasets_unbounded(index, q, k));
+            }
+        }
+    });
+    let knn_bounded = measure("knn/per-query", samples, batch_ops, || {
         for index in &indexes {
             for q in &queries {
                 std::hint::black_box(nearest_datasets(index, q, k));
             }
         }
-    }));
+    });
+    deltas.push(delta("knn/per-query", &knn_bounded, &knn_unbounded));
+    kernels.extend([knn_unbounded, knn_bounded]);
 
     // -- Engine shard modes over the full multi-source framework ------------
-    eprintln!("[4/4] engine/ojsp shard modes + phase breakdown");
+    eprintln!("[5/6] engine/ojsp shard modes");
     let fw = env.framework(FrameworkConfig {
         resolution: theta,
         ..FrameworkConfig::default()
@@ -438,6 +546,7 @@ fn run_suite(quick: bool) -> Suite {
     // Phase breakdown: one traced run per engine entry splits the sources'
     // time into index traversal vs. candidate verification (ROADMAP item 3's
     // "verification dominates" claim, now measured instead of asserted).
+    eprintln!("[6/6] phase breakdown (traced engine runs)");
     let traced_ojsp = ojsp_request.clone().with_trace(true);
     let phases = vec![
         phase_report(
@@ -929,6 +1038,15 @@ fn validate_snapshot(path: &str) -> Result<String, String> {
             return Err(format!(
                 "phases[{i}].verify_share = {share} is not in [0, 1]"
             ));
+        }
+    }
+    let phase_names: Vec<&str> = phases
+        .iter()
+        .filter_map(|p| p.get("name").and_then(Json::as_str))
+        .collect();
+    for required in REQUIRED_PHASES {
+        if !phase_names.contains(&required) {
+            return Err(format!("phases missing required engine entry {required:?}"));
         }
     }
 

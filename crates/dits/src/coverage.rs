@@ -13,7 +13,7 @@
 //! CoverageSearch and the SG+DITS baseline.
 
 use crate::bounds::node_distance_bounds;
-use crate::local::{DitsLocal, NodeIdx, NodeKind};
+use crate::local::{DitsLocal, NodeIdx, NodeKind, TraversalLayout};
 use crate::node::{DatasetNode, NodeGeometry};
 use crate::stats::SearchStats;
 use serde::{Deserialize, Serialize};
@@ -97,11 +97,13 @@ pub fn coverage_search(
         let mut connected: Vec<&DatasetNode> = Vec::new();
         let mut seen: HashSet<DatasetId> = HashSet::new();
         let started = std::time::Instant::now();
+        let layout = index.traversal_layout();
         if config.merge_results {
             let probe = NeighborProbe::new(&merged_cells);
             find_connect_set(
                 index,
-                index.root(),
+                layout,
+                layout.root(),
                 &merged_geometry,
                 &probe,
                 config.delta,
@@ -113,7 +115,8 @@ pub fn coverage_search(
             for (geom, probe) in &members {
                 find_connect_set(
                     index,
-                    index.root(),
+                    layout,
+                    layout.root(),
                     geom,
                     probe,
                     config.delta,
@@ -187,12 +190,16 @@ pub(crate) fn greedy_pick<'a>(
     best.map(|b| (b, tau))
 }
 
-/// `FindConnectSet` of Algorithm 3: collects every dataset node whose
+/// `FindConnectSet` of Algorithm 3, descending the cached layout
+/// (`node_idx` is a layout index): collects every dataset node whose
 /// cell-based distance to the probe is at most δ, pruning subtrees with the
-/// Lemma 4 bounds.
+/// Lemma 4 bounds.  Per-entry bound checks read the layout's flat entry
+/// geometry array; a dataset's cells are only touched when its bounds are
+/// inconclusive.
 #[allow(clippy::too_many_arguments)]
 fn find_connect_set<'a>(
     index: &'a DitsLocal,
+    layout: &TraversalLayout,
     node_idx: NodeIdx,
     probe_geometry: &NodeGeometry,
     probe: &NeighborProbe,
@@ -201,46 +208,61 @@ fn find_connect_set<'a>(
     seen: &mut HashSet<DatasetId>,
     stats: &mut SearchStats,
 ) {
-    let node = index.node(node_idx);
     stats.nodes_visited += 1;
-    let (lb, ub) = node_distance_bounds(&node.geometry, probe_geometry);
+    let (lb, ub) = node_distance_bounds(layout.geometry(node_idx), probe_geometry);
     if ub <= delta {
         // Every dataset below this node is guaranteed to be connected.
-        collect_all(index, node_idx, out, seen);
+        collect_all(index, layout.arena_index(node_idx), out, seen);
         return;
     }
     if lb > delta {
         stats.nodes_pruned += 1;
         return;
     }
-    match &node.kind {
-        NodeKind::Leaf { entries, .. } => {
-            for entry in entries {
-                if seen.contains(&entry.id) {
-                    // Already found connected through an earlier member —
-                    // skip the (potentially expensive) exact distance test.
-                    continue;
-                }
-                let (elb, eub) = node_distance_bounds(&entry.geometry, probe_geometry);
-                let connected = if eub <= delta {
-                    true
-                } else if elb > delta {
-                    false
-                } else {
-                    stats.exact_computations += 1;
-                    probe.within(&entry.cells, delta)
-                };
-                if connected && seen.insert(entry.id) {
-                    out.push(entry);
-                    stats.candidates += 1;
+    match layout.children(node_idx) {
+        None => {
+            let arena_idx = layout.arena_index(node_idx);
+            if let NodeKind::Leaf { entries, .. } = &index.node(arena_idx).kind {
+                let base = layout.entry_range(node_idx).start;
+                for (offset, entry) in entries.iter().enumerate() {
+                    if seen.contains(&layout.entry_id(base + offset)) {
+                        // Already found connected through an earlier member —
+                        // skip the (potentially expensive) exact distance test.
+                        continue;
+                    }
+                    let (elb, eub) =
+                        node_distance_bounds(layout.entry_geometry(base + offset), probe_geometry);
+                    let connected = if eub <= delta {
+                        true
+                    } else if elb > delta {
+                        false
+                    } else {
+                        stats.exact_computations += 1;
+                        probe.within(&entry.cells, delta)
+                    };
+                    if connected && seen.insert(entry.id) {
+                        out.push(entry);
+                        stats.candidates += 1;
+                    }
                 }
             }
         }
-        NodeKind::Internal { left, right } => {
-            find_connect_set(index, *left, probe_geometry, probe, delta, out, seen, stats);
+        Some((left, right)) => {
             find_connect_set(
                 index,
-                *right,
+                layout,
+                left,
+                probe_geometry,
+                probe,
+                delta,
+                out,
+                seen,
+                stats,
+            );
+            find_connect_set(
+                index,
+                layout,
+                right,
                 probe_geometry,
                 probe,
                 delta,

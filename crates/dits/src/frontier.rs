@@ -70,7 +70,7 @@ pub fn overlap_search_batch_with_options(
     let walk_started = std::time::Instant::now();
     if !root_frontier.is_empty() {
         let layout = index.traversal_layout();
-        let mut stack: Vec<(NodeIdx, Vec<u32>)> = vec![(index.root(), root_frontier)];
+        let mut stack: Vec<(NodeIdx, Vec<u32>)> = vec![(layout.root(), root_frontier)];
         while let Some((node_idx, frontier)) = stack.pop() {
             let rect = layout.rect(node_idx);
             let mut survivors: Vec<u32> = Vec::with_capacity(frontier.len());
@@ -96,7 +96,8 @@ pub fn overlap_search_batch_with_options(
                     stack.push((left, survivors));
                 }
                 None => {
-                    if let NodeKind::Leaf { entries, inverted } = &index.node(node_idx).kind {
+                    let arena_idx = layout.arena_index(node_idx);
+                    if let NodeKind::Leaf { entries, inverted } = &index.node(arena_idx).kind {
                         if entries.is_empty() {
                             continue;
                         }
@@ -111,7 +112,7 @@ pub fn overlap_search_batch_with_options(
                                 stats[qi].leaves_pruned_by_bounds += 1;
                                 continue;
                             }
-                            candidates[qi].push((ub, lb, node_idx));
+                            candidates[qi].push((ub, lb, arena_idx));
                         }
                     }
                 }
@@ -233,7 +234,7 @@ pub fn coverage_search_batch(
         // FindConnectSet for all active queries in one walk.
         let mut connected: Vec<Vec<&DatasetNode>> = vec![Vec::new(); states.len()];
         let mut seen: Vec<HashSet<DatasetId>> = vec![HashSet::new(); states.len()];
-        let mut stack: Vec<(NodeIdx, Vec<u32>)> = vec![(index.root(), active.clone())];
+        let mut stack: Vec<(NodeIdx, Vec<u32>)> = vec![(layout.root(), active.clone())];
         while let Some((node_idx, frontier)) = stack.pop() {
             let geometry = layout.geometry(node_idx);
             let mut kept: Vec<u32> = Vec::with_capacity(frontier.len());
@@ -244,7 +245,12 @@ pub fn coverage_search_batch(
                 if ub <= config.delta {
                     // Everything below is connected for this query: collect
                     // the subtree and drop the query from the frontier.
-                    collect_all(index, node_idx, &mut connected[qi], &mut seen[qi]);
+                    collect_all(
+                        index,
+                        layout.arena_index(node_idx),
+                        &mut connected[qi],
+                        &mut seen[qi],
+                    );
                 } else if lb > config.delta {
                     states[qi].stats.nodes_pruned += 1;
                 } else {
@@ -260,16 +266,20 @@ pub fn coverage_search_batch(
                     stack.push((left, kept));
                 }
                 None => {
-                    if let NodeKind::Leaf { entries, .. } = &index.node(node_idx).kind {
+                    let arena_idx = layout.arena_index(node_idx);
+                    if let NodeKind::Leaf { entries, .. } = &index.node(arena_idx).kind {
+                        let base = layout.entry_range(node_idx).start;
                         for &q in &kept {
                             let qi = q as usize;
                             let probe = probes[qi].as_ref().expect("active queries have a probe");
-                            for entry in entries {
-                                if seen[qi].contains(&entry.id) {
+                            for (offset, entry) in entries.iter().enumerate() {
+                                if seen[qi].contains(&layout.entry_id(base + offset)) {
                                     continue;
                                 }
-                                let (elb, eub) =
-                                    node_distance_bounds(&entry.geometry, &merged_geoms[qi]);
+                                let (elb, eub) = node_distance_bounds(
+                                    layout.entry_geometry(base + offset),
+                                    &merged_geoms[qi],
+                                );
                                 let is_connected = if eub <= config.delta {
                                     true
                                 } else if elb > config.delta {

@@ -12,12 +12,47 @@
 
 use serde::{Deserialize, Serialize};
 use spatial::{CellId, CellSet, DatasetId};
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
+use std::sync::OnceLock;
+
+/// Lazily-built packed summary of the index for the Lemma 2/3 bounds: the
+/// set of all indexed cells (whose intersection with a query is the Lemma 2
+/// upper bound) and the set of cells contained in *every* indexed dataset
+/// (whose intersection is the Lemma 3 lower bound).  Both are [`CellSet`]s,
+/// so the bounds are computed by the word-parallel AND+popcount kernel over
+/// their packed block forms instead of per-cell posting-list walks.
+#[derive(Debug, Clone)]
+struct OverlapSummary {
+    /// Number of distinct datasets indexed when the summary was built.
+    datasets: usize,
+    /// Every indexed cell.
+    all: CellSet,
+    /// Cells whose posting list covers every indexed dataset.
+    full: CellSet,
+}
+
+impl OverlapSummary {
+    fn memory_bytes(&self) -> usize {
+        self.all.memory_bytes() + self.full.memory_bytes()
+    }
+}
 
 /// An inverted index from cell ID to the dataset IDs containing the cell.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+///
+/// Alongside the posting lists the index lazily caches an [`OverlapSummary`]
+/// (same `OnceLock` pattern as the packed cells of `CellSet`), invalidated by
+/// [`add_dataset`](Self::add_dataset) / [`remove_dataset`](Self::remove_dataset);
+/// equality and the serialized shape are defined by the postings alone.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct InvertedIndex {
     postings: HashMap<CellId, Vec<DatasetId>>,
+    summary: OnceLock<OverlapSummary>,
+}
+
+impl PartialEq for InvertedIndex {
+    fn eq(&self, other: &Self) -> bool {
+        self.postings == other.postings
+    }
 }
 
 impl InvertedIndex {
@@ -40,6 +75,7 @@ impl InvertedIndex {
 
     /// Adds one dataset's cells to the index.
     pub fn add_dataset(&mut self, id: DatasetId, cells: &CellSet) {
+        self.summary.take(); // maintenance invalidates the packed summary
         for cell in cells.iter() {
             let list = self.postings.entry(cell).or_default();
             if !list.contains(&id) {
@@ -50,6 +86,7 @@ impl InvertedIndex {
 
     /// Removes one dataset's cells from the index.
     pub fn remove_dataset(&mut self, id: DatasetId, cells: &CellSet) {
+        self.summary.take();
         for cell in cells.iter() {
             if let Some(list) = self.postings.get_mut(&cell) {
                 list.retain(|d| *d != id);
@@ -99,7 +136,38 @@ impl InvertedIndex {
         counts
     }
 
-    /// Estimated heap memory of the index in bytes (Fig. 8 right).
+    /// The packed Lemma 2/3 bound sets `(all cells, fully-shared cells)`,
+    /// building and caching them on first use.
+    ///
+    /// `leaf_size` is the caller's view of how many datasets the leaf holds;
+    /// when it disagrees with the summary's own distinct-dataset count (it
+    /// cannot, under the tree invariants, but the scalar fallback keeps the
+    /// bounds correct regardless) `None` is returned.
+    pub fn overlap_bound_sets(&self, leaf_size: usize) -> Option<(&CellSet, &CellSet)> {
+        let summary = self.summary.get_or_init(|| {
+            let mut ids: HashSet<DatasetId> = HashSet::new();
+            for list in self.postings.values() {
+                ids.extend(list.iter().copied());
+            }
+            let datasets = ids.len();
+            let all = CellSet::from_cells(self.postings.keys().copied());
+            let full = CellSet::from_cells(
+                self.postings
+                    .iter()
+                    .filter(|(_, list)| datasets > 0 && list.len() == datasets)
+                    .map(|(&cell, _)| cell),
+            );
+            OverlapSummary {
+                datasets,
+                all,
+                full,
+            }
+        });
+        (summary.datasets == leaf_size).then_some((&summary.all, &summary.full))
+    }
+
+    /// Estimated heap memory of the index in bytes (Fig. 8 right), including
+    /// the packed bound-set summary when it has been built.
     pub fn memory_bytes(&self) -> usize {
         let mut bytes = 0usize;
         for (_, list) in self.postings.iter() {
@@ -107,7 +175,7 @@ impl InvertedIndex {
                 + std::mem::size_of::<Vec<DatasetId>>()
                 + list.capacity() * std::mem::size_of::<DatasetId>();
         }
-        bytes
+        bytes + self.summary.get().map_or(0, OverlapSummary::memory_bytes)
     }
 }
 

@@ -14,11 +14,13 @@
 //!   public form of the connectivity candidate search.
 
 use crate::bounds::node_distance_bounds;
-use crate::local::{DitsLocal, NodeIdx, NodeKind};
+use crate::local::{DitsLocal, NodeIdx, NodeKind, TraversalLayout};
 use crate::node::NodeGeometry;
 use crate::stats::SearchStats;
 use serde::{Deserialize, Serialize};
-use spatial::distance::{dataset_distance, NeighborProbe};
+use spatial::distance::{
+    dataset_distance, dataset_distance_bounded, dataset_distance_uncached, NeighborProbe,
+};
 use spatial::{CellSet, DatasetId};
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
@@ -53,10 +55,7 @@ impl PartialOrd for Frontier {
 impl Ord for Frontier {
     fn cmp(&self, other: &Self) -> Ordering {
         // BinaryHeap is a max-heap; invert so the smallest bound pops first.
-        other
-            .lower_bound
-            .partial_cmp(&self.lower_bound)
-            .unwrap_or(Ordering::Equal)
+        other.lower_bound.total_cmp(&self.lower_bound)
     }
 }
 
@@ -65,10 +64,42 @@ impl Ord for Frontier {
 ///
 /// Datasets overlapping the query have distance 0 and therefore rank first —
 /// k-NN is a strict generalisation of "is anything joinable nearby?".
+///
+/// Verification is *bounded*: each candidate's exact distance is computed
+/// with the current k-th best distance as the sweep cutoff
+/// ([`dataset_distance_bounded`]), so far candidates abandon after the
+/// x-window check.  Answers and [`SearchStats`] are identical to the
+/// unbounded computation — candidates whose bounded distance exceeds the
+/// cutoff could never enter the result, and candidates at exactly the cutoff
+/// are computed exactly, preserving tie-breaks (proptested against
+/// [`nearest_datasets_unbounded`]).
 pub fn nearest_datasets(
     index: &DitsLocal,
     query: &CellSet,
     k: usize,
+) -> (Vec<Neighbor>, SearchStats) {
+    nearest_datasets_impl(index, query, k, true)
+}
+
+/// The unbounded, fresh-state oracle: same traversal as
+/// [`nearest_datasets`], but every candidate is verified with
+/// [`dataset_distance_uncached`] (full decompose-and-sort per call, no
+/// cutoff) — exactly the pre-optimisation behaviour.  Kept public as the
+/// parity oracle for the bounded/cached proptests and as the baseline for
+/// the `bench-runner` `knn/per-query` delta row.
+pub fn nearest_datasets_unbounded(
+    index: &DitsLocal,
+    query: &CellSet,
+    k: usize,
+) -> (Vec<Neighbor>, SearchStats) {
+    nearest_datasets_impl(index, query, k, false)
+}
+
+fn nearest_datasets_impl(
+    index: &DitsLocal,
+    query: &CellSet,
+    k: usize,
+    bounded: bool,
 ) -> (Vec<Neighbor>, SearchStats) {
     let mut stats = SearchStats::new();
     if k == 0 || query.is_empty() || index.dataset_count() == 0 {
@@ -87,12 +118,16 @@ pub fn nearest_datasets(
     let mut verify_time = Duration::ZERO;
 
     // Results kept as a max-heap on distance so the worst of the current
-    // top-k is peekable in O(1).
+    // top-k is peekable in O(1).  The descent runs over the cached
+    // structure-of-arrays layout: child and entry bound checks stride over
+    // contiguous geometry arrays, and a dataset's cells are only touched
+    // when it survives its bound.
+    let layout = index.traversal_layout();
     let mut results: BinaryHeap<ResultEntry> = BinaryHeap::new();
     let mut frontier: BinaryHeap<Frontier> = BinaryHeap::new();
     frontier.push(Frontier {
         lower_bound: 0.0,
-        node: index.root(),
+        node: layout.root(),
     });
 
     while let Some(Frontier { lower_bound, node }) = frontier.pop() {
@@ -106,42 +141,57 @@ pub fn nearest_datasets(
             }
         }
         stats.nodes_visited += 1;
-        match &index.node(node).kind {
-            NodeKind::Internal { left, right } => {
-                for child in [*left, *right] {
-                    let (lb, _) =
-                        node_distance_bounds(&index.node(child).geometry, &query_geometry);
+        match layout.children(node) {
+            Some((left, right)) => {
+                for child in [left, right] {
+                    let (lb, _) = node_distance_bounds(layout.geometry(child), &query_geometry);
                     frontier.push(Frontier {
                         lower_bound: lb,
                         node: child,
                     });
                 }
             }
-            NodeKind::Leaf { entries, .. } => {
-                for entry in entries {
-                    let (lb, _) = node_distance_bounds(&entry.geometry, &query_geometry);
-                    if results.len() >= k {
-                        let worst = results.peek().map(|r| r.distance).unwrap_or(f64::INFINITY);
+            None => {
+                if let NodeKind::Leaf { entries, .. } = &index.node(layout.arena_index(node)).kind {
+                    let base = layout.entry_range(node).start;
+                    for (offset, entry) in entries.iter().enumerate() {
+                        let (lb, _) = node_distance_bounds(
+                            layout.entry_geometry(base + offset),
+                            &query_geometry,
+                        );
+                        // The k-th best doubles as the per-entry prune
+                        // threshold and as the sweep cutoff of the bounded
+                        // verification.
+                        let worst = if results.len() >= k {
+                            results.peek().map(|r| r.distance).unwrap_or(f64::INFINITY)
+                        } else {
+                            f64::INFINITY
+                        };
                         if lb > worst {
                             continue;
                         }
-                    }
-                    stats.exact_computations += 1;
-                    let verify_started = Instant::now();
-                    let distance = dataset_distance(query, &entry.cells);
-                    verify_time += verify_started.elapsed();
-                    let entry = ResultEntry {
-                        distance,
-                        dataset: entry.id,
-                    };
-                    if results.len() < k {
-                        results.push(entry);
-                    } else if let Some(worst) = results.peek() {
-                        if entry.distance < worst.distance
-                            || (entry.distance == worst.distance && entry.dataset < worst.dataset)
-                        {
-                            results.pop();
+                        stats.exact_computations += 1;
+                        let verify_started = Instant::now();
+                        let distance = if bounded {
+                            dataset_distance_bounded(query, &entry.cells, worst)
+                        } else {
+                            dataset_distance_uncached(query, &entry.cells)
+                        };
+                        verify_time += verify_started.elapsed();
+                        let entry = ResultEntry {
+                            distance,
+                            dataset: entry.id,
+                        };
+                        if results.len() < k {
                             results.push(entry);
+                        } else if let Some(worst) = results.peek() {
+                            if entry.distance < worst.distance
+                                || (entry.distance == worst.distance
+                                    && entry.dataset < worst.dataset)
+                            {
+                                results.pop();
+                                results.push(entry);
+                            }
                         }
                     }
                 }
@@ -158,8 +208,7 @@ pub fn nearest_datasets(
         .collect();
     out.sort_unstable_by(|a, b| {
         a.distance
-            .partial_cmp(&b.distance)
-            .unwrap_or(Ordering::Equal)
+            .total_cmp(&b.distance)
             .then(a.dataset.cmp(&b.dataset))
     });
     crate::phase::add_verify(verify_time);
@@ -187,8 +236,7 @@ impl PartialOrd for ResultEntry {
 impl Ord for ResultEntry {
     fn cmp(&self, other: &Self) -> Ordering {
         self.distance
-            .partial_cmp(&other.distance)
-            .unwrap_or(Ordering::Equal)
+            .total_cmp(&other.distance)
             .then(self.dataset.cmp(&other.dataset))
     }
 }
@@ -215,9 +263,11 @@ pub fn range_datasets(
     let mut out = Vec::new();
     let started = Instant::now();
     let mut verify_time = Duration::ZERO;
+    let layout = index.traversal_layout();
     range_recurse(
         index,
-        index.root(),
+        layout,
+        layout.root(),
         query,
         &query_geometry,
         &probe,
@@ -228,8 +278,7 @@ pub fn range_datasets(
     );
     out.sort_unstable_by(|a: &Neighbor, b: &Neighbor| {
         a.distance
-            .partial_cmp(&b.distance)
-            .unwrap_or(Ordering::Equal)
+            .total_cmp(&b.distance)
             .then(a.dataset.cmp(&b.dataset))
     });
     crate::phase::add_verify(verify_time);
@@ -240,6 +289,7 @@ pub fn range_datasets(
 #[allow(clippy::too_many_arguments)]
 fn range_recurse(
     index: &DitsLocal,
+    layout: &TraversalLayout,
     node_idx: NodeIdx,
     query: &CellSet,
     query_geometry: &NodeGeometry,
@@ -249,37 +299,41 @@ fn range_recurse(
     stats: &mut SearchStats,
     verify_time: &mut Duration,
 ) {
-    let node = index.node(node_idx);
     stats.nodes_visited += 1;
-    let (lb, _) = node_distance_bounds(&node.geometry, query_geometry);
+    let (lb, _) = node_distance_bounds(layout.geometry(node_idx), query_geometry);
     if lb > delta {
         stats.nodes_pruned += 1;
         return;
     }
-    match &node.kind {
-        NodeKind::Leaf { entries, .. } => {
-            for entry in entries {
-                let (elb, _) = node_distance_bounds(&entry.geometry, query_geometry);
-                if elb > delta {
-                    continue;
+    match layout.children(node_idx) {
+        None => {
+            if let NodeKind::Leaf { entries, .. } = &index.node(layout.arena_index(node_idx)).kind {
+                let base = layout.entry_range(node_idx).start;
+                for (offset, entry) in entries.iter().enumerate() {
+                    let (elb, _) =
+                        node_distance_bounds(layout.entry_geometry(base + offset), query_geometry);
+                    if elb > delta {
+                        continue;
+                    }
+                    stats.exact_computations += 1;
+                    let verify_started = Instant::now();
+                    if probe.within(&entry.cells, delta) {
+                        let distance = dataset_distance(query, &entry.cells);
+                        out.push(Neighbor {
+                            dataset: entry.id,
+                            distance,
+                        });
+                        stats.candidates += 1;
+                    }
+                    *verify_time += verify_started.elapsed();
                 }
-                stats.exact_computations += 1;
-                let verify_started = Instant::now();
-                if probe.within(&entry.cells, delta) {
-                    let distance = dataset_distance(query, &entry.cells);
-                    out.push(Neighbor {
-                        dataset: entry.id,
-                        distance,
-                    });
-                    stats.candidates += 1;
-                }
-                *verify_time += verify_started.elapsed();
             }
         }
-        NodeKind::Internal { left, right } => {
+        Some((left, right)) => {
             range_recurse(
                 index,
-                *left,
+                layout,
+                left,
                 query,
                 query_geometry,
                 probe,
@@ -290,7 +344,8 @@ fn range_recurse(
             );
             range_recurse(
                 index,
-                *right,
+                layout,
+                right,
                 query,
                 query_geometry,
                 probe,
@@ -318,8 +373,7 @@ pub fn nearest_datasets_bruteforce(
         .collect();
     all.sort_unstable_by(|a, b| {
         a.distance
-            .partial_cmp(&b.distance)
-            .unwrap_or(Ordering::Equal)
+            .total_cmp(&b.distance)
             .then(a.dataset.cmp(&b.dataset))
     });
     all.truncate(k);
@@ -427,6 +481,58 @@ mod tests {
             for (f, b) in fast_d.iter().zip(brute_d.iter()) {
                 prop_assert!((f - b).abs() < 1e-9, "fast {f} != brute {b}");
             }
+        }
+
+        #[test]
+        fn prop_bounded_knn_is_byte_identical_to_unbounded_oracle(
+            datasets in proptest::collection::vec(
+                proptest::collection::vec((0u32..48, 0u32..48), 1..8), 1..40),
+            query in proptest::collection::vec((0u32..48, 0u32..48), 1..8),
+            k in 1usize..8,
+            capacity in 1usize..6,
+        ) {
+            let nodes: Vec<DatasetNode> = datasets
+                .iter()
+                .enumerate()
+                .map(|(i, c)| node(i as DatasetId, c))
+                .collect();
+            let idx = DitsLocal::build(nodes, DitsLocalConfig { leaf_capacity: capacity });
+            let q = cs(&query);
+            let (fast, fast_stats) = nearest_datasets(&idx, &q, k);
+            let (oracle, oracle_stats) = nearest_datasets_unbounded(&idx, &q, k);
+            prop_assert_eq!(fast, oracle);
+            prop_assert_eq!(fast_stats, oracle_stats);
+        }
+
+        #[test]
+        fn prop_bounded_knn_preserves_ties(
+            picks in proptest::collection::vec(0usize..6, 1..40),
+            query in proptest::collection::vec((0u32..24, 0u32..24), 1..6),
+            k in 1usize..12,
+            capacity in 1usize..6,
+        ) {
+            // Datasets drawn from a pool of six shapes, so exact distance
+            // ties (including ties at the k-th position) are the norm rather
+            // than the exception; the cutoff must not lose the id tie-break.
+            let pool: [&[(u32, u32)]; 6] = [
+                &[(0, 0), (1, 1)],
+                &[(0, 0), (1, 1)],
+                &[(10, 10)],
+                &[(10, 10)],
+                &[(5, 0), (5, 1)],
+                &[(20, 20), (21, 21)],
+            ];
+            let nodes: Vec<DatasetNode> = picks
+                .iter()
+                .enumerate()
+                .map(|(i, &p)| node(i as DatasetId, pool[p]))
+                .collect();
+            let idx = DitsLocal::build(nodes, DitsLocalConfig { leaf_capacity: capacity });
+            let q = cs(&query);
+            let (fast, fast_stats) = nearest_datasets(&idx, &q, k);
+            let (oracle, oracle_stats) = nearest_datasets_unbounded(&idx, &q, k);
+            prop_assert_eq!(fast, oracle);
+            prop_assert_eq!(fast_stats, oracle_stats);
         }
 
         #[test]

@@ -45,7 +45,7 @@ pub use frontier::{
 };
 pub use global::{DitsGlobal, SourceSummary};
 pub use inverted::InvertedIndex;
-pub use knn::{nearest_datasets, range_datasets, Neighbor};
+pub use knn::{nearest_datasets, nearest_datasets_unbounded, range_datasets, Neighbor};
 pub use local::{DitsLocal, DitsLocalConfig, TraversalLayout};
 pub use node::{DatasetNode, NodeGeometry};
 pub use overlap::{overlap_search, overlap_search_with_options, OverlapResult};

@@ -15,6 +15,7 @@ use crate::inverted::InvertedIndex;
 use crate::node::{DatasetNode, NodeGeometry};
 use serde::{Deserialize, Serialize};
 use spatial::{DatasetId, Grid, Mbr, SpatialDataset};
+use std::sync::OnceLock;
 
 /// Index of a node inside the arena.
 pub type NodeIdx = usize;
@@ -34,6 +35,12 @@ impl Default for DitsLocalConfig {
 
 /// Content of a tree node: either an internal node with two children or a
 /// leaf holding dataset nodes plus their inverted index.
+// The Leaf variant is large (the inverted index carries packed word-parallel
+// summaries), but boxing it would put a pointer chase on the verification
+// hot path, and internal nodes' hot traversal fields already live in the
+// separate SoA `TraversalLayout` — the arena slack is idle memory, not
+// touched per query.
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub enum NodeKind {
     /// Internal node (Definition 13).
@@ -71,12 +78,18 @@ impl TreeNode {
 }
 
 /// The DITS-L local index of one data source.
+///
+/// The structure-of-arrays [`TraversalLayout`] of the reachable tree is
+/// cached lazily (same `OnceLock` pattern as the packed cells of `CellSet`)
+/// and dropped by every arena mutation, so queries between maintenance
+/// operations share one layout build.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct DitsLocal {
     nodes: Vec<TreeNode>,
     root: NodeIdx,
     config: DitsLocalConfig,
     dataset_count: usize,
+    layout: OnceLock<TraversalLayout>,
 }
 
 impl DitsLocal {
@@ -94,6 +107,7 @@ impl DitsLocal {
             root: 0,
             config,
             dataset_count,
+            layout: OnceLock::new(),
         };
         index.root = index.build_subtree(dataset_nodes, None);
         index
@@ -165,6 +179,7 @@ impl DitsLocal {
     }
 
     pub(crate) fn push_node(&mut self, node: TreeNode) -> NodeIdx {
+        self.layout.take();
         self.nodes.push(node);
         self.nodes.len() - 1
     }
@@ -189,6 +204,7 @@ impl DitsLocal {
             root,
             config,
             dataset_count,
+            layout: OnceLock::new(),
         }
     }
 
@@ -203,6 +219,10 @@ impl DitsLocal {
     }
 
     pub(crate) fn node_mut(&mut self, idx: NodeIdx) -> &mut TreeNode {
+        // Every maintenance path (insert/update/delete, splits, collapses)
+        // funnels its arena writes through here, so dropping the cached
+        // layout at this chokepoint keeps it from ever going stale.
+        self.layout.take();
         &mut self.nodes[idx]
     }
 
@@ -294,7 +314,7 @@ impl DitsLocal {
                 bytes += inverted.memory_bytes();
             }
         }
-        bytes
+        bytes + self.layout.get().map_or(0, TraversalLayout::memory_bytes)
     }
 
     /// Checks the structural invariants of the tree; used by tests and by
@@ -384,69 +404,137 @@ impl DitsLocal {
     }
 }
 
-/// Cache-conscious structure-of-arrays snapshot of the node arena for batch
-/// traversal: node geometries (MBR, pivot, radius) and child indices live in
-/// two contiguous arrays, so the shared frontier walk touches two tightly
-/// packed cache lines per node instead of striding over full [`TreeNode`]s
-/// (whose leaf payloads — entries and inverted indexes — are dead weight
-/// during descent).
+/// Cache-conscious structure-of-arrays arena of the reachable tree, used by
+/// every traversal (per-query and batch): node geometries (MBR, pivot,
+/// radius), child pairs and leaf entry ranges live in parallel contiguous
+/// arrays, and the leaf entries' geometries and ids are flattened into two
+/// more, so descent and per-entry bound checks stride over tightly packed
+/// cache lines instead of full [`TreeNode`]s (whose leaf payloads — cell
+/// sets and inverted indexes — are dead weight until verification).
 ///
-/// The layout is a snapshot: build it with
-/// [`DitsLocal::traversal_layout`] per batch (an `O(nodes)` copy amortised
-/// over every query in the batch) rather than holding it across index
-/// updates.
-#[derive(Debug, Clone)]
+/// Nodes are renumbered in DFS preorder (left subtree first), so an internal
+/// node's left child is always the next array slot — the descent direction
+/// taken first is the prefetch-friendly one — and arena slots orphaned by
+/// leaf collapses are excluded entirely.  [`Self::arena_index`] maps a
+/// layout index back to the arena slot holding the node's payload.
+///
+/// The layout is cached inside [`DitsLocal`] and invalidated by every
+/// maintenance mutation; obtain it with [`DitsLocal::traversal_layout`].
+#[derive(Debug, Clone, Default)]
 pub struct TraversalLayout {
+    arena: Vec<NodeIdx>,
     geometries: Vec<NodeGeometry>,
     children: Vec<[NodeIdx; 2]>,
+    entry_ranges: Vec<(u32, u32)>,
+    entry_geometries: Vec<NodeGeometry>,
+    entry_ids: Vec<DatasetId>,
 }
 
 /// Sentinel child index marking a leaf in [`TraversalLayout`].
 const NO_CHILD: NodeIdx = NodeIdx::MAX;
 
 impl TraversalLayout {
-    /// Geometry of node `idx`.
+    /// Layout index of the tree root (the DFS starts there).
+    pub fn root(&self) -> NodeIdx {
+        0
+    }
+
+    /// Geometry of layout node `idx`.
     pub fn geometry(&self, idx: NodeIdx) -> &NodeGeometry {
         &self.geometries[idx]
     }
 
-    /// MBR of node `idx`.
+    /// MBR of layout node `idx`.
     pub fn rect(&self, idx: NodeIdx) -> &Mbr {
         &self.geometries[idx].rect
     }
 
-    /// Children of node `idx`, or `None` for a leaf.
+    /// Children of layout node `idx` (layout indices), or `None` for a leaf.
     pub fn children(&self, idx: NodeIdx) -> Option<(NodeIdx, NodeIdx)> {
         let [left, right] = self.children[idx];
         (left != NO_CHILD).then_some((left, right))
     }
 
-    /// Number of arena nodes covered by the snapshot.
+    /// Arena slot holding the payload of layout node `idx`.
+    pub fn arena_index(&self, idx: NodeIdx) -> NodeIdx {
+        self.arena[idx]
+    }
+
+    /// Range of layout node `idx`'s leaf entries in the flat entry arrays
+    /// (empty for internal nodes).
+    pub fn entry_range(&self, idx: NodeIdx) -> std::ops::Range<usize> {
+        let (start, end) = self.entry_ranges[idx];
+        start as usize..end as usize
+    }
+
+    /// Geometry of flat entry `i` (index into an [`Self::entry_range`]).
+    pub fn entry_geometry(&self, i: usize) -> &NodeGeometry {
+        &self.entry_geometries[i]
+    }
+
+    /// Dataset id of flat entry `i` (index into an [`Self::entry_range`]).
+    pub fn entry_id(&self, i: usize) -> DatasetId {
+        self.entry_ids[i]
+    }
+
+    /// Number of reachable nodes covered by the layout.
     pub fn len(&self) -> usize {
         self.geometries.len()
     }
 
-    /// Whether the snapshot covers no nodes.
+    /// Whether the layout covers no nodes.
     pub fn is_empty(&self) -> bool {
         self.geometries.is_empty()
+    }
+
+    /// Heap bytes held by the layout arrays (counted by
+    /// [`DitsLocal::memory_bytes`] once the cache is built).
+    pub fn memory_bytes(&self) -> usize {
+        self.arena.capacity() * std::mem::size_of::<NodeIdx>()
+            + self.geometries.capacity() * std::mem::size_of::<NodeGeometry>()
+            + self.children.capacity() * std::mem::size_of::<[NodeIdx; 2]>()
+            + self.entry_ranges.capacity() * std::mem::size_of::<(u32, u32)>()
+            + self.entry_geometries.capacity() * std::mem::size_of::<NodeGeometry>()
+            + self.entry_ids.capacity() * std::mem::size_of::<DatasetId>()
     }
 }
 
 impl DitsLocal {
-    /// Builds the structure-of-arrays [`TraversalLayout`] snapshot of the
-    /// current arena (see its docs for when to use one).
-    pub fn traversal_layout(&self) -> TraversalLayout {
-        TraversalLayout {
-            geometries: self.nodes.iter().map(|n| n.geometry).collect(),
-            children: self
-                .nodes
-                .iter()
-                .map(|n| match n.kind {
-                    NodeKind::Internal { left, right } => [left, right],
-                    NodeKind::Leaf { .. } => [NO_CHILD; 2],
-                })
-                .collect(),
+    /// The cached structure-of-arrays [`TraversalLayout`] of the reachable
+    /// tree, building it on first use after a mutation.
+    pub fn traversal_layout(&self) -> &TraversalLayout {
+        self.layout.get_or_init(|| {
+            let mut layout = TraversalLayout::default();
+            self.layout_subtree(self.root, &mut layout);
+            layout
+        })
+    }
+
+    /// DFS-preorder (left first) flattening of the subtree at arena index
+    /// `arena_idx`; returns the layout index assigned to it.
+    fn layout_subtree(&self, arena_idx: NodeIdx, out: &mut TraversalLayout) -> NodeIdx {
+        let node = &self.nodes[arena_idx];
+        let idx = out.arena.len();
+        out.arena.push(arena_idx);
+        out.geometries.push(node.geometry);
+        out.children.push([NO_CHILD; 2]);
+        out.entry_ranges.push((0, 0));
+        match &node.kind {
+            NodeKind::Leaf { entries, .. } => {
+                let start = out.entry_ids.len() as u32;
+                for e in entries {
+                    out.entry_ids.push(e.id);
+                    out.entry_geometries.push(e.geometry);
+                }
+                out.entry_ranges[idx] = (start, out.entry_ids.len() as u32);
+            }
+            NodeKind::Internal { left, right } => {
+                let l = self.layout_subtree(*left, out);
+                let r = self.layout_subtree(*right, out);
+                out.children[idx] = [l, r];
+            }
         }
+        idx
     }
 }
 
@@ -587,19 +675,69 @@ mod tests {
     fn traversal_layout_mirrors_the_arena() {
         let idx = DitsLocal::build(grid_nodes(50), DitsLocalConfig { leaf_capacity: 4 });
         let layout = idx.traversal_layout();
+        // A freshly built tree has no orphans: every arena slot is reachable.
         assert_eq!(layout.len(), idx.node_count());
         assert!(!layout.is_empty());
-        for i in 0..idx.node_count() {
-            let node = idx.node(i);
+        assert_eq!(layout.arena_index(layout.root()), idx.root());
+        let mut seen_entries = 0usize;
+        for i in 0..layout.len() {
+            let node = idx.node(layout.arena_index(i));
             assert_eq!(layout.rect(i), &node.geometry.rect);
             assert_eq!(layout.geometry(i).pivot, node.geometry.pivot);
-            match node.kind {
+            match &node.kind {
                 NodeKind::Internal { left, right } => {
-                    assert_eq!(layout.children(i), Some((left, right)))
+                    let (l, r) = layout.children(i).expect("internal node has children");
+                    // DFS preorder: the left child is the next slot.
+                    assert_eq!(l, i + 1);
+                    assert_eq!(layout.arena_index(l), *left);
+                    assert_eq!(layout.arena_index(r), *right);
+                    assert!(layout.entry_range(i).is_empty());
                 }
-                NodeKind::Leaf { .. } => assert_eq!(layout.children(i), None),
+                NodeKind::Leaf { entries, .. } => {
+                    assert_eq!(layout.children(i), None);
+                    let range = layout.entry_range(i);
+                    assert_eq!(range.len(), entries.len());
+                    for (j, e) in range.zip(entries.iter()) {
+                        assert_eq!(layout.entry_id(j), e.id);
+                        assert_eq!(layout.entry_geometry(j).rect, e.geometry.rect);
+                        seen_entries += 1;
+                    }
+                }
             }
         }
+        assert_eq!(seen_entries, idx.dataset_count());
+    }
+
+    #[test]
+    fn traversal_layout_cache_invalidated_by_maintenance() {
+        let mut idx = DitsLocal::build(grid_nodes(20), DitsLocalConfig { leaf_capacity: 4 });
+        let before = idx.traversal_layout().len();
+        assert!(idx.insert(make_node(100, &[(60, 60), (61, 61)])));
+        let layout = idx.traversal_layout();
+        // The rebuilt layout sees the new dataset.
+        let flat_ids: Vec<DatasetId> = (0..layout.len())
+            .flat_map(|i| layout.entry_range(i))
+            .map(|j| layout.entry_id(j))
+            .collect();
+        assert!(flat_ids.contains(&100));
+        assert_eq!(flat_ids.len(), idx.dataset_count());
+        assert!(layout.len() >= before);
+        // Deletions that collapse leaves leave orphaned arena slots behind;
+        // the layout excludes them.
+        assert!(idx.delete(100));
+        assert!(idx.delete(0));
+        let layout = idx.traversal_layout();
+        assert!(layout.len() <= idx.node_count());
+        assert!(idx.check_invariants().is_ok());
+    }
+
+    #[test]
+    fn layout_cache_counts_in_memory_estimate() {
+        let idx = DitsLocal::build(grid_nodes(50), DitsLocalConfig { leaf_capacity: 4 });
+        let cold = idx.memory_bytes();
+        let layout_bytes = idx.traversal_layout().memory_bytes();
+        assert!(layout_bytes > 0);
+        assert_eq!(idx.memory_bytes(), cold + layout_bytes);
     }
 
     #[test]

@@ -12,7 +12,7 @@
 //! dataset in the leaf simultaneously.
 
 use crate::bounds::leaf_overlap_bounds;
-use crate::local::{DitsLocal, NodeIdx, NodeKind};
+use crate::local::{DitsLocal, NodeIdx, NodeKind, TraversalLayout};
 use crate::node::DatasetNode;
 use crate::stats::SearchStats;
 use serde::{Deserialize, Serialize};
@@ -61,11 +61,15 @@ pub fn overlap_search_with_options(
     };
 
     // Phase 1 (BranchAndBound): collect candidate leaves with their bounds.
+    // The descent runs over the cached structure-of-arrays layout; only
+    // surviving leaves touch their arena payloads.
     let mut candidates: Vec<LeafCandidate> = Vec::new();
     let started = std::time::Instant::now();
+    let layout = index.traversal_layout();
     collect_candidate_leaves(
         index,
-        index.root(),
+        layout,
+        layout.root(),
         &query_rect,
         query,
         use_bounds,
@@ -156,10 +160,14 @@ pub(crate) fn verify_candidates(
     results
 }
 
-/// Recursive descent of Algorithm 2's `BranchAndBound`: prunes subtrees not
-/// intersecting the query MBR and computes leaf bounds.
+/// Recursive descent of Algorithm 2's `BranchAndBound` over the layout
+/// (`node_idx` is a layout index): prunes subtrees not intersecting the
+/// query MBR and computes leaf bounds.  Candidates carry *arena* indices so
+/// verification can reach the leaf payloads.
+#[allow(clippy::too_many_arguments)]
 fn collect_candidate_leaves(
     index: &DitsLocal,
+    layout: &TraversalLayout,
     node_idx: NodeIdx,
     query_rect: &Mbr,
     query: &CellSet,
@@ -167,32 +175,38 @@ fn collect_candidate_leaves(
     out: &mut Vec<(usize, usize, NodeIdx)>,
     stats: &mut SearchStats,
 ) {
-    let node = index.node(node_idx);
     stats.nodes_visited += 1;
-    if !node.geometry.rect.intersects(query_rect) {
+    if !layout.rect(node_idx).intersects(query_rect) {
         stats.nodes_pruned += 1;
         return;
     }
-    match &node.kind {
-        NodeKind::Leaf { entries, inverted } => {
-            if entries.is_empty() {
-                return;
+    match layout.children(node_idx) {
+        None => {
+            let arena_idx = layout.arena_index(node_idx);
+            if let NodeKind::Leaf { entries, inverted } = &index.node(arena_idx).kind {
+                if entries.is_empty() {
+                    return;
+                }
+                let (lb, ub) = if use_bounds {
+                    leaf_overlap_bounds(inverted, query, entries.len())
+                } else {
+                    (0, usize::MAX)
+                };
+                if use_bounds && ub == 0 {
+                    // The leaf shares no cell with the query at all.
+                    stats.leaves_pruned_by_bounds += 1;
+                    return;
+                }
+                out.push((ub, lb, arena_idx));
             }
-            let (lb, ub) = if use_bounds {
-                leaf_overlap_bounds(inverted, query, entries.len())
-            } else {
-                (0, usize::MAX)
-            };
-            if use_bounds && ub == 0 {
-                // The leaf shares no cell with the query at all.
-                stats.leaves_pruned_by_bounds += 1;
-                return;
-            }
-            out.push((ub, lb, node_idx));
         }
-        NodeKind::Internal { left, right } => {
-            collect_candidate_leaves(index, *left, query_rect, query, use_bounds, out, stats);
-            collect_candidate_leaves(index, *right, query_rect, query, use_bounds, out, stats);
+        Some((left, right)) => {
+            collect_candidate_leaves(
+                index, layout, left, query_rect, query, use_bounds, out, stats,
+            );
+            collect_candidate_leaves(
+                index, layout, right, query_rect, query, use_bounds, out, stats,
+            );
         }
     }
 }

@@ -9,7 +9,8 @@
 
 use datagen::{generate_source, paper_sources, GeneratorConfig, SourceScale};
 use dits::{
-    decode_global, decode_local, encode_global, encode_local, nearest_datasets, overlap_search,
+    decode_global, decode_local, encode_global, encode_local, nearest_datasets,
+    nearest_datasets_unbounded, overlap_search,
 };
 use multisource::{
     DistributionStrategy, FrameworkConfig, MultiSourceFramework, SearchRequest, UpdateOp,
@@ -150,6 +151,40 @@ fn assert_answer_parity(
     }
 }
 
+/// Verification-kernel parity on the *maintained* trees: the lazily-cached
+/// verify state (per-node sorted coordinate decompositions) and the bounded
+/// kNN sweep cutoff must be invisible after arbitrary interleaved
+/// maintenance.  Every dataset distance computed through the cached sweep
+/// must equal the fresh decompose-and-sort oracle, and bounded kNN must be
+/// byte-identical (answers *and* stats) to the unbounded oracle.
+fn assert_verify_state_parity(maintained: &MultiSourceFramework, queries: &[SpatialDataset]) {
+    for s in maintained.sources() {
+        for q in queries {
+            let cells = s.grid_query(q);
+            if cells.is_empty() {
+                continue;
+            }
+            for d in s.index().dataset_nodes() {
+                let cached = spatial::distance::dataset_distance(&cells, &d.cells);
+                let fresh = spatial::distance::dataset_distance_uncached(&cells, &d.cells);
+                assert_eq!(
+                    cached, fresh,
+                    "cached sweep diverged from fresh oracle on source {} dataset {}",
+                    s.id, d.id
+                );
+            }
+            let (fast, fast_stats) = nearest_datasets(s.index(), &cells, 4);
+            let (oracle, oracle_stats) = nearest_datasets_unbounded(s.index(), &cells, 4);
+            assert_eq!(fast, oracle, "bounded kNN diverged on source {}", s.id);
+            assert_eq!(
+                fast_stats, oracle_stats,
+                "kNN stats diverged on source {}",
+                s.id
+            );
+        }
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(6))]
     #[test]
@@ -229,6 +264,7 @@ proptest! {
         let queries = probe_queries(&data);
         assert_parity(&fw, &scratch, &queries);
         assert_answer_parity(&fw, &scratch, &queries);
+        assert_verify_state_parity(&fw, &queries);
     }
 }
 
@@ -253,6 +289,7 @@ fn sustained_churn_triggers_global_rebuild_without_losing_parity() {
     let queries = probe_queries(&data);
     assert_parity(&fw, &scratch, &queries);
     assert_answer_parity(&fw, &scratch, &queries);
+    assert_verify_state_parity(&fw, &queries);
 }
 
 #[test]

@@ -148,6 +148,70 @@ fn loopback_tcp_federation_matches_in_process() {
     assert_transport_parity(&fw, &tcp, &queries);
 }
 
+/// The verification-side fast paths (bounded kNN sweeps, cached per-node
+/// verify state) must be invisible at every level of the stack: the
+/// production bounded kernel answers byte-identically — results *and*
+/// `SearchStats` — to the unbounded fresh-state oracle on every source, and
+/// repeated kNN requests over a real socket (cold caches on the first run,
+/// warm on the second) return identical responses to the in-process engine.
+#[test]
+fn bounded_knn_matches_unbounded_oracle_across_transports() {
+    use dits::{nearest_datasets, nearest_datasets_unbounded};
+
+    let data = build_data(47);
+    let fw = framework(&data);
+    let queries = probe_queries(&data);
+
+    // Source-level oracle parity: the bounded kernel (threaded k-th-best
+    // cutoff, cached sorted-coordinate state) vs the unbounded fresh oracle.
+    for source in fw.sources() {
+        for q in &queries {
+            let cells = source.grid_query(q);
+            if cells.is_empty() {
+                continue;
+            }
+            for k in [1, 3, 7] {
+                let (fast, fast_stats) = nearest_datasets(source.index(), &cells, k);
+                let (oracle, oracle_stats) = nearest_datasets_unbounded(source.index(), &cells, k);
+                assert_eq!(
+                    fast, oracle,
+                    "bounded kNN diverged from the unbounded oracle (source {}, k {k})",
+                    source.id
+                );
+                assert_eq!(
+                    fast_stats, oracle_stats,
+                    "bounded kNN stats diverged from the unbounded oracle (source {}, k {k})",
+                    source.id
+                );
+            }
+        }
+    }
+
+    // Cross-transport parity of the same kernels, cold and warm: the first
+    // TCP run builds the per-node caches on the servers, the second reuses
+    // them — both must equal the in-process answer bit for bit.
+    let tcp = spawn_federation(&fw);
+    let center = DataCenter::from_transport(&tcp, fw.config().leaf_capacity).expect("summary poll");
+    let remote = QueryEngine::new(&center, &tcp, engine_config(&fw));
+    for k in [2, 4] {
+        let request = SearchRequest::knn_batch(queries.to_vec()).k(k);
+        let local = fw.search(&request).expect("in-process kNN");
+        let cold = remote.run(&request).expect("TCP kNN (cold caches)");
+        let warm = remote.run(&request).expect("TCP kNN (warm caches)");
+        for over_tcp in [&cold, &warm] {
+            assert_eq!(
+                local.results, over_tcp.results,
+                "kNN answers diverged (k {k})"
+            );
+            assert_eq!(local.comm, over_tcp.comm, "kNN comm stats diverged (k {k})");
+            assert_eq!(
+                local.search, over_tcp.search,
+                "kNN search stats diverged (k {k})"
+            );
+        }
+    }
+}
+
 /// A summary registered in DITS-G whose source the transport cannot reach
 /// (a fleet member that left after the global image was persisted) is
 /// skipped during routing — the batch answers from the remaining sources

@@ -40,7 +40,7 @@ use std::sync::OnceLock;
 use crate::grid::Grid;
 use crate::mbr::Mbr;
 use crate::point::Point;
-use crate::zorder::{cell_coords, CellId};
+use crate::zorder::{cell_coords, cell_id, CellId};
 use serde::{Deserialize, Serialize};
 
 /// Size skew ratio above which the galloping kernel is used.
@@ -135,6 +135,27 @@ impl PackedCells {
         }
     }
 
+    /// Returns `true` as soon as any block `AND` is non-zero — the
+    /// word-parallel "do these sets share a cell?" predicate.
+    fn intersects(&self, other: &PackedCells) -> bool {
+        let mut i = 0;
+        let mut j = 0;
+        while i < self.keys.len() && j < other.keys.len() {
+            match self.keys[i].cmp(&other.keys[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    if self.words[i] & other.words[j] != 0 {
+                        return true;
+                    }
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        false
+    }
+
     fn intersection_size_merge(&self, other: &PackedCells) -> usize {
         let mut i = 0;
         let mut j = 0;
@@ -186,6 +207,69 @@ impl PackedCells {
     }
 }
 
+/// One coarse block of a boundary decomposition: the exact bounding box (in
+/// cell coordinates) of the boundary cells it groups, and the range of
+/// [`BoundaryIndex::coords`] holding them.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct BoundaryBlock {
+    pub(crate) min_x: f64,
+    pub(crate) min_y: f64,
+    pub(crate) max_x: f64,
+    pub(crate) max_y: f64,
+    pub(crate) start: u32,
+    pub(crate) end: u32,
+}
+
+/// A set's boundary cells grouped into coarse
+/// [`BOUNDARY_BLOCK_SIZE`]×[`BOUNDARY_BLOCK_SIZE`]-cell blocks — the verify
+/// state the two-level distance kernel walks: block-pair bounding-box gaps
+/// prune in exact integer arithmetic, and only the surviving block pairs are
+/// scanned cell by cell.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub(crate) struct BoundaryIndex {
+    pub(crate) coords: Vec<(f64, f64)>,
+    pub(crate) blocks: Vec<BoundaryBlock>,
+}
+
+/// Side length (in cells) of one boundary block.
+const BOUNDARY_BLOCK_SIZE: u32 = 8;
+
+impl BoundaryIndex {
+    fn build(boundary: Vec<(u32, u32)>) -> Self {
+        let mut cells = boundary;
+        let key = |&(x, y): &(u32, u32)| {
+            (((x / BOUNDARY_BLOCK_SIZE) as u64) << 32) | (y / BOUNDARY_BLOCK_SIZE) as u64
+        };
+        cells.sort_unstable_by_key(key);
+        let coords: Vec<(f64, f64)> = cells.iter().map(|&(x, y)| (x as f64, y as f64)).collect();
+        let mut blocks: Vec<BoundaryBlock> = Vec::new();
+        let mut start = 0usize;
+        while start < cells.len() {
+            let block_key = key(&cells[start]);
+            let mut end = start + 1;
+            while end < cells.len() && key(&cells[end]) == block_key {
+                end += 1;
+            }
+            let chunk = &coords[start..end];
+            blocks.push(BoundaryBlock {
+                min_x: chunk.iter().map(|c| c.0).fold(f64::INFINITY, f64::min),
+                min_y: chunk.iter().map(|c| c.1).fold(f64::INFINITY, f64::min),
+                max_x: chunk.iter().map(|c| c.0).fold(f64::NEG_INFINITY, f64::max),
+                max_y: chunk.iter().map(|c| c.1).fold(f64::NEG_INFINITY, f64::max),
+                start: start as u32,
+                end: end as u32,
+            });
+            start = end;
+        }
+        Self { coords, blocks }
+    }
+
+    fn memory_bytes(&self) -> usize {
+        self.coords.capacity() * std::mem::size_of::<(f64, f64)>()
+            + self.blocks.capacity() * std::mem::size_of::<BoundaryBlock>()
+    }
+}
+
 /// A sorted, deduplicated set of grid cell IDs representing a spatial
 /// dataset on a fixed grid.
 ///
@@ -197,6 +281,8 @@ impl PackedCells {
 pub struct CellSet {
     cells: Vec<CellId>,
     packed: OnceLock<PackedCells>,
+    coords: OnceLock<Vec<(f64, f64)>>,
+    boundary: OnceLock<BoundaryIndex>,
 }
 
 impl PartialEq for CellSet {
@@ -219,6 +305,8 @@ impl CellSet {
         Self {
             cells,
             packed: OnceLock::new(),
+            coords: OnceLock::new(),
+            boundary: OnceLock::new(),
         }
     }
 
@@ -277,6 +365,84 @@ impl CellSet {
     /// The cached bit-packed form, building it on first use.
     fn packed(&self) -> &PackedCells {
         self.packed.get_or_init(|| PackedCells::build(&self.cells))
+    }
+
+    /// The cells decomposed to grid coordinates and sorted by x — the *verify
+    /// state* of the dataset-distance plane sweep (Definition 6).
+    ///
+    /// Built at most once per set (cached in a [`OnceLock`] like the packed
+    /// blocks, invalidated by mutation), so every distance computation
+    /// against the same set — a kNN verifier testing hundreds of candidates,
+    /// a coverage probe, a range scan — reuses one decomposition instead of
+    /// re-allocating and re-sorting per call.
+    pub fn sorted_coords(&self) -> &[(f64, f64)] {
+        self.coords.get_or_init(|| {
+            let mut v: Vec<(f64, f64)> = self
+                .cells
+                .iter()
+                .map(|&c| {
+                    let (x, y) = cell_coords(c);
+                    (x as f64, y as f64)
+                })
+                .collect();
+            v.sort_unstable_by(|l, r| l.0.total_cmp(&r.0));
+            v
+        })
+    }
+
+    /// The coordinates of the set's *boundary* cells — cells with at least
+    /// one 4-neighbour absent from the set — grouped by coarse block (see
+    /// [`boundary_index`]); not globally sorted.
+    ///
+    /// For two **disjoint** sets the closest cell pair always joins two
+    /// boundary cells: from an interior cell, stepping one cell toward the
+    /// other set stays inside the set and strictly shrinks the (integer)
+    /// squared distance, so an interior cell can never be part of a
+    /// minimising pair.  The distance kernel therefore only has to walk each
+    /// side's boundary, which for dense blob-like datasets is the perimeter
+    /// of the blob rather than its area.  Cached like [`sorted_coords`]
+    /// (built at most once, invalidated by mutation).
+    ///
+    /// [`sorted_coords`]: CellSet::sorted_coords
+    /// [`boundary_index`]: CellSet::boundary_index
+    pub fn boundary_coords(&self) -> &[(f64, f64)] {
+        &self.boundary_index().coords
+    }
+
+    /// The cached boundary decomposition, grouped into coarse blocks with
+    /// exact bounding boxes — the verify state of the two-level distance
+    /// kernel.  Block-pair bbox gaps give exact integer lower bounds that
+    /// prune almost every block pair before any cell pair is touched.
+    pub(crate) fn boundary_index(&self) -> &BoundaryIndex {
+        self.boundary.get_or_init(|| {
+            let boundary: Vec<(u32, u32)> = self
+                .cells
+                .iter()
+                .filter_map(|&c| {
+                    let (x, y) = cell_coords(c);
+                    let interior = x
+                        .checked_sub(1)
+                        .is_some_and(|xl| self.contains(cell_id(xl, y)))
+                        && x.checked_add(1)
+                            .is_some_and(|xr| self.contains(cell_id(xr, y)))
+                        && y.checked_sub(1)
+                            .is_some_and(|yd| self.contains(cell_id(x, yd)))
+                        && y.checked_add(1)
+                            .is_some_and(|yu| self.contains(cell_id(x, yu)));
+                    (!interior).then_some((x, y))
+                })
+                .collect();
+            BoundaryIndex::build(boundary)
+        })
+    }
+
+    /// Returns `true` when the sets share at least one cell, answered by an
+    /// early-exiting `AND` over the cached word-parallel packed blocks.
+    pub fn intersects(&self, other: &CellSet) -> bool {
+        if self.is_empty() || other.is_empty() {
+            return false;
+        }
+        self.packed().intersects(other.packed())
     }
 
     /// Average member cells per occupied 64-cell block.  Exact once the
@@ -484,7 +650,10 @@ impl CellSet {
             Ok(_) => false,
             Err(pos) => {
                 self.cells.insert(pos, cell);
-                self.packed.take(); // the cached packed form is stale now
+                // Every derived cache is stale now.
+                self.packed.take();
+                self.coords.take();
+                self.boundary.take();
                 true
             }
         }
@@ -496,6 +665,8 @@ impl CellSet {
             Ok(pos) => {
                 self.cells.remove(pos);
                 self.packed.take();
+                self.coords.take();
+                self.boundary.take();
                 true
             }
             Err(_) => false,
@@ -529,10 +700,16 @@ impl CellSet {
     }
 
     /// An estimate of the heap memory used by this set, in bytes, including
-    /// the packed-block cache when it has been built.
+    /// the packed-block, sorted-coordinate and boundary caches when they
+    /// have been built.
     pub fn memory_bytes(&self) -> usize {
         self.cells.capacity() * std::mem::size_of::<CellId>()
             + self.packed.get().map_or(0, PackedCells::memory_bytes)
+            + self
+                .coords
+                .get()
+                .map_or(0, |v| v.capacity() * std::mem::size_of::<(f64, f64)>())
+            + self.boundary.get().map_or(0, BoundaryIndex::memory_bytes)
     }
 }
 
@@ -713,6 +890,31 @@ mod tests {
     }
 
     #[test]
+    fn sorted_coords_are_sorted_and_invalidated_by_mutation() {
+        use crate::zorder::cell_id;
+        let mut s = CellSet::from_cells([cell_id(5, 1), cell_id(0, 9), cell_id(3, 3)]);
+        let coords = s.sorted_coords().to_vec();
+        assert_eq!(coords.len(), 3);
+        assert!(coords.windows(2).all(|w| w[0].0 <= w[1].0));
+        assert_eq!(coords[0], (0.0, 9.0));
+        // Mutation drops the cache; the rebuilt one reflects the new content.
+        assert!(s.insert(cell_id(1, 2)));
+        assert_eq!(s.sorted_coords().len(), 4);
+        assert!(s.remove(cell_id(5, 1)));
+        assert_eq!(s.sorted_coords().len(), 3);
+        assert!(!s.sorted_coords().iter().any(|&(x, y)| (x, y) == (5.0, 1.0)));
+        assert!(CellSet::new().sorted_coords().is_empty());
+    }
+
+    #[test]
+    fn sorted_coords_cache_counts_in_memory_estimate() {
+        let s: CellSet = (0..100u64).collect();
+        let bare = s.memory_bytes();
+        s.sorted_coords();
+        assert!(s.memory_bytes() >= bare + 100 * std::mem::size_of::<(f64, f64)>());
+    }
+
+    #[test]
     fn equality_and_clone_ignore_the_cache() {
         let a: CellSet = (0..300u64).collect();
         let b: CellSet = (0..300u64).collect();
@@ -790,6 +992,62 @@ mod tests {
         // Building the packed cache is reflected in the estimate.
         s.intersection_size_packed(&s);
         assert!(s.memory_bytes() > bare);
+        // ... and so is the boundary cache.
+        let packed_only = s.memory_bytes();
+        assert!(!s.boundary_coords().is_empty());
+        assert!(s.memory_bytes() > packed_only);
+    }
+
+    fn coord_set(coords: &[(u32, u32)]) -> CellSet {
+        CellSet::from_cells(coords.iter().map(|&(x, y)| cell_id(x, y)))
+    }
+
+    #[test]
+    fn boundary_keeps_the_perimeter_and_drops_the_interior() {
+        // A solid 4x4 block: only the centre 2x2 cells have all four
+        // neighbours present.
+        let block = coord_set(
+            &(0..4)
+                .flat_map(|x| (0..4).map(move |y| (x, y)))
+                .collect::<Vec<_>>(),
+        );
+        let boundary = block.boundary_coords();
+        assert_eq!(boundary.len(), 12);
+        assert!(!boundary.contains(&(1.0, 1.0)));
+        assert!(!boundary.contains(&(2.0, 2.0)));
+        assert!(boundary.contains(&(0.0, 0.0)));
+        assert!(boundary.contains(&(3.0, 2.0)));
+        // A thin route is all boundary.
+        let route = coord_set(&[(10, 0), (11, 0), (12, 0)]);
+        assert_eq!(route.boundary_coords().len(), 3);
+        // The origin cell is boundary even though its left/down neighbours
+        // would underflow the coordinate space.
+        let origin = coord_set(&[(0, 0)]);
+        assert_eq!(origin.boundary_coords(), &[(0.0, 0.0)]);
+    }
+
+    #[test]
+    fn boundary_cache_is_invalidated_by_mutation() {
+        let mut s = coord_set(&[(1, 1), (1, 0), (1, 2), (0, 1)]);
+        assert_eq!(s.boundary_coords().len(), 4); // (1,1) misses (2,1)
+        assert!(s.insert(cell_id(2, 1)));
+        // (1,1) is now interior.
+        assert_eq!(s.boundary_coords().len(), 4);
+        assert!(!s.boundary_coords().contains(&(1.0, 1.0)));
+        assert!(s.remove(cell_id(2, 1)));
+        assert_eq!(s.boundary_coords().len(), 4);
+        assert!(s.boundary_coords().contains(&(1.0, 1.0)));
+    }
+
+    #[test]
+    fn intersects_matches_intersection_size() {
+        let a = set(&[1, 2, 3, 200]);
+        let b = set(&[3, 400]);
+        let c = set(&[4, 5]);
+        assert!(a.intersects(&b));
+        assert!(!a.intersects(&c));
+        assert!(!a.intersects(&CellSet::new()));
+        assert!(!CellSet::new().intersects(&a));
     }
 
     proptest! {
@@ -807,6 +1065,44 @@ mod tests {
             let u: Vec<u64> = sa.union(&sb).copied().collect();
             let cu = ca.union(&cb);
             prop_assert_eq!(cu.cells(), &u[..]);
+        }
+
+        #[test]
+        fn prop_intersects_agrees_with_intersection_size(
+            a in proptest::collection::vec(0u64..5000, 0..400),
+            b in proptest::collection::vec(0u64..5000, 0..400),
+        ) {
+            let ca = CellSet::from_cells(a);
+            let cb = CellSet::from_cells(b);
+            prop_assert_eq!(ca.intersects(&cb), ca.intersection_size(&cb) > 0);
+        }
+
+        #[test]
+        fn prop_boundary_is_a_subset_containing_all_extremes(
+            coords in proptest::collection::vec((0u32..48, 0u32..48), 1..120),
+        ) {
+            let s = coord_set(&coords);
+            let full: std::collections::BTreeSet<(u64, u64)> = s
+                .sorted_coords()
+                .iter()
+                .map(|&(x, y)| (x as u64, y as u64))
+                .collect();
+            let boundary: std::collections::BTreeSet<(u64, u64)> = s
+                .boundary_coords()
+                .iter()
+                .map(|&(x, y)| (x as u64, y as u64))
+                .collect();
+            prop_assert!(boundary.is_subset(&full));
+            // A cell is dropped only when all four neighbours are present.
+            for &(x, y) in &full {
+                let interior = x > 0
+                    && full.contains(&(x - 1, y))
+                    && full.contains(&(x + 1, y))
+                    && y > 0
+                    && full.contains(&(x, y - 1))
+                    && full.contains(&(x, y + 1));
+                prop_assert_eq!(boundary.contains(&(x, y)), !interior);
+            }
         }
 
         #[test]

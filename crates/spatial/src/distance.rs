@@ -8,8 +8,25 @@
 //! paper targets, and [`dataset_distance_within`] allows early termination
 //! as soon as a pair within a threshold is found (all the connectivity
 //! checks only need `dist ≤ δ`).
+//!
+//! The kernel leans on two pieces of cached per-set verify state, both paid
+//! for once per set and invalidated by mutation:
+//!
+//! * overlapping sets are detected in word-parallel time (an early-exiting
+//!   `AND` over the packed blocks) and are at distance 0 with no sweep;
+//! * disjoint sets walk only their cached **boundary** decompositions —
+//!   exact, because the closest pair of two disjoint sets always joins two
+//!   boundary cells — grouped into coarse blocks whose bounding-box gaps
+//!   prune whole block pairs in exact integer arithmetic before any cell
+//!   pair is touched (see [`block_distance`]).  Together these turn the
+//!   quadratic area × area scan into a handful of block-bound checks plus a
+//!   few perimeter-cell scans, regardless of how far apart the sets are.
+//!
+//! [`dataset_distance_bounded`] additionally threads a caller-supplied
+//! cutoff into the block pruning so far-away candidates abandon after the
+//! bound checks instead of scanning cells to completion.
 
-use crate::cellset::CellSet;
+use crate::cellset::{BoundaryBlock, BoundaryIndex, CellSet};
 use crate::zorder::cell_coords;
 
 /// Exact cell-based dataset distance between two non-empty cell sets.
@@ -19,6 +36,17 @@ pub fn dataset_distance(a: &CellSet, b: &CellSet) -> f64 {
     // A good-enough threshold of 0 only allows early exit once a distance of
     // exactly zero is found, which cannot be improved upon.
     best_distance(a, b, 0.0)
+}
+
+/// Dataset distance with a caller-supplied `cutoff`: the result is **exact**
+/// whenever the true distance is `≤ cutoff`; when it exceeds the cutoff an
+/// arbitrary value `> cutoff` (possibly `f64::INFINITY`) is returned.
+///
+/// Candidates at exactly the cutoff are still computed exactly, so a kNN
+/// caller passing its current k-th best distance keeps tie-breaking
+/// behaviour identical to the unbounded computation.
+pub fn dataset_distance_bounded(a: &CellSet, b: &CellSet, cutoff: f64) -> f64 {
+    best_distance_bounded(a, b, 0.0, cutoff)
 }
 
 /// Returns `true` when `dist(a, b) ≤ delta`, terminating as early as
@@ -40,35 +68,133 @@ fn best_distance(a: &CellSet, b: &CellSet, good_enough: f64) -> f64 {
     best_distance_bounded(a, b, good_enough, f64::INFINITY)
 }
 
-/// Sweep kernel with an additional `cutoff`: pairs whose x gap exceeds the
-/// cutoff are skipped (sound when the caller only needs distances ≤ cutoff).
+/// Cached-state kernel with an additional `cutoff` (sound when the caller
+/// only needs distances ≤ cutoff).
+///
+/// Two structural fast paths settle most calls, both exact:
+///
+/// * **Word-parallel overlap check** — sets sharing any cell are at distance
+///   0, settled by an early-exiting `AND` over the cached packed words.
+///   This is the common case for the candidates a kNN verifier actually
+///   reaches, and it never touches a coordinate.
+/// * **Two-level boundary walk** — for disjoint sets the minimising pair
+///   always joins two boundary cells (see [`CellSet::boundary_coords`]), and
+///   the cached boundary decomposition groups those cells into coarse blocks
+///   with exact bounding boxes.  [`block_distance`] prunes whole block pairs
+///   by their bbox gap before any cell pair is touched, which stays cheap
+///   even when the two sets are far apart and a plane-sweep window would
+///   never prune anything.  Cell coordinates are integers, so squared
+///   distances (and the bbox-gap lower bounds) compute exactly and the
+///   result is bit-identical to the full quadratic minimum.
 fn best_distance_bounded(a: &CellSet, b: &CellSet, good_enough: f64, cutoff: f64) -> f64 {
     if a.is_empty() || b.is_empty() {
         return f64::INFINITY;
     }
-    // Decompose once, sort by x; then for each cell of the smaller set only
-    // cells of the other set within the current best dx window need checking.
-    let (small, large) = if a.len() <= b.len() { (a, b) } else { (b, a) };
-    let mut pa: Vec<(f64, f64)> = small
-        .iter()
-        .map(|c| {
-            let (x, y) = cell_coords(c);
-            (x as f64, y as f64)
-        })
-        .collect();
-    let mut pb: Vec<(f64, f64)> = large
-        .iter()
-        .map(|c| {
-            let (x, y) = cell_coords(c);
-            (x as f64, y as f64)
-        })
-        .collect();
-    pa.sort_unstable_by(|l, r| l.0.partial_cmp(&r.0).unwrap());
-    pb.sort_unstable_by(|l, r| l.0.partial_cmp(&r.0).unwrap());
+    if a.intersects(b) {
+        return 0.0;
+    }
+    block_distance(a.boundary_index(), b.boundary_index(), good_enough, cutoff)
+}
 
+/// Separation of two closed intervals along one axis (0 when they overlap).
+fn axis_gap(lo1: f64, hi1: f64, lo2: f64, hi2: f64) -> f64 {
+    if lo2 > hi1 {
+        lo2 - hi1
+    } else if lo1 > hi2 {
+        lo1 - hi2
+    } else {
+        0.0
+    }
+}
+
+/// Exact squared lower bound on the distance between any cell of block `a`
+/// and any cell of block `b`: the squared gap between their bounding boxes.
+/// All inputs are integer-valued, so the bound computes exactly in `f64`.
+fn block_gap_sq(a: &BoundaryBlock, b: &BoundaryBlock) -> f64 {
+    let dx = axis_gap(a.min_x, a.max_x, b.min_x, b.max_x);
+    let dy = axis_gap(a.min_y, a.max_y, b.min_y, b.max_y);
+    dx * dx + dy * dy
+}
+
+/// The two-level minimum-distance core over two boundary decompositions.
+///
+/// Pass 1 finds the block pair with the smallest bbox-gap lower bound and
+/// scans it cell by cell to seed `best`.  Pass 2 revisits every block pair,
+/// skipping any whose lower bound already rules it out — `lb_sq ≥ best_sq`
+/// (exact integer compare) or `√lb_sq > cutoff` (monotone correctly-rounded
+/// `sqrt`, so every computed cell distance in the block would also exceed
+/// the cutoff) — and scans the survivors.  With a tight seed almost every
+/// pair is pruned, so the cost is one cheap bound per block pair plus a few
+/// cell scans, independent of how far apart the sets are.
+fn block_distance(a: &BoundaryIndex, b: &BoundaryIndex, good_enough: f64, cutoff: f64) -> f64 {
+    let mut seed = (0usize, 0usize);
+    let mut seed_lb = f64::INFINITY;
+    'seed: for (i, ba) in a.blocks.iter().enumerate() {
+        for (j, bb) in b.blocks.iter().enumerate() {
+            let lb = block_gap_sq(ba, bb);
+            if lb < seed_lb {
+                seed_lb = lb;
+                seed = (i, j);
+                if lb == 0.0 {
+                    break 'seed;
+                }
+            }
+        }
+    }
     let mut best = f64::INFINITY;
+    let mut best_sq = f64::INFINITY;
+    let scan = |ba: &BoundaryBlock, bb: &BoundaryBlock, best: &mut f64, best_sq: &mut f64| {
+        for &(ax, ay) in &a.coords[ba.start as usize..ba.end as usize] {
+            for &(bx, by) in &b.coords[bb.start as usize..bb.end as usize] {
+                let dx = bx - ax;
+                let dy = by - ay;
+                // Compare in the squared domain; the square root is only
+                // taken when the best pair improves, never per pair.  `sqrt`
+                // is monotone, so the result is identical to comparing
+                // linearly.
+                let d_sq = dx * dx + dy * dy;
+                if d_sq < *best_sq {
+                    *best_sq = d_sq;
+                    *best = d_sq.sqrt();
+                    if *best <= good_enough {
+                        return true;
+                    }
+                }
+            }
+        }
+        false
+    };
+    if scan(
+        &a.blocks[seed.0],
+        &b.blocks[seed.1],
+        &mut best,
+        &mut best_sq,
+    ) {
+        return best;
+    }
+    for (i, ba) in a.blocks.iter().enumerate() {
+        for (j, bb) in b.blocks.iter().enumerate() {
+            if (i, j) == seed {
+                continue;
+            }
+            let lb = block_gap_sq(ba, bb);
+            if lb >= best_sq || lb.sqrt() > cutoff {
+                continue;
+            }
+            if scan(ba, bb, &mut best, &mut best_sq) {
+                return best;
+            }
+        }
+    }
+    best
+}
+
+/// The plane-sweep core over two x-sorted coordinate lists.
+fn sweep(pa: &[(f64, f64)], pb: &[(f64, f64)], good_enough: f64, cutoff: f64) -> f64 {
+    let mut best = f64::INFINITY;
+    let mut best_sq = f64::INFINITY;
     let mut lo = 0usize;
-    for &(ax, ay) in &pa {
+    for &(ax, ay) in pa {
         let window = best.min(cutoff);
         // Advance the window start: cells whose x is more than the window to
         // the left of ax can never improve the result (or cannot matter to
@@ -81,10 +207,14 @@ fn best_distance_bounded(a: &CellSet, b: &CellSet, good_enough: f64, cutoff: f64
             if dx > window {
                 break;
             }
+            // Compare in the squared domain; the square root is only taken
+            // when the best pair improves, never per pair.  `sqrt` is
+            // monotone, so the result is identical to comparing linearly.
             let dy = by - ay;
-            let d = (dx * dx + dy * dy).sqrt();
-            if d < best {
-                best = d;
+            let d_sq = dx * dx + dy * dy;
+            if d_sq < best_sq {
+                best_sq = d_sq;
+                best = d_sq.sqrt();
                 if best <= good_enough {
                     return best;
                 }
@@ -92,6 +222,32 @@ fn best_distance_bounded(a: &CellSet, b: &CellSet, good_enough: f64, cutoff: f64
         }
     }
     best
+}
+
+/// Fresh-state reference: decomposes cell ids to coordinates and sorts both
+/// sets on **every** call, exactly what [`dataset_distance`] did before the
+/// cached verify state existed.  Kept as the parity oracle for the
+/// cached-sweep proptests and as the baseline the `bench-runner`
+/// `kernel/distance/*` entries measure the cache against.
+pub fn dataset_distance_uncached(a: &CellSet, b: &CellSet) -> f64 {
+    if a.is_empty() || b.is_empty() {
+        return f64::INFINITY;
+    }
+    let (small, large) = if a.len() <= b.len() { (a, b) } else { (b, a) };
+    let decompose = |s: &CellSet| {
+        let mut v: Vec<(f64, f64)> = s
+            .iter()
+            .map(|c| {
+                let (x, y) = cell_coords(c);
+                (x as f64, y as f64)
+            })
+            .collect();
+        v.sort_unstable_by(|l, r| l.0.total_cmp(&r.0));
+        v
+    };
+    let pa = decompose(small);
+    let pb = decompose(large);
+    sweep(&pa, &pb, 0.0, f64::INFINITY)
 }
 
 /// A reusable "is anything within δ of this set?" probe.
@@ -109,17 +265,12 @@ pub struct NeighborProbe {
 }
 
 impl NeighborProbe {
-    /// Builds a probe over a cell set.
+    /// Builds a probe over a cell set, reusing the set's cached sorted
+    /// decomposition (so repeated probes over the same set never re-sort).
     pub fn new(cells: &CellSet) -> Self {
-        let mut xs: Vec<(f64, f64)> = cells
-            .iter()
-            .map(|c| {
-                let (x, y) = cell_coords(c);
-                (x as f64, y as f64)
-            })
-            .collect();
-        xs.sort_unstable_by(|l, r| l.0.partial_cmp(&r.0).unwrap());
-        Self { xs }
+        Self {
+            xs: cells.sorted_coords().to_vec(),
+        }
     }
 
     /// Returns `true` when the probe set is empty.
@@ -201,6 +352,22 @@ mod tests {
     }
 
     #[test]
+    fn nested_sets_are_at_distance_zero() {
+        // b sits strictly inside a's interior: their *boundaries* are 4
+        // cells apart, so this only answers 0 because the word-parallel
+        // overlap check runs before the boundary sweep.
+        let a = set_from_coords(
+            &(0..9)
+                .flat_map(|x| (0..9).map(move |y| (x, y)))
+                .collect::<Vec<_>>(),
+        );
+        let b = set_from_coords(&[(4, 4)]);
+        assert_eq!(dataset_distance(&a, &b), 0.0);
+        assert_eq!(dataset_distance_bounded(&a, &b, 0.5), 0.0);
+        assert!(dataset_distance_within(&a, &b, 0.0));
+    }
+
+    #[test]
     fn empty_sets_are_infinitely_far() {
         let a = CellSet::new();
         let b = set_from_coords(&[(1, 1)]);
@@ -229,7 +396,71 @@ mod tests {
         assert!(NeighborProbe::new(&CellSet::new()).is_empty());
     }
 
+    #[test]
+    fn bounded_is_exact_up_to_and_including_the_cutoff() {
+        let a = set_from_coords(&[(0, 0), (10, 0)]);
+        let b = set_from_coords(&[(0, 5), (20, 20)]);
+        // True distance is 5.0: exact at cutoff 5.0 (the tie case) and above.
+        assert_eq!(dataset_distance_bounded(&a, &b, 5.0), 5.0);
+        assert_eq!(dataset_distance_bounded(&a, &b, 100.0), 5.0);
+        // Below the cutoff only the "> cutoff" contract holds.
+        assert!(dataset_distance_bounded(&a, &b, 4.0) > 4.0);
+        assert_eq!(
+            dataset_distance_bounded(&CellSet::new(), &b, 10.0),
+            f64::INFINITY
+        );
+    }
+
+    #[test]
+    fn cached_sweep_survives_mutation() {
+        let mut a = set_from_coords(&[(0, 0)]);
+        let b = set_from_coords(&[(5, 0)]);
+        assert_eq!(dataset_distance(&a, &b), 5.0);
+        // Mutating `a` must invalidate its cached verify state.
+        a.insert(crate::zorder::cell_id(4, 0));
+        assert_eq!(dataset_distance(&a, &b), 1.0);
+        assert_eq!(dataset_distance_uncached(&a, &b), 1.0);
+        a.remove(crate::zorder::cell_id(4, 0));
+        assert_eq!(dataset_distance(&a, &b), 5.0);
+    }
+
     proptest! {
+        #[test]
+        fn prop_cached_sweep_matches_fresh_oracle(
+            a in proptest::collection::vec((0u32..64, 0u32..64), 1..40),
+            b in proptest::collection::vec((0u32..64, 0u32..64), 1..40),
+        ) {
+            let sa = set_from_coords(&a);
+            let sb = set_from_coords(&b);
+            // Two cached calls (cold then warm) and the fresh oracle agree.
+            let cold = dataset_distance(&sa, &sb);
+            let warm = dataset_distance(&sa, &sb);
+            let fresh = dataset_distance_uncached(&sa, &sb);
+            prop_assert_eq!(cold, warm);
+            prop_assert_eq!(cold, fresh);
+        }
+
+        #[test]
+        fn prop_bounded_is_exact_within_cutoff(
+            a in proptest::collection::vec((0u32..64, 0u32..64), 1..40),
+            b in proptest::collection::vec((0u32..64, 0u32..64), 1..40),
+            cutoff in 0.0f64..100.0,
+        ) {
+            let sa = set_from_coords(&a);
+            let sb = set_from_coords(&b);
+            let exact = dataset_distance(&sa, &sb);
+            let bounded = dataset_distance_bounded(&sa, &sb, cutoff);
+            if exact <= cutoff {
+                prop_assert_eq!(bounded, exact);
+            } else {
+                prop_assert!(bounded > cutoff);
+            }
+            // Ties at exactly the cutoff are exact.
+            if exact.is_finite() {
+                prop_assert_eq!(dataset_distance_bounded(&sa, &sb, exact), exact);
+            }
+        }
+
         #[test]
         fn prop_probe_agrees_with_distance_within(
             a in proptest::collection::vec((0u32..40, 0u32..40), 1..25),
