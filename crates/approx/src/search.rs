@@ -141,8 +141,7 @@ impl ApproxOverlapIndex {
         };
         results.sort_unstable_by(|a, b| {
             b.overlap
-                .partial_cmp(&a.overlap)
-                .unwrap_or(std::cmp::Ordering::Equal)
+                .total_cmp(&a.overlap)
                 .then(a.dataset.cmp(&b.dataset))
         });
         results.truncate(k);

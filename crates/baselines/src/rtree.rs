@@ -81,21 +81,11 @@ impl RTreeIndex {
         let leaf_count = n.div_ceil(MAX_ENTRIES);
         let strip_count = (leaf_count as f64).sqrt().ceil() as usize;
         let per_strip = n.div_ceil(strip_count.max(1));
-        datasets.sort_unstable_by(|a, b| {
-            a.pivot()
-                .x
-                .partial_cmp(&b.pivot().x)
-                .unwrap_or(std::cmp::Ordering::Equal)
-        });
+        datasets.sort_unstable_by(|a, b| a.pivot().x.total_cmp(&b.pivot().x));
         let mut leaves: Vec<usize> = Vec::new();
         for strip in datasets.chunks(per_strip.max(1)) {
             let mut strip: Vec<DatasetNode> = strip.to_vec();
-            strip.sort_unstable_by(|a, b| {
-                a.pivot()
-                    .y
-                    .partial_cmp(&b.pivot().y)
-                    .unwrap_or(std::cmp::Ordering::Equal)
-            });
+            strip.sort_unstable_by(|a, b| a.pivot().y.total_cmp(&b.pivot().y));
             for chunk in strip.chunks(MAX_ENTRIES) {
                 let entries = chunk.to_vec();
                 let mbr = mbr_of_entries(&entries);
@@ -157,15 +147,12 @@ impl RTreeIndex {
                         .min_by(|&a, &b| {
                             let ea = self.nodes[a].mbr().enlargement(rect);
                             let eb = self.nodes[b].mbr().enlargement(rect);
-                            ea.partial_cmp(&eb)
-                                .unwrap_or(std::cmp::Ordering::Equal)
-                                .then_with(|| {
-                                    self.nodes[a]
-                                        .mbr()
-                                        .area()
-                                        .partial_cmp(&self.nodes[b].mbr().area())
-                                        .unwrap_or(std::cmp::Ordering::Equal)
-                                })
+                            ea.total_cmp(&eb).then_with(|| {
+                                self.nodes[a]
+                                    .mbr()
+                                    .area()
+                                    .total_cmp(&self.nodes[b].mbr().area())
+                            })
                         })
                         .expect("internal node has children");
                     path.push(best);

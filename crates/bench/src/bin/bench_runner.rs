@@ -244,7 +244,7 @@ fn measure(name: &str, samples: usize, ops: usize, mut work: impl FnMut()) -> Ke
         work();
         per_op_ns.push(started.elapsed().as_nanos() as f64 / ops as f64);
     }
-    per_op_ns.sort_unstable_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    per_op_ns.sort_unstable_by(|a, b| a.total_cmp(b));
     let p50 = percentile(&per_op_ns, 50.0);
     let p99 = percentile(&per_op_ns, 99.0);
     KernelReport {

@@ -314,9 +314,12 @@ pub fn coverage_search_exhaustive(
         if (mask.count_ones() as usize) > k {
             continue;
         }
-        let chosen: Vec<&DatasetNode> = (0..n)
-            .filter(|i| mask & (1 << i) != 0)
-            .map(|i| &datasets[i])
+        let chosen: Vec<&DatasetNode> = datasets
+            .iter()
+            .take(n)
+            .enumerate()
+            .filter(|(i, _)| mask & (1 << i) != 0)
+            .map(|(_, d)| d)
             .collect();
         let mut sets: Vec<&CellSet> = chosen.iter().map(|d| &d.cells).collect();
         sets.push(query);

@@ -77,7 +77,13 @@ pub fn overlap_search_batch_with_options(
             for &q in &frontier {
                 let qi = q as usize;
                 stats[qi].nodes_visited += 1;
-                if rect.intersects(rects[qi].as_ref().expect("frontier queries have an MBR")) {
+                // Only queries with an MBR enter the root frontier; a missing
+                // rect would mean the frontier was built wrong, and dropping
+                // the query is the panic-free containment of that bug.
+                let Some(qrect) = rects[qi].as_ref() else {
+                    continue;
+                };
+                if rect.intersects(qrect) {
                     survivors.push(q);
                 } else {
                     stats[qi].nodes_pruned += 1;
@@ -271,7 +277,12 @@ pub fn coverage_search_batch(
                         let base = layout.entry_range(node_idx).start;
                         for &q in &kept {
                             let qi = q as usize;
-                            let probe = probes[qi].as_ref().expect("active queries have a probe");
+                            // Probes exist for exactly the active queries; a
+                            // missing one is a frontier-construction bug and
+                            // skipping the query contains it without a panic.
+                            let Some(probe) = probes[qi].as_ref() else {
+                                continue;
+                            };
                             for (offset, entry) in entries.iter().enumerate() {
                                 if seen[qi].contains(&layout.entry_id(base + offset)) {
                                     continue;

@@ -130,11 +130,7 @@ impl DitsGlobal {
             1
         };
         let mid = summaries.len() / 2;
-        summaries.select_nth_unstable_by(mid, |a, b| {
-            coord(a, dsplit)
-                .partial_cmp(&coord(b, dsplit))
-                .unwrap_or(std::cmp::Ordering::Equal)
-        });
+        summaries.select_nth_unstable_by(mid, |a, b| coord(a, dsplit).total_cmp(&coord(b, dsplit)));
         let right = summaries.split_off(mid);
         let left = summaries;
         let left_idx = self.build_subtree(left);

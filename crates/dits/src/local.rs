@@ -156,11 +156,7 @@ impl DitsLocal {
         // sides are non-empty, so construction is O(n log n) and always
         // terminates even for heavily skewed data.
         let mid = entries.len() / 2;
-        entries.select_nth_unstable_by(mid, |a, b| {
-            coord(a, dsplit)
-                .partial_cmp(&coord(b, dsplit))
-                .unwrap_or(std::cmp::Ordering::Equal)
-        });
+        entries.select_nth_unstable_by(mid, |a, b| coord(a, dsplit).total_cmp(&coord(b, dsplit)));
         let right_entries = entries.split_off(mid);
         let left_entries = entries;
 

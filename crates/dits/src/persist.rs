@@ -268,16 +268,23 @@ pub fn decode_global(image: &[u8]) -> Result<DitsGlobal, PersistError> {
                         "internal {idx} references an invalid child {child}"
                     )));
                 }
-                if referenced[child] {
-                    return Err(PersistError::Corrupt(format!(
-                        "node {child} has more than one parent"
-                    )));
+                match referenced.get_mut(child) {
+                    Some(seen) if *seen => {
+                        return Err(PersistError::Corrupt(format!(
+                            "node {child} has more than one parent"
+                        )));
+                    }
+                    Some(seen) => *seen = true,
+                    None => {
+                        return Err(PersistError::Corrupt(format!(
+                            "internal {idx} references an invalid child {child}"
+                        )));
+                    }
                 }
-                referenced[child] = true;
             }
         }
     }
-    if referenced[root] {
+    if referenced.get(root).copied().unwrap_or(false) {
         return Err(PersistError::Corrupt(
             "root is referenced as a child".to_string(),
         ));

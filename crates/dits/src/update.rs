@@ -273,7 +273,7 @@ impl DitsLocal {
             } else {
                 b.pivot().y
             };
-            ca.partial_cmp(&cb).unwrap_or(std::cmp::Ordering::Equal)
+            ca.total_cmp(&cb)
         });
         let right_entries = entries.split_off(mid);
         let left_entries = entries;

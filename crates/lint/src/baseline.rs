@@ -1,0 +1,161 @@
+//! Grandfathered-findings baseline: a committed `lint-baseline.txt` whose
+//! per-(rule, file) counts may only shrink.
+//!
+//! Format: one `rule<TAB or spaces>path<spaces>count` triple per line; `#`
+//! comments and blank lines are ignored.  The ratchet is count-based rather
+//! than line-based so unrelated edits that shift line numbers do not churn
+//! the file — but any *new* finding in a grandfathered file, or any fix that
+//! is not reflected by shrinking the committed count, fails the run.
+
+use std::collections::BTreeMap;
+
+use crate::Finding;
+
+/// `(rule, path) -> grandfathered count`.
+pub type Baseline = BTreeMap<(String, String), usize>;
+
+/// Parses baseline text; returns `Err` with a message on malformed lines.
+pub fn parse(text: &str) -> Result<Baseline, String> {
+    let mut out = Baseline::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let (Some(rule), Some(path), Some(count)) = (parts.next(), parts.next(), parts.next())
+        else {
+            return Err(format!(
+                "baseline line {}: expected `rule path count`, got {line:?}",
+                lineno + 1
+            ));
+        };
+        let count: usize = count.parse().map_err(|_| {
+            format!(
+                "baseline line {}: count {count:?} is not a number",
+                lineno + 1
+            )
+        })?;
+        if out
+            .insert((rule.to_string(), path.to_string()), count)
+            .is_some()
+        {
+            return Err(format!(
+                "baseline line {}: duplicate entry for {rule} {path}",
+                lineno + 1
+            ));
+        }
+    }
+    Ok(out)
+}
+
+/// Renders findings as baseline text (used by `--write-baseline`).
+pub fn render(findings: &[Finding]) -> String {
+    let mut counts: BTreeMap<(String, String), usize> = BTreeMap::new();
+    for f in findings {
+        *counts
+            .entry((f.rule.to_string(), f.path.clone()))
+            .or_insert(0) += 1;
+    }
+    let mut out = String::from(
+        "# repo-lint grandfathered findings: `rule path count` triples.\n\
+         # Counts may only shrink; regenerate with `repo-lint --write-baseline`.\n",
+    );
+    for ((rule, path), count) in &counts {
+        out.push_str(&format!("{rule} {path} {count}\n"));
+    }
+    out
+}
+
+/// Applies the ratchet.  Returns the findings that must be reported (groups
+/// exceeding their grandfathered count) plus stale-baseline errors (groups
+/// that shrank or vanished without the committed file being updated).
+pub fn apply(findings: Vec<Finding>, baseline: &Baseline) -> (Vec<Finding>, Vec<String>) {
+    let mut grouped: BTreeMap<(String, String), Vec<Finding>> = BTreeMap::new();
+    for f in findings {
+        grouped
+            .entry((f.rule.to_string(), f.path.clone()))
+            .or_default()
+            .push(f);
+    }
+    let mut reported = Vec::new();
+    let mut stale = Vec::new();
+    for (key, group) in &grouped {
+        let allowed = baseline.get(key).copied().unwrap_or(0);
+        match group.len().cmp(&allowed) {
+            std::cmp::Ordering::Greater => reported.extend(group.iter().cloned()),
+            std::cmp::Ordering::Less => stale.push(format!(
+                "stale baseline: {} {} grandfathers {} findings but only {} remain — \
+                 shrink lint-baseline.txt",
+                key.0,
+                key.1,
+                allowed,
+                group.len()
+            )),
+            std::cmp::Ordering::Equal => {}
+        }
+    }
+    for ((rule, path), allowed) in baseline {
+        if !grouped.contains_key(&(rule.clone(), path.clone())) {
+            stale.push(format!(
+                "stale baseline: {rule} {path} grandfathers {allowed} findings but none remain — \
+                 shrink lint-baseline.txt"
+            ));
+        }
+    }
+    (reported, stale)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn f(rule: &'static str, path: &str, line: u32) -> Finding {
+        Finding {
+            rule,
+            path: path.to_string(),
+            line,
+            message: "m".to_string(),
+        }
+    }
+
+    #[test]
+    fn parse_rejects_malformed_lines() {
+        assert!(parse("panic-freedom a.rs 3\n# c\n\n").is_ok());
+        assert!(parse("panic-freedom a.rs").is_err());
+        assert!(parse("panic-freedom a.rs x").is_err());
+        assert!(parse("r p 1\nr p 2").is_err());
+    }
+
+    #[test]
+    fn ratchet_reports_growth_and_flags_shrink() {
+        let base = parse("panic-freedom a.rs 2\nfloat-ordering b.rs 1\n").unwrap();
+        // Growth: 3 > 2 -> all three reported.
+        let (rep, stale) = apply(
+            vec![
+                f("panic-freedom", "a.rs", 1),
+                f("panic-freedom", "a.rs", 2),
+                f("panic-freedom", "a.rs", 3),
+                f("float-ordering", "b.rs", 9),
+            ],
+            &base,
+        );
+        assert_eq!(rep.len(), 3);
+        assert!(stale.is_empty());
+        // Shrink without updating the file: stale error.
+        let (rep, stale) = apply(vec![f("panic-freedom", "a.rs", 1)], &base);
+        assert!(rep.is_empty());
+        assert_eq!(stale.len(), 2); // a.rs shrank, b.rs vanished
+    }
+
+    #[test]
+    fn render_then_parse_round_trips() {
+        let fs = vec![f("panic-freedom", "a.rs", 1), f("panic-freedom", "a.rs", 5)];
+        let text = render(&fs);
+        let base = parse(&text).unwrap();
+        assert_eq!(
+            base.get(&("panic-freedom".to_string(), "a.rs".to_string())),
+            Some(&2)
+        );
+    }
+}

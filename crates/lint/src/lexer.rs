@@ -1,0 +1,591 @@
+//! A comment-, string- and attribute-aware Rust token stream.
+//!
+//! This is not a full Rust lexer — it is exactly the subset the lint rules
+//! need to be *sound on this workspace*: tokens never come from comments or
+//! string literals, `lint:allow` directives are recognised while comments are
+//! skipped, and `#[cfg(test)]` / `#[test]` items can be masked out so the
+//! panic-freedom rule only sees code that ships.  Consistent with the
+//! vendored-stubs policy, there is no `syn` anywhere near this crate.
+
+/// The coarse kind of one token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (the lexer does not distinguish).
+    Ident,
+    /// A single punctuation character (`.`, `[`, `&`, ...).
+    Punct,
+    /// A string literal (regular, raw, byte); `text` is the *content*.
+    Str,
+    /// A numeric literal (integer or float head; suffixes included).
+    Num,
+    /// A character literal.
+    CharLit,
+    /// A lifetime (`'a`).
+    Lifetime,
+}
+
+/// One lexed token with its 1-based source line.
+#[derive(Debug, Clone)]
+pub struct Tok {
+    pub kind: TokKind,
+    pub text: String,
+    pub line: u32,
+}
+
+impl Tok {
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct && self.text.len() == 1 && self.text.starts_with(c)
+    }
+
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == s
+    }
+}
+
+/// One `// lint:allow(<rule>): <reason>` directive found in a comment.
+#[derive(Debug, Clone)]
+pub struct AllowDirective {
+    pub line: u32,
+    pub rule: String,
+    pub reason: String,
+}
+
+/// A comment that mentions `lint:allow` but does not parse as a directive.
+#[derive(Debug, Clone)]
+pub struct MalformedAllow {
+    pub line: u32,
+    pub detail: String,
+}
+
+/// The lexed form of one source file.
+#[derive(Debug)]
+pub struct Lexed {
+    pub toks: Vec<Tok>,
+    pub allows: Vec<AllowDirective>,
+    pub malformed_allows: Vec<MalformedAllow>,
+    /// `test_mask[i]` is true when token `i` belongs to a `#[cfg(test)]` or
+    /// `#[test]` item (including the attribute itself).
+    pub test_mask: Vec<bool>,
+}
+
+/// Lexes a whole file.
+pub fn lex(src: &str) -> Lexed {
+    let mut toks = Vec::new();
+    let mut allows = Vec::new();
+    let mut malformed_allows = Vec::new();
+    let bytes: Vec<char> = src.chars().collect();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    let n = bytes.len();
+
+    while i < n {
+        let c = bytes[i];
+        if c == '\n' {
+            line += 1;
+            i += 1;
+            continue;
+        }
+        if c.is_whitespace() {
+            i += 1;
+            continue;
+        }
+        // Line comment (incl. doc comments): skip, but mine for directives.
+        if c == '/' && i + 1 < n && bytes[i + 1] == '/' {
+            let start = i;
+            while i < n && bytes[i] != '\n' {
+                i += 1;
+            }
+            let comment: String = bytes[start..i].iter().collect();
+            scan_allow(&comment, line, &mut allows, &mut malformed_allows);
+            continue;
+        }
+        // Block comment, nested.
+        if c == '/' && i + 1 < n && bytes[i + 1] == '*' {
+            let mut depth = 1;
+            i += 2;
+            while i < n && depth > 0 {
+                if bytes[i] == '\n' {
+                    line += 1;
+                    i += 1;
+                } else if bytes[i] == '/' && i + 1 < n && bytes[i + 1] == '*' {
+                    depth += 1;
+                    i += 2;
+                } else if bytes[i] == '*' && i + 1 < n && bytes[i + 1] == '/' {
+                    depth -= 1;
+                    i += 2;
+                } else {
+                    i += 1;
+                }
+            }
+            continue;
+        }
+        // Raw strings: r"..." / r#"..."# / br#"..."# (any number of #).
+        if (c == 'r' || c == 'b') && is_raw_string_start(&bytes, i) {
+            let (content, consumed, newlines) = lex_raw_string(&bytes, i);
+            toks.push(Tok {
+                kind: TokKind::Str,
+                text: content,
+                line,
+            });
+            line += newlines;
+            i += consumed;
+            continue;
+        }
+        // Regular or byte string.
+        if c == '"' || (c == 'b' && i + 1 < n && bytes[i + 1] == '"') {
+            let start = if c == 'b' { i + 1 } else { i };
+            let (content, consumed, newlines) = lex_quoted(&bytes, start, '"');
+            toks.push(Tok {
+                kind: TokKind::Str,
+                text: content,
+                line,
+            });
+            line += newlines;
+            i = start + consumed;
+            continue;
+        }
+        // Lifetime or char literal.
+        if c == '\'' {
+            if is_lifetime(&bytes, i) {
+                let mut j = i + 1;
+                while j < n && (bytes[j].is_alphanumeric() || bytes[j] == '_') {
+                    j += 1;
+                }
+                toks.push(Tok {
+                    kind: TokKind::Lifetime,
+                    text: bytes[i..j].iter().collect(),
+                    line,
+                });
+                i = j;
+            } else {
+                let (content, consumed, newlines) = lex_quoted(&bytes, i, '\'');
+                toks.push(Tok {
+                    kind: TokKind::CharLit,
+                    text: content,
+                    line,
+                });
+                line += newlines;
+                i += consumed;
+            }
+            continue;
+        }
+        // Identifier (incl. raw identifiers r#foo).
+        if c.is_alphabetic() || c == '_' {
+            let mut j = i;
+            if c == 'r' && i + 2 < n && bytes[i + 1] == '#' && is_ident_char(bytes[i + 2]) {
+                j = i + 2; // raw identifier: token text drops the r# prefix
+            }
+            let start = j;
+            while j < n && is_ident_char(bytes[j]) {
+                j += 1;
+            }
+            toks.push(Tok {
+                kind: TokKind::Ident,
+                text: bytes[start..j].iter().collect(),
+                line,
+            });
+            i = j;
+            continue;
+        }
+        // Number: digits plus alphanumeric tail (0x.., 1_000u64, 1.5e3).
+        if c.is_ascii_digit() {
+            let start = i;
+            let mut j = i;
+            while j < n && (is_ident_char(bytes[j])) {
+                j += 1;
+            }
+            // One fractional part, but never eat a `..` range operator.
+            if j < n && bytes[j] == '.' && j + 1 < n && bytes[j + 1].is_ascii_digit() {
+                j += 1;
+                while j < n && is_ident_char(bytes[j]) {
+                    j += 1;
+                }
+            }
+            toks.push(Tok {
+                kind: TokKind::Num,
+                text: bytes[start..j].iter().collect(),
+                line,
+            });
+            i = j;
+            continue;
+        }
+        // Everything else: one punctuation character per token.
+        toks.push(Tok {
+            kind: TokKind::Punct,
+            text: c.to_string(),
+            line,
+        });
+        i += 1;
+    }
+
+    let test_mask = mask_test_items(&toks);
+    Lexed {
+        toks,
+        allows,
+        malformed_allows,
+        test_mask,
+    }
+}
+
+fn is_ident_char(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+fn is_lifetime(bytes: &[char], i: usize) -> bool {
+    // 'x is a lifetime unless the tick closes again right after ('x').
+    if i + 1 >= bytes.len() {
+        return false;
+    }
+    let next = bytes[i + 1];
+    if !(next.is_alphabetic() || next == '_') {
+        return false;
+    }
+    // 'a' is a char literal; 'ab is a lifetime; 'a, is a lifetime.
+    !(i + 2 < bytes.len() && bytes[i + 2] == '\'')
+}
+
+fn is_raw_string_start(bytes: &[char], i: usize) -> bool {
+    let mut j = i;
+    if bytes[j] == 'b' {
+        j += 1;
+    }
+    if j >= bytes.len() || bytes[j] != 'r' {
+        return false;
+    }
+    j += 1;
+    while j < bytes.len() && bytes[j] == '#' {
+        j += 1;
+    }
+    j < bytes.len() && bytes[j] == '"'
+}
+
+fn lex_raw_string(bytes: &[char], start: usize) -> (String, usize, u32) {
+    let mut j = start;
+    if bytes[j] == 'b' {
+        j += 1;
+    }
+    j += 1; // r
+    let mut hashes = 0;
+    while j < bytes.len() && bytes[j] == '#' {
+        hashes += 1;
+        j += 1;
+    }
+    j += 1; // opening quote
+    let content_start = j;
+    let mut newlines = 0;
+    while j < bytes.len() {
+        if bytes[j] == '\n' {
+            newlines += 1;
+        }
+        if bytes[j] == '"' {
+            let mut k = j + 1;
+            let mut seen = 0;
+            while k < bytes.len() && bytes[k] == '#' && seen < hashes {
+                seen += 1;
+                k += 1;
+            }
+            if seen == hashes {
+                let content: String = bytes[content_start..j].iter().collect();
+                return (content, k - start, newlines);
+            }
+        }
+        j += 1;
+    }
+    let content: String = bytes[content_start..].iter().collect();
+    (content, bytes.len() - start, newlines)
+}
+
+/// Lexes a `"..."` or `'...'` literal starting at the opening quote; returns
+/// (content, consumed chars incl. quotes, newline count).
+fn lex_quoted(bytes: &[char], start: usize, quote: char) -> (String, usize, u32) {
+    let mut j = start + 1;
+    let mut newlines = 0;
+    let mut content = String::new();
+    while j < bytes.len() {
+        let c = bytes[j];
+        if c == '\\' && j + 1 < bytes.len() {
+            content.push(c);
+            content.push(bytes[j + 1]);
+            j += 2;
+            continue;
+        }
+        if c == quote {
+            return (content, j + 1 - start, newlines);
+        }
+        if c == '\n' {
+            newlines += 1;
+        }
+        content.push(c);
+        j += 1;
+    }
+    (content, bytes.len() - start, newlines)
+}
+
+/// Parses `lint:allow(<rule>): <reason>` out of one comment.
+fn scan_allow(
+    comment: &str,
+    line: u32,
+    allows: &mut Vec<AllowDirective>,
+    malformed: &mut Vec<MalformedAllow>,
+) {
+    let Some(pos) = comment.find("lint:allow") else {
+        return;
+    };
+    let rest = &comment[pos + "lint:allow".len()..];
+    let Some(open) = rest.find('(') else {
+        malformed.push(MalformedAllow {
+            line,
+            detail: "expected `lint:allow(<rule>): <reason>`".to_string(),
+        });
+        return;
+    };
+    let Some(close) = rest.find(')') else {
+        malformed.push(MalformedAllow {
+            line,
+            detail: "unclosed rule name in lint:allow".to_string(),
+        });
+        return;
+    };
+    if close < open {
+        malformed.push(MalformedAllow {
+            line,
+            detail: "expected `lint:allow(<rule>): <reason>`".to_string(),
+        });
+        return;
+    }
+    let rule = rest[open + 1..close].trim().to_string();
+    let tail = &rest[close + 1..];
+    let reason = match tail.strip_prefix(':') {
+        Some(r) => r.trim().to_string(),
+        None => {
+            malformed.push(MalformedAllow {
+                line,
+                detail: "missing `: <reason>` after lint:allow rule".to_string(),
+            });
+            return;
+        }
+    };
+    if reason.is_empty() {
+        malformed.push(MalformedAllow {
+            line,
+            detail: "empty justification — lint:allow requires a reason".to_string(),
+        });
+        return;
+    }
+    allows.push(AllowDirective { line, rule, reason });
+}
+
+/// Marks every token belonging to a `#[cfg(test)]` / `#[test]` item.
+fn mask_test_items(toks: &[Tok]) -> Vec<bool> {
+    let mut mask = vec![false; toks.len()];
+    let mut i = 0;
+    while i < toks.len() {
+        if toks[i].is_punct('#') && i + 1 < toks.len() && toks[i + 1].is_punct('[') {
+            if let Some((attr_end, is_test)) = scan_attribute(toks, i) {
+                if is_test {
+                    let item_end = skip_item(toks, attr_end + 1);
+                    for m in mask.iter_mut().take(item_end.min(toks.len())).skip(i) {
+                        *m = true;
+                    }
+                    i = item_end;
+                    continue;
+                }
+                i = attr_end + 1;
+                continue;
+            }
+        }
+        i += 1;
+    }
+    mask
+}
+
+/// Returns (index of the closing `]`, attribute-is-test) for the attribute
+/// starting at `#` token `i`, or None when malformed.
+fn scan_attribute(toks: &[Tok], i: usize) -> Option<(usize, bool)> {
+    let mut depth = 0usize;
+    let mut is_cfg_like = false;
+    let mut mentions_test = false;
+    let mut mentions_not = false;
+    let mut j = i + 1;
+    while j < toks.len() {
+        let t = &toks[j];
+        if t.is_punct('[') {
+            depth += 1;
+        } else if t.is_punct(']') {
+            depth -= 1;
+            if depth == 0 {
+                // `#[test]` itself never mentions cfg.  A `not(...)` anywhere
+                // in the predicate disqualifies it: `#[cfg(not(test))]` is
+                // *shipping* code and must stay visible to the rules.
+                let bare_test = j == i + 3 && toks[i + 2].is_ident("test");
+                return Some((
+                    j,
+                    bare_test || (is_cfg_like && mentions_test && !mentions_not),
+                ));
+            }
+        } else if t.is_ident("cfg") || t.is_ident("cfg_attr") {
+            is_cfg_like = true;
+        } else if t.is_ident("test") {
+            mentions_test = true;
+        } else if t.is_ident("not") {
+            mentions_not = true;
+        }
+        j += 1;
+    }
+    None
+}
+
+/// Skips one item starting at token `start` (other attributes, then either a
+/// `{ ... }` body or a `;`), returning the index just past it.
+fn skip_item(toks: &[Tok], start: usize) -> usize {
+    let mut j = start;
+    // Skip any further attributes on the same item.
+    while j + 1 < toks.len() && toks[j].is_punct('#') && toks[j + 1].is_punct('[') {
+        match scan_attribute(toks, j) {
+            Some((end, _)) => j = end + 1,
+            None => return toks.len(),
+        }
+    }
+    let mut depth = 0usize;
+    while j < toks.len() {
+        let t = &toks[j];
+        if t.is_punct('{') {
+            depth += 1;
+        } else if t.is_punct('}') {
+            depth = depth.saturating_sub(1);
+            if depth == 0 {
+                return j + 1;
+            }
+        } else if t.is_punct(';') && depth == 0 {
+            return j + 1;
+        }
+        j += 1;
+    }
+    toks.len()
+}
+
+/// Finds the index of the matching close brace for the open brace at `open`.
+pub fn matching_brace(toks: &[Tok], open: usize, open_ch: char, close_ch: char) -> Option<usize> {
+    let mut depth = 0usize;
+    for (j, t) in toks.iter().enumerate().skip(open) {
+        if t.is_punct(open_ch) {
+            depth += 1;
+        } else if t.is_punct(close_ch) {
+            depth -= 1;
+            if depth == 0 {
+                return Some(j);
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text.clone())
+            .collect()
+    }
+
+    #[test]
+    fn comments_and_strings_produce_no_tokens() {
+        let src = r##"
+// unwrap() in a comment
+/* panic!() in /* a nested */ block */
+let s = "call .unwrap() here";
+let r = r#"also .expect("x") here"#;
+let c = '"';
+"##;
+        let ids = idents(src);
+        assert!(ids.contains(&"let".to_string()));
+        assert!(!ids.contains(&"unwrap".to_string()));
+        assert!(!ids.contains(&"expect".to_string()));
+        assert!(!ids.contains(&"panic".to_string()));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let toks = lex("fn f<'a>(x: &'a str) -> char { 'x' }").toks;
+        assert!(toks
+            .iter()
+            .any(|t| t.kind == TokKind::Lifetime && t.text == "'a"));
+        assert!(toks
+            .iter()
+            .any(|t| t.kind == TokKind::CharLit && t.text == "x"));
+    }
+
+    #[test]
+    fn lines_are_tracked_through_comments_and_strings() {
+        let src = "a\n/* two\nlines */\nb\n\"str\nstr\"\nc";
+        let toks = lex(src).toks;
+        let find = |name: &str| toks.iter().find(|t| t.text == name).map(|t| t.line);
+        assert_eq!(find("a"), Some(1));
+        assert_eq!(find("b"), Some(4));
+        assert_eq!(find("c"), Some(7));
+    }
+
+    #[test]
+    fn allow_directives_parse_and_malformed_ones_are_reported() {
+        let src = "\
+x(); // lint:allow(panic-freedom): documented panic in a deprecated shim
+y(); // lint:allow(panic-freedom):
+z(); // lint:allow(panic-freedom) no colon
+";
+        let lexed = lex(src);
+        assert_eq!(lexed.allows.len(), 1);
+        assert_eq!(lexed.allows[0].rule, "panic-freedom");
+        assert_eq!(lexed.allows[0].line, 1);
+        assert_eq!(lexed.malformed_allows.len(), 2);
+    }
+
+    #[test]
+    fn cfg_test_items_are_masked() {
+        let src = "\
+fn live() { x.unwrap(); }
+#[cfg(test)]
+mod tests {
+    fn t() { y.unwrap(); }
+}
+fn live2() {}
+";
+        let lexed = lex(src);
+        let masked: Vec<&str> = lexed
+            .toks
+            .iter()
+            .zip(&lexed.test_mask)
+            .filter(|(_, &m)| m)
+            .map(|(t, _)| t.text.as_str())
+            .collect();
+        assert!(masked.contains(&"tests"));
+        assert!(masked.contains(&"y"));
+        assert!(!masked.contains(&"live"));
+        assert!(!masked.contains(&"live2"));
+    }
+
+    #[test]
+    fn bare_test_attribute_masks_the_function() {
+        let src = "#[test]\nfn check() { a.unwrap(); }\nfn live() {}";
+        let lexed = lex(src);
+        let masked: Vec<&str> = lexed
+            .toks
+            .iter()
+            .zip(&lexed.test_mask)
+            .filter(|(_, &m)| m)
+            .map(|(t, _)| t.text.as_str())
+            .collect();
+        assert!(masked.contains(&"check"));
+        assert!(!masked.contains(&"live"));
+    }
+
+    #[test]
+    fn raw_identifiers_lex_as_identifiers() {
+        let ids = idents("let r#fn = 1;");
+        assert!(ids.contains(&"fn".to_string()));
+    }
+}

@@ -1,0 +1,16 @@
+//! Fixture: allow directives — one used, one unused, one with an empty
+//! reason (lines asserted by tests/fixtures.rs).  The directive spelling
+//! is avoided in this doc comment: the scanner reads every comment.
+
+pub fn checked(values: &[u64]) -> u64 {
+    // lint:allow(panic-freedom): fixture demonstrating a justified escape hatch
+    values.first().unwrap()
+}
+
+// lint:allow(panic-freedom): nothing on the next line triggers this rule
+pub fn quiet() {}
+
+pub fn empty_reason(values: &[u64]) -> u64 {
+    // lint:allow(panic-freedom):
+    values[0]
+}

@@ -1,0 +1,26 @@
+//! Fixture: cache-invalidation violation (lines asserted by
+//! tests/fixtures.rs).
+
+pub struct CellSet {
+    cells: Vec<u64>,
+    cached_len: Option<usize>,
+}
+
+impl CellSet {
+    fn invalidate_caches(&mut self) {
+        self.cached_len = None;
+    }
+
+    pub fn insert(&mut self, cell: u64) {
+        self.cells.push(cell);
+        self.invalidate_caches();
+    }
+
+    pub fn remove_last(&mut self) {
+        self.cells.pop();
+    }
+
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+}

@@ -1,0 +1,9 @@
+//! Fixture: float-ordering violations (lines asserted by tests/fixtures.rs).
+
+pub fn widest(xs: &[f64]) -> f64 {
+    xs.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+}
+
+pub fn rank(xs: &mut [f64]) {
+    xs.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+}

@@ -1,0 +1,20 @@
+//! Fixture: metrics-registration violations (lines asserted by
+//! tests/fixtures.rs).
+
+pub struct EngineMetrics {
+    queries: Counter,
+    latency: Histogram,
+}
+
+impl EngineMetrics {
+    fn new(registry: &Registry) -> Self {
+        let queries = registry.counter("engine_queries_total", &[]);
+        let latency = registry.histogram("engine_latency_nanos", &[]);
+        let duplicate = registry.counter("engine_queries_total", &[]);
+        Self { queries, latency }
+    }
+}
+
+pub fn rogue_registration(registry: &Registry) {
+    registry.counter("engine_rogue_total", &[]);
+}

@@ -1,0 +1,11 @@
+//! Fixture: panic-freedom violations, one idiom per line (lines asserted
+//! by tests/fixtures.rs — keep them stable).
+
+pub fn lookup(values: &[u64], i: usize) -> u64 {
+    let first = values.first().unwrap();
+    let second = values.get(1).expect("two elements");
+    if i > values.len() {
+        panic!("out of range");
+    }
+    first + second + values[i]
+}

@@ -1,0 +1,29 @@
+//! Fixture: wire-tags violations (lines asserted by tests/fixtures.rs).
+//! `TAG_PONG` is encoded but never matched in `decode`, and `Ack` has no
+//! constant at all.
+
+pub const TAG_PING: u8 = 0;
+pub const TAG_PONG: u8 = 1;
+
+pub enum Message {
+    Ping,
+    Pong,
+    Ack,
+}
+
+impl Message {
+    pub fn encode(&self, buf: &mut Vec<u8>) {
+        match self {
+            Message::Ping => buf.push(TAG_PING),
+            Message::Pong => buf.push(TAG_PONG),
+            Message::Ack => buf.push(2),
+        }
+    }
+
+    pub fn decode(tag: u8) -> Option<Message> {
+        match tag {
+            TAG_PING => Some(Message::Ping),
+            _ => None,
+        }
+    }
+}

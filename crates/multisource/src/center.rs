@@ -254,6 +254,10 @@ impl DataCenter {
             // that it holds data again.
             self.register_source(summary, &mut stats);
         }
+        // Debug-build hardening: the maintenance path is DITS-G's only
+        // writer, so validate the whole tree after every folded batch.
+        #[cfg(debug_assertions)]
+        debug_assert_eq!(self.global.check_invariants(), Ok(()));
         Ok(MaintenanceOutcome {
             summary,
             stats,
@@ -448,7 +452,7 @@ impl DataCenter {
             scored.push((lb, ub, s));
         }
         let mut upper_bounds: Vec<f64> = scored.iter().map(|&(_, ub, _)| ub).collect();
-        upper_bounds.sort_unstable_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        upper_bounds.sort_unstable_by(|a, b| a.total_cmp(b));
         // Small slack absorbs the floating-point error of the lonlat →
         // cell-space round trip; keeping a borderline source is always safe.
         let threshold = upper_bounds[k - 1] + 1e-9;

@@ -426,7 +426,9 @@ impl<'a> QueryEngine<'a> {
                     },
                 )?;
                 for (task, results) in tasks.iter().zip(per_task) {
-                    buckets[task.query_idx].extend(results);
+                    if let Some(bucket) = buckets.get_mut(task.query_idx) {
+                        bucket.extend(results);
+                    }
                 }
                 ctx
             }
@@ -456,7 +458,9 @@ impl<'a> QueryEngine<'a> {
                 )?;
                 for (batch, per_query) in batches.iter().zip(per_batch) {
                     for (&query_idx, results) in batch.query_idxs.iter().zip(per_query) {
-                        buckets[query_idx].extend(results);
+                        if let Some(bucket) = buckets.get_mut(query_idx) {
+                            bucket.extend(results);
+                        }
                     }
                 }
                 ctx
@@ -525,8 +529,8 @@ impl<'a> QueryEngine<'a> {
                 if cells.is_empty() {
                     continue;
                 }
-                if query_cells[query_idx].is_none() {
-                    query_cells[query_idx] = Some(full.clone());
+                if let Some(slot @ None) = query_cells.get_mut(query_idx) {
+                    *slot = Some(full.clone());
                 }
                 tasks.push(ShardTask {
                     query_idx,
@@ -560,7 +564,9 @@ impl<'a> QueryEngine<'a> {
                         },
                     )?;
                     for (task, candidates) in tasks.iter().zip(per_task) {
-                        buckets[task.query_idx].extend(candidates);
+                        if let Some(bucket) = buckets.get_mut(task.query_idx) {
+                            bucket.extend(candidates);
+                        }
                     }
                     ctx
                 }
@@ -582,7 +588,9 @@ impl<'a> QueryEngine<'a> {
                         })?;
                     for (batch, per_query) in batches.iter().zip(per_batch) {
                         for (&query_idx, candidates) in batch.query_idxs.iter().zip(per_query) {
-                            buckets[query_idx].extend(candidates);
+                            if let Some(bucket) = buckets.get_mut(query_idx) {
+                                bucket.extend(candidates);
+                            }
                         }
                     }
                     ctx
@@ -688,15 +696,16 @@ impl<'a> QueryEngine<'a> {
         let mut buckets: Vec<Vec<(SourceId, Neighbor)>> =
             (0..queries.len()).map(|_| Vec::new()).collect();
         for (task, neighbors) in tasks.iter().zip(per_task) {
-            buckets[task.query_idx].extend(neighbors);
+            if let Some(bucket) = buckets.get_mut(task.query_idx) {
+                bucket.extend(neighbors);
+            }
         }
         let answers = buckets
             .into_iter()
             .map(|mut all| {
                 all.sort_unstable_by(|a, b| {
                     a.1.distance
-                        .partial_cmp(&b.1.distance)
-                        .unwrap_or(std::cmp::Ordering::Equal)
+                        .total_cmp(&b.1.distance)
                         .then(a.0.cmp(&b.0))
                         .then(a.1.dataset.cmp(&b.1.dataset))
                 });
@@ -796,46 +805,42 @@ fn aggregate_coverage(
     let query_coverage = query_cells.len();
     let mut merged = query_cells.clone();
     let mut selected: Vec<(SourceId, DatasetId)> = Vec::new();
-    let mut remaining: Vec<usize> = (0..candidates.len()).collect();
+    let mut remaining: Vec<&CoverageCandidate> = candidates.iter().collect();
     while selected.len() < k && !remaining.is_empty() {
         let probe = NeighborProbe::new(&merged);
         // Connectivity first (cheap bound checks), then one batched exact
-        // intersection pass over only the connected candidates.
-        let connected: Vec<usize> = remaining
+        // intersection pass over only the connected candidates.  Candidates
+        // are carried by reference so the loop never indexes a slice.
+        let connected: Vec<(usize, &CoverageCandidate)> = remaining
             .iter()
             .enumerate()
-            .filter(|&(_, &idx)| probe.within(&candidates[idx].cells, delta_cells))
-            .map(|(pos, _)| pos)
+            .filter(|(_, cand)| probe.within(&cand.cells, delta_cells))
+            .map(|(pos, &cand)| (pos, cand))
             .collect();
-        let overlaps = merged.intersection_size_many(
-            connected
-                .iter()
-                .map(|&pos| &candidates[remaining[pos]].cells),
-        );
-        let mut best: Option<(usize, usize)> = None; // (position in remaining, gain)
-        for (&pos, overlap) in connected.iter().zip(&overlaps) {
-            let cand = &candidates[remaining[pos]];
+        let overlaps = merged.intersection_size_many(connected.iter().map(|(_, cand)| &cand.cells));
+        // (position in remaining, candidate, gain)
+        let mut best: Option<(usize, &CoverageCandidate, usize)> = None;
+        for (&(pos, cand), overlap) in connected.iter().zip(&overlaps) {
             let gain = cand.cells.len() - overlap;
             let wins = match best {
                 None => true,
-                Some((best_pos, best_gain)) => {
-                    let best_cand = &candidates[remaining[best_pos]];
+                Some((_, best_cand, best_gain)) => {
                     gain > best_gain
                         || (gain == best_gain
                             && (cand.source, cand.dataset) < (best_cand.source, best_cand.dataset))
                 }
             };
             if wins {
-                best = Some((pos, gain));
+                best = Some((pos, cand, gain));
             }
         }
-        let Some((pos, gain)) = best else { break };
+        let Some((pos, cand, gain)) = best else { break };
         if gain == 0 {
             break;
         }
-        let idx = remaining.swap_remove(pos);
-        merged.union_in_place(&candidates[idx].cells);
-        selected.push((candidates[idx].source, candidates[idx].dataset));
+        remaining.swap_remove(pos);
+        merged.union_in_place(&cand.cells);
+        selected.push((cand.source, cand.dataset));
     }
 
     AggregatedCoverage {
@@ -993,7 +998,8 @@ where
                         if i >= tasks.len() {
                             break;
                         }
-                        match f(&tasks[i], &mut local) {
+                        let Some(task) = tasks.get(i) else { break };
+                        match f(task, &mut local) {
                             Ok(r) => local_results.push((i, r)),
                             Err(e) => {
                                 // Park the cursor past the end so idle
@@ -1029,7 +1035,9 @@ where
         }
         ctx.merge(local);
         for (i, r) in results {
-            slots[i] = Some(r);
+            if let Some(slot) = slots.get_mut(i) {
+                *slot = Some(r);
+            }
         }
     }
     let mut results = Vec::with_capacity(tasks.len());
@@ -1212,8 +1220,7 @@ mod tests {
             }
             expected.sort_unstable_by(|a, b| {
                 a.1.distance
-                    .partial_cmp(&b.1.distance)
-                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .total_cmp(&b.1.distance)
                     .then(a.0.cmp(&b.0))
                     .then(a.1.dataset.cmp(&b.1.dataset))
             });

@@ -129,6 +129,7 @@ impl MultiSourceFramework {
     pub fn build(source_data: &[(String, Vec<SpatialDataset>)], config: FrameworkConfig) -> Self {
         match Self::try_build(source_data, config) {
             Ok(framework) => framework,
+            // lint:allow(panic-freedom): documented contract of this test/experiment convenience; library callers use try_build
             Err(e) => panic!("invalid framework configuration: {e}"),
         }
     }

@@ -89,6 +89,41 @@ pub struct CoverageCandidate {
     pub cells: CellSet,
 }
 
+// Wire tags, one per `Message` variant.  repo-lint's `wire-tags` rule
+// cross-checks every constant against `encode`, `decode`, the truncation-fuzz
+// tag list in `tests/transport.rs`, and the README protocol table — adding a
+// variant without threading its tag through all four fails the analysis job.
+/// Wire tag of [`Message::OverlapQuery`].
+pub const TAG_OVERLAP_QUERY: u8 = 0;
+/// Wire tag of [`Message::OverlapReply`].
+pub const TAG_OVERLAP_REPLY: u8 = 1;
+/// Wire tag of [`Message::CoverageQuery`].
+pub const TAG_COVERAGE_QUERY: u8 = 2;
+/// Wire tag of [`Message::CoverageReply`].
+pub const TAG_COVERAGE_REPLY: u8 = 3;
+/// Wire tag of [`Message::ApplyUpdates`].
+pub const TAG_APPLY_UPDATES: u8 = 4;
+/// Wire tag of [`Message::SummaryRefresh`].
+pub const TAG_SUMMARY_REFRESH: u8 = 5;
+/// Wire tag of [`Message::KnnQuery`].
+pub const TAG_KNN_QUERY: u8 = 6;
+/// Wire tag of [`Message::KnnReply`].
+pub const TAG_KNN_REPLY: u8 = 7;
+/// Wire tag of [`Message::Error`].
+pub const TAG_ERROR: u8 = 8;
+/// Wire tag of [`Message::OverlapBatchQuery`].
+pub const TAG_OVERLAP_BATCH_QUERY: u8 = 9;
+/// Wire tag of [`Message::OverlapBatchReply`].
+pub const TAG_OVERLAP_BATCH_REPLY: u8 = 10;
+/// Wire tag of [`Message::CoverageBatchQuery`].
+pub const TAG_COVERAGE_BATCH_QUERY: u8 = 11;
+/// Wire tag of [`Message::CoverageBatchReply`].
+pub const TAG_COVERAGE_BATCH_REPLY: u8 = 12;
+/// Wire tag of [`Message::MetricsQuery`].
+pub const TAG_METRICS_QUERY: u8 = 13;
+/// Wire tag of [`Message::MetricsSnapshot`].
+pub const TAG_METRICS_SNAPSHOT: u8 = 14;
+
 /// Messages of the multi-source protocol.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Message {
@@ -229,12 +264,12 @@ impl Message {
         let mut buf = BytesMut::new();
         match self {
             Message::OverlapQuery { query, k } => {
-                buf.put_u8(0);
+                buf.put_u8(TAG_OVERLAP_QUERY);
                 put_varint(&mut buf, *k as u64);
                 put_cells(&mut buf, query);
             }
             Message::OverlapReply { source, results } => {
-                buf.put_u8(1);
+                buf.put_u8(TAG_OVERLAP_REPLY);
                 buf.put_u16(*source);
                 put_varint(&mut buf, results.len() as u64);
                 for r in results {
@@ -243,13 +278,13 @@ impl Message {
                 }
             }
             Message::CoverageQuery { query, k, delta } => {
-                buf.put_u8(2);
+                buf.put_u8(TAG_COVERAGE_QUERY);
                 put_varint(&mut buf, *k as u64);
                 buf.put_f64(*delta);
                 put_cells(&mut buf, query);
             }
             Message::CoverageReply { source, candidates } => {
-                buf.put_u8(3);
+                buf.put_u8(TAG_COVERAGE_REPLY);
                 buf.put_u16(*source);
                 put_varint(&mut buf, candidates.len() as u64);
                 for c in candidates {
@@ -259,7 +294,7 @@ impl Message {
                 }
             }
             Message::ApplyUpdates { ops } => {
-                buf.put_u8(4);
+                buf.put_u8(TAG_APPLY_UPDATES);
                 put_varint(&mut buf, ops.len() as u64);
                 for op in ops {
                     match op {
@@ -284,7 +319,7 @@ impl Message {
                 applied,
                 rejected,
             } => {
-                buf.put_u8(5);
+                buf.put_u8(TAG_SUMMARY_REFRESH);
                 buf.put_u16(summary.source);
                 buf.put_u32(summary.resolution);
                 buf.put_f64(summary.geometry.rect.min.x);
@@ -296,12 +331,12 @@ impl Message {
                 put_varint(&mut buf, *rejected);
             }
             Message::KnnQuery { query, k } => {
-                buf.put_u8(6);
+                buf.put_u8(TAG_KNN_QUERY);
                 put_varint(&mut buf, *k as u64);
                 put_cells(&mut buf, query);
             }
             Message::KnnReply { source, neighbors } => {
-                buf.put_u8(7);
+                buf.put_u8(TAG_KNN_REPLY);
                 buf.put_u16(*source);
                 put_varint(&mut buf, neighbors.len() as u64);
                 for n in neighbors {
@@ -310,17 +345,17 @@ impl Message {
                 }
             }
             Message::Error { code, detail } => {
-                buf.put_u8(8);
+                buf.put_u8(TAG_ERROR);
                 buf.put_u16(*code);
                 let mut len = detail.len().min(MAX_ERROR_DETAIL_BYTES);
                 while !detail.is_char_boundary(len) {
                     len -= 1;
                 }
                 put_varint(&mut buf, len as u64);
-                buf.put_slice(&detail.as_bytes()[..len]);
+                buf.put_slice(detail.as_bytes().get(..len).unwrap_or_default());
             }
             Message::OverlapBatchQuery { queries, k } => {
-                buf.put_u8(9);
+                buf.put_u8(TAG_OVERLAP_BATCH_QUERY);
                 put_varint(&mut buf, *k as u64);
                 put_varint(&mut buf, queries.len() as u64);
                 for query in queries {
@@ -328,7 +363,7 @@ impl Message {
                 }
             }
             Message::OverlapBatchReply { source, results } => {
-                buf.put_u8(10);
+                buf.put_u8(TAG_OVERLAP_BATCH_REPLY);
                 buf.put_u16(*source);
                 put_varint(&mut buf, results.len() as u64);
                 for per_query in results {
@@ -340,7 +375,7 @@ impl Message {
                 }
             }
             Message::CoverageBatchQuery { queries, k, delta } => {
-                buf.put_u8(11);
+                buf.put_u8(TAG_COVERAGE_BATCH_QUERY);
                 put_varint(&mut buf, *k as u64);
                 buf.put_f64(*delta);
                 put_varint(&mut buf, queries.len() as u64);
@@ -349,7 +384,7 @@ impl Message {
                 }
             }
             Message::CoverageBatchReply { source, candidates } => {
-                buf.put_u8(12);
+                buf.put_u8(TAG_COVERAGE_BATCH_REPLY);
                 buf.put_u16(*source);
                 put_varint(&mut buf, candidates.len() as u64);
                 for per_query in candidates {
@@ -362,10 +397,10 @@ impl Message {
                 }
             }
             Message::MetricsQuery => {
-                buf.put_u8(13);
+                buf.put_u8(TAG_METRICS_QUERY);
             }
             Message::MetricsSnapshot { source, snapshot } => {
-                buf.put_u8(14);
+                buf.put_u8(TAG_METRICS_SNAPSHOT);
                 buf.put_u16(*source);
                 put_varint(&mut buf, snapshot.samples.len() as u64);
                 for sample in &snapshot.samples {
@@ -415,12 +450,12 @@ impl Message {
         }
         let tag = data.get_u8();
         match tag {
-            0 => {
+            TAG_OVERLAP_QUERY => {
                 let k = get_varint(&mut data, "k")? as usize;
                 let query = get_cells(&mut data)?;
                 Ok(Message::OverlapQuery { query, k })
             }
-            1 => {
+            TAG_OVERLAP_REPLY => {
                 if data.remaining() < 2 {
                     return Err(WireError::Truncated("source id"));
                 }
@@ -434,7 +469,7 @@ impl Message {
                 }
                 Ok(Message::OverlapReply { source, results })
             }
-            2 => {
+            TAG_COVERAGE_QUERY => {
                 let k = get_varint(&mut data, "k")? as usize;
                 if data.remaining() < 8 {
                     return Err(WireError::Truncated("delta"));
@@ -443,7 +478,7 @@ impl Message {
                 let query = get_cells(&mut data)?;
                 Ok(Message::CoverageQuery { query, k, delta })
             }
-            3 => {
+            TAG_COVERAGE_REPLY => {
                 if data.remaining() < 2 {
                     return Err(WireError::Truncated("source id"));
                 }
@@ -465,7 +500,7 @@ impl Message {
                 }
                 Ok(Message::CoverageReply { source, candidates })
             }
-            4 => {
+            TAG_APPLY_UPDATES => {
                 let n = get_varint(&mut data, "op count")? as usize;
                 let mut ops = Vec::with_capacity(n.min(1 << 16));
                 for _ in 0..n {
@@ -482,7 +517,7 @@ impl Message {
                 }
                 Ok(Message::ApplyUpdates { ops })
             }
-            5 => {
+            TAG_SUMMARY_REFRESH => {
                 if data.remaining() < 2 + 4 + 4 * 8 {
                     return Err(WireError::Truncated("summary"));
                 }
@@ -504,12 +539,12 @@ impl Message {
                     rejected,
                 })
             }
-            6 => {
+            TAG_KNN_QUERY => {
                 let k = get_varint(&mut data, "k")? as usize;
                 let query = get_cells(&mut data)?;
                 Ok(Message::KnnQuery { query, k })
             }
-            7 => {
+            TAG_KNN_REPLY => {
                 if data.remaining() < 2 {
                     return Err(WireError::Truncated("source id"));
                 }
@@ -526,7 +561,7 @@ impl Message {
                 }
                 Ok(Message::KnnReply { source, neighbors })
             }
-            8 => {
+            TAG_ERROR => {
                 if data.remaining() < 2 {
                     return Err(WireError::Truncated("error code"));
                 }
@@ -538,12 +573,15 @@ impl Message {
                 if data.remaining() < len {
                     return Err(WireError::Truncated("error detail"));
                 }
-                let detail = String::from_utf8(data.chunk()[..len].to_vec())
-                    .map_err(|_| WireError::BadUtf8)?;
+                let raw = data
+                    .chunk()
+                    .get(..len)
+                    .ok_or(WireError::Truncated("error detail"))?;
+                let detail = String::from_utf8(raw.to_vec()).map_err(|_| WireError::BadUtf8)?;
                 data.advance(len);
                 Ok(Message::Error { code, detail })
             }
-            9 => {
+            TAG_OVERLAP_BATCH_QUERY => {
                 let k = get_varint(&mut data, "k")? as usize;
                 let n = get_varint(&mut data, "batch query count")? as usize;
                 let mut queries = Vec::with_capacity(n.min(1 << 12));
@@ -552,7 +590,7 @@ impl Message {
                 }
                 Ok(Message::OverlapBatchQuery { queries, k })
             }
-            10 => {
+            TAG_OVERLAP_BATCH_REPLY => {
                 if data.remaining() < 2 {
                     return Err(WireError::Truncated("source id"));
                 }
@@ -571,7 +609,7 @@ impl Message {
                 }
                 Ok(Message::OverlapBatchReply { source, results })
             }
-            11 => {
+            TAG_COVERAGE_BATCH_QUERY => {
                 let k = get_varint(&mut data, "k")? as usize;
                 if data.remaining() < 8 {
                     return Err(WireError::Truncated("delta"));
@@ -584,7 +622,7 @@ impl Message {
                 }
                 Ok(Message::CoverageBatchQuery { queries, k, delta })
             }
-            12 => {
+            TAG_COVERAGE_BATCH_REPLY => {
                 if data.remaining() < 2 {
                     return Err(WireError::Truncated("source id"));
                 }
@@ -611,8 +649,8 @@ impl Message {
                 }
                 Ok(Message::CoverageBatchReply { source, candidates })
             }
-            13 => Ok(Message::MetricsQuery),
-            14 => {
+            TAG_METRICS_QUERY => Ok(Message::MetricsQuery),
+            TAG_METRICS_SNAPSHOT => {
                 if data.remaining() < 2 {
                     return Err(WireError::Truncated("source id"));
                 }
@@ -711,8 +749,11 @@ fn get_dataset(data: &mut Bytes) -> Result<SpatialDataset, WireError> {
     if data.remaining() < name_len {
         return Err(WireError::Truncated("dataset name"));
     }
-    let name =
-        String::from_utf8(data.chunk()[..name_len].to_vec()).map_err(|_| WireError::BadUtf8)?;
+    let raw = data
+        .chunk()
+        .get(..name_len)
+        .ok_or(WireError::Truncated("dataset name"))?;
+    let name = String::from_utf8(raw.to_vec()).map_err(|_| WireError::BadUtf8)?;
     data.advance(name_len);
     let n = get_varint(data, "point count")? as usize;
     let needed = n
@@ -765,7 +806,7 @@ fn put_string(buf: &mut BytesMut, s: &str) {
         len -= 1;
     }
     put_varint(buf, len as u64);
-    buf.put_slice(&s.as_bytes()[..len]);
+    buf.put_slice(s.as_bytes().get(..len).unwrap_or_default());
 }
 
 fn get_string(data: &mut Bytes, what: &'static str) -> Result<String, WireError> {
@@ -776,7 +817,8 @@ fn get_string(data: &mut Bytes, what: &'static str) -> Result<String, WireError>
     if data.remaining() < len {
         return Err(WireError::Truncated(what));
     }
-    let s = String::from_utf8(data.chunk()[..len].to_vec()).map_err(|_| WireError::BadUtf8)?;
+    let raw = data.chunk().get(..len).ok_or(WireError::Truncated(what))?;
+    let s = String::from_utf8(raw.to_vec()).map_err(|_| WireError::BadUtf8)?;
     data.advance(len);
     Ok(s)
 }
@@ -1190,7 +1232,7 @@ mod tests {
         // the wire bound allows; it must fail closed even if the bytes are
         // present.
         let mut buf = BytesMut::new();
-        buf.put_u8(14);
+        buf.put_u8(TAG_METRICS_SNAPSHOT);
         buf.put_u16(0);
         put_varint(&mut buf, 1); // one sample
         put_varint(&mut buf, (MAX_METRIC_STRING_BYTES + 1) as u64);

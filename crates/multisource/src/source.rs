@@ -63,7 +63,8 @@ impl SourceMetrics {
     fn new() -> Self {
         let registry = Arc::new(obs::MetricsRegistry::new());
         let requests = std::array::from_fn(|i| {
-            registry.counter("source_requests_total", &[("kind", REQUEST_KINDS[i])])
+            let kind = REQUEST_KINDS.get(i).copied().unwrap_or("other");
+            registry.counter("source_requests_total", &[("kind", kind)])
         });
         let service_nanos = registry.histogram("source_service_nanos", &[]);
         let traversal_nanos = registry.counter("source_phase_nanos", &[("phase", "traversal")]);
@@ -92,7 +93,9 @@ impl SourceMetrics {
     }
 
     fn record(&self, request: &Message, service: Duration, phases: PhaseTimings) {
-        self.requests[request_kind_index(request)].inc();
+        if let Some(counter) = self.requests.get(request_kind_index(request)) {
+            counter.inc();
+        }
         self.service_nanos.observe(service.as_nanos() as u64);
         if phases.traversal > Duration::ZERO {
             self.traversal_nanos.add(phases.traversal.as_nanos() as u64);
@@ -161,9 +164,10 @@ impl DataSource {
     pub fn metrics_snapshot(&self) -> obs::MetricsSnapshot {
         self.metrics.datasets.set(self.index.dataset_count() as f64);
         let kernels = spatial::kernel_counters();
-        self.metrics.kernel_calls[0].set(kernels.packed as f64);
-        self.metrics.kernel_calls[1].set(kernels.linear as f64);
-        self.metrics.kernel_calls[2].set(kernels.galloping as f64);
+        let [packed, linear, galloping] = &self.metrics.kernel_calls;
+        packed.set(kernels.packed as f64);
+        linear.set(kernels.linear as f64);
+        galloping.set(kernels.galloping as f64);
         self.metrics.registry.snapshot()
     }
 
@@ -227,8 +231,8 @@ impl DataSource {
                         // handler must stay total).
                         let pos = self.dataset_nodes.iter().position(|e| e.id == node.id);
                         debug_assert!(pos.is_some(), "cache is in sync with the index");
-                        match pos {
-                            Some(pos) => self.dataset_nodes[pos] = node,
+                        match pos.and_then(|p| self.dataset_nodes.get_mut(p)) {
+                            Some(slot) => *slot = node,
                             None => self.dataset_nodes.push(node),
                         }
                     } else {
@@ -247,6 +251,11 @@ impl DataSource {
                     }
                 }
             }
+            // Debug-build hardening: validate DITS-L after every applied op
+            // (not just the batch) so a violation is pinned to the op that
+            // introduced it.
+            #[cfg(debug_assertions)]
+            debug_assert_eq!(self.index.check_invariants(), Ok(()));
         }
         debug_assert_eq!(self.index.check_invariants(), Ok(()));
         Ok((self.summary(), stats))

@@ -21,6 +21,12 @@ use std::time::Duration;
 
 use bytes::Bytes;
 use datagen::{generate_source, paper_sources, select_queries, GeneratorConfig, SourceScale};
+use multisource::message::{
+    TAG_APPLY_UPDATES, TAG_COVERAGE_BATCH_QUERY, TAG_COVERAGE_BATCH_REPLY, TAG_COVERAGE_QUERY,
+    TAG_COVERAGE_REPLY, TAG_ERROR, TAG_KNN_QUERY, TAG_KNN_REPLY, TAG_METRICS_QUERY,
+    TAG_METRICS_SNAPSHOT, TAG_OVERLAP_BATCH_QUERY, TAG_OVERLAP_BATCH_REPLY, TAG_OVERLAP_QUERY,
+    TAG_OVERLAP_REPLY, TAG_SUMMARY_REFRESH,
+};
 use multisource::{
     DataCenter, DistributionStrategy, EngineConfig, FrameworkConfig, Message, MultiSourceFramework,
     QueryEngine, SearchError, SearchRequest, ShardMode, SourceServer, TcpTransport, UpdateOp,
@@ -551,14 +557,59 @@ fn metrics_scrape_renders_valid_prometheus_over_tcp() {
 // Wire-robustness fuzzing
 // ---------------------------------------------------------------------------
 
+/// Every protocol tag, so the truncation/bit-flip fuzzers exercise the whole
+/// wire surface.  repo-lint's `wire-tags` rule keeps this list exhaustive: a
+/// new `Message` variant whose tag is missing here fails the analysis job.
+const FUZZ_TAGS: [u8; 15] = [
+    TAG_OVERLAP_QUERY,
+    TAG_OVERLAP_REPLY,
+    TAG_COVERAGE_QUERY,
+    TAG_COVERAGE_REPLY,
+    TAG_APPLY_UPDATES,
+    TAG_SUMMARY_REFRESH,
+    TAG_KNN_QUERY,
+    TAG_KNN_REPLY,
+    TAG_ERROR,
+    TAG_OVERLAP_BATCH_QUERY,
+    TAG_OVERLAP_BATCH_REPLY,
+    TAG_COVERAGE_BATCH_QUERY,
+    TAG_COVERAGE_BATCH_REPLY,
+    TAG_METRICS_QUERY,
+    TAG_METRICS_SNAPSHOT,
+];
+
 /// Builds one message of any protocol kind from raw fuzz ingredients.
 fn build_message(kind: u8, cells: &[u64], k: usize, delta: f64, ids: &[u32], code: u16) -> Message {
     let query = spatial::CellSet::from_cells(cells.iter().copied());
-    match kind {
-        0 => Message::OverlapQuery { query, k },
-        1 => Message::KnnQuery { query, k },
-        2 => Message::CoverageQuery { query, k, delta },
-        3 => Message::ApplyUpdates {
+    let overlap_results = |ids: &[u32]| {
+        ids.iter()
+            .map(|&id| dits::OverlapResult {
+                dataset: id,
+                overlap: k,
+            })
+            .collect::<Vec<_>>()
+    };
+    let coverage_candidates = |ids: &[u32]| {
+        ids.iter()
+            .map(|&id| multisource::CoverageCandidate {
+                source: code,
+                dataset: id,
+                cells: query.clone(),
+            })
+            .collect::<Vec<_>>()
+    };
+    match FUZZ_TAGS[(kind as usize) % FUZZ_TAGS.len()] {
+        TAG_OVERLAP_QUERY => Message::OverlapQuery { query, k },
+        TAG_OVERLAP_REPLY => Message::OverlapReply {
+            source: code,
+            results: overlap_results(ids),
+        },
+        TAG_COVERAGE_QUERY => Message::CoverageQuery { query, k, delta },
+        TAG_COVERAGE_REPLY => Message::CoverageReply {
+            source: code,
+            candidates: coverage_candidates(ids),
+        },
+        TAG_APPLY_UPDATES => Message::ApplyUpdates {
             ops: ids
                 .iter()
                 .enumerate()
@@ -578,18 +629,62 @@ fn build_message(kind: u8, cells: &[u64], k: usize, delta: f64, ids: &[u32], cod
                 })
                 .collect(),
         },
-        4 => Message::Error {
+        TAG_SUMMARY_REFRESH => Message::SummaryRefresh {
+            summary: dits::SourceSummary {
+                source: code,
+                geometry: dits::NodeGeometry::from_mbr(spatial::Mbr::new(
+                    Point::new(delta - 10.0, delta),
+                    Point::new(delta, delta + 1.0),
+                )),
+                resolution: 100,
+            },
+            dataset_count: ids.len() as u64,
+            applied: k as u64,
+            rejected: code as u64,
+        },
+        TAG_KNN_QUERY => Message::KnnQuery { query, k },
+        TAG_ERROR => Message::Error {
             code,
             detail: format!("fuzz error {code}"),
         },
-        5 => Message::OverlapBatchQuery {
+        TAG_OVERLAP_BATCH_QUERY => Message::OverlapBatchQuery {
             queries: vec![query, spatial::CellSet::new()],
             k,
         },
-        6 => Message::CoverageBatchQuery {
+        TAG_OVERLAP_BATCH_REPLY => Message::OverlapBatchReply {
+            source: code,
+            results: vec![overlap_results(ids), Vec::new()],
+        },
+        TAG_COVERAGE_BATCH_QUERY => Message::CoverageBatchQuery {
             queries: vec![query],
             k,
             delta,
+        },
+        TAG_COVERAGE_BATCH_REPLY => Message::CoverageBatchReply {
+            source: code,
+            candidates: vec![coverage_candidates(ids)],
+        },
+        TAG_METRICS_QUERY => Message::MetricsQuery,
+        TAG_METRICS_SNAPSHOT => Message::MetricsSnapshot {
+            source: code,
+            snapshot: obs::MetricsSnapshot {
+                samples: vec![
+                    obs::MetricSample {
+                        name: "fuzz_total".to_string(),
+                        labels: vec![("kind".to_string(), code.to_string())],
+                        value: obs::MetricValue::Counter(k as u64),
+                    },
+                    obs::MetricSample {
+                        name: "fuzz_nanos".to_string(),
+                        labels: Vec::new(),
+                        value: obs::MetricValue::Histogram {
+                            count: ids.len() as u64,
+                            sum: k as u64,
+                            buckets: vec![(3, 1), (7, 2)],
+                        },
+                    },
+                ],
+            },
         },
         _ => Message::KnnReply {
             source: code,
@@ -611,7 +706,7 @@ proptest! {
     // never a bogus success.
     #[test]
     fn prop_truncations_fail_closed(
-        kind in 0u8..8,
+        kind in 0u8..15,
         cells in proptest::collection::vec(0u64..1_000_000, 0..60),
         k in 0usize..50,
         delta in 0.0f64..30.0,
@@ -636,7 +731,7 @@ proptest! {
     // fail with a typed error -- decode must be total.
     #[test]
     fn prop_bit_flips_never_panic(
-        kind in 0u8..8,
+        kind in 0u8..15,
         cells in proptest::collection::vec(0u64..1_000_000, 0..60),
         k in 0usize..50,
         delta in 0.0f64..30.0,

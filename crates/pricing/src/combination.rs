@@ -144,8 +144,7 @@ pub fn rank_by_value(
         .collect();
     rows.sort_unstable_by(|a, b| {
         b.value
-            .partial_cmp(&a.value)
-            .unwrap_or(std::cmp::Ordering::Equal)
+            .total_cmp(&a.value)
             .then(b.gain.cmp(&a.gain))
             .then(a.dataset.cmp(&b.dataset))
     });

@@ -250,15 +250,32 @@ impl BoundaryIndex {
             while end < cells.len() && key(&cells[end]) == block_key {
                 end += 1;
             }
-            let chunk = &coords[start..end];
-            blocks.push(BoundaryBlock {
-                min_x: chunk.iter().map(|c| c.0).fold(f64::INFINITY, f64::min),
-                min_y: chunk.iter().map(|c| c.1).fold(f64::INFINITY, f64::min),
-                max_x: chunk.iter().map(|c| c.0).fold(f64::NEG_INFINITY, f64::max),
-                max_y: chunk.iter().map(|c| c.1).fold(f64::NEG_INFINITY, f64::max),
+            // Explicit comparisons instead of `fold(…, f64::min)`: the
+            // coordinates come from u32 grid cells so no NaN can occur, but
+            // the float-ordering rule bans the NaN-dropping idiom wholesale.
+            let mut block = BoundaryBlock {
+                min_x: f64::INFINITY,
+                min_y: f64::INFINITY,
+                max_x: f64::NEG_INFINITY,
+                max_y: f64::NEG_INFINITY,
                 start: start as u32,
                 end: end as u32,
-            });
+            };
+            for &(x, y) in &coords[start..end] {
+                if x < block.min_x {
+                    block.min_x = x;
+                }
+                if y < block.min_y {
+                    block.min_y = y;
+                }
+                if x > block.max_x {
+                    block.max_x = x;
+                }
+                if y > block.max_y {
+                    block.max_y = y;
+                }
+            }
+            blocks.push(block);
             start = end;
         }
         Self { coords, blocks }
@@ -643,6 +660,17 @@ impl CellSet {
         self.len() - self.intersection_size(accumulated)
     }
 
+    /// Drops every lazily derived cache (packed blocks, float coordinates,
+    /// boundary index).  **Every** `&mut self` method that changes `cells`
+    /// must call this before returning — a stale `OnceLock` silently serves
+    /// wrong verify state.  repo-lint's `cache-invalidation` rule enforces
+    /// the pairing.
+    fn invalidate_caches(&mut self) {
+        self.packed.take();
+        self.coords.take();
+        self.boundary.take();
+    }
+
     /// Inserts a single cell, keeping the set sorted. Returns `true` when the
     /// cell was not present before.
     pub fn insert(&mut self, cell: CellId) -> bool {
@@ -650,10 +678,7 @@ impl CellSet {
             Ok(_) => false,
             Err(pos) => {
                 self.cells.insert(pos, cell);
-                // Every derived cache is stale now.
-                self.packed.take();
-                self.coords.take();
-                self.boundary.take();
+                self.invalidate_caches();
                 true
             }
         }
@@ -664,9 +689,7 @@ impl CellSet {
         match self.cells.binary_search(&cell) {
             Ok(pos) => {
                 self.cells.remove(pos);
-                self.packed.take();
-                self.coords.take();
-                self.boundary.take();
+                self.invalidate_caches();
                 true
             }
             Err(_) => false,

@@ -118,8 +118,7 @@ pub fn find_near_duplicates(
     }
     pairs.sort_unstable_by(|a, b| {
         b.overlap_fraction
-            .partial_cmp(&a.overlap_fraction)
-            .unwrap_or(std::cmp::Ordering::Equal)
+            .total_cmp(&a.overlap_fraction)
             .then(a.first.cmp(&b.first))
             .then(a.second.cmp(&b.second))
     });
