@@ -30,6 +30,13 @@
 //! * `engine/ojsp` — the multi-source engine's per-source batched shard
 //!   mode against the per-(query, source) oracle.
 //!
+//! The `transport` section measures the federated deployment itself: the
+//! same OJSP / kNN workload driven over loopback TCP through the per-call
+//! [`TcpTransport`] (one connection per request) and through the pooled,
+//! pipelined [`net::PooledTcpTransport`], reporting sustained QPS plus
+//! per-query p50/p99 for each.  Answers are asserted identical to the
+//! in-process oracle before either transport is timed.
+//!
 //! The `phases` section reports each engine entry's source-side
 //! traversal-vs-verification time split, measured through a traced
 //! (`SearchRequest::with_trace`) run of the same workload, and the `env`
@@ -46,7 +53,11 @@ use dits::{
     coverage_search, coverage_search_batch, nearest_datasets, nearest_datasets_unbounded,
     overlap_search, overlap_search_batch, CoverageConfig, DitsLocal, DitsLocalConfig,
 };
-use multisource::{FrameworkConfig, QueryEngine, SearchRequest, SearchResponse, ShardMode};
+use multisource::{
+    DataCenter, FrameworkConfig, QueryEngine, SearchRequest, SearchResponse, ShardMode,
+    SourceServer, TcpTransport,
+};
+use net::PooledTcpTransport;
 use spatial::distance::{dataset_distance, dataset_distance_bounded, dataset_distance_uncached};
 use spatial::zorder::cell_id;
 use spatial::CellSet;
@@ -62,8 +73,10 @@ Usage: bench-runner [--quick] [--out PATH]
 /// Schema version stamped into (and required from) every snapshot.
 /// v2 added the `env` block and the `phases` breakdown; v3 added the
 /// verification-sweep kernels (`kernel/distance/*`, `knn/per-query` delta)
-/// and requires the phase breakdown to cover every engine mode.
-const SCHEMA_VERSION: u64 = 3;
+/// and requires the phase breakdown to cover every engine mode; v4 added
+/// the `transport` section (per-call TCP vs pooled pipelined QPS and
+/// p50/p99 over a loopback source-server fleet).
+const SCHEMA_VERSION: u64 = 4;
 
 /// Engine entries whose traversal/verify phase split every snapshot must
 /// report — a snapshot that drops one silently loses the trajectory of the
@@ -74,6 +87,11 @@ const REQUIRED_PHASES: [&str; 4] = [
     "engine/cjsp/per-query",
     "engine/knn/per-query",
 ];
+
+/// Both federated deployments every snapshot's `transport` section must
+/// cover — without the per-call rows the pooled numbers have no same-run
+/// baseline, and vice versa.
+const REQUIRED_TRANSPORT_PREFIXES: [&str; 2] = ["transport/per-call/", "transport/pooled/"];
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -142,6 +160,12 @@ fn main() {
     for d in &suite.deltas {
         println!("  {:<40} {:>6.2}x vs {}", d.name, d.speedup, d.baseline);
     }
+    for t in &suite.transport {
+        println!(
+            "  {:<40} {:>8.0} qps  p50 {:>9.0} ns  p99 {:>9.0} ns",
+            t.name, t.qps, t.p50_ns, t.p99_ns
+        );
+    }
     for p in &suite.phases {
         println!(
             "  {:<40} verify {:>5.1}% of source time",
@@ -181,9 +205,32 @@ struct PhaseReport {
     verify_share: f64,
 }
 
+/// One federated deployment's sustained throughput and per-query latency
+/// over loopback TCP.
+struct TransportReport {
+    name: String,
+    qps: f64,
+    p50_ns: f64,
+    p99_ns: f64,
+}
+
+impl TransportReport {
+    /// Reinterprets a measured kernel as a transport row: per-op throughput
+    /// is queries per second once the op is "run one query over the wire".
+    fn from_kernel(k: &KernelReport) -> Self {
+        Self {
+            name: k.name.clone(),
+            qps: k.ops_per_sec,
+            p50_ns: k.p50_ns,
+            p99_ns: k.p99_ns,
+        }
+    }
+}
+
 struct Suite {
     kernels: Vec<KernelReport>,
     deltas: Vec<Delta>,
+    transport: Vec<TransportReport>,
     phases: Vec<PhaseReport>,
 }
 
@@ -291,7 +338,7 @@ fn run_suite(quick: bool) -> Suite {
     let mut deltas = Vec::new();
 
     // -- Kernel: dense-grid cell intersection, word-parallel vs scalar ------
-    eprintln!("[1/6] kernel/intersection/dense-grid");
+    eprintln!("[1/7] kernel/intersection/dense-grid");
     let pairs: Vec<(CellSet, CellSet)> = (0..32)
         .map(|i| {
             let bx = (i as u32 % 8) * 96;
@@ -346,7 +393,7 @@ fn run_suite(quick: bool) -> Suite {
     kernels.extend([packed, scalar, adaptive]);
 
     // -- Kernel: verification plane sweep, fresh vs cached vs bounded -------
-    eprintln!("[2/6] kernel/distance (verification sweep variants)");
+    eprintln!("[2/7] kernel/distance (verification sweep variants)");
     let env = ExperimentEnv::new(divisor, 0xBEEF);
     let indexes: Vec<DitsLocal> = (0..env.source_data.len())
         .map(|s| DitsLocal::build(env.dataset_nodes(s, theta), DitsLocalConfig::default()))
@@ -425,7 +472,7 @@ fn run_suite(quick: bool) -> Suite {
     kernels.extend([sweep_unbounded, sweep_cached, sweep_bounded]);
 
     // -- Batch OJSP / CJSP over the five local indexes ----------------------
-    eprintln!("[3/6] batch/ojsp + batch/cjsp (scale 1/{divisor}, {queries_n} queries)");
+    eprintln!("[3/7] batch/ojsp + batch/cjsp (scale 1/{divisor}, {queries_n} queries)");
 
     for index in &indexes {
         let solo: Vec<_> = queries
@@ -480,7 +527,7 @@ fn run_suite(quick: bool) -> Suite {
     deltas.push(delta("batch/cjsp", &cjsp_frontier, &cjsp_per_query));
     kernels.extend([cjsp_per_query, cjsp_frontier]);
 
-    eprintln!("[4/6] knn/per-query bounded vs unbounded oracle");
+    eprintln!("[4/7] knn/per-query bounded vs unbounded oracle");
     for index in &indexes {
         for q in &queries {
             assert_eq!(
@@ -508,7 +555,7 @@ fn run_suite(quick: bool) -> Suite {
     kernels.extend([knn_unbounded, knn_bounded]);
 
     // -- Engine shard modes over the full multi-source framework ------------
-    eprintln!("[5/6] engine/ojsp shard modes");
+    eprintln!("[5/7] engine/ojsp shard modes");
     let fw = env.framework(FrameworkConfig {
         resolution: theta,
         ..FrameworkConfig::default()
@@ -543,10 +590,65 @@ fn run_suite(quick: bool) -> Suite {
     deltas.push(delta("engine/ojsp", &engine_batched, &engine_per_query));
     kernels.extend([engine_per_query, engine_batched]);
 
+    // -- Transports: per-call TCP vs pooled pipelined over a loopback fleet -
+    // Every source runs as its own server (real sockets, real frames); the
+    // same workload is answered through one-connection-per-request TCP and
+    // through the pooled transport, after asserting both match the
+    // in-process oracle bit for bit.
+    eprintln!("[6/7] transport/per-call vs transport/pooled (loopback fleet)");
+    let servers: Vec<SourceServer> = fw
+        .sources()
+        .iter()
+        .map(|s| SourceServer::spawn("127.0.0.1:0", s.clone()).expect("bind loopback"))
+        .collect();
+    let endpoints: Vec<_> = servers.iter().map(SourceServer::endpoint).collect();
+    let per_call = TcpTransport::new(endpoints.clone());
+    let pooled = PooledTcpTransport::new(endpoints).expect("pooled transport");
+    let leaf_capacity = fw.config().leaf_capacity;
+    let per_call_center =
+        DataCenter::from_transport(&per_call, leaf_capacity).expect("summary poll (per-call)");
+    let pooled_center =
+        DataCenter::from_transport(&pooled, leaf_capacity).expect("summary poll (pooled)");
+    let wire_config = *per_query_engine.config();
+    let per_call_engine = QueryEngine::new(&per_call_center, &per_call, wire_config);
+    let pooled_engine = QueryEngine::new(&pooled_center, &pooled, wire_config);
+    let knn_request = SearchRequest::knn_batch(raw_queries.clone()).k(k);
+    let mut transport = Vec::new();
+    for (kind, request) in [("ojsp", &ojsp_request), ("knn", &knn_request)] {
+        let truth = per_query_engine.run(request).expect("in-process oracle");
+        for (deployment, engine) in [("per-call", &per_call_engine), ("pooled", &pooled_engine)] {
+            let over_wire = engine.run(request).expect("federated run");
+            assert_eq!(
+                truth.results, over_wire.results,
+                "transport/{deployment}/{kind} diverged from the in-process oracle"
+            );
+            assert_eq!(
+                truth.comm, over_wire.comm,
+                "transport/{deployment}/{kind} changed the counted protocol bytes"
+            );
+            let report = measure(
+                &format!("transport/{deployment}/{kind}"),
+                samples,
+                raw_queries.len(),
+                || {
+                    std::hint::black_box(engine.run(request).expect("federated run"));
+                },
+            );
+            transport.push(TransportReport::from_kernel(&report));
+        }
+    }
+    // Drain the fleet so the run exits cleanly instead of leaking accept
+    // loops; the pooled transport's connections close once its event loop
+    // drops.
+    drop(pooled);
+    for server in servers {
+        server.shutdown();
+    }
+
     // Phase breakdown: one traced run per engine entry splits the sources'
     // time into index traversal vs. candidate verification (ROADMAP item 3's
     // "verification dominates" claim, now measured instead of asserted).
-    eprintln!("[6/6] phase breakdown (traced engine runs)");
+    eprintln!("[7/7] phase breakdown (traced engine runs)");
     let traced_ojsp = ojsp_request.clone().with_trace(true);
     let phases = vec![
         phase_report(
@@ -583,6 +685,7 @@ fn run_suite(quick: bool) -> Suite {
     Suite {
         kernels,
         deltas,
+        transport,
         phases,
     }
 }
@@ -627,6 +730,22 @@ fn render_snapshot(date: &str, quick: bool, env: &EnvInfo, suite: &Suite) -> Str
             escape_json(&d.baseline),
             d.speedup,
             if i + 1 < suite.deltas.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("  ],\n");
+    s.push_str("  \"transport\": [\n");
+    for (i, t) in suite.transport.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"name\": \"{}\", \"qps\": {:.1}, \"p50_ns\": {:.1}, \"p99_ns\": {:.1}}}{}\n",
+            escape_json(&t.name),
+            t.qps,
+            t.p50_ns,
+            t.p99_ns,
+            if i + 1 < suite.transport.len() {
+                ","
+            } else {
+                ""
+            }
         ));
     }
     s.push_str("  ],\n");
@@ -1008,6 +1127,42 @@ fn validate_snapshot(path: &str) -> Result<String, String> {
         }
     }
 
+    let transport = root
+        .get("transport")
+        .and_then(Json::as_array)
+        .ok_or("missing transport array")?;
+    if transport.is_empty() {
+        return Err("transport array is empty".into());
+    }
+    for (i, t) in transport.iter().enumerate() {
+        if t.get("name").and_then(Json::as_str).is_none() {
+            return Err(format!("transport[{i}] missing string name"));
+        }
+        for field in ["qps", "p50_ns", "p99_ns"] {
+            let n = t
+                .get(field)
+                .and_then(Json::as_number)
+                .ok_or(format!("transport[{i}] missing numeric {field}"))?;
+            if !n.is_finite() || n <= 0.0 {
+                return Err(format!(
+                    "transport[{i}].{field} = {n} is not a positive measurement"
+                ));
+            }
+        }
+    }
+    let transport_names: Vec<&str> = transport
+        .iter()
+        .filter_map(|t| t.get("name").and_then(Json::as_str))
+        .collect();
+    for prefix in REQUIRED_TRANSPORT_PREFIXES {
+        if !transport_names.iter().any(|n| n.starts_with(prefix)) {
+            return Err(format!(
+                "transport section has no {prefix}* rows — both federated \
+                 deployments must be measured"
+            ));
+        }
+    }
+
     let phases = root
         .get("phases")
         .and_then(Json::as_array)
@@ -1051,9 +1206,10 @@ fn validate_snapshot(path: &str) -> Result<String, String> {
     }
 
     Ok(format!(
-        "{} kernels, {} deltas, {} phases",
+        "{} kernels, {} deltas, {} transport rows, {} phases",
         kernels.len(),
         deltas.len(),
+        transport.len(),
         phases.len()
     ))
 }

@@ -45,6 +45,19 @@ pub fn overlap_search_batch(
     overlap_search_batch_with_options(index, queries, k, true)
 }
 
+/// Per-query state of the batch overlap search: the pruning rect, the stats
+/// the shared walk accumulates, and the leaf candidates it collects.  One
+/// struct per query keeps the walk to a single checked lookup per frontier
+/// entry instead of indexing three parallel vectors.
+struct OverlapState {
+    /// `None` for queries that never enter the walk (empty query, or
+    /// `k = 0` for the whole batch): the per-query fast path — empty
+    /// results, zero stats.
+    rect: Option<Mbr>,
+    stats: SearchStats,
+    candidates: Vec<LeafCandidate>,
+}
+
 /// Batch OverlapSearch with the leaf-bound pruning optionally disabled
 /// (mirrors [`overlap_search_with_options`](crate::overlap::overlap_search_with_options)).
 pub fn overlap_search_batch_with_options(
@@ -53,18 +66,18 @@ pub fn overlap_search_batch_with_options(
     k: usize,
     use_bounds: bool,
 ) -> Vec<(Vec<OverlapResult>, SearchStats)> {
-    let mut stats = vec![SearchStats::new(); queries.len()];
-    let mut candidates: Vec<Vec<LeafCandidate>> = vec![Vec::new(); queries.len()];
-    // A query without an MBR (empty, or k = 0 for the whole batch) never
-    // enters the walk and gets the per-query fast path: empty, zero stats.
-    let rects: Vec<Option<Mbr>> = queries
+    let mut states: Vec<OverlapState> = queries
         .iter()
-        .map(|q| if k == 0 { None } else { q.mbr_cell_space() })
+        .map(|q| OverlapState {
+            rect: if k == 0 { None } else { q.mbr_cell_space() },
+            stats: SearchStats::new(),
+            candidates: Vec::new(),
+        })
         .collect();
-    let root_frontier: Vec<u32> = rects
+    let root_frontier: Vec<u32> = states
         .iter()
         .enumerate()
-        .filter_map(|(i, r)| r.as_ref().map(|_| i as u32))
+        .filter_map(|(i, s)| s.rect.as_ref().map(|_| i as u32))
         .collect();
 
     let walk_started = std::time::Instant::now();
@@ -75,18 +88,21 @@ pub fn overlap_search_batch_with_options(
             let rect = layout.rect(node_idx);
             let mut survivors: Vec<u32> = Vec::with_capacity(frontier.len());
             for &q in &frontier {
-                let qi = q as usize;
-                stats[qi].nodes_visited += 1;
-                // Only queries with an MBR enter the root frontier; a missing
-                // rect would mean the frontier was built wrong, and dropping
-                // the query is the panic-free containment of that bug.
-                let Some(qrect) = rects[qi].as_ref() else {
+                // Frontier indices come from the enumeration above, so a
+                // miss here (or a rect-less query below) would mean the
+                // frontier was built wrong; dropping the query is the
+                // panic-free containment of that bug.
+                let Some(qs) = states.get_mut(q as usize) else {
+                    continue;
+                };
+                qs.stats.nodes_visited += 1;
+                let Some(qrect) = qs.rect.as_ref() else {
                     continue;
                 };
                 if rect.intersects(qrect) {
                     survivors.push(q);
                 } else {
-                    stats[qi].nodes_pruned += 1;
+                    qs.stats.nodes_pruned += 1;
                 }
             }
             if survivors.is_empty() {
@@ -109,16 +125,20 @@ pub fn overlap_search_batch_with_options(
                         }
                         for &q in &survivors {
                             let qi = q as usize;
+                            let (Some(qs), Some(query)) = (states.get_mut(qi), queries.get(qi))
+                            else {
+                                continue;
+                            };
                             let (lb, ub) = if use_bounds {
-                                leaf_overlap_bounds(inverted, &queries[qi], entries.len())
+                                leaf_overlap_bounds(inverted, query, entries.len())
                             } else {
                                 (0, usize::MAX)
                             };
                             if use_bounds && ub == 0 {
-                                stats[qi].leaves_pruned_by_bounds += 1;
+                                qs.stats.leaves_pruned_by_bounds += 1;
                                 continue;
                             }
-                            candidates[qi].push((ub, lb, arena_idx));
+                            qs.candidates.push((ub, lb, arena_idx));
                         }
                     }
                 }
@@ -131,36 +151,48 @@ pub fn overlap_search_batch_with_options(
     let verify_started = std::time::Instant::now();
     let out = queries
         .iter()
-        .enumerate()
-        .map(|(i, query)| {
-            let mut s = stats[i];
-            let results = if rects[i].is_some() {
+        .zip(states)
+        .map(|(query, mut qs)| {
+            let results = if qs.rect.is_some() {
                 verify_candidates(
                     index,
                     query,
                     k,
                     use_bounds,
-                    std::mem::take(&mut candidates[i]),
-                    &mut s,
+                    std::mem::take(&mut qs.candidates),
+                    &mut qs.stats,
                 )
             } else {
                 Vec::new()
             };
-            (results, s)
+            (results, qs.stats)
         })
         .collect();
     crate::phase::add_verify(verify_started.elapsed());
     out
 }
 
-/// Per-query state of the batch coverage search.
-struct CoverageState {
+/// Per-query state of the batch coverage search.  The `probe`, `connected`
+/// and `seen` fields are rebuilt at the start of every greedy iteration
+/// (clearing, not reallocating, the collections); keeping them here instead
+/// of in per-iteration parallel vectors means the shared walk performs one
+/// checked lookup per frontier entry.
+struct CoverageState<'a> {
     merged_cells: CellSet,
     merged_geometry: NodeGeometry,
     selected: HashSet<DatasetId>,
     result: CoverageResult,
     stats: SearchStats,
     active: bool,
+    /// Distance probe over `merged_cells`, snapshotted before each walk so
+    /// the walk never aliases the cells it prunes against; `None` while the
+    /// query is inactive.  The per-query algorithm rebuilds its probe every
+    /// iteration too.
+    probe: Option<NeighborProbe>,
+    /// Connect set collected by the current walk, in discovery order.
+    connected: Vec<&'a DatasetNode>,
+    /// Dataset ids already in `connected` for the current walk.
+    seen: HashSet<DatasetId>,
 }
 
 /// Batch CoverageSearch: runs the greedy algorithm for every query of the
@@ -185,7 +217,7 @@ pub fn coverage_search_batch(
             .collect();
     }
 
-    let mut states: Vec<CoverageState> = queries
+    let mut states: Vec<CoverageState<'_>> = queries
         .iter()
         .map(|q| {
             let query_coverage = q.len();
@@ -204,6 +236,9 @@ pub fn coverage_search_batch(
                 },
                 stats: SearchStats::new(),
                 active: true,
+                probe: None,
+                connected: Vec::new(),
+                seen: HashSet::new(),
             };
             match q.mbr_cell_space() {
                 Some(m) if config.k > 0 && index.dataset_count() > 0 => {
@@ -227,38 +262,43 @@ pub fn coverage_search_batch(
             break;
         }
 
-        // Snapshots keep the walk free of aliasing with the per-query stats:
-        // probes own their coordinates, geometries are plain copies.  The
-        // per-query algorithm rebuilds its probe every iteration too.
+        // Snapshot the probe before the walk: it owns its coordinates, so
+        // the walk never aliases the cells it prunes against.  The per-query
+        // algorithm rebuilds its probe every iteration too.  The connect-set
+        // collections are cleared, not reallocated, across iterations.
         let walk_started = std::time::Instant::now();
-        let probes: Vec<Option<NeighborProbe>> = states
-            .iter()
-            .map(|s| s.active.then(|| NeighborProbe::new(&s.merged_cells)))
-            .collect();
-        let merged_geoms: Vec<NodeGeometry> = states.iter().map(|s| s.merged_geometry).collect();
+        for s in states.iter_mut() {
+            let probe = s.active.then(|| NeighborProbe::new(&s.merged_cells));
+            s.probe = probe;
+            s.connected.clear();
+            s.seen.clear();
+        }
 
         // FindConnectSet for all active queries in one walk.
-        let mut connected: Vec<Vec<&DatasetNode>> = vec![Vec::new(); states.len()];
-        let mut seen: Vec<HashSet<DatasetId>> = vec![HashSet::new(); states.len()];
-        let mut stack: Vec<(NodeIdx, Vec<u32>)> = vec![(layout.root(), active.clone())];
+        let mut stack: Vec<(NodeIdx, Vec<u32>)> = vec![(layout.root(), active)];
         while let Some((node_idx, frontier)) = stack.pop() {
             let geometry = layout.geometry(node_idx);
             let mut kept: Vec<u32> = Vec::with_capacity(frontier.len());
             for &q in &frontier {
-                let qi = q as usize;
-                states[qi].stats.nodes_visited += 1;
-                let (lb, ub) = node_distance_bounds(geometry, &merged_geoms[qi]);
+                // Frontier indices come from the active-query enumeration,
+                // so a miss is a frontier-construction bug; skipping the
+                // query contains it without a panic.
+                let Some(state) = states.get_mut(q as usize) else {
+                    continue;
+                };
+                state.stats.nodes_visited += 1;
+                let (lb, ub) = node_distance_bounds(geometry, &state.merged_geometry);
                 if ub <= config.delta {
                     // Everything below is connected for this query: collect
                     // the subtree and drop the query from the frontier.
                     collect_all(
                         index,
                         layout.arena_index(node_idx),
-                        &mut connected[qi],
-                        &mut seen[qi],
+                        &mut state.connected,
+                        &mut state.seen,
                     );
                 } else if lb > config.delta {
-                    states[qi].stats.nodes_pruned += 1;
+                    state.stats.nodes_pruned += 1;
                 } else {
                     kept.push(q);
                 }
@@ -276,32 +316,34 @@ pub fn coverage_search_batch(
                     if let NodeKind::Leaf { entries, .. } = &index.node(arena_idx).kind {
                         let base = layout.entry_range(node_idx).start;
                         for &q in &kept {
-                            let qi = q as usize;
+                            let Some(state) = states.get_mut(q as usize) else {
+                                continue;
+                            };
                             // Probes exist for exactly the active queries; a
                             // missing one is a frontier-construction bug and
                             // skipping the query contains it without a panic.
-                            let Some(probe) = probes[qi].as_ref() else {
+                            let Some(probe) = state.probe.as_ref() else {
                                 continue;
                             };
                             for (offset, entry) in entries.iter().enumerate() {
-                                if seen[qi].contains(&layout.entry_id(base + offset)) {
+                                if state.seen.contains(&layout.entry_id(base + offset)) {
                                     continue;
                                 }
                                 let (elb, eub) = node_distance_bounds(
                                     layout.entry_geometry(base + offset),
-                                    &merged_geoms[qi],
+                                    &state.merged_geometry,
                                 );
                                 let is_connected = if eub <= config.delta {
                                     true
                                 } else if elb > config.delta {
                                     false
                                 } else {
-                                    states[qi].stats.exact_computations += 1;
+                                    state.stats.exact_computations += 1;
                                     probe.within(&entry.cells, config.delta)
                                 };
-                                if is_connected && seen[qi].insert(entry.id) {
-                                    connected[qi].push(entry);
-                                    states[qi].stats.candidates += 1;
+                                if is_connected && state.seen.insert(entry.id) {
+                                    state.connected.push(entry);
+                                    state.stats.candidates += 1;
                                 }
                             }
                         }
@@ -314,11 +356,9 @@ pub fn coverage_search_batch(
 
         // Greedy selection per query, identical to the per-query algorithm.
         let verify_started = std::time::Instant::now();
-        for &q in &active {
-            let qi = q as usize;
-            let state = &mut states[qi];
+        for state in states.iter_mut().filter(|s| s.active) {
             match greedy_pick(
-                &connected[qi],
+                &state.connected,
                 &state.selected,
                 &state.merged_cells,
                 &mut state.stats,

@@ -5,7 +5,7 @@
 //! | id | invariant |
 //! |----|-----------|
 //! | `panic-freedom` | no `unwrap`/`expect`/`panic!`/`unreachable!`/unchecked indexing on query, wire, or maintenance paths |
-//! | `wire-tags` | every `Message` variant's `TAG_*` constant appears in `encode`, `decode`, the transport fuzz list, and the README protocol table |
+//! | `wire-tags` | every `Message` variant's `TAG_*` constant appears in `encode`, `decode`, the transport fuzz list, and the README protocol table; inner `UpdateOp`/`MetricValue` tags are named constants wired through both codec directions |
 //! | `cache-invalidation` | every `&mut self` `CellSet` method touching `cells` calls `invalidate_caches()` |
 //! | `float-ordering` | distance ordering uses `total_cmp`, never `partial_cmp` or `f64::max`/`min` |
 //! | `metrics-registration` | metric names are registered exactly once, in the pre-registration block |
@@ -33,7 +33,7 @@ pub const RULES: &[(&str, &str)] = &[
     ),
     (
         "wire-tags",
-        "every Message variant's TAG_* constant appears in encode, decode, the fuzz list, and the README table",
+        "every Message variant's TAG_* constant appears in encode, decode, the fuzz list, and the README table; inner UpdateOp/MetricValue tags are named and wired through both codec directions",
     ),
     (
         "cache-invalidation",
@@ -121,6 +121,7 @@ const L5_PATHS: &[&str] = &[
 const CELLSET_PATH: &str = "crates/spatial/src/cellset.rs";
 const MESSAGE_PATH: &str = "crates/multisource/src/message.rs";
 const TRANSPORT_TESTS_PATH: &str = "crates/multisource/tests/transport.rs";
+const OBS_METRICS_PATH: &str = "crates/obs/src/metrics.rs";
 const README_PATH: &str = "README.md";
 
 /// The per-file rules that apply to `rel` (wire-tags is handled separately).
@@ -170,6 +171,11 @@ pub fn analyze(root: &Path, only: Option<&str>) -> Result<Vec<Finding>, String> 
     } else {
         None
     };
+    let metrics_lexed: Option<Lexed> = if enabled("wire-tags") {
+        read_rel(root, OBS_METRICS_PATH)?.map(|s| lexer::lex(&s))
+    } else {
+        None
+    };
     let readme: Option<String> = if enabled("wire-tags") {
         read_rel(root, README_PATH)?
     } else {
@@ -205,6 +211,7 @@ pub fn analyze(root: &Path, only: Option<&str>) -> Result<Vec<Finding>, String> 
             let inputs = WireInputs {
                 message: &lexed,
                 transport: transport_lexed.as_ref(),
+                metrics: metrics_lexed.as_ref(),
                 readme: readme.as_deref(),
             };
             raw.extend(

@@ -382,19 +382,17 @@ pub struct WireInputs<'a> {
     pub message: &'a Lexed,
     /// Lexed `crates/multisource/tests/transport.rs` (fuzz-tag list).
     pub transport: Option<&'a Lexed>,
+    /// Lexed `crates/obs/src/metrics.rs` (`MetricValue`, whose inner tags
+    /// live in message.rs).
+    pub metrics: Option<&'a Lexed>,
     /// Raw `README.md` text (protocol table).
     pub readme: Option<&'a str>,
 }
 
-/// L2 — wire-tags: every `Message` variant's `TAG_*` constant exists, has a
-/// distinct value, and appears in `encode`, `decode`, the transport fuzz-tag
-/// list, and the README protocol table.  All findings anchor to message.rs
-/// lines (the variant or constant that is out of sync).
-pub fn wire_tags(inp: &WireInputs) -> Vec<RuleFinding> {
-    let toks = &inp.message.toks;
-    let mut out = Vec::new();
-
-    // TAG_* constants: `const TAG_X: u8 = N;`
+/// Collects one tag family's `const <PREFIX>X: u8 = N;` constants from
+/// message.rs, flagging constants of the family that are not literal `u8`s
+/// (the cross-checks below can only follow literal values).
+fn tag_consts(toks: &[Tok], prefix: &str, out: &mut Vec<RuleFinding>) -> Vec<(String, u64, u32)> {
     let mut consts: Vec<(String, u64, u32)> = Vec::new();
     for (i, t) in toks.iter().enumerate() {
         if !t.is_ident("const") {
@@ -403,7 +401,7 @@ pub fn wire_tags(inp: &WireInputs) -> Vec<RuleFinding> {
         let Some(name) = toks.get(i + 1) else {
             continue;
         };
-        if name.kind != TokKind::Ident || !name.text.starts_with("TAG_") {
+        if name.kind != TokKind::Ident || !name.text.starts_with(prefix) {
             continue;
         }
         // name : u8 = <num>
@@ -424,8 +422,26 @@ pub fn wire_tags(inp: &WireInputs) -> Vec<RuleFinding> {
             )),
         }
     }
+    consts
+}
 
-    let variants = message_enum_variants(toks);
+/// L2 — wire-tags: every `Message` variant's `TAG_*` constant exists, has a
+/// distinct value, and appears in `encode`, `decode`, the transport fuzz-tag
+/// list, and the README protocol table; and every inner enum framed inside a
+/// variant's payload (`UpdateOp`, `MetricValue`) has its own named tag
+/// family (`OP_TAG_*`, `METRIC_TAG_*`) wired through both `encode` and
+/// `decode`.  All findings anchor to message.rs lines (the variant or
+/// constant that is out of sync).
+pub fn wire_tags(inp: &WireInputs) -> Vec<RuleFinding> {
+    let toks = &inp.message.toks;
+    let mut out = Vec::new();
+
+    // TAG_* constants: `const TAG_X: u8 = N;`.  The prefix match is exact
+    // on the name's start, so the inner families (`OP_TAG_*`,
+    // `METRIC_TAG_*`) stay out of the frame-level set.
+    let consts = tag_consts(toks, "TAG_", &mut out);
+
+    let variants = enum_variants(toks, "Message");
     if variants.is_empty() {
         out.push(finding(
             1,
@@ -517,7 +533,112 @@ pub fn wire_tags(inp: &WireInputs) -> Vec<RuleFinding> {
             }
         }
     }
+
+    // Inner tag families: each enum framed inside a variant's payload gets
+    // one byte of tag on the wire, named in message.rs and wired through
+    // both codec directions.  `UpdateOp` is declared in message.rs itself;
+    // `MetricValue` lives in obs, so its variant list is read from the
+    // lexed metrics file when available.
+    inner_tag_family(
+        toks,
+        Some(toks),
+        "UpdateOp",
+        "OP_TAG_",
+        &encode_idents,
+        &decode_idents,
+        &mut out,
+    );
+    inner_tag_family(
+        toks,
+        inp.metrics.map(|m| m.toks.as_slice()),
+        "MetricValue",
+        "METRIC_TAG_",
+        &encode_idents,
+        &decode_idents,
+        &mut out,
+    );
     out
+}
+
+/// Cross-checks one inner tag family: the variants of `enum_name` (parsed
+/// from `enum_toks`, when that file is available) must biject with literal
+/// `{prefix}{SCREAMING}` constants in message.rs, distinct-valued within the
+/// family and referenced in both `encode` and `decode`.  Findings anchor to
+/// message.rs; when the enum is declared elsewhere, missing-constant
+/// findings anchor to line 1.
+fn inner_tag_family(
+    message_toks: &[Tok],
+    enum_toks: Option<&[Tok]>,
+    enum_name: &str,
+    prefix: &str,
+    encode_idents: &[String],
+    decode_idents: &[String],
+    out: &mut Vec<RuleFinding>,
+) {
+    let same_file = enum_toks.is_some_and(|t| std::ptr::eq(t, message_toks));
+    let consts = tag_consts(message_toks, prefix, out);
+
+    // Duplicate tag values within the family (families are independent
+    // namespaces: each is disambiguated by its enclosing variant's payload).
+    for (idx, (name, v, line)) in consts.iter().enumerate() {
+        if let Some((prev, _, _)) = consts[..idx].iter().find(|(_, pv, _)| pv == v) {
+            out.push(finding(
+                *line,
+                format!("tag value {v} of `{name}` already used by `{prev}`"),
+            ));
+        }
+    }
+
+    // Variant <-> constant bijection, when the enum's source is on hand.
+    if let Some(enum_toks) = enum_toks {
+        let variants = enum_variants(enum_toks, enum_name);
+        if variants.is_empty() {
+            out.push(finding(
+                1,
+                format!("no `enum {enum_name}` found to check inner wire tags against"),
+            ));
+        } else {
+            for (vname, vline) in &variants {
+                let expected = format!("{prefix}{}", screaming(vname));
+                if !consts.iter().any(|(c, _, _)| *c == expected) {
+                    out.push(finding(
+                        if same_file { *vline } else { 1 },
+                        format!(
+                            "variant `{enum_name}::{vname}` has no `{expected}` inner wire-tag constant"
+                        ),
+                    ));
+                }
+            }
+            let expected: Vec<String> = variants
+                .iter()
+                .map(|(v, _)| format!("{prefix}{}", screaming(v)))
+                .collect();
+            for (cname, _, cline) in &consts {
+                if !expected.iter().any(|e| e == cname) {
+                    out.push(finding(
+                        *cline,
+                        format!("`{cname}` does not correspond to any `{enum_name}` variant"),
+                    ));
+                }
+            }
+        }
+    }
+
+    // Both codec directions must go through the named constant.
+    for (cname, _, cline) in &consts {
+        if !encode_idents.iter().any(|i| i == cname) {
+            out.push(finding(
+                *cline,
+                format!("`{cname}` is never used in `encode`"),
+            ));
+        }
+        if !decode_idents.iter().any(|i| i == cname) {
+            out.push(finding(
+                *cline,
+                format!("`{cname}` is never matched in `decode`"),
+            ));
+        }
+    }
 }
 
 /// `OverlapQuery` → `OVERLAP_QUERY`, `KnnReply` → `KNN_REPLY`.
@@ -532,11 +653,11 @@ fn screaming(name: &str) -> String {
     out
 }
 
-/// Variant names (with lines) of `enum Message { ... }`.
-fn message_enum_variants(toks: &[Tok]) -> Vec<(String, u32)> {
+/// Variant names (with lines) of `enum <name> { ... }`.
+fn enum_variants(toks: &[Tok], name: &str) -> Vec<(String, u32)> {
     let mut variants = Vec::new();
     for i in 0..toks.len() {
-        if !(toks[i].is_ident("enum") && toks.get(i + 1).is_some_and(|t| t.is_ident("Message"))) {
+        if !(toks[i].is_ident("enum") && toks.get(i + 1).is_some_and(|t| t.is_ident(name))) {
             continue;
         }
         let mut open = i + 2;

@@ -57,13 +57,15 @@ fn wire_tags_fixture_flags_missing_decode_arm_and_missing_constant() {
     let found = rules::wire_tags(&WireInputs {
         message: &message,
         transport: None,
+        metrics: None,
         readme: None,
     });
     let mut got = lines(&found);
     got.sort_unstable();
-    // Line 6: `TAG_PONG` never matched in `decode`; line 11: variant `Ack`
-    // has no wire-tag constant.
-    assert_eq!(got, vec![6, 11], "{found:?}");
+    // Line 7: `TAG_PONG` never matched in `decode`; line 10: `OP_TAG_CLEAR`
+    // reuses `OP_TAG_SET`'s value; line 11: `OP_TAG_DROP` never used in
+    // `encode`; line 16: variant `Ack` has no wire-tag constant.
+    assert_eq!(got, vec![7, 10, 11, 16], "{found:?}");
 }
 
 #[test]

@@ -30,6 +30,7 @@ use spatial::{SourceId, SpatialDataset};
 use crate::center::{AggregatedCoverage, AggregatedKnn, AggregatedOverlap, DistributionStrategy};
 use crate::comm::CommStats;
 use crate::engine::ShardMode;
+use crate::error::SearchError;
 
 /// Which search problem a [`SearchRequest`] asks for.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -59,6 +60,7 @@ pub struct SearchRequest {
     strategy: Option<DistributionStrategy>,
     delta_cells: Option<f64>,
     shard_mode: Option<ShardMode>,
+    skip_failed_sources: Option<bool>,
     collect_stats: bool,
     collect_trace: bool,
 }
@@ -73,6 +75,7 @@ impl SearchRequest {
             strategy: None,
             delta_cells: None,
             shard_mode: None,
+            skip_failed_sources: None,
             collect_stats: true,
             collect_trace: false,
         }
@@ -187,6 +190,21 @@ impl SearchRequest {
         self.shard_mode
     }
 
+    /// Overrides the engine's degradation mode for this request.  With
+    /// `true`, a shard whose source is slow or dead is skipped and reported
+    /// in [`SearchResponse::failures`] instead of failing the whole batch —
+    /// the answers are computed from the sources that did reply.  With
+    /// `false` (the engine default) the first shard error aborts the batch.
+    pub fn skip_failed_sources(mut self, skip: bool) -> Self {
+        self.skip_failed_sources = Some(skip);
+        self
+    }
+
+    /// The degradation-mode override, if any.
+    pub fn requested_skip_failed_sources(&self) -> Option<bool> {
+        self.skip_failed_sources
+    }
+
     /// Whether statistics collection was requested.
     pub fn wants_stats(&self) -> bool {
         self.collect_stats
@@ -255,6 +273,20 @@ pub struct SourceTiming {
     pub service: Duration,
 }
 
+/// One source a degraded run could not get an answer from: the shard(s)
+/// bound for it were skipped and the batch was aggregated without them.
+///
+/// Recorded only when the run opted in with
+/// [`SearchRequest::skip_failed_sources`] (or the engine's equivalent
+/// configuration); a fail-fast run aborts on the first error instead.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SourceFailure {
+    /// The source that failed.
+    pub source: SourceId,
+    /// The first error observed on a shard bound for this source.
+    pub error: SearchError,
+}
+
 /// What a [`SearchRequest`] produces: typed answers plus the cost accounting
 /// of the run.
 #[derive(Debug, Clone, PartialEq)]
@@ -269,11 +301,24 @@ pub struct SearchResponse {
     pub search: Option<SearchStats>,
     /// Per-source transport timing, ascending by source id.
     pub per_source: Vec<SourceTiming>,
+    /// Sources a degraded run skipped, ascending by source id; always empty
+    /// for fail-fast runs.  [`CommStats`] byte and request counters cover
+    /// completed exchanges only (a failed shard moves no accounted bytes),
+    /// while `sources_contacted` counts planned contacts, including the
+    /// sources listed here.
+    pub failures: Vec<SourceFailure>,
     /// Wall-clock time spent planning, searching and aggregating.
     pub elapsed: Duration,
     /// The structured trace of the run; `None` unless the request opted in
     /// with [`SearchRequest::with_trace`].
     pub trace: Option<obs::Trace>,
+}
+
+impl SearchResponse {
+    /// Whether every planned shard completed (no source was skipped).
+    pub fn is_complete(&self) -> bool {
+        self.failures.is_empty()
+    }
 }
 
 impl SearchResponse {

@@ -16,6 +16,13 @@
 //! point per line (`#` starts a comment); points sharing a dataset id form
 //! one dataset.  On startup the server prints `LISTENING <addr>` to stdout —
 //! with `--listen 127.0.0.1:0` that is how callers learn the ephemeral port.
+//!
+//! Writing a line reading `SHUTDOWN` to the server's stdin drains it
+//! gracefully: the server stops accepting, every connection finishes the
+//! frame it is serving, and the process exits cleanly (printing `DRAINED`)
+//! instead of dying mid-frame.  EOF on stdin is deliberately *not* a
+//! shutdown trigger, so servers spawned with a null or inherited stdin run
+//! forever, exactly as before.
 
 use std::collections::BTreeMap;
 use std::io::{BufRead, Write};
@@ -23,8 +30,8 @@ use std::net::TcpListener;
 use std::process::ExitCode;
 
 use dits::DitsLocalConfig;
-use multisource::serve_source;
 use multisource::DataSource;
+use multisource::{serve_source_until, ShutdownSignal};
 use spatial::{Grid, Point, SourceId, SpatialDataset};
 
 struct Args {
@@ -156,7 +163,31 @@ fn run() -> Result<(), String> {
     // The machine-readable ready line callers wait for.
     println!("LISTENING {addr}");
     let _ = std::io::stdout().flush();
-    serve_source(listener, source);
+
+    // Graceful shutdown: a `SHUTDOWN` line on stdin drains the server.  EOF
+    // alone does not trigger it (a null stdin must not kill the server), so
+    // the watcher simply exits when stdin closes without the magic line.
+    let shutdown = ShutdownSignal::new();
+    let signal = shutdown.clone();
+    std::thread::spawn(move || {
+        for line in std::io::stdin().lock().lines() {
+            match line {
+                Ok(line) if line.trim() == "SHUTDOWN" => {
+                    eprintln!("source-server: shutdown requested, draining");
+                    signal.trigger();
+                    return;
+                }
+                Ok(_) => continue,
+                Err(_) => return,
+            }
+        }
+    });
+
+    serve_source_until(listener, source, shutdown);
+    // The machine-readable drained line: in-flight frames are answered and
+    // every connection is closed.
+    println!("DRAINED");
+    let _ = std::io::stdout().flush();
     Ok(())
 }
 

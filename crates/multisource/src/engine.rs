@@ -36,7 +36,9 @@ use dits::{Neighbor, SearchStats};
 use spatial::distance::NeighborProbe;
 use spatial::{CellSet, DatasetId, SourceId, SpatialDataset};
 
-use crate::api::{SearchKind, SearchRequest, SearchResponse, SearchResults, SourceTiming};
+use crate::api::{
+    SearchKind, SearchRequest, SearchResponse, SearchResults, SourceFailure, SourceTiming,
+};
 use crate::center::{
     AggregatedCoverage, AggregatedKnn, AggregatedOverlap, DataCenter, DistributionStrategy,
     GridCache, QueryCellsCache,
@@ -84,6 +86,14 @@ pub struct EngineConfig {
     pub collect_stats: bool,
     /// How the batch is sharded across sources (OJSP/CJSP only).
     pub shard_mode: ShardMode,
+    /// Degradation mode: with `true`, a shard whose source is slow or dead
+    /// is skipped and reported per source instead of failing the whole
+    /// batch — answers are aggregated from the sources that did reply and
+    /// the batch never parks behind one bad source.  With `false` (the
+    /// default) the first shard error aborts the batch, which is the right
+    /// behaviour for parity testing and in-process deployments where a
+    /// failure means a bug rather than a network condition.
+    pub skip_failed_sources: bool,
     /// Whether runs assemble a structured [`obs::Trace`]: a center-assigned
     /// trace id propagated to every contacted source plus timed spans for
     /// planning, each transport call, the sources' traversal/verification
@@ -100,6 +110,7 @@ impl Default for EngineConfig {
             delta_cells: 10.0,
             collect_stats: true,
             shard_mode: ShardMode::PerQuery,
+            skip_failed_sources: false,
             collect_trace: false,
         }
     }
@@ -116,6 +127,9 @@ pub struct BatchOutcome<T> {
     pub search: SearchStats,
     /// Per-source transport timing, ascending by source id.
     pub per_source: Vec<SourceTiming>,
+    /// Sources a degraded run skipped ([`EngineConfig::skip_failed_sources`]),
+    /// ascending by source id; always empty for fail-fast runs.
+    pub failures: Vec<SourceFailure>,
     /// Wall-clock time spent planning, searching and aggregating.
     pub elapsed: Duration,
     /// The structured trace of the run (`None` unless
@@ -240,6 +254,9 @@ impl<'a> QueryEngine<'a> {
         if let Some(mode) = request.requested_shard_mode() {
             config.shard_mode = mode;
         }
+        if let Some(skip) = request.requested_skip_failed_sources() {
+            config.skip_failed_sources = skip;
+        }
         config.collect_stats = request.wants_stats();
         config.collect_trace = request.wants_trace();
         let engine = Self {
@@ -249,44 +266,48 @@ impl<'a> QueryEngine<'a> {
             slow_log: self.slow_log,
         };
         let k = request.requested_k();
-        let (results, kind_name, comm, search, per_source, elapsed, trace) = match request.kind() {
-            SearchKind::Ojsp => {
-                let out = engine.run_ojsp(request.queries(), k)?;
-                (
-                    SearchResults::Overlap(out.answers),
-                    "ojsp",
-                    out.comm,
-                    out.search,
-                    out.per_source,
-                    out.elapsed,
-                    out.trace,
-                )
-            }
-            SearchKind::Cjsp => {
-                let out = engine.run_cjsp(request.queries(), k)?;
-                (
-                    SearchResults::Coverage(out.answers),
-                    "cjsp",
-                    out.comm,
-                    out.search,
-                    out.per_source,
-                    out.elapsed,
-                    out.trace,
-                )
-            }
-            SearchKind::Knn => {
-                let out = engine.run_knn(request.queries(), k)?;
-                (
-                    SearchResults::Knn(out.answers),
-                    "knn",
-                    out.comm,
-                    out.search,
-                    out.per_source,
-                    out.elapsed,
-                    out.trace,
-                )
-            }
-        };
+        let (results, kind_name, comm, search, per_source, failures, elapsed, trace) =
+            match request.kind() {
+                SearchKind::Ojsp => {
+                    let out = engine.run_ojsp(request.queries(), k)?;
+                    (
+                        SearchResults::Overlap(out.answers),
+                        "ojsp",
+                        out.comm,
+                        out.search,
+                        out.per_source,
+                        out.failures,
+                        out.elapsed,
+                        out.trace,
+                    )
+                }
+                SearchKind::Cjsp => {
+                    let out = engine.run_cjsp(request.queries(), k)?;
+                    (
+                        SearchResults::Coverage(out.answers),
+                        "cjsp",
+                        out.comm,
+                        out.search,
+                        out.per_source,
+                        out.failures,
+                        out.elapsed,
+                        out.trace,
+                    )
+                }
+                SearchKind::Knn => {
+                    let out = engine.run_knn(request.queries(), k)?;
+                    (
+                        SearchResults::Knn(out.answers),
+                        "knn",
+                        out.comm,
+                        out.search,
+                        out.per_source,
+                        out.failures,
+                        out.elapsed,
+                        out.trace,
+                    )
+                }
+            };
         if let Some(log) = self.slow_log {
             log.record(kind_name, elapsed, trace.as_ref().map(|t| t.id));
         }
@@ -295,6 +316,7 @@ impl<'a> QueryEngine<'a> {
             comm,
             search: request.wants_stats().then_some(search),
             per_source,
+            failures,
             elapsed,
             trace,
         })
@@ -365,6 +387,52 @@ impl<'a> QueryEngine<'a> {
         }
     }
 
+    /// Executes planned shard tasks, honouring the engine's degradation
+    /// mode.  Fail-fast (the default) aborts the batch on the first shard
+    /// error; skip-and-report ([`EngineConfig::skip_failed_sources`]) keeps
+    /// going, drops the failed shards' contributions (`None` slots) and
+    /// records one [`SourceFailure`] per failed source — the first error in
+    /// task order, so the report is deterministic for a deterministic plan.
+    ///
+    /// A failed exchange accounts no [`CommStats`] bytes or requests (the
+    /// transport surfaces the error before anything is recorded), so the
+    /// merged counters describe exactly the completed shards.
+    fn execute_shards<T, R, F>(
+        &self,
+        tasks: &[T],
+        trace: Option<u64>,
+        source_of: impl Fn(&T) -> SourceId,
+        f: F,
+    ) -> Result<ShardOutcome<R>, SearchError>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(&T, &mut WorkerCtx) -> Result<R, SearchError> + Sync,
+    {
+        if !self.config.skip_failed_sources {
+            let (results, ctx) = run_parallel(tasks, self.config.workers, trace, f)?;
+            return Ok((results.into_iter().map(Some).collect(), ctx, Vec::new()));
+        }
+        let (per_task, ctx) = run_parallel_core(tasks, self.config.workers, trace, false, f)?;
+        let mut failures: Vec<SourceFailure> = Vec::new();
+        let results = tasks
+            .iter()
+            .zip(per_task)
+            .map(|(task, result)| match result {
+                Ok(r) => Some(r),
+                Err(error) => {
+                    let source = source_of(task);
+                    if !failures.iter().any(|f| f.source == source) {
+                        failures.push(SourceFailure { source, error });
+                    }
+                    None
+                }
+            })
+            .collect();
+        failures.sort_by_key(|f| f.source);
+        Ok((results, ctx, failures))
+    }
+
     /// Runs a batch of overlap joinable searches.
     pub fn run_ojsp(
         &self,
@@ -409,13 +477,13 @@ impl<'a> QueryEngine<'a> {
         let mut buckets: Vec<Vec<(SourceId, dits::OverlapResult)>> =
             (0..queries.len()).map(|_| Vec::new()).collect();
         let plan_elapsed = start.elapsed();
-        let mut ctx = match self.config.shard_mode {
+        let (mut ctx, failures) = match self.config.shard_mode {
             // One task per (query, source) shard, in parallel.
             ShardMode::PerQuery => {
-                let (per_task, ctx) = run_parallel(
+                let (per_task, ctx, failures) = self.execute_shards(
                     &tasks,
-                    self.config.workers,
                     trace_id,
+                    |task| task.source,
                     |task, ctx| match self.exchange(task.source, &task.request, ctx)? {
                         Message::OverlapReply { source, results } => {
                             let pairs: Vec<(SourceId, dits::OverlapResult)> =
@@ -426,20 +494,21 @@ impl<'a> QueryEngine<'a> {
                     },
                 )?;
                 for (task, results) in tasks.iter().zip(per_task) {
+                    let Some(results) = results else { continue };
                     if let Some(bucket) = buckets.get_mut(task.query_idx) {
                         bucket.extend(results);
                     }
                 }
-                ctx
+                (ctx, failures)
             }
             // One task per source carrying its whole routed sub-batch; the
             // source answers with a single shared frontier traversal.
             ShardMode::PerSourceBatch => {
                 let batches = group_overlap_batches(tasks, k);
-                let (per_batch, ctx) = run_parallel(
+                let (per_batch, ctx, failures) = self.execute_shards(
                     &batches,
-                    self.config.workers,
                     trace_id,
+                    |batch| batch.source,
                     |batch, ctx| match self.exchange(batch.source, &batch.request, ctx)? {
                         Message::OverlapBatchReply { source, results }
                             if results.len() == batch.query_idxs.len() =>
@@ -457,13 +526,14 @@ impl<'a> QueryEngine<'a> {
                     },
                 )?;
                 for (batch, per_query) in batches.iter().zip(per_batch) {
+                    let Some(per_query) = per_query else { continue };
                     for (&query_idx, results) in batch.query_idxs.iter().zip(per_query) {
                         if let Some(bucket) = buckets.get_mut(query_idx) {
                             bucket.extend(results);
                         }
                     }
                 }
-                ctx
+                (ctx, failures)
             }
         };
         comm.merge(&ctx.comm);
@@ -490,6 +560,7 @@ impl<'a> QueryEngine<'a> {
             comm,
             search: ctx.search,
             per_source: ctx.into_timings(),
+            failures,
             elapsed: start.elapsed(),
             trace: assemble_trace(trace_id, plan_elapsed, spans, agg_started.elapsed()),
         })
@@ -551,51 +622,56 @@ impl<'a> QueryEngine<'a> {
         let mut buckets: Vec<Vec<CoverageCandidate>> =
             (0..queries.len()).map(|_| Vec::new()).collect();
         let plan_elapsed = start.elapsed();
-        let mut ctx =
-            match self.config.shard_mode {
-                ShardMode::PerQuery => {
-                    let (per_task, ctx) = run_parallel(
-                        &tasks,
-                        self.config.workers,
-                        trace_id,
-                        |task, ctx| match self.exchange(task.source, &task.request, ctx)? {
-                            Message::CoverageReply { candidates, .. } => Ok(candidates),
-                            _ => Err(TransportError::UnexpectedReply("CoverageReply").into()),
-                        },
-                    )?;
-                    for (task, candidates) in tasks.iter().zip(per_task) {
-                        if let Some(bucket) = buckets.get_mut(task.query_idx) {
+        let (mut ctx, failures) = match self.config.shard_mode {
+            ShardMode::PerQuery => {
+                let (per_task, ctx, failures) = self.execute_shards(
+                    &tasks,
+                    trace_id,
+                    |task| task.source,
+                    |task, ctx| match self.exchange(task.source, &task.request, ctx)? {
+                        Message::CoverageReply { candidates, .. } => Ok(candidates),
+                        _ => Err(TransportError::UnexpectedReply("CoverageReply").into()),
+                    },
+                )?;
+                for (task, candidates) in tasks.iter().zip(per_task) {
+                    let Some(candidates) = candidates else {
+                        continue;
+                    };
+                    if let Some(bucket) = buckets.get_mut(task.query_idx) {
+                        bucket.extend(candidates);
+                    }
+                }
+                (ctx, failures)
+            }
+            ShardMode::PerSourceBatch => {
+                let batches = group_coverage_batches(tasks, k, delta);
+                let (per_batch, ctx, failures) = self.execute_shards(
+                    &batches,
+                    trace_id,
+                    |batch| batch.source,
+                    |batch, ctx| match self.exchange(batch.source, &batch.request, ctx)? {
+                        Message::CoverageBatchReply { candidates, .. }
+                            if candidates.len() == batch.query_idxs.len() =>
+                        {
+                            Ok(candidates)
+                        }
+                        _ => Err(TransportError::UnexpectedReply(
+                            "CoverageBatchReply of matching arity",
+                        )
+                        .into()),
+                    },
+                )?;
+                for (batch, per_query) in batches.iter().zip(per_batch) {
+                    let Some(per_query) = per_query else { continue };
+                    for (&query_idx, candidates) in batch.query_idxs.iter().zip(per_query) {
+                        if let Some(bucket) = buckets.get_mut(query_idx) {
                             bucket.extend(candidates);
                         }
                     }
-                    ctx
                 }
-                ShardMode::PerSourceBatch => {
-                    let batches = group_coverage_batches(tasks, k, delta);
-                    let (per_batch, ctx) =
-                        run_parallel(&batches, self.config.workers, trace_id, |batch, ctx| {
-                            match self.exchange(batch.source, &batch.request, ctx)? {
-                                Message::CoverageBatchReply { candidates, .. }
-                                    if candidates.len() == batch.query_idxs.len() =>
-                                {
-                                    Ok(candidates)
-                                }
-                                _ => Err(TransportError::UnexpectedReply(
-                                    "CoverageBatchReply of matching arity",
-                                )
-                                .into()),
-                            }
-                        })?;
-                    for (batch, per_query) in batches.iter().zip(per_batch) {
-                        for (&query_idx, candidates) in batch.query_idxs.iter().zip(per_query) {
-                            if let Some(bucket) = buckets.get_mut(query_idx) {
-                                bucket.extend(candidates);
-                            }
-                        }
-                    }
-                    ctx
-                }
-            };
+                (ctx, failures)
+            }
+        };
         comm.merge(&ctx.comm);
 
         // Aggregate: cross-source greedy selection, parallelised over the
@@ -619,6 +695,7 @@ impl<'a> QueryEngine<'a> {
             comm,
             search: ctx.search,
             per_source: ctx.into_timings(),
+            failures,
             elapsed: start.elapsed(),
             trace: assemble_trace(trace_id, plan_elapsed, spans, agg_started.elapsed()),
         })
@@ -676,10 +753,10 @@ impl<'a> QueryEngine<'a> {
         // unclipped query at every source and gains nothing from frontier
         // sharing, so it always runs one task per (query, source).
         let plan_elapsed = start.elapsed();
-        let (per_task, mut ctx) = run_parallel(
+        let (per_task, mut ctx, failures) = self.execute_shards(
             &tasks,
-            self.config.workers,
             trace_id,
+            |task| task.source,
             |task, ctx| match self.exchange(task.source, &task.request, ctx)? {
                 Message::KnnReply { source, neighbors } => {
                     let pairs: Vec<(SourceId, Neighbor)> =
@@ -696,6 +773,7 @@ impl<'a> QueryEngine<'a> {
         let mut buckets: Vec<Vec<(SourceId, Neighbor)>> =
             (0..queries.len()).map(|_| Vec::new()).collect();
         for (task, neighbors) in tasks.iter().zip(per_task) {
+            let Some(neighbors) = neighbors else { continue };
             if let Some(bucket) = buckets.get_mut(task.query_idx) {
                 bucket.extend(neighbors);
             }
@@ -720,6 +798,7 @@ impl<'a> QueryEngine<'a> {
             comm,
             search: ctx.search,
             per_source: ctx.into_timings(),
+            failures,
             elapsed: start.elapsed(),
             trace: assemble_trace(trace_id, plan_elapsed, spans, agg_started.elapsed()),
         })
@@ -887,6 +966,11 @@ fn resolve_workers(configured: usize) -> usize {
 /// single-query convenience wrappers).
 const MIN_PARALLEL_TASKS: usize = 8;
 
+/// What a degradation-aware shard execution produces: one result slot per
+/// task (`None` where the shard's source failed), the merged per-worker
+/// accumulators, and one report per failed source.
+type ShardOutcome<R> = (Vec<Option<R>>, WorkerCtx, Vec<SourceFailure>);
+
 /// Per-worker private accumulators: communication bytes, search statistics
 /// and per-source transport timing.  Workers never contend on shared
 /// counters; blocks are merged losslessly after the join.
@@ -970,20 +1054,58 @@ where
     R: Send,
     F: Fn(&T, &mut WorkerCtx) -> Result<R, SearchError> + Sync,
 {
+    let (per_task, ctx) = run_parallel_core(tasks, workers, trace, true, f)?;
+    let mut results = Vec::with_capacity(per_task.len());
+    for result in per_task {
+        // Fail-fast mode surfaces the first shard error as the outer Err,
+        // so every per-task slot is Ok here; stay total regardless.
+        results.push(result?);
+    }
+    Ok((results, ctx))
+}
+
+/// The shared worker-pool core behind [`run_parallel`] (fail-fast) and the
+/// engine's degraded skip-and-report mode.  Returns one `Result` per task,
+/// **in task order**, plus the merged per-worker accumulators.
+///
+/// With `fail_fast` the first shard error parks the claim cursor (remaining
+/// workers drain their current task and stop) and becomes the outer `Err`;
+/// without it every task runs to completion and failed shards come back as
+/// per-task `Err` values, so one dead source can never park the batch.
+fn run_parallel_core<T, R, F>(
+    tasks: &[T],
+    workers: usize,
+    trace: Option<u64>,
+    fail_fast: bool,
+    f: F,
+) -> Result<(Vec<Result<R, SearchError>>, WorkerCtx), SearchError>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T, &mut WorkerCtx) -> Result<R, SearchError> + Sync,
+{
     let worker_count = resolve_workers(workers).min(tasks.len());
     let mut ctx = WorkerCtx::new(trace);
 
     if worker_count <= 1 || tasks.len() < MIN_PARALLEL_TASKS {
         let mut results = Vec::with_capacity(tasks.len());
         for task in tasks {
-            results.push(f(task, &mut ctx)?);
+            match f(task, &mut ctx) {
+                Ok(r) => results.push(Ok(r)),
+                Err(e) if fail_fast => return Err(e),
+                Err(e) => results.push(Err(e)),
+            }
         }
         return Ok((results, ctx));
     }
 
-    /// What one worker brings home: its indexed results, its private
-    /// accumulators, and the first error it hit (if any).
-    type WorkerBlock<R> = (Vec<(usize, R)>, WorkerCtx, Option<SearchError>);
+    /// What one worker brings home: its indexed per-task results, its
+    /// private accumulators, and the aborting error it hit (if any).
+    type WorkerBlock<R> = (
+        Vec<(usize, Result<R, SearchError>)>,
+        WorkerCtx,
+        Option<SearchError>,
+    );
 
     let cursor = AtomicUsize::new(0);
     let worker_blocks: Vec<Result<WorkerBlock<R>, SearchError>> = std::thread::scope(|scope| {
@@ -991,7 +1113,7 @@ where
             .map(|_| {
                 scope.spawn(|| {
                     let mut local = WorkerCtx::new(trace);
-                    let mut local_results: Vec<(usize, R)> = Vec::new();
+                    let mut local_results: Vec<(usize, Result<R, SearchError>)> = Vec::new();
                     let mut error = None;
                     loop {
                         let i = cursor.fetch_add(1, Ordering::Relaxed);
@@ -1000,8 +1122,8 @@ where
                         }
                         let Some(task) = tasks.get(i) else { break };
                         match f(task, &mut local) {
-                            Ok(r) => local_results.push((i, r)),
-                            Err(e) => {
+                            Ok(r) => local_results.push((i, Ok(r))),
+                            Err(e) if fail_fast => {
                                 // Park the cursor past the end so idle
                                 // workers stop claiming shards: the batch is
                                 // already doomed, there is no point paying
@@ -1010,6 +1132,7 @@ where
                                 error = Some(e);
                                 break;
                             }
+                            Err(e) => local_results.push((i, Err(e))),
                         }
                     }
                     (local_results, local, error)
@@ -1025,9 +1148,9 @@ where
             .collect()
     });
 
-    // Lossless merge of the per-worker accumulators; the first error (join
-    // failure or shard error) aborts the batch.
-    let mut slots: Vec<Option<R>> = (0..tasks.len()).map(|_| None).collect();
+    // Lossless merge of the per-worker accumulators; a join failure or (in
+    // fail-fast mode) the first shard error aborts the batch.
+    let mut slots: Vec<Option<Result<R, SearchError>>> = (0..tasks.len()).map(|_| None).collect();
     for block in worker_blocks {
         let (results, local, error) = block?;
         if let Some(e) = error {
@@ -1371,6 +1494,117 @@ mod tests {
         );
         assert_eq!(entries[1].kind, "knn");
         assert_eq!(entries[1].trace_id, None, "untraced runs log no trace id");
+    }
+
+    /// A transport where one source is "dead": every call to it fails with
+    /// a typed timeout, while the rest answer in-process.
+    #[derive(Debug)]
+    struct FaultyTransport<'a> {
+        inner: InProcessTransport<'a>,
+        dead: SourceId,
+    }
+
+    impl SourceTransport for FaultyTransport<'_> {
+        fn source_ids(&self) -> Vec<SourceId> {
+            self.inner.source_ids()
+        }
+
+        fn call_with(
+            &self,
+            source: SourceId,
+            request: &Message,
+            opts: CallOptions,
+        ) -> Result<crate::transport::TransportReply, TransportError> {
+            if source == self.dead {
+                return Err(TransportError::Timeout {
+                    source,
+                    waited: Duration::from_millis(1),
+                });
+            }
+            self.inner.call_with(source, request, opts)
+        }
+    }
+
+    /// The degradation contract: fail-fast aborts on a dead source, while
+    /// skip-and-report completes the batch with the healthy sources'
+    /// answers, reports the dead source exactly once, and accounts only the
+    /// completed shards' bytes.
+    #[test]
+    fn degraded_runs_skip_dead_sources_and_report_them() {
+        let (fw, queries) = five_source_framework();
+        let dead = fw.sources()[0].id;
+        let faulty = FaultyTransport {
+            inner: InProcessTransport::new(fw.sources()),
+            dead,
+        };
+
+        // Fail-fast (the default): the shard error aborts the whole batch.
+        let config = EngineConfig::default();
+        let err = QueryEngine::new(fw.center(), &faulty, config)
+            .run_ojsp(&queries, 5)
+            .unwrap_err();
+        assert!(
+            matches!(err, SearchError::Transport(TransportError::Timeout { .. })),
+            "{err:?}"
+        );
+
+        // Skip-and-report: the batch completes without the dead source.
+        let config = EngineConfig {
+            skip_failed_sources: true,
+            ..EngineConfig::default()
+        };
+        let degraded = QueryEngine::new(fw.center(), &faulty, config)
+            .run_ojsp(&queries, 5)
+            .unwrap();
+        assert_eq!(degraded.answers.len(), queries.len());
+        assert_eq!(degraded.failures.len(), 1, "{:?}", degraded.failures);
+        assert_eq!(degraded.failures[0].source, dead);
+        assert!(matches!(
+            degraded.failures[0].error,
+            SearchError::Transport(TransportError::Timeout { .. })
+        ));
+        for answer in &degraded.answers {
+            assert!(
+                answer.results.iter().all(|(s, _)| *s != dead),
+                "a skipped source leaked results into the aggregate"
+            );
+        }
+
+        // Oracle: the same plan over a deployment that never had the dead
+        // source.  Answers, accounted bytes and search stats must match —
+        // the degraded run's counters describe exactly the completed
+        // shards.  Only `sources_contacted` differs: the degraded run
+        // planned (and failed) contacts to the dead source.
+        let healthy: Vec<DataSource> = fw
+            .sources()
+            .iter()
+            .filter(|s| s.id != dead)
+            .cloned()
+            .collect();
+        let oracle = QueryEngine::in_process(fw.center(), &healthy, EngineConfig::default())
+            .run_ojsp(&queries, 5)
+            .unwrap();
+        assert_eq!(degraded.answers, oracle.answers);
+        assert_eq!(degraded.comm.total_bytes(), oracle.comm.total_bytes());
+        assert_eq!(degraded.comm.requests, oracle.comm.requests);
+        assert_eq!(degraded.search, oracle.search);
+        assert!(degraded.comm.sources_contacted > oracle.comm.sources_contacted);
+        assert!(oracle.failures.is_empty());
+
+        // The mode is reachable per request, for every search kind.
+        let engine = QueryEngine::new(fw.center(), &faulty, EngineConfig::default());
+        for request in [
+            SearchRequest::ojsp_batch(queries.clone()).k(5),
+            SearchRequest::cjsp_batch(queries.clone()).k(3),
+            SearchRequest::knn_batch(queries.clone()).k(4),
+        ] {
+            let response = engine
+                .run(&request.skip_failed_sources(true))
+                .expect("degraded run must not park the batch");
+            assert!(!response.is_complete());
+            assert_eq!(response.failures.len(), 1);
+            assert_eq!(response.failures[0].source, dead);
+        }
     }
 
     /// The stats-merging parity check: a parallel engine run over the five

@@ -16,6 +16,7 @@
 //! report a single [`SearchError`] while preserving the root cause.
 
 use std::fmt;
+use std::time::Duration;
 
 use spatial::{SourceId, SpatialError};
 
@@ -79,6 +80,33 @@ pub enum TransportError {
     /// transport; maintenance needs [`ExclusiveTransport`]
     /// (crate::transport::ExclusiveTransport) or a remote transport.
     ExclusiveRequired,
+    /// The source did not reply within the configured deadline.  The call
+    /// may still be executing remotely; the caller must treat the request
+    /// as of unknown outcome.
+    Timeout {
+        /// The source that failed to reply in time.
+        source: SourceId,
+        /// How long the caller waited before giving up.
+        waited: Duration,
+    },
+    /// The per-source in-flight cap was reached and the request could not
+    /// be admitted before its deadline — the source is saturated, not
+    /// broken.  Shedding here keeps a slow source from parking every
+    /// caller thread.
+    Backpressure {
+        /// The saturated source.
+        source: SourceId,
+        /// The in-flight cap that was hit.
+        in_flight_cap: usize,
+    },
+    /// Every retry attempt failed; `last` is the error of the final
+    /// attempt (boxed to keep this enum's size flat).
+    RetriesExhausted {
+        /// How many attempts were made (initial call + retries).
+        attempts: u32,
+        /// The error of the final attempt.
+        last: Box<TransportError>,
+    },
 }
 
 impl fmt::Display for TransportError {
@@ -101,6 +129,25 @@ impl fmt::Display for TransportError {
                     f,
                     "maintenance requests need an exclusive in-process transport or a remote one"
                 )
+            }
+            TransportError::Timeout { source, waited } => {
+                write!(
+                    f,
+                    "source {source} did not reply within {} ms",
+                    waited.as_millis()
+                )
+            }
+            TransportError::Backpressure {
+                source,
+                in_flight_cap,
+            } => {
+                write!(
+                    f,
+                    "source {source} is saturated ({in_flight_cap} requests in flight)"
+                )
+            }
+            TransportError::RetriesExhausted { attempts, last } => {
+                write!(f, "gave up after {attempts} attempts; last error: {last}")
             }
         }
     }
@@ -229,5 +276,34 @@ mod tests {
             .to_string()
             .contains("δ"));
         assert!(SearchError::UnknownSource(3).to_string().contains('3'));
+    }
+
+    #[test]
+    fn degraded_transport_variants_stay_comparable_and_informative() {
+        let timeout = TransportError::Timeout {
+            source: 4,
+            waited: Duration::from_millis(250),
+        };
+        assert_eq!(timeout, timeout.clone());
+        assert!(timeout.to_string().contains("250"));
+
+        let shed = TransportError::Backpressure {
+            source: 2,
+            in_flight_cap: 64,
+        };
+        assert!(shed.to_string().contains("64"));
+
+        let exhausted = TransportError::RetriesExhausted {
+            attempts: 3,
+            last: Box::new(timeout.clone()),
+        };
+        assert_eq!(exhausted, exhausted.clone());
+        assert!(exhausted.to_string().contains("3 attempts"));
+        assert!(exhausted.to_string().contains("250"));
+        // Timeouts stay transport-level when hoisted into SearchError.
+        assert!(matches!(
+            SearchError::from(timeout),
+            SearchError::Transport(TransportError::Timeout { source: 4, .. })
+        ));
     }
 }

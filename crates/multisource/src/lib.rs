@@ -65,7 +65,9 @@ pub mod message;
 pub mod source;
 pub mod transport;
 
-pub use api::{SearchKind, SearchRequest, SearchResponse, SearchResults, SourceTiming};
+pub use api::{
+    SearchKind, SearchRequest, SearchResponse, SearchResults, SourceFailure, SourceTiming,
+};
 pub use center::{
     AggregatedCoverage, AggregatedKnn, AggregatedOverlap, DataCenter, DistributionStrategy,
     MaintenanceOutcome,
@@ -77,6 +79,7 @@ pub use framework::{FrameworkConfig, MultiSourceFramework};
 pub use message::{CoverageCandidate, Message, UpdateOp};
 pub use source::{DataSource, SourceMetrics};
 pub use transport::{
-    scrape_metrics, serve_source, CallOptions, ExclusiveTransport, InProcessTransport, ServedReply,
-    SourceServer, SourceTrace, SourceTransport, TcpTransport, TransportReply,
+    scrape_metrics, serve_source, serve_source_until, CallOptions, ExclusiveTransport,
+    InProcessTransport, ServedReply, ShutdownSignal, SourceServer, SourceTrace, SourceTransport,
+    TcpTransport, TransportReply,
 };

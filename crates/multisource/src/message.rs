@@ -124,6 +124,23 @@ pub const TAG_METRICS_QUERY: u8 = 13;
 /// Wire tag of [`Message::MetricsSnapshot`].
 pub const TAG_METRICS_SNAPSHOT: u8 = 14;
 
+// Inner wire tags: one byte framing each element of a variant's payload.
+// Named for the same reason as the frame-level set — repo-lint cross-checks
+// that every inner enum variant's tag is wired through both encode and
+// decode, which a bare literal defeats.
+/// Inner tag of [`UpdateOp::Insert`] inside `ApplyUpdates`.
+pub const OP_TAG_INSERT: u8 = 0;
+/// Inner tag of [`UpdateOp::Update`] inside `ApplyUpdates`.
+pub const OP_TAG_UPDATE: u8 = 1;
+/// Inner tag of [`UpdateOp::Delete`] inside `ApplyUpdates`.
+pub const OP_TAG_DELETE: u8 = 2;
+/// Inner tag of [`obs::MetricValue::Counter`] inside `MetricsSnapshot`.
+pub const METRIC_TAG_COUNTER: u8 = 0;
+/// Inner tag of [`obs::MetricValue::Gauge`] inside `MetricsSnapshot`.
+pub const METRIC_TAG_GAUGE: u8 = 1;
+/// Inner tag of [`obs::MetricValue::Histogram`] inside `MetricsSnapshot`.
+pub const METRIC_TAG_HISTOGRAM: u8 = 2;
+
 /// Messages of the multi-source protocol.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Message {
@@ -299,15 +316,15 @@ impl Message {
                 for op in ops {
                     match op {
                         UpdateOp::Insert(dataset) => {
-                            buf.put_u8(0);
+                            buf.put_u8(OP_TAG_INSERT);
                             put_dataset(&mut buf, dataset);
                         }
                         UpdateOp::Update(dataset) => {
-                            buf.put_u8(1);
+                            buf.put_u8(OP_TAG_UPDATE);
                             put_dataset(&mut buf, dataset);
                         }
                         UpdateOp::Delete(id) => {
-                            buf.put_u8(2);
+                            buf.put_u8(OP_TAG_DELETE);
                             put_varint(&mut buf, *id as u64);
                         }
                     }
@@ -412,11 +429,11 @@ impl Message {
                     }
                     match &sample.value {
                         obs::MetricValue::Counter(v) => {
-                            buf.put_u8(0);
+                            buf.put_u8(METRIC_TAG_COUNTER);
                             put_varint(&mut buf, *v);
                         }
                         obs::MetricValue::Gauge(v) => {
-                            buf.put_u8(1);
+                            buf.put_u8(METRIC_TAG_GAUGE);
                             buf.put_f64(*v);
                         }
                         obs::MetricValue::Histogram {
@@ -424,7 +441,7 @@ impl Message {
                             sum,
                             buckets,
                         } => {
-                            buf.put_u8(2);
+                            buf.put_u8(METRIC_TAG_HISTOGRAM);
                             put_varint(&mut buf, *count);
                             put_varint(&mut buf, *sum);
                             put_varint(&mut buf, buckets.len() as u64);
@@ -508,9 +525,11 @@ impl Message {
                         return Err(WireError::Truncated("op tag"));
                     }
                     let op = match data.get_u8() {
-                        0 => UpdateOp::Insert(get_dataset(&mut data)?),
-                        1 => UpdateOp::Update(get_dataset(&mut data)?),
-                        2 => UpdateOp::Delete(get_varint(&mut data, "delete target")? as DatasetId),
+                        OP_TAG_INSERT => UpdateOp::Insert(get_dataset(&mut data)?),
+                        OP_TAG_UPDATE => UpdateOp::Update(get_dataset(&mut data)?),
+                        OP_TAG_DELETE => {
+                            UpdateOp::Delete(get_varint(&mut data, "delete target")? as DatasetId)
+                        }
                         other => return Err(WireError::BadOpTag(other)),
                     };
                     ops.push(op);
@@ -670,14 +689,16 @@ impl Message {
                         return Err(WireError::Truncated("metric value tag"));
                     }
                     let value = match data.get_u8() {
-                        0 => obs::MetricValue::Counter(get_varint(&mut data, "counter value")?),
-                        1 => {
+                        METRIC_TAG_COUNTER => {
+                            obs::MetricValue::Counter(get_varint(&mut data, "counter value")?)
+                        }
+                        METRIC_TAG_GAUGE => {
                             if data.remaining() < 8 {
                                 return Err(WireError::Truncated("gauge value"));
                             }
                             obs::MetricValue::Gauge(data.get_f64())
                         }
-                        2 => {
+                        METRIC_TAG_HISTOGRAM => {
                             let count = get_varint(&mut data, "histogram count")?;
                             let sum = get_varint(&mut data, "histogram sum")?;
                             let bucket_count =

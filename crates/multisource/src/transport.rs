@@ -37,7 +37,10 @@
 //! nanoseconds) follows; bit 4 says a trace block (trace id plus the
 //! traversal/verification phase split, three varints) follows — on a request
 //! the block carries the center-assigned trace id with zeroed phases, on a
-//! reply it echoes that id with the measured phases.  All of these are an
+//! reply it echoes that id with the measured phases.  Bit 5 says a
+//! correlation id (one varint) ends the frame: a pipelining transport tags
+//! each request with one and matches replies by the echoed id, so multiple
+//! frames can be in flight on one connection.  All of these are an
 //! *instrumentation channel*: they ride in the frame, not in the message, so
 //! opting in or out never changes the protocol bytes the paper's
 //! communication figures count.
@@ -69,10 +72,15 @@ const FLAG_HAS_SERVICE: u8 = 0b0000_1000;
 /// Request/reply flag: a trace block (trace id, traversal nanoseconds,
 /// verification nanoseconds — three varints) ends the frame.
 const FLAG_HAS_TRACE: u8 = 0b0001_0000;
+/// Request/reply flag: a pipelining correlation id (one varint) ends the
+/// frame.  The server echoes it verbatim, so a client with several frames
+/// in flight on one connection can match each reply to its request.
+const FLAG_HAS_CORRELATION: u8 = 0b0010_0000;
 
 /// Upper bound on one frame body; anything larger is a corrupt length
-/// prefix, not a real request.
-const MAX_FRAME_BYTES: usize = 256 << 20;
+/// prefix, not a real request.  Public so out-of-crate transports apply the
+/// same sanity bound before buffering a frame.
+pub const MAX_FRAME_BYTES: usize = 256 << 20;
 
 /// What a transport call brings back: the reply message, the exact protocol
 /// byte counts of the exchange (so callers never re-encode messages just to
@@ -158,6 +166,9 @@ pub struct ServedReply {
     /// Trace id to echo on the reply frame.  The *serving transport* sets
     /// this from the request frame; the source itself never sees trace ids.
     pub trace_id: Option<u64>,
+    /// Pipelining correlation id to echo on the reply frame — frame
+    /// plumbing exactly like `trace_id`, set by the serving transport.
+    pub correlation_id: Option<u64>,
 }
 
 impl ServedReply {
@@ -170,6 +181,7 @@ impl ServedReply {
             service: None,
             phases: PhaseTimings::default(),
             trace_id: None,
+            correlation_id: None,
         }
     }
 
@@ -199,6 +211,12 @@ impl ServedReply {
     /// Attaches a trace id to echo on the reply frame.
     pub fn traced(mut self, trace_id: Option<u64>) -> Self {
         self.trace_id = trace_id;
+        self
+    }
+
+    /// Attaches a pipelining correlation id to echo on the reply frame.
+    pub fn correlated(mut self, correlation_id: Option<u64>) -> Self {
+        self.correlation_id = correlation_id;
         self
     }
 
@@ -442,23 +460,35 @@ impl SourceTransport for TcpTransport {
     }
 }
 
-/// One decoded frame.
-struct DecodedFrame {
-    want_stats: bool,
-    message: Message,
+/// One decoded frame.  Public so out-of-crate transports (the pooled,
+/// pipelined client in `crates/net`) can speak the exact same frames as
+/// [`TcpTransport`] and [`serve_connection`].
+#[derive(Debug)]
+pub struct DecodedFrame {
+    /// Request flag: the peer asked for statistics on the reply.
+    pub want_stats: bool,
+    /// The framed message.
+    pub message: Message,
     /// Wire size of `message` (the frame's inner length prefix).
-    message_bytes: usize,
-    search: Option<SearchStats>,
-    maintenance: Option<MaintenanceStats>,
+    pub message_bytes: usize,
+    /// Search statistics block, when present.
+    pub search: Option<SearchStats>,
+    /// Maintenance statistics block, when present.
+    pub maintenance: Option<MaintenanceStats>,
     /// Source-reported service time (reply frames only).
-    service: Option<Duration>,
+    pub service: Option<Duration>,
     /// Trace block: the trace id plus the phase split (zeroed on requests).
-    trace: Option<SourceTrace>,
+    pub trace: Option<SourceTrace>,
+    /// Pipelining correlation id, echoed verbatim by the server.
+    pub correlation_id: Option<u64>,
 }
 
 /// Why a frame could not be read.
-enum FrameError {
+#[derive(Debug)]
+pub enum FrameError {
+    /// The underlying reader failed (or hit EOF mid-frame).
     Io(std::io::Error),
+    /// The frame parsed but its contents did not.
     Wire(WireError),
 }
 
@@ -478,7 +508,10 @@ impl From<WireError> for FrameError {
 /// blocks.  `want_stats` only makes sense on request frames; reply frames
 /// derive their flags from which statistics are present.  Returns the wire
 /// size of the message itself (the protocol bytes `CommStats` counts).
-fn write_frame(
+///
+/// Public for out-of-crate transports; `w` can be a plain `Vec<u8>` when
+/// the caller manages its own (e.g. nonblocking) socket writes.
+pub fn write_frame(
     w: &mut impl Write,
     reply: &ServedReply,
     want_stats: bool,
@@ -501,6 +534,9 @@ fn write_frame(
     if reply.trace_id.is_some() {
         flags |= FLAG_HAS_TRACE;
     }
+    if reply.correlation_id.is_some() {
+        flags |= FLAG_HAS_CORRELATION;
+    }
     body.put_u8(flags);
     put_varint(&mut body, msg.len() as u64);
     body.put_slice(&msg);
@@ -522,6 +558,9 @@ fn write_frame(
         put_varint(&mut body, reply.phases.traversal.as_nanos() as u64);
         put_varint(&mut body, reply.phases.verify.as_nanos() as u64);
     }
+    if let Some(correlation_id) = reply.correlation_id {
+        put_varint(&mut body, correlation_id);
+    }
     let body = body.freeze();
     if body.len() > MAX_FRAME_BYTES {
         // The read side rejects oversized frames; enforcing the same bound
@@ -541,8 +580,9 @@ fn write_frame(
     Ok(msg.len())
 }
 
-/// Reads one frame.
-fn read_frame(r: &mut impl Read) -> Result<DecodedFrame, FrameError> {
+/// Reads one frame.  Public for out-of-crate transports; `r` can be a byte
+/// slice when the caller accumulates nonblocking reads in its own buffer.
+pub fn read_frame(r: &mut impl Read) -> Result<DecodedFrame, FrameError> {
     let mut len_buf = [0u8; 4];
     r.read_exact(&mut len_buf)?;
     let len = u32::from_be_bytes(len_buf) as usize;
@@ -596,6 +636,11 @@ fn read_frame(r: &mut impl Read) -> Result<DecodedFrame, FrameError> {
     } else {
         None
     };
+    let correlation_id = if flags & FLAG_HAS_CORRELATION != 0 {
+        Some(get_varint(&mut body, "correlation id")?)
+    } else {
+        None
+    };
     Ok(DecodedFrame {
         want_stats: flags & FLAG_WANT_STATS != 0,
         message,
@@ -604,8 +649,48 @@ fn read_frame(r: &mut impl Read) -> Result<DecodedFrame, FrameError> {
         maintenance,
         service,
         trace,
+        correlation_id,
     })
 }
+
+/// Cooperative shutdown for [`serve_source_until`]: triggering the signal
+/// stops the accept loop and *drains* the server — every connection finishes
+/// the frame it is currently serving (request read, reply written) and then
+/// closes between frames, instead of dying mid-frame.  Cloning shares the
+/// flag, so one signal can fan out to the accept loop, its connection
+/// handlers, and whatever (test, stdin watcher, signal handler) pulls the
+/// trigger.
+#[derive(Clone, Debug, Default)]
+pub struct ShutdownSignal {
+    flag: std::sync::Arc<std::sync::atomic::AtomicBool>,
+}
+
+impl ShutdownSignal {
+    /// A fresh, untriggered signal.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Requests shutdown.  Idempotent; never blocks.
+    pub fn trigger(&self) {
+        self.flag.store(true, std::sync::atomic::Ordering::Release);
+    }
+
+    /// Whether shutdown has been requested.
+    pub fn is_triggered(&self) -> bool {
+        self.flag.load(std::sync::atomic::Ordering::Acquire)
+    }
+}
+
+/// How often a drained server polls for shutdown: the accept loop between
+/// (non-blocking) accepts, and each idle connection between frames.
+const SHUTDOWN_POLL: Duration = Duration::from_millis(25);
+
+/// Upper bound on the drain after shutdown is triggered: connections that
+/// have not finished their in-flight frame by then are abandoned to their
+/// detached threads.  Generous — a frame is one request/reply exchange, not
+/// a session.
+const DRAIN_GRACE: Duration = Duration::from_secs(5);
 
 /// A data source serving the framed TCP protocol from this process — the
 /// in-thread twin of the `source-server` binary, used by benches, tests and
@@ -614,12 +699,15 @@ fn read_frame(r: &mut impl Read) -> Result<DecodedFrame, FrameError> {
 ///
 /// One thread per accepted connection; queries take a read lock, mutating
 /// maintenance a write lock, mirroring the `&self`/`&mut self` split of
-/// [`DataSource`].  Threads are detached: the server lives until the process
-/// exits (or the listener is dropped by the OS).
+/// [`DataSource`].  Threads are detached; the server lives until the process
+/// exits, the listener is dropped by the OS, or [`shutdown`](Self::shutdown)
+/// drains it.
 #[derive(Debug)]
 pub struct SourceServer {
     id: SourceId,
     addr: std::net::SocketAddr,
+    shutdown: ShutdownSignal,
+    serve_thread: Option<std::thread::JoinHandle<()>>,
 }
 
 impl SourceServer {
@@ -629,8 +717,15 @@ impl SourceServer {
         let listener = TcpListener::bind(addr)?;
         let local = listener.local_addr()?;
         let id = source.id;
-        std::thread::spawn(move || serve_source(listener, source));
-        Ok(Self { id, addr: local })
+        let shutdown = ShutdownSignal::new();
+        let signal = shutdown.clone();
+        let serve_thread = std::thread::spawn(move || serve_source_until(listener, source, signal));
+        Ok(Self {
+            id,
+            addr: local,
+            shutdown,
+            serve_thread: Some(serve_thread),
+        })
     }
 
     /// The served source's id.
@@ -647,23 +742,55 @@ impl SourceServer {
     pub fn endpoint(&self) -> (SourceId, String) {
         (self.id, self.addr.to_string())
     }
+
+    /// Gracefully shuts the server down: stops accepting, lets every
+    /// connection finish its in-flight frame, and joins the serve thread.
+    /// Returns once the server has drained (or the drain grace expired).
+    pub fn shutdown(mut self) {
+        self.shutdown.trigger();
+        if let Some(handle) = self.serve_thread.take() {
+            let _ = handle.join();
+        }
+    }
 }
 
 /// Accept loop shared by [`SourceServer`] and the `source-server` binary:
-/// serves framed requests against `source` until the listener fails.
+/// serves framed requests against `source` until the listener fails.  Runs
+/// forever — use [`serve_source_until`] for a drainable server.
 ///
 /// Connections are handled on their own threads; the source sits behind a
 /// read-write lock so concurrent queries proceed in parallel while a
 /// maintenance batch gets exclusive access.
 pub fn serve_source(listener: TcpListener, source: DataSource) {
+    serve_source_until(listener, source, ShutdownSignal::new());
+}
+
+/// [`serve_source`] with graceful shutdown: when `shutdown` triggers, the
+/// loop stops accepting, every open connection finishes the frame it is
+/// serving and closes between frames, and the call returns once all
+/// connections have drained (bounded by a grace period).
+pub fn serve_source_until(listener: TcpListener, source: DataSource, shutdown: ShutdownSignal) {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
     let source = std::sync::Arc::new(std::sync::RwLock::new(source));
+    let open_connections = std::sync::Arc::new(AtomicUsize::new(0));
+    // Non-blocking accepts so the loop observes the shutdown signal between
+    // connections instead of parking in `accept` forever.
+    if let Err(e) = listener.set_nonblocking(true) {
+        eprintln!("source server: set_nonblocking failed: {e}");
+        return;
+    }
     // Transient accept failures (ECONNABORTED, fd exhaustion under load)
     // must not shut the source down; only a persistently failing listener
     // ends the loop.
     let mut consecutive_failures = 0u32;
-    for stream in listener.incoming() {
-        let stream = match stream {
-            Ok(stream) => stream,
+    while !shutdown.is_triggered() {
+        let stream = match listener.accept() {
+            Ok((stream, _peer)) => stream,
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(SHUTDOWN_POLL);
+                continue;
+            }
             Err(e) => {
                 consecutive_failures += 1;
                 eprintln!("source {}: accept failed: {e}", {
@@ -682,20 +809,57 @@ pub fn serve_source(listener: TcpListener, source: DataSource) {
         };
         consecutive_failures = 0;
         let source = std::sync::Arc::clone(&source);
+        let signal = shutdown.clone();
+        let open = std::sync::Arc::clone(&open_connections);
+        open.fetch_add(1, Ordering::AcqRel);
         std::thread::spawn(move || {
-            let _ = serve_connection(stream, &source);
+            let _ = serve_connection(stream, &source, &signal);
+            open.fetch_sub(1, Ordering::AcqRel);
         });
+    }
+    // Drain: connections notice the signal between frames (via their idle
+    // poll) and close themselves; wait for them, but not forever.
+    let drain_started = std::time::Instant::now();
+    while open_connections.load(Ordering::Acquire) > 0 && drain_started.elapsed() < DRAIN_GRACE {
+        std::thread::sleep(Duration::from_millis(5));
     }
 }
 
 /// Serves framed request/reply exchanges on one connection until the peer
-/// hangs up or sends garbage.
+/// hangs up, sends garbage, or `shutdown` triggers between frames.
+///
+/// Shutdown never interrupts an exchange: the connection polls for the
+/// signal only while *waiting* for the next frame (a short-timeout `peek`
+/// that consumes nothing), and a frame whose first byte has arrived is
+/// served and answered before the signal is honoured.
 fn serve_connection(
     mut stream: TcpStream,
     source: &std::sync::RwLock<DataSource>,
+    shutdown: &ShutdownSignal,
 ) -> Result<(), FrameError> {
     let _ = stream.set_nodelay(true);
     loop {
+        // Idle wait: peek with a timeout so the shutdown signal is observed
+        // between frames without ever consuming (and on timeout losing)
+        // frame bytes.
+        stream.set_read_timeout(Some(SHUTDOWN_POLL))?;
+        match stream.peek(&mut [0u8; 1]) {
+            Ok(0) => return Ok(()), // clean disconnect between frames
+            Ok(_) => {}
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                if shutdown.is_triggered() {
+                    return Ok(());
+                }
+                continue;
+            }
+            Err(e) => return Err(FrameError::Io(e)),
+        }
+        // A frame has started: read it to completion without a timeout (a
+        // slow peer mid-frame is not an idle connection).
+        stream.set_read_timeout(None)?;
         let frame = match read_frame(&mut stream) {
             Ok(frame) => frame,
             // Clean disconnect between frames.
@@ -733,8 +897,10 @@ fn serve_connection(
             }
         };
         // Echo the center-assigned trace id (if any) with the measured
-        // phase split; the source itself never sees trace ids.
+        // phase split, and the pipelining correlation id verbatim; the
+        // source itself never sees either.
         served.trace_id = frame.trace.map(|t| t.trace_id);
+        served.correlation_id = frame.correlation_id;
         write_frame(&mut stream, &served, false)?;
     }
 }
@@ -813,6 +979,39 @@ mod tests {
             assert_eq!(frame.maintenance, served.maintenance);
             assert_eq!(frame.service, None);
             assert_eq!(frame.trace, None);
+            assert_eq!(frame.correlation_id, None);
+        }
+    }
+
+    #[test]
+    fn frame_roundtrip_with_correlation_id() {
+        let msg = Message::OverlapQuery {
+            query: spatial::CellSet::from_cells([4u64, 5]),
+            k: 2,
+        };
+        // The correlation id composes with every other frame block and
+        // never changes the counted message bytes.
+        let plain = ServedReply::plain(msg.clone()).traced(Some(11));
+        let correlated = plain.clone().correlated(Some(u64::MAX));
+        let mut plain_buf = Vec::new();
+        let plain_bytes = write_frame(&mut plain_buf, &plain, true).unwrap();
+        let mut buf = Vec::new();
+        let corr_bytes = write_frame(&mut buf, &correlated, true).unwrap();
+        assert_eq!(plain_bytes, corr_bytes);
+        let frame = match read_frame(&mut &buf[..]) {
+            Ok(f) => f,
+            Err(FrameError::Io(e)) => panic!("io: {e}"),
+            Err(FrameError::Wire(e)) => panic!("wire: {e}"),
+        };
+        assert_eq!(frame.message, msg);
+        assert_eq!(frame.correlation_id, Some(u64::MAX));
+        assert_eq!(frame.trace.map(|t| t.trace_id), Some(11));
+        // Every truncation of the correlated frame still fails closed.
+        for cut in 0..buf.len() {
+            assert!(
+                read_frame(&mut &buf[..cut]).is_err(),
+                "truncation at {cut} must fail"
+            );
         }
     }
 

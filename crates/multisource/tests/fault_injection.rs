@@ -1,0 +1,337 @@
+//! Fault injection: a fleet member that dies or stalls mid-batch must
+//! *degrade* the batch, never park or poison it.
+//!
+//! Each scenario runs twice — once in-process with the fault injected at
+//! the transport seam, once over the pooled TCP transport against real
+//! sockets (a drained `SourceServer`, or a black-hole listener that accepts
+//! and never replies) — and asserts the exact same degradation contract on
+//! both deployments:
+//!
+//! * fail-fast (the default) aborts the batch with a typed
+//!   `SearchError::Transport`;
+//! * `skip_failed_sources` completes the batch from the surviving sources
+//!   with identical answers, identical `CommStats` (completed exchanges
+//!   only) and identical `SearchStats`, reporting the failed source as a
+//!   typed [`SourceFailure`](multisource::SourceFailure).
+
+use std::net::TcpListener;
+use std::time::Duration;
+
+use datagen::{generate_source, paper_sources, select_queries, GeneratorConfig, SourceScale};
+use multisource::{
+    CallOptions, DataCenter, DistributionStrategy, EngineConfig, FrameworkConfig,
+    InProcessTransport, Message, MultiSourceFramework, QueryEngine, SearchError, SearchRequest,
+    SourceServer, SourceTransport, TcpTransport, TransportError, TransportReply,
+};
+use net::{PoolConfig, PooledTcpTransport};
+use spatial::{SourceId, SpatialDataset};
+
+fn build_data(seed: u64) -> Vec<(String, Vec<SpatialDataset>)> {
+    let config = GeneratorConfig {
+        scale: SourceScale::Custom(400),
+        seed,
+        max_points_per_dataset: Some(60),
+    };
+    paper_sources()
+        .iter()
+        .take(3)
+        .map(|p| (p.name.to_string(), generate_source(p, &config)))
+        .collect()
+}
+
+fn framework(data: &[(String, Vec<SpatialDataset>)]) -> MultiSourceFramework {
+    MultiSourceFramework::build(
+        data,
+        FrameworkConfig {
+            resolution: 11,
+            strategy: DistributionStrategy::PrunedClipped,
+            ..FrameworkConfig::default()
+        },
+    )
+}
+
+fn probe_queries(data: &[(String, Vec<SpatialDataset>)]) -> Vec<SpatialDataset> {
+    let pool: Vec<SpatialDataset> = data.iter().flat_map(|(_, d)| d.iter().cloned()).collect();
+    select_queries(&pool, 6, 3)
+}
+
+fn engine_config(fw: &MultiSourceFramework) -> EngineConfig {
+    EngineConfig {
+        workers: fw.config().workers,
+        strategy: fw.config().strategy,
+        delta_cells: fw.config().delta_cells,
+        ..EngineConfig::default()
+    }
+}
+
+/// In-process fleet with one injected-dead member: every call to `dead`
+/// fails with a clone of `error`; everything else takes the plain
+/// in-process path.  This is the oracle the real-socket deployments are
+/// held to.
+#[derive(Debug)]
+struct InjectedFault<'a> {
+    inner: InProcessTransport<'a>,
+    dead: SourceId,
+    error: TransportError,
+}
+
+impl SourceTransport for InjectedFault<'_> {
+    fn source_ids(&self) -> Vec<SourceId> {
+        self.inner.source_ids()
+    }
+
+    fn call_with(
+        &self,
+        source: SourceId,
+        request: &Message,
+        opts: CallOptions,
+    ) -> Result<TransportReply, TransportError> {
+        if source == self.dead {
+            return Err(self.error.clone());
+        }
+        self.inner.call_with(source, request, opts)
+    }
+}
+
+/// The three search kinds, all broadcast so the faulty source is
+/// demonstrably contacted by every batch.
+fn broadcast_requests(queries: &[SpatialDataset]) -> [SearchRequest; 3] {
+    [
+        SearchRequest::ojsp_batch(queries.to_vec())
+            .k(5)
+            .strategy(DistributionStrategy::Broadcast),
+        SearchRequest::cjsp_batch(queries.to_vec())
+            .k(3)
+            .strategy(DistributionStrategy::Broadcast),
+        SearchRequest::knn_batch(queries.to_vec())
+            .k(4)
+            .strategy(DistributionStrategy::Broadcast),
+    ]
+}
+
+/// Asserts the full degradation contract for one request on one deployment
+/// pair: fail-fast aborts both; skip-and-report completes both with
+/// identical answers and accounting and exactly the dead source reported.
+fn assert_degradation_parity(
+    local_engine: &QueryEngine,
+    remote_engine: &QueryEngine,
+    request: &SearchRequest,
+    dead: SourceId,
+) {
+    // Fail-fast default: the dead source aborts the whole batch with a
+    // typed transport error on both deployments.
+    assert!(
+        matches!(local_engine.run(request), Err(SearchError::Transport(_))),
+        "in-process fail-fast must surface the injected fault"
+    );
+    assert!(
+        matches!(remote_engine.run(request), Err(SearchError::Transport(_))),
+        "pooled fail-fast must surface the socket fault"
+    );
+
+    // Degraded mode: both complete from the survivors.
+    let degraded = request.clone().skip_failed_sources(true);
+    let local = local_engine
+        .run(&degraded)
+        .expect("in-process degraded run");
+    let remote = remote_engine.run(&degraded).expect("pooled degraded run");
+
+    assert!(!local.is_complete(), "the injected fault must be reported");
+    assert_eq!(local.failures.len(), 1, "exactly one source failed");
+    assert_eq!(local.failures[0].source, dead);
+    assert_eq!(remote.failures.len(), 1, "exactly one source failed");
+    assert_eq!(remote.failures[0].source, dead);
+    assert!(
+        matches!(remote.failures[0].error, SearchError::Transport(_)),
+        "the reported failure must be transport-typed, got {:?}",
+        remote.failures[0].error
+    );
+
+    // Answers and completed-shard accounting are deployment-independent:
+    // the failed shards contribute nothing, the completed ones everything,
+    // byte for byte.
+    assert_eq!(local.results, remote.results, "degraded answers diverged");
+    assert_eq!(
+        local.comm, remote.comm,
+        "completed-shard byte accounting diverged"
+    );
+    assert_eq!(
+        local.search, remote.search,
+        "completed-shard search statistics diverged"
+    );
+}
+
+/// Scenario 1 — a fleet member is killed between bootstrap and the batch:
+/// its connections are gone and new ones are refused.  The pooled transport
+/// types that as I/O failure (retries spent), the in-process oracle injects
+/// the same class of error, and both deployments degrade identically.
+#[test]
+fn killed_source_degrades_identically_in_process_and_pooled() {
+    let data = build_data(91);
+    let fw = framework(&data);
+    let queries = probe_queries(&data);
+    let dead: SourceId = 1;
+
+    // Real-socket deployment: three live servers, bootstrapped while
+    // healthy, then one drained away before the batches run.
+    let mut servers: Vec<SourceServer> = fw
+        .sources()
+        .iter()
+        .map(|s| SourceServer::spawn("127.0.0.1:0", s.clone()).expect("bind loopback"))
+        .collect();
+    let endpoints: Vec<(SourceId, String)> = servers.iter().map(|s| s.endpoint()).collect();
+    let pooled = PooledTcpTransport::with_config(
+        endpoints,
+        PoolConfig {
+            connect_timeout: Duration::from_millis(500),
+            retries: 1,
+            retry_backoff: Duration::from_millis(5),
+            ..PoolConfig::default()
+        },
+    )
+    .expect("pooled transport");
+    let center =
+        DataCenter::from_transport(&pooled, fw.config().leaf_capacity).expect("summary poll");
+    servers.remove(dead as usize).shutdown();
+    let remote_engine = QueryEngine::new(&center, &pooled, engine_config(&fw));
+
+    // In-process oracle with the same member dead at the transport seam.
+    let faulty = InjectedFault {
+        inner: InProcessTransport::new(fw.sources()),
+        dead,
+        error: TransportError::Io("connection refused (injected)".to_string()),
+    };
+    let local_center = DataCenter::from_global(fw.center().global().clone());
+    let local_engine = QueryEngine::new(&local_center, &faulty, engine_config(&fw));
+
+    for request in broadcast_requests(&queries) {
+        assert_degradation_parity(&local_engine, &remote_engine, &request, dead);
+    }
+}
+
+/// Accepts connections and reads forever without ever writing a reply — a
+/// stalled source, as seen from the wire.
+fn spawn_black_hole() -> String {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind black hole");
+    let addr = listener.local_addr().expect("local addr").to_string();
+    std::thread::spawn(move || {
+        for stream in listener.incoming() {
+            let Ok(mut stream) = stream else { continue };
+            std::thread::spawn(move || {
+                let mut sink = [0u8; 4096];
+                while let Ok(n) = std::io::Read::read(&mut stream, &mut sink) {
+                    if n == 0 {
+                        return;
+                    }
+                }
+            });
+        }
+    });
+    addr
+}
+
+/// Scenario 2 — a fleet member stalls mid-batch: it accepts the shard and
+/// never answers.  The pooled transport trips its per-call deadline and
+/// types it [`TransportError::Timeout`] (no retry — the request may still
+/// be executing remotely); the batch completes from the survivors,
+/// identically to the in-process oracle injecting the same timeout.
+#[test]
+fn stalled_source_times_out_and_degrades_identically() {
+    let data = build_data(29);
+    let fw = framework(&data);
+    let queries = probe_queries(&data);
+    let stalled: SourceId = 2;
+
+    // Two live servers and one black hole in the stalled member's place.
+    let mut endpoints: Vec<(SourceId, String)> = Vec::new();
+    let mut servers: Vec<SourceServer> = Vec::new();
+    for s in fw.sources().iter().take(stalled as usize) {
+        let server = SourceServer::spawn("127.0.0.1:0", s.clone()).expect("bind loopback");
+        endpoints.push(server.endpoint());
+        servers.push(server);
+    }
+    endpoints.push((stalled, spawn_black_hole()));
+
+    let pooled = PooledTcpTransport::with_config(
+        endpoints,
+        PoolConfig {
+            request_timeout: Duration::from_millis(300),
+            connect_timeout: Duration::from_millis(500),
+            retries: 0,
+            ..PoolConfig::default()
+        },
+    )
+    .expect("pooled transport");
+    // The stalled source cannot answer a summary poll, so both deployments
+    // route from the locally built global image.
+    let center = DataCenter::from_global(fw.center().global().clone());
+    let remote_engine = QueryEngine::new(&center, &pooled, engine_config(&fw));
+
+    let faulty = InjectedFault {
+        inner: InProcessTransport::new(fw.sources()),
+        dead: stalled,
+        error: TransportError::Timeout {
+            source: stalled,
+            waited: Duration::from_millis(300),
+        },
+    };
+    let local_engine = QueryEngine::new(&center, &faulty, engine_config(&fw));
+
+    for request in broadcast_requests(&queries) {
+        assert_degradation_parity(&local_engine, &remote_engine, &request, stalled);
+    }
+
+    // The wire-level failure is specifically a deadline trip, and the pool
+    // counted it.
+    let degraded = SearchRequest::ojsp_batch(queries.clone())
+        .k(5)
+        .strategy(DistributionStrategy::Broadcast)
+        .skip_failed_sources(true);
+    let response = remote_engine.run(&degraded).expect("degraded run");
+    assert!(
+        matches!(
+            response.failures[0].error,
+            SearchError::Transport(TransportError::Timeout { source, .. }) if source == stalled
+        ),
+        "stall must be typed as a timeout, got {:?}",
+        response.failures[0].error
+    );
+    assert!(
+        pooled.metrics().timeouts.get() >= 1,
+        "the pool must count deadline trips"
+    );
+}
+
+/// The degradation contract also holds on the plain (per-call) TCP
+/// transport: killing a server mid-fleet degrades a skip-enabled batch the
+/// same way, so the behaviour is a property of the engine, not of any one
+/// transport implementation.
+#[test]
+fn killed_source_degrades_on_the_per_call_tcp_transport_too() {
+    let data = build_data(91);
+    let fw = framework(&data);
+    let queries = probe_queries(&data);
+    let dead: SourceId = 0;
+
+    let mut servers: Vec<SourceServer> = fw
+        .sources()
+        .iter()
+        .map(|s| SourceServer::spawn("127.0.0.1:0", s.clone()).expect("bind loopback"))
+        .collect();
+    let tcp = TcpTransport::new(servers.iter().map(|s| s.endpoint()));
+    let center = DataCenter::from_transport(&tcp, fw.config().leaf_capacity).expect("summary poll");
+    servers.remove(dead as usize).shutdown();
+    let engine = QueryEngine::new(&center, &tcp, engine_config(&fw));
+
+    let faulty = InjectedFault {
+        inner: InProcessTransport::new(fw.sources()),
+        dead,
+        error: TransportError::Io("connection refused (injected)".to_string()),
+    };
+    let local_center = DataCenter::from_global(fw.center().global().clone());
+    let local_engine = QueryEngine::new(&local_center, &faulty, engine_config(&fw));
+
+    for request in broadcast_requests(&queries) {
+        assert_degradation_parity(&local_engine, &engine, &request, dead);
+    }
+}

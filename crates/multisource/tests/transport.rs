@@ -29,9 +29,10 @@ use multisource::message::{
 };
 use multisource::{
     DataCenter, DistributionStrategy, EngineConfig, FrameworkConfig, Message, MultiSourceFramework,
-    QueryEngine, SearchError, SearchRequest, ShardMode, SourceServer, TcpTransport, UpdateOp,
-    WireError,
+    QueryEngine, SearchError, SearchRequest, ShardMode, SourceServer, SourceTransport,
+    TcpTransport, UpdateOp, WireError,
 };
+use net::PooledTcpTransport;
 use proptest::prelude::*;
 use spatial::{Point, SpatialDataset};
 
@@ -91,10 +92,12 @@ fn spawn_federation(fw: &MultiSourceFramework) -> TcpTransport {
 }
 
 /// The core parity assertion: every search kind, identical answers, comm
-/// bytes and search stats across the two transports.
+/// bytes and search stats across the two transports.  Takes any transport
+/// so the per-call TCP transport and the pooled, pipelined one are held to
+/// the same contract.
 fn assert_transport_parity(
     fw: &MultiSourceFramework,
-    tcp: &TcpTransport,
+    tcp: &dyn SourceTransport,
     queries: &[SpatialDataset],
 ) {
     let remote_center =
@@ -152,6 +155,28 @@ fn loopback_tcp_federation_matches_in_process() {
     let queries = probe_queries(&data);
     let tcp = spawn_federation(&fw);
     assert_transport_parity(&fw, &tcp, &queries);
+}
+
+/// The pooled, pipelined transport must be indistinguishable from the
+/// per-call one above: the correlation id rides the frame, not the message,
+/// so answers, `CommStats` and `SearchStats` stay byte-identical even
+/// though the wire traffic is multiplexed over shared connections.
+#[test]
+fn pooled_tcp_federation_matches_in_process() {
+    let data = build_data(21);
+    let fw = framework(&data);
+    let queries = probe_queries(&data);
+    let endpoints: Vec<_> = fw
+        .sources()
+        .iter()
+        .map(|s| {
+            SourceServer::spawn("127.0.0.1:0", s.clone())
+                .expect("bind loopback")
+                .endpoint()
+        })
+        .collect();
+    let pooled = PooledTcpTransport::new(endpoints).expect("pooled transport");
+    assert_transport_parity(&fw, &pooled, &queries);
 }
 
 /// The verification-side fast paths (bounded kNN sweeps, cached per-node
@@ -311,10 +336,13 @@ fn maintenance_over_tcp_matches_in_process() {
     );
 }
 
-/// Spawned `source-server` child with its parsed listen address.
+/// Spawned `source-server` child with its parsed listen address.  Stdin is
+/// piped (for the `SHUTDOWN` drain line) and stdout kept open (for the
+/// `DRAINED` confirmation).
 struct ServerProcess {
     child: Child,
     addr: String,
+    stdout: std::io::BufReader<std::process::ChildStdout>,
 }
 
 impl Drop for ServerProcess {
@@ -350,6 +378,7 @@ fn spawn_server_binary(
             "--data",
             data_path.to_str().expect("utf8 path"),
         ])
+        .stdin(Stdio::piped())
         .stdout(Stdio::piped())
         .stderr(Stdio::null())
         .spawn()
@@ -358,16 +387,19 @@ fn spawn_server_binary(
     // The server prints `LISTENING <addr>` once bound.
     use std::io::{BufRead, BufReader};
     let stdout = child.stdout.take().expect("piped stdout");
+    let mut stdout = BufReader::new(stdout);
     let mut line = String::new();
-    BufReader::new(stdout)
-        .read_line(&mut line)
-        .expect("read ready line");
+    stdout.read_line(&mut line).expect("read ready line");
     let addr = line
         .trim()
         .strip_prefix("LISTENING ")
         .unwrap_or_else(|| panic!("unexpected ready line {line:?}"))
         .to_string();
-    ServerProcess { child, addr }
+    ServerProcess {
+        child,
+        addr,
+        stdout,
+    }
 }
 
 #[test]
@@ -392,6 +424,101 @@ fn source_server_processes_answer_identically_to_in_process() {
 
     assert_transport_parity(&fw, &tcp, &queries);
     drop(servers);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The pooled transport against spawned `source-server` child processes —
+/// the fully federated deployment — still answers byte-identically.
+#[test]
+fn pooled_transport_over_server_processes_matches_in_process() {
+    let data = build_data(33);
+    let fw = framework(&data);
+    let queries = probe_queries(&data);
+
+    let dir = std::env::temp_dir().join(format!("source-server-pooled-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    let servers: Vec<ServerProcess> = data
+        .iter()
+        .enumerate()
+        .map(|(i, (_, datasets))| spawn_server_binary(i as u16, &dir, datasets))
+        .collect();
+    let pooled = PooledTcpTransport::new(
+        servers
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (i as u16, s.addr.clone())),
+    )
+    .expect("pooled transport");
+
+    assert_transport_parity(&fw, &pooled, &queries);
+    drop(servers);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A [`SourceServer`] drains on shutdown: the call returns once in-flight
+/// work is finished and open connections are closed, after which the
+/// endpoint is gone.
+#[test]
+fn source_server_shutdown_drains_open_connections() {
+    use multisource::SourceTransport as _;
+
+    let data = build_data(61);
+    let fw = framework(&data);
+    let server = SourceServer::spawn("127.0.0.1:0", fw.sources()[0].clone()).expect("bind");
+    let source_id = server.id();
+    let tcp = TcpTransport::new([(source_id, server.addr().to_string())]);
+    // Serve one request so the transport holds an open, idle connection
+    // through the shutdown.
+    let reply = tcp
+        .call(source_id, &Message::MetricsQuery, false)
+        .expect("request before shutdown");
+    assert!(matches!(reply.message, Message::MetricsSnapshot { .. }));
+
+    // Blocks until drained: the idle connection notices the signal and
+    // closes instead of being severed mid-frame.
+    server.shutdown();
+
+    // The endpoint no longer serves: the cached connection is closed and
+    // the listener is gone.
+    assert!(
+        tcp.call(source_id, &Message::MetricsQuery, false).is_err(),
+        "a drained server must not accept further requests"
+    );
+}
+
+/// The `source-server` binary drains on a `SHUTDOWN` stdin line: it answers
+/// what is in flight, prints `DRAINED`, and exits zero — while a server
+/// whose stdin merely sits open (or closes without the line) keeps serving.
+#[test]
+fn source_server_binary_drains_on_shutdown_line() {
+    use multisource::SourceTransport as _;
+
+    let data = build_data(77);
+    let dir = std::env::temp_dir().join(format!("source-server-drain-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    let mut server = spawn_server_binary(9, &dir, &data[0].1);
+
+    let tcp = TcpTransport::new([(9u16, server.addr.clone())]);
+    tcp.call(9, &Message::MetricsQuery, false)
+        .expect("request before shutdown");
+
+    server
+        .child
+        .stdin
+        .as_mut()
+        .expect("piped stdin")
+        .write_all(b"SHUTDOWN\n")
+        .expect("write shutdown line");
+
+    use std::io::BufRead as _;
+    let mut line = String::new();
+    server
+        .stdout
+        .read_line(&mut line)
+        .expect("read drained line");
+    assert_eq!(line.trim(), "DRAINED");
+    let status = server.child.wait().expect("wait for drained server");
+    assert!(status.success(), "drained server must exit cleanly");
     let _ = std::fs::remove_dir_all(&dir);
 }
 

@@ -1,0 +1,12 @@
+//! Event-driven federation transport.
+//!
+//! [`PooledTcpTransport`] implements `multisource::SourceTransport` over a
+//! single epoll readiness loop (the vendored `mio` stand-in): per-source
+//! connection pooling, request pipelining with frame-level correlation IDs,
+//! per-source in-flight caps with backpressure, configurable timeouts, and
+//! retry-with-backoff — all surfaced as typed `TransportError` variants so
+//! the engine can skip-and-report a dead source instead of parking a batch.
+
+mod pool;
+
+pub use pool::{PoolConfig, PoolMetrics, PooledTcpTransport};

@@ -1,0 +1,516 @@
+//! Offline minimal stand-in for the `mio` crate (1.x-style API).
+//!
+//! Provides the readiness-loop subset `crates/net` uses: an epoll-backed
+//! [`Poll`] with a [`Registry`] for (re/de)registering any
+//! [`AsRawFd`] source under a caller-chosen [`Token`] and [`Interest`],
+//! level-triggered [`Events`] iteration, and a cross-thread [`Waker`].
+//!
+//! The real crate abstracts over kqueue/IOCP and supports edge triggering;
+//! this stand-in is Linux-epoll only (the only platform the workspace
+//! builds and runs on) and speaks to the kernel through direct `extern
+//! "C"` declarations of the libc symbols `std` already links — no new
+//! dependency, matching the offline-vendor policy in `vendor/README.md`.
+
+use std::io;
+use std::os::unix::io::{AsRawFd, RawFd};
+use std::os::unix::net::UnixStream;
+use std::time::Duration;
+
+// ---------------------------------------------------------------------------
+// Raw epoll FFI
+// ---------------------------------------------------------------------------
+
+const EPOLL_CLOEXEC: i32 = 0o2000000;
+
+const EPOLL_CTL_ADD: i32 = 1;
+const EPOLL_CTL_DEL: i32 = 2;
+const EPOLL_CTL_MOD: i32 = 3;
+
+const EPOLLIN: u32 = 0x001;
+const EPOLLOUT: u32 = 0x004;
+const EPOLLERR: u32 = 0x008;
+const EPOLLHUP: u32 = 0x010;
+const EPOLLRDHUP: u32 = 0x2000;
+
+const EINTR: i32 = 4;
+
+/// Kernel `struct epoll_event`. The x86-64 ABI packs it to 12 bytes; every
+/// other architecture lays it out naturally (16 bytes) — getting this wrong
+/// corrupts the token of every delivered event, so both layouts are spelled
+/// out and size-checked in the tests.
+#[cfg(target_arch = "x86_64")]
+#[repr(C, packed)]
+#[derive(Clone, Copy)]
+struct EpollEvent {
+    events: u32,
+    data: u64,
+}
+
+#[cfg(not(target_arch = "x86_64"))]
+#[repr(C)]
+#[derive(Clone, Copy)]
+struct EpollEvent {
+    events: u32,
+    data: u64,
+}
+
+extern "C" {
+    fn epoll_create1(flags: i32) -> i32;
+    fn epoll_ctl(epfd: i32, op: i32, fd: i32, event: *mut EpollEvent) -> i32;
+    fn epoll_wait(epfd: i32, events: *mut EpollEvent, maxevents: i32, timeout_ms: i32) -> i32;
+    fn close(fd: i32) -> i32;
+}
+
+fn check(ret: i32) -> io::Result<i32> {
+    if ret < 0 {
+        Err(io::Error::last_os_error())
+    } else {
+        Ok(ret)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Tokens and interests
+// ---------------------------------------------------------------------------
+
+/// Caller-chosen identifier delivered back with every readiness event for
+/// the registered source.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Token(pub usize);
+
+/// Readiness interest set: readable, writable, or both.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Interest(u8);
+
+impl Interest {
+    /// Interest in read readiness (includes peer-hangup notification).
+    pub const READABLE: Interest = Interest(0b01);
+    /// Interest in write readiness.
+    pub const WRITABLE: Interest = Interest(0b10);
+
+    /// The union of `self` and `other`.
+    // The name mirrors the real crate's `Interest::add`, which is not the
+    // `std::ops::Add` trait (that union is spelled `|`, below).
+    #[allow(clippy::should_implement_trait)]
+    #[must_use]
+    pub fn add(self, other: Interest) -> Interest {
+        Interest(self.0 | other.0)
+    }
+
+    /// Whether the set contains read interest.
+    pub fn is_readable(self) -> bool {
+        self.0 & Self::READABLE.0 != 0
+    }
+
+    /// Whether the set contains write interest.
+    pub fn is_writable(self) -> bool {
+        self.0 & Self::WRITABLE.0 != 0
+    }
+
+    fn epoll_bits(self) -> u32 {
+        let mut bits = 0;
+        if self.is_readable() {
+            bits |= EPOLLIN | EPOLLRDHUP;
+        }
+        if self.is_writable() {
+            bits |= EPOLLOUT;
+        }
+        bits
+    }
+}
+
+impl std::ops::BitOr for Interest {
+    type Output = Interest;
+    fn bitor(self, rhs: Interest) -> Interest {
+        self.add(rhs)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Events
+// ---------------------------------------------------------------------------
+
+/// Buffer the kernel fills with ready events on each [`Poll::poll`] call.
+pub struct Events {
+    buf: Vec<EpollEvent>,
+    capacity: usize,
+}
+
+impl Events {
+    /// A buffer able to receive up to `capacity` events per poll.
+    pub fn with_capacity(capacity: usize) -> Events {
+        Events {
+            buf: Vec::with_capacity(capacity.max(1)),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Iterates the events delivered by the most recent poll.
+    pub fn iter(&self) -> impl Iterator<Item = Event> + '_ {
+        self.buf.iter().map(|raw| Event {
+            bits: raw.events,
+            data: raw.data,
+        })
+    }
+
+    /// Whether the most recent poll delivered no events (timeout).
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+}
+
+/// One readiness event: the registered token plus what the source is ready
+/// for.
+#[derive(Clone, Copy, Debug)]
+pub struct Event {
+    bits: u32,
+    data: u64,
+}
+
+impl Event {
+    /// The token the source was registered under.
+    pub fn token(&self) -> Token {
+        Token(self.data as usize)
+    }
+
+    /// Ready for reading (or the peer closed — a read will observe EOF).
+    pub fn is_readable(&self) -> bool {
+        self.bits & (EPOLLIN | EPOLLHUP | EPOLLRDHUP) != 0
+    }
+
+    /// Ready for writing.
+    pub fn is_writable(&self) -> bool {
+        self.bits & EPOLLOUT != 0
+    }
+
+    /// The source hit an error condition (connect failure, reset).
+    pub fn is_error(&self) -> bool {
+        self.bits & EPOLLERR != 0
+    }
+
+    /// The peer closed its end (half or full hangup).
+    pub fn is_read_closed(&self) -> bool {
+        self.bits & (EPOLLHUP | EPOLLRDHUP) != 0
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Poll and Registry
+// ---------------------------------------------------------------------------
+
+/// Handle for registering sources with the kernel readiness queue.
+///
+/// Shares the `epoll` fd with its owning [`Poll`]; obtained via
+/// [`Poll::registry`] and usable from any thread (epoll_ctl is
+/// thread-safe against a concurrent epoll_wait).
+#[derive(Debug)]
+pub struct Registry {
+    epfd: RawFd,
+}
+
+impl Registry {
+    fn ctl(&self, op: i32, fd: RawFd, event: Option<&mut EpollEvent>) -> io::Result<()> {
+        let ptr = match event {
+            Some(e) => e as *mut EpollEvent,
+            None => std::ptr::null_mut(),
+        };
+        // SAFETY: `self.epfd` is a live epoll fd for the lifetime of the
+        // owning `Poll`; `ptr` is null only for EPOLL_CTL_DEL, where the
+        // kernel ignores it (post-2.6.9, the only kernels std supports).
+        check(unsafe { epoll_ctl(self.epfd, op, fd, ptr) })?;
+        Ok(())
+    }
+
+    /// Starts watching `source` for `interests`, tagging events with
+    /// `token`.
+    pub fn register<S: AsRawFd + ?Sized>(
+        &self,
+        source: &S,
+        token: Token,
+        interests: Interest,
+    ) -> io::Result<()> {
+        let mut ev = EpollEvent {
+            events: interests.epoll_bits(),
+            data: token.0 as u64,
+        };
+        self.ctl(EPOLL_CTL_ADD, source.as_raw_fd(), Some(&mut ev))
+    }
+
+    /// Replaces the interest set (and token) of an already-registered
+    /// source.
+    pub fn reregister<S: AsRawFd + ?Sized>(
+        &self,
+        source: &S,
+        token: Token,
+        interests: Interest,
+    ) -> io::Result<()> {
+        let mut ev = EpollEvent {
+            events: interests.epoll_bits(),
+            data: token.0 as u64,
+        };
+        self.ctl(EPOLL_CTL_MOD, source.as_raw_fd(), Some(&mut ev))
+    }
+
+    /// Stops watching `source`.
+    pub fn deregister<S: AsRawFd + ?Sized>(&self, source: &S) -> io::Result<()> {
+        self.ctl(EPOLL_CTL_DEL, source.as_raw_fd(), None)
+    }
+}
+
+/// An epoll instance: blocks on [`Poll::poll`] until a registered source is
+/// ready or the timeout elapses.
+#[derive(Debug)]
+pub struct Poll {
+    registry: Registry,
+}
+
+impl Poll {
+    /// Creates a fresh epoll instance (close-on-exec).
+    pub fn new() -> io::Result<Poll> {
+        // SAFETY: plain syscall wrapper; the returned fd is owned by the
+        // Poll and closed on drop.
+        let epfd = check(unsafe { epoll_create1(EPOLL_CLOEXEC) })?;
+        Ok(Poll {
+            registry: Registry { epfd },
+        })
+    }
+
+    /// The registration handle for this instance.
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// Blocks until at least one event is ready, `timeout` elapses
+    /// (`None` = forever), or a signal arrives (EINTR is retried with the
+    /// full timeout; callers wanting precise deadlines pass short
+    /// timeouts and re-check their clock).
+    pub fn poll(&mut self, events: &mut Events, timeout: Option<Duration>) -> io::Result<()> {
+        let timeout_ms: i32 = match timeout {
+            None => -1,
+            Some(d) => {
+                // Round up so a nonzero timeout never busy-spins as 0 ms.
+                let ms = d.as_millis();
+                let ms = if ms == 0 && !d.is_zero() { 1 } else { ms };
+                i32::try_from(ms).unwrap_or(i32::MAX)
+            }
+        };
+        events.buf.clear();
+        loop {
+            // SAFETY: the spare capacity of `buf` is `capacity` properly
+            // aligned `EpollEvent` slots; the kernel writes at most
+            // `capacity` of them and `set_len` publishes exactly the count
+            // it reports.
+            let n = unsafe {
+                epoll_wait(
+                    self.registry.epfd,
+                    events.buf.as_mut_ptr(),
+                    events.capacity as i32,
+                    timeout_ms,
+                )
+            };
+            if n < 0 {
+                let err = io::Error::last_os_error();
+                if err.raw_os_error() == Some(EINTR) {
+                    continue;
+                }
+                return Err(err);
+            }
+            // SAFETY: see above — `n` slots were initialised by the kernel.
+            unsafe { events.buf.set_len(n as usize) };
+            return Ok(());
+        }
+    }
+}
+
+impl Drop for Poll {
+    fn drop(&mut self) {
+        // SAFETY: the fd is owned by this Poll and not closed elsewhere.
+        unsafe { close(self.registry.epfd) };
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Waker
+// ---------------------------------------------------------------------------
+
+/// Cross-thread wakeup for a blocked [`Poll::poll`].
+///
+/// Implemented as a socketpair self-pipe: `wake` writes a byte to one end,
+/// the other end is registered readable under the waker's token. The pipe
+/// is drained on every delivery, so wakes coalesce instead of accumulating.
+#[derive(Debug)]
+pub struct Waker {
+    tx: UnixStream,
+    rx: UnixStream,
+}
+
+impl Waker {
+    /// Registers a new waker on `registry` under `token`.
+    pub fn new(registry: &Registry, token: Token) -> io::Result<Waker> {
+        let (tx, rx) = UnixStream::pair()?;
+        tx.set_nonblocking(true)?;
+        rx.set_nonblocking(true)?;
+        registry.register(&rx, token, Interest::READABLE)?;
+        Ok(Waker { tx, rx })
+    }
+
+    /// Makes the next (or current) `poll` return with this waker's token.
+    pub fn wake(&self) -> io::Result<()> {
+        use std::io::Write;
+        match (&self.tx).write(&[1]) {
+            Ok(_) => Ok(()),
+            // A full pipe means wakeups are already pending — coalesce.
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => Ok(()),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Consumes pending wakeups; call when the waker's token is delivered.
+    pub fn drain(&self) {
+        use std::io::Read;
+        let mut buf = [0u8; 64];
+        while matches!((&self.rx).read(&mut buf), Ok(n) if n > 0) {}
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Tests
+// ---------------------------------------------------------------------------
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+    use std::net::{TcpListener, TcpStream};
+
+    #[test]
+    fn epoll_event_matches_kernel_abi_size() {
+        let expected = if cfg!(target_arch = "x86_64") { 12 } else { 16 };
+        assert_eq!(std::mem::size_of::<EpollEvent>(), expected);
+    }
+
+    #[test]
+    fn interest_union_and_queries() {
+        let both = Interest::READABLE | Interest::WRITABLE;
+        assert!(both.is_readable() && both.is_writable());
+        assert!(!Interest::READABLE.is_writable());
+        assert_eq!(both.epoll_bits() & EPOLLOUT, EPOLLOUT);
+        assert_eq!(both.epoll_bits() & EPOLLIN, EPOLLIN);
+    }
+
+    #[test]
+    fn poll_times_out_empty_when_nothing_ready() {
+        let mut poll = Poll::new().expect("epoll_create1");
+        let mut events = Events::with_capacity(8);
+        poll.poll(&mut events, Some(Duration::from_millis(5)))
+            .expect("poll");
+        assert!(events.is_empty());
+    }
+
+    #[test]
+    fn readable_event_carries_registered_token() {
+        let mut poll = Poll::new().expect("epoll_create1");
+        let (a, b) = UnixStream::pair().expect("socketpair");
+        poll.registry()
+            .register(&b, Token(42), Interest::READABLE)
+            .expect("register");
+
+        (&a).write_all(b"x").expect("write");
+        let mut events = Events::with_capacity(8);
+        poll.poll(&mut events, Some(Duration::from_secs(5)))
+            .expect("poll");
+        let got: Vec<Token> = events.iter().map(|e| e.token()).collect();
+        assert_eq!(got, vec![Token(42)]);
+        assert!(events.iter().all(|e| e.is_readable()));
+    }
+
+    #[test]
+    fn reregister_switches_interest_and_deregister_silences() {
+        let mut poll = Poll::new().expect("epoll_create1");
+        let (a, b) = UnixStream::pair().expect("socketpair");
+        (&a).write_all(b"x").expect("write");
+
+        // Write interest only: a readable-but-unwanted byte stays silent
+        // at the readable level, while the socket reports writable.
+        poll.registry()
+            .register(&b, Token(1), Interest::WRITABLE)
+            .expect("register");
+        let mut events = Events::with_capacity(8);
+        poll.poll(&mut events, Some(Duration::from_secs(5)))
+            .expect("poll");
+        assert!(events.iter().any(|e| e.is_writable()));
+
+        poll.registry()
+            .reregister(&b, Token(2), Interest::READABLE)
+            .expect("reregister");
+        poll.poll(&mut events, Some(Duration::from_secs(5)))
+            .expect("poll");
+        assert!(events
+            .iter()
+            .any(|e| e.token() == Token(2) && e.is_readable()));
+
+        poll.registry().deregister(&b).expect("deregister");
+        poll.poll(&mut events, Some(Duration::from_millis(5)))
+            .expect("poll");
+        assert!(events.is_empty());
+    }
+
+    #[test]
+    fn peer_close_is_delivered_as_read_closed() {
+        let mut poll = Poll::new().expect("epoll_create1");
+        let (a, b) = UnixStream::pair().expect("socketpair");
+        poll.registry()
+            .register(&b, Token(7), Interest::READABLE)
+            .expect("register");
+        drop(a);
+        let mut events = Events::with_capacity(8);
+        poll.poll(&mut events, Some(Duration::from_secs(5)))
+            .expect("poll");
+        assert!(events.iter().any(|e| e.is_read_closed()));
+        // A read on the closed pair observes EOF, not an error.
+        let mut buf = [0u8; 4];
+        assert_eq!((&b).read(&mut buf).expect("read"), 0);
+    }
+
+    #[test]
+    fn waker_wakes_a_blocked_poll_and_coalesces() {
+        let mut poll = Poll::new().expect("epoll_create1");
+        let waker = std::sync::Arc::new(Waker::new(poll.registry(), Token(99)).expect("waker"));
+        let w = std::sync::Arc::clone(&waker);
+        let handle = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(20));
+            for _ in 0..100 {
+                w.wake().expect("wake");
+            }
+        });
+        let mut events = Events::with_capacity(8);
+        poll.poll(&mut events, Some(Duration::from_secs(10)))
+            .expect("poll");
+        assert!(events.iter().any(|e| e.token() == Token(99)));
+        handle.join().expect("join");
+        waker.drain();
+        // Drained: the next poll times out clean instead of re-firing.
+        poll.poll(&mut events, Some(Duration::from_millis(5)))
+            .expect("poll");
+        assert!(events.iter().all(|e| e.token() != Token(99)));
+    }
+
+    #[test]
+    fn nonblocking_tcp_connect_reports_writable_on_completion() {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let stream = TcpStream::connect(addr).expect("connect");
+        stream.set_nonblocking(true).expect("nonblocking");
+
+        let mut poll = Poll::new().expect("epoll_create1");
+        poll.registry()
+            .register(&stream, Token(3), Interest::WRITABLE)
+            .expect("register");
+        let mut events = Events::with_capacity(8);
+        poll.poll(&mut events, Some(Duration::from_secs(5)))
+            .expect("poll");
+        assert!(events
+            .iter()
+            .any(|e| e.token() == Token(3) && e.is_writable()));
+    }
+}
